@@ -1,0 +1,50 @@
+// Ablation: code size versus pipelining depth. For every benchmark, sweep
+// the achievable cycle periods (the W/D candidate set) from slowest to
+// rate-optimal; at each period take the depth-minimal retiming and report
+// the expanded versus CSR code size. Shows the paper's core claim as a
+// curve: expanded code grows with |V|·M_r while the CSR form stays at
+// L + 2·|N_r| regardless of how deep the pipeline gets.
+
+#include <iostream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codesize/model.hpp"
+#include "codesize/storage.hpp"
+#include "retiming/opt.hpp"
+#include "retiming/wd.hpp"
+#include "table_util.hpp"
+
+int main() {
+  using namespace csr;
+  std::cout << "Ablation: code size vs software-pipelining depth\n"
+            << "(per achievable cycle period: depth-minimal retiming,"
+            << " expanded vs CSR size)\n";
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    std::cout << '\n' << info.name << " (L = " << original_size(g) << ")\n";
+    bench::TablePrinter table({8, 7, 10, 8, 6, 8});
+    table.row({"period", "M_r", "expanded", "CSR", "Rgs", "Δdelay"});
+    table.rule();
+    const WDMatrices wd(g);
+    const auto candidates = wd.candidate_periods();
+    std::int64_t previous_depth = -1;
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      const auto r = min_depth_retiming(g, wd, *it);
+      if (!r) break;  // below the minimum achievable period
+      const bool rate_optimal = std::next(it) == candidates.rend() ||
+                                !min_depth_retiming(g, wd, *std::next(it)).has_value();
+      // Show one row per distinct depth plus the rate-optimal endpoint.
+      if (previous_depth == r->max_value() && !rate_optimal) continue;
+      previous_depth = r->max_value();
+      table.row({std::to_string(*it), std::to_string(r->max_value()),
+                 std::to_string(predicted_retimed_size(g, *r)),
+                 std::to_string(predicted_retimed_csr_size(g, *r)),
+                 std::to_string(registers_required(*r)),
+                 std::to_string(delay_register_delta(g, *r))});
+    }
+  }
+  std::cout << "\nΔdelay = change in inter-iteration storage registers caused by"
+               " the retiming\n(deep pipelines can trade code size for data"
+               " storage).\n";
+  return 0;
+}

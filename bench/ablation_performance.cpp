@@ -1,0 +1,42 @@
+// Ablation: does code size reduction cost performance? The paper claims
+// "in most cases, code size reduction does not hurt the performance of an
+// optimized loop" (Section 3.2) — the CSR loop executes n + M_r kernel
+// trips instead of n − M_r plus explicit fill/drain code. This bench counts
+// VLIW instruction words issued by both forms under a 2-adder/2-multiplier
+// machine across trip counts.
+
+#include <iostream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/vliw.hpp"
+#include "retiming/opt.hpp"
+#include "table_util.hpp"
+
+int main() {
+  using namespace csr;
+  const ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
+  std::cout << "Ablation: cycle cost of CSR vs expanded pipelined code\n"
+            << "(VLIW instruction words issued; 2 adders + 2 multipliers)\n\n";
+  for (const std::int64_t n : {20, 101, 1000}) {
+    std::cout << "n = " << n << '\n';
+    bench::TablePrinter table({24, 8, 10, 10, 10});
+    table.row({"Benchmark", "kernel", "expanded", "CSR", "overhead"});
+    table.rule();
+    for (const auto& info : benchmarks::table_benchmarks()) {
+      const DataFlowGraph g = info.factory();
+      const Retiming r = minimum_period_retiming(g).retiming;
+      const VliwCycleAccounting acct = vliw_cycle_accounting(g, r, n, machine);
+      char pct[16];
+      std::snprintf(pct, sizeof pct, "%+.2f%%", acct.overhead * 100.0);
+      table.row({info.name, std::to_string(acct.kernel_words),
+                 std::to_string(acct.expanded_cycles), std::to_string(acct.csr_cycles),
+                 pct});
+    }
+    std::cout << '\n';
+  }
+  std::cout << "overhead = CSR cycles / expanded cycles − 1. The CSR form's\n"
+               "extra 2·M_r kernel trips are offset by the expanded form's\n"
+               "sparsely-filled prologue/epilogue words; both shrink toward 0\n"
+               "as n grows.\n";
+  return 0;
+}

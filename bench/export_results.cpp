@@ -1,0 +1,82 @@
+// Machine-readable export of the headline experiments: writes
+// csr_results.csv (current directory, or argv[1]) with one row per
+// (benchmark, transformation, factor) containing every measured quantity —
+// for plotting and regression-tracking pipelines.
+
+#include <fstream>
+#include <iostream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded_retimed.hpp"
+#include "codesize/model.hpp"
+#include "codesize/storage.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "retiming/opt.hpp"
+#include "unfolding/unfold.hpp"
+#include "vm/equivalence.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csr;
+  const std::string path = argc > 1 ? argv[1] : "csr_results.csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  const std::int64_t n = 101;
+  out << "benchmark,transform,factor,n,iteration_bound,period,depth,registers,"
+         "size,verified\n";
+
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const auto bound = iteration_bound(g);
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    const LoopProgram reference = original_program(g, n);
+    const auto arrays = array_names(g);
+
+    auto verified = [&](const LoopProgram& p) {
+      return compare_programs(reference, p, arrays).empty() ? "yes" : "NO";
+    };
+    auto emit = [&](const std::string& transform, int factor, const Rational& period,
+                    int depth, std::int64_t regs, const LoopProgram& p) {
+      out << info.name << ',' << transform << ',' << factor << ',' << n << ','
+          << bound->to_string() << ',' << period.to_string() << ',' << depth << ','
+          << regs << ',' << p.code_size() << ',' << verified(p) << '\n';
+    };
+
+    emit("original", 1, Rational(cycle_period(g)), 0, 0, reference);
+    emit("retimed", 1, Rational(opt.period), opt.retiming.max_value(),
+         registers_required(opt.retiming), retimed_program(g, opt.retiming, n));
+    emit("retimed_csr", 1, Rational(opt.period), opt.retiming.max_value(),
+         registers_required(opt.retiming), retimed_csr_program(g, opt.retiming, n));
+    for (const int f : {2, 3, 4}) {
+      const DataFlowGraph retimed = apply_retiming(g, opt.retiming);
+      const Rational period(cycle_period(unfold(retimed, f)), f);
+      emit("retimed_unfolded", f, period, opt.retiming.max_value(),
+           registers_required(opt.retiming),
+           retimed_unfolded_program(g, opt.retiming, f, n));
+      emit("retimed_unfolded_csr", f, period, opt.retiming.max_value(),
+           registers_required(opt.retiming),
+           retimed_unfolded_csr_program(g, opt.retiming, f, n));
+      const Unfolding u(g, f);
+      const OptimalRetiming uopt = minimum_period_retiming(u.graph());
+      if (n / f > uopt.retiming.max_value()) {
+        const Rational uperiod(uopt.period, f);
+        emit("unfolded_retimed", f, uperiod, uopt.retiming.max_value(),
+             registers_required_unfolded(u, uopt.retiming),
+             unfolded_retimed_program(u, uopt.retiming, n));
+        emit("unfolded_retimed_csr", f, uperiod, uopt.retiming.max_value(),
+             registers_required_unfolded(u, uopt.retiming),
+             unfolded_retimed_csr_program(u, uopt.retiming, n));
+      }
+    }
+  }
+  out.close();
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 3: the software-pipelined code of the 5-node example
+// loop, (a) with explicit prologue/epilogue, (b) after conditional-register
+// code size reduction, and (c) the execution evidence — per-register guard
+// windows and the exactly-n execution count of every node.
+
+#include <iostream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "loopir/printer.hpp"
+#include "retiming/opt.hpp"
+#include "vm/equivalence.hpp"
+
+int main() {
+  using namespace csr;
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const std::int64_t n = 12;
+  const OptimalRetiming opt = minimum_period_retiming(g);
+
+  std::cout << "Figure 3 reproduction — the A..E loop, retiming r = (";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::cout << g.node(v).name << ":" << opt.retiming[v]
+              << (v + 1 < g.node_count() ? ", " : ")");
+  }
+  std::cout << ", cycle period " << opt.period << "\n\n";
+
+  std::cout << "--- original loop ---\n" << to_source(original_program(g, n)) << '\n';
+  std::cout << "--- (a) software-pipelined, expanded ---\n"
+            << to_source(retimed_program(g, opt.retiming, n)) << '\n';
+  const LoopProgram csr = retimed_csr_program(g, opt.retiming, n);
+  std::cout << "--- (b) prologue/epilogue removed with conditional registers ---\n"
+            << to_source(csr) << '\n';
+
+  const Machine reference = run_program(original_program(g, n));
+  const Machine machine = run_program(csr);
+  const auto diffs = diff_observable_state(reference, machine, array_names(g), n);
+  if (!diffs.empty()) {
+    std::cerr << "CSR program diverges: " << diffs.front() << '\n';
+    return 1;
+  }
+  std::cout << "--- (c) execution ---\n";
+  for (const std::string& array : array_names(g)) {
+    std::cout << array << " executed " << machine.total_writes(array) << " times\n";
+  }
+  std::cout << "guarded statements disabled (hidden prologue/epilogue slots): "
+            << machine.disabled_statements() << '\n'
+            << "observable state identical to the original loop for n = " << n << '\n';
+  return 0;
+}

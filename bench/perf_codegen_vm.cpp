@@ -1,0 +1,92 @@
+// Performance microbenchmarks for code generation, unfolding, scheduling
+// and VM execution throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "retiming/opt.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/rotation.hpp"
+#include "unfolding/unfold.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+using namespace csr;
+
+void BM_Unfold(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const int f = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unfold(g, f));
+  }
+}
+BENCHMARK(BM_Unfold)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GenerateRetimedCsr(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retimed_csr_program(g, r, 1000));
+  }
+}
+BENCHMARK(BM_GenerateRetimedCsr);
+
+void BM_GenerateRetimedUnfoldedCsr(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const int f = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retimed_unfolded_csr_program(g, r, f, 1000));
+  }
+}
+BENCHMARK(BM_GenerateRetimedUnfoldedCsr)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_VmExecuteOriginal(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const std::int64_t n = state.range(0);
+  const LoopProgram p = original_program(g, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_program(p));
+  }
+  state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_VmExecuteOriginal)->Arg(100)->Arg(1000);
+
+void BM_VmExecuteCsr(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = state.range(0);
+  const LoopProgram p = retimed_csr_program(g, r, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_program(p));
+  }
+  state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_VmExecuteCsr)->Arg(100)->Arg(1000);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule(g, model));
+  }
+}
+BENCHMARK(BM_ListSchedule);
+
+void BM_RotationSchedule(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  const int rotations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rotation_schedule(g, model, rotations));
+  }
+}
+BENCHMARK(BM_RotationSchedule)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

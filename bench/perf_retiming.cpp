@@ -1,0 +1,89 @@
+// Performance microbenchmarks for the analysis/optimization kernels:
+// iteration bound, W/D matrices, feasibility checks and the full
+// minimum-period retiming on each benchmark graph.
+
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "retiming/min_storage.hpp"
+#include "retiming/opt.hpp"
+#include "retiming/wd.hpp"
+#include "schedule/modulo.hpp"
+
+namespace {
+
+using namespace csr;
+
+const DataFlowGraph& graph_for(int index) {
+  static const std::vector<DataFlowGraph> graphs = [] {
+    std::vector<DataFlowGraph> out;
+    for (const auto& info : benchmarks::table_benchmarks()) {
+      out.push_back(info.factory());
+    }
+    return out;
+  }();
+  return graphs[static_cast<std::size_t>(index)];
+}
+
+void BM_IterationBound(benchmark::State& state) {
+  const DataFlowGraph& g = graph_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iteration_bound(g));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_IterationBound)->DenseRange(0, 5);
+
+void BM_WDMatrices(benchmark::State& state) {
+  const DataFlowGraph& g = graph_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WDMatrices(g));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_WDMatrices)->DenseRange(0, 5);
+
+void BM_FeasibleRetiming(benchmark::State& state) {
+  const DataFlowGraph& g = graph_for(static_cast<int>(state.range(0)));
+  const WDMatrices wd(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feasible_retiming(g, wd, 3));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_FeasibleRetiming)->DenseRange(0, 5);
+
+void BM_MinimumPeriodRetiming(benchmark::State& state) {
+  const DataFlowGraph& g = graph_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimum_period_retiming(g));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_MinimumPeriodRetiming)->DenseRange(0, 5);
+
+void BM_MinStorageRetiming(benchmark::State& state) {
+  const DataFlowGraph& g = graph_for(static_cast<int>(state.range(0)));
+  const std::int64_t period = minimum_period_retiming(g).period;
+  const WDMatrices wd(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_storage_retiming(g, wd, period));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_MinStorageRetiming)->DenseRange(0, 5);
+
+void BM_ModuloSchedule(benchmark::State& state) {
+  const DataFlowGraph& g = graph_for(static_cast<int>(state.range(0)));
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(modulo_schedule(g, model));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_ModuloSchedule)->DenseRange(0, 5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#pragma once
+
+/// Shared helpers for the table-reproduction benches: fixed-width text
+/// tables matching the paper's layout, plus the standard "retime to the
+/// minimum period, depth-minimally" pipeline step every table starts from.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/text.hpp"
+
+namespace csr::bench {
+
+/// Prints a fixed-width table: `widths[i]` column characters, first column
+/// left-aligned, the rest right-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::size_t> widths) : widths_(std::move(widths)) {}
+
+  void row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t k = 0; k < cells.size() && k < widths_.size(); ++k) {
+      if (k == 0) {
+        line += pad_right(cells[k], widths_[k]);
+      } else {
+        line += "  " + pad_left(cells[k], widths_[k]);
+      }
+    }
+    std::cout << line << '\n';
+  }
+
+  void rule() const {
+    std::size_t total = 0;
+    for (const std::size_t w : widths_) total += w + 2;
+    std::cout << std::string(total, '-') << '\n';
+  }
+
+ private:
+  std::vector<std::size_t> widths_;
+};
+
+inline std::string pct(std::int64_t before, std::int64_t after) {
+  const double reduction = 100.0 * static_cast<double>(before - after) /
+                           static_cast<double>(before);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", reduction);
+  return buf;
+}
+
+}  // namespace csr::bench

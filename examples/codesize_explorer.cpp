@@ -1,0 +1,98 @@
+// Design-space exploration: performance versus code size under register and
+// memory budgets — the use the paper's conclusion proposes for the CSR
+// framework.
+//
+// Usage:  codesize_explorer [benchmark] [max_factor] [register_budget]
+//                           [size_budget]
+//   benchmark       one of: iir, diffeq, allpole, elliptic, lattice,
+//                   volterra (default: lattice)
+//   max_factor      unfolding factors to sweep (default 4)
+//   register_budget conditional registers available (default 4)
+//   size_budget     instruction budget for the loop code (default 150)
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codesize/model.hpp"
+#include "codesize/tradeoff.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "retiming/opt.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace csr;
+
+const std::map<std::string, DataFlowGraph (*)()>& registry() {
+  static const std::map<std::string, DataFlowGraph (*)()> map = {
+      {"iir", benchmarks::iir_filter},
+      {"diffeq", benchmarks::differential_equation_solver},
+      {"allpole", benchmarks::allpole_filter},
+      {"elliptic", benchmarks::elliptic_filter},
+      {"lattice", benchmarks::lattice_filter},
+      {"volterra", benchmarks::volterra_filter},
+  };
+  return map;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "lattice";
+  const auto it = registry().find(which);
+  if (it == registry().end()) {
+    std::cerr << "unknown benchmark '" << which << "'; choose one of:";
+    for (const auto& [name, factory] : registry()) std::cerr << ' ' << name;
+    std::cerr << '\n';
+    return 2;
+  }
+  TradeoffOptions options;
+  options.max_factor = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::int64_t register_budget = argc > 3 ? std::atoll(argv[3]) : 4;
+  const std::int64_t size_budget = argc > 4 ? std::atoll(argv[4]) : 150;
+
+  const DataFlowGraph g = it->second();
+  const auto bound = iteration_bound(g);
+  std::cout << "benchmark " << which << ": " << g.node_count()
+            << " nodes, iteration bound " << bound->to_string() << "\n\n";
+
+  const auto points = explore_tradeoffs(g, options);
+  std::cout << pad_right("order", 15) << pad_left("f", 4) << pad_left("M_r", 5)
+            << pad_left("period", 9) << pad_left("regs", 6) << pad_left("expanded", 10)
+            << pad_left("CSR", 7) << '\n'
+            << std::string(56, '-') << '\n';
+  for (const auto& p : points) {
+    std::cout << pad_right(std::string(to_string(p.order)), 15)
+              << pad_left(std::to_string(p.factor), 4)
+              << pad_left(std::to_string(p.depth), 5)
+              << pad_left(p.iteration_period.to_string(), 9)
+              << pad_left(std::to_string(p.registers), 6)
+              << pad_left(std::to_string(p.size_expanded), 10)
+              << pad_left(std::to_string(p.size_csr), 7) << '\n';
+  }
+
+  std::cout << "\nPareto frontier (iteration period vs CSR code size):\n";
+  for (const auto& p : pareto_frontier(points)) {
+    std::cout << "  period " << p.iteration_period.to_string() << "  size "
+              << p.size_csr << "  (" << to_string(p.order) << ", f=" << p.factor
+              << ")\n";
+  }
+
+  std::cout << "\nbudgets: " << register_budget << " conditional registers, "
+            << size_budget << " instructions\n";
+  if (const auto best = best_under_budget(points, register_budget, size_budget)) {
+    std::cout << "best feasible point: iteration period "
+              << best->iteration_period.to_string() << " at f=" << best->factor << " ("
+              << to_string(best->order) << ", " << best->registers << " registers, "
+              << best->size_csr << " instructions)\n";
+    std::cout << "budget headroom: max unfolding factor by Section 4's formula = "
+              << max_unfolding_factor(size_budget, original_size(g), best->depth)
+              << '\n';
+  } else {
+    std::cout << "no explored configuration fits the budgets\n";
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// A small command-line tool over the textual DFG format: inspect a graph,
+// analyse it, or emit Graphviz DOT. Demonstrates the serialization layer and
+// makes the library's analyses usable from shell scripts.
+//
+// Usage:
+//   dfg_tool demo                 # print a sample .dfg file to adapt
+//   dfg_tool analyze <file.dfg>   # bound, cycle period, optimal retiming
+//   dfg_tool dot <file.dfg>       # Graphviz on stdout
+//   dfg_tool csr <file.dfg> <n>   # print the pipelined CSR loop code
+//   dfg_tool trace <file.dfg> <n> # per-trip execution table of the CSR loop
+//   dfg_tool unfold <file.dfg> <f># print the unfolded graph
+//   dfg_tool tradeoff <file.dfg>  # performance / code-size sweep
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "codegen/original.hpp"
+#include "codesize/tradeoff.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/io.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "loopir/printer.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+#include "unfolding/unfold.hpp"
+#include "vm/equivalence.hpp"
+#include "vm/trace.hpp"
+
+namespace {
+
+using namespace csr;
+
+constexpr const char* kDemo =
+    "# second-order IIR section\n"
+    "dfg demo\n"
+    "node Mul1 1\n"
+    "node Add1 1\n"
+    "node Mul2 1\n"
+    "node Add2 1\n"
+    "edge Mul1 Add1 0\n"
+    "edge Add1 Mul2 0\n"
+    "edge Mul2 Add2 0\n"
+    "edge Add2 Mul1 2\n";
+
+DataFlowGraph load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open '" + path + "'");
+  }
+  return read_text(in);
+}
+
+int analyze(const DataFlowGraph& g) {
+  std::cout << "graph '" << g.name() << "': " << g.node_count() << " nodes, "
+            << g.edge_count() << " edges, " << g.total_delay() << " delays\n";
+  const auto problems = g.validate();
+  for (const auto& p : problems) std::cout << "problem: " << p << '\n';
+  if (!problems.empty()) return 1;
+  if (const auto bound = iteration_bound(g)) {
+    std::cout << "iteration bound: " << bound->to_string() << '\n';
+  } else {
+    std::cout << "iteration bound: none (acyclic)\n";
+  }
+  std::cout << "cycle period (unretimed): " << cycle_period(g) << '\n';
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  std::cout << "minimum cycle period by retiming: " << opt.period
+            << " (depth " << opt.retiming.max_value() << ", registers for CSR "
+            << registers_required(opt.retiming) << ")\n";
+  std::cout << "retiming:";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::cout << ' ' << g.node(v).name << ":" << opt.retiming[v];
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int csr_code(const DataFlowGraph& g, std::int64_t n) {
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  if (n <= opt.retiming.max_value()) {
+    std::cerr << "n must exceed the pipeline depth " << opt.retiming.max_value()
+              << '\n';
+    return 1;
+  }
+  const LoopProgram reduced = retimed_csr_program(g, opt.retiming, n);
+  const auto diffs =
+      compare_programs(original_program(g, n), reduced, array_names(g));
+  if (!diffs.empty()) {
+    std::cerr << "internal error: CSR code diverges: " << diffs.front() << '\n';
+    return 1;
+  }
+  std::cout << to_source(reduced);
+  return 0;
+}
+
+int trace_csr(const DataFlowGraph& g, std::int64_t n) {
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  if (n <= opt.retiming.max_value()) {
+    std::cerr << "n must exceed the pipeline depth " << opt.retiming.max_value()
+              << '\n';
+    return 1;
+  }
+  const LoopProgram reduced = retimed_csr_program(g, opt.retiming, n);
+  std::cout << format_trace(trace_program(reduced));
+  return 0;
+}
+
+int unfold_graph(const DataFlowGraph& g, int factor) {
+  if (factor < 1) {
+    std::cerr << "factor must be >= 1\n";
+    return 1;
+  }
+  write_text(std::cout, unfold(g, factor));
+  return 0;
+}
+
+int tradeoff(const DataFlowGraph& g) {
+  TradeoffOptions options;
+  options.max_factor = 4;
+  std::cout << pad_right("order", 15) << pad_left("f", 3) << pad_left("period", 9)
+            << pad_left("regs", 6) << pad_left("CSR size", 10) << '\n';
+  for (const auto& point : explore_tradeoffs(g, options)) {
+    std::cout << pad_right(std::string(to_string(point.order)), 15)
+              << pad_left(std::to_string(point.factor), 3)
+              << pad_left(point.iteration_period.to_string(), 9)
+              << pad_left(std::to_string(point.registers), 6)
+              << pad_left(std::to_string(point.size_csr), 10) << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  try {
+    if (command == "demo") {
+      std::cout << kDemo;
+      return 0;
+    }
+    if (command == "analyze" && argc > 2) return analyze(load(argv[2]));
+    if (command == "dot" && argc > 2) {
+      write_dot(std::cout, load(argv[2]));
+      return 0;
+    }
+    if (command == "csr" && argc > 3) return csr_code(load(argv[2]), std::atoll(argv[3]));
+    if (command == "trace" && argc > 3) return trace_csr(load(argv[2]), std::atoll(argv[3]));
+    if (command == "unfold" && argc > 3) return unfold_graph(load(argv[2]), std::atoi(argv[3]));
+    if (command == "tradeoff" && argc > 2) return tradeoff(load(argv[2]));
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  std::cerr << "usage: dfg_tool demo | analyze <file> | dot <file> | csr <file> <n>\n"
+               "       | trace <file> <n> | unfold <file> <f> | tradeoff <file>\n";
+  return 2;
+}

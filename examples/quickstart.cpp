@@ -1,0 +1,87 @@
+// Quickstart: the complete CSR workflow on a small loop.
+//
+//   1. Describe the loop as a data-flow graph.
+//   2. Compute its iteration bound and retime it to the minimum cycle period
+//      (software pipelining).
+//   3. Generate the expanded pipelined code and the conditional-register
+//      (CSR) code, compare their sizes.
+//   4. Execute both in the VM and confirm they compute the same thing as the
+//      original loop.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "loopir/printer.hpp"
+#include "retiming/opt.hpp"
+#include "vm/equivalence.hpp"
+
+int main() {
+  using namespace csr;
+
+  // The loop
+  //   for i = 1 to n:
+  //     A[i] = E[i-4] + 9
+  //     B[i] = A[i] * 5
+  //     C[i] = A[i] + B[i-2]
+  //     D[i] = A[i] * C[i]
+  //     E[i] = D[i] + 30
+  // as a DFG: one node per statement, one edge per data dependence, edge
+  // delay = dependence distance in iterations.
+  DataFlowGraph g("quickstart");
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  const NodeId d = g.add_node("D");
+  const NodeId e = g.add_node("E");
+  g.add_edge(e, a, 4);
+  g.add_edge(a, b, 0);
+  g.add_edge(a, c, 0);
+  g.add_edge(b, c, 2);
+  g.add_edge(a, d, 0);
+  g.add_edge(c, d, 0);
+  g.add_edge(d, e, 0);
+
+  // Analysis: how fast can this loop possibly run?
+  const auto bound = iteration_bound(g);
+  std::cout << "iteration bound: " << bound->to_string()
+            << " time units per iteration\n";
+
+  // Software pipelining: retime to the minimum achievable cycle period with
+  // the shallowest pipeline (smallest prologue/epilogue).
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  std::cout << "minimum cycle period after retiming: " << opt.period
+            << " (pipeline depth M_r = " << opt.retiming.max_value() << ")\n\n";
+
+  const std::int64_t n = 10;
+  const LoopProgram original = original_program(g, n);
+  const LoopProgram expanded = retimed_program(g, opt.retiming, n);
+  const LoopProgram reduced = retimed_csr_program(g, opt.retiming, n);
+
+  std::cout << "code sizes: original " << original.code_size() << ", pipelined "
+            << expanded.code_size() << ", pipelined+CSR " << reduced.code_size()
+            << " (" << reduced.conditional_registers().size()
+            << " conditional registers)\n\n";
+
+  std::cout << "--- pipelined code with prologue/epilogue ---\n"
+            << to_source(expanded) << '\n';
+  std::cout << "--- same loop after code size reduction ---\n"
+            << to_source(reduced) << '\n';
+
+  // Verification: run all three in the VM and diff the observable state.
+  for (const auto* program : {&expanded, &reduced}) {
+    const auto diffs = compare_programs(original, *program, array_names(g));
+    if (!diffs.empty()) {
+      std::cerr << "mismatch: " << diffs.front() << '\n';
+      return 1;
+    }
+  }
+  std::cout << "VM check: all three programs leave identical arrays for n = " << n
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "benchmarks/benchmarks.hpp"
+
+#include <string>
+
+#include "dfg/builders.hpp"
+#include "support/check.hpp"
+
+namespace csr::benchmarks {
+
+DataFlowGraph iir_filter() {
+  // Recursion: 6-op loop (multiply-accumulate ladder) closed by a 2-delay
+  // feedback — iteration bound 6/2 = 3. Output section: two ops fed by
+  // delayed taps so they never stretch the critical path.
+  DataFlowGraph g("iir");
+  const auto loop = add_mac_chain(g, "f", 6);
+  g.add_edge(loop[5], loop[0], 2);
+  const NodeId o1 = g.add_node("Aout1");
+  const NodeId o2 = g.add_node("Mout2");
+  g.add_edge(loop[5], o1, 1);
+  g.add_edge(loop[3], o1, 1);
+  g.add_edge(o1, o2, 0);
+  CSR_ENSURE(g.node_count() == 8, "iir benchmark must have 8 nodes");
+  return g;
+}
+
+DataFlowGraph differential_equation_solver() {
+  // The u/y update recursion of the HAL benchmark: a 9-op
+  // multiply-accumulate chain closed by a 3-delay feedback (iteration
+  // bound 3), plus the loop-control pair (x increment, compare).
+  DataFlowGraph g("diffeq");
+  const auto update = add_mac_chain(g, "u", 9);
+  g.add_edge(update[8], update[0], 3);
+  const NodeId x1 = g.add_node("Ax1");  // x = x + dx
+  const NodeId cmp = g.add_node("Acmp");
+  g.add_edge(x1, x1, 1);
+  g.add_edge(x1, cmp, 0);
+  g.add_edge(update[8], cmp, 1);
+  CSR_ENSURE(g.node_count() == 11, "diffeq benchmark must have 11 nodes");
+  return g;
+}
+
+DataFlowGraph allpole_filter() {
+  // 12-op recursion with four delays (iteration bound 3) and a 3-op output
+  // ladder on delayed taps.
+  DataFlowGraph g("allpole");
+  const auto loop = add_mac_chain(g, "s", 12);
+  g.add_edge(loop[11], loop[0], 4);
+  const NodeId o1 = g.add_node("Aout1");
+  const NodeId o2 = g.add_node("Aout2");
+  const NodeId o3 = g.add_node("Mout3");
+  g.add_edge(loop[5], o1, 1);
+  g.add_edge(loop[11], o1, 1);
+  g.add_edge(o1, o2, 0);
+  g.add_edge(loop[8], o2, 2);
+  g.add_edge(o2, o3, 0);
+  CSR_ENSURE(g.node_count() == 15, "allpole benchmark must have 15 nodes");
+  return g;
+}
+
+DataFlowGraph elliptic_filter() {
+  // Four 8-op second-order sections, each closed by a 3-delay feedback
+  // (iteration bound 8/3 — fractional, the hallmark of the elliptic wave
+  // filter), chained through delayed inter-section edges, plus a 2-op
+  // output combiner.
+  DataFlowGraph g("elliptic");
+  std::vector<std::vector<NodeId>> sections;
+  for (int s = 0; s < 4; ++s) {
+    sections.push_back(add_mac_chain(g, "e" + std::to_string(s + 1) + "_", 8));
+    g.add_edge(sections.back()[7], sections.back()[0], 3);
+  }
+  for (int s = 0; s + 1 < 4; ++s) {
+    g.add_edge(sections[static_cast<std::size_t>(s)][7],
+               sections[static_cast<std::size_t>(s + 1)][0], 3);
+  }
+  const NodeId o1 = g.add_node("Aout1");
+  const NodeId o2 = g.add_node("Aout2");
+  g.add_edge(sections[1][7], o1, 1);
+  g.add_edge(sections[3][7], o1, 1);
+  g.add_edge(o1, o2, 0);
+  g.add_edge(sections[2][7], o2, 2);
+  CSR_ENSURE(g.node_count() == 34, "elliptic benchmark must have 34 nodes");
+  return g;
+}
+
+DataFlowGraph lattice_filter() {
+  // Three 8-op lattice stages with 3-delay feedback each plus a 2-op
+  // combiner — 26 nodes, iteration bound 8/3.
+  DataFlowGraph g("lattice");
+  std::vector<std::vector<NodeId>> stages;
+  for (int s = 0; s < 3; ++s) {
+    stages.push_back(add_mac_chain(g, "l" + std::to_string(s + 1) + "_", 8));
+    g.add_edge(stages.back()[7], stages.back()[0], 3);
+  }
+  for (int s = 0; s + 1 < 3; ++s) {
+    g.add_edge(stages[static_cast<std::size_t>(s)][7],
+               stages[static_cast<std::size_t>(s + 1)][0], 3);
+  }
+  const NodeId o1 = g.add_node("Aout1");
+  const NodeId o2 = g.add_node("Mout2");
+  g.add_edge(stages[0][7], o1, 1);
+  g.add_edge(stages[2][7], o1, 1);
+  g.add_edge(o1, o2, 0);
+  CSR_ENSURE(g.node_count() == 26, "lattice benchmark must have 26 nodes");
+  return g;
+}
+
+DataFlowGraph volterra_filter() {
+  // A 6-op linear recursion with two delays (iteration bound 3) feeding a
+  // feed-forward 2nd-order kernel: 12 product nodes over delayed taps, a
+  // 6-op pair-accumulate layer and a 3-op final accumulate layer.
+  DataFlowGraph g("volterra");
+  const auto loop = add_mac_chain(g, "v", 6);
+  g.add_edge(loop[5], loop[0], 2);
+
+  std::vector<NodeId> products;
+  for (int k = 0; k < 12; ++k) {
+    const NodeId p = g.add_node("Mp" + std::to_string(k + 1));
+    // Each product reads two delayed taps of the recursion.
+    g.add_edge(loop[static_cast<std::size_t>(k % 6)], p, 1 + k % 2);
+    g.add_edge(loop[static_cast<std::size_t>((k + 3) % 6)], p, 1);
+    products.push_back(p);
+  }
+  std::vector<NodeId> layer1;
+  for (int k = 0; k < 6; ++k) {
+    const NodeId a = g.add_node("Aq" + std::to_string(k + 1));
+    g.add_edge(products[static_cast<std::size_t>(2 * k)], a, 0);
+    g.add_edge(products[static_cast<std::size_t>(2 * k + 1)], a, 0);
+    layer1.push_back(a);
+  }
+  for (int k = 0; k < 3; ++k) {
+    const NodeId a = g.add_node("Ar" + std::to_string(k + 1));
+    g.add_edge(layer1[static_cast<std::size_t>(2 * k)], a, 0);
+    g.add_edge(layer1[static_cast<std::size_t>(2 * k + 1)], a, 0);
+  }
+  CSR_ENSURE(g.node_count() == 27, "volterra benchmark must have 27 nodes");
+  return g;
+}
+
+DataFlowGraph figure1_example() {
+  DataFlowGraph g("figure1");
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 2);
+  return g;
+}
+
+DataFlowGraph figure3_example() {
+  DataFlowGraph g("figure3");
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  const NodeId d = g.add_node("D");
+  const NodeId e = g.add_node("E");
+  g.add_edge(e, a, 4);  // A[i] = E[i-4] + 9
+  g.add_edge(a, b, 0);  // B[i] = A[i] * 5
+  g.add_edge(a, c, 0);  // C[i] = A[i] + B[i-2]
+  g.add_edge(b, c, 2);
+  g.add_edge(a, d, 0);  // D[i] = A[i] * C[i]
+  g.add_edge(c, d, 0);
+  g.add_edge(d, e, 0);  // E[i] = D[i] + 30
+  return g;
+}
+
+DataFlowGraph figure4_example() {
+  DataFlowGraph g("figure4");
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(b, a, 3);  // A[i] = B[i-3] * 3
+  g.add_edge(a, b, 0);  // B[i] = A[i] + 7
+  g.add_edge(b, c, 0);  // C[i] = B[i] * 2
+  return g;
+}
+
+DataFlowGraph chao_sha_example() {
+  DataFlowGraph g("chao-sha-fig8");
+  const NodeId a = g.add_node("A", 9);
+  const NodeId b = g.add_node("B", 7);
+  const NodeId c = g.add_node("C", 5);
+  const NodeId d = g.add_node("D", 4);
+  const NodeId e = g.add_node("E", 2);
+  // Both delays clustered on A->B, plus an inner cycle C->B: the unfolded
+  // graphs need retiming at every factor (M' = 1), and the rate-optimal
+  // iteration period 27/2 is reached only at even unfolding factors -- the
+  // non-trivial performance/size interplay Table 3 exercises.
+  g.add_edge(a, b, 2);
+  g.add_edge(b, c, 0);
+  g.add_edge(c, d, 0);
+  g.add_edge(d, e, 0);
+  g.add_edge(e, a, 0);
+  g.add_edge(c, b, 1);
+  return g;
+}
+
+const std::vector<BenchmarkInfo>& table_benchmarks() {
+  static const std::vector<BenchmarkInfo> list = {
+      {"IIR Filter", iir_filter},
+      {"Differential Equation", differential_equation_solver},
+      {"All-pole Filter", allpole_filter},
+      {"Elliptical Filter", elliptic_filter},
+      {"4-stage Lattice Filter", lattice_filter},
+      {"Volterra Filter", volterra_filter},
+  };
+  return list;
+}
+
+const std::vector<BenchmarkInfo>& all_graphs() {
+  static const std::vector<BenchmarkInfo> list = [] {
+    std::vector<BenchmarkInfo> graphs = table_benchmarks();
+    graphs.push_back({"Figure 1", figure1_example});
+    graphs.push_back({"Figure 3", figure3_example});
+    graphs.push_back({"Figure 4", figure4_example});
+    graphs.push_back({"Chao-Sha Figure 8", chao_sha_example});
+    return graphs;
+  }();
+  return list;
+}
+
+}  // namespace csr::benchmarks

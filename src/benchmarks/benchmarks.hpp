@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file benchmarks.hpp
+/// Reconstructions of the paper's benchmark data-flow graphs. The paper
+/// names six classic DSP benchmarks and prints only their node counts
+/// (Table 1, column "Orig"); the graphs themselves are not published. Each
+/// reconstruction here matches the reported node count, uses unit-time
+/// nodes (the paper's stated assumption), and is built from the filter's
+/// textbook signal-flow structure: feedback recursions (delayed cycles)
+/// that pin the iteration bound, feed-forward sections, and delayed output
+/// taps. Node names follow the HLS convention the resource model uses:
+/// 'M*' multipliers, everything else adders.
+///
+/// The Figure 1/3/4 didactic graphs and the Chao–Sha non-unit-time example
+/// of Figure 8 are included for the figure-reproduction benches.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace csr::benchmarks {
+
+/// 2nd-order IIR section cascade — 8 nodes. Recursion: 6-op loop with two
+/// delays (iteration bound 3); two delayed output taps.
+[[nodiscard]] DataFlowGraph iir_filter();
+
+/// HAL differential-equation solver — 11 nodes. 9-op update recursion with
+/// three delays (iteration bound 3) plus the x-increment/compare pair.
+[[nodiscard]] DataFlowGraph differential_equation_solver();
+
+/// All-pole lattice filter — 15 nodes. 12-op recursion with four delays
+/// (iteration bound 3) and a 3-op delayed output ladder.
+[[nodiscard]] DataFlowGraph allpole_filter();
+
+/// 5th-order elliptic wave filter — 34 nodes. Four 8-op recursions with
+/// three delays each (iteration bound 8/3 — fractional, so rate-optimality
+/// requires unfolding) and a 2-op combiner.
+[[nodiscard]] DataFlowGraph elliptic_filter();
+
+/// 4-stage lattice filter — 26 nodes. Three 8-op recursions with three
+/// delays each plus a 2-op combiner.
+[[nodiscard]] DataFlowGraph lattice_filter();
+
+/// 2nd-order Volterra filter — 27 nodes. A 6-op linear recursion (two
+/// delays) feeding a 21-op feed-forward product/accumulate tree through
+/// delayed taps.
+[[nodiscard]] DataFlowGraph volterra_filter();
+
+/// Figure 1: the 2-node didactic DFG (A→B with no delay, B→A with two).
+[[nodiscard]] DataFlowGraph figure1_example();
+
+/// Figures 2/3: the 5-node loop A..E (A[i]=E[i−4]+9; B[i]=A[i]*5;
+/// C[i]=A[i]+B[i−2]; D[i]=A[i]*C[i]; E[i]=D[i]+30).
+[[nodiscard]] DataFlowGraph figure3_example();
+
+/// Figures 4–7: the 3-statement loop (A[i]=B[i−3]*3; B[i]=A[i]+7;
+/// C[i]=B[i]*2).
+[[nodiscard]] DataFlowGraph figure4_example();
+
+/// Figure 8: the Chao–Sha example with non-unit computation times. The
+/// published figure is an image we cannot recover; this reconstruction is a
+/// 5-node cycle with times {9,7,5,4,2}, both delays clustered on one edge,
+/// and an inner 2-node cycle. Iteration bound 27/2 (fractional — unfolding
+/// required for rate optimality), and every unfolded version needs a
+/// non-trivial retiming: the properties Table 3 exercises.
+[[nodiscard]] DataFlowGraph chao_sha_example();
+
+struct BenchmarkInfo {
+  std::string name;
+  std::function<DataFlowGraph()> factory;
+};
+
+/// The six Table-1/Table-2 benchmarks, in the paper's row order.
+[[nodiscard]] const std::vector<BenchmarkInfo>& table_benchmarks();
+
+/// Every graph in this module (benchmarks + didactic examples).
+[[nodiscard]] const std::vector<BenchmarkInfo>& all_graphs();
+
+}  // namespace csr::benchmarks

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file c_emitter.hpp
+/// Emission of compilable C from a loop program — the last mile from the
+/// paper's abstract loop code to something a DSP toolchain could ingest.
+/// Conditional registers become plain integer variables, the guard window
+/// `0 ≥ p > −LC` becomes an `if`, and arrays are backed by statically-sized
+/// buffers with an index offset large enough to cover every negative index
+/// the program can touch (boundary reads before iteration 1 and prologue
+/// indices).
+///
+/// Statement semantics in C: operands joined with the statement's operator
+/// and source-free statements read a synthetic input `(T)(idx)` — the same
+/// shape as the paper's examples (`A[i] = E[i-4] + 9`), with the constant
+/// folded away.
+
+#include <string>
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+struct CEmitterOptions {
+  /// Element type of the arrays.
+  std::string value_type = "double";
+  /// Name of the emitted function.
+  std::string function_name = "kernel";
+};
+
+/// Emits a self-contained C translation unit containing one function that
+/// executes `program`. Array extents and index offsets are derived from the
+/// program's actual index ranges. Throws InvalidArgument when the program
+/// does not validate.
+[[nodiscard]] std::string to_c_source(const LoopProgram& program,
+                                      const CEmitterOptions& options = {});
+
+}  // namespace csr

@@ -1,0 +1,31 @@
+#include "codegen/original.hpp"
+
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+LoopProgram original_program(const DataFlowGraph& g, std::int64_t n) {
+  CSR_REQUIRE(n >= 1, "trip count must be >= 1");
+  const auto order = zero_delay_topological_order(g);
+  if (!order) throw InvalidArgument("cannot generate code: zero-delay cycle present");
+
+  const auto stmts = node_statements(g);
+  LoopProgram program;
+  program.name = g.name() + " (original)";
+  program.n = n;
+
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = n;
+  loop.step = 1;
+  for (const NodeId v : *order) {
+    loop.instructions.push_back(Instruction::statement(stmts[v]));
+  }
+  program.segments.push_back(std::move(loop));
+  return program;
+}
+
+}  // namespace csr

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file original.hpp
+/// Code generation for the untransformed loop — the reference semantics that
+/// every transformed program is compared against, and the L_orig of the
+/// code-size model.
+
+#include "dfg/graph.hpp"
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// `for i = 1 to n { one statement per node }`, statements in a zero-delay
+/// topological order so intra-iteration dependencies are respected.
+/// Requires a legal graph and n ≥ 1.
+[[nodiscard]] LoopProgram original_program(const DataFlowGraph& g, std::int64_t n);
+
+}  // namespace csr

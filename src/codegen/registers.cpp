@@ -1,0 +1,25 @@
+#include "codegen/registers.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+RegisterPlan::RegisterPlan(std::vector<int> classes) {
+  std::sort(classes.begin(), classes.end(), std::greater<>());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  classes_desc_ = std::move(classes);
+  names_.reserve(classes_desc_.size());
+  for (std::size_t k = 0; k < classes_desc_.size(); ++k) {
+    names_.push_back("p" + std::to_string(k + 1));
+  }
+}
+
+const std::string& RegisterPlan::reg_for(int cls) const {
+  const auto it = std::find(classes_desc_.begin(), classes_desc_.end(), cls);
+  CSR_EXPECT(it != classes_desc_.end(), "register requested for unknown guard class");
+  return names_[static_cast<std::size_t>(it - classes_desc_.begin())];
+}
+
+}  // namespace csr

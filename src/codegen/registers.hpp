@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file registers.hpp
+/// Conditional-register allocation for CSR code. One register serves every
+/// node class that needs the same guard window; for a retimed loop the
+/// classes are the distinct retiming values (Theorem 4.3), for an
+/// unfolded-retimed loop the distinct per-copy iteration offsets. Registers
+/// are named p1, p2, ... with p1 guarding the deepest-pipelined class
+/// (largest retiming value), matching Figure 3(b).
+
+#include <string>
+#include <vector>
+
+namespace csr {
+
+class RegisterPlan {
+ public:
+  /// Builds a plan for the given guard classes (any distinct integers; one
+  /// register each). Registers are named in descending class order.
+  explicit RegisterPlan(std::vector<int> classes);
+
+  [[nodiscard]] std::size_t count() const { return classes_desc_.size(); }
+
+  /// Register name for `cls`; throws LogicError for unknown classes.
+  [[nodiscard]] const std::string& reg_for(int cls) const;
+
+  /// Classes in descending order (the order registers are numbered in).
+  [[nodiscard]] const std::vector<int>& classes_desc() const { return classes_desc_; }
+
+  /// Register names in p1, p2, ... order.
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<int> classes_desc_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace csr

@@ -1,0 +1,131 @@
+#include "codegen/retimed.hpp"
+
+#include "codegen/registers.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Statements of the retimed body — node v's statement shifted by r(v) —
+/// in a zero-delay topological order of the retimed graph, paired with the
+/// node each came from.
+struct RetimedBody {
+  std::vector<NodeId> order;
+  std::vector<Statement> stmts;  // parallel to `order`
+};
+
+RetimedBody retimed_body(const DataFlowGraph& g, const Retiming& r) {
+  const DataFlowGraph retimed = apply_retiming(g, r);
+  const auto order = zero_delay_topological_order(retimed);
+  CSR_ENSURE(order.has_value(), "retimed graph has a zero-delay cycle");
+  const auto base = node_statements(g);
+  RetimedBody body;
+  body.order = *order;
+  body.stmts.reserve(order->size());
+  for (const NodeId v : *order) {
+    body.stmts.push_back(shifted(base[v], r[v]));
+  }
+  return body;
+}
+
+void require_preconditions(const DataFlowGraph& g, const Retiming& r, std::int64_t n,
+                           int depth) {
+  CSR_REQUIRE(n >= 1, "trip count must be >= 1");
+  CSR_REQUIRE(is_legal_retiming(g, r), "retiming is not legal for this graph");
+  CSR_REQUIRE(n > depth, "trip count must exceed the pipeline depth M_r");
+}
+
+}  // namespace
+
+LoopProgram retimed_program(const DataFlowGraph& g, const Retiming& r, std::int64_t n) {
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  require_preconditions(g, norm, n, depth);
+  const RetimedBody body = retimed_body(g, norm);
+
+  LoopProgram program;
+  program.name = g.name() + " (retimed)";
+  program.n = n;
+
+  // Prologue: run the body for virtual indices 1−M..0, keeping statements
+  // whose target i + r(v) lands in 1..n.
+  for (std::int64_t i = 1 - depth; i <= 0; ++i) {
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      const std::int64_t target = i + norm[body.order[k]];
+      if (target >= 1) {
+        seg.instructions.push_back(Instruction::statement(body.stmts[k]));
+      }
+    }
+    if (!seg.instructions.empty()) program.segments.push_back(std::move(seg));
+  }
+
+  // Steady state: every statement, for i = 1..n−M.
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = n - depth;
+  loop.step = 1;
+  for (const Statement& s : body.stmts) {
+    loop.instructions.push_back(Instruction::statement(s));
+  }
+  program.segments.push_back(std::move(loop));
+
+  // Epilogue: drain for i = n−M+1..n, keeping targets ≤ n.
+  for (std::int64_t i = n - depth + 1; i <= n; ++i) {
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      const std::int64_t target = i + norm[body.order[k]];
+      if (target <= n) {
+        seg.instructions.push_back(Instruction::statement(body.stmts[k]));
+      }
+    }
+    if (!seg.instructions.empty()) program.segments.push_back(std::move(seg));
+  }
+  return program;
+}
+
+LoopProgram retimed_csr_program(const DataFlowGraph& g, const Retiming& r,
+                                std::int64_t n) {
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  require_preconditions(g, norm, n, depth);
+  const RetimedBody body = retimed_body(g, norm);
+  const RegisterPlan plan(norm.distinct_values());
+
+  LoopProgram program;
+  program.name = g.name() + " (retimed, CSR)";
+  program.n = n;
+
+  // Setups: register of retiming value r starts at M_r − r, so its guard
+  // window 0 ≥ p > −n opens after M_r − r trips and admits exactly n
+  // executions.
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  for (const int value : plan.classes_desc()) {
+    setup.instructions.push_back(Instruction::setup(plan.reg_for(value), depth - value));
+  }
+  program.segments.push_back(std::move(setup));
+
+  // One loop for fill + steady state + drain: n + M_r trips.
+  LoopSegment loop;
+  loop.begin = 1 - depth;
+  loop.end = n;
+  loop.step = 1;
+  for (std::size_t k = 0; k < body.order.size(); ++k) {
+    const int value = norm[body.order[k]];
+    loop.instructions.push_back(Instruction::statement(body.stmts[k], plan.reg_for(value)));
+  }
+  for (const std::string& reg : plan.names()) {
+    loop.instructions.push_back(Instruction::decrement(reg));
+  }
+  program.segments.push_back(std::move(loop));
+  return program;
+}
+
+}  // namespace csr

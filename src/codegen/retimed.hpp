@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file retimed.hpp
+/// Code generation for software-pipelined (retimed) loops, in both shapes:
+///
+///   * the *expanded* form of Figure 3(a): prologue + new loop body +
+///     epilogue, with code size L + Σr(v) + Σ(M_r − r(v));
+///   * the *CSR* form of Figure 3(b): only the loop body, every statement
+///     guarded by the conditional register of its retiming value, one setup
+///     and one decrement per register, running for n + M_r trips.
+///
+/// The retiming is normalized internally. Both programs compute exactly
+/// v[1..n] for every node v (Theorems 4.1/4.2).
+
+#include "dfg/graph.hpp"
+#include "loopir/program.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// Expanded software-pipelined program. Requires a legal retiming and
+/// n > M_r (the pipeline must fill and drain within the trip count).
+[[nodiscard]] LoopProgram retimed_program(const DataFlowGraph& g, const Retiming& r,
+                                          std::int64_t n);
+
+/// CSR software-pipelined program (prologue/epilogue removed with |N_r|
+/// conditional registers). Same requirements.
+[[nodiscard]] LoopProgram retimed_csr_program(const DataFlowGraph& g, const Retiming& r,
+                                              std::int64_t n);
+
+}  // namespace csr

@@ -1,0 +1,144 @@
+#include "codegen/retimed_unfolded.hpp"
+
+#include "codegen/registers.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+struct Body {
+  std::vector<NodeId> order;     // zero-delay topo order of the retimed graph
+  std::vector<Statement> stmts;  // retimed statements, parallel to `order`
+};
+
+Body retimed_body(const DataFlowGraph& g, const Retiming& r) {
+  const DataFlowGraph retimed = apply_retiming(g, r);
+  const auto order = zero_delay_topological_order(retimed);
+  CSR_ENSURE(order.has_value(), "retimed graph has a zero-delay cycle");
+  const auto base = node_statements(g);
+  Body body;
+  body.order = *order;
+  for (const NodeId v : *order) {
+    body.stmts.push_back(shifted(base[v], r[v]));
+  }
+  return body;
+}
+
+}  // namespace
+
+LoopProgram retimed_unfolded_program(const DataFlowGraph& g, const Retiming& r,
+                                     int factor, std::int64_t n) {
+  CSR_REQUIRE(factor >= 1, "unfolding factor must be >= 1");
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  CSR_REQUIRE(is_legal_retiming(g, norm), "retiming is not legal for this graph");
+  CSR_REQUIRE(n > depth, "trip count must exceed the pipeline depth M_r");
+  const Body body = retimed_body(g, norm);
+
+  LoopProgram program;
+  program.name = g.name() + " (retimed+unfolded x" + std::to_string(factor) + ")";
+  program.n = n;
+
+  // Retiming prologue, identical to the plain retimed program.
+  for (std::int64_t i = 1 - depth; i <= 0; ++i) {
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      if (i + norm[body.order[k]] >= 1) {
+        seg.instructions.push_back(Instruction::statement(body.stmts[k]));
+      }
+    }
+    if (!seg.instructions.empty()) program.segments.push_back(std::move(seg));
+  }
+
+  // The retimed loop has n − M_r trips; unfold ⌊(n−M_r)/f⌋ of them. Copy j
+  // runs the retimed body for index i + j; same-trip cross-copy
+  // dependencies always flow from a lower copy index (j − d_r(e) ≤ j), so
+  // ascending-j emission is dependency-safe.
+  const std::int64_t new_trips = n - depth;
+  const std::int64_t full = new_trips / factor;
+  if (full >= 1) {
+    LoopSegment loop;
+    loop.begin = 1;
+    loop.end = 1 + (full - 1) * factor;
+    loop.step = factor;
+    for (int j = 0; j < factor; ++j) {
+      for (const Statement& s : body.stmts) {
+        loop.instructions.push_back(Instruction::statement(shifted(s, j)));
+      }
+    }
+    program.segments.push_back(std::move(loop));
+  }
+
+  // Remainder of the unfolding merged with the retiming epilogue: run the
+  // retimed body straight-line for i = f·⌊(n−M)/f⌋+1 .. n, keeping targets
+  // ≤ n.
+  for (std::int64_t i = full * factor + 1; i <= n; ++i) {
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      if (i + norm[body.order[k]] <= n) {
+        seg.instructions.push_back(Instruction::statement(body.stmts[k]));
+      }
+    }
+    if (!seg.instructions.empty()) program.segments.push_back(std::move(seg));
+  }
+  return program;
+}
+
+LoopProgram retimed_unfolded_csr_program(const DataFlowGraph& g, const Retiming& r,
+                                         int factor, std::int64_t n) {
+  CSR_REQUIRE(factor >= 1, "unfolding factor must be >= 1");
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  CSR_REQUIRE(is_legal_retiming(g, norm), "retiming is not legal for this graph");
+  CSR_REQUIRE(n > depth, "trip count must exceed the pipeline depth M_r");
+  const Body body = retimed_body(g, norm);
+  const RegisterPlan plan(norm.distinct_values());
+
+  LoopProgram program;
+  program.name =
+      g.name() + " (retimed+unfolded x" + std::to_string(factor) + ", CSR)";
+  program.n = n;
+
+  // Q_head dummy slots align the pipeline fill to a whole number of
+  // unfolded trips (Theorem 4.6).
+  const int q_head = (factor - depth % factor) % factor;
+  const std::int64_t i0 = 1 - depth - q_head;
+
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  for (const int value : plan.classes_desc()) {
+    setup.instructions.push_back(
+        Instruction::setup(plan.reg_for(value), depth - value + q_head));
+  }
+  program.segments.push_back(std::move(setup));
+
+  // Trips must cover targets up to n for r(v) = 0 nodes:
+  // ⌈(n + M_r + Q_head)/f⌉ trips in total.
+  const std::int64_t trips = (n + depth + q_head + factor - 1) / factor;
+  LoopSegment loop;
+  loop.begin = i0;
+  loop.end = i0 + (trips - 1) * factor;
+  loop.step = factor;
+  for (int j = 0; j < factor; ++j) {
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      const int value = norm[body.order[k]];
+      loop.instructions.push_back(
+          Instruction::statement(shifted(body.stmts[k], j), plan.reg_for(value)));
+    }
+    // Decrement every register once per copy: register of class r then holds
+    // 1 − (i + j + r) = 1 − target at each guarded statement.
+    for (const std::string& reg : plan.names()) {
+      loop.instructions.push_back(Instruction::decrement(reg));
+    }
+  }
+  program.segments.push_back(std::move(loop));
+  return program;
+}
+
+}  // namespace csr

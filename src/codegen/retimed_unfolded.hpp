@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file retimed_unfolded.hpp
+/// Code generation for loops that are retimed FIRST and THEN unfolded — the
+/// order the paper recommends (Theorems 4.5/4.7: smaller code, and the CSR
+/// form needs no more registers than the retimed loop alone).
+///
+/// Expanded shape: retiming prologue, unfolded steady-state loop over the
+/// retimed body (⌊(n−M_r)/f⌋ trips), then the remainder iterations merged
+/// with the retiming epilogue as straight-line code.
+///
+/// CSR shape (Theorem 4.6/4.7): one loop of ⌈(n+M_r+Q_head)/f⌉ trips with
+/// Q_head = (f − M_r mod f) mod f leading dummy slots; |N_r| conditional
+/// registers, each set to (M_r − r) + Q_head and decremented after every
+/// copy, so each register again holds 1 − (target iteration) at issue time
+/// and the window 0 ≥ p > −n keeps exactly iterations 1..n alive.
+
+#include "dfg/graph.hpp"
+#include "loopir/program.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// Expanded retimed-then-unfolded program. Requires a legal retiming,
+/// factor ≥ 1 and n > M_r.
+[[nodiscard]] LoopProgram retimed_unfolded_program(const DataFlowGraph& g,
+                                                   const Retiming& r, int factor,
+                                                   std::int64_t n);
+
+/// CSR retimed-then-unfolded program — prologue, epilogue and remainder all
+/// removed with |N_r| registers.
+[[nodiscard]] LoopProgram retimed_unfolded_csr_program(const DataFlowGraph& g,
+                                                       const Retiming& r, int factor,
+                                                       std::int64_t n);
+
+}  // namespace csr

@@ -1,0 +1,54 @@
+#include "codegen/statements.hpp"
+
+#include "support/check.hpp"
+
+namespace csr {
+
+Statement node_statement(const DataFlowGraph& g, NodeId v) {
+  const Node& node = g.node(v);
+  Statement s;
+  s.array = node.name;
+  s.offset = 0;
+  s.op_seed = op_seed_for(node.name);
+  const char first = node.name.front();
+  const bool is_mul = first == 'M' || first == 'm';
+  // GCC 12 raises a spurious -Wrestrict on short-literal assignment into a
+  // struct member that is NRVO-returned (GCC bug 105651).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+  s.op_text = is_mul ? "*" : "+";
+#pragma GCC diagnostic pop
+  for (const EdgeId e : g.in_edges(v)) {
+    const Edge& edge = g.edge(e);
+    s.sources.push_back(ArrayRef{g.node(edge.from).name, -edge.delay});
+  }
+  return s;
+}
+
+std::vector<Statement> node_statements(const DataFlowGraph& g) {
+  std::vector<Statement> out;
+  out.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.push_back(node_statement(g, v));
+  }
+  return out;
+}
+
+Statement shifted(Statement s, std::int64_t delta) {
+  s.offset += delta;
+  for (ArrayRef& ref : s.sources) {
+    ref.offset += delta;
+  }
+  return s;
+}
+
+std::vector<std::string> array_names(const DataFlowGraph& g) {
+  std::vector<std::string> names;
+  names.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    names.push_back(g.node(v).name);
+  }
+  return names;
+}
+
+}  // namespace csr

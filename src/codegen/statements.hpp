@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file statements.hpp
+/// Mapping DFG nodes to loop-IR statements. Node v with in-edges
+/// e_k = (u_k → v, d_k) becomes the statement
+///
+///     v[i] = u_0[i − d_0] op u_1[i − d_1] op ...
+///
+/// in *original iteration space*. Every loop transformation in this library
+/// is then a pure re-indexing: copy `c` of the statement (from retiming
+/// and/or unfolding) is the same statement with all offsets shifted by +c,
+/// so the value written to v[I] is computed from exactly the same cells no
+/// matter how the loop was restructured — which is what the equivalence
+/// tests verify.
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// The statement of node `v` in original iteration space (target offset 0).
+/// Operands follow in-edge id order for determinism. The printing operator
+/// is "*" for nodes whose name starts with 'M'/'m' (the DSP benchmark
+/// convention for multipliers) and "+" otherwise.
+[[nodiscard]] Statement node_statement(const DataFlowGraph& g, NodeId v);
+
+/// All node statements, indexed by NodeId.
+[[nodiscard]] std::vector<Statement> node_statements(const DataFlowGraph& g);
+
+/// Shifts the target and every source offset by `delta` — the statement for
+/// iteration i+delta expressed at loop index i.
+[[nodiscard]] Statement shifted(Statement s, std::int64_t delta);
+
+/// Array names of all nodes (the observable state of programs over `g`).
+[[nodiscard]] std::vector<std::string> array_names(const DataFlowGraph& g);
+
+}  // namespace csr

@@ -1,0 +1,94 @@
+#include "codegen/unfolded.hpp"
+
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+std::vector<NodeId> body_order(const DataFlowGraph& g) {
+  const auto order = zero_delay_topological_order(g);
+  if (!order) throw InvalidArgument("cannot generate code: zero-delay cycle present");
+  return *order;
+}
+
+}  // namespace
+
+LoopProgram unfolded_program(const DataFlowGraph& g, int factor, std::int64_t n) {
+  CSR_REQUIRE(factor >= 1, "unfolding factor must be >= 1");
+  CSR_REQUIRE(n >= 1, "trip count must be >= 1");
+  const auto order = body_order(g);
+  const auto stmts = node_statements(g);
+
+  LoopProgram program;
+  program.name = g.name() + " (unfolded x" + std::to_string(factor) + ")";
+  program.n = n;
+
+  const std::int64_t full_trips = n / factor;
+
+  // Unfolded body: copy j computes iteration i + j. Copies are emitted in
+  // ascending j; intra-copy order is topological, and any same-trip
+  // cross-copy dependence flows from a smaller copy index (j − d ≤ j), so
+  // the emission order respects all dependencies.
+  if (full_trips >= 1) {
+    LoopSegment loop;
+    loop.begin = 1;
+    loop.end = 1 + (full_trips - 1) * factor;
+    loop.step = factor;
+    for (int j = 0; j < factor; ++j) {
+      for (const NodeId v : order) {
+        loop.instructions.push_back(Instruction::statement(shifted(stmts[v], j)));
+      }
+    }
+    program.segments.push_back(std::move(loop));
+  }
+
+  // Remainder: the last n mod f iterations, straight-line.
+  for (std::int64_t i = full_trips * factor + 1; i <= n; ++i) {
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (const NodeId v : order) {
+      seg.instructions.push_back(Instruction::statement(stmts[v]));
+    }
+    program.segments.push_back(std::move(seg));
+  }
+  return program;
+}
+
+LoopProgram unfolded_csr_program(const DataFlowGraph& g, int factor, std::int64_t n) {
+  CSR_REQUIRE(factor >= 1, "unfolding factor must be >= 1");
+  CSR_REQUIRE(n >= 1, "trip count must be >= 1");
+  const auto order = body_order(g);
+  const auto stmts = node_statements(g);
+
+  LoopProgram program;
+  program.name = g.name() + " (unfolded x" + std::to_string(factor) + ", CSR)";
+  program.n = n;
+
+  // Register p1 is decremented after every copy, so copy j of trip t sees
+  // p1 = −((t−1)·f + j) = 1 − (iteration index it computes); the guard
+  // window 0 ≥ p1 > −n disables exactly the copies past iteration n.
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 0));
+  program.segments.push_back(std::move(setup));
+
+  const std::int64_t trips = (n + factor - 1) / factor;
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 1 + (trips - 1) * factor;
+  loop.step = factor;
+  for (int j = 0; j < factor; ++j) {
+    for (const NodeId v : order) {
+      loop.instructions.push_back(Instruction::statement(shifted(stmts[v], j), "p1"));
+    }
+    loop.instructions.push_back(Instruction::decrement("p1"));
+  }
+  program.segments.push_back(std::move(loop));
+  return program;
+}
+
+}  // namespace csr

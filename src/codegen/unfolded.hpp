@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file unfolded.hpp
+/// Code generation for unfolded (unrolled) loops:
+///
+///   * the *expanded* form of Figure 5(a): f statement copies per trip for
+///     ⌊n/f⌋ trips plus n mod f straight-line remainder iterations;
+///   * the *CSR* form (Figure 5(b), corrected): only the unfolded body, one
+///     conditional register guarding every copy, decremented after each
+///     copy, running for ⌈n/f⌉ trips. The paper's figure decrements once
+///     per trip by f, which mis-orders the guard window when n mod f ≥ 2;
+///     the per-copy decrement used here (and implied by the paper's own
+///     Table 2 arithmetic) is correct for every n.
+
+#include "dfg/graph.hpp"
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// Expanded unfolded program. Requires a legal graph, factor ≥ 1, n ≥ 1.
+[[nodiscard]] LoopProgram unfolded_program(const DataFlowGraph& g, int factor,
+                                           std::int64_t n);
+
+/// CSR unfolded program — remainder iterations removed with one register.
+[[nodiscard]] LoopProgram unfolded_csr_program(const DataFlowGraph& g, int factor,
+                                               std::int64_t n);
+
+}  // namespace csr

@@ -1,0 +1,172 @@
+#include "codegen/unfolded_retimed.hpp"
+
+#include "codegen/registers.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+struct UnfoldedBody {
+  /// Unfolded node ids in a zero-delay topological order of the retimed
+  /// unfolded graph (cross-copy intra-trip dependencies included).
+  std::vector<NodeId> order;
+  /// Statement of each unfolded node, parallel to `order`: the original
+  /// node's statement shifted by its iteration offset c = j + f·r.
+  std::vector<Statement> stmts;
+  /// Iteration offsets, parallel to `order`.
+  std::vector<std::int64_t> offsets;
+};
+
+UnfoldedBody unfolded_retimed_body(const Unfolding& unfolding, const Retiming& r) {
+  const DataFlowGraph retimed = apply_retiming(unfolding.graph(), r);
+  const auto order = zero_delay_topological_order(retimed);
+  CSR_ENSURE(order.has_value(), "retimed unfolded graph has a zero-delay cycle");
+  const auto base = node_statements(unfolding.original());
+  const int f = unfolding.factor();
+
+  UnfoldedBody body;
+  body.order = *order;
+  for (const NodeId w : *order) {
+    const NodeId v = unfolding.original_node(w);
+    const std::int64_t offset = unfolding.copy_index(w) + static_cast<std::int64_t>(f) * r[w];
+    body.offsets.push_back(offset);
+    body.stmts.push_back(shifted(base[v], offset));
+  }
+  return body;
+}
+
+}  // namespace
+
+LoopProgram unfolded_retimed_program(const Unfolding& unfolding,
+                                     const Retiming& r_unfolded, std::int64_t n) {
+  const int f = unfolding.factor();
+  const Retiming norm = r_unfolded.normalized();
+  const int depth = norm.max_value();
+  CSR_REQUIRE(is_legal_retiming(unfolding.graph(), norm),
+              "retiming is not legal for the unfolded graph");
+  const std::int64_t unfolded_trips = n / f;
+  CSR_REQUIRE(unfolded_trips > depth,
+              "need more than M'_r full unfolded trips (⌊n/f⌋ > M'_r)");
+  const UnfoldedBody body = unfolded_retimed_body(unfolding, norm);
+  const DataFlowGraph& original = unfolding.original();
+
+  LoopProgram program;
+  program.name =
+      original.name() + " (unfolded x" + std::to_string(f) + "+retimed)";
+  program.n = n;
+
+  const std::int64_t covered = unfolded_trips * f;  // iterations handled by the loop
+
+  // Prologue: M'_r virtual unfolded trips before the loop; keep statements
+  // whose target lands in 1..covered.
+  for (std::int64_t t = 1 - depth; t <= 0; ++t) {
+    const std::int64_t i = 1 + (t - 1) * f;
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      const std::int64_t target = i + body.offsets[k];
+      if (target >= 1) {
+        seg.instructions.push_back(Instruction::statement(body.stmts[k]));
+      }
+    }
+    if (!seg.instructions.empty()) program.segments.push_back(std::move(seg));
+  }
+
+  // Steady state: unfolded_trips − M'_r trips.
+  const std::int64_t steady = unfolded_trips - depth;
+  if (steady >= 1) {
+    LoopSegment loop;
+    loop.begin = 1;
+    loop.end = 1 + (steady - 1) * f;
+    loop.step = f;
+    for (const Statement& s : body.stmts) {
+      loop.instructions.push_back(Instruction::statement(s));
+    }
+    program.segments.push_back(std::move(loop));
+  }
+
+  // Epilogue: M'_r draining trips; keep targets ≤ covered.
+  for (std::int64_t t = steady + 1; t <= unfolded_trips; ++t) {
+    const std::int64_t i = 1 + (t - 1) * f;
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (std::size_t k = 0; k < body.order.size(); ++k) {
+      const std::int64_t target = i + body.offsets[k];
+      if (target <= covered) {
+        seg.instructions.push_back(Instruction::statement(body.stmts[k]));
+      }
+    }
+    if (!seg.instructions.empty()) program.segments.push_back(std::move(seg));
+  }
+
+  // Remainder: iterations covered+1..n of the original loop, straight-line.
+  const auto original_order = zero_delay_topological_order(original);
+  CSR_ENSURE(original_order.has_value(), "original graph has a zero-delay cycle");
+  const auto original_stmts = node_statements(original);
+  for (std::int64_t i = covered + 1; i <= n; ++i) {
+    LoopSegment seg;
+    seg.begin = seg.end = i;
+    for (const NodeId v : *original_order) {
+      seg.instructions.push_back(Instruction::statement(original_stmts[v]));
+    }
+    program.segments.push_back(std::move(seg));
+  }
+  return program;
+}
+
+LoopProgram unfolded_retimed_csr_program(const Unfolding& unfolding,
+                                         const Retiming& r_unfolded, std::int64_t n) {
+  const int f = unfolding.factor();
+  const Retiming norm = r_unfolded.normalized();
+  const int depth = norm.max_value();
+  CSR_REQUIRE(is_legal_retiming(unfolding.graph(), norm),
+              "retiming is not legal for the unfolded graph");
+  CSR_REQUIRE(n / f > depth, "need more than M'_r full unfolded trips (⌊n/f⌋ > M'_r)");
+  const UnfoldedBody body = unfolded_retimed_body(unfolding, norm);
+
+  LoopProgram program;
+  program.name = unfolding.original().name() + " (unfolded x" + std::to_string(f) +
+                 "+retimed, CSR)";
+  program.n = n;
+
+  // Guard classes: the distinct iteration offsets. Register of offset c is
+  // initialized to f·M'_r − c and decremented by f per trip, so at trip t
+  // (loop index i = i0 + (t−1)·f with i0 = 1 − f·M'_r) it holds
+  // 1 − (i + c) = 1 − target.
+  std::vector<int> classes;
+  classes.reserve(body.offsets.size());
+  for (const std::int64_t c : body.offsets) {
+    classes.push_back(static_cast<int>(c));
+  }
+  const RegisterPlan plan(classes);
+
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  for (const int c : plan.classes_desc()) {
+    setup.instructions.push_back(
+        Instruction::setup(plan.reg_for(c), static_cast<std::int64_t>(f) * depth - c));
+  }
+  program.segments.push_back(std::move(setup));
+
+  const std::int64_t i0 = 1 - static_cast<std::int64_t>(f) * depth;
+  const std::int64_t trips = depth + (n + f - 1) / f;
+  LoopSegment loop;
+  loop.begin = i0;
+  loop.end = i0 + (trips - 1) * f;
+  loop.step = f;
+  for (std::size_t k = 0; k < body.order.size(); ++k) {
+    loop.instructions.push_back(Instruction::statement(
+        body.stmts[k], plan.reg_for(static_cast<int>(body.offsets[k]))));
+  }
+  for (const std::string& reg : plan.names()) {
+    loop.instructions.push_back(Instruction::decrement(reg, f));
+  }
+  program.segments.push_back(std::move(loop));
+  return program;
+}
+
+}  // namespace csr

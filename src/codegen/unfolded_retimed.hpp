@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file unfolded_retimed.hpp
+/// Code generation for loops that are unfolded FIRST and THEN retimed — the
+/// order Theorem 4.4 shows to be inferior in code size. The retiming is a
+/// function on the *unfolded* graph, so different copies of the same node
+/// may be pipelined to different depths; one unit of retiming on the
+/// unfolded graph shifts a copy by f original iterations.
+///
+/// Expanded shape (Theorem 4.4): prologue and epilogue of the retimed
+/// unfolded loop — each M'_r trips of f·L statements — around the unfolded
+/// body, plus the n mod f remainder iterations of the *original* loop,
+/// giving (M'_r + 1)·f·L + Q_f.
+///
+/// CSR shape: a single loop of M'_r + ⌈n/f⌉ trips. A statement for copy j
+/// of node v retimed by r computes iteration i + j + f·r, so its guard
+/// class is the *iteration offset* c = j + f·r; one conditional register per
+/// distinct offset, initialized to f·M'_r − c and decremented by f once per
+/// trip, again holds 1 − target at issue time. Because copies of one node
+/// can have distinct offsets, this form may need more registers than the
+/// retimed-then-unfolded CSR form — the register-count asymmetry the paper
+/// points out in Section 3.4.
+
+#include "dfg/graph.hpp"
+#include "loopir/program.hpp"
+#include "retiming/retiming.hpp"
+#include "unfolding/unfold.hpp"
+
+namespace csr {
+
+/// Expanded unfolded-then-retimed program. `r_unfolded` is a retiming of
+/// `unfolding.graph()`. Requires ⌊n/f⌋ > M'_r.
+[[nodiscard]] LoopProgram unfolded_retimed_program(const Unfolding& unfolding,
+                                                   const Retiming& r_unfolded,
+                                                   std::int64_t n);
+
+/// CSR unfolded-then-retimed program (everything outside the loop removed).
+[[nodiscard]] LoopProgram unfolded_retimed_csr_program(const Unfolding& unfolding,
+                                                       const Retiming& r_unfolded,
+                                                       std::int64_t n);
+
+}  // namespace csr

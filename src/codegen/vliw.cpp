@@ -1,0 +1,168 @@
+#include "codegen/vliw.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "codegen/registers.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "support/check.hpp"
+
+namespace csr {
+
+VliwKernel pack_vliw_kernel(const DataFlowGraph& g, const Retiming& r, std::int64_t n,
+                            const ResourceModel& model, const VliwOptions& options) {
+  CSR_REQUIRE(g.unit_time(), "VLIW packing requires unit-time nodes");
+  CSR_REQUIRE(options.scalar_slots >= 1, "need at least one scalar slot per word");
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  CSR_REQUIRE(is_legal_retiming(g, norm), "retiming is not legal for this graph");
+  CSR_REQUIRE(n > depth, "trip count must exceed the pipeline depth M_r");
+
+  // Schedule the retimed body under the machine's functional units; each
+  // control step becomes one instruction word.
+  const DataFlowGraph retimed = apply_retiming(g, norm);
+  const StaticSchedule schedule = list_schedule(retimed, model);
+  const int body_words = schedule.length(retimed);
+
+  const RegisterPlan plan(norm.distinct_values());
+  const auto base = node_statements(g);
+
+  VliwKernel kernel;
+  kernel.words.resize(static_cast<std::size_t>(body_words));
+
+  // Guarded statements go into the word of their control step.
+  std::map<std::string, int> last_guard_word;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string& reg = plan.reg_for(norm[v]);
+    const int word = schedule.start(v);
+    kernel.words[static_cast<std::size_t>(word)].statements.push_back(
+        Instruction::statement(shifted(base[v], norm[v]), reg));
+    auto [it, inserted] = last_guard_word.try_emplace(reg, word);
+    if (!inserted) it->second = std::max(it->second, word);
+  }
+
+  // Decrements: a register may be decremented in the same word as its last
+  // guarded statement (guard tests see pre-update values within a word) but
+  // never earlier. Fill free scalar slots greedily; extend the kernel when
+  // every eligible word is full.
+  for (const std::string& reg : plan.names()) {
+    const int earliest = last_guard_word.count(reg) ? last_guard_word[reg] : 0;
+    int word = earliest;
+    while (word < static_cast<int>(kernel.words.size()) &&
+           static_cast<int>(kernel.words[static_cast<std::size_t>(word)].register_ops
+                                .size()) >= options.scalar_slots) {
+      ++word;
+    }
+    if (word == static_cast<int>(kernel.words.size())) {
+      kernel.words.emplace_back();
+    }
+    kernel.words[static_cast<std::size_t>(word)].register_ops.push_back(
+        Instruction::decrement(reg));
+  }
+  kernel.words_per_trip = static_cast<int>(kernel.words.size());
+
+  // Utilization: filled slots over total issue capacity.
+  std::int64_t capacity_per_word = options.scalar_slots;
+  {
+    std::map<std::string, int> classes;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      classes[model.node_class(g, v)] = model.units(model.node_class(g, v));
+    }
+    for (const auto& [cls, units] : classes) capacity_per_word += units;
+  }
+  std::int64_t filled = 0;
+  for (const VliwWord& word : kernel.words) {
+    filled += static_cast<std::int64_t>(word.statements.size() + word.register_ops.size());
+  }
+  kernel.utilization = static_cast<double>(filled) /
+                       static_cast<double>(capacity_per_word * kernel.words_per_trip);
+
+  // Executable form: flatten words in order — statements first, register
+  // updates after, preserving the parallel-issue semantics sequentially.
+  kernel.program.name = g.name() + " (VLIW CSR kernel)";
+  kernel.program.n = n;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  for (const int value : plan.classes_desc()) {
+    setup.instructions.push_back(Instruction::setup(plan.reg_for(value), depth - value));
+  }
+  kernel.program.segments.push_back(std::move(setup));
+
+  LoopSegment loop;
+  loop.begin = 1 - depth;
+  loop.end = n;
+  loop.step = 1;
+  for (const VliwWord& word : kernel.words) {
+    for (const Instruction& instr : word.statements) loop.instructions.push_back(instr);
+    for (const Instruction& instr : word.register_ops) loop.instructions.push_back(instr);
+  }
+  kernel.program.segments.push_back(std::move(loop));
+  return kernel;
+}
+
+namespace {
+
+/// Words needed to issue a subset of the retimed body's statements under
+/// the model: greedy ASAP over the zero-delay edges *within the subset*,
+/// with per-class word capacity. Unit-time nodes, one word per step.
+std::int64_t stage_words(const DataFlowGraph& retimed, const ResourceModel& model,
+                         const std::vector<bool>& in_stage) {
+  const auto order = zero_delay_topological_order(retimed);
+  CSR_ENSURE(order.has_value(), "retimed graph has a zero-delay cycle");
+  std::map<std::pair<std::string, int>, int> used;
+  std::vector<int> word(retimed.node_count(), 0);
+  std::int64_t total = 0;
+  for (const NodeId v : *order) {
+    if (!in_stage[v]) continue;
+    int earliest = 0;
+    for (const EdgeId e : retimed.in_edges(v)) {
+      const Edge& edge = retimed.edge(e);
+      if (edge.delay != 0 || !in_stage[edge.from]) continue;
+      earliest = std::max(earliest, word[edge.from] + 1);
+    }
+    const std::string cls = model.node_class(retimed, v);
+    const int cap = model.units(cls);
+    while (used[{cls, earliest}] >= cap) ++earliest;
+    ++used[{cls, earliest}];
+    word[v] = earliest;
+    total = std::max<std::int64_t>(total, earliest + 1);
+  }
+  return total;
+}
+
+}  // namespace
+
+VliwCycleAccounting vliw_cycle_accounting(const DataFlowGraph& g, const Retiming& r,
+                                          std::int64_t n, const ResourceModel& model,
+                                          const VliwOptions& options) {
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  const VliwKernel kernel = pack_vliw_kernel(g, norm, n, model, options);
+  const DataFlowGraph retimed = apply_retiming(g, norm);
+
+  VliwCycleAccounting acct;
+  acct.kernel_words = kernel.words_per_trip;
+  // Prologue stage k (virtual index i = 1−M..0) issues nodes with
+  // i + r(v) ≥ 1; epilogue stage at i = n−M+1+k keeps targets ≤ n.
+  for (int k = 0; k < depth; ++k) {
+    std::vector<bool> pro(g.node_count(), false);
+    std::vector<bool> epi(g.node_count(), false);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if ((1 - depth + k) + norm[v] >= 1) pro[v] = true;
+      if (norm[v] <= depth - 1 - k) epi[v] = true;
+    }
+    acct.prologue_words += stage_words(retimed, model, pro);
+    acct.epilogue_words += stage_words(retimed, model, epi);
+  }
+  acct.expanded_cycles =
+      acct.prologue_words + (n - depth) * acct.kernel_words + acct.epilogue_words;
+  acct.csr_cycles = (n + depth) * acct.kernel_words;
+  acct.overhead = static_cast<double>(acct.csr_cycles) /
+                      static_cast<double>(acct.expanded_cycles) -
+                  1.0;
+  return acct;
+}
+
+}  // namespace csr

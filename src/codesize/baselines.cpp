@@ -1,0 +1,52 @@
+#include "codesize/baselines.hpp"
+
+#include "codesize/model.hpp"
+#include "support/check.hpp"
+
+namespace csr {
+
+StageSizes stage_sizes(const DataFlowGraph& g, const Retiming& r) {
+  CSR_REQUIRE(r.node_count() == g.node_count(), "retiming does not match graph");
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  StageSizes sizes;
+  sizes.prologue.assign(static_cast<std::size_t>(depth), 0);
+  sizes.epilogue.assign(static_cast<std::size_t>(depth), 0);
+  for (int k = 0; k < depth; ++k) {
+    const int i_prologue = 1 - depth + k;  // virtual loop index of this stage
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (i_prologue + norm[v] >= 1) {
+        ++sizes.prologue[static_cast<std::size_t>(k)];
+      }
+      // Epilogue stage k runs at i = n − depth + 1 + k; the statement is
+      // kept when its target i + r(v) ≤ n, i.e. r(v) ≤ depth − 1 − k.
+      if (norm[v] <= depth - 1 - k) {
+        ++sizes.epilogue[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return sizes;
+}
+
+std::int64_t collapsed_size(const DataFlowGraph& g, const Retiming& r,
+                            int safe_prologue_stages, int safe_epilogue_stages) {
+  const Retiming norm = r.normalized();
+  const int depth = norm.max_value();
+  CSR_REQUIRE(safe_prologue_stages >= 0 && safe_prologue_stages <= depth,
+              "prologue stage count out of range");
+  CSR_REQUIRE(safe_epilogue_stages >= 0 && safe_epilogue_stages <= depth,
+              "epilogue stage count out of range");
+  const StageSizes sizes = stage_sizes(g, norm);
+  std::int64_t total = original_size(g);
+  // The outermost prologue stages are the first ones (fewest statements);
+  // the outermost epilogue stages are the last ones.
+  for (int k = safe_prologue_stages; k < depth; ++k) {
+    total += sizes.prologue[static_cast<std::size_t>(k)];
+  }
+  for (int k = 0; k < depth - safe_epilogue_stages; ++k) {
+    total += sizes.epilogue[static_cast<std::size_t>(k)];
+  }
+  return total;
+}
+
+}  // namespace csr

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file baselines.hpp
+/// The ad-hoc code-size reduction baseline the paper positions itself
+/// against: prologue/epilogue *collapsing* as shipped for the TMS320C6000
+/// [Granston et al., ref 4]. Collapsing merges a pipeline stage into the
+/// kernel by speculatively executing the kernel one extra trip — legal only
+/// when every statement of that stage is safe to over-execute (no
+/// irreversible side effects, loads cannot fault). How many stages are safe
+/// is program-dependent, which is exactly the paper's criticism: "the
+/// quality of their techniques could not be guaranteed". The CSR framework
+/// removes *all* stages unconditionally with guards instead.
+///
+/// This module models collapsing's code size so benches can compare the
+/// three techniques (none / collapsing / CSR) on equal footing.
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// Per-stage statement counts of the software-pipeline fill and drain.
+/// prologue[k] is the number of statements the (k+1)-th prologue stage
+/// executes (virtual index i = 1 − M_r + k); epilogue[k] likewise for the
+/// drain (i = n − M_r + 1 + k). Sums equal pipeline_expansion(g, r).
+struct StageSizes {
+  std::vector<std::int64_t> prologue;
+  std::vector<std::int64_t> epilogue;
+};
+
+[[nodiscard]] StageSizes stage_sizes(const DataFlowGraph& g, const Retiming& r);
+
+/// Code size after collapsing the given number of prologue/epilogue stages
+/// into speculative kernel trips. Collapsing proceeds from the *outermost*
+/// (smallest) stages inward — the cheap stages are the ones that speculate
+/// safely. Counts: loop body + statements of every non-collapsed stage.
+/// Requires 0 ≤ safe stages ≤ M_r on each side.
+[[nodiscard]] std::int64_t collapsed_size(const DataFlowGraph& g, const Retiming& r,
+                                          int safe_prologue_stages,
+                                          int safe_epilogue_stages);
+
+}  // namespace csr

@@ -1,0 +1,100 @@
+#include "codesize/model.hpp"
+
+#include <set>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+std::int64_t original_size(const DataFlowGraph& g) {
+  return static_cast<std::int64_t>(g.node_count());
+}
+
+std::int64_t registers_required(const Retiming& r) {
+  return static_cast<std::int64_t>(r.distinct_values().size());
+}
+
+std::int64_t registers_required_unfolded(const Unfolding& u, const Retiming& r_unfolded) {
+  const Retiming norm = r_unfolded.normalized();
+  CSR_REQUIRE(norm.node_count() == u.graph().node_count(),
+              "retiming does not match unfolded graph");
+  std::set<std::int64_t> offsets;
+  for (NodeId w = 0; w < u.graph().node_count(); ++w) {
+    offsets.insert(u.copy_index(w) + static_cast<std::int64_t>(u.factor()) * norm[w]);
+  }
+  return static_cast<std::int64_t>(offsets.size());
+}
+
+std::int64_t predicted_retimed_size(const DataFlowGraph& g, const Retiming& r) {
+  const PipelineExpansion census = pipeline_expansion(g, r);
+  return original_size(g) + census.total();
+}
+
+std::int64_t predicted_retimed_csr_size(const DataFlowGraph& g, const Retiming& r) {
+  return original_size(g) + 2 * registers_required(r);
+}
+
+std::int64_t predicted_unfolded_size(const DataFlowGraph& g, int factor, std::int64_t n) {
+  CSR_REQUIRE(factor >= 1 && n >= 1, "factor and n must be positive");
+  return (factor + n % factor) * original_size(g);
+}
+
+std::int64_t predicted_unfolded_csr_size(const DataFlowGraph& g, int factor) {
+  CSR_REQUIRE(factor >= 1, "factor must be positive");
+  return factor * original_size(g) + factor + 1;
+}
+
+std::int64_t predicted_retimed_unfolded_size(const DataFlowGraph& g, const Retiming& r,
+                                             int factor, std::int64_t n) {
+  CSR_REQUIRE(factor >= 1, "factor must be positive");
+  const int depth = r.normalized().max_value();
+  CSR_REQUIRE(n > depth, "trip count must exceed M_r");
+  // Prologue Σr + body f·L + merged remainder/epilogue
+  // (depth + (n−depth) mod f)·L − Σ(M−r)... algebraically:
+  //   total = L·(f + depth + (n − depth) % factor).
+  return original_size(g) * (factor + depth + (n - depth) % factor);
+}
+
+std::int64_t predicted_retimed_unfolded_csr_size(const DataFlowGraph& g,
+                                                 const Retiming& r, int factor) {
+  CSR_REQUIRE(factor >= 1, "factor must be positive");
+  const std::int64_t regs = registers_required(r);
+  return factor * original_size(g) + factor * regs + regs;
+}
+
+std::int64_t predicted_unfolded_retimed_size(const Unfolding& u,
+                                             const Retiming& r_unfolded, std::int64_t n) {
+  const int f = u.factor();
+  const int depth = r_unfolded.normalized().max_value();
+  const std::int64_t l = original_size(u.original());
+  return (static_cast<std::int64_t>(depth) + 1) * l * f + (n % f) * l;
+}
+
+std::int64_t predicted_unfolded_retimed_csr_size(const Unfolding& u,
+                                                 const Retiming& r_unfolded) {
+  const std::int64_t l = original_size(u.original());
+  const std::int64_t regs = registers_required_unfolded(u, r_unfolded);
+  return u.factor() * l + 2 * regs;
+}
+
+std::int64_t paper_unfolded_retimed_size(std::int64_t l_orig, int depth, int factor,
+                                         std::int64_t n) {
+  return (static_cast<std::int64_t>(depth) + 1) * l_orig * factor + (n % factor) * l_orig;
+}
+
+std::int64_t paper_retimed_unfolded_size(std::int64_t l_orig, int depth, int factor,
+                                         std::int64_t n) {
+  return (static_cast<std::int64_t>(depth) + factor) * l_orig + (n % factor) * l_orig;
+}
+
+std::int64_t max_unfolding_factor(std::int64_t l_req, std::int64_t l_orig, int depth) {
+  CSR_REQUIRE(l_orig >= 1, "original body size must be positive");
+  return l_req / l_orig - depth;
+}
+
+std::int64_t max_retiming_depth(std::int64_t l_req, std::int64_t l_orig, int factor) {
+  CSR_REQUIRE(l_orig >= 1, "original body size must be positive");
+  return l_req / l_orig - factor;
+}
+
+}  // namespace csr

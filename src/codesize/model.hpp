@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file model.hpp
+/// Closed-form code-size accounting (Section 4). Code size is measured the
+/// paper's way: the number of instructions — one per node-statement copy,
+/// plus one per conditional-register setup and decrement in CSR forms.
+///
+/// Two families of formulas live here:
+///   * `predicted_*` — exact predictions of the sizes of the programs
+///     src/codegen emits (tests assert predicted == generated.code_size());
+///   * `paper_*` — the formulas printed in Theorems 4.4/4.5, which count the
+///     unfolding remainder as n mod f even after retiming. The generated
+///     programs' remainder is (n − M_r) mod f, so the two differ by at most
+///     one body's worth of statements; EXPERIMENTS.md reports both.
+
+#include <cstdint>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+#include "unfolding/unfold.hpp"
+
+namespace csr {
+
+/// L_orig: one statement per node.
+[[nodiscard]] std::int64_t original_size(const DataFlowGraph& g);
+
+/// Conditional registers needed to fully remove prologue/epilogue
+/// (Theorem 4.3): |N_r|, the number of distinct retiming values.
+[[nodiscard]] std::int64_t registers_required(const Retiming& r);
+
+/// Guard classes (and thus registers) of the unfolded-then-retimed CSR
+/// form: distinct iteration offsets j + f·r(u_j) over the unfolded nodes.
+[[nodiscard]] std::int64_t registers_required_unfolded(const Unfolding& u,
+                                                       const Retiming& r_unfolded);
+
+// --- exact predictions of generated program sizes ------------------------
+
+[[nodiscard]] std::int64_t predicted_retimed_size(const DataFlowGraph& g,
+                                                  const Retiming& r);
+[[nodiscard]] std::int64_t predicted_retimed_csr_size(const DataFlowGraph& g,
+                                                      const Retiming& r);
+[[nodiscard]] std::int64_t predicted_unfolded_size(const DataFlowGraph& g, int factor,
+                                                   std::int64_t n);
+[[nodiscard]] std::int64_t predicted_unfolded_csr_size(const DataFlowGraph& g,
+                                                       int factor);
+[[nodiscard]] std::int64_t predicted_retimed_unfolded_size(const DataFlowGraph& g,
+                                                           const Retiming& r, int factor,
+                                                           std::int64_t n);
+[[nodiscard]] std::int64_t predicted_retimed_unfolded_csr_size(const DataFlowGraph& g,
+                                                               const Retiming& r,
+                                                               int factor);
+[[nodiscard]] std::int64_t predicted_unfolded_retimed_size(const Unfolding& u,
+                                                           const Retiming& r_unfolded,
+                                                           std::int64_t n);
+[[nodiscard]] std::int64_t predicted_unfolded_retimed_csr_size(const Unfolding& u,
+                                                               const Retiming& r_unfolded);
+
+// --- the paper's printed formulas -----------------------------------------
+
+/// Theorem 4.4: S_{f,r} = (M'_r + 1)·L·f + Q_f with Q_f = (n mod f)·L.
+[[nodiscard]] std::int64_t paper_unfolded_retimed_size(std::int64_t l_orig, int depth,
+                                                       int factor, std::int64_t n);
+
+/// Theorem 4.5: S_{r,f} = (M_r + f)·L + Q_f.
+[[nodiscard]] std::int64_t paper_retimed_unfolded_size(std::int64_t l_orig, int depth,
+                                                       int factor, std::int64_t n);
+
+/// Section 4: maximum unfolding factor under a code-size budget,
+/// M_f = ⌊L_req / L_orig⌋ − M_r. Negative means the budget is infeasible.
+[[nodiscard]] std::int64_t max_unfolding_factor(std::int64_t l_req, std::int64_t l_orig,
+                                                int depth);
+
+/// Section 4: maximum retiming depth under a code-size budget,
+/// M_r = ⌊L_req / L_orig⌋ − f.
+[[nodiscard]] std::int64_t max_retiming_depth(std::int64_t l_req, std::int64_t l_orig,
+                                              int factor);
+
+}  // namespace csr

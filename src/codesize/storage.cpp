@@ -1,0 +1,37 @@
+#include "codesize/storage.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+StorageReport storage_requirements(const DataFlowGraph& g) {
+  StorageReport report;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::int64_t deepest = 0;
+    for (const EdgeId e : g.out_edges(v)) {
+      deepest = std::max<std::int64_t>(deepest, g.edge(e).delay);
+    }
+    report.buffer_depth[g.node(v).name] = deepest + 1;
+    report.total_buffer_slots += deepest + 1;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    report.delay_registers += g.edge(e).delay;
+    report.max_dependence_distance =
+        std::max(report.max_dependence_distance, g.edge(e).delay);
+  }
+  return report;
+}
+
+std::int64_t delay_register_delta(const DataFlowGraph& g, const Retiming& r) {
+  CSR_REQUIRE(is_legal_retiming(g, r), "retiming is not legal for this graph");
+  std::int64_t delta = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    delta += r[edge.from] - r[edge.to];
+  }
+  return delta;
+}
+
+}  // namespace csr

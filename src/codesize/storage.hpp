@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file storage.hpp
+/// Data-storage accounting for transformed loops. Code size is the paper's
+/// headline metric, but retiming also moves *delays* (pipeline registers /
+/// live values) around, and unfolding replicates access patterns; the
+/// paper's introduction points to memory-constrained follow-up work [3,10].
+/// This module quantifies the storage side so the trade-off explorer can
+/// report it alongside code size:
+///
+///   * delay registers — Σ_e d(e): values alive across iterations in the
+///     DFG sense;
+///   * per-array buffer depth — how many past iterations of each node's
+///     value must stay addressable: max over out-edges of d(e) (+1 for the
+///     current value).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+struct StorageReport {
+  /// Σ_e d(e) — total inter-iteration values held.
+  std::int64_t delay_registers = 0;
+  /// Largest dependence distance anywhere in the graph.
+  int max_dependence_distance = 0;
+  /// Buffer depth per node/array: 1 + max over out-edges of d(e).
+  std::map<std::string, std::int64_t> buffer_depth;
+  /// Σ of buffer depths — total storage slots a circular-buffer
+  /// implementation needs.
+  std::int64_t total_buffer_slots = 0;
+};
+
+/// Storage requirements of (the loop described by) `g`.
+[[nodiscard]] StorageReport storage_requirements(const DataFlowGraph& g);
+
+/// Change in delay registers caused by a retiming: Σ_e d_r(e) − Σ_e d(e).
+/// Zero on cycles (retiming conserves cycle delays) but generally non-zero
+/// on multi-fanout paths — deep pipelining can *increase* live storage even
+/// as CSR shrinks the code.
+[[nodiscard]] std::int64_t delay_register_delta(const DataFlowGraph& g,
+                                                const Retiming& r);
+
+}  // namespace csr

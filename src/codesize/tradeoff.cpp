@@ -1,0 +1,126 @@
+#include "codesize/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "retiming/opt.hpp"
+#include "support/check.hpp"
+#include "unfolding/unfold.hpp"
+
+namespace csr {
+
+std::string_view to_string(TransformOrder order) {
+  switch (order) {
+    case TransformOrder::kUnfoldOnly:
+      return "unfold-only";
+    case TransformOrder::kRetimeUnfold:
+      return "retime-unfold";
+    case TransformOrder::kUnfoldRetime:
+      return "unfold-retime";
+  }
+  return "?";
+}
+
+std::vector<TradeoffPoint> explore_tradeoffs(const DataFlowGraph& g,
+                                             const TradeoffOptions& options) {
+  CSR_REQUIRE(options.max_factor >= 1, "max_factor must be >= 1");
+  CSR_REQUIRE(options.n >= 1, "n must be >= 1");
+  std::vector<TradeoffPoint> points;
+
+  if (options.include_unfold_only) {
+    for (int f = 1; f <= options.max_factor; ++f) {
+      TradeoffPoint p;
+      p.factor = f;
+      p.order = TransformOrder::kUnfoldOnly;
+      p.depth = 0;
+      p.iteration_period = Rational(cycle_period(unfold(g, f)), f);
+      p.registers = 1;  // the single remainder register
+      p.size_expanded = predicted_unfolded_size(g, f, options.n);
+      p.size_csr = predicted_unfolded_csr_size(g, f);
+      points.push_back(p);
+    }
+  }
+
+  // Retime-first: one retiming of the original graph, reused at every f.
+  const OptimalRetiming base = minimum_period_retiming(g);
+  const DataFlowGraph retimed = apply_retiming(g, base.retiming);
+  for (int f = 1; f <= options.max_factor; ++f) {
+    TradeoffPoint p;
+    p.factor = f;
+    p.order = TransformOrder::kRetimeUnfold;
+    p.depth = base.retiming.max_value();
+    p.iteration_period = Rational(cycle_period(unfold(retimed, f)), f);
+    p.registers = registers_required(base.retiming);
+    p.size_expanded = predicted_retimed_unfolded_size(g, base.retiming, f, options.n);
+    p.size_csr = predicted_retimed_unfolded_csr_size(g, base.retiming, f);
+    points.push_back(p);
+  }
+
+  if (options.include_unfold_first) {
+    for (int f = 1; f <= options.max_factor; ++f) {
+      const Unfolding u(g, f);
+      const OptimalRetiming opt = minimum_period_retiming(u.graph());
+      TradeoffPoint p;
+      p.factor = f;
+      p.order = TransformOrder::kUnfoldRetime;
+      p.depth = opt.retiming.max_value();
+      p.iteration_period =
+          Rational(cycle_period(apply_retiming(u.graph(), opt.retiming)), f);
+      p.registers = registers_required_unfolded(u, opt.retiming);
+      p.size_expanded = predicted_unfolded_retimed_size(u, opt.retiming, options.n);
+      p.size_csr = predicted_unfolded_retimed_csr_size(u, opt.retiming);
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+std::vector<TradeoffPoint> pareto_frontier(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> frontier;
+  for (const TradeoffPoint& candidate : points) {
+    bool dominated = false;
+    for (const TradeoffPoint& other : points) {
+      const bool no_worse = other.iteration_period <= candidate.iteration_period &&
+                            other.size_csr <= candidate.size_csr;
+      const bool strictly_better = other.iteration_period < candidate.iteration_period ||
+                                   other.size_csr < candidate.size_csr;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  // Deduplicate identical (period, size) pairs, keep ascending period.
+  std::sort(frontier.begin(), frontier.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              if (a.iteration_period != b.iteration_period) {
+                return a.iteration_period < b.iteration_period;
+              }
+              return a.size_csr < b.size_csr;
+            });
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const TradeoffPoint& a, const TradeoffPoint& b) {
+                               return a.iteration_period == b.iteration_period &&
+                                      a.size_csr == b.size_csr;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
+std::optional<TradeoffPoint> best_under_budget(const std::vector<TradeoffPoint>& points,
+                                               std::int64_t register_budget,
+                                               std::int64_t size_budget) {
+  std::optional<TradeoffPoint> best;
+  for (const TradeoffPoint& p : points) {
+    if (p.registers > register_budget || p.size_csr > size_budget) continue;
+    if (!best || p.iteration_period < best->iteration_period ||
+        (p.iteration_period == best->iteration_period && p.size_csr < best->size_csr)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace csr

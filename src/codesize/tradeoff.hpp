@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file tradeoff.hpp
+/// The design-space exploration the paper's conclusion calls for: sweep the
+/// unfolding factor, retime for the minimum cycle period, and report for
+/// each point the achieved iteration period, the required conditional
+/// registers, and the code size with and without CSR — in both
+/// transformation orders. Callers can then pick the best performance under
+/// a code-size or register budget, or the smallest code at a target period.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+#include "support/rational.hpp"
+
+namespace csr {
+
+/// How the configuration was produced.
+enum class TransformOrder {
+  kUnfoldOnly,    ///< no retiming: one conditional register, no pipelining
+  kRetimeUnfold,  ///< retime to the minimum period, then unfold (paper's pick)
+  kUnfoldRetime,  ///< unfold, then retime the unfolded graph
+};
+
+[[nodiscard]] std::string_view to_string(TransformOrder order);
+
+/// One explored configuration.
+struct TradeoffPoint {
+  int factor = 1;                 ///< Unfolding factor f.
+  int depth = 0;                  ///< Pipeline depth (M_r of the order used).
+  Rational iteration_period;      ///< Cycle period of the final graph / f.
+  std::int64_t registers = 0;     ///< Conditional registers for the CSR form.
+  std::int64_t size_expanded = 0; ///< Code size without CSR.
+  std::int64_t size_csr = 0;      ///< Code size with CSR.
+  TransformOrder order = TransformOrder::kRetimeUnfold;
+};
+
+struct TradeoffOptions {
+  int max_factor = 4;
+  std::int64_t n = 100;  ///< Trip count used for remainder accounting.
+  /// Explore the inferior unfold-then-retime order too (for comparison
+  /// tables); the retime-first points are always produced.
+  bool include_unfold_first = true;
+  /// Explore pure unfolding (no retiming — the one-register family).
+  bool include_unfold_only = true;
+};
+
+/// Sweeps f = 1..max_factor. Unfold-only points take the graph as is;
+/// retime-first points retime the original graph to its minimum cycle
+/// period (depth-minimal) and then unfold; unfold-first points retime the
+/// unfolded graph. Iteration periods are exact rationals.
+[[nodiscard]] std::vector<TradeoffPoint> explore_tradeoffs(const DataFlowGraph& g,
+                                                           const TradeoffOptions& options);
+
+/// Filters `points` to the Pareto frontier of (iteration_period, size_csr):
+/// a point survives iff no other point is at least as good in both and
+/// strictly better in one.
+[[nodiscard]] std::vector<TradeoffPoint> pareto_frontier(std::vector<TradeoffPoint> points);
+
+/// Best achievable iteration period with at most `register_budget`
+/// conditional registers and code size ≤ `size_budget` (CSR form), or
+/// nullopt when no explored point fits.
+[[nodiscard]] std::optional<TradeoffPoint> best_under_budget(
+    const std::vector<TradeoffPoint>& points, std::int64_t register_budget,
+    std::int64_t size_budget);
+
+}  // namespace csr

@@ -1,0 +1,178 @@
+#include "dfg/algorithms.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+std::optional<std::vector<NodeId>> zero_delay_topological_order(
+    const DataFlowGraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<int> indeg(n, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).delay == 0) ++indeg[g.edge(e).to];
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      if (g.edge(e).delay != 0) continue;
+      if (--indeg[g.edge(e).to] == 0) queue.push_back(g.edge(e).to);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool has_zero_delay_cycle(const DataFlowGraph& g) {
+  return !zero_delay_topological_order(g).has_value();
+}
+
+std::vector<int> zero_delay_path_lengths(const DataFlowGraph& g) {
+  const auto order = zero_delay_topological_order(g);
+  if (!order) throw InvalidArgument("graph has a zero-delay cycle");
+  std::vector<int> finish(g.node_count(), 0);
+  for (const NodeId v : *order) {
+    int start = 0;
+    for (const EdgeId e : g.in_edges(v)) {
+      if (g.edge(e).delay == 0) start = std::max(start, finish[g.edge(e).from]);
+    }
+    finish[v] = start + g.node(v).time;
+  }
+  return finish;
+}
+
+int cycle_period(const DataFlowGraph& g) {
+  if (g.node_count() == 0) return 0;
+  const auto finish = zero_delay_path_lengths(g);
+  return *std::max_element(finish.begin(), finish.end());
+}
+
+std::vector<std::vector<NodeId>> strongly_connected_components(
+    const DataFlowGraph& g) {
+  // Iterative Tarjan to avoid deep recursion on long chains.
+  const std::size_t n = g.node_count();
+  constexpr int kUnvisited = -1;
+  std::vector<int> index(n, kUnvisited);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> components;
+  int next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId v = frame.v;
+      const auto& outs = g.out_edges(v);
+      if (frame.edge_pos < outs.size()) {
+        const NodeId w = g.edge(outs[frame.edge_pos++]).to;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<NodeId> comp;
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+          } while (w != v);
+          components.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool has_cycle(const DataFlowGraph& g) {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).from == g.edge(e).to) return true;
+  }
+  for (const auto& comp : strongly_connected_components(g)) {
+    if (comp.size() > 1) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// DFS cycle enumeration rooted at the smallest node id of each cycle; only
+// nodes with id >= root participate, so each simple cycle is emitted exactly
+// once (at its minimum node). Multi-edges yield distinct cycles.
+void enumerate_from_root(const DataFlowGraph& g, NodeId root,
+                         std::vector<EdgeId>& path, std::vector<bool>& visited,
+                         NodeId current, std::size_t max_cycles,
+                         std::vector<std::vector<EdgeId>>& out) {
+  if (out.size() >= max_cycles) return;
+  for (const EdgeId e : g.out_edges(current)) {
+    if (out.size() >= max_cycles) return;
+    const NodeId next = g.edge(e).to;
+    if (next < root) continue;
+    if (next == root) {
+      path.push_back(e);
+      out.push_back(path);
+      path.pop_back();
+      continue;
+    }
+    if (visited[next]) continue;
+    visited[next] = true;
+    path.push_back(e);
+    enumerate_from_root(g, root, path, visited, next, max_cycles, out);
+    path.pop_back();
+    visited[next] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<EdgeId>> enumerate_simple_cycles(const DataFlowGraph& g,
+                                                         std::size_t max_cycles) {
+  std::vector<std::vector<EdgeId>> out;
+  std::vector<bool> visited(g.node_count(), false);
+  std::vector<EdgeId> path;
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (out.size() >= max_cycles) break;
+    visited[root] = true;
+    enumerate_from_root(g, root, path, visited, root, max_cycles, out);
+    visited[root] = false;
+  }
+  return out;
+}
+
+}  // namespace csr

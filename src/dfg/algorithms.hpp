@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// Graph algorithms over data-flow graphs that the retiming / unfolding /
+/// scheduling layers share: zero-delay topological order, cycle period,
+/// strongly connected components, reachability and simple-cycle enumeration.
+
+#include <optional>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+/// True when the subgraph of zero-delay edges contains a cycle — such a graph
+/// has no legal static schedule.
+[[nodiscard]] bool has_zero_delay_cycle(const DataFlowGraph& g);
+
+/// Topological order of the nodes with respect to zero-delay edges only.
+/// Returns std::nullopt when a zero-delay cycle exists.
+[[nodiscard]] std::optional<std::vector<NodeId>> zero_delay_topological_order(
+    const DataFlowGraph& g);
+
+/// The *cycle period* of Section 2.1: the maximum total computation time of a
+/// path containing no delays (including both endpoints). Equals the minimum
+/// schedule length of one iteration with unlimited resources.
+/// Throws InvalidArgument when the graph has a zero-delay cycle.
+[[nodiscard]] int cycle_period(const DataFlowGraph& g);
+
+/// Per-node earliest completion times over zero-delay edges (ASAP finish),
+/// i.e. length of the longest zero-delay path ending at each node. The
+/// maximum entry equals cycle_period(g).
+/// Throws InvalidArgument when the graph has a zero-delay cycle.
+[[nodiscard]] std::vector<int> zero_delay_path_lengths(const DataFlowGraph& g);
+
+/// Tarjan strongly connected components. Returns one vector of node ids per
+/// component, in reverse topological order of the component DAG.
+[[nodiscard]] std::vector<std::vector<NodeId>> strongly_connected_components(
+    const DataFlowGraph& g);
+
+/// True when the graph contains at least one directed cycle (of any delay).
+[[nodiscard]] bool has_cycle(const DataFlowGraph& g);
+
+/// One simple cycle, as a sequence of edge ids (last edge returns to the
+/// first node). `max_cycles` caps the enumeration to keep worst cases
+/// bounded; enumeration is DFS-based (Johnson-style blocking is overkill for
+/// benchmark-sized graphs but the cap makes pathological graphs safe).
+[[nodiscard]] std::vector<std::vector<EdgeId>> enumerate_simple_cycles(
+    const DataFlowGraph& g, std::size_t max_cycles = 100000);
+
+}  // namespace csr

@@ -1,0 +1,55 @@
+#include "dfg/builders.hpp"
+
+#include "support/check.hpp"
+
+namespace csr {
+
+std::vector<NodeId> add_mac_chain(DataFlowGraph& g, const std::string& prefix,
+                                  int length) {
+  CSR_REQUIRE(length >= 1, "chain length must be >= 1");
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(length));
+  for (int k = 0; k < length; ++k) {
+    const std::string kind = (k % 2 == 0) ? "M" : "A";
+    ids.push_back(g.add_node(kind + prefix + std::to_string(k + 1)));
+  }
+  for (int k = 0; k + 1 < length; ++k) {
+    g.add_edge(ids[static_cast<std::size_t>(k)], ids[static_cast<std::size_t>(k + 1)], 0);
+  }
+  return ids;
+}
+
+std::vector<NodeId> add_reduction_layer(DataFlowGraph& g, const std::string& prefix,
+                                        const std::vector<NodeId>& inputs) {
+  CSR_REQUIRE(!inputs.empty() && inputs.size() % 2 == 0,
+              "reduction layer needs a non-empty even number of inputs");
+  std::vector<NodeId> layer;
+  layer.reserve(inputs.size() / 2);
+  for (std::size_t k = 0; k + 1 < inputs.size(); k += 2) {
+    const NodeId a = g.add_node("A" + prefix + std::to_string(k / 2 + 1));
+    g.add_edge(inputs[k], a, 0);
+    g.add_edge(inputs[k + 1], a, 0);
+    layer.push_back(a);
+  }
+  return layer;
+}
+
+DataFlowGraph single_cycle(const std::string& graph_name,
+                           const std::vector<std::pair<std::string, int>>& nodes,
+                           const std::vector<int>& edge_delays) {
+  CSR_REQUIRE(nodes.size() >= 2, "a cycle needs at least 2 nodes");
+  CSR_REQUIRE(nodes.size() == edge_delays.size(),
+              "need exactly one delay per cycle edge");
+  DataFlowGraph g(graph_name);
+  std::vector<NodeId> ids;
+  ids.reserve(nodes.size());
+  for (const auto& [name, time] : nodes) {
+    ids.push_back(g.add_node(name, time));
+  }
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    g.add_edge(ids[k], ids[(k + 1) % ids.size()], edge_delays[k]);
+  }
+  return g;
+}
+
+}  // namespace csr

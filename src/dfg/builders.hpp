@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file builders.hpp
+/// Structured DFG construction helpers shared by the benchmark
+/// reconstructions, tests and examples: multiply-accumulate chains, single
+/// recursions and balanced reduction trees — the building blocks of DSP
+/// filter graphs. Node names follow the resource-model convention: 'M…'
+/// multipliers, 'A…' adders.
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+/// Appends `length` nodes named M<prefix>1, A<prefix>2, ... (alternating
+/// multiplier/adder) connected by zero-delay edges; returns their ids.
+std::vector<NodeId> add_mac_chain(DataFlowGraph& g, const std::string& prefix,
+                                  int length);
+
+/// Appends a balanced binary reduction layer: one adder per consecutive
+/// pair of `inputs`, connected by zero-delay edges. `inputs` must have even
+/// size. Returns the new layer's ids.
+std::vector<NodeId> add_reduction_layer(DataFlowGraph& g, const std::string& prefix,
+                                        const std::vector<NodeId>& inputs);
+
+/// A single directed cycle with the given node (name, time) pairs and one
+/// delay count per edge (edge k goes from node k to node (k+1) mod size).
+[[nodiscard]] DataFlowGraph single_cycle(
+    const std::string& graph_name,
+    const std::vector<std::pair<std::string, int>>& nodes,
+    const std::vector<int>& edge_delays);
+
+}  // namespace csr

@@ -1,0 +1,34 @@
+#include "dfg/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace csr {
+
+void write_dot(std::ostream& os, const DataFlowGraph& g) {
+  os << "digraph \"" << (g.name().empty() ? "dfg" : g.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const Node& n = g.node(v);
+    os << "  n" << v << " [label=\"" << n.name;
+    if (n.time != 1) os << "\\nt=" << n.time;
+    os << "\"];\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    os << "  n" << edge.from << " -> n" << edge.to;
+    if (edge.delay != 0) {
+      os << " [label=\"" << edge.delay << "D\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const DataFlowGraph& g) {
+  std::ostringstream os;
+  write_dot(os, g);
+  return os.str();
+}
+
+}  // namespace csr

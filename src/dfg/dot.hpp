@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file dot.hpp
+/// Graphviz DOT rendering of data-flow graphs. Delays are drawn as edge
+/// labels (the paper draws them as bar lines); non-unit computation times are
+/// appended to the node label.
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+/// Writes `g` to `os` in DOT syntax.
+void write_dot(std::ostream& os, const DataFlowGraph& g);
+
+/// DOT text for `g`.
+[[nodiscard]] std::string to_dot(const DataFlowGraph& g);
+
+}  // namespace csr

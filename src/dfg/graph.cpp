@@ -1,0 +1,109 @@
+#include "dfg/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace csr {
+
+NodeId DataFlowGraph::add_node(std::string name, int time) {
+  CSR_REQUIRE(!name.empty(), "node name must be non-empty");
+  CSR_REQUIRE(time >= 1, "node computation time must be >= 1");
+  CSR_REQUIRE(!find_node(name).has_value(), "duplicate node name: " + name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), time});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId DataFlowGraph::add_edge(NodeId from, NodeId to, int delay) {
+  CSR_REQUIRE(from < nodes_.size(), "edge source out of range");
+  CSR_REQUIRE(to < nodes_.size(), "edge target out of range");
+  CSR_REQUIRE(delay >= 0, "edge delay must be non-negative");
+  CSR_REQUIRE(from != to || delay >= 1, "self-loop requires delay >= 1");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, delay});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+const Node& DataFlowGraph::node(NodeId id) const {
+  CSR_EXPECT(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const Edge& DataFlowGraph::edge(EdgeId id) const {
+  CSR_EXPECT(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+void DataFlowGraph::set_delay(EdgeId e, int delay) {
+  CSR_EXPECT(e < edges_.size(), "edge id out of range");
+  CSR_REQUIRE(delay >= 0, "edge delay must be non-negative");
+  edges_[e].delay = delay;
+}
+
+void DataFlowGraph::set_time(NodeId v, int time) {
+  CSR_EXPECT(v < nodes_.size(), "node id out of range");
+  CSR_REQUIRE(time >= 1, "node computation time must be >= 1");
+  nodes_[v].time = time;
+}
+
+const std::vector<EdgeId>& DataFlowGraph::out_edges(NodeId v) const {
+  CSR_EXPECT(v < nodes_.size(), "node id out of range");
+  return out_[v];
+}
+
+const std::vector<EdgeId>& DataFlowGraph::in_edges(NodeId v) const {
+  CSR_EXPECT(v < nodes_.size(), "node id out of range");
+  return in_[v];
+}
+
+std::optional<NodeId> DataFlowGraph::find_node(std::string_view name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::int64_t DataFlowGraph::total_delay() const {
+  return std::accumulate(edges_.begin(), edges_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Edge& e) { return acc + e.delay; });
+}
+
+std::int64_t DataFlowGraph::total_time() const {
+  return std::accumulate(nodes_.begin(), nodes_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Node& n) { return acc + n.time; });
+}
+
+bool DataFlowGraph::unit_time() const {
+  return std::all_of(nodes_.begin(), nodes_.end(),
+                     [](const Node& n) { return n.time == 1; });
+}
+
+std::vector<std::string> DataFlowGraph::validate() const {
+  std::vector<std::string> problems;
+  for (const Edge& e : edges_) {
+    if (e.delay < 0) {
+      problems.push_back("negative delay on edge " + nodes_[e.from].name + "->" +
+                         nodes_[e.to].name);
+    }
+  }
+  if (has_zero_delay_cycle(*this)) {
+    problems.emplace_back("zero-delay cycle (graph is not schedulable)");
+  }
+  return problems;
+}
+
+std::vector<NodeId> DataFlowGraph::node_ids() const {
+  std::vector<NodeId> ids(nodes_.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  return ids;
+}
+
+}  // namespace csr

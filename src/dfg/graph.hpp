@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file graph.hpp
+/// The data-flow graph (DFG) abstraction of Section 2.1 of the paper:
+/// G = <V, E, d, t> — a node-weighted, edge-weighted directed multigraph.
+/// Nodes carry a positive computation time t(v); edges carry a non-negative
+/// delay (register) count d(e). An edge u→v with delay k means iteration i of
+/// v consumes the value produced by iteration i−k of u; k = 0 edges are
+/// intra-iteration dependencies.
+///
+/// The class is a plain value type (copyable, movable) because retiming and
+/// unfolding are *transformations*: they produce new graphs and the tests
+/// compare before/after.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace csr {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// A computation node: `name` identifies it in generated code (statements are
+/// rendered as `name[i] = ...`), `time` is its computation time t(v) ≥ 1.
+struct Node {
+  std::string name;
+  int time = 1;
+};
+
+/// A dependence edge u→v with d(e) = `delay` inter-iteration registers.
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  int delay = 0;
+};
+
+class DataFlowGraph {
+ public:
+  DataFlowGraph() = default;
+  explicit DataFlowGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Graph name, used in reports and serialized files.
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a node with computation time `time` (≥ 1). Node names must be
+  /// unique and non-empty: they become array names in generated loop code.
+  NodeId add_node(std::string name, int time = 1);
+
+  /// Adds an edge u→v with `delay` ≥ 0. Self-loops require delay ≥ 1
+  /// (a zero-delay self-loop could never be scheduled).
+  EdgeId add_edge(NodeId from, NodeId to, int delay);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  /// Replaces the delay of `e`; used by retiming application.
+  void set_delay(EdgeId e, int delay);
+
+  /// Replaces the computation time of `v` (≥ 1).
+  void set_time(NodeId v, int time);
+
+  /// Edge ids leaving / entering `v`.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId v) const;
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId v) const;
+
+  /// Looks a node up by name.
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
+
+  /// Σ_e d(e) — used to bound iteration-bound denominators.
+  [[nodiscard]] std::int64_t total_delay() const;
+
+  /// Σ_v t(v) — used to bound iteration-bound numerators; also the code size
+  /// of the original loop body when every node is one instruction-time unit.
+  [[nodiscard]] std::int64_t total_time() const;
+
+  /// True when every node has unit computation time (the paper's default).
+  [[nodiscard]] bool unit_time() const;
+
+  /// Structural validation: named problems, empty when the graph is legal.
+  /// A legal DFG has non-negative delays and no zero-delay cycle.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Convenience: validate().empty().
+  [[nodiscard]] bool is_legal() const { return validate().empty(); }
+
+  /// All node ids, 0..node_count()-1 (nodes are never removed).
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace csr

@@ -1,0 +1,92 @@
+#include "dfg/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+
+void write_text(std::ostream& os, const DataFlowGraph& g) {
+  os << "dfg " << (g.name().empty() ? "unnamed" : g.name()) << '\n';
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "node " << g.node(v).name << ' ' << g.node(v).time << '\n';
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    os << "edge " << g.node(edge.from).name << ' ' << g.node(edge.to).name << ' '
+       << edge.delay << '\n';
+  }
+}
+
+std::string to_text(const DataFlowGraph& g) {
+  std::ostringstream os;
+  write_text(os, g);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  throw ParseError(os.str());
+}
+
+int parse_int(const std::string& token, int line) {
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(token, &pos);
+    if (pos != token.size()) parse_fail(line, "trailing characters in integer '" + token + "'");
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    parse_fail(line, "expected integer, got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+DataFlowGraph read_text(std::istream& is) {
+  DataFlowGraph g;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto tokens = split_ws(stripped);
+    const std::string& kind = tokens.front();
+    if (kind == "dfg") {
+      if (saw_header) parse_fail(line_no, "duplicate 'dfg' header");
+      if (tokens.size() != 2) parse_fail(line_no, "expected: dfg <name>");
+      g.set_name(tokens[1]);
+      saw_header = true;
+    } else if (kind == "node") {
+      if (tokens.size() != 3) parse_fail(line_no, "expected: node <name> <time>");
+      g.add_node(tokens[1], parse_int(tokens[2], line_no));
+    } else if (kind == "edge") {
+      if (tokens.size() != 4) parse_fail(line_no, "expected: edge <from> <to> <delay>");
+      const auto from = g.find_node(tokens[1]);
+      const auto to = g.find_node(tokens[2]);
+      if (!from) parse_fail(line_no, "unknown node '" + tokens[1] + "'");
+      if (!to) parse_fail(line_no, "unknown node '" + tokens[2] + "'");
+      g.add_edge(*from, *to, parse_int(tokens[3], line_no));
+    } else {
+      parse_fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing 'dfg <name>' header");
+  return g;
+}
+
+DataFlowGraph parse_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace csr

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file io.hpp
+/// A line-oriented textual exchange format for data-flow graphs, so that
+/// benchmark graphs can be stored, diffed, and round-tripped in tests:
+///
+///     # comment
+///     dfg  <name>
+///     node <name> <time>
+///     edge <from> <to> <delay>
+///
+/// Nodes must be declared before the edges that use them. The format is
+/// deliberately minimal — it exists so experiments are reproducible from
+/// plain files, not as a general interchange standard.
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+/// Serializes `g` in the text format above.
+[[nodiscard]] std::string to_text(const DataFlowGraph& g);
+void write_text(std::ostream& os, const DataFlowGraph& g);
+
+/// Parses the text format. Throws ParseError with a line number on malformed
+/// input and InvalidArgument for structurally illegal graphs (through the
+/// DataFlowGraph builders).
+[[nodiscard]] DataFlowGraph parse_text(const std::string& text);
+[[nodiscard]] DataFlowGraph read_text(std::istream& is);
+
+}  // namespace csr

@@ -1,0 +1,165 @@
+#include "dfg/iteration_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+// Longest-path Bellman–Ford from a virtual super-source connected to every
+// node with weight 0. Returns {has_positive_cycle, potentials}. When no
+// positive cycle exists the potentials satisfy h(v) >= h(u) + w(e) for every
+// edge, with equality on "tight" edges.
+struct BellmanFordResult {
+  bool positive_cycle = false;
+  std::vector<std::int64_t> potential;
+};
+
+BellmanFordResult longest_path_potentials(const DataFlowGraph& g,
+                                          const std::vector<std::int64_t>& weight) {
+  const std::size_t n = g.node_count();
+  BellmanFordResult result;
+  result.potential.assign(n, 0);
+  bool changed = true;
+  for (std::size_t pass = 0; pass < n && changed; ++pass) {
+    changed = false;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      const std::int64_t cand = checked_add(result.potential[edge.from], weight[e]);
+      if (cand > result.potential[edge.to]) {
+        result.potential[edge.to] = cand;
+        changed = true;
+      }
+    }
+  }
+  result.positive_cycle = changed;
+  return result;
+}
+
+std::vector<std::int64_t> parametric_weights(const DataFlowGraph& g,
+                                             const Rational& ratio) {
+  std::vector<std::int64_t> w(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    w[e] = checked_mul(ratio.den(), g.node(edge.from).time) -
+           checked_mul(ratio.num(), edge.delay);
+  }
+  return w;
+}
+
+// True when the tight subgraph (edges with h(u) + w(e) == h(v)) contains a
+// cycle, i.e. the ratio `ratio` is attained by some cycle.
+bool tight_cycle_exists(const DataFlowGraph& g, const std::vector<std::int64_t>& weight,
+                        const std::vector<std::int64_t>& potential) {
+  // Kahn's algorithm restricted to tight edges.
+  const std::size_t n = g.node_count();
+  std::vector<int> indeg(n, 0);
+  auto tight = [&](EdgeId e) {
+    const Edge& edge = g.edge(e);
+    return potential[edge.from] + weight[e] == potential[edge.to];
+  };
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (tight(e)) ++indeg[g.edge(e).to];
+  }
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  std::size_t removed = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    ++removed;
+    for (const EdgeId e : g.out_edges(v)) {
+      if (!tight(e)) continue;
+      if (--indeg[g.edge(e).to] == 0) queue.push_back(g.edge(e).to);
+    }
+  }
+  return removed != n;
+}
+
+void require_every_cycle_has_delay(const DataFlowGraph& g) {
+  if (has_zero_delay_cycle(g)) {
+    throw InvalidArgument("iteration bound undefined: zero-delay cycle present");
+  }
+}
+
+}  // namespace
+
+bool has_cycle_ratio_above(const DataFlowGraph& g, const Rational& ratio) {
+  const auto weights = parametric_weights(g, ratio);
+  return longest_path_potentials(g, weights).positive_cycle;
+}
+
+std::optional<Rational> iteration_bound(const DataFlowGraph& g) {
+  if (!has_cycle(g)) return std::nullopt;
+  require_every_cycle_has_delay(g);
+
+  const std::int64_t total_d = g.total_delay();
+  const std::int64_t total_t = g.total_time();
+  CSR_ENSURE(total_d > 0, "cyclic graph without delays slipped past validation");
+
+  // Invariant: B ∈ (lo, hi]. Any cycle's ratio is > 0 (t ≥ 1) and ≤ Σt.
+  Rational lo(0);
+  Rational hi(total_t);
+  if (!has_cycle_ratio_above(g, lo)) {
+    // Defensive: cannot happen for a legal cyclic graph (every cycle has
+    // ratio > 0), but keep the invariant honest.
+    throw LogicError("no cycle with positive ratio in a cyclic graph");
+  }
+
+  // Two distinct cycle ratios with denominators ≤ D differ by at least 1/D².
+  // Narrow (lo, hi] to strictly less than half that gap, then widen the right
+  // end by a quarter gap so that B sits strictly inside an interval that can
+  // contain no *other* ratio with denominator ≤ D; the smallest-denominator
+  // rational in that interval is therefore B itself.
+  const Rational gap(1, checked_mul(total_d, total_d));
+  const Rational half_gap = gap / Rational(2);
+  while (hi - lo >= half_gap) {
+    const Rational mid = (lo + hi) / Rational(2);
+    if (has_cycle_ratio_above(g, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  const Rational bound = simplest_rational_in(lo, hi + gap / Rational(4));
+
+  // Exact verification: no cycle exceeds `bound`, and some cycle attains it.
+  const auto weights = parametric_weights(g, bound);
+  const auto bf = longest_path_potentials(g, weights);
+  CSR_ENSURE(!bf.positive_cycle, "iteration bound verification: ratio exceeded");
+  CSR_ENSURE(tight_cycle_exists(g, weights, bf.potential),
+             "iteration bound verification: bound not attained");
+  return bound;
+}
+
+std::optional<Rational> iteration_bound_by_enumeration(const DataFlowGraph& g,
+                                                       std::size_t max_cycles) {
+  const auto cycles = enumerate_simple_cycles(g, max_cycles);
+  if (cycles.empty()) return std::nullopt;
+  std::optional<Rational> best;
+  for (const auto& cycle : cycles) {
+    std::int64_t time = 0;
+    std::int64_t delay = 0;
+    for (const EdgeId e : cycle) {
+      time += g.node(g.edge(e).from).time;
+      delay += g.edge(e).delay;
+    }
+    if (delay == 0) {
+      throw InvalidArgument("iteration bound undefined: zero-delay cycle present");
+    }
+    const Rational ratio(time, delay);
+    if (!best || ratio > *best) best = ratio;
+  }
+  return best;
+}
+
+}  // namespace csr

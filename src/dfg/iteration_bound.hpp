@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file iteration_bound.hpp
+/// The *iteration bound* of a cyclic DFG (Section 2.1): the maximum, over all
+/// directed cycles C, of Σ_{v∈C} t(v) / Σ_{e∈C} d(e). It lower-bounds the
+/// iteration period of any static schedule; a schedule achieving it is
+/// rate-optimal. Retiming alone reaches it only when it is an integer; a
+/// fractional bound p/q requires unfolding by a multiple of q.
+
+#include <optional>
+
+#include "dfg/graph.hpp"
+#include "support/rational.hpp"
+
+namespace csr {
+
+/// Computes the iteration bound exactly as a rational.
+///
+/// Returns std::nullopt for acyclic graphs (no cycle constrains the rate).
+/// Throws InvalidArgument when some cycle carries zero total delay (the graph
+/// admits no legal schedule).
+///
+/// Algorithm: Lawler's parametric search. For a test ratio λ = p/q, weight
+/// each edge u→v as q·t(u) − p·d(e); some cycle has ratio > λ iff the
+/// weighted graph has a positive cycle (Bellman–Ford). Binary search over
+/// dyadic λ narrows an interval (lo, hi] to width < 1/D², D = Σ d(e), at
+/// which point the interval contains exactly one rational with denominator
+/// ≤ D — the bound — recovered exactly with a Stern–Brocot walk. A final
+/// exact verification (no positive cycle at B, and a tight zero-weight cycle
+/// exists) guards the result.
+[[nodiscard]] std::optional<Rational> iteration_bound(const DataFlowGraph& g);
+
+/// Brute-force reference implementation enumerating simple cycles; used to
+/// cross-check the parametric search in tests. `max_cycles` caps enumeration.
+/// Same return/throw contract as iteration_bound().
+[[nodiscard]] std::optional<Rational> iteration_bound_by_enumeration(
+    const DataFlowGraph& g, std::size_t max_cycles = 1000000);
+
+/// True when the weighted graph with edge weights q·t(u) − p·d(e) contains a
+/// positive-weight cycle, i.e. some cycle has time/delay ratio > p/q.
+/// Exposed for tests.
+[[nodiscard]] bool has_cycle_ratio_above(const DataFlowGraph& g, const Rational& ratio);
+
+}  // namespace csr

@@ -1,0 +1,66 @@
+#include "dfg/random.hpp"
+
+#include "dfg/algorithms.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+DataFlowGraph random_dfg(SplitMix64& rng, const RandomDfgOptions& options) {
+  CSR_REQUIRE(options.min_nodes >= 2, "random DFG needs at least 2 nodes");
+  CSR_REQUIRE(options.min_nodes <= options.max_nodes, "min_nodes > max_nodes");
+  CSR_REQUIRE(options.max_delay >= 1, "max_delay must be >= 1");
+  CSR_REQUIRE(options.max_time >= 1, "max_time must be >= 1");
+
+  const std::size_t n = static_cast<std::size_t>(
+      rng.uniform(static_cast<std::int64_t>(options.min_nodes),
+                  static_cast<std::int64_t>(options.max_nodes)));
+  DataFlowGraph g("random");
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_node("V" + std::to_string(i),
+               static_cast<int>(rng.uniform(1, options.max_time)));
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (u < v && rng.bernoulli(options.forward_edge_prob)) {
+        const int delay = rng.bernoulli(options.zero_delay_prob)
+                              ? 0
+                              : static_cast<int>(rng.uniform(1, options.max_delay));
+        g.add_edge(u, v, delay);
+      } else if (u > v && rng.bernoulli(options.backward_edge_prob)) {
+        g.add_edge(u, v, static_cast<int>(rng.uniform(1, options.max_delay)));
+      }
+    }
+  }
+
+  if (options.ensure_connected) {
+    // Chain any node without neighbours into the spine so every node takes
+    // part in the loop body.
+    for (NodeId v = 0; v + 1 < n; ++v) {
+      if (g.out_edges(v).empty() && g.in_edges(v).empty()) {
+        g.add_edge(v, v + 1, rng.bernoulli(options.zero_delay_prob) ? 0 : 1);
+      }
+    }
+  }
+
+  if (options.ensure_cyclic && !has_cycle(g)) {
+    if (g.edge_count() > 0) {
+      // Close a 2-cycle over an existing edge — guaranteed to create a
+      // cycle no matter how sparse the forward structure came out.
+      const Edge& e = g.edge(0);
+      g.add_edge(e.to, e.from, static_cast<int>(rng.uniform(1, options.max_delay)));
+    } else {
+      g.add_edge(0, 1, 0);
+      g.add_edge(1, 0, static_cast<int>(rng.uniform(1, options.max_delay)));
+    }
+  }
+
+  CSR_ENSURE(g.is_legal(), "random generator produced an illegal DFG");
+  return g;
+}
+
+}  // namespace csr

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file random.hpp
+/// Random legal DFG generation for property-based tests. The generator
+/// guarantees legality by construction: forward edges (in a random topological
+/// order) may carry any delay ≥ 0, while backward edges always carry ≥ 1
+/// delay, so no zero-delay cycle can form.
+
+#include "dfg/graph.hpp"
+#include "support/rng.hpp"
+
+namespace csr {
+
+struct RandomDfgOptions {
+  std::size_t min_nodes = 3;
+  std::size_t max_nodes = 12;
+  /// Probability of each forward pair (u before v) receiving an edge.
+  double forward_edge_prob = 0.3;
+  /// Probability of each backward pair receiving a (delayed) edge.
+  double backward_edge_prob = 0.15;
+  /// Maximum delay placed on any edge.
+  int max_delay = 3;
+  /// Probability that a forward edge carries zero delay.
+  double zero_delay_prob = 0.7;
+  /// Maximum node computation time (1 = unit-time graphs, paper default).
+  int max_time = 1;
+  /// Ensure the result contains at least one cycle (so the iteration bound
+  /// exists) by adding a delayed back edge if none was generated.
+  bool ensure_cyclic = true;
+  /// Ensure weak connectivity by chaining consecutive nodes when needed.
+  bool ensure_connected = true;
+};
+
+/// Generates a random legal DFG. Node names are V0, V1, ...
+[[nodiscard]] DataFlowGraph random_dfg(SplitMix64& rng, const RandomDfgOptions& options = {});
+
+}  // namespace csr

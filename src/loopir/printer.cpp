@@ -1,0 +1,84 @@
+#include "loopir/printer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace csr {
+
+namespace {
+
+std::string format_index(std::int64_t offset, std::int64_t i, bool substitute) {
+  std::ostringstream os;
+  if (substitute) {
+    os << (i + offset);
+  } else {
+    os << 'i';
+    if (offset > 0) os << '+' << offset;
+    if (offset < 0) os << '-' << -offset;
+  }
+  return os.str();
+}
+
+std::string format_ref(const ArrayRef& ref, std::int64_t i, bool substitute) {
+  return ref.array + "[" + format_index(ref.offset, i, substitute) + "]";
+}
+
+}  // namespace
+
+std::string format_instruction(const Instruction& instr, std::int64_t i,
+                               bool substitute) {
+  std::ostringstream os;
+  switch (instr.kind) {
+    case InstrKind::kStatement: {
+      if (!instr.guard.empty()) os << '(' << instr.guard << ") ";
+      os << instr.stmt.array << '[' << format_index(instr.stmt.offset, i, substitute)
+         << "] = ";
+      if (instr.stmt.sources.empty()) {
+        os << "input()";
+      } else {
+        for (std::size_t k = 0; k < instr.stmt.sources.size(); ++k) {
+          if (k > 0) os << ' ' << instr.stmt.op_text << ' ';
+          os << format_ref(instr.stmt.sources[k], i, substitute);
+        }
+      }
+      os << ';';
+      break;
+    }
+    case InstrKind::kSetup:
+      os << instr.reg << " = setup " << instr.value << " : -n;";
+      break;
+    case InstrKind::kDecrement:
+      os << instr.reg << " = " << instr.reg << " - " << instr.value << ';';
+      break;
+  }
+  return os.str();
+}
+
+void write_program(std::ostream& os, const LoopProgram& program) {
+  os << "// " << program.name << "  (n = " << program.n
+     << ", code size = " << program.code_size() << ")\n";
+  for (const LoopSegment& seg : program.segments) {
+    if (seg.trip_count() == 0) continue;
+    if (seg.straight_line()) {
+      for (const Instruction& instr : seg.instructions) {
+        os << format_instruction(instr, seg.begin, /*substitute=*/true) << '\n';
+      }
+    } else {
+      os << "for i = " << seg.begin << " to " << seg.end;
+      if (seg.step != 1) os << " by " << seg.step;
+      os << " do\n";
+      for (const Instruction& instr : seg.instructions) {
+        os << "  " << format_instruction(instr, 0, /*substitute=*/false) << '\n';
+      }
+      os << "end\n";
+    }
+  }
+}
+
+std::string to_source(const LoopProgram& program) {
+  std::ostringstream os;
+  write_program(os, program);
+  return os.str();
+}
+
+}  // namespace csr

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file printer.hpp
+/// Pretty-printing of loop programs in the paper's figure style:
+///
+///     p1 = setup 0 : -n;
+///     for i = -2 to n do
+///       (p1) A[i+3] = E[i-1] + 9;
+///       p1 = p1 - 1;
+///     end
+///
+/// Straight-line segments print with absolute indices substituted
+/// (`A[3] = E[-1] + 9;`), matching Figure 3(a).
+
+#include <iosfwd>
+#include <string>
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// Renders one instruction at loop index `i` (indices substituted when
+/// `substitute` is true, symbolic `i±k` otherwise).
+[[nodiscard]] std::string format_instruction(const Instruction& instr, std::int64_t i,
+                                             bool substitute);
+
+void write_program(std::ostream& os, const LoopProgram& program);
+[[nodiscard]] std::string to_source(const LoopProgram& program);
+
+}  // namespace csr

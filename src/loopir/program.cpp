@@ -1,0 +1,117 @@
+#include "loopir/program.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+Instruction Instruction::statement(Statement s, std::string guard_reg) {
+  Instruction instr;
+  instr.kind = InstrKind::kStatement;
+  instr.stmt = std::move(s);
+  instr.guard = std::move(guard_reg);
+  return instr;
+}
+
+Instruction Instruction::setup(std::string reg, std::int64_t initial) {
+  CSR_REQUIRE(!reg.empty(), "setup requires a register name");
+  Instruction instr;
+  instr.kind = InstrKind::kSetup;
+  instr.reg = std::move(reg);
+  instr.value = initial;
+  return instr;
+}
+
+Instruction Instruction::decrement(std::string reg, std::int64_t amount) {
+  CSR_REQUIRE(!reg.empty(), "decrement requires a register name");
+  CSR_REQUIRE(amount >= 1, "decrement amount must be >= 1");
+  Instruction instr;
+  instr.kind = InstrKind::kDecrement;
+  instr.reg = std::move(reg);
+  instr.value = amount;
+  return instr;
+}
+
+std::int64_t LoopSegment::trip_count() const {
+  if (begin > end) return 0;
+  CSR_EXPECT(step >= 1, "loop step must be positive");
+  return (end - begin) / step + 1;
+}
+
+std::int64_t LoopProgram::code_size() const {
+  std::int64_t size = 0;
+  for (const LoopSegment& seg : segments) {
+    size += static_cast<std::int64_t>(seg.instructions.size());
+  }
+  return size;
+}
+
+std::vector<std::string> LoopProgram::conditional_registers() const {
+  std::vector<std::string> regs;
+  auto add = [&](const std::string& r) {
+    if (!r.empty() && std::find(regs.begin(), regs.end(), r) == regs.end()) {
+      regs.push_back(r);
+    }
+  };
+  for (const LoopSegment& seg : segments) {
+    for (const Instruction& instr : seg.instructions) {
+      switch (instr.kind) {
+        case InstrKind::kStatement:
+          add(instr.guard);
+          break;
+        case InstrKind::kSetup:
+        case InstrKind::kDecrement:
+          add(instr.reg);
+          break;
+      }
+    }
+  }
+  return regs;
+}
+
+std::vector<std::string> LoopProgram::validate() const {
+  std::vector<std::string> problems;
+  std::set<std::string> initialized;
+  for (const LoopSegment& seg : segments) {
+    if (seg.step < 1) {
+      problems.push_back("non-positive loop step " + std::to_string(seg.step));
+    }
+    for (const Instruction& instr : seg.instructions) {
+      switch (instr.kind) {
+        case InstrKind::kStatement:
+          if (instr.stmt.array.empty()) {
+            problems.emplace_back("statement with empty target array");
+          }
+          if (!instr.guard.empty() && initialized.count(instr.guard) == 0) {
+            problems.push_back("guard register '" + instr.guard + "' used before setup");
+          }
+          break;
+        case InstrKind::kSetup:
+          if (seg.trip_count() > 1) {
+            problems.push_back("setup of '" + instr.reg + "' inside a multi-trip loop");
+          }
+          initialized.insert(instr.reg);
+          break;
+        case InstrKind::kDecrement:
+          if (initialized.count(instr.reg) == 0) {
+            problems.push_back("decrement of register '" + instr.reg + "' before setup");
+          }
+          break;
+      }
+    }
+  }
+  return problems;
+}
+
+std::uint64_t op_seed_for(std::string_view name) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace csr

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file program.hpp
+/// The loop-program intermediate representation that code generation emits
+/// and the VM executes. It models exactly the code shapes in the paper's
+/// figures:
+///
+///   * array-assignment statements `V[i+k] = op(U[i−d], ...)`,
+///   * optional guards `(p) stmt` — the statement executes iff the
+///     conditional register p satisfies 0 ≥ p > −LC (LC = original trip
+///     count, Section 3.1),
+///   * `setup p = v : -LC` conditional-register initialization,
+///   * explicit decrements `p = p − a`,
+///   * loop segments `for i = b to e by s` plus straight-line segments
+///     (prologue / epilogue / remainder code), modelled as one-trip loops.
+///
+/// Code size is the paper's metric: the total number of instructions
+/// (statements + setups + decrements) across all segments.
+///
+/// Statement *semantics* are deliberately abstract: each statement carries an
+/// `op_seed` identifying its computation, and the VM evaluates it as a
+/// 64-bit hash of (op_seed, target index, operand values). Two programs are
+/// semantically equivalent iff they leave identical values in every array
+/// slot 1..n — hash collisions aside, any mis-indexed read or write, wrong
+/// guard window, or missing statement changes some observed value.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csr {
+
+/// A loop-relative array element reference: `array[i + offset]`.
+struct ArrayRef {
+  std::string array;
+  std::int64_t offset = 0;
+
+  friend bool operator==(const ArrayRef&, const ArrayRef&) = default;
+};
+
+/// `array[i + offset] = op(sources...)`.
+struct Statement {
+  std::string array;
+  std::int64_t offset = 0;
+  /// Identity of the computation; statements generated from the same DFG
+  /// node share it regardless of how the loop was transformed.
+  std::uint64_t op_seed = 0;
+  std::vector<ArrayRef> sources;
+  /// Infix operator used only for pretty-printing ("+", "*", ...).
+  std::string op_text = "op";
+
+  friend bool operator==(const Statement&, const Statement&) = default;
+};
+
+enum class InstrKind { kStatement, kSetup, kDecrement };
+
+/// One instruction; a tagged union kept flat for simplicity.
+struct Instruction {
+  InstrKind kind = InstrKind::kStatement;
+
+  // kStatement:
+  Statement stmt;
+  /// Guarding conditional register; empty = unconditional.
+  std::string guard;
+
+  // kSetup / kDecrement:
+  std::string reg;
+  /// Setup: initial register value. Decrement: amount subtracted.
+  std::int64_t value = 0;
+
+  [[nodiscard]] static Instruction statement(Statement s, std::string guard_reg = "");
+  [[nodiscard]] static Instruction setup(std::string reg, std::int64_t initial);
+  [[nodiscard]] static Instruction decrement(std::string reg, std::int64_t amount = 1);
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// `for i = begin to end by step { instructions }`; executes zero trips when
+/// begin > end. Straight-line code is a segment with begin == end.
+struct LoopSegment {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t step = 1;
+  std::vector<Instruction> instructions;
+
+  [[nodiscard]] bool straight_line() const { return begin == end; }
+  [[nodiscard]] std::int64_t trip_count() const;
+
+  friend bool operator==(const LoopSegment&, const LoopSegment&) = default;
+};
+
+/// A whole loop program.
+struct LoopProgram {
+  std::string name;
+  /// The original loop trip count n; conditional-register guards compare
+  /// against −n (the `-LC` bound of the setup instruction).
+  std::int64_t n = 0;
+  std::vector<LoopSegment> segments;
+
+  /// The paper's code-size metric: total instruction count.
+  [[nodiscard]] std::int64_t code_size() const;
+
+  /// Distinct conditional registers referenced anywhere, in first-use order.
+  [[nodiscard]] std::vector<std::string> conditional_registers() const;
+
+  /// Structural problems (empty when well-formed): guards/decrements of
+  /// registers never set up, setups inside multi-trip loops, non-positive
+  /// steps, statements with empty target names.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  friend bool operator==(const LoopProgram&, const LoopProgram&) = default;
+};
+
+/// Stable seed for a computation identified by `name` (FNV-1a).
+[[nodiscard]] std::uint64_t op_seed_for(std::string_view name);
+
+}  // namespace csr

@@ -1,0 +1,151 @@
+#include "loopir/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+
+void write_program_text(std::ostream& os, const LoopProgram& program) {
+  os << "program " << (program.name.empty() ? "unnamed" : program.name) << '\n';
+  os << "n " << program.n << '\n';
+  for (const LoopSegment& seg : program.segments) {
+    os << "segment " << seg.begin << ' ' << seg.end << ' ' << seg.step << '\n';
+    for (const Instruction& instr : seg.instructions) {
+      switch (instr.kind) {
+        case InstrKind::kStatement: {
+          os << "stmt " << instr.stmt.array << ' ' << instr.stmt.offset << ' '
+             << instr.stmt.op_text;
+          if (!instr.guard.empty()) os << " guard " << instr.guard;
+          for (const ArrayRef& src : instr.stmt.sources) {
+            os << " src " << src.array << ' ' << src.offset;
+          }
+          os << '\n';
+          break;
+        }
+        case InstrKind::kSetup:
+          os << "setup " << instr.reg << ' ' << instr.value << '\n';
+          break;
+        case InstrKind::kDecrement:
+          os << "dec " << instr.reg << ' ' << instr.value << '\n';
+          break;
+      }
+    }
+  }
+}
+
+std::string to_program_text(const LoopProgram& program) {
+  std::ostringstream os;
+  write_program_text(os, program);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  throw ParseError(os.str());
+}
+
+std::int64_t parse_int64(const std::string& token, int line) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(token, &pos);
+    if (pos != token.size()) parse_fail(line, "trailing characters in '" + token + "'");
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    parse_fail(line, "expected integer, got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+LoopProgram read_program_text(std::istream& is) {
+  LoopProgram program;
+  bool saw_header = false;
+  bool saw_n = false;
+  LoopSegment* segment = nullptr;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto tokens = split_ws(stripped);
+    const std::string& kind = tokens.front();
+    if (kind == "program") {
+      if (saw_header) parse_fail(line_no, "duplicate 'program' header");
+      std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+      program.name = join(rest, " ");
+      saw_header = true;
+    } else if (kind == "n") {
+      if (tokens.size() != 2) parse_fail(line_no, "expected: n <trip count>");
+      program.n = parse_int64(tokens[1], line_no);
+      saw_n = true;
+    } else if (kind == "segment") {
+      if (tokens.size() != 4) parse_fail(line_no, "expected: segment <begin> <end> <step>");
+      LoopSegment seg;
+      seg.begin = parse_int64(tokens[1], line_no);
+      seg.end = parse_int64(tokens[2], line_no);
+      seg.step = parse_int64(tokens[3], line_no);
+      if (seg.step < 1) parse_fail(line_no, "segment step must be positive");
+      program.segments.push_back(std::move(seg));
+      segment = &program.segments.back();
+    } else if (kind == "stmt" || kind == "setup" || kind == "dec") {
+      if (segment == nullptr) parse_fail(line_no, "instruction before any segment");
+      if (kind == "setup") {
+        if (tokens.size() != 3) parse_fail(line_no, "expected: setup <reg> <initial>");
+        segment->instructions.push_back(
+            Instruction::setup(tokens[1], parse_int64(tokens[2], line_no)));
+      } else if (kind == "dec") {
+        if (tokens.size() != 3) parse_fail(line_no, "expected: dec <reg> <amount>");
+        segment->instructions.push_back(
+            Instruction::decrement(tokens[1], parse_int64(tokens[2], line_no)));
+      } else {
+        if (tokens.size() < 4) {
+          parse_fail(line_no, "expected: stmt <array> <offset> <op> ...");
+        }
+        Statement stmt;
+        stmt.array = tokens[1];
+        stmt.offset = parse_int64(tokens[2], line_no);
+        stmt.op_text = tokens[3];
+        stmt.op_seed = op_seed_for(stmt.array);
+        std::string guard;
+        std::size_t k = 4;
+        while (k < tokens.size()) {
+          if (tokens[k] == "guard") {
+            if (k + 1 >= tokens.size()) parse_fail(line_no, "guard needs a register");
+            guard = tokens[k + 1];
+            k += 2;
+          } else if (tokens[k] == "src") {
+            if (k + 2 >= tokens.size()) parse_fail(line_no, "src needs array and offset");
+            stmt.sources.push_back(
+                ArrayRef{tokens[k + 1], parse_int64(tokens[k + 2], line_no)});
+            k += 3;
+          } else {
+            parse_fail(line_no, "unknown statement attribute '" + tokens[k] + "'");
+          }
+        }
+        segment->instructions.push_back(Instruction::statement(std::move(stmt), guard));
+      }
+    } else {
+      parse_fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing 'program' header");
+  if (!saw_n) throw ParseError("missing 'n' directive");
+  return program;
+}
+
+LoopProgram parse_program_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_program_text(is);
+}
+
+}  // namespace csr

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file serialize.hpp
+/// A line-oriented exchange format for loop programs, so generated code can
+/// be stored as golden files and diffed across library versions:
+///
+///     program <name with spaces>
+///     n 101
+///     segment <begin> <end> <step>
+///     stmt <array> <offset> <op_text> [guard <reg>] [src <array> <offset>]...
+///     setup <reg> <initial>
+///     dec <reg> <amount>
+///
+/// Statements' op_seed is re-derived from the array name on parse (the
+/// generator's convention), so the format stays human-readable.
+
+#include <iosfwd>
+#include <string>
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+void write_program_text(std::ostream& os, const LoopProgram& program);
+[[nodiscard]] std::string to_program_text(const LoopProgram& program);
+
+/// Parses the format above; throws ParseError with a line number on
+/// malformed input.
+[[nodiscard]] LoopProgram read_program_text(std::istream& is);
+[[nodiscard]] LoopProgram parse_program_text(const std::string& text);
+
+}  // namespace csr

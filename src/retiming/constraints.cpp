@@ -1,0 +1,32 @@
+#include "retiming/constraints.hpp"
+
+#include "support/check.hpp"
+
+namespace csr {
+
+std::optional<std::vector<std::int64_t>> solve_difference_constraints(
+    std::size_t variable_count, const std::vector<DifferenceConstraint>& constraints) {
+  for (const DifferenceConstraint& c : constraints) {
+    CSR_REQUIRE(c.x < variable_count && c.y < variable_count,
+                "difference constraint variable out of range");
+  }
+  // Implicit super-source with 0-weight edges to every variable: initialize
+  // all distances to 0 and relax |V| times; a change on the extra pass means
+  // a negative cycle.
+  std::vector<std::int64_t> dist(variable_count, 0);
+  bool changed = true;
+  for (std::size_t pass = 0; pass <= variable_count && changed; ++pass) {
+    changed = false;
+    for (const DifferenceConstraint& c : constraints) {
+      const std::int64_t cand = dist[c.x] + c.bound;
+      if (cand < dist[c.y]) {
+        dist[c.y] = cand;
+        changed = true;
+      }
+    }
+  }
+  if (changed) return std::nullopt;
+  return dist;
+}
+
+}  // namespace csr

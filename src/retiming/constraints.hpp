@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file constraints.hpp
+/// Systems of difference constraints `x_j − x_i ≤ b`, solved by Bellman–Ford
+/// shortest paths from a virtual source. Retiming legality and cycle-period
+/// feasibility both reduce to such systems (CLRS §24.4 / Leiserson–Saxe).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace csr {
+
+/// The constraint `value[y] − value[x] ≤ bound`.
+struct DifferenceConstraint {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::int64_t bound = 0;
+};
+
+/// Solves the system over `variable_count` variables. Returns one feasible
+/// assignment (the Bellman–Ford shortest-path solution, which is the
+/// component-wise maximal non-positive one), or std::nullopt when the system
+/// is infeasible (a negative constraint cycle exists).
+[[nodiscard]] std::optional<std::vector<std::int64_t>> solve_difference_constraints(
+    std::size_t variable_count, const std::vector<DifferenceConstraint>& constraints);
+
+}  // namespace csr

@@ -1,0 +1,74 @@
+#include "retiming/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+std::vector<RetimingViolation> explain_retiming(const DataFlowGraph& g,
+                                                const Retiming& r) {
+  CSR_REQUIRE(r.node_count() == g.node_count(), "retiming does not match graph");
+  std::vector<RetimingViolation> violations;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const int d_r = edge.delay + r[edge.from] - r[edge.to];
+    if (d_r >= 0) continue;
+    std::ostringstream os;
+    os << g.node(edge.from).name << "->" << g.node(edge.to).name << ": " << edge.delay
+       << " + r(" << g.node(edge.from).name << ")=" << r[edge.from] << " - r("
+       << g.node(edge.to).name << ")=" << r[edge.to] << " = " << d_r;
+    violations.push_back(RetimingViolation{e, d_r, os.str()});
+  }
+  return violations;
+}
+
+std::vector<NodeId> critical_path(const DataFlowGraph& g) {
+  if (g.node_count() == 0) return {};
+  const auto order = zero_delay_topological_order(g);
+  if (!order) throw InvalidArgument("critical path undefined: zero-delay cycle present");
+
+  // Longest zero-delay path DP with predecessor links.
+  std::vector<int> finish(g.node_count(), 0);
+  std::vector<NodeId> pred(g.node_count(), g.node_count());
+  for (const NodeId v : *order) {
+    int start = 0;
+    for (const EdgeId e : g.in_edges(v)) {
+      const Edge& edge = g.edge(e);
+      if (edge.delay != 0) continue;
+      if (finish[edge.from] > start) {
+        start = finish[edge.from];
+        pred[v] = edge.from;
+      }
+    }
+    finish[v] = start + g.node(v).time;
+  }
+  NodeId tail = 0;
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    if (finish[v] > finish[tail]) tail = v;
+  }
+  std::vector<NodeId> path;
+  for (NodeId v = tail; v != g.node_count();) {
+    path.push_back(v);
+    v = pred[v];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string format_path(const DataFlowGraph& g, const std::vector<NodeId>& path) {
+  std::ostringstream os;
+  int time = 0;
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    if (k > 0) os << " -> ";
+    os << g.node(path[k]).name;
+    time += g.node(path[k]).time;
+  }
+  os << " (time " << time << ")";
+  return os.str();
+}
+
+}  // namespace csr

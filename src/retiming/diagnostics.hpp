@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Human-readable explanations for retiming and scheduling outcomes: which
+/// edges an illegal retiming breaks, and which zero-delay path forms the
+/// cycle-period bottleneck. Used by the CLI tooling and examples; the
+/// checkers in retiming.hpp stay boolean for the hot paths.
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// One violated-edge record of an illegal retiming.
+struct RetimingViolation {
+  EdgeId edge = 0;
+  int resulting_delay = 0;
+  std::string description;  ///< "A->B: 1 + r(A)=0 − r(B)=2 = −1"
+};
+
+/// Every edge d_r(e) < 0 under `r`; empty iff the retiming is legal.
+[[nodiscard]] std::vector<RetimingViolation> explain_retiming(const DataFlowGraph& g,
+                                                              const Retiming& r);
+
+/// A longest zero-delay path (the cycle-period witness), as node ids in
+/// execution order. Its total computation time equals cycle_period(g).
+/// Throws InvalidArgument on zero-delay cycles; empty for empty graphs.
+[[nodiscard]] std::vector<NodeId> critical_path(const DataFlowGraph& g);
+
+/// "Mf1 -> Af2 -> Mf3 (time 3)" rendering of a node path.
+[[nodiscard]] std::string format_path(const DataFlowGraph& g,
+                                      const std::vector<NodeId>& path);
+
+}  // namespace csr

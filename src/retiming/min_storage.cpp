@@ -1,0 +1,196 @@
+#include "retiming/min_storage.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "dfg/algorithms.hpp"
+#include "retiming/constraints.hpp"
+#include "support/check.hpp"
+
+namespace csr {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// One residual arc of the transshipment network. Forward arcs are the
+/// difference constraints (uncapacitated); each carries a flow whose
+/// reverse direction is traversable at cost −cost up to `flow`.
+struct Arc {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::int64_t cost = 0;
+  std::int64_t flow = 0;
+};
+
+/// Successive-shortest-paths state: Dijkstra over reduced costs.
+struct PathStep {
+  std::int32_t arc = -1;   // arc index used to reach the node
+  bool forward = true;     // direction it was traversed in
+};
+
+}  // namespace
+
+std::int64_t total_delays_after(const DataFlowGraph& g, const Retiming& r) {
+  CSR_REQUIRE(is_legal_retiming(g, r), "retiming is not legal for this graph");
+  std::int64_t total = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    total += edge.delay + r[edge.from] - r[edge.to];
+  }
+  return total;
+}
+
+std::optional<Retiming> min_storage_retiming(const DataFlowGraph& g,
+                                             const WDMatrices& wd,
+                                             std::int64_t period) {
+  CSR_REQUIRE(wd.size() == g.node_count(), "W/D matrices do not match graph");
+  const std::size_t n = g.node_count();
+  if (n == 0) return Retiming(0);
+
+  // Difference constraints r(y) − r(x) ≤ b: legality + period.
+  std::vector<Arc> arcs;
+  std::vector<DifferenceConstraint> constraints;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    constraints.push_back({edge.from, edge.to, edge.delay});
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!wd.reachable(u, v)) continue;
+      if (wd.d(u, v) > period) {
+        constraints.push_back({u, v, wd.w(u, v) - 1});
+      }
+    }
+  }
+
+  // Feasibility + initial potentials (Bellman–Ford solution π satisfies
+  // π_y − π_x ≤ b, i.e. every reduced cost b + π_x − π_y ≥ 0).
+  const auto initial = solve_difference_constraints(n, constraints);
+  if (!initial) return std::nullopt;
+  std::vector<std::int64_t> pi = *initial;
+
+  arcs.reserve(constraints.size());
+  for (const DifferenceConstraint& c : constraints) {
+    arcs.push_back(Arc{c.x, c.y, c.bound, 0});
+  }
+  std::vector<std::vector<std::int32_t>> incident(n);
+  for (std::int32_t a = 0; a < static_cast<std::int32_t>(arcs.size()); ++a) {
+    incident[arcs[static_cast<std::size_t>(a)].x].push_back(a);
+    incident[arcs[static_cast<std::size_t>(a)].y].push_back(a);
+  }
+
+  // Supplies: minimizing Σ d_r = Σ d + Σ (outdeg − indeg)·r, so node v
+  // supplies c_v = outdeg(v) − indeg(v) units of flow.
+  std::vector<std::int64_t> excess(n, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    ++excess[g.edge(e).from];
+    --excess[g.edge(e).to];
+  }
+
+  // Successive shortest paths with Dijkstra on reduced costs.
+  std::vector<std::int64_t> dist(n);
+  std::vector<PathStep> parent(n);
+  std::vector<bool> done(n);
+  while (true) {
+    NodeId source = static_cast<NodeId>(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (excess[v] > 0) {
+        source = v;
+        break;
+      }
+    }
+    if (source == static_cast<NodeId>(n)) break;
+
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(done.begin(), done.end(), false);
+    std::fill(parent.begin(), parent.end(), PathStep{});
+    dist[source] = 0;
+    using Entry = std::pair<std::int64_t, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    queue.push({0, source});
+    while (!queue.empty()) {
+      const auto [d, v] = queue.top();
+      queue.pop();
+      if (done[v]) continue;
+      done[v] = true;
+      for (const std::int32_t a : incident[v]) {
+        const Arc& arc = arcs[static_cast<std::size_t>(a)];
+        if (arc.x == v) {  // forward traversal, uncapacitated
+          const std::int64_t reduced = arc.cost + pi[arc.x] - pi[arc.y];
+          CSR_ENSURE(reduced >= 0, "negative reduced cost on forward arc");
+          if (d + reduced < dist[arc.y]) {
+            dist[arc.y] = d + reduced;
+            parent[arc.y] = PathStep{a, true};
+            queue.push({dist[arc.y], arc.y});
+          }
+        } else if (arc.flow > 0) {  // reverse traversal up to the flow
+          const std::int64_t reduced = -arc.cost + pi[arc.y] - pi[arc.x];
+          CSR_ENSURE(reduced >= 0, "negative reduced cost on reverse arc");
+          if (d + reduced < dist[arc.x]) {
+            dist[arc.x] = d + reduced;
+            parent[arc.x] = PathStep{a, false};
+            queue.push({dist[arc.x], arc.x});
+          }
+        }
+      }
+    }
+
+    // Closest reachable deficit node.
+    NodeId sink = static_cast<NodeId>(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (excess[v] < 0 && dist[v] < kInf &&
+          (sink == static_cast<NodeId>(n) || dist[v] < dist[sink])) {
+        sink = v;
+      }
+    }
+    CSR_ENSURE(sink != static_cast<NodeId>(n),
+               "transshipment supply cannot reach any deficit");
+
+    // Path capacity: reverse arcs bound the push; forward arcs do not.
+    std::int64_t delta = std::min(excess[source], -excess[sink]);
+    for (NodeId v = sink; v != source;) {
+      const PathStep step = parent[v];
+      const Arc& arc = arcs[static_cast<std::size_t>(step.arc)];
+      if (!step.forward) delta = std::min(delta, arc.flow);
+      v = step.forward ? arc.x : arc.y;
+    }
+    CSR_ENSURE(delta > 0, "degenerate augmentation");
+    for (NodeId v = sink; v != source;) {
+      const PathStep step = parent[v];
+      Arc& arc = arcs[static_cast<std::size_t>(step.arc)];
+      arc.flow += step.forward ? delta : -delta;
+      v = step.forward ? arc.x : arc.y;
+    }
+    excess[source] -= delta;
+    excess[sink] += delta;
+
+    // Potential update keeps all residual reduced costs non-negative:
+    // every node moves by min(dist, dist[sink]) — capping at the sink
+    // distance covers nodes the search did not reach.
+    const std::int64_t cap = dist[sink];
+    for (NodeId v = 0; v < n; ++v) {
+      pi[v] += std::min(dist[v], cap);
+    }
+  }
+
+  // Complementary slackness: π is an optimal primal solution.
+  std::vector<int> values(n);
+  for (NodeId v = 0; v < n; ++v) {
+    values[v] = static_cast<int>(pi[v]);
+  }
+  Retiming result = Retiming(std::move(values)).normalized();
+  CSR_ENSURE(is_legal_retiming(g, result), "min-storage retiming is illegal");
+  CSR_ENSURE(cycle_period(apply_retiming(g, result)) <= period,
+             "min-storage retiming misses the period");
+  return result;
+}
+
+std::optional<Retiming> min_storage_retiming(const DataFlowGraph& g,
+                                             std::int64_t period) {
+  return min_storage_retiming(g, WDMatrices(g), period);
+}
+
+}  // namespace csr

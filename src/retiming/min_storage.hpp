@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file min_storage.hpp
+/// Storage-minimal retiming (Leiserson–Saxe §8): among all retimings
+/// achieving a target cycle period, find one minimizing the total number of
+/// delay registers Σ_e d_r(e). Code size is the paper's metric, but its
+/// introduction points at memory-constrained follow-up work [3,10]; this
+/// solver exposes the data-storage axis of the same design space (see also
+/// codesize/storage.hpp).
+///
+/// Formulation: Σ_e d_r(e) = Σ_e d(e) + Σ_v (outdeg(v) − indeg(v))·r(v), a
+/// linear objective over the difference-constraint polytope
+/// {r : r(y) − r(x) ≤ b_xy} of legality + period constraints. Its LP dual is
+/// an uncapacitated min-cost transshipment on the constraint graph with
+/// node supplies c_v = outdeg(v) − indeg(v); we solve it with successive
+/// shortest paths (Bellman–Ford potentials once, then Dijkstra on reduced
+/// costs) and read the optimal retiming off the final potentials.
+
+#include <optional>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+#include "retiming/wd.hpp"
+
+namespace csr {
+
+/// A retiming achieving cycle period ≤ `period` with the minimum possible
+/// total delay count, or std::nullopt when the period is infeasible.
+/// The result is normalized.
+[[nodiscard]] std::optional<Retiming> min_storage_retiming(const DataFlowGraph& g,
+                                                           const WDMatrices& wd,
+                                                           std::int64_t period);
+
+[[nodiscard]] std::optional<Retiming> min_storage_retiming(const DataFlowGraph& g,
+                                                           std::int64_t period);
+
+/// Σ_e d_r(e) for a legal retiming — the quantity the solver minimizes.
+[[nodiscard]] std::int64_t total_delays_after(const DataFlowGraph& g, const Retiming& r);
+
+}  // namespace csr

@@ -1,0 +1,135 @@
+#include "retiming/opt.hpp"
+
+#include <algorithm>
+
+#include "dfg/algorithms.hpp"
+#include "retiming/constraints.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Base constraint system for "legal retiming with cycle period ≤ period".
+/// Variables 0..n−1 are r(v). Under the paper's convention d_r(e) =
+/// d(e) + r(u) − r(v):
+///   legality:      r(v) − r(u) ≤ d(e)                       for every edge
+///   period bound:  r(v) − r(u) ≤ W(u,v) − 1  whenever D(u,v) > period.
+std::vector<DifferenceConstraint> period_constraints(const DataFlowGraph& g,
+                                                     const WDMatrices& wd,
+                                                     std::int64_t period) {
+  std::vector<DifferenceConstraint> cs;
+  cs.reserve(g.edge_count() + g.node_count() * g.node_count() / 4);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    cs.push_back({edge.from, edge.to, edge.delay});
+  }
+  const std::size_t n = g.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!wd.reachable(u, v)) continue;
+      if (wd.d(u, v) > period) {
+        cs.push_back({u, v, wd.w(u, v) - 1});
+      }
+    }
+  }
+  return cs;
+}
+
+Retiming from_solution(const std::vector<std::int64_t>& solution, std::size_t n) {
+  std::vector<int> values(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    values[v] = static_cast<int>(solution[v]);
+  }
+  return Retiming(std::move(values)).normalized();
+}
+
+/// Feasibility with the additional requirement spread ≤ k, enforced through a
+/// virtual minimum variable z (index n): r(z) ≤ r(v) ≤ r(z) + k for all v.
+std::optional<Retiming> spread_bounded_retiming(const DataFlowGraph& g,
+                                                const WDMatrices& wd,
+                                                std::int64_t period, std::int64_t k) {
+  auto cs = period_constraints(g, wd, period);
+  const std::uint32_t z = static_cast<std::uint32_t>(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    cs.push_back({v, z, 0});  // r(z) − r(v) ≤ 0
+    cs.push_back({z, v, k});  // r(v) − r(z) ≤ k
+  }
+  const auto solution = solve_difference_constraints(g.node_count() + 1, cs);
+  if (!solution) return std::nullopt;
+  return from_solution(*solution, g.node_count());
+}
+
+}  // namespace
+
+std::optional<Retiming> feasible_retiming(const DataFlowGraph& g, const WDMatrices& wd,
+                                          std::int64_t period) {
+  CSR_REQUIRE(wd.size() == g.node_count(), "W/D matrices do not match graph");
+  const auto solution =
+      solve_difference_constraints(g.node_count(), period_constraints(g, wd, period));
+  if (!solution) return std::nullopt;
+  return from_solution(*solution, g.node_count());
+}
+
+std::optional<Retiming> feasible_retiming(const DataFlowGraph& g, std::int64_t period) {
+  return feasible_retiming(g, WDMatrices(g), period);
+}
+
+std::optional<Retiming> min_depth_retiming(const DataFlowGraph& g, const WDMatrices& wd,
+                                           std::int64_t period) {
+  const auto unconstrained = feasible_retiming(g, wd, period);
+  if (!unconstrained) return std::nullopt;
+  // The unconstrained witness bounds the answer; binary search the spread.
+  std::int64_t lo = 0;
+  std::int64_t hi = unconstrained->max_value();  // normalized: spread == max
+  std::optional<Retiming> best = unconstrained;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (auto r = spread_bounded_retiming(g, wd, period, mid)) {
+      best = std::move(r);
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  CSR_ENSURE(best.has_value(), "spread search lost its witness");
+  return best;
+}
+
+std::optional<Retiming> min_depth_retiming(const DataFlowGraph& g, std::int64_t period) {
+  return min_depth_retiming(g, WDMatrices(g), period);
+}
+
+OptimalRetiming minimum_period_retiming(const DataFlowGraph& g) {
+  CSR_REQUIRE(g.node_count() > 0, "cannot retime an empty graph");
+  const WDMatrices wd(g);
+  const auto candidates = wd.candidate_periods();
+  CSR_ENSURE(!candidates.empty(), "no candidate periods for non-empty graph");
+
+  // The maximum D value is always feasible (the zero retiming achieves the
+  // current cycle period, which is some D entry); binary search the smallest
+  // feasible candidate. Feasibility is monotone in the period.
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible_retiming(g, wd, candidates[mid]).has_value()) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  OptimalRetiming out{candidates[lo], Retiming(g.node_count())};
+  auto witness = min_depth_retiming(g, wd, out.period);
+  CSR_ENSURE(witness.has_value(), "binary search returned infeasible period");
+  out.retiming = std::move(*witness);
+
+  // Postcondition: the witness really achieves the period.
+  CSR_ENSURE(cycle_period(apply_retiming(g, out.retiming)) <= out.period,
+             "retimed graph exceeds the computed minimum period");
+  return out;
+}
+
+}  // namespace csr

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file opt.hpp
+/// Minimum-cycle-period retiming (Leiserson–Saxe OPT, adapted to the paper's
+/// sign convention) and depth-minimal retiming refinement.
+///
+/// Retiming is the paper's model of software pipelining: each unit of r(v) is
+/// one pipelining step for node v, M_r = max r is the pipeline depth, and the
+/// prologue/epilogue cost grows with M_r. After reaching the minimum period
+/// we therefore also *minimize the retiming spread* (and thus M_r) — a
+/// shallower pipeline with the same period strictly dominates for code size.
+
+#include <optional>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+#include "retiming/wd.hpp"
+
+namespace csr {
+
+/// Finds a legal retiming achieving cycle period ≤ `period`, or std::nullopt
+/// when none exists. The result is normalized. `wd` must belong to `g`.
+[[nodiscard]] std::optional<Retiming> feasible_retiming(const DataFlowGraph& g,
+                                                        const WDMatrices& wd,
+                                                        std::int64_t period);
+
+/// Convenience overload computing W/D internally.
+[[nodiscard]] std::optional<Retiming> feasible_retiming(const DataFlowGraph& g,
+                                                        std::int64_t period);
+
+/// Like feasible_retiming, but among all retimings achieving `period`
+/// returns one whose spread max r − min r is minimal — this minimizes the
+/// pipeline depth M_r of the normalized retiming and with it the
+/// prologue/epilogue code expansion. Binary-searches the spread with an
+/// extra variable pinned as the minimum.
+[[nodiscard]] std::optional<Retiming> min_depth_retiming(const DataFlowGraph& g,
+                                                         const WDMatrices& wd,
+                                                         std::int64_t period);
+
+[[nodiscard]] std::optional<Retiming> min_depth_retiming(const DataFlowGraph& g,
+                                                         std::int64_t period);
+
+/// Result of the minimum-period search.
+struct OptimalRetiming {
+  std::int64_t period = 0;  ///< Minimum achievable cycle period.
+  Retiming retiming;        ///< Normalized, depth-minimal retiming achieving it.
+};
+
+/// Minimum cycle period achievable by retiming `g`, with a depth-minimal
+/// witness. Throws InvalidArgument for graphs with zero-delay cycles.
+[[nodiscard]] OptimalRetiming minimum_period_retiming(const DataFlowGraph& g);
+
+}  // namespace csr

@@ -1,0 +1,83 @@
+#include "retiming/retiming.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+int Retiming::operator[](NodeId v) const {
+  CSR_EXPECT(v < values_.size(), "retiming index out of range");
+  return values_[v];
+}
+
+void Retiming::set(NodeId v, int value) {
+  CSR_EXPECT(v < values_.size(), "retiming index out of range");
+  values_[v] = value;
+}
+
+int Retiming::max_value() const {
+  if (values_.empty()) return 0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+int Retiming::min_value() const {
+  if (values_.empty()) return 0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+std::vector<int> Retiming::distinct_values() const {
+  std::vector<int> vals = values_;
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals;
+}
+
+Retiming Retiming::normalized() const {
+  const int lo = min_value();
+  std::vector<int> vals = values_;
+  for (int& v : vals) v -= lo;
+  return Retiming(std::move(vals));
+}
+
+bool Retiming::is_normalized() const { return values_.empty() || min_value() == 0; }
+
+bool is_legal_retiming(const DataFlowGraph& g, const Retiming& r) {
+  if (r.node_count() != g.node_count()) return false;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.delay + r[edge.from] - r[edge.to] < 0) return false;
+  }
+  return true;
+}
+
+DataFlowGraph apply_retiming(const DataFlowGraph& g, const Retiming& r) {
+  CSR_REQUIRE(r.node_count() == g.node_count(),
+              "retiming size does not match graph");
+  DataFlowGraph out = g;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const int new_delay = edge.delay + r[edge.from] - r[edge.to];
+    CSR_REQUIRE(new_delay >= 0, "illegal retiming: edge " + g.node(edge.from).name +
+                                    "->" + g.node(edge.to).name + " would have delay " +
+                                    std::to_string(new_delay));
+    out.set_delay(e, new_delay);
+  }
+  return out;
+}
+
+PipelineExpansion pipeline_expansion(const DataFlowGraph& g, const Retiming& r) {
+  CSR_REQUIRE(r.node_count() == g.node_count(),
+              "retiming size does not match graph");
+  const Retiming norm = r.normalized();
+  PipelineExpansion census;
+  census.depth = norm.max_value();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    census.prologue_statements += norm[v];
+    census.epilogue_statements += census.depth - norm[v];
+  }
+  return census;
+}
+
+}  // namespace csr

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file retiming.hpp
+/// Retiming functions r : V → Z under the *paper's* convention (Section 2.2):
+/// r(u) is the number of delays pushed forward through u, so an edge u→v has
+///
+///     d_r(e) = d(e) + r(u) − r(v)
+///
+/// after retiming. (Leiserson–Saxe's circuit-retiming papers use the opposite
+/// sign; the two are related by negation.) Under this convention, r(v) > 0
+/// shifts copies of v *up* by r(v) iterations — each unit of retiming is one
+/// software-pipelining step, and a normalized retiming (min r = 0) puts
+/// exactly r(v) copies of v into the prologue and M_r − r(v) copies into the
+/// epilogue, where M_r = max_u r(u).
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+class Retiming {
+ public:
+  /// The zero retiming over `node_count` nodes.
+  explicit Retiming(std::size_t node_count) : values_(node_count, 0) {}
+
+  /// Builds from explicit per-node values.
+  explicit Retiming(std::vector<int> values) : values_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t node_count() const { return values_.size(); }
+
+  [[nodiscard]] int operator[](NodeId v) const;
+  void set(NodeId v, int value);
+
+  /// max_u r(u) / min_u r(u); zero for an empty function.
+  [[nodiscard]] int max_value() const;
+  [[nodiscard]] int min_value() const;
+
+  /// The set N_r of distinct retiming values, ascending. Its cardinality is
+  /// the number of conditional registers Theorem 4.3 requires.
+  [[nodiscard]] std::vector<int> distinct_values() const;
+
+  /// Subtracts min_value() from every entry so the minimum becomes 0 — the
+  /// *normalized* retiming used for prologue/epilogue size accounting.
+  [[nodiscard]] Retiming normalized() const;
+
+  /// True when `*this` is normalized (min value 0, or empty).
+  [[nodiscard]] bool is_normalized() const;
+
+  friend bool operator==(const Retiming&, const Retiming&) = default;
+
+  [[nodiscard]] const std::vector<int>& values() const { return values_; }
+
+ private:
+  std::vector<int> values_;
+};
+
+/// True when r is legal for g: d(e) + r(u) − r(v) ≥ 0 on every edge.
+[[nodiscard]] bool is_legal_retiming(const DataFlowGraph& g, const Retiming& r);
+
+/// Applies r to g, producing the retimed graph G_r. Throws InvalidArgument
+/// when r is illegal for g (some edge would go negative).
+[[nodiscard]] DataFlowGraph apply_retiming(const DataFlowGraph& g, const Retiming& r);
+
+/// Census of the code expansion a normalized retiming produces when the loop
+/// is software-pipelined (one statement per node copy).
+struct PipelineExpansion {
+  /// Prologue statement copies: Σ_v r(v).
+  std::int64_t prologue_statements = 0;
+  /// Epilogue statement copies: Σ_v (M_r − r(v)).
+  std::int64_t epilogue_statements = 0;
+  /// Pipeline depth M_r = max_u r(u).
+  int depth = 0;
+
+  [[nodiscard]] std::int64_t total() const {
+    return prologue_statements + epilogue_statements;
+  }
+};
+
+/// Computes the expansion census for (g, r). `r` is normalized internally,
+/// matching the paper's measurement (Section 2.2).
+[[nodiscard]] PipelineExpansion pipeline_expansion(const DataFlowGraph& g,
+                                                   const Retiming& r);
+
+}  // namespace csr

@@ -1,0 +1,98 @@
+#include "retiming/wd.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+WDMatrices::WDMatrices(const DataFlowGraph& g) : n_(g.node_count()) {
+  if (has_zero_delay_cycle(g)) {
+    throw InvalidArgument("W/D matrices undefined: zero-delay cycle present");
+  }
+
+  // Lexicographic shortest path on (delay, −t(source-prefix)). `second`
+  // accumulates −Σ t over every node of the path except the final one.
+  std::vector<std::int64_t> first(n_ * n_, kInf);
+  std::vector<std::int64_t> second(n_ * n_, 0);
+
+  for (NodeId v = 0; v < n_; ++v) {
+    first[idx(v, v)] = 0;
+    second[idx(v, v)] = 0;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const std::int64_t w = edge.delay;
+    const std::int64_t s = -static_cast<std::int64_t>(g.node(edge.from).time);
+    const std::size_t i = idx(edge.from, edge.to);
+    if (w < first[i] || (w == first[i] && s < second[i])) {
+      first[i] = w;
+      second[i] = s;
+    }
+  }
+
+  for (NodeId k = 0; k < n_; ++k) {
+    for (NodeId u = 0; u < n_; ++u) {
+      const std::size_t uk = idx(u, k);
+      if (first[uk] >= kInf) continue;
+      for (NodeId v = 0; v < n_; ++v) {
+        const std::size_t kv = idx(k, v);
+        if (first[kv] >= kInf) continue;
+        const std::size_t uv = idx(u, v);
+        const std::int64_t cand_first = first[uk] + first[kv];
+        const std::int64_t cand_second = second[uk] + second[kv];
+        if (cand_first < first[uv] ||
+            (cand_first == first[uv] && cand_second < second[uv])) {
+          first[uv] = cand_first;
+          second[uv] = cand_second;
+        }
+      }
+    }
+  }
+
+  w_ = std::move(first);
+  d_.resize(n_ * n_);
+  reach_.resize(n_ * n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      const std::size_t i = idx(u, v);
+      reach_[i] = w_[i] < kInf;
+      d_[i] = reach_[i] ? g.node(v).time - second[i] : 0;
+    }
+  }
+}
+
+bool WDMatrices::reachable(NodeId u, NodeId v) const {
+  CSR_EXPECT(u < n_ && v < n_, "W/D index out of range");
+  return reach_[idx(u, v)];
+}
+
+std::int64_t WDMatrices::w(NodeId u, NodeId v) const {
+  CSR_EXPECT(reachable(u, v), "W(u,v) requested for unreachable pair");
+  return w_[idx(u, v)];
+}
+
+std::int64_t WDMatrices::d(NodeId u, NodeId v) const {
+  CSR_EXPECT(reachable(u, v), "D(u,v) requested for unreachable pair");
+  return d_[idx(u, v)];
+}
+
+std::vector<std::int64_t> WDMatrices::candidate_periods() const {
+  std::vector<std::int64_t> out;
+  out.reserve(n_ * n_);
+  for (std::size_t i = 0; i < n_ * n_; ++i) {
+    if (reach_[i]) out.push_back(d_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace csr

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file wd.hpp
+/// The W and D matrices of Leiserson–Saxe retiming:
+///
+///   W(u,v) = min  { d(p) : p a path u ⇝ v }
+///   D(u,v) = max  { t(p) : p a path u ⇝ v with d(p) = W(u,v) }
+///
+/// where d(p) sums edge delays and t(p) sums node times *including both
+/// endpoints*. D(u,u) = t(u) via the empty path. The matrices drive the
+/// OPT-style minimum-cycle-period retiming: after retiming r, the cycle
+/// period is ≤ c iff every pair with D(u,v) > c keeps at least one delay
+/// between u and v.
+///
+/// Both are computed with one lexicographic Floyd–Warshall on edge weights
+/// (d(e), −t(source)); legal DFGs have no zero-delay cycles, so every cycle
+/// is lexicographically positive and shortest paths are well defined.
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+/// Dense pair of matrices; entries for unreachable pairs are flagged.
+class WDMatrices {
+ public:
+  /// Computes W/D for a legal graph. Throws InvalidArgument when the graph
+  /// has a zero-delay cycle.
+  explicit WDMatrices(const DataFlowGraph& g);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// True when some path u ⇝ v exists.
+  [[nodiscard]] bool reachable(NodeId u, NodeId v) const;
+
+  /// W(u,v); requires reachable(u,v).
+  [[nodiscard]] std::int64_t w(NodeId u, NodeId v) const;
+
+  /// D(u,v); requires reachable(u,v).
+  [[nodiscard]] std::int64_t d(NodeId u, NodeId v) const;
+
+  /// All distinct finite D values in ascending order — the candidate cycle
+  /// periods for the minimum-period search.
+  [[nodiscard]] std::vector<std::int64_t> candidate_periods() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId u, NodeId v) const { return u * n_ + v; }
+
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> w_;
+  std::vector<std::int64_t> d_;
+  std::vector<bool> reach_;
+};
+
+}  // namespace csr

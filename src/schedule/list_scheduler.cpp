@@ -1,0 +1,131 @@
+#include "schedule/list_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Longest zero-delay path from each node to any sink (including own time):
+/// the classic list-scheduling priority. Computed over the reversed
+/// zero-delay DAG.
+std::vector<int> downstream_criticality(const DataFlowGraph& g) {
+  const auto order = zero_delay_topological_order(g);
+  if (!order) throw InvalidArgument("cannot schedule: zero-delay cycle present");
+  std::vector<int> crit(g.node_count(), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    int tail = 0;
+    for (const EdgeId e : g.out_edges(v)) {
+      if (g.edge(e).delay != 0) continue;
+      tail = std::max(tail, crit[g.edge(e).to]);
+    }
+    crit[v] = tail + g.node(v).time;
+  }
+  return crit;
+}
+
+/// Tracks per-class usage per control step.
+class OccupancyTable {
+ public:
+  explicit OccupancyTable(const ResourceModel& model) : model_(&model) {}
+
+  /// True when `cls` has a free unit in every step of [start, start+time).
+  bool fits(const std::string& cls, int start, int time) const {
+    const int cap = model_->units(cls);
+    for (int s = start; s < start + time; ++s) {
+      const auto it = used_.find({cls, s});
+      if (it != used_.end() && it->second >= cap) return false;
+    }
+    return true;
+  }
+
+  void occupy(const std::string& cls, int start, int time) {
+    for (int s = start; s < start + time; ++s) {
+      ++used_[{cls, s}];
+    }
+  }
+
+ private:
+  const ResourceModel* model_;
+  std::map<std::pair<std::string, int>, int> used_;
+};
+
+}  // namespace
+
+StaticSchedule list_schedule(const DataFlowGraph& g, const ResourceModel& model) {
+  const auto crit = downstream_criticality(g);
+  const std::size_t n = g.node_count();
+
+  std::vector<int> unmet_preds(n, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).delay == 0) ++unmet_preds[g.edge(e).to];
+  }
+
+  StaticSchedule schedule(n);
+  OccupancyTable occupancy(model);
+  std::vector<int> ready_time(n, 0);
+
+  // Ready list ordered by (criticality desc, node id asc) for determinism.
+  auto priority_less = [&](NodeId a, NodeId b) {
+    if (crit[a] != crit[b]) return crit[a] > crit[b];
+    return a < b;
+  };
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (unmet_preds[v] == 0) ready.push_back(v);
+  }
+  std::sort(ready.begin(), ready.end(), priority_less);
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.erase(ready.begin());
+
+    const std::string cls = model.node_class(g, v);
+    const int time = g.node(v).time;
+    int start = ready_time[v];
+    while (!occupancy.fits(cls, start, time)) ++start;
+    occupancy.occupy(cls, start, time);
+    schedule.set_start(v, start);
+    ++scheduled;
+
+    for (const EdgeId e : g.out_edges(v)) {
+      if (g.edge(e).delay != 0) continue;
+      const NodeId w = g.edge(e).to;
+      ready_time[w] = std::max(ready_time[w], start + time);
+      if (--unmet_preds[w] == 0) {
+        const auto pos = std::lower_bound(ready.begin(), ready.end(), w, priority_less);
+        ready.insert(pos, w);
+      }
+    }
+  }
+  CSR_ENSURE(scheduled == n, "list scheduler failed to place every node");
+  CSR_ENSURE(validate_schedule(g, schedule).empty(), "list scheduler produced invalid schedule");
+  return schedule;
+}
+
+std::vector<std::string> validate_resources(const DataFlowGraph& g,
+                                            const StaticSchedule& s,
+                                            const ResourceModel& model) {
+  std::vector<std::string> problems;
+  std::map<std::pair<std::string, int>, int> used;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string cls = model.node_class(g, v);
+    for (int step = s.start(v); step < s.finish(v, g); ++step) {
+      if (++used[{cls, step}] > model.units(cls)) {
+        problems.push_back("class '" + cls + "' over capacity at step " +
+                           std::to_string(step));
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace csr

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file list_scheduler.hpp
+/// Resource-constrained list scheduling of one loop iteration. Nodes become
+/// ready when every zero-delay predecessor has finished; ready nodes are
+/// placed greedily in critical-path priority order, subject to per-class
+/// functional-unit capacity at every occupied control step.
+
+#include "dfg/graph.hpp"
+#include "schedule/resources.hpp"
+#include "schedule/schedule.hpp"
+
+namespace csr {
+
+/// Schedules `g` under `model`. The result is valid (zero-delay precedence
+/// and capacity respected); its length is ≥ cycle_period(g) and equals it
+/// whenever resources never bind. Throws InvalidArgument on zero-delay
+/// cycles or when a node's class has no declared units.
+[[nodiscard]] StaticSchedule list_schedule(const DataFlowGraph& g,
+                                           const ResourceModel& model);
+
+/// Capacity-violation check used by tests: problems (empty when the
+/// schedule fits the model).
+[[nodiscard]] std::vector<std::string> validate_resources(const DataFlowGraph& g,
+                                                          const StaticSchedule& s,
+                                                          const ResourceModel& model);
+
+}  // namespace csr

@@ -1,0 +1,290 @@
+#include "schedule/modulo.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Per-class cyclic occupancy. Operations never straddle the kernel
+/// boundary (placement enforces slot + t ≤ II), so occupancy intervals are
+/// contiguous in [0, II).
+class ModuloReservationTable {
+ public:
+  ModuloReservationTable(const DataFlowGraph& g, const ResourceModel& model, int ii)
+      : g_(&g), model_(&model), ii_(ii) {}
+
+  [[nodiscard]] bool fits(NodeId v, int time) const {
+    const std::string cls = model_->node_class(*g_, v);
+    const int cap = model_->units(cls);
+    const int slot = time % ii_;
+    for (int s = slot; s < slot + g_->node(v).time; ++s) {
+      const auto it = used_.find({cls, s});
+      if (it != used_.end() && it->second >= cap) return false;
+    }
+    return true;
+  }
+
+  void occupy(NodeId v, int time) { adjust(v, time, +1); }
+  void release(NodeId v, int time) { adjust(v, time, -1); }
+
+ private:
+  void adjust(NodeId v, int time, int delta) {
+    const std::string cls = model_->node_class(*g_, v);
+    const int slot = time % ii_;
+    for (int s = slot; s < slot + g_->node(v).time; ++s) {
+      used_[{cls, s}] += delta;
+    }
+  }
+
+  const DataFlowGraph* g_;
+  const ResourceModel* model_;
+  int ii_;
+  std::map<std::pair<std::string, int>, int> used_;
+};
+
+/// Height-based priority: longest dependence path to any sink with edge
+/// latency t(u) − II·d(e). II ≥ RecMII keeps every cycle non-positive, so
+/// the longest paths are well defined; iterate to a fixed point.
+std::vector<int> schedule_heights(const DataFlowGraph& g, int ii) {
+  const std::size_t n = g.node_count();
+  std::vector<int> height(n);
+  for (NodeId v = 0; v < n; ++v) height[v] = g.node(v).time;
+  bool changed = true;
+  for (std::size_t pass = 0; pass <= n && changed; ++pass) {
+    changed = false;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      const int cand = g.node(edge.from).time - ii * edge.delay + height[edge.to];
+      if (cand > height[edge.from]) {
+        height[edge.from] = cand;
+        changed = true;
+      }
+    }
+  }
+  // A further change would mean a positive cycle — II below the recurrence
+  // bound, which callers exclude.
+  CSR_ENSURE(!changed, "positive dependence cycle at this II");
+  return height;
+}
+
+struct Attempt {
+  bool success = false;
+  StaticSchedule times;
+};
+
+Attempt try_schedule(const DataFlowGraph& g, const ResourceModel& model, int ii,
+                     int budget) {
+  const std::size_t n = g.node_count();
+  const auto height = schedule_heights(g, ii);
+  ModuloReservationTable table(g, model, ii);
+  StaticSchedule times(n);
+  std::vector<bool> scheduled(n, false);
+  std::vector<int> last_time(n, -1);
+
+  auto pick_next = [&]() -> std::optional<NodeId> {
+    std::optional<NodeId> best;
+    for (NodeId v = 0; v < n; ++v) {
+      if (scheduled[v]) continue;
+      if (!best || height[v] > height[*best] || (height[v] == height[*best] && v < *best)) {
+        best = v;
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < budget; ++step) {
+    const auto pick = pick_next();
+    if (!pick) {
+      Attempt a;
+      a.success = true;
+      a.times = times;
+      return a;
+    }
+    const NodeId v = *pick;
+
+    int earliest = 0;
+    for (const EdgeId e : g.in_edges(v)) {
+      const Edge& edge = g.edge(e);
+      if (!scheduled[edge.from]) continue;
+      earliest = std::max(earliest, times.start(edge.from) + g.node(edge.from).time -
+                                        ii * edge.delay);
+    }
+    // Re-placements must move forward to guarantee progress.
+    if (last_time[v] >= 0) earliest = std::max(earliest, last_time[v] + 1);
+
+    // Scan one full kernel window for a conflict-free, non-straddling slot.
+    int chosen = -1;
+    for (int t = earliest; t < earliest + ii; ++t) {
+      if (t % ii + g.node(v).time > ii) continue;  // would straddle the kernel
+      if (table.fits(v, t)) {
+        chosen = t;
+        break;
+      }
+    }
+    bool forced = false;
+    if (chosen < 0) {
+      forced = true;
+      chosen = earliest;
+      while (chosen % ii + g.node(v).time > ii) ++chosen;
+    }
+
+    times.set_start(v, chosen);
+    scheduled[v] = true;
+    last_time[v] = chosen;
+
+    if (forced) {
+      // Evict lower-priority occupants of the same cyclic slots until v fits.
+      while (!table.fits(v, chosen)) {
+        std::optional<NodeId> victim;
+        const std::string cls = model.node_class(g, v);
+        for (NodeId w = 0; w < n; ++w) {
+          if (w == v || !scheduled[w]) continue;
+          if (model.node_class(g, w) != cls) continue;
+          const int a = times.start(w) % ii;
+          const int b = chosen % ii;
+          const bool overlap =
+              a < b + g.node(v).time && b < a + g.node(w).time;
+          if (!overlap) continue;
+          if (!victim || height[w] < height[*victim]) victim = w;
+        }
+        CSR_ENSURE(victim.has_value(), "forced placement found no evictable victim");
+        table.release(*victim, times.start(*victim));
+        scheduled[*victim] = false;
+      }
+    }
+    table.occupy(v, chosen);
+
+    // Evict scheduled successors whose dependence on v is now violated.
+    for (const EdgeId e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      const NodeId w = edge.to;
+      if (w == v || !scheduled[w]) continue;
+      if (times.start(w) < chosen + g.node(v).time - ii * edge.delay) {
+        table.release(w, times.start(w));
+        scheduled[w] = false;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int resource_min_ii(const DataFlowGraph& g, const ResourceModel& model) {
+  std::map<std::string, int> demand;
+  int max_time = 1;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    demand[model.node_class(g, v)] += g.node(v).time;
+    max_time = std::max(max_time, g.node(v).time);
+  }
+  int ii = max_time;  // no-straddling placement needs II ≥ max t(v)
+  for (const auto& [cls, total] : demand) {
+    const int units = model.units(cls);
+    ii = std::max(ii, (total + units - 1) / units);
+  }
+  return ii;
+}
+
+int recurrence_min_ii(const DataFlowGraph& g) {
+  const auto bound = iteration_bound(g);
+  if (!bound) return 0;
+  return static_cast<int>(bound->ceil());
+}
+
+std::optional<ModuloSchedule> modulo_schedule(const DataFlowGraph& g,
+                                              const ResourceModel& model,
+                                              const ModuloScheduleOptions& options) {
+  CSR_REQUIRE(g.node_count() > 0, "cannot schedule an empty graph");
+  CSR_REQUIRE(options.budget_factor >= 1, "budget factor must be >= 1");
+  const int min_ii = std::max(resource_min_ii(g, model), recurrence_min_ii(g));
+  // The sequential schedule is always a valid modulo schedule at
+  // II = Σ t(v), so the search is bounded.
+  const int fallback = static_cast<int>(g.total_time());
+  const int max_ii = options.max_ii > 0 ? options.max_ii : std::max(min_ii, fallback);
+
+  const int budget = options.budget_factor * static_cast<int>(g.node_count());
+  for (int ii = min_ii; ii <= max_ii; ++ii) {
+    const Attempt attempt = try_schedule(g, model, ii, budget);
+    if (!attempt.success) continue;
+    ModuloSchedule ms;
+    ms.initiation_interval = ii;
+    ms.times = attempt.times;
+    int max_stage = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      max_stage = std::max(max_stage, attempt.times.start(v) / ii);
+    }
+    ms.stages = max_stage + 1;
+    CSR_ENSURE(validate_modulo_schedule(g, model, ms).empty(),
+               "modulo scheduler produced an invalid schedule");
+    return ms;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> validate_modulo_schedule(const DataFlowGraph& g,
+                                                  const ResourceModel& model,
+                                                  const ModuloSchedule& ms) {
+  std::vector<std::string> problems;
+  const int ii = ms.initiation_interval;
+  if (ii < 1) {
+    problems.emplace_back("initiation interval must be positive");
+    return problems;
+  }
+  if (ms.times.node_count() != g.node_count()) {
+    problems.emplace_back("schedule size does not match graph");
+    return problems;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (ms.times.start(v) < 0) {
+      problems.push_back("negative time for " + g.node(v).name);
+    }
+    if (ms.times.start(v) % ii + g.node(v).time > ii) {
+      problems.push_back(g.node(v).name + " straddles the kernel boundary");
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (ms.times.start(edge.to) <
+        ms.times.start(edge.from) + g.node(edge.from).time - ii * edge.delay) {
+      problems.push_back("dependence violated: " + g.node(edge.from).name + " -> " +
+                         g.node(edge.to).name);
+    }
+  }
+  std::map<std::pair<std::string, int>, int> used;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string cls = model.node_class(g, v);
+    const int slot = ms.times.start(v) % ii;
+    for (int s = slot; s < slot + g.node(v).time; ++s) {
+      if (++used[{cls, s}] > model.units(cls)) {
+        problems.push_back("class '" + cls + "' over capacity at kernel slot " +
+                           std::to_string(s));
+      }
+    }
+  }
+  return problems;
+}
+
+Retiming retiming_from_modulo(const DataFlowGraph& g, const ModuloSchedule& ms) {
+  CSR_REQUIRE(ms.times.node_count() == g.node_count(),
+              "modulo schedule does not match graph");
+  const int ii = ms.initiation_interval;
+  int max_stage = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    max_stage = std::max(max_stage, ms.times.start(v) / ii);
+  }
+  Retiming r(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    r.set(v, max_stage - ms.times.start(v) / ii);
+  }
+  CSR_ENSURE(is_legal_retiming(g, r), "stage assignment induced illegal retiming");
+  return r;
+}
+
+}  // namespace csr

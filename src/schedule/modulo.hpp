@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file modulo.hpp
+/// Iterative modulo scheduling (Rau) — the software-pipelining formulation
+/// used by production VLIW compilers and the paper's reference [8]. A modulo
+/// schedule issues one iteration every II cycles (the *initiation
+/// interval*); node v starts at time(v), occupying its functional unit at
+/// the cyclic slots time(v) mod II .. (time(v)+t(v)−1) mod II. Dependences
+/// require time(v) ≥ time(u) + t(u) − II·d(e).
+///
+/// II is bounded below by
+///   ResMII — resource pressure: max over classes ⌈ops / units⌉ (weighted by
+///            computation time), and
+///   RecMII — recurrences: ⌈iteration bound⌉.
+///
+/// The connection to the paper: a modulo schedule's *stage* assignment
+/// σ(v) = ⌊time(v)/II⌋ induces the retiming r(v) = max σ − σ(v), which is
+/// legal and retimes the graph to cycle period ≤ II (retiming_from_modulo).
+/// The kernel-only code that modulo schedulers emit with stage predicates is
+/// exactly the paper's CSR form: the induced retiming can be handed to
+/// retimed_csr_program to generate it.
+
+#include <optional>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+#include "schedule/resources.hpp"
+#include "schedule/schedule.hpp"
+
+namespace csr {
+
+/// Resource-constrained lower bound on II.
+[[nodiscard]] int resource_min_ii(const DataFlowGraph& g, const ResourceModel& model);
+
+/// Recurrence-constrained lower bound on II: ⌈iteration bound⌉ (0 when the
+/// graph is acyclic). Throws InvalidArgument on zero-delay cycles.
+[[nodiscard]] int recurrence_min_ii(const DataFlowGraph& g);
+
+struct ModuloSchedule {
+  int initiation_interval = 0;
+  /// Absolute start times; the kernel slot of v is start(v) mod II.
+  StaticSchedule times;
+  /// Pipeline stages: max ⌊start/II⌋ + 1.
+  int stages = 1;
+};
+
+struct ModuloScheduleOptions {
+  /// Give up beyond this II (default: a schedule always exists at the
+  /// sequential II, so the search is bounded by it).
+  int max_ii = -1;
+  /// Scheduling budget per II attempt, as a multiple of |V| placements.
+  int budget_factor = 10;
+};
+
+/// Iterative modulo scheduling with eviction. Returns the schedule at the
+/// smallest II the heuristic could close, or std::nullopt only when
+/// `max_ii` was set and exhausted.
+[[nodiscard]] std::optional<ModuloSchedule> modulo_schedule(
+    const DataFlowGraph& g, const ResourceModel& model,
+    const ModuloScheduleOptions& options = {});
+
+/// Validation problems of a modulo schedule (empty when valid): dependence
+/// or cyclic-resource violations, negative times.
+[[nodiscard]] std::vector<std::string> validate_modulo_schedule(
+    const DataFlowGraph& g, const ResourceModel& model, const ModuloSchedule& ms);
+
+/// The retiming induced by the stage assignment, r(v) = max σ − σ(v);
+/// normalized, legal, and the retimed graph's cycle period is ≤ II (each
+/// zero-delay chain fits inside one kernel window).
+[[nodiscard]] Retiming retiming_from_modulo(const DataFlowGraph& g,
+                                            const ModuloSchedule& ms);
+
+}  // namespace csr

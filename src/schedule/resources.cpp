@@ -1,0 +1,44 @@
+#include "schedule/resources.hpp"
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+ResourceModel::ResourceModel(std::map<std::string, int> units, Classifier classify)
+    : units_(std::move(units)), classify_(std::move(classify)) {
+  CSR_REQUIRE(static_cast<bool>(classify_), "resource classifier must be callable");
+  for (const auto& [cls, count] : units_) {
+    CSR_REQUIRE(count >= 1, "unit count for class '" + cls + "' must be >= 1");
+  }
+}
+
+ResourceModel ResourceModel::uniform(int k) {
+  CSR_REQUIRE(k >= 1, "uniform resource model needs k >= 1");
+  return ResourceModel({{"fu", k}},
+                       [](const DataFlowGraph&, NodeId) { return std::string("fu"); });
+}
+
+ResourceModel ResourceModel::adders_and_multipliers(int adders, int multipliers) {
+  CSR_REQUIRE(adders >= 1 && multipliers >= 1, "need at least one unit per class");
+  return ResourceModel(
+      {{"add", adders}, {"mul", multipliers}},
+      [](const DataFlowGraph& g, NodeId v) {
+        const char c = g.node(v).name.front();
+        return (c == 'M' || c == 'm') ? std::string("mul") : std::string("add");
+      });
+}
+
+std::string ResourceModel::node_class(const DataFlowGraph& g, NodeId v) const {
+  return classify_(g, v);
+}
+
+int ResourceModel::units(const std::string& cls) const {
+  const auto it = units_.find(cls);
+  if (it == units_.end()) {
+    throw InvalidArgument("no functional units declared for class '" + cls + "'");
+  }
+  return it->second;
+}
+
+}  // namespace csr

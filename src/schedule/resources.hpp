@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file resources.hpp
+/// Functional-unit resource models for resource-constrained scheduling.
+/// Nodes are mapped to operation classes (e.g. "add", "mul") by a
+/// classifier; each class has a unit count. The default model gives every
+/// node the same class — a machine with k identical functional units.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+class ResourceModel {
+ public:
+  using Classifier = std::function<std::string(const DataFlowGraph&, NodeId)>;
+
+  /// `units` maps class name → number of functional units (≥ 1 each).
+  /// `classify` maps nodes to class names; classes missing from `units`
+  /// cause scheduling to throw.
+  ResourceModel(std::map<std::string, int> units, Classifier classify);
+
+  /// k identical functional units, single class "fu".
+  [[nodiscard]] static ResourceModel uniform(int k);
+
+  /// Classifies by the first character of the node name: names beginning
+  /// with 'M' or 'm' are "mul", everything else "add" — the convention the
+  /// DSP benchmark graphs in src/benchmarks follow.
+  [[nodiscard]] static ResourceModel adders_and_multipliers(int adders, int multipliers);
+
+  [[nodiscard]] std::string node_class(const DataFlowGraph& g, NodeId v) const;
+
+  /// Units available for `cls`; throws InvalidArgument for unknown classes.
+  [[nodiscard]] int units(const std::string& cls) const;
+
+ private:
+  std::map<std::string, int> units_;
+  Classifier classify_;
+};
+
+}  // namespace csr

@@ -1,0 +1,123 @@
+#include "schedule/rotation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "schedule/list_scheduler.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Earliest step ≥ `floor` where class `cls` has a free unit, given current
+/// per-step usage (unit-time nodes occupy exactly one step).
+int first_free_step(const std::map<std::pair<std::string, int>, int>& used,
+                    const ResourceModel& model, const std::string& cls, int floor) {
+  const int cap = model.units(cls);
+  int step = floor;
+  while (true) {
+    const auto it = used.find({cls, step});
+    if (it == used.end() || it->second < cap) return step;
+    ++step;
+  }
+}
+
+}  // namespace
+
+RotationResult rotation_schedule(const DataFlowGraph& g, const ResourceModel& model,
+                                 int max_rotations) {
+  CSR_REQUIRE(g.unit_time(), "rotation scheduling requires unit-time nodes");
+  CSR_REQUIRE(g.node_count() > 0, "cannot schedule an empty graph");
+  const int n = static_cast<int>(g.node_count());
+  if (max_rotations < 0) max_rotations = n * n;
+
+  DataFlowGraph current = g;
+  StaticSchedule schedule = list_schedule(current, model);
+  Retiming accumulated(g.node_count());
+
+  RotationResult best{accumulated, current, schedule, schedule.length(current), 0};
+
+  for (int iter = 1; iter <= max_rotations; ++iter) {
+    // Rotate the first control step: push one delay through each node there.
+    const std::vector<NodeId> rotated = schedule.nodes_starting_at(0);
+    CSR_ENSURE(!rotated.empty(), "valid schedule with empty first step");
+    for (const NodeId v : rotated) {
+      accumulated.set(v, accumulated[v] + 1);
+      for (const EdgeId e : current.in_edges(v)) {
+        CSR_ENSURE(current.edge(e).delay >= 1,
+                   "first-step node has a zero-delay predecessor");
+      }
+    }
+    // Update delays incrementally: in-edges of rotated nodes lose a delay,
+    // out-edges gain one (edges between two rotated nodes are unchanged:
+    // they lose and gain one). Recomputing from the accumulated retiming
+    // keeps the logic simple and the graphs are small.
+    current = apply_retiming(g, accumulated);
+
+    // Shift the remaining nodes up one step and rebuild occupancy.
+    StaticSchedule next(g.node_count());
+    std::map<std::pair<std::string, int>, int> used;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (std::find(rotated.begin(), rotated.end(), v) != rotated.end()) continue;
+      const int step = schedule.start(v) - 1;
+      next.set_start(v, step);
+      ++used[{model.node_class(current, v), step}];
+    }
+
+    // Re-place rotated nodes at their earliest feasible step. After the
+    // rotation their out-edges all carry delay ≥ 1, so only the (possibly
+    // new) zero-delay in-edges constrain placement.
+    for (const NodeId v : rotated) {
+      int floor_step = 0;
+      for (const EdgeId e : current.in_edges(v)) {
+        const Edge& edge = current.edge(e);
+        if (edge.delay != 0) continue;
+        // The predecessor is never itself rotated (edges between rotated
+        // nodes keep their delay), so its start is already final.
+        floor_step = std::max(floor_step, next.start(edge.from) + 1);
+      }
+      const std::string cls = model.node_class(current, v);
+      const int step = first_free_step(used, model, cls, floor_step);
+      next.set_start(v, step);
+      ++used[{cls, step}];
+    }
+
+    // Re-anchor the schedule at step 0 (re-placement can leave the first
+    // step empty or, when every node was rotated, start below it).
+    int min_start = next.start(0);
+    for (NodeId v = 1; v < g.node_count(); ++v) {
+      min_start = std::min(min_start, next.start(v));
+    }
+    if (min_start != 0) {
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        next.set_start(v, next.start(v) - min_start);
+      }
+    }
+
+    // The incremental shift preserves the old schedule's relative placement,
+    // which can carry stale gaps across rotations; rescheduling the retimed
+    // graph from scratch sometimes compacts further. Keep whichever is
+    // shorter (ties favour the incremental schedule for continuity).
+    const StaticSchedule fresh = list_schedule(current, model);
+    if (fresh.length(current) < next.length(current)) next = fresh;
+
+    schedule = next;
+    CSR_ENSURE(validate_schedule(current, schedule).empty(),
+               "rotation produced an invalid schedule");
+    CSR_ENSURE(validate_resources(current, schedule, model).empty(),
+               "rotation produced an over-capacity schedule");
+
+    const int length = schedule.length(current);
+    if (length < best.period) {
+      best = RotationResult{accumulated, current, schedule, length, iter};
+    }
+  }
+
+  best.retiming = best.retiming.normalized();
+  best.retimed_graph = apply_retiming(g, best.retiming);
+  return best;
+}
+
+}  // namespace csr

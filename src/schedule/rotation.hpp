@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file rotation.hpp
+/// Rotation scheduling (Chao, LaPaugh, Sha) — the software-pipelining engine
+/// the paper's keyword list names. One rotation retimes every node in the
+/// first control step by +1 (legal because such nodes have no zero-delay
+/// predecessors), shifts the remaining schedule up one step, and re-places
+/// the rotated nodes at their earliest resource-feasible steps. Repeating
+/// this compacts a resource-constrained schedule toward the rate-optimal
+/// iteration period; the accumulated retiming *is* the software-pipelining
+/// transformation whose prologue/epilogue the CSR framework later removes.
+///
+/// Restricted to unit-time graphs (the paper's setting throughout its
+/// experiments).
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+#include "schedule/resources.hpp"
+#include "schedule/schedule.hpp"
+
+namespace csr {
+
+struct RotationResult {
+  /// Accumulated retiming (normalized) from the original graph to the one
+  /// the final schedule belongs to.
+  Retiming retiming;
+  /// The retimed graph the schedule is valid for.
+  DataFlowGraph retimed_graph;
+  /// The best schedule found.
+  StaticSchedule schedule;
+  /// Its length (the achieved iteration period).
+  int period = 0;
+  /// Rotations performed before settling (≤ max_rotations).
+  int rotations = 0;
+};
+
+/// Runs rotation scheduling on unit-time graph `g` under `model`, starting
+/// from a list schedule, for at most `max_rotations` rotations (default
+/// |V|²; each full sweep of |V| rotations shifts the whole loop body by one
+/// iteration). Returns the best schedule encountered.
+[[nodiscard]] RotationResult rotation_schedule(const DataFlowGraph& g,
+                                               const ResourceModel& model,
+                                               int max_rotations = -1);
+
+}  // namespace csr

@@ -1,0 +1,121 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+int StaticSchedule::start(NodeId v) const {
+  CSR_EXPECT(v < start_.size(), "schedule index out of range");
+  return start_[v];
+}
+
+void StaticSchedule::set_start(NodeId v, int step) {
+  CSR_EXPECT(v < start_.size(), "schedule index out of range");
+  start_[v] = step;
+}
+
+int StaticSchedule::finish(NodeId v, const DataFlowGraph& g) const {
+  return start(v) + g.node(v).time;
+}
+
+int StaticSchedule::length(const DataFlowGraph& g) const {
+  int len = 0;
+  for (NodeId v = 0; v < start_.size(); ++v) {
+    len = std::max(len, finish(v, g));
+  }
+  return len;
+}
+
+std::vector<NodeId> StaticSchedule::nodes_starting_at(int step) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < start_.size(); ++v) {
+    if (start_[v] == step) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> validate_schedule(const DataFlowGraph& g,
+                                           const StaticSchedule& s) {
+  std::vector<std::string> problems;
+  if (s.node_count() != g.node_count()) {
+    problems.emplace_back("schedule size does not match graph");
+    return problems;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (s.start(v) < 0) {
+      problems.push_back("negative start for node " + g.node(v).name);
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.delay != 0) continue;
+    if (s.finish(edge.from, g) > s.start(edge.to)) {
+      problems.push_back("zero-delay dependence violated: " + g.node(edge.from).name +
+                         " -> " + g.node(edge.to).name);
+    }
+  }
+  return problems;
+}
+
+StaticSchedule asap_schedule(const DataFlowGraph& g) {
+  const auto order = zero_delay_topological_order(g);
+  if (!order) throw InvalidArgument("cannot schedule: zero-delay cycle present");
+  StaticSchedule s(g.node_count());
+  for (const NodeId v : *order) {
+    int earliest = 0;
+    for (const EdgeId e : g.in_edges(v)) {
+      if (g.edge(e).delay != 0) continue;
+      earliest = std::max(earliest, s.finish(g.edge(e).from, g));
+    }
+    s.set_start(v, earliest);
+  }
+  return s;
+}
+
+StaticSchedule alap_schedule(const DataFlowGraph& g, int length) {
+  CSR_REQUIRE(length >= cycle_period(g), "ALAP length below the cycle period");
+  const auto order = zero_delay_topological_order(g);
+  CSR_ENSURE(order.has_value(), "cycle_period succeeded but topo order failed");
+  StaticSchedule s(g.node_count());
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    int latest_finish = length;
+    for (const EdgeId e : g.out_edges(v)) {
+      if (g.edge(e).delay != 0) continue;
+      latest_finish = std::min(latest_finish, s.start(g.edge(e).to));
+    }
+    s.set_start(v, latest_finish - g.node(v).time);
+  }
+  return s;
+}
+
+Rational iteration_period(const DataFlowGraph& g, const StaticSchedule& s,
+                          int unfolding_factor) {
+  CSR_REQUIRE(unfolding_factor >= 1, "unfolding factor must be >= 1");
+  return Rational(s.length(g), unfolding_factor);
+}
+
+std::string format_schedule(const DataFlowGraph& g, const StaticSchedule& s) {
+  std::ostringstream os;
+  const int len = s.length(g);
+  for (int step = 0; step < len; ++step) {
+    os << "step " << step << ":";
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (s.start(v) <= step && step < s.finish(v, g)) {
+        os << ' ' << g.node(v).name;
+        if (g.node(v).time > 1) {
+          os << (s.start(v) == step ? "*" : ".");
+        }
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace csr

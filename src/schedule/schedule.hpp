@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Static schedules of one (retimed/unfolded) loop iteration. A schedule
+/// assigns every node a start control step; node v occupies control steps
+/// [start(v), start(v) + t(v)). A schedule is valid for graph G when every
+/// zero-delay edge u→v finishes u before v starts — inter-iteration edges
+/// (delay ≥ 1) impose no constraint inside one iteration. The schedule
+/// length equals the iteration's makespan; with unlimited resources its
+/// minimum is the cycle period of G.
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "support/rational.hpp"
+
+namespace csr {
+
+class StaticSchedule {
+ public:
+  StaticSchedule() = default;
+  explicit StaticSchedule(std::size_t node_count) : start_(node_count, 0) {}
+
+  [[nodiscard]] std::size_t node_count() const { return start_.size(); }
+
+  [[nodiscard]] int start(NodeId v) const;
+  void set_start(NodeId v, int step);
+
+  /// start(v) + t(v).
+  [[nodiscard]] int finish(NodeId v, const DataFlowGraph& g) const;
+
+  /// Maximum finish over all nodes (0 for an empty schedule).
+  [[nodiscard]] int length(const DataFlowGraph& g) const;
+
+  /// Nodes starting at control step `step`, in node-id order.
+  [[nodiscard]] std::vector<NodeId> nodes_starting_at(int step) const;
+
+  friend bool operator==(const StaticSchedule&, const StaticSchedule&) = default;
+
+ private:
+  std::vector<int> start_;
+};
+
+/// Validation problems (empty when valid): negative starts, zero-delay
+/// precedence violations.
+[[nodiscard]] std::vector<std::string> validate_schedule(const DataFlowGraph& g,
+                                                         const StaticSchedule& s);
+
+/// As-soon-as-possible schedule (unlimited resources); length equals
+/// cycle_period(g). Throws InvalidArgument on zero-delay cycles.
+[[nodiscard]] StaticSchedule asap_schedule(const DataFlowGraph& g);
+
+/// As-late-as-possible schedule for a target `length` ≥ cycle_period(g).
+[[nodiscard]] StaticSchedule alap_schedule(const DataFlowGraph& g, int length);
+
+/// The iteration period of a schedule of an f-unfolded iteration: one trip
+/// executes f original iterations, so the period is length / f.
+[[nodiscard]] Rational iteration_period(const DataFlowGraph& g, const StaticSchedule& s,
+                                        int unfolding_factor);
+
+/// Renders the schedule as a control-step table (one line per step) — used
+/// by examples and the figure-reproduction benches.
+[[nodiscard]] std::string format_schedule(const DataFlowGraph& g, const StaticSchedule& s);
+
+}  // namespace csr

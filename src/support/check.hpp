@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight precondition / invariant checking macros.
+///
+/// CSR_REQUIRE  — validates caller-supplied data; throws InvalidArgument.
+/// CSR_EXPECT   — validates an API precondition; throws LogicError.
+/// CSR_ENSURE   — validates an internal invariant / postcondition; throws
+///                LogicError (these firing indicates a library bug).
+///
+/// All three are always on: the algorithms in this library are milliseconds
+/// scale, and the Core Guidelines' advice (I.6, E.12) favours checked
+/// interfaces over silent corruption.
+
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace csr::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void fail_logic(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw LogicError(os.str());
+}
+
+}  // namespace csr::detail
+
+#define CSR_REQUIRE(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::csr::detail::fail_require(#cond, __FILE__, __LINE__, msg);  \
+    }                                                               \
+  } while (false)
+
+#define CSR_EXPECT(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::csr::detail::fail_logic(#cond, __FILE__, __LINE__, msg);    \
+    }                                                               \
+  } while (false)
+
+#define CSR_ENSURE(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::csr::detail::fail_logic(#cond, __FILE__, __LINE__, msg);    \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file error.hpp
+/// Exception hierarchy shared by every csr subsystem.
+///
+/// The library distinguishes programmer errors (violated preconditions, which
+/// abort via CSR_ASSERT in debug builds and throw LogicError otherwise) from
+/// data errors (malformed graphs, infeasible constraint systems, parse
+/// failures) that a caller is expected to handle.
+
+#include <stdexcept>
+#include <string>
+
+namespace csr {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A violated API precondition (caller bug).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Structurally invalid input data (bad graph, negative delay, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// A requested optimization problem has no feasible solution
+/// (e.g. no legal retiming achieves the requested cycle period).
+class Infeasible : public Error {
+ public:
+  explicit Infeasible(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Failure while parsing a textual artifact (DFG file, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Arithmetic overflow in exact integer/rational computations.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+}  // namespace csr

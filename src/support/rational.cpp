@@ -1,0 +1,156 @@
+#include "support/rational.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError("int64 multiplication overflow");
+  }
+  return out;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError("int64 addition overflow");
+  }
+  return out;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  CSR_REQUIRE(den != 0, "rational denominator must be non-zero");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::int64_t Rational::floor() const {
+  if (num_ >= 0) return num_ / den_;
+  return -((-num_ + den_ - 1) / den_);
+}
+
+std::int64_t Rational::ceil() const { return -(-*this).floor(); }
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Reduce before multiplying to keep intermediates small.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t lhs_scale = rhs.den_ / g;
+  const std::int64_t rhs_scale = den_ / g;
+  num_ = checked_add(checked_mul(num_, lhs_scale), checked_mul(rhs.num_, rhs_scale));
+  den_ = checked_mul(den_, lhs_scale);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  const std::int64_t g1 = std::gcd(num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_, den_);
+  num_ = checked_mul(num_ / g1, rhs.num_ / g2);
+  den_ = checked_mul(den_ / g2, rhs.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  CSR_REQUIRE(!rhs.is_zero(), "rational division by zero");
+  return *this *= Rational(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a.num/a.den <=> b.num/b.den with positive denominators. Cross products
+  // of two int64 values can exceed 64 bits (the iteration-bound recovery
+  // compares rationals with ~2^60 cross products), so widen to 128 bits.
+  // The GCC/Clang extension type needs __extension__ under -Wpedantic.
+  __extension__ using int128 = __int128;
+  const int128 lhs = static_cast<int128>(a.num_) * b.den_;
+  const int128 rhs = static_cast<int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (!r.is_integer()) os << '/' << r.den();
+  return os;
+}
+
+namespace {
+
+// Smallest-denominator rational in an interval with explicit endpoint
+// inclusivity — the classic continued-fraction descent. Each recursion step
+// subtracts the floor and takes reciprocals, so endpoint magnitudes shrink;
+// the exact comparisons above are 128-bit-safe.
+Rational simplest_in_interval(const Rational& lo, bool lo_closed, const Rational& hi,
+                              bool hi_closed) {
+  // Smallest integer admitted by the lower endpoint.
+  const std::int64_t z = lo_closed ? lo.ceil() : lo.floor() + 1;
+  const Rational zr(z);
+  if (zr < hi || (hi_closed && zr == hi)) return zr;
+
+  // No integer inside: both endpoints share floor(lo), and lo − f > 0 unless
+  // lo is an excluded integer — the z test above would have caught a closed
+  // integer lo.
+  const Rational f(lo.floor());
+  const Rational lo_frac = lo - f;
+  const Rational hi_frac = hi - f;
+  if (lo_frac.is_zero()) {
+    // Interval (f, hi): answer is f + 1/m for the smallest m ≥ 1/hi_frac
+    // admitted by the reciprocal bound.
+    const Rational inv = Rational(1) / hi_frac;
+    const std::int64_t m = hi_closed ? inv.ceil() : inv.floor() + 1;
+    return f + Rational(1, m);
+  }
+  // x ∈ (lo, hi) ⇔ 1/(x−f) ∈ (1/hi_frac, 1/lo_frac); inclusivity flips ends.
+  const Rational inv = simplest_in_interval(Rational(1) / hi_frac, hi_closed,
+                                            Rational(1) / lo_frac, lo_closed);
+  return f + Rational(inv.den(), inv.num());
+}
+
+}  // namespace
+
+Rational simplest_rational_in(const Rational& lo, const Rational& hi) {
+  CSR_REQUIRE(lo < hi, "simplest_rational_in requires lo < hi");
+  return simplest_in_interval(lo, /*lo_closed=*/false, hi, /*hi_closed=*/true);
+}
+
+}  // namespace csr

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file rational.hpp
+/// Exact rational arithmetic on 64-bit integers with overflow detection.
+///
+/// Iteration bounds of data-flow graphs are ratios of cycle weights
+/// (Σ computation time / Σ delay) and must be compared exactly: a schedule is
+/// *rate-optimal* iff its iteration period equals the iteration bound, and an
+/// off-by-epsilon comparison would mis-classify. All numerators/denominators
+/// in this library are tiny (bounded by graph weight sums), so checked int64
+/// is ample; overflow throws OverflowError instead of silently wrapping.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace csr {
+
+/// An exact rational number `num/den`, always stored in canonical form:
+/// gcd(num, den) == 1 and den > 0. The value 0 is stored as 0/1.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// The integer `value`.
+  Rational(std::int64_t value) : num_(value) {}  // NOLINT(runtime/explicit)
+
+  /// `num/den`; throws InvalidArgument when `den == 0`.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+
+  /// Floor of the rational as an integer (rounds toward −∞).
+  [[nodiscard]] std::int64_t floor() const;
+  /// Ceiling of the rational as an integer (rounds toward +∞).
+  [[nodiscard]] std::int64_t ceil() const;
+
+  /// Lossy conversion for display / plotting only.
+  [[nodiscard]] double to_double() const;
+
+  /// "p/q" or just "p" when the value is an integer.
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws InvalidArgument on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Checked int64 multiply; throws OverflowError on overflow.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+/// Checked int64 add; throws OverflowError on overflow.
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+/// The best rational approximation of the half-open interval (lo, hi]
+/// with the smallest denominator, found by walking the Stern–Brocot tree.
+/// Used to recover the exact iteration bound from a binary-search interval:
+/// the bound is known to be a ratio with denominator ≤ total delay count, so
+/// once the search interval is tight enough the unique smallest-denominator
+/// rational inside it is the bound itself. Requires lo < hi.
+Rational simplest_rational_in(const Rational& lo, const Rational& hi);
+
+}  // namespace csr

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file text.hpp
+/// Small string utilities used by the DFG text format, the loop-IR printer
+/// and the table-rendering benches. Kept dependency-free on purpose.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csr {
+
+/// Strip leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True when `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Left-pad `s` with spaces to `width` (no-op when already wider).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pad `s` with spaces to `width` (no-op when already wider).
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace csr

@@ -1,0 +1,79 @@
+#include "unfolding/unfold.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+Unfolding::Unfolding(const DataFlowGraph& g, int factor)
+    : original_(g), factor_(factor) {
+  CSR_REQUIRE(factor >= 1, "unfolding factor must be >= 1");
+  unfolded_.set_name(g.name().empty() ? "unfolded" : g.name() + ".uf" + std::to_string(factor));
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (int j = 0; j < factor; ++j) {
+      unfolded_.add_node(g.node(v).name + "." + std::to_string(j), g.node(v).time);
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    for (int j = 0; j < factor; ++j) {
+      const int target_copy = (j + edge.delay) % factor;
+      const int new_delay = (j + edge.delay) / factor;
+      unfolded_.add_edge(copy(edge.from, j), copy(edge.to, target_copy), new_delay);
+    }
+  }
+  CSR_ENSURE(unfolded_.is_legal(), "unfolding produced an illegal graph");
+}
+
+NodeId Unfolding::copy(NodeId v, int j) const {
+  CSR_EXPECT(v < original_.node_count(), "original node id out of range");
+  CSR_EXPECT(j >= 0 && j < factor_, "copy index out of range");
+  return v * static_cast<NodeId>(factor_) + static_cast<NodeId>(j);
+}
+
+NodeId Unfolding::original_node(NodeId unfolded_id) const {
+  CSR_EXPECT(unfolded_id < unfolded_.node_count(), "unfolded node id out of range");
+  return unfolded_id / static_cast<NodeId>(factor_);
+}
+
+int Unfolding::copy_index(NodeId unfolded_id) const {
+  CSR_EXPECT(unfolded_id < unfolded_.node_count(), "unfolded node id out of range");
+  return static_cast<int>(unfolded_id % static_cast<NodeId>(factor_));
+}
+
+Retiming Unfolding::fold_retiming(const Retiming& unfolded_retiming) const {
+  CSR_REQUIRE(unfolded_retiming.node_count() == unfolded_.node_count(),
+              "retiming does not match unfolded graph");
+  Retiming folded(original_.node_count());
+  for (NodeId v = 0; v < original_.node_count(); ++v) {
+    int sum = 0;
+    for (int j = 0; j < factor_; ++j) {
+      sum += unfolded_retiming[copy(v, j)];
+    }
+    folded.set(v, sum);
+  }
+  return folded;
+}
+
+Retiming Unfolding::lift_retiming(const Retiming& original_retiming) const {
+  CSR_REQUIRE(original_retiming.node_count() == original_.node_count(),
+              "retiming does not match original graph");
+  Retiming lifted(unfolded_.node_count());
+  for (NodeId v = 0; v < original_.node_count(); ++v) {
+    for (int j = 0; j < factor_; ++j) {
+      // ⌈(r − j)/f⌉ with C++ truncation handled for negatives.
+      const int r = original_retiming[v] - j;
+      const int lift = r >= 0 ? (r + factor_ - 1) / factor_ : -((-r) / factor_);
+      lifted.set(copy(v, j), lift);
+    }
+  }
+  return lifted;
+}
+
+DataFlowGraph unfold(const DataFlowGraph& g, int factor) {
+  return Unfolding(g, factor).graph();
+}
+
+}  // namespace csr

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file unfold.hpp
+/// Loop unfolding (unrolling at the DFG level, Section 2.2). Unfolding
+/// G = <V,E,d,t> by factor f produces G_f with f copies u_0..u_{f−1} of every
+/// node; copy u_j computes iteration f·k + j of u in the k-th unfolded
+/// iteration. The standard construction (Parhi): each edge u→v with delay d
+/// becomes, for every j ∈ [0, f),
+///
+///     u_j → v_{(j+d) mod f}   with delay ⌊(j+d)/f⌋.
+///
+/// Invariants (tested): Σ delays is preserved per original edge; the
+/// iteration bound of G_f is f · B(G); the unfolded graph of a legal DFG is
+/// legal.
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// An unfolded graph plus the book-keeping linking copies to originals.
+class Unfolding {
+ public:
+  /// Unfolds `g` by `factor` ≥ 1. Copy j of original node v is named
+  /// "<name>.j" and laid out at node id v·factor + j.
+  Unfolding(const DataFlowGraph& g, int factor);
+
+  [[nodiscard]] const DataFlowGraph& graph() const { return unfolded_; }
+  [[nodiscard]] const DataFlowGraph& original() const { return original_; }
+  [[nodiscard]] int factor() const { return factor_; }
+
+  /// Node id of copy `j` of original node `v`.
+  [[nodiscard]] NodeId copy(NodeId v, int j) const;
+
+  /// Original node of an unfolded node id.
+  [[nodiscard]] NodeId original_node(NodeId unfolded_id) const;
+
+  /// Copy index (iteration offset) of an unfolded node id.
+  [[nodiscard]] int copy_index(NodeId unfolded_id) const;
+
+  /// Folds a retiming of the *unfolded* graph back onto the original graph
+  /// per Theorem 4.5: r_f(u) = Σ_j r(u_j). Chao–Sha showed that retiming the
+  /// original by r_f and then unfolding achieves the same minimum cycle
+  /// period as retiming the unfolded graph by r.
+  [[nodiscard]] Retiming fold_retiming(const Retiming& unfolded_retiming) const;
+
+  /// Lifts a retiming of the original graph onto the unfolded graph:
+  /// copy j of node v gets r'(v_j) = ⌈(r(v) − j)/f⌉, the Chao–Sha
+  /// correspondence under which copy j's iteration offset j + f·r'(v_j)
+  /// enumerates exactly {j' + r(v) : j' ∈ [0,f)}. The lift of a legal
+  /// retiming is legal, and fold_retiming(lift_retiming(r)) == r.
+  [[nodiscard]] Retiming lift_retiming(const Retiming& original_retiming) const;
+
+ private:
+  DataFlowGraph original_;
+  DataFlowGraph unfolded_;
+  int factor_ = 1;
+};
+
+/// Convenience: just the unfolded graph.
+[[nodiscard]] DataFlowGraph unfold(const DataFlowGraph& g, int factor);
+
+}  // namespace csr

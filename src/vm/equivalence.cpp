@@ -1,0 +1,65 @@
+#include "vm/equivalence.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+std::vector<std::string> diff_observable_state(const Machine& expected,
+                                               const Machine& actual,
+                                               const std::vector<std::string>& arrays,
+                                               std::int64_t n) {
+  std::vector<std::string> diffs;
+  for (const std::string& array : arrays) {
+    for (std::int64_t i = 1; i <= n; ++i) {
+      const std::uint64_t want = expected.read(array, i);
+      const std::uint64_t got = actual.read(array, i);
+      if (want != got) {
+        std::ostringstream os;
+        os << array << '[' << i << "]: expected 0x" << std::hex << want << ", got 0x"
+           << got;
+        diffs.push_back(os.str());
+      }
+    }
+  }
+  return diffs;
+}
+
+std::vector<std::string> check_write_discipline(const Machine& machine,
+                                                const std::vector<std::string>& arrays,
+                                                std::int64_t n) {
+  std::vector<std::string> problems;
+  for (const std::string& array : arrays) {
+    std::int64_t in_range = 0;
+    for (std::int64_t i = 1; i <= n; ++i) {
+      const int count = machine.write_count(array, i);
+      if (count > 1) {
+        problems.push_back(array + "[" + std::to_string(i) + "] written " +
+                           std::to_string(count) + " times");
+      }
+      if (count >= 1) in_range += count;
+    }
+    const std::int64_t total = machine.total_writes(array);
+    if (total != in_range) {
+      problems.push_back(array + ": " + std::to_string(total - in_range) +
+                         " writes outside 1.." + std::to_string(n));
+    }
+    if (in_range != n) {
+      problems.push_back(array + ": " + std::to_string(in_range) + " of " +
+                         std::to_string(n) + " iterations written");
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> compare_programs(const LoopProgram& expected,
+                                          const LoopProgram& actual,
+                                          const std::vector<std::string>& arrays) {
+  CSR_REQUIRE(expected.n == actual.n, "programs have different trip counts");
+  const Machine a = run_program(expected);
+  const Machine b = run_program(actual);
+  return diff_observable_state(a, b, arrays, expected.n);
+}
+
+}  // namespace csr

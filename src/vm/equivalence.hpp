@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file equivalence.hpp
+/// Semantic comparison of loop programs by execution. The observable effect
+/// of a loop over a DFG is the contents of every node's array at indices
+/// 1..n; the CSR transformation theorems (4.1, 4.2, 4.6, 4.7) all amount to
+/// "the transformed program leaves the same observable state as the
+/// original". This module runs programs in the VM and diffs that state, and
+/// additionally checks the execution-count discipline (each array written
+/// exactly once per index, exactly n writes per array — no duplicated or
+/// missing node copies).
+
+#include <string>
+#include <vector>
+
+#include "loopir/program.hpp"
+#include "vm/machine.hpp"
+
+namespace csr {
+
+/// Differences between two executed machines over `arrays` at indices 1..n.
+/// Empty means observably equivalent. Each entry is human-readable
+/// ("A[7]: 0x... vs 0x...").
+[[nodiscard]] std::vector<std::string> diff_observable_state(
+    const Machine& expected, const Machine& actual,
+    const std::vector<std::string>& arrays, std::int64_t n);
+
+/// Write-discipline problems of an executed machine: any index of a listed
+/// array written more than once, writes outside 1..n, or a total write count
+/// different from n. Empty means the program executed each node exactly once
+/// per original iteration — the paper's correctness requirement.
+[[nodiscard]] std::vector<std::string> check_write_discipline(
+    const Machine& machine, const std::vector<std::string>& arrays, std::int64_t n);
+
+/// Runs both programs and returns the observable diff (convenience).
+[[nodiscard]] std::vector<std::string> compare_programs(
+    const LoopProgram& expected, const LoopProgram& actual,
+    const std::vector<std::string>& arrays);
+
+}  // namespace csr

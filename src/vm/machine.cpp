@@ -1,0 +1,125 @@
+#include "vm/machine.hpp"
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t boundary_value(const std::string& array, std::int64_t index) {
+  return mix(op_seed_for(array) ^ mix(static_cast<std::uint64_t>(index) ^
+                                      0xA5A5A5A5A5A5A5A5ULL));
+}
+
+std::uint64_t statement_value(std::uint64_t op_seed, std::int64_t target_index,
+                              const std::vector<std::uint64_t>& operands) {
+  std::uint64_t h = mix(op_seed ^ mix(static_cast<std::uint64_t>(target_index)));
+  for (const std::uint64_t v : operands) {
+    h = mix(h ^ mix(v));
+  }
+  return h;
+}
+
+void Machine::execute(const Instruction& instr, std::int64_t i, std::int64_t lc) {
+  ++issued_;
+  switch (instr.kind) {
+    case InstrKind::kStatement: {
+      if (!instr.guard.empty()) {
+        const auto it = registers_.find(instr.guard);
+        if (it == registers_.end()) {
+          throw InvalidArgument("guard register '" + instr.guard + "' used before setup");
+        }
+        const Register& reg = it->second;
+        const bool enabled = reg.value <= 0 && reg.value > reg.lower_bound;
+        if (!enabled) {
+          ++disabled_;
+          return;
+        }
+      }
+      std::vector<std::uint64_t> operands;
+      operands.reserve(instr.stmt.sources.size());
+      for (const ArrayRef& src : instr.stmt.sources) {
+        operands.push_back(read(src.array, i + src.offset));
+      }
+      const std::int64_t target = i + instr.stmt.offset;
+      memory_[instr.stmt.array][target] =
+          statement_value(instr.stmt.op_seed, target, operands);
+      ++write_counts_[instr.stmt.array][target];
+      ++executed_;
+      break;
+    }
+    case InstrKind::kSetup:
+      registers_[instr.reg] = Register{instr.value, -lc};
+      break;
+    case InstrKind::kDecrement: {
+      const auto it = registers_.find(instr.reg);
+      if (it == registers_.end()) {
+        throw InvalidArgument("decrement of register '" + instr.reg + "' before setup");
+      }
+      it->second.value -= instr.value;
+      break;
+    }
+  }
+}
+
+void Machine::run(const LoopProgram& program) {
+  const auto problems = program.validate();
+  if (!problems.empty()) {
+    throw InvalidArgument("invalid loop program: " + join(problems, "; "));
+  }
+  for (const LoopSegment& seg : program.segments) {
+    for (std::int64_t i = seg.begin; i <= seg.end; i += seg.step) {
+      for (const Instruction& instr : seg.instructions) {
+        execute(instr, i, program.n);
+      }
+    }
+  }
+}
+
+std::uint64_t Machine::read(const std::string& array, std::int64_t index) const {
+  const auto arr = memory_.find(array);
+  if (arr != memory_.end()) {
+    const auto cell = arr->second.find(index);
+    if (cell != arr->second.end()) return cell->second;
+  }
+  return boundary_value(array, index);
+}
+
+bool Machine::written(const std::string& array, std::int64_t index) const {
+  return write_count(array, index) > 0;
+}
+
+int Machine::write_count(const std::string& array, std::int64_t index) const {
+  const auto arr = write_counts_.find(array);
+  if (arr == write_counts_.end()) return 0;
+  const auto cell = arr->second.find(index);
+  return cell == arr->second.end() ? 0 : cell->second;
+}
+
+std::int64_t Machine::total_writes(const std::string& array) const {
+  const auto arr = write_counts_.find(array);
+  if (arr == write_counts_.end()) return 0;
+  std::int64_t total = 0;
+  for (const auto& [index, count] : arr->second) total += count;
+  return total;
+}
+
+Machine run_program(const LoopProgram& program) {
+  Machine machine;
+  machine.run(program);
+  return machine;
+}
+
+}  // namespace csr

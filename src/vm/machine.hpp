@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file machine.hpp
+/// An interpreter for loop programs implementing the paper's conditional-
+/// register semantics (Section 3.1):
+///
+///   * `setup p = v : -LC` loads v into p and records −LC as the lower
+///     comparison bound (LC is the program's original trip count n);
+///   * a guarded statement `(p) stmt` executes iff 0 ≥ p > −LC — the
+///     comparison is "implemented by hardware", i.e. evaluated at the moment
+///     the guarded instruction issues;
+///   * `p = p − a` decrements the register.
+///
+/// Array memory is sparse and unbounded in both directions. Reads of cells
+/// never written yield a deterministic per-(array, index) boundary value —
+/// the loop's live-in data. Every write is counted, so tests can assert the
+/// execution-count claims of Theorems 4.1/4.2/4.6: each node executes
+/// exactly n times, no matter how the loop was pipelined or unfolded.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// Deterministic live-in value of `array[index]`.
+[[nodiscard]] std::uint64_t boundary_value(const std::string& array, std::int64_t index);
+
+/// Value of a statement with `op_seed` writing `target_index` from operand
+/// values — a 64-bit hash, order-sensitive in the operands.
+[[nodiscard]] std::uint64_t statement_value(std::uint64_t op_seed,
+                                            std::int64_t target_index,
+                                            const std::vector<std::uint64_t>& operands);
+
+class Machine {
+ public:
+  Machine() = default;
+
+  /// Executes `program` from a fresh state. Throws InvalidArgument when the
+  /// program fails LoopProgram::validate() or uses a register before setup.
+  void run(const LoopProgram& program);
+
+  /// Current value of `array[index]` (boundary value when never written).
+  [[nodiscard]] std::uint64_t read(const std::string& array, std::int64_t index) const;
+
+  /// True when `array[index]` has been written at least once.
+  [[nodiscard]] bool written(const std::string& array, std::int64_t index) const;
+
+  /// Number of times `array[index]` was written.
+  [[nodiscard]] int write_count(const std::string& array, std::int64_t index) const;
+
+  /// Total writes performed by `array`'s statements.
+  [[nodiscard]] std::int64_t total_writes(const std::string& array) const;
+
+  /// Statements whose guard disabled them.
+  [[nodiscard]] std::int64_t disabled_statements() const { return disabled_; }
+  /// Statements that executed.
+  [[nodiscard]] std::int64_t executed_statements() const { return executed_; }
+  /// Total instructions issued (statements incl. disabled + setups + decrements).
+  [[nodiscard]] std::int64_t issued_instructions() const { return issued_; }
+
+ private:
+  struct Register {
+    std::int64_t value = 0;
+    std::int64_t lower_bound = 0;  // the −LC of the setup
+  };
+
+  void execute(const Instruction& instr, std::int64_t i, std::int64_t lc);
+
+  std::map<std::string, std::map<std::int64_t, std::uint64_t>> memory_;
+  std::map<std::string, std::map<std::int64_t, int>> write_counts_;
+  std::map<std::string, Register> registers_;
+  std::int64_t disabled_ = 0;
+  std::int64_t executed_ = 0;
+  std::int64_t issued_ = 0;
+};
+
+/// Runs `program` on a fresh machine.
+[[nodiscard]] Machine run_program(const LoopProgram& program);
+
+}  // namespace csr

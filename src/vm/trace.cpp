@@ -1,0 +1,76 @@
+#include "vm/trace.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+
+namespace {
+
+struct Register {
+  std::int64_t value = 0;
+  std::int64_t lower_bound = 0;
+};
+
+}  // namespace
+
+std::vector<TripTrace> trace_program(const LoopProgram& program) {
+  {
+    const auto problems = program.validate();
+    if (!problems.empty()) {
+      throw InvalidArgument("cannot trace invalid program: " + join(problems, "; "));
+    }
+  }
+  std::vector<TripTrace> trace;
+  std::map<std::string, Register> registers;
+  for (const LoopSegment& seg : program.segments) {
+    for (std::int64_t i = seg.begin; i <= seg.end; i += seg.step) {
+      TripTrace trip;
+      trip.i = i;
+      for (const Instruction& instr : seg.instructions) {
+        switch (instr.kind) {
+          case InstrKind::kSetup:
+            registers[instr.reg] = Register{instr.value, -program.n};
+            break;
+          case InstrKind::kDecrement:
+            registers.at(instr.reg).value -= instr.value;
+            break;
+          case InstrKind::kStatement: {
+            bool enabled = true;
+            if (!instr.guard.empty()) {
+              const Register& reg = registers.at(instr.guard);
+              enabled = reg.value <= 0 && reg.value > reg.lower_bound;
+            }
+            std::ostringstream cell;
+            cell << instr.stmt.array << '[' << (i + instr.stmt.offset) << ']';
+            (enabled ? trip.enabled : trip.disabled).push_back(cell.str());
+            break;
+          }
+        }
+      }
+      trace.push_back(std::move(trip));
+    }
+  }
+  return trace;
+}
+
+std::string format_trace(const std::vector<TripTrace>& trace) {
+  std::ostringstream os;
+  for (const TripTrace& trip : trace) {
+    if (trip.enabled.empty() && trip.disabled.empty()) continue;
+    os << "i=" << trip.i << ':';
+    for (const std::string& cell : trip.enabled) os << ' ' << cell;
+    if (!trip.disabled.empty()) {
+      os << "  (disabled:";
+      for (const std::string& cell : trip.disabled) os << ' ' << cell;
+      os << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace csr

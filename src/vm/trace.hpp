@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file trace.hpp
+/// Per-trip execution traces of loop programs — the machinery behind the
+/// paper's Figure 3(c)/7(c) "execution sequence" tables. Conditional
+/// register values are fully determined by the instruction stream, so the
+/// trace is computed by replaying setups/decrements and evaluating each
+/// guard window, without touching array memory.
+
+#include <string>
+#include <vector>
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// What one trip of one segment did.
+struct TripTrace {
+  std::int64_t i = 0;  ///< loop index of the trip
+  /// Enabled statements, rendered as "A[5]" (target with substituted index).
+  std::vector<std::string> enabled;
+  /// Statements whose guard disabled them, rendered the same way.
+  std::vector<std::string> disabled;
+};
+
+/// Replays `program` and reports every trip in order. Throws
+/// InvalidArgument when the program does not validate.
+[[nodiscard]] std::vector<TripTrace> trace_program(const LoopProgram& program);
+
+/// Renders the trace as one line per trip:
+///   i=-2: A[1] C[1] | (disabled: B[0] ...)
+/// Trips with nothing enabled and nothing disabled are skipped.
+[[nodiscard]] std::string format_trace(const std::vector<TripTrace>& trace);
+
+}  // namespace csr

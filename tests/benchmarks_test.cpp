@@ -1,0 +1,110 @@
+// Sanity checks on the reconstructed benchmark graphs: node counts from the
+// paper's "Orig" column, legality, unit times, and the measured pipeline
+// depths / register counts the experiment tables rely on.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "retiming/opt.hpp"
+
+namespace csr {
+namespace {
+
+struct Expectation {
+  const char* name;
+  std::size_t nodes;
+  int min_period;
+  int depth;
+  std::int64_t registers;
+};
+
+class BenchmarkShapeTest : public ::testing::TestWithParam<Expectation> {};
+
+TEST_P(BenchmarkShapeTest, MatchesDocumentedShape) {
+  const auto& graphs = benchmarks::table_benchmarks();
+  const auto it = std::find_if(graphs.begin(), graphs.end(), [&](const auto& b) {
+    return b.name == std::string(GetParam().name);
+  });
+  ASSERT_NE(it, graphs.end());
+  const DataFlowGraph g = it->factory();
+  EXPECT_EQ(g.node_count(), GetParam().nodes);
+  EXPECT_TRUE(g.is_legal());
+  EXPECT_TRUE(g.unit_time());
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  EXPECT_EQ(opt.period, GetParam().min_period);
+  EXPECT_EQ(opt.retiming.max_value(), GetParam().depth);
+  EXPECT_EQ(registers_required(opt.retiming), GetParam().registers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BenchmarkShapeTest,
+    ::testing::Values(Expectation{"IIR Filter", 8, 3, 1, 2},
+                      Expectation{"Differential Equation", 11, 3, 2, 3},
+                      Expectation{"All-pole Filter", 15, 3, 3, 4},
+                      Expectation{"Elliptical Filter", 34, 3, 2, 3},
+                      Expectation{"4-stage Lattice Filter", 26, 3, 2, 3},
+                      Expectation{"Volterra Filter", 27, 3, 1, 2}),
+    [](const auto& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Benchmarks, RetimingImprovesEveryBenchmark) {
+  // Every table benchmark must actually need software pipelining: the
+  // original cycle period strictly exceeds the retimed one.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    EXPECT_GT(cycle_period(g), opt.period) << info.name;
+  }
+}
+
+TEST(Benchmarks, FractionalBoundsOnlyWhereDocumented) {
+  // Elliptic and lattice have fractional bounds (8/3) — they need unfolding
+  // for rate optimality; the others reach their bound by retiming alone.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const auto bound = iteration_bound(g);
+    ASSERT_TRUE(bound.has_value());
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    const bool fractional = !bound->is_integer();
+    if (fractional) {
+      EXPECT_GT(Rational(opt.period), *bound) << info.name;
+    } else {
+      EXPECT_EQ(Rational(opt.period), *bound) << info.name;
+    }
+  }
+}
+
+TEST(Benchmarks, DidacticGraphsPresent) {
+  EXPECT_EQ(benchmarks::figure1_example().node_count(), 2u);
+  EXPECT_EQ(benchmarks::figure3_example().node_count(), 5u);
+  EXPECT_EQ(benchmarks::figure4_example().node_count(), 3u);
+  EXPECT_EQ(benchmarks::chao_sha_example().node_count(), 5u);
+  EXPECT_FALSE(benchmarks::chao_sha_example().unit_time());
+}
+
+TEST(Benchmarks, AllGraphsListIncludesEverything) {
+  EXPECT_EQ(benchmarks::all_graphs().size(), benchmarks::table_benchmarks().size() + 4);
+  for (const auto& info : benchmarks::all_graphs()) {
+    EXPECT_TRUE(info.factory().is_legal()) << info.name;
+  }
+}
+
+TEST(Benchmarks, ChaoShaBoundRequiresUnfolding) {
+  const DataFlowGraph g = benchmarks::chao_sha_example();
+  const auto bound = iteration_bound(g);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, Rational(27, 2));
+  // Retiming alone cannot reach a fractional bound.
+  EXPECT_GT(Rational(minimum_period_retiming(g).period), *bound);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,237 @@
+// Structural tests for the code generators: statement construction, shapes
+// of the emitted programs, code sizes against the closed-form predictions,
+// and register counts against Theorems 4.3/4.7.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/registers.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "codegen/unfolded_retimed.hpp"
+#include "codesize/model.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Statements, NodeStatementReadsPredecessorsWithDelays) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Statement s = node_statement(g, *g.find_node("C"));
+  EXPECT_EQ(s.array, "C");
+  EXPECT_EQ(s.offset, 0);
+  ASSERT_EQ(s.sources.size(), 2u);
+  EXPECT_EQ(s.sources[0].array, "A");
+  EXPECT_EQ(s.sources[0].offset, 0);
+  EXPECT_EQ(s.sources[1].array, "B");
+  EXPECT_EQ(s.sources[1].offset, -2);
+}
+
+TEST(Statements, OpTextFollowsNamingConvention) {
+  DataFlowGraph g;
+  g.add_node("Mmul");
+  g.add_node("Aadd");
+  EXPECT_EQ(node_statement(g, 0).op_text, "*");
+  EXPECT_EQ(node_statement(g, 1).op_text, "+");
+}
+
+TEST(Statements, ShiftMovesEveryOffset) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Statement s = shifted(node_statement(g, *g.find_node("C")), 2);
+  EXPECT_EQ(s.offset, 2);
+  EXPECT_EQ(s.sources[0].offset, 2);
+  EXPECT_EQ(s.sources[1].offset, 0);
+}
+
+TEST(Statements, ArrayNamesListsEveryNode) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  EXPECT_EQ(array_names(g), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(RegisterPlan, NamesDescendingClasses) {
+  const RegisterPlan plan(std::vector<int>{0, 3, 1, 3});
+  EXPECT_EQ(plan.count(), 3u);
+  EXPECT_EQ(plan.classes_desc(), (std::vector<int>{3, 1, 0}));
+  EXPECT_EQ(plan.reg_for(3), "p1");
+  EXPECT_EQ(plan.reg_for(1), "p2");
+  EXPECT_EQ(plan.reg_for(0), "p3");
+  EXPECT_THROW((void)plan.reg_for(2), LogicError);
+}
+
+TEST(Original, ShapeAndSize) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const LoopProgram p = original_program(g, 10);
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_EQ(p.code_size(), original_size(g));
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_EQ(p.segments[0].trip_count(), 10);
+  EXPECT_TRUE(p.conditional_registers().empty());
+}
+
+TEST(Original, RejectsBadTripCount) {
+  EXPECT_THROW(original_program(benchmarks::figure4_example(), 0), InvalidArgument);
+}
+
+TEST(Retimed, SizeMatchesCensus) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r(std::vector<int>{3, 2, 2, 1, 0});
+  const LoopProgram p = retimed_program(g, r, 50);
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_EQ(p.code_size(), predicted_retimed_size(g, r));
+  EXPECT_EQ(p.code_size(), 5 + 15);  // L + |V|·M_r for figure 3
+}
+
+TEST(Retimed, RejectsIllegalRetimingAndShortLoops) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  Retiming bad(g.node_count());
+  bad.set(*g.find_node("E"), 5);  // pushes D→E negative
+  EXPECT_THROW(retimed_program(g, bad, 50), InvalidArgument);
+  const Retiming r(std::vector<int>{3, 2, 2, 1, 0});
+  EXPECT_THROW(retimed_program(g, r, 3), InvalidArgument);  // n must exceed M_r
+}
+
+TEST(RetimedCsr, SizeAndRegisters) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r(std::vector<int>{3, 2, 2, 1, 0});
+  const LoopProgram p = retimed_csr_program(g, r, 50);
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_EQ(p.code_size(), predicted_retimed_csr_size(g, r));
+  EXPECT_EQ(p.code_size(), 5 + 2 * 4);
+  EXPECT_EQ(p.conditional_registers().size(), 4u);  // Theorem 4.3: |N_r|
+  // One loop covering fill + steady state + drain: n + M_r trips.
+  ASSERT_EQ(p.segments.size(), 2u);
+  EXPECT_EQ(p.segments[1].trip_count(), 50 + 3);
+}
+
+TEST(RetimedCsr, ZeroRetimingDegeneratesGracefully) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Retiming zero(g.node_count());
+  const LoopProgram p = retimed_csr_program(g, zero, 10);
+  EXPECT_TRUE(p.validate().empty());
+  // Single retiming class: one register guarding everything.
+  EXPECT_EQ(p.conditional_registers().size(), 1u);
+  EXPECT_EQ(p.code_size(), original_size(g) + 2);
+}
+
+TEST(Unfolded, SizeMatchesPrediction) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  for (const int f : {1, 2, 3, 4}) {
+    for (const std::int64_t n : {7, 9, 10}) {
+      const LoopProgram p = unfolded_program(g, f, n);
+      EXPECT_TRUE(p.validate().empty());
+      EXPECT_EQ(p.code_size(), predicted_unfolded_size(g, f, n)) << f << ' ' << n;
+    }
+  }
+}
+
+TEST(Unfolded, RemainderSegmentsAreStraightLine) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const LoopProgram p = unfolded_program(g, 3, 10);  // 10 mod 3 = 1 remainder
+  ASSERT_EQ(p.segments.size(), 2u);
+  EXPECT_EQ(p.segments[0].step, 3);
+  EXPECT_EQ(p.segments[0].trip_count(), 3);
+  EXPECT_TRUE(p.segments[1].straight_line());
+  EXPECT_EQ(p.segments[1].begin, 10);
+}
+
+TEST(UnfoldedCsr, OneRegisterOnly) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  for (const int f : {2, 3, 5}) {
+    const LoopProgram p = unfolded_csr_program(g, f, 11);
+    EXPECT_TRUE(p.validate().empty());
+    EXPECT_EQ(p.conditional_registers().size(), 1u);
+    EXPECT_EQ(p.code_size(), predicted_unfolded_csr_size(g, f));
+  }
+}
+
+TEST(RetimedUnfolded, SizeMatchesPrediction) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  for (const int f : {2, 3, 4}) {
+    for (const std::int64_t n : {20, 23, 25}) {
+      const LoopProgram p = retimed_unfolded_program(g, r, f, n);
+      EXPECT_TRUE(p.validate().empty());
+      EXPECT_EQ(p.code_size(), predicted_retimed_unfolded_size(g, r, f, n))
+          << f << ' ' << n;
+    }
+  }
+}
+
+TEST(RetimedUnfoldedCsr, RegistersMatchTheorem47) {
+  // Theorem 4.7: the retimed-unfolded CSR form uses exactly as many
+  // registers as the retimed CSR form, for every unfolding factor.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    const std::size_t base =
+        retimed_csr_program(g, r, 101).conditional_registers().size();
+    for (const int f : {2, 3, 4}) {
+      const LoopProgram p = retimed_unfolded_csr_program(g, r, f, 101);
+      EXPECT_TRUE(p.validate().empty()) << info.name;
+      EXPECT_EQ(p.conditional_registers().size(), base) << info.name << " f=" << f;
+      EXPECT_EQ(p.code_size(), predicted_retimed_unfolded_csr_size(g, r, f))
+          << info.name;
+    }
+  }
+}
+
+TEST(RetimedUnfoldedCsr, QheadAlignsLoopStart) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r(std::vector<int>{3, 2, 2, 1, 0});  // M_r = 3
+  const LoopProgram p = retimed_unfolded_csr_program(g, r, 2, 21);
+  // Q_head = (2 − 3 mod 2) mod 2 = 1, so the loop starts at 1 − 3 − 1 = −3.
+  ASSERT_EQ(p.segments.size(), 2u);
+  EXPECT_EQ(p.segments[1].begin, -3);
+  EXPECT_EQ(p.segments[1].step, 2);
+}
+
+TEST(UnfoldedRetimed, SizeMatchesTheorem44) {
+  const DataFlowGraph g = benchmarks::iir_filter();
+  for (const int f : {2, 3}) {
+    const Unfolding u(g, f);
+    const OptimalRetiming opt = minimum_period_retiming(u.graph());
+    for (const std::int64_t n : {30, 31, 32}) {
+      const LoopProgram p = unfolded_retimed_program(u, opt.retiming, n);
+      EXPECT_TRUE(p.validate().empty());
+      EXPECT_EQ(p.code_size(), predicted_unfolded_retimed_size(u, opt.retiming, n));
+      EXPECT_EQ(p.code_size(),
+                paper_unfolded_retimed_size(original_size(g),
+                                            opt.retiming.normalized().max_value(), f, n));
+    }
+  }
+}
+
+TEST(UnfoldedRetimedCsr, MayNeedMoreRegistersThanRetimedUnfolded) {
+  // Section 3.4: copies of one node can be retimed to different depths, so
+  // the unfold-first CSR form needs at least as many registers — and on the
+  // benchmarks strictly more.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    const Unfolding u(g, 3);
+    const OptimalRetiming uopt = minimum_period_retiming(u.graph());
+    const LoopProgram first = retimed_unfolded_csr_program(g, r, 3, 101);
+    const LoopProgram second = unfolded_retimed_csr_program(u, uopt.retiming, 101);
+    EXPECT_TRUE(second.validate().empty()) << info.name;
+    EXPECT_GE(second.conditional_registers().size(),
+              first.conditional_registers().size())
+        << info.name;
+    EXPECT_EQ(second.code_size(), predicted_unfolded_retimed_csr_size(u, uopt.retiming))
+        << info.name;
+  }
+}
+
+TEST(UnfoldedRetimed, RequiresEnoughTrips) {
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const Unfolding u(g, 3);
+  const OptimalRetiming opt = minimum_period_retiming(u.graph());
+  const int depth = opt.retiming.normalized().max_value();
+  EXPECT_THROW(unfolded_retimed_program(u, opt.retiming, 3 * depth), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace csr

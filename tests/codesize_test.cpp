@@ -1,0 +1,168 @@
+// Tests for the code-size theory: the closed-form predictions against
+// generated programs, the paper's Theorem 4.4/4.5 formulas, the ordering
+// result S_{r,f} ≤ S_{f,r}, register-count theorems and the budget
+// formulas of Section 4.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/unfolded.hpp"
+#include "codegen/unfolded_retimed.hpp"
+#include "codesize/model.hpp"
+#include "retiming/opt.hpp"
+#include "unfolding/unfold.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Model, OriginalSizeIsNodeCount) {
+  EXPECT_EQ(original_size(benchmarks::elliptic_filter()), 34);
+  EXPECT_EQ(original_size(benchmarks::figure4_example()), 3);
+}
+
+TEST(Model, RegistersRequiredIsDistinctValues) {
+  EXPECT_EQ(registers_required(Retiming(std::vector<int>{3, 2, 2, 1, 0})), 4);
+  EXPECT_EQ(registers_required(Retiming(std::vector<int>{0, 0})), 1);
+}
+
+TEST(Model, RegistersRequiredUnfoldedCountsOffsets) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Unfolding u(g, 2);
+  // Zero retiming: offsets are the copy indices {0, 1}.
+  EXPECT_EQ(registers_required_unfolded(u, Retiming(u.graph().node_count())), 2);
+  // Retimining one copy by 1 adds offset 0 + 2·1 = 2.
+  Retiming r(u.graph().node_count());
+  r.set(u.copy(1, 0), 1);  // legal: B copy 0 has delayed in-edges
+  EXPECT_EQ(registers_required_unfolded(u, r), 3);
+}
+
+TEST(Model, PaperFormulas) {
+  // Theorem 4.4 with L = 26, M' = 2, f = 3, n = 101:
+  EXPECT_EQ(paper_unfolded_retimed_size(26, 2, 3, 101), 3 * 26 * 3 + 2 * 26);
+  // Theorem 4.5 with the same parameters:
+  EXPECT_EQ(paper_retimed_unfolded_size(26, 2, 3, 101), 5 * 26 + 2 * 26);
+}
+
+TEST(Model, OrderingTheoremPaperFormulas) {
+  // S_{r,f} ≤ S_{f,r} for any L, M, f (with the same depth): (M+f) ≤ (M+1)f
+  // whenever M, f ≥ 1.
+  for (int m = 0; m <= 4; ++m) {
+    for (int f = 1; f <= 5; ++f) {
+      EXPECT_LE(paper_retimed_unfolded_size(10, m, f, 100),
+                paper_unfolded_retimed_size(10, m, f, 100));
+    }
+  }
+}
+
+TEST(Model, OrderingHoldsOnBenchmarksWithMeasuredDepths) {
+  // The real comparison of Section 4: retime-then-unfold (depth from the
+  // original graph) versus unfold-then-retime (depth from the unfolded
+  // graph), both at their minimum cycle periods.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    for (const int f : {2, 3}) {
+      const Unfolding u(g, f);
+      const OptimalRetiming uopt = minimum_period_retiming(u.graph());
+      const std::int64_t s_rf = predicted_retimed_unfolded_size(g, r, f, 101);
+      const std::int64_t s_fr = predicted_unfolded_retimed_size(u, uopt.retiming, 101);
+      EXPECT_LE(s_rf, s_fr) << info.name << " f=" << f;
+    }
+  }
+}
+
+TEST(Model, CsrAlwaysSmallerThanExpandedOnBenchmarks) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    ASSERT_GE(r.max_value(), 1) << info.name;  // there is something to remove
+    EXPECT_LT(predicted_retimed_csr_size(g, r), predicted_retimed_size(g, r))
+        << info.name;
+    for (const int f : {2, 3}) {
+      EXPECT_LT(predicted_retimed_unfolded_csr_size(g, r, f),
+                predicted_retimed_unfolded_size(g, r, f, 101))
+          << info.name;
+    }
+  }
+}
+
+TEST(Model, PredictionsMatchGeneratedPrograms) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    const std::int64_t n = 101;
+    EXPECT_EQ(retimed_program(g, r, n).code_size(), predicted_retimed_size(g, r));
+    EXPECT_EQ(retimed_csr_program(g, r, n).code_size(),
+              predicted_retimed_csr_size(g, r));
+    for (const int f : {2, 3, 4}) {
+      EXPECT_EQ(unfolded_program(g, f, n).code_size(), predicted_unfolded_size(g, f, n));
+      EXPECT_EQ(unfolded_csr_program(g, f, n).code_size(),
+                predicted_unfolded_csr_size(g, f));
+      EXPECT_EQ(retimed_unfolded_program(g, r, f, n).code_size(),
+                predicted_retimed_unfolded_size(g, r, f, n));
+      EXPECT_EQ(retimed_unfolded_csr_program(g, r, f, n).code_size(),
+                predicted_retimed_unfolded_csr_size(g, r, f));
+      const Unfolding u(g, f);
+      const OptimalRetiming uopt = minimum_period_retiming(u.graph());
+      EXPECT_EQ(unfolded_retimed_program(u, uopt.retiming, n).code_size(),
+                predicted_unfolded_retimed_size(u, uopt.retiming, n));
+      EXPECT_EQ(unfolded_retimed_csr_program(u, uopt.retiming, n).code_size(),
+                predicted_unfolded_retimed_csr_size(u, uopt.retiming));
+    }
+  }
+}
+
+TEST(Model, BudgetFormulas) {
+  // L_req = 100, L = 10, M_r = 2 → max unfolding factor 8.
+  EXPECT_EQ(max_unfolding_factor(100, 10, 2), 8);
+  // L_req = 100, L = 10, f = 3 → max depth 7.
+  EXPECT_EQ(max_retiming_depth(100, 10, 3), 7);
+  // Infeasible budgets go non-positive.
+  EXPECT_LE(max_unfolding_factor(10, 10, 2), 0);
+}
+
+TEST(Model, BudgetFormulasAreConsistentWithSizeModel) {
+  // Using the paper's own size model S_{r,f} ≈ (M+f)·L, a factor chosen by
+  // max_unfolding_factor never exceeds L_req (ignoring the remainder term).
+  const std::int64_t l = 15;
+  const std::int64_t l_req = 200;
+  for (int depth = 0; depth <= 5; ++depth) {
+    const std::int64_t f = max_unfolding_factor(l_req, l, depth);
+    if (f >= 1) {
+      EXPECT_LE((depth + f) * l, l_req);
+    }
+  }
+}
+
+TEST(Model, Table1Reproduction) {
+  // The paper's Table 1 columns (Ret = L + |V|·M, CR = L + 2·|N_r|) for the
+  // measured retimings of the reconstructed benchmarks. Elliptic is the row
+  // where the paper's own numbers are inconsistent (see DESIGN.md); our
+  // value follows its Table 2 depth.
+  struct Row {
+    const char* name;
+    std::int64_t ret, cr, regs;
+  };
+  const Row rows[] = {
+      {"IIR Filter", 16, 12, 2},           {"Differential Equation", 33, 17, 3},
+      {"All-pole Filter", 60, 23, 4},      {"Elliptical Filter", 102, 40, 3},
+      {"4-stage Lattice Filter", 78, 32, 3}, {"Volterra Filter", 54, 31, 2},
+  };
+  for (const Row& row : rows) {
+    const auto& graphs = benchmarks::table_benchmarks();
+    const auto it = std::find_if(graphs.begin(), graphs.end(), [&](const auto& b) {
+      return b.name == std::string(row.name);
+    });
+    ASSERT_NE(it, graphs.end());
+    const DataFlowGraph g = it->factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    EXPECT_EQ(predicted_retimed_size(g, r), row.ret) << row.name;
+    EXPECT_EQ(predicted_retimed_csr_size(g, r), row.cr) << row.name;
+    EXPECT_EQ(registers_required(r), row.regs) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,71 @@
+// The shipped data/*.dfg files must stay in sync with the programmatic
+// benchmark factories: same name, nodes, times, edges and delays.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/io.hpp"
+
+#ifndef CSR_DATA_DIR
+#define CSR_DATA_DIR "data"
+#endif
+
+namespace csr {
+namespace {
+
+const std::map<std::string, DataFlowGraph (*)()>& file_factories() {
+  static const std::map<std::string, DataFlowGraph (*)()> map = {
+      {"iir.dfg", benchmarks::iir_filter},
+      {"diffeq.dfg", benchmarks::differential_equation_solver},
+      {"allpole.dfg", benchmarks::allpole_filter},
+      {"elliptic.dfg", benchmarks::elliptic_filter},
+      {"lattice.dfg", benchmarks::lattice_filter},
+      {"volterra.dfg", benchmarks::volterra_filter},
+      {"figure3.dfg", benchmarks::figure3_example},
+      {"figure4.dfg", benchmarks::figure4_example},
+      {"chao_sha_fig8.dfg", benchmarks::chao_sha_example},
+  };
+  return map;
+}
+
+class DataFileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DataFileTest, FileMatchesFactory) {
+  const std::string path = std::string(CSR_DATA_DIR) + "/" + GetParam();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing data file " << path;
+  const DataFlowGraph from_file = read_text(in);
+  const DataFlowGraph from_factory = file_factories().at(GetParam())();
+
+  EXPECT_EQ(from_file.name(), from_factory.name());
+  ASSERT_EQ(from_file.node_count(), from_factory.node_count());
+  ASSERT_EQ(from_file.edge_count(), from_factory.edge_count());
+  for (NodeId v = 0; v < from_factory.node_count(); ++v) {
+    EXPECT_EQ(from_file.node(v).name, from_factory.node(v).name);
+    EXPECT_EQ(from_file.node(v).time, from_factory.node(v).time);
+  }
+  for (EdgeId e = 0; e < from_factory.edge_count(); ++e) {
+    EXPECT_EQ(from_file.edge(e).from, from_factory.edge(e).from);
+    EXPECT_EQ(from_file.edge(e).to, from_factory.edge(e).to);
+    EXPECT_EQ(from_file.edge(e).delay, from_factory.edge(e).delay);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiles, DataFileTest,
+                         ::testing::Values("iir.dfg", "diffeq.dfg", "allpole.dfg",
+                                           "elliptic.dfg", "lattice.dfg",
+                                           "volterra.dfg", "figure3.dfg",
+                                           "figure4.dfg", "chao_sha_fig8.dfg"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace csr

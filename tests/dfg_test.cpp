@@ -1,0 +1,286 @@
+// Unit tests for the data-flow graph core: construction, validation, graph
+// algorithms, DOT export and the text exchange format.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfg/algorithms.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/io.hpp"
+#include "dfg/random.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+DataFlowGraph two_node_cycle() {
+  DataFlowGraph g("pair");
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 2);
+  return g;
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  const DataFlowGraph g = two_node_cycle();
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.node(0).name, "A");
+  EXPECT_EQ(g.edge(1).delay, 2);
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(0).size(), 1u);
+}
+
+TEST(Graph, FindNode) {
+  const DataFlowGraph g = two_node_cycle();
+  EXPECT_EQ(g.find_node("B"), NodeId{1});
+  EXPECT_FALSE(g.find_node("Z").has_value());
+}
+
+TEST(Graph, RejectsDuplicateNames) {
+  DataFlowGraph g;
+  g.add_node("A");
+  EXPECT_THROW(g.add_node("A"), InvalidArgument);
+}
+
+TEST(Graph, RejectsEmptyNameAndBadTime) {
+  DataFlowGraph g;
+  EXPECT_THROW(g.add_node(""), InvalidArgument);
+  EXPECT_THROW(g.add_node("A", 0), InvalidArgument);
+}
+
+TEST(Graph, RejectsNegativeDelayAndBadEndpoints) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  EXPECT_THROW(g.add_edge(a, b, -1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(a, 5, 0), InvalidArgument);
+}
+
+TEST(Graph, RejectsZeroDelaySelfLoop) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  EXPECT_THROW(g.add_edge(a, a, 0), InvalidArgument);
+  EXPECT_NO_THROW(g.add_edge(a, a, 1));
+}
+
+TEST(Graph, TotalsAndUnitTime) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A", 2);
+  const NodeId b = g.add_node("B", 3);
+  g.add_edge(a, b, 4);
+  EXPECT_EQ(g.total_time(), 5);
+  EXPECT_EQ(g.total_delay(), 4);
+  EXPECT_FALSE(g.unit_time());
+}
+
+TEST(Graph, ValidateFlagsZeroDelayCycle) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  EXPECT_FALSE(g.is_legal());
+  const auto problems = g.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("zero-delay cycle"), std::string::npos);
+}
+
+TEST(Graph, SetDelayAndTime) {
+  DataFlowGraph g = two_node_cycle();
+  g.set_delay(0, 5);
+  EXPECT_EQ(g.edge(0).delay, 5);
+  g.set_time(0, 7);
+  EXPECT_EQ(g.node(0).time, 7);
+  EXPECT_THROW(g.set_delay(0, -1), InvalidArgument);
+}
+
+TEST(Algorithms, TopologicalOrderRespectsZeroDelayEdges) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  g.add_edge(c, a, 1);  // delayed back edge does not constrain the order
+  const auto order = zero_delay_topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  const auto pos = [&](NodeId v) {
+    return std::find(order->begin(), order->end(), v) - order->begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Algorithms, CyclePeriodIsLongestZeroDelayPath) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A", 2);
+  const NodeId b = g.add_node("B", 3);
+  const NodeId c = g.add_node("C", 1);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  g.add_edge(c, a, 1);
+  EXPECT_EQ(cycle_period(g), 6);
+}
+
+TEST(Algorithms, CyclePeriodOfSingleNode) {
+  DataFlowGraph g;
+  g.add_node("A", 4);
+  EXPECT_EQ(cycle_period(g), 4);
+}
+
+TEST(Algorithms, CyclePeriodEmptyGraphIsZero) {
+  EXPECT_EQ(cycle_period(DataFlowGraph{}), 0);
+}
+
+TEST(Algorithms, CyclePeriodThrowsOnZeroDelayCycle) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  EXPECT_THROW((void)cycle_period(g), InvalidArgument);
+}
+
+TEST(Algorithms, ZeroDelayPathLengths) {
+  DataFlowGraph g = two_node_cycle();
+  const auto finish = zero_delay_path_lengths(g);
+  EXPECT_EQ(finish[0], 1);
+  EXPECT_EQ(finish[1], 2);
+}
+
+TEST(Algorithms, StronglyConnectedComponents) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 1);
+  g.add_edge(b, c, 0);
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  const auto big = std::find_if(sccs.begin(), sccs.end(),
+                                [](const auto& comp) { return comp.size() == 2; });
+  ASSERT_NE(big, sccs.end());
+}
+
+TEST(Algorithms, HasCycleDetectsSelfLoop) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  EXPECT_FALSE(has_cycle(g));
+  g.add_edge(a, a, 1);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Algorithms, EnumerateSimpleCycles) {
+  DataFlowGraph g = two_node_cycle();
+  const auto cycles = enumerate_simple_cycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 2u);
+}
+
+TEST(Algorithms, EnumerateCountsMultiEdgesSeparately) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(a, b, 1);  // parallel edge
+  g.add_edge(b, a, 1);
+  EXPECT_EQ(enumerate_simple_cycles(g).size(), 2u);
+}
+
+TEST(Algorithms, EnumerateRespectsCap) {
+  DataFlowGraph g;
+  for (int k = 0; k < 6; ++k) g.add_node("N" + std::to_string(k));
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) g.add_edge(u, v, 1);
+    }
+  }
+  EXPECT_EQ(enumerate_simple_cycles(g, 10).size(), 10u);
+}
+
+TEST(Dot, ContainsNodesAndDelays) {
+  const std::string dot = to_dot(two_node_cycle());
+  EXPECT_NE(dot.find("label=\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("2D"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Dot, ShowsNonUnitTimes) {
+  DataFlowGraph g;
+  g.add_node("A", 3);
+  EXPECT_NE(to_dot(g).find("t=3"), std::string::npos);
+}
+
+TEST(TextIo, RoundTrip) {
+  const DataFlowGraph g = two_node_cycle();
+  const DataFlowGraph parsed = parse_text(to_text(g));
+  EXPECT_EQ(parsed.name(), g.name());
+  ASSERT_EQ(parsed.node_count(), g.node_count());
+  ASSERT_EQ(parsed.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(parsed.edge(e).from, g.edge(e).from);
+    EXPECT_EQ(parsed.edge(e).to, g.edge(e).to);
+    EXPECT_EQ(parsed.edge(e).delay, g.edge(e).delay);
+  }
+}
+
+TEST(TextIo, ParsesCommentsAndBlanks) {
+  const DataFlowGraph g = parse_text(
+      "# header comment\n"
+      "dfg demo\n"
+      "\n"
+      "node A 1\n"
+      "node B 2\n"
+      "edge A B 3\n");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(1).time, 2);
+  EXPECT_EQ(g.edge(0).delay, 3);
+}
+
+TEST(TextIo, RejectsUnknownNode) {
+  EXPECT_THROW(parse_text("dfg x\nnode A 1\nedge A Z 0\n"), ParseError);
+}
+
+TEST(TextIo, RejectsMalformedDirectives) {
+  EXPECT_THROW(parse_text("dfg x\nnode A\n"), ParseError);
+  EXPECT_THROW(parse_text("dfg x\nfrob A 1\n"), ParseError);
+  EXPECT_THROW(parse_text("node A 1\n"), ParseError);  // missing header
+  EXPECT_THROW(parse_text("dfg x\ndfg y\n"), ParseError);
+  EXPECT_THROW(parse_text("dfg x\nnode A one\n"), ParseError);
+}
+
+TEST(RandomDfg, AlwaysLegal) {
+  SplitMix64 rng(123);
+  for (int k = 0; k < 50; ++k) {
+    const DataFlowGraph g = random_dfg(rng);
+    EXPECT_TRUE(g.is_legal());
+    EXPECT_GE(g.node_count(), 3u);
+    EXPECT_LE(g.node_count(), 12u);
+  }
+}
+
+TEST(RandomDfg, EnsureCyclicProducesCycle) {
+  SplitMix64 rng(5);
+  RandomDfgOptions options;
+  options.ensure_cyclic = true;
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_TRUE(has_cycle(random_dfg(rng, options)));
+  }
+}
+
+TEST(RandomDfg, HonoursNodeBounds) {
+  SplitMix64 rng(9);
+  RandomDfgOptions options;
+  options.min_nodes = 5;
+  options.max_nodes = 5;
+  const DataFlowGraph g = random_dfg(rng, options);
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,81 @@
+// Tests for the retiming/scheduling diagnostics helpers.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/algorithms.hpp"
+#include "retiming/diagnostics.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Diagnostics, LegalRetimingHasNoViolations) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  EXPECT_TRUE(explain_retiming(g, r).empty());
+}
+
+TEST(Diagnostics, ExplainsEachBrokenEdge) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  Retiming r(g.node_count());
+  r.set(*g.find_node("B"), 1);  // breaks A→B (delay 0)
+  const auto violations = explain_retiming(g, r);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].resulting_delay, -1);
+  EXPECT_NE(violations[0].description.find("A->B"), std::string::npos);
+  EXPECT_NE(violations[0].description.find("= -1"), std::string::npos);
+}
+
+TEST(Diagnostics, ViolationsMatchLegalityCheck) {
+  const DataFlowGraph g = benchmarks::iir_filter();
+  for (int k = 0; k < static_cast<int>(g.node_count()); ++k) {
+    Retiming r(g.node_count());
+    r.set(static_cast<NodeId>(k), 2);
+    EXPECT_EQ(is_legal_retiming(g, r), explain_retiming(g, r).empty()) << k;
+  }
+}
+
+TEST(Diagnostics, CriticalPathLengthEqualsCyclePeriod) {
+  for (const auto& info : benchmarks::all_graphs()) {
+    const DataFlowGraph g = info.factory();
+    const auto path = critical_path(g);
+    int time = 0;
+    for (const NodeId v : path) time += g.node(v).time;
+    EXPECT_EQ(time, cycle_period(g)) << info.name;
+    // Consecutive path nodes are connected by zero-delay edges.
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      bool connected = false;
+      for (const EdgeId e : g.out_edges(path[k])) {
+        if (g.edge(e).to == path[k + 1] && g.edge(e).delay == 0) connected = true;
+      }
+      EXPECT_TRUE(connected) << info.name;
+    }
+  }
+}
+
+TEST(Diagnostics, CriticalPathOfEmptyGraph) {
+  EXPECT_TRUE(critical_path(DataFlowGraph{}).empty());
+}
+
+TEST(Diagnostics, CriticalPathThrowsOnZeroDelayCycle) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  EXPECT_THROW(critical_path(g), InvalidArgument);
+}
+
+TEST(Diagnostics, FormatPathRendersNamesAndTime) {
+  const DataFlowGraph g = benchmarks::chao_sha_example();
+  const auto path = critical_path(g);
+  const std::string text = format_path(g, path);
+  EXPECT_NE(text.find(" -> "), std::string::npos);
+  EXPECT_NE(text.find("(time " + std::to_string(cycle_period(g)) + ")"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,202 @@
+// Edge cases and failure-injection tests across modules: register re-setup,
+// multiple decrements per trip, extreme trip counts, degenerate graphs and
+// factors, and large-scale smoke runs.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "loopir/optimizer.hpp"
+#include "retiming/opt.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+Statement write_a() {
+  Statement s;
+  s.array = "A";
+  s.op_seed = op_seed_for("A");
+  return s;
+}
+
+TEST(MachineEdge, ReSetupResetsTheWindow) {
+  // Two consecutive windows of the same register: a second setup restarts
+  // the countdown.
+  LoopProgram p;
+  p.n = 2;
+  LoopSegment s1;
+  s1.begin = s1.end = 0;
+  s1.instructions.push_back(Instruction::setup("p1", 0));
+  LoopSegment loop1;
+  loop1.begin = 1;
+  loop1.end = 3;
+  loop1.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop1.instructions.push_back(Instruction::decrement("p1"));
+  LoopSegment s2;
+  s2.begin = s2.end = 0;
+  s2.instructions.push_back(Instruction::setup("p1", -2));  // below window
+  LoopSegment loop2;
+  loop2.begin = 10;
+  loop2.end = 12;
+  loop2.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  p.segments = {s1, loop1, s2, loop2};
+  const Machine m = run_program(p);
+  // First loop: windows open at trips 1,2 (n = 2); third trip disabled.
+  EXPECT_TRUE(m.written("A", 1));
+  EXPECT_TRUE(m.written("A", 2));
+  EXPECT_FALSE(m.written("A", 3));
+  // Second loop: p = −2 ≤ −n, always disabled.
+  EXPECT_FALSE(m.written("A", 10));
+}
+
+TEST(MachineEdge, MultipleDecrementsPerTrip) {
+  LoopProgram p;
+  p.n = 10;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 4));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  const Machine m = run_program(p);
+  // p at statement: 4, 2, 0, −2, −4 → enabled from trip 3 onward.
+  EXPECT_FALSE(m.written("A", 2));
+  EXPECT_TRUE(m.written("A", 3));
+  EXPECT_TRUE(m.written("A", 5));
+}
+
+TEST(OptimizerEdge, MultipleDecrementsAnalyzedExactly) {
+  LoopProgram p;
+  p.n = 10;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 0));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 4;
+  // Statement sits between the two decrements: sees 0, −2, −4, −6.
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  // Values at the statement: −1, −3, −5, −7 with window (−10, 0]: all
+  // enabled → guard dropped.
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.guards_dropped, 1);
+  const auto diffs = compare_programs(p, report.program, {"A"});
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(CodegenEdge, TripCountOneOriginal) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Machine m = run_program(original_program(g, 1));
+  EXPECT_EQ(m.total_writes("A"), 1);
+}
+
+TEST(CodegenEdge, MinimalTripCountForRetiming) {
+  // n = M_r + 1 is the smallest legal trip count: steady state shrinks to a
+  // single trip.
+  const DataFlowGraph g = benchmarks::allpole_filter();  // M_r = 3
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = r.max_value() + 1;
+  const auto diffs = compare_programs(original_program(g, n),
+                                      retimed_csr_program(g, r, n), array_names(g));
+  EXPECT_TRUE(diffs.empty());
+  const auto expanded = compare_programs(original_program(g, n),
+                                         retimed_program(g, r, n), array_names(g));
+  EXPECT_TRUE(expanded.empty());
+}
+
+TEST(CodegenEdge, FactorLargerThanTripCount) {
+  // f > n: the unfolded loop body covers everything in one (partial) trip.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const std::int64_t n = 4;
+  const int f = 7;
+  const auto diffs = compare_programs(original_program(g, n),
+                                      unfolded_csr_program(g, f, n), array_names(g));
+  EXPECT_TRUE(diffs.empty());
+  // Expanded form: no full trips, everything is remainder.
+  const LoopProgram expanded = unfolded_program(g, f, n);
+  EXPECT_EQ(expanded.code_size(), n * original_size(g));
+}
+
+TEST(CodegenEdge, FactorOneCsrEqualsRetimedCsrShape) {
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const LoopProgram a = retimed_csr_program(g, r, 31);
+  const LoopProgram b = retimed_unfolded_csr_program(g, r, 1, 31);
+  EXPECT_EQ(a.code_size(), b.code_size());
+  EXPECT_EQ(a.conditional_registers(), b.conditional_registers());
+  EXPECT_TRUE(compare_programs(a, b, array_names(g)).empty());
+}
+
+TEST(CodegenEdge, LargeTripCountSmoke) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = 5000;
+  const Machine m = run_program(retimed_unfolded_csr_program(g, r, 4, n));
+  for (const std::string& array : array_names(g)) {
+    EXPECT_EQ(m.total_writes(array), n) << array;
+  }
+}
+
+TEST(CodegenEdge, RetimedUnfoldedWithNoFullTrips) {
+  // (n − M_r) < f: the steady-state loop vanishes and the whole execution
+  // is prologue + straight-line remainder.
+  const DataFlowGraph g = benchmarks::allpole_filter();  // M_r = 3
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = r.max_value() + 2;  // 2 post-retiming trips
+  const int f = 7;
+  const auto diffs = compare_programs(original_program(g, n),
+                                      retimed_unfolded_program(g, r, f, n),
+                                      array_names(g));
+  EXPECT_TRUE(diffs.empty());
+  const auto csr = compare_programs(original_program(g, n),
+                                    retimed_unfolded_csr_program(g, r, f, n),
+                                    array_names(g));
+  EXPECT_TRUE(csr.empty());
+}
+
+TEST(CodegenEdge, SingleNodeGraph) {
+  DataFlowGraph g("tiny");
+  const NodeId a = g.add_node("A");
+  g.add_edge(a, a, 1);
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  EXPECT_EQ(opt.period, 1);
+  EXPECT_EQ(opt.retiming.max_value(), 0);
+  const auto diffs = compare_programs(original_program(g, 9),
+                                      unfolded_csr_program(g, 2, 9), array_names(g));
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(CodegenEdge, MultiEdgeDependence) {
+  // Two parallel edges with different delays: the statement reads both.
+  DataFlowGraph g("multi");
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(a, b, 2);  // B[i] uses A[i] and A[i-2]
+  g.add_edge(b, a, 1);
+  const Statement s = node_statement(g, b);
+  ASSERT_EQ(s.sources.size(), 2u);
+  EXPECT_EQ(s.sources[0].offset, 0);
+  EXPECT_EQ(s.sources[1].offset, -2);
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const auto diffs = compare_programs(original_program(g, 15),
+                                      retimed_csr_program(g, r, 15), array_names(g));
+  EXPECT_TRUE(diffs.empty());
+}
+
+}  // namespace
+}  // namespace csr

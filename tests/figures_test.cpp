@@ -1,0 +1,161 @@
+// Reproductions of the paper's worked figures: the Figure 1 retiming, the
+// Figure 2 schedules, the Figure 3 pipelined/CSR code (including the n+3
+// trip count and register initializations), and the Figure 4–7 unfolding
+// story.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "loopir/printer.hpp"
+#include "retiming/opt.hpp"
+#include "schedule/schedule.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Figure1, RetimingMovesTheDelay) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  EXPECT_EQ(cycle_period(g), 2);
+  Retiming r(g.node_count());
+  r.set(*g.find_node("A"), 1);
+  const DataFlowGraph retimed = apply_retiming(g, r);
+  EXPECT_EQ(cycle_period(retimed), 1);  // "schedule length reduced to one"
+}
+
+TEST(Figure2, PipelinedScheduleIsOneStep) {
+  // Figure 2(b): after full pipelining, all five nodes execute in one
+  // control step of the retimed graph.
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  const StaticSchedule s = asap_schedule(apply_retiming(g, opt.retiming));
+  EXPECT_EQ(s.length(apply_retiming(g, opt.retiming)), 1);
+  EXPECT_EQ(s.nodes_starting_at(0).size(), 5u);
+}
+
+TEST(Figure3, PaperRetimingValues) {
+  // The paper pipelines the loop with r = (A:3, B:2, C:2, D:1, E:0) — four
+  // distinct values, hence four conditional registers.
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  EXPECT_EQ(opt.period, 1);
+  EXPECT_EQ(opt.retiming[*g.find_node("A")], 3);
+  EXPECT_EQ(opt.retiming[*g.find_node("B")], 2);
+  EXPECT_EQ(opt.retiming[*g.find_node("C")], 2);
+  EXPECT_EQ(opt.retiming[*g.find_node("D")], 1);
+  EXPECT_EQ(opt.retiming[*g.find_node("E")], 0);
+}
+
+TEST(Figure3, ExpandedCodeHasEightProlasEpilogueStatements) {
+  // Figure 3(a): prologue A,A,B,C,A,B,C,D (8 statements), epilogue
+  // E,D,E,B,C,D,E (7 statements).
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const PipelineExpansion census = pipeline_expansion(g, r);
+  EXPECT_EQ(census.prologue_statements, 8);
+  EXPECT_EQ(census.epilogue_statements, 7);
+  EXPECT_EQ(retimed_program(g, r, 50).code_size(), 5 + 15);
+}
+
+TEST(Figure3, CsrCodeShape) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = 50;
+  const LoopProgram p = retimed_csr_program(g, r, n);
+  // Four registers; p1 guards A (init 0), p4 guards E (init 3).
+  EXPECT_EQ(p.conditional_registers().size(), 4u);
+  const std::string source = to_source(p);
+  EXPECT_NE(source.find("p1 = setup 0 : -n;"), std::string::npos);
+  EXPECT_NE(source.find("p2 = setup 1 : -n;"), std::string::npos);
+  EXPECT_NE(source.find("p3 = setup 2 : -n;"), std::string::npos);
+  EXPECT_NE(source.find("p4 = setup 3 : -n;"), std::string::npos);
+  EXPECT_NE(source.find("(p1) A[i+3] = E[i-1];"), std::string::npos);
+  EXPECT_NE(source.find("(p4) E[i] = D[i];"), std::string::npos);
+  // "the loop will now be executed for n + 3 times"
+  EXPECT_EQ(p.segments.back().trip_count(), n + 3);
+}
+
+TEST(Figure3, CsrSemanticsMatchExpanded) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const auto diffs = compare_programs(retimed_program(g, r, 31),
+                                      retimed_csr_program(g, r, 31), array_names(g));
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(Figure5, UnfoldedCodeSizes) {
+  // Figure 5(a): the 3-statement loop unfolded by 3 with n mod 3 = 2 has
+  // 9 + 6 statements; the CSR form (5(b), corrected) needs one register,
+  // 3 decrements and 1 setup: 13 instructions.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const std::int64_t n = 11;  // 11 mod 3 == 2
+  EXPECT_EQ(unfolded_program(g, 3, n).code_size(), 15);
+  const LoopProgram csr = unfolded_csr_program(g, 3, n);
+  EXPECT_EQ(csr.code_size(), 13);
+  EXPECT_EQ(csr.conditional_registers().size(), 1u);
+}
+
+TEST(Figure5, CsrHandlesEveryRemainder) {
+  // The paper's own Figure 5(b) mis-handles n mod f = 2 (one decrement of f
+  // per trip); the per-copy decrement form must be exact for every
+  // remainder class.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  for (std::int64_t n = 7; n <= 12; ++n) {
+    const auto diffs = compare_programs(original_program(g, n),
+                                        unfolded_csr_program(g, 3, n), array_names(g));
+    EXPECT_TRUE(diffs.empty()) << "n = " << n;
+  }
+}
+
+TEST(Figure7, RetimedUnfoldedCsrUsesTwoRegisters) {
+  // Figures 6/7 retime the loop (depth 1) and unfold by 3; the CSR form
+  // needs two conditional registers (classes r=1 and r=0), matching the
+  // paper's p1/p2.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  Retiming r(g.node_count());
+  r.set(*g.find_node("A"), 1);
+  r.set(*g.find_node("B"), 1);  // legal variant of the paper's r(B)=1
+  ASSERT_TRUE(is_legal_retiming(g, r));
+  const LoopProgram p = retimed_unfolded_csr_program(g, r, 3, 9);
+  EXPECT_EQ(p.conditional_registers().size(), 2u);
+  // Per-copy decrements: 2 registers × 3 copies + 2 setups + 9 statements.
+  EXPECT_EQ(p.code_size(), 9 + 6 + 2);
+  const auto diffs =
+      compare_programs(original_program(g, 9), p, array_names(g));
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(Figure7, FirstTripExecutesOnlyPrologueNodes) {
+  // Figure 7(c): with n = 9, the first conditional trip computes only the
+  // retimed-forward nodes (the prologue hidden in the loop); every node
+  // still ends up executed exactly 9 times.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  Retiming r(g.node_count());
+  r.set(*g.find_node("A"), 1);
+  r.set(*g.find_node("B"), 1);
+  const LoopProgram p = retimed_unfolded_csr_program(g, r, 3, 9);
+  const Machine m = run_program(p);
+  for (const std::string& array : array_names(g)) {
+    EXPECT_EQ(m.total_writes(array), 9) << array;
+  }
+  // Disabled slots exist (the hidden prologue/epilogue).
+  EXPECT_GT(m.disabled_statements(), 0);
+}
+
+TEST(Figures, PrintedOriginalLoopMatchesPaperText) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const std::string source = to_source(original_program(g, 100));
+  EXPECT_NE(source.find("A[i] = B[i-3];"), std::string::npos);
+  EXPECT_NE(source.find("B[i] = A[i];"), std::string::npos);
+  EXPECT_NE(source.find("C[i] = B[i];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,95 @@
+// Deterministic robustness smoke tests: the text parsers must reject or
+// accept mutated inputs without crashing, and library entry points must
+// fail cleanly (typed exceptions) on hostile inputs.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/io.hpp"
+#include "loopir/serialize.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace csr {
+namespace {
+
+std::string mutate(const std::string& base, SplitMix64& rng) {
+  std::string text = base;
+  const int edits = static_cast<int>(rng.uniform(1, 6));
+  for (int k = 0; k < edits && !text.empty(); ++k) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.uniform(0, 3)) {
+      case 0:  // flip a character
+        text[pos] = static_cast<char>(rng.uniform(32, 126));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, static_cast<std::size_t>(rng.uniform(1, 10)));
+        break;
+      case 2:  // duplicate a span
+        text.insert(pos, text.substr(pos, static_cast<std::size_t>(rng.uniform(1, 10))));
+        break;
+      default:  // inject a newline (changes line structure)
+        text.insert(pos, "\n");
+        break;
+    }
+  }
+  return text;
+}
+
+TEST(FuzzSmoke, DfgParserNeverCrashes) {
+  const std::string base = to_text(benchmarks::elliptic_filter());
+  SplitMix64 rng(0xF00DF00D);
+  int accepted = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string text = mutate(base, rng);
+    try {
+      const DataFlowGraph g = parse_text(text);
+      ++accepted;
+      // Whatever parses must be structurally coherent.
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        EXPECT_LT(g.edge(e).from, g.node_count());
+        EXPECT_LT(g.edge(e).to, g.node_count());
+      }
+    } catch (const Error&) {
+      // ParseError / InvalidArgument are the expected rejections.
+    }
+  }
+  // Some mutations must survive (comments/whitespace edits), otherwise the
+  // mutator is too destructive to exercise the accept path.
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(FuzzSmoke, ProgramParserNeverCrashes) {
+  const std::string base =
+      "program demo\n"
+      "n 9\n"
+      "segment 0 0 1\n"
+      "setup p1 2\n"
+      "segment 1 9 3\n"
+      "stmt A 1 + guard p1 src B -2 src C 0\n"
+      "dec p1 1\n";
+  SplitMix64 rng(0xBADC0DE);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string text = mutate(base, rng);
+    try {
+      const LoopProgram p = parse_program_text(text);
+      (void)p.code_size();
+      (void)p.validate();
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(FuzzSmoke, TruncatedInputsRejectCleanly) {
+  const std::string base = to_text(benchmarks::iir_filter());
+  for (std::size_t len = 0; len < base.size(); len += 7) {
+    try {
+      (void)parse_text(base.substr(0, len));
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

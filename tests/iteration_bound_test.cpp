@@ -1,0 +1,150 @@
+// Tests for the exact iteration-bound computation: known graphs, the
+// didactic and benchmark graphs, and a randomized cross-check of the
+// parametric search against brute-force cycle enumeration.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(IterationBound, AcyclicGraphHasNoBound) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  EXPECT_FALSE(iteration_bound(g).has_value());
+  EXPECT_FALSE(iteration_bound_by_enumeration(g).has_value());
+}
+
+TEST(IterationBound, SimpleCycle) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A", 2);
+  const NodeId b = g.add_node("B", 3);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, a, 1);
+  EXPECT_EQ(iteration_bound(g), Rational(5, 2));
+}
+
+TEST(IterationBound, PicksMaximumCycleRatio) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 1);  // cycle AB: 2/1
+  g.add_edge(b, c, 0);
+  g.add_edge(c, b, 3);  // cycle BC: 2/3
+  EXPECT_EQ(iteration_bound(g), Rational(2));
+}
+
+TEST(IterationBound, SelfLoop) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A", 5);
+  g.add_edge(a, a, 2);
+  EXPECT_EQ(iteration_bound(g), Rational(5, 2));
+}
+
+TEST(IterationBound, ThrowsOnZeroDelayCycle) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  EXPECT_THROW((void)iteration_bound(g), InvalidArgument);
+  EXPECT_THROW((void)iteration_bound_by_enumeration(g), InvalidArgument);
+}
+
+TEST(IterationBound, HasCycleRatioAbovePrimitive) {
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A", 2);
+  g.add_edge(a, a, 1);  // ratio 2
+  EXPECT_TRUE(has_cycle_ratio_above(g, Rational(3, 2)));
+  EXPECT_FALSE(has_cycle_ratio_above(g, Rational(2)));
+  EXPECT_FALSE(has_cycle_ratio_above(g, Rational(5, 2)));
+}
+
+TEST(IterationBound, Figure1Example) {
+  EXPECT_EQ(iteration_bound(benchmarks::figure1_example()), Rational(1));
+}
+
+TEST(IterationBound, Figure4ExampleIsFractional) {
+  // Cycle A→B→A: time 2, delay 3 — bound 2/3; the C tap adds B→C zero-delay
+  // but no cycle.
+  EXPECT_EQ(iteration_bound(benchmarks::figure4_example()), Rational(2, 3));
+}
+
+TEST(IterationBound, ChaoShaExample) {
+  EXPECT_EQ(iteration_bound(benchmarks::chao_sha_example()), Rational(27, 2));
+}
+
+struct BenchmarkBound {
+  const char* name;
+  Rational bound;
+};
+
+class BenchmarkBoundTest : public ::testing::TestWithParam<BenchmarkBound> {};
+
+TEST_P(BenchmarkBoundTest, MatchesDocumentedBound) {
+  const auto& info = benchmarks::all_graphs();
+  const auto it = std::find_if(info.begin(), info.end(), [&](const auto& b) {
+    return b.name == std::string(GetParam().name);
+  });
+  ASSERT_NE(it, info.end());
+  EXPECT_EQ(iteration_bound(it->factory()), GetParam().bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkBoundTest,
+    ::testing::Values(BenchmarkBound{"IIR Filter", Rational(3)},
+                      BenchmarkBound{"Differential Equation", Rational(3)},
+                      BenchmarkBound{"All-pole Filter", Rational(3)},
+                      BenchmarkBound{"Elliptical Filter", Rational(8, 3)},
+                      BenchmarkBound{"4-stage Lattice Filter", Rational(8, 3)},
+                      BenchmarkBound{"Volterra Filter", Rational(3)}),
+    [](const auto& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(IterationBound, MatchesEnumerationOnRandomGraphs) {
+  SplitMix64 rng(20260705);
+  RandomDfgOptions options;
+  options.max_nodes = 9;
+  options.max_time = 4;
+  for (int trial = 0; trial < 200; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const auto fast = iteration_bound(g);
+    const auto slow = iteration_bound_by_enumeration(g);
+    ASSERT_EQ(fast.has_value(), slow.has_value()) << "trial " << trial;
+    if (fast) {
+      EXPECT_EQ(*fast, *slow) << "trial " << trial << "\n" << g.name();
+    }
+  }
+}
+
+TEST(IterationBound, LargeRandomGraphsDoNotOverflow) {
+  SplitMix64 rng(99);
+  RandomDfgOptions options;
+  options.min_nodes = 30;
+  options.max_nodes = 40;
+  options.max_time = 20;
+  options.max_delay = 6;
+  for (int trial = 0; trial < 10; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const auto bound = iteration_bound(g);
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_GT(*bound, Rational(0));
+    EXPECT_LE(*bound, Rational(g.total_time()));
+  }
+}
+
+}  // namespace
+}  // namespace csr

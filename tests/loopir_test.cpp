@@ -1,0 +1,196 @@
+// Tests for the loop-program IR: instruction constructors, code-size
+// accounting, register discovery, validation and the pretty-printer.
+
+#include <gtest/gtest.h>
+
+#include "loopir/printer.hpp"
+#include "loopir/program.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+Statement simple_statement() {
+  Statement s;
+  s.array = "A";
+  s.offset = 3;
+  s.op_seed = op_seed_for("A");
+  s.sources = {ArrayRef{"E", -1}};
+  s.op_text = "+";
+  return s;
+}
+
+TEST(Instruction, Constructors) {
+  const Instruction stmt = Instruction::statement(simple_statement(), "p1");
+  EXPECT_EQ(stmt.kind, InstrKind::kStatement);
+  EXPECT_EQ(stmt.guard, "p1");
+
+  const Instruction setup = Instruction::setup("p2", 3);
+  EXPECT_EQ(setup.kind, InstrKind::kSetup);
+  EXPECT_EQ(setup.value, 3);
+
+  const Instruction dec = Instruction::decrement("p2", 2);
+  EXPECT_EQ(dec.kind, InstrKind::kDecrement);
+  EXPECT_EQ(dec.value, 2);
+}
+
+TEST(Instruction, RejectsBadArguments) {
+  EXPECT_THROW(Instruction::setup("", 0), InvalidArgument);
+  EXPECT_THROW(Instruction::decrement("p", 0), InvalidArgument);
+}
+
+TEST(LoopSegment, TripCount) {
+  LoopSegment seg;
+  seg.begin = 1;
+  seg.end = 10;
+  seg.step = 3;
+  EXPECT_EQ(seg.trip_count(), 4);  // 1, 4, 7, 10
+  seg.begin = 5;
+  seg.end = 4;
+  EXPECT_EQ(seg.trip_count(), 0);
+  seg.begin = seg.end = 7;
+  seg.step = 1;
+  EXPECT_TRUE(seg.straight_line());
+  EXPECT_EQ(seg.trip_count(), 1);
+}
+
+TEST(LoopProgram, CodeSizeCountsEveryInstruction) {
+  LoopProgram p;
+  p.n = 10;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 0));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 10;
+  loop.instructions.push_back(Instruction::statement(simple_statement(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  EXPECT_EQ(p.code_size(), 3);
+}
+
+TEST(LoopProgram, ConditionalRegistersInFirstUseOrder) {
+  LoopProgram p;
+  LoopSegment seg;
+  seg.begin = seg.end = 0;
+  seg.instructions.push_back(Instruction::setup("p2", 0));
+  seg.instructions.push_back(Instruction::setup("p1", 1));
+  seg.instructions.push_back(Instruction::statement(simple_statement(), "p1"));
+  p.segments = {seg};
+  EXPECT_EQ(p.conditional_registers(), (std::vector<std::string>{"p2", "p1"}));
+}
+
+TEST(LoopProgram, ValidateFlagsGuardBeforeSetup) {
+  LoopProgram p;
+  LoopSegment seg;
+  seg.begin = seg.end = 0;
+  seg.instructions.push_back(Instruction::statement(simple_statement(), "p9"));
+  p.segments = {seg};
+  const auto problems = p.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("p9"), std::string::npos);
+}
+
+TEST(LoopProgram, ValidateFlagsDecrementBeforeSetup) {
+  LoopProgram p;
+  LoopSegment seg;
+  seg.begin = seg.end = 0;
+  seg.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {seg};
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(LoopProgram, ValidateFlagsSetupInsideLoop) {
+  LoopProgram p;
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.instructions.push_back(Instruction::setup("p1", 0));
+  p.segments = {loop};
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(LoopProgram, ValidateFlagsBadStep) {
+  LoopProgram p;
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.step = 0;
+  p.segments = {loop};
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(OpSeed, StableAndDistinct) {
+  EXPECT_EQ(op_seed_for("A"), op_seed_for("A"));
+  EXPECT_NE(op_seed_for("A"), op_seed_for("B"));
+  EXPECT_NE(op_seed_for("AB"), op_seed_for("BA"));
+}
+
+TEST(Printer, SymbolicIndices) {
+  const Instruction instr = Instruction::statement(simple_statement(), "p1");
+  EXPECT_EQ(format_instruction(instr, 0, /*substitute=*/false),
+            "(p1) A[i+3] = E[i-1];");
+}
+
+TEST(Printer, SubstitutedIndices) {
+  const Instruction instr = Instruction::statement(simple_statement());
+  EXPECT_EQ(format_instruction(instr, 2, /*substitute=*/true), "A[5] = E[1];");
+}
+
+TEST(Printer, SetupAndDecrementForms) {
+  EXPECT_EQ(format_instruction(Instruction::setup("p1", 3), 0, false),
+            "p1 = setup 3 : -n;");
+  EXPECT_EQ(format_instruction(Instruction::decrement("p1", 2), 0, false),
+            "p1 = p1 - 2;");
+}
+
+TEST(Printer, MultiOperandStatement) {
+  Statement s;
+  s.array = "C";
+  s.offset = 0;
+  s.sources = {ArrayRef{"A", 0}, ArrayRef{"B", -2}};
+  s.op_text = "+";
+  EXPECT_EQ(format_instruction(Instruction::statement(s), 0, false),
+            "C[i] = A[i] + B[i-2];");
+}
+
+TEST(Printer, SourceFreeStatementPrintsInput) {
+  Statement s;
+  s.array = "X";
+  s.offset = 0;
+  EXPECT_EQ(format_instruction(Instruction::statement(s), 0, false), "X[i] = input();");
+}
+
+TEST(Printer, WholeProgramShape) {
+  LoopProgram p;
+  p.name = "demo";
+  p.n = 4;
+  LoopSegment pre;
+  pre.begin = pre.end = 0;
+  pre.instructions.push_back(Instruction::setup("p1", 1));
+  LoopSegment loop;
+  loop.begin = 0;
+  loop.end = 4;
+  loop.step = 2;
+  loop.instructions.push_back(Instruction::statement(simple_statement(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {pre, loop};
+  const std::string text = to_source(p);
+  EXPECT_NE(text.find("// demo"), std::string::npos);
+  EXPECT_NE(text.find("p1 = setup 1 : -n;"), std::string::npos);
+  EXPECT_NE(text.find("for i = 0 to 4 by 2 do"), std::string::npos);
+  EXPECT_NE(text.find("  (p1) A[i+3] = E[i-1];"), std::string::npos);
+  EXPECT_NE(text.find("end"), std::string::npos);
+}
+
+TEST(Printer, SkipsEmptySegments) {
+  LoopProgram p;
+  LoopSegment empty;
+  empty.begin = 2;
+  empty.end = 1;
+  p.segments = {empty};
+  EXPECT_EQ(to_source(p).find("for"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csr

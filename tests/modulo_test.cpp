@@ -1,0 +1,149 @@
+// Tests for iterative modulo scheduling: II lower bounds, schedule
+// validity, achieved IIs on the benchmarks, the stage-induced retiming and
+// its integration with the CSR code generator.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "schedule/modulo.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+TEST(ModuloBounds, ResourceMinIi) {
+  const DataFlowGraph g = benchmarks::iir_filter();  // 4 mults, 4 adds
+  EXPECT_EQ(resource_min_ii(g, ResourceModel::adders_and_multipliers(1, 1)), 4);
+  EXPECT_EQ(resource_min_ii(g, ResourceModel::adders_and_multipliers(2, 2)), 2);
+  EXPECT_EQ(resource_min_ii(g, ResourceModel::uniform(1)), 8);
+  EXPECT_EQ(resource_min_ii(g, ResourceModel::uniform(8)), 1);
+}
+
+TEST(ModuloBounds, ResourceMinIiRespectsMaxNodeTime) {
+  const DataFlowGraph g = benchmarks::chao_sha_example();  // t up to 9
+  EXPECT_GE(resource_min_ii(g, ResourceModel::uniform(30)), 9);
+}
+
+TEST(ModuloBounds, RecurrenceMinIiIsCeilOfBound) {
+  EXPECT_EQ(recurrence_min_ii(benchmarks::iir_filter()), 3);
+  EXPECT_EQ(recurrence_min_ii(benchmarks::elliptic_filter()), 3);  // ⌈8/3⌉
+  EXPECT_EQ(recurrence_min_ii(benchmarks::chao_sha_example()), 14);  // ⌈27/2⌉
+  DataFlowGraph acyclic;
+  acyclic.add_node("A");
+  EXPECT_EQ(recurrence_min_ii(acyclic), 0);
+}
+
+TEST(ModuloSchedule, AchievesLowerBoundWithAmpleResources) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const ResourceModel model = ResourceModel::uniform(static_cast<int>(g.node_count()));
+    const auto ms = modulo_schedule(g, model);
+    ASSERT_TRUE(ms.has_value()) << info.name;
+    EXPECT_EQ(ms->initiation_interval, recurrence_min_ii(g)) << info.name;
+    EXPECT_TRUE(validate_modulo_schedule(g, model, *ms).empty()) << info.name;
+  }
+}
+
+TEST(ModuloSchedule, RespectsResourceBoundUnderPressure) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  const auto ms = modulo_schedule(g, model);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_GE(ms->initiation_interval, resource_min_ii(g, model));
+  EXPECT_TRUE(validate_modulo_schedule(g, model, *ms).empty());
+}
+
+TEST(ModuloSchedule, SingleUnitSerializes) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const auto ms = modulo_schedule(g, ResourceModel::uniform(1));
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_EQ(ms->initiation_interval, 3);  // 3 unit-time ops on one unit
+}
+
+TEST(ModuloSchedule, NonUnitTimesScheduleWithoutStraddling) {
+  const DataFlowGraph g = benchmarks::chao_sha_example();
+  const ResourceModel model = ResourceModel::uniform(2);
+  const auto ms = modulo_schedule(g, model);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_TRUE(validate_modulo_schedule(g, model, *ms).empty());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_LE(ms->times.start(v) % ms->initiation_interval + g.node(v).time,
+              ms->initiation_interval);
+  }
+}
+
+TEST(ModuloSchedule, MaxIiExhaustionReturnsNullopt) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  ModuloScheduleOptions options;
+  options.max_ii = 1;  // below both bounds
+  EXPECT_FALSE(modulo_schedule(g, ResourceModel::uniform(1), options).has_value());
+}
+
+TEST(ModuloSchedule, ValidatorCatchesViolations) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  const ResourceModel model = ResourceModel::uniform(2);
+  ModuloSchedule ms;
+  ms.initiation_interval = 1;
+  ms.times = StaticSchedule(g.node_count());  // A and B both at time 0
+  EXPECT_FALSE(validate_modulo_schedule(g, model, ms).empty());
+}
+
+TEST(ModuloRetiming, InducedRetimingIsLegalAndMeetsIi) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+    const auto ms = modulo_schedule(g, model);
+    ASSERT_TRUE(ms.has_value()) << info.name;
+    const Retiming r = retiming_from_modulo(g, *ms);
+    EXPECT_TRUE(is_legal_retiming(g, r)) << info.name;
+    EXPECT_TRUE(r.is_normalized()) << info.name;
+    EXPECT_LE(cycle_period(apply_retiming(g, r)), ms->initiation_interval) << info.name;
+    EXPECT_EQ(r.max_value(), ms->stages - 1) << info.name;
+  }
+}
+
+TEST(ModuloRetiming, FeedsCsrCodegen) {
+  // The full VLIW pipeline: modulo-schedule under resources, take the stage
+  // retiming, emit kernel-only CSR code, and check semantics in the VM.
+  const DataFlowGraph g = benchmarks::differential_equation_solver();
+  const ResourceModel model = ResourceModel::adders_and_multipliers(1, 1);
+  const auto ms = modulo_schedule(g, model);
+  ASSERT_TRUE(ms.has_value());
+  const Retiming r = retiming_from_modulo(g, *ms);
+  const std::int64_t n = 25;
+  ASSERT_GT(n, r.max_value());
+  const auto diffs = compare_programs(original_program(g, n),
+                                      retimed_csr_program(g, r, n), array_names(g));
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(ModuloSchedule, RandomGraphsValidAcrossResourceMixes) {
+  SplitMix64 rng(31337);
+  RandomDfgOptions options;
+  options.max_nodes = 9;
+  options.max_time = 3;
+  for (int trial = 0; trial < 40; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    for (const int k : {1, 2, 4}) {
+      const ResourceModel model = ResourceModel::uniform(k);
+      const auto ms = modulo_schedule(g, model);
+      ASSERT_TRUE(ms.has_value()) << trial;
+      EXPECT_TRUE(validate_modulo_schedule(g, model, *ms).empty()) << trial;
+      EXPECT_GE(ms->initiation_interval,
+                std::max(resource_min_ii(g, model), recurrence_min_ii(g)))
+          << trial;
+      const Retiming r = retiming_from_modulo(g, *ms);
+      EXPECT_TRUE(is_legal_retiming(g, r)) << trial;
+      EXPECT_LE(cycle_period(apply_retiming(g, r)), ms->initiation_interval) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

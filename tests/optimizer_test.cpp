@@ -1,0 +1,219 @@
+// Tests for the loop-IR guard optimizer: exact guard-window analysis,
+// removal of dead guards/statements/registers, and semantic preservation on
+// every generated program shape.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "dfg/random.hpp"
+#include "loopir/optimizer.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+Statement write_to(const std::string& array) {
+  Statement s;
+  s.array = array;
+  s.op_seed = op_seed_for(array);
+  return s;
+}
+
+TEST(Optimizer, DropsAlwaysEnabledGuard) {
+  LoopProgram p;
+  p.n = 5;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 0));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  // p1 runs 0, −1, ..., −4: always in (−5, 0] — guard is redundant.
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.guards_dropped, 1);
+  EXPECT_EQ(report.statements_removed, 0);
+  EXPECT_EQ(report.registers_removed, 2);  // setup + decrement retired
+  EXPECT_EQ(report.program.code_size(), 1);
+  EXPECT_TRUE(report.program.conditional_registers().empty());
+}
+
+TEST(Optimizer, RemovesNeverEnabledStatement) {
+  LoopProgram p;
+  p.n = 5;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 100));  // window never opens
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.statements_removed, 1);
+  EXPECT_EQ(report.program.code_size(), 0);
+  EXPECT_TRUE(report.program.segments.empty());
+}
+
+TEST(Optimizer, KeepsMixedGuard) {
+  LoopProgram p;
+  p.n = 3;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 2));  // opens at trip 3
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 6;
+  loop.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.guards_dropped, 0);
+  EXPECT_EQ(report.statements_removed, 0);
+  EXPECT_EQ(report.program.code_size(), p.code_size());
+}
+
+TEST(Optimizer, DetectsWindowJumpedByLargeDecrement) {
+  // p: 3, −3, −9 with n = 2 → window (−2, 0] never hit.
+  LoopProgram p;
+  p.n = 2;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 3));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 3;
+  loop.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1", 6));
+  p.segments = {setup, loop};
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.statements_removed, 1);
+}
+
+TEST(Optimizer, ConstantRegisterWithoutDecrement) {
+  LoopProgram p;
+  p.n = 4;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 0));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 4;
+  loop.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  p.segments = {setup, loop};
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.guards_dropped, 1);  // 0 is inside (−4, 0] forever
+}
+
+TEST(Optimizer, TracksValuesAcrossSegments) {
+  // Two loop segments share a register; the second segment's entry value
+  // reflects the first's decrements.
+  LoopProgram p;
+  p.n = 100;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 2));
+  LoopSegment first;   // two trips: p = 2, 1 — never enabled here
+  first.begin = 1;
+  first.end = 2;
+  first.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  first.instructions.push_back(Instruction::decrement("p1"));
+  LoopSegment second;  // entry p = 0: always enabled for 5 trips
+  second.begin = 3;
+  second.end = 7;
+  second.instructions.push_back(Instruction::statement(write_to("B"), "p1"));
+  second.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, first, second};
+  const OptimizationReport report = optimize_program(p);
+  EXPECT_EQ(report.statements_removed, 1);  // the A statement
+  EXPECT_EQ(report.guards_dropped, 1);      // the B statement
+}
+
+TEST(Optimizer, RejectsInvalidPrograms) {
+  LoopProgram p;
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 2;
+  loop.instructions.push_back(Instruction::statement(write_to("A"), "p1"));
+  p.segments = {loop};
+  EXPECT_THROW(optimize_program(p), InvalidArgument);
+}
+
+TEST(Optimizer, UnfoldedCsrWithExactTripCountLosesAllOverhead) {
+  // When f | n, every copy of the unfolded CSR loop is always enabled: the
+  // optimizer recovers the expanded form's size exactly.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const LoopProgram csr = unfolded_csr_program(g, 3, 12);
+  const OptimizationReport report = optimize_program(csr);
+  EXPECT_EQ(report.program.code_size(), 9);  // f·L, no registers left
+  EXPECT_TRUE(report.program.conditional_registers().empty());
+  const auto diffs =
+      compare_programs(original_program(g, 12), report.program, array_names(g));
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(Optimizer, RetimedCsrKeepsItsGuards) {
+  // The retimed CSR loop genuinely needs its guards (fill and drain), so
+  // nothing should be dropped.
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const LoopProgram csr = retimed_csr_program(g, r, 30);
+  const OptimizationReport report = optimize_program(csr);
+  EXPECT_EQ(report.guards_dropped, 0);
+  EXPECT_EQ(report.statements_removed, 0);
+  EXPECT_EQ(report.program.code_size(), csr.code_size());
+}
+
+class OptimizerEquivalenceTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(OptimizerEquivalenceTest, PreservesSemanticsOnAllShapes) {
+  const std::int64_t n = GetParam();
+  for (const auto& info : benchmarks::all_graphs()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    std::vector<LoopProgram> programs;
+    programs.push_back(unfolded_csr_program(g, 3, n));
+    programs.push_back(unfolded_csr_program(g, 4, n));
+    if (n > r.max_value()) {
+      programs.push_back(retimed_csr_program(g, r, n));
+      programs.push_back(retimed_unfolded_csr_program(g, r, 3, n));
+    }
+    for (const LoopProgram& p : programs) {
+      const OptimizationReport report = optimize_program(p);
+      EXPECT_LE(report.program.code_size(), p.code_size());
+      const auto diffs = compare_programs(p, report.program, array_names(g));
+      EXPECT_TRUE(diffs.empty())
+          << info.name << " n=" << n << ": " << (diffs.empty() ? "" : diffs.front());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TripCounts, OptimizerEquivalenceTest,
+                         ::testing::Values(12, 17, 20, 24));
+
+TEST(Optimizer, RandomProgramsStayEquivalent) {
+  SplitMix64 rng(5150);
+  RandomDfgOptions options;
+  options.max_nodes = 8;
+  for (int trial = 0; trial < 30; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const std::int64_t n = 15 + trial % 5;
+    const LoopProgram p = unfolded_csr_program(g, 2 + trial % 3, n);
+    const OptimizationReport report = optimize_program(p);
+    const auto diffs = compare_programs(p, report.program, array_names(g));
+    EXPECT_TRUE(diffs.empty()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace csr

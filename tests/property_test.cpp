@@ -1,0 +1,132 @@
+// Randomized property tests tying the whole pipeline together: on random
+// legal DFGs, minimum-period retiming and all code-generation paths must
+// produce semantically equivalent programs with model-exact code sizes.
+
+#include <gtest/gtest.h>
+
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "codegen/unfolded_retimed.hpp"
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "retiming/opt.hpp"
+#include "unfolding/unfold.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+class RandomPipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPipelineTest, EndToEnd) {
+  SplitMix64 rng(GetParam());
+  RandomDfgOptions options;
+  options.max_nodes = 10;
+  for (int trial = 0; trial < 25; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const std::int64_t n = 19;
+    const Machine reference = run_program(original_program(g, n));
+    const auto arrays = array_names(g);
+    ASSERT_TRUE(check_write_discipline(reference, arrays, n).empty());
+
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    ASSERT_TRUE(is_legal_retiming(g, opt.retiming));
+    ASSERT_LE(cycle_period(apply_retiming(g, opt.retiming)), opt.period);
+
+    auto verify = [&](const LoopProgram& p, const char* label) {
+      const Machine m = run_program(p);
+      const auto diffs = diff_observable_state(reference, m, arrays, n);
+      ASSERT_TRUE(diffs.empty()) << label << " trial " << trial << ": " << diffs[0];
+      const auto discipline = check_write_discipline(m, arrays, n);
+      ASSERT_TRUE(discipline.empty())
+          << label << " trial " << trial << ": " << discipline[0];
+    };
+
+    if (n > opt.retiming.max_value()) {
+      const auto retimed = retimed_program(g, opt.retiming, n);
+      ASSERT_EQ(retimed.code_size(), predicted_retimed_size(g, opt.retiming));
+      verify(retimed, "retimed");
+      verify(retimed_csr_program(g, opt.retiming, n), "retimed CSR");
+      for (const int f : {2, 3}) {
+        verify(retimed_unfolded_program(g, opt.retiming, f, n), "r+u");
+        verify(retimed_unfolded_csr_program(g, opt.retiming, f, n), "r+u CSR");
+      }
+    }
+    for (const int f : {2, 3, 5}) {
+      verify(unfolded_program(g, f, n), "unfolded");
+      verify(unfolded_csr_program(g, f, n), "unfolded CSR");
+    }
+    for (const int f : {2, 3}) {
+      const Unfolding u(g, f);
+      const OptimalRetiming uopt = minimum_period_retiming(u.graph());
+      if (n / f > uopt.retiming.max_value()) {
+        verify(unfolded_retimed_program(u, uopt.retiming, n), "u+r");
+        verify(unfolded_retimed_csr_program(u, uopt.retiming, n), "u+r CSR");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 1234ull,
+                                           0xDEADBEEFull, 0xC0FFEEull));
+
+TEST(RandomPipeline, RetimingNeverBeatsIterationBound) {
+  SplitMix64 rng(2468);
+  RandomDfgOptions options;
+  options.max_time = 3;
+  for (int trial = 0; trial < 60; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const auto bound = iteration_bound(g);
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    if (bound) {
+      EXPECT_GE(Rational(opt.period), *bound) << trial;
+    }
+  }
+}
+
+TEST(RandomPipeline, UnfoldingApproachesFractionalBounds) {
+  // For graphs with fractional bound p/q, unfolding by q and retiming must
+  // reach iteration period exactly p/q (Chao–Sha rate-optimality).
+  SplitMix64 rng(1357);
+  RandomDfgOptions options;
+  options.max_nodes = 7;
+  int fractional_seen = 0;
+  for (int trial = 0; trial < 80 && fractional_seen < 8; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const auto bound = iteration_bound(g);
+    if (!bound || bound->is_integer() || bound->den() > 4) continue;
+    ++fractional_seen;
+    const int q = static_cast<int>(bound->den());
+    const Unfolding u(g, q);
+    const OptimalRetiming opt = minimum_period_retiming(u.graph());
+    EXPECT_EQ(Rational(opt.period, q), *bound) << trial;
+  }
+  EXPECT_GT(fractional_seen, 0);
+}
+
+TEST(RandomPipeline, CsrRegisterCountInvariantUnderUnfolding) {
+  // Theorem 4.7 as a property: for random graphs and factors, the
+  // retime-first CSR register count equals |N_r| regardless of f.
+  SplitMix64 rng(8642);
+  for (int trial = 0; trial < 40; ++trial) {
+    const DataFlowGraph g = random_dfg(rng);
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    const std::int64_t n = 29;
+    if (n <= opt.retiming.max_value()) continue;
+    const auto base = registers_required(opt.retiming);
+    for (const int f : {2, 3, 4}) {
+      const LoopProgram p = retimed_unfolded_csr_program(g, opt.retiming, f, n);
+      EXPECT_EQ(static_cast<std::int64_t>(p.conditional_registers().size()), base)
+          << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

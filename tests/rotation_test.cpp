@@ -1,0 +1,114 @@
+// Tests for rotation scheduling — the software-pipelining engine. Rotation
+// must keep schedules valid and resource-feasible at every step, accumulate
+// a legal retiming, and converge to (near-)rate-optimal iteration periods on
+// the unit-time benchmarks.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "retiming/opt.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/rotation.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Rotation, RejectsNonUnitTimeGraphs) {
+  EXPECT_THROW(
+      rotation_schedule(benchmarks::chao_sha_example(), ResourceModel::uniform(2)),
+      InvalidArgument);
+}
+
+TEST(Rotation, ResultIsValidAndLegal) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const ResourceModel model = ResourceModel::uniform(2);
+  const RotationResult result = rotation_schedule(g, model);
+  EXPECT_TRUE(is_legal_retiming(g, result.retiming));
+  EXPECT_TRUE(validate_schedule(result.retimed_graph, result.schedule).empty());
+  EXPECT_TRUE(validate_resources(result.retimed_graph, result.schedule, model).empty());
+  EXPECT_EQ(result.schedule.length(result.retimed_graph), result.period);
+}
+
+TEST(Rotation, NeverWorseThanInitialListSchedule) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+    const int initial = list_schedule(g, model).length(g);
+    const RotationResult result = rotation_schedule(g, model);
+    EXPECT_LE(result.period, initial) << info.name;
+  }
+}
+
+TEST(Rotation, StrictlyImprovesBenchmarksWithAmpleResources) {
+  // Rotation is a local heuristic (the exact optimum comes from the OPT
+  // retiming in src/retiming): with ample resources it must strictly beat
+  // the unpipelined cycle period on every benchmark and never beat the
+  // provable optimum.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    const RotationResult result =
+        rotation_schedule(g, ResourceModel::uniform(static_cast<int>(g.node_count())));
+    EXPECT_LT(result.period, cycle_period(g)) << info.name;
+    EXPECT_GE(result.period, opt.period) << info.name;
+  }
+}
+
+TEST(Rotation, PipelinesFigure1ToOneStep) {
+  const RotationResult result =
+      rotation_schedule(benchmarks::figure1_example(), ResourceModel::uniform(2));
+  EXPECT_EQ(result.period, 1);
+  EXPECT_EQ(result.retiming.max_value(), 1);
+}
+
+TEST(Rotation, RespectsResourceFloor) {
+  // With a single functional unit, the period can never drop below |V|.
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const RotationResult result = rotation_schedule(g, ResourceModel::uniform(1));
+  EXPECT_GE(result.period, static_cast<int>(g.node_count()));
+}
+
+TEST(Rotation, PeriodNeverBelowIterationBound) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const auto bound = iteration_bound(g);
+    ASSERT_TRUE(bound.has_value());
+    const RotationResult result =
+        rotation_schedule(g, ResourceModel::adders_and_multipliers(2, 2));
+    EXPECT_GE(Rational(result.period), *bound) << info.name;
+  }
+}
+
+TEST(Rotation, ZeroRotationsReturnsListSchedule) {
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const ResourceModel model = ResourceModel::uniform(2);
+  const RotationResult result = rotation_schedule(g, model, 0);
+  EXPECT_EQ(result.rotations, 0);
+  EXPECT_EQ(result.period, list_schedule(g, model).length(g));
+  EXPECT_EQ(result.retiming.max_value(), 0);
+}
+
+TEST(Rotation, RandomUnitTimeGraphsStayConsistent) {
+  SplitMix64 rng(4242);
+  RandomDfgOptions options;
+  options.max_nodes = 9;
+  options.max_time = 1;
+  for (int trial = 0; trial < 40; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const ResourceModel model = ResourceModel::uniform(2);
+    const RotationResult result = rotation_schedule(g, model, 30);
+    EXPECT_TRUE(is_legal_retiming(g, result.retiming)) << trial;
+    EXPECT_TRUE(validate_schedule(result.retimed_graph, result.schedule).empty())
+        << trial;
+    EXPECT_TRUE(
+        validate_resources(result.retimed_graph, result.schedule, model).empty())
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,162 @@
+// Tests for static schedules: ASAP/ALAP, validation, resource models and
+// resource-constrained list scheduling.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/random.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/resources.hpp"
+#include "schedule/schedule.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Schedule, AsapLengthEqualsCyclePeriod) {
+  for (const auto& info : benchmarks::all_graphs()) {
+    const DataFlowGraph g = info.factory();
+    const StaticSchedule s = asap_schedule(g);
+    EXPECT_TRUE(validate_schedule(g, s).empty()) << info.name;
+    EXPECT_EQ(s.length(g), cycle_period(g)) << info.name;
+  }
+}
+
+TEST(Schedule, AsapFigure2) {
+  // Figure 2(a): the original figure-3 loop scheduled ASAP has length 4
+  // (A; B,C; D; E — B and C in the same step).
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const StaticSchedule s = asap_schedule(g);
+  EXPECT_EQ(s.length(g), 4);
+  EXPECT_EQ(s.start(*g.find_node("A")), 0);
+  EXPECT_EQ(s.start(*g.find_node("B")), 1);
+  EXPECT_EQ(s.start(*g.find_node("C")), 1);
+  EXPECT_EQ(s.start(*g.find_node("D")), 2);
+  EXPECT_EQ(s.start(*g.find_node("E")), 3);
+}
+
+TEST(Schedule, AlapMeetsDeadlineAndIsValid) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const StaticSchedule s = alap_schedule(g, 6);
+  EXPECT_TRUE(validate_schedule(g, s).empty());
+  EXPECT_LE(s.length(g), 6);
+  // E is a sink: ALAP pushes it to the last step.
+  EXPECT_EQ(s.start(*g.find_node("E")), 5);
+}
+
+TEST(Schedule, AlapRejectsTooShortDeadline) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  EXPECT_THROW(alap_schedule(g, cycle_period(g) - 1), InvalidArgument);
+}
+
+TEST(Schedule, ValidateCatchesPrecedenceViolation) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  StaticSchedule s(g.node_count());
+  s.set_start(*g.find_node("A"), 0);
+  s.set_start(*g.find_node("B"), 0);  // B must start after A finishes
+  EXPECT_FALSE(validate_schedule(g, s).empty());
+}
+
+TEST(Schedule, ValidateCatchesNegativeStart) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  StaticSchedule s(g.node_count());
+  s.set_start(0, -1);
+  s.set_start(1, 2);
+  EXPECT_FALSE(validate_schedule(g, s).empty());
+}
+
+TEST(Schedule, IterationPeriodDividesByFactor) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  const StaticSchedule s = asap_schedule(g);
+  EXPECT_EQ(iteration_period(g, s, 2), Rational(1));
+  EXPECT_EQ(iteration_period(g, s, 4), Rational(1, 2));
+}
+
+TEST(Schedule, FormatListsEveryStep) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  const std::string table = format_schedule(g, asap_schedule(g));
+  EXPECT_NE(table.find("step 0: A"), std::string::npos);
+  EXPECT_NE(table.find("step 1: B"), std::string::npos);
+}
+
+TEST(Resources, UniformModelClassifiesEverythingTogether) {
+  const ResourceModel model = ResourceModel::uniform(2);
+  const DataFlowGraph g = benchmarks::iir_filter();
+  EXPECT_EQ(model.node_class(g, 0), "fu");
+  EXPECT_EQ(model.units("fu"), 2);
+  EXPECT_THROW((void)model.units("mul"), InvalidArgument);
+}
+
+TEST(Resources, AddMulClassifierUsesNamePrefix) {
+  const ResourceModel model = ResourceModel::adders_and_multipliers(1, 2);
+  const DataFlowGraph g = benchmarks::iir_filter();
+  EXPECT_EQ(model.node_class(g, *g.find_node("Mf1")), "mul");
+  EXPECT_EQ(model.node_class(g, *g.find_node("Af2")), "add");
+  EXPECT_EQ(model.units("mul"), 2);
+}
+
+TEST(Resources, RejectsNonPositiveUnits) {
+  EXPECT_THROW(ResourceModel::uniform(0), InvalidArgument);
+  EXPECT_THROW(ResourceModel::adders_and_multipliers(0, 1), InvalidArgument);
+}
+
+TEST(ListScheduler, UnlimitedResourcesMatchAsap) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const StaticSchedule s =
+        list_schedule(g, ResourceModel::uniform(static_cast<int>(g.node_count())));
+    EXPECT_EQ(s.length(g), cycle_period(g)) << info.name;
+  }
+}
+
+TEST(ListScheduler, SingleUnitSerializesEverything) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const ResourceModel model = ResourceModel::uniform(1);
+  const StaticSchedule s = list_schedule(g, model);
+  EXPECT_TRUE(validate_schedule(g, s).empty());
+  EXPECT_TRUE(validate_resources(g, s, model).empty());
+  EXPECT_EQ(s.length(g), static_cast<int>(g.node_count()));
+}
+
+TEST(ListScheduler, RespectsPerClassCapacity) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  const StaticSchedule s = list_schedule(g, model);
+  EXPECT_TRUE(validate_schedule(g, s).empty());
+  EXPECT_TRUE(validate_resources(g, s, model).empty());
+  EXPECT_GE(s.length(g), cycle_period(g));
+}
+
+TEST(ListScheduler, HandlesNonUnitTimes) {
+  const DataFlowGraph g = benchmarks::chao_sha_example();
+  const ResourceModel model = ResourceModel::uniform(2);
+  const StaticSchedule s = list_schedule(g, model);
+  EXPECT_TRUE(validate_schedule(g, s).empty());
+  EXPECT_TRUE(validate_resources(g, s, model).empty());
+}
+
+TEST(ListScheduler, ValidateResourcesCatchesOverCapacity) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  StaticSchedule s(g.node_count());  // everything at step 0 — invalid & over
+  const ResourceModel model = ResourceModel::uniform(1);
+  EXPECT_FALSE(validate_resources(g, s, model).empty());
+}
+
+TEST(ListScheduler, RandomGraphsAlwaysValid) {
+  SplitMix64 rng(64);
+  RandomDfgOptions options;
+  options.max_time = 3;
+  for (int trial = 0; trial < 50; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    for (const int k : {1, 2, 3}) {
+      const ResourceModel model = ResourceModel::uniform(k);
+      const StaticSchedule s = list_schedule(g, model);
+      EXPECT_TRUE(validate_schedule(g, s).empty()) << trial;
+      EXPECT_TRUE(validate_resources(g, s, model).empty()) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,124 @@
+// Tests for loop-program serialization: round-trips of every generated
+// program shape, format errors, and the golden files under data/golden
+// (regression pins on the exact code the generators emit).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/unfolded.hpp"
+#include "loopir/serialize.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+
+#ifndef CSR_DATA_DIR
+#define CSR_DATA_DIR "data"
+#endif
+
+namespace csr {
+namespace {
+
+TEST(Serialize, RoundTripsEveryGeneratedShape) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    const std::int64_t n = 19;
+    const std::vector<LoopProgram> programs = {
+        original_program(g, n),
+        retimed_program(g, r, n),
+        retimed_csr_program(g, r, n),
+        unfolded_program(g, 3, n),
+        unfolded_csr_program(g, 3, n),
+        retimed_unfolded_csr_program(g, r, 3, n),
+    };
+    for (const LoopProgram& p : programs) {
+      const LoopProgram back = parse_program_text(to_program_text(p));
+      EXPECT_EQ(back, p) << info.name << ' ' << p.name;
+    }
+  }
+}
+
+TEST(Serialize, ParsesHandWrittenProgram) {
+  const LoopProgram p = parse_program_text(
+      "# comment\n"
+      "program demo loop\n"
+      "n 7\n"
+      "segment 0 0 1\n"
+      "setup p1 2\n"
+      "segment 1 7 2\n"
+      "stmt A 3 + guard p1 src E -1 src B -2\n"
+      "dec p1 1\n");
+  EXPECT_EQ(p.name, "demo loop");
+  EXPECT_EQ(p.n, 7);
+  ASSERT_EQ(p.segments.size(), 2u);
+  const Instruction& stmt = p.segments[1].instructions[0];
+  EXPECT_EQ(stmt.guard, "p1");
+  EXPECT_EQ(stmt.stmt.sources.size(), 2u);
+  EXPECT_EQ(stmt.stmt.sources[1].offset, -2);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(parse_program_text("n 5\n"), ParseError);  // no header
+  EXPECT_THROW(parse_program_text("program x\n"), ParseError);  // no n
+  EXPECT_THROW(parse_program_text("program x\nn 5\nstmt A 0 +\n"), ParseError);
+  EXPECT_THROW(parse_program_text("program x\nn 5\nsegment 1 5 0\n"), ParseError);
+  EXPECT_THROW(parse_program_text("program x\nn 5\nsegment 1 5 1\nfrob\n"), ParseError);
+  EXPECT_THROW(parse_program_text("program x\nn 5\nsegment 1 5 1\nstmt A y +\n"),
+               ParseError);
+  EXPECT_THROW(
+      parse_program_text("program x\nn 5\nsegment 1 5 1\nstmt A 0 + guard\n"),
+      ParseError);
+}
+
+struct GoldenCase {
+  const char* file;
+  LoopProgram (*generate)();
+};
+
+LoopProgram golden_figure3() {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  return retimed_csr_program(g, minimum_period_retiming(g).retiming, 12);
+}
+
+LoopProgram golden_figure5() {
+  return unfolded_csr_program(benchmarks::figure4_example(), 3, 11);
+}
+
+LoopProgram golden_figure7() {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  Retiming r(g.node_count());
+  r.set(*g.find_node("A"), 1);
+  r.set(*g.find_node("B"), 1);
+  return retimed_unfolded_csr_program(g, r, 3, 9);
+}
+
+class GoldenFileTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenFileTest, GeneratedProgramMatchesGolden) {
+  const std::string path = std::string(CSR_DATA_DIR) + "/golden/" + GetParam().file;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  const LoopProgram golden = read_program_text(in);
+  EXPECT_EQ(GetParam().generate(), golden) << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Goldens, GoldenFileTest,
+    ::testing::Values(GoldenCase{"figure3_retimed_csr.loop", golden_figure3},
+                      GoldenCase{"figure5_unfolded_csr.loop", golden_figure5},
+                      GoldenCase{"figure7_retimed_unfolded_csr.loop", golden_figure7}),
+    [](const auto& param_info) {
+      std::string name = param_info.param.file;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace csr

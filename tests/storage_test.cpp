@@ -1,0 +1,117 @@
+// Tests for the storage model and the structured DFG builders.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codesize/storage.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/builders.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Storage, CountsDelaysAndBuffers) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const StorageReport report = storage_requirements(g);
+  EXPECT_EQ(report.delay_registers, 4 + 2);          // E→A(4), B→C(2)
+  EXPECT_EQ(report.max_dependence_distance, 4);
+  EXPECT_EQ(report.buffer_depth.at("E"), 5);         // 4 past values + current
+  EXPECT_EQ(report.buffer_depth.at("B"), 3);
+  EXPECT_EQ(report.buffer_depth.at("A"), 1);         // only same-iteration uses
+  EXPECT_EQ(report.total_buffer_slots, 5 + 3 + 1 + 1 + 1);
+}
+
+TEST(Storage, DeltaIsZeroOnPureCycles) {
+  // Retiming conserves delays around cycles; on a single-cycle graph every
+  // edge is on the cycle, so the total is invariant.
+  const DataFlowGraph g = single_cycle("cyc", {{"A", 1}, {"B", 1}, {"C", 1}},
+                                       {1, 1, 1});
+  Retiming r(g.node_count());
+  r.set(0, 1);
+  EXPECT_EQ(delay_register_delta(g, r), 0);
+}
+
+TEST(Storage, DeltaTracksFanout) {
+  // A feeds two sinks with delayed edges: retiming A forward adds one delay
+  // on each out-edge but removes only one from the in-side (none here), so
+  // storage grows.
+  DataFlowGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);
+  g.add_edge(b, a, 1);
+  Retiming r(g.node_count());
+  r.set(a, 1);
+  ASSERT_TRUE(is_legal_retiming(g, r));
+  EXPECT_EQ(delay_register_delta(g, r), +1);  // +1 +1 on fanout, −1 on B→A
+}
+
+TEST(Storage, DeltaMatchesDirectRecount) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t before = storage_requirements(g).delay_registers;
+  const std::int64_t after =
+      storage_requirements(apply_retiming(g, r)).delay_registers;
+  EXPECT_EQ(delay_register_delta(g, r), after - before);
+}
+
+TEST(Storage, RejectsIllegalRetiming) {
+  const DataFlowGraph g = benchmarks::figure1_example();
+  Retiming r(g.node_count());
+  r.set(1, 5);
+  EXPECT_THROW((void)delay_register_delta(g, r), InvalidArgument);
+}
+
+TEST(Builders, MacChainAlternatesAndChains) {
+  DataFlowGraph g;
+  const auto ids = add_mac_chain(g, "x", 4);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(g.node(ids[0]).name, "Mx1");
+  EXPECT_EQ(g.node(ids[1]).name, "Ax2");
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(g.edge(e).delay, 0);
+  }
+}
+
+TEST(Builders, ReductionLayerHalves) {
+  DataFlowGraph g;
+  const auto leaves = add_mac_chain(g, "l", 4);
+  // A chain is not a valid reduction input shape per se, but the builder
+  // only wires pairs; verify structure.
+  const auto layer = add_reduction_layer(g, "r", leaves);
+  ASSERT_EQ(layer.size(), 2u);
+  EXPECT_EQ(g.in_edges(layer[0]).size(), 2u);
+  EXPECT_THROW(add_reduction_layer(g, "bad", {layer[0]}), InvalidArgument);
+}
+
+TEST(Builders, SingleCycleShape) {
+  const DataFlowGraph g =
+      single_cycle("ring", {{"A", 2}, {"B", 3}, {"C", 4}}, {0, 1, 1});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(iteration_bound(g), Rational(9, 2));
+  EXPECT_THROW(single_cycle("bad", {{"A", 1}}, {1}), InvalidArgument);
+  EXPECT_THROW(single_cycle("bad", {{"A", 1}, {"B", 1}}, {1}), InvalidArgument);
+}
+
+TEST(Storage, RandomGraphsBuffersCoverDistances) {
+  SplitMix64 rng(2020);
+  for (int trial = 0; trial < 30; ++trial) {
+    const DataFlowGraph g = random_dfg(rng);
+    const StorageReport report = storage_requirements(g);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      EXPECT_GE(report.buffer_depth.at(g.node(edge.from).name), edge.delay + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

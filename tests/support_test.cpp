@@ -1,0 +1,179 @@
+// Unit tests for the support layer: exact rationals, deterministic RNG and
+// string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rational.hpp"
+#include "support/rng.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Rational, DefaultsToZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorCanonicalizesDenominator) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), InvalidArgument);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), InvalidArgument);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(8, 3).to_string(), "8/3");
+  EXPECT_EQ(Rational(6, 3).to_string(), "2");
+  std::ostringstream os;
+  os << Rational(-5, 10);
+  EXPECT_EQ(os.str(), "-1/2");
+}
+
+TEST(Rational, CheckedMulOverflowThrows) {
+  EXPECT_THROW(checked_mul(std::int64_t{1} << 40, std::int64_t{1} << 40), OverflowError);
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20), std::int64_t{1} << 40);
+}
+
+TEST(Rational, CheckedAddOverflowThrows) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(checked_add(big, 1), OverflowError);
+  EXPECT_EQ(checked_add(big - 1, 1), big);
+}
+
+TEST(SimplestRational, FindsIntegerWhenPresent) {
+  EXPECT_EQ(simplest_rational_in(Rational(5, 2), Rational(7, 2)), Rational(3));
+}
+
+TEST(SimplestRational, FindsSmallestDenominator) {
+  // (1/3, 1/2] — simplest is 1/2.
+  EXPECT_EQ(simplest_rational_in(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+  // A narrow interval around 8/3.
+  EXPECT_EQ(simplest_rational_in(Rational(529, 199), Rational(541, 202)), Rational(8, 3));
+}
+
+TEST(SimplestRational, RequiresNonEmptyInterval) {
+  EXPECT_THROW(simplest_rational_in(Rational(1, 2), Rational(1, 2)), InvalidArgument);
+}
+
+TEST(SplitMix64, DeterministicStream) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, UniformStaysInRange) {
+  SplitMix64 rng(7);
+  std::set<std::int64_t> seen;
+  for (int k = 0; k < 1000; ++k) {
+    const std::int64_t v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(SplitMix64, Uniform01InRange) {
+  SplitMix64 rng(9);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SplitMix64, BernoulliExtremes) {
+  SplitMix64 rng(11);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Text, Split) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Text, SplitWs) {
+  EXPECT_EQ(split_ws("  a  b\tc "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(starts_with("edge A B 1", "edge"));
+  EXPECT_FALSE(starts_with("ed", "edge"));
+}
+
+TEST(Text, Padding) {
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+}  // namespace
+}  // namespace csr

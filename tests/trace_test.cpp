@@ -1,0 +1,89 @@
+// Tests for the execution tracer: per-trip enabled/disabled reporting and
+// its agreement with the VM's actual execution counts.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+#include "vm/machine.hpp"
+#include "vm/trace.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Trace, ReportsEveryTripInOrder) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const LoopProgram p = unfolded_csr_program(g, 3, 7);
+  const auto trace = trace_program(p);
+  // One entry per trip of every segment: 1 setup trip + ⌈7/3⌉ = 3 loop trips.
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[1].i, 1);
+  EXPECT_EQ(trace[2].i, 4);
+  EXPECT_EQ(trace[3].i, 7);
+}
+
+TEST(Trace, GuardWindowsMatchTheVm) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = 15;
+  const LoopProgram p = retimed_csr_program(g, r, n);
+  const auto trace = trace_program(p);
+  std::int64_t enabled = 0;
+  std::int64_t disabled = 0;
+  for (const TripTrace& trip : trace) {
+    enabled += static_cast<std::int64_t>(trip.enabled.size());
+    disabled += static_cast<std::int64_t>(trip.disabled.size());
+  }
+  const Machine m = run_program(p);
+  EXPECT_EQ(enabled, m.executed_statements());
+  EXPECT_EQ(disabled, m.disabled_statements());
+}
+
+TEST(Trace, FirstTripOfCsrLoopShowsHiddenPrologue) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const Retiming r = minimum_period_retiming(g).retiming;  // depth 3
+  const LoopProgram p = retimed_csr_program(g, r, 10);
+  const auto trace = trace_program(p);
+  // Segment 0 is the setups (no statements); trip at i = 1−3 = −2 enables
+  // only A[1] (the deepest-pipelined node), everything else disabled.
+  const TripTrace& first = trace[1];
+  EXPECT_EQ(first.i, -2);
+  ASSERT_EQ(first.enabled.size(), 1u);
+  EXPECT_EQ(first.enabled[0], "A[1]");
+  EXPECT_EQ(first.disabled.size(), 4u);
+}
+
+TEST(Trace, SubstitutesAbsoluteIndices) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const auto trace = trace_program(unfolded_csr_program(g, 2, 4));
+  const std::string table = format_trace(trace);
+  EXPECT_NE(table.find("i=1: A[1] B[1] C[1] A[2] B[2] C[2]"), std::string::npos);
+  EXPECT_NE(table.find("i=3: A[3] B[3] C[3] A[4] B[4] C[4]"), std::string::npos);
+}
+
+TEST(Trace, FormatsDisabledStatements) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const auto trace = trace_program(unfolded_csr_program(g, 3, 4));  // 4 mod 3 = 1
+  const std::string table = format_trace(trace);
+  EXPECT_NE(table.find("disabled:"), std::string::npos);
+  EXPECT_NE(table.find("A[5]"), std::string::npos);  // the cut copy
+}
+
+TEST(Trace, RejectsInvalidProgram) {
+  LoopProgram p;
+  LoopSegment seg;
+  seg.begin = 1;
+  seg.end = 1;
+  Statement s;
+  s.array = "A";
+  seg.instructions.push_back(Instruction::statement(s, "p1"));
+  p.segments = {seg};
+  EXPECT_THROW(trace_program(p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,146 @@
+// Tests for the design-space explorer: sweep structure, monotonicity of the
+// retime-first points, Pareto filtering and budget queries.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codesize/tradeoff.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Tradeoff, ProducesAllThreeFamiliesPerFactor) {
+  TradeoffOptions options;
+  options.max_factor = 3;
+  const auto points = explore_tradeoffs(benchmarks::iir_filter(), options);
+  EXPECT_EQ(points.size(), 9u);
+  std::map<TransformOrder, int> families;
+  for (const auto& p : points) {
+    ++families[p.order];
+    EXPECT_GE(p.factor, 1);
+    EXPECT_LE(p.factor, 3);
+    EXPECT_GT(p.size_csr, 0);
+  }
+  EXPECT_EQ(families[TransformOrder::kUnfoldOnly], 3);
+  EXPECT_EQ(families[TransformOrder::kRetimeUnfold], 3);
+  EXPECT_EQ(families[TransformOrder::kUnfoldRetime], 3);
+}
+
+TEST(Tradeoff, UnfoldOnlyPointsUseOneRegister) {
+  const auto points = explore_tradeoffs(benchmarks::allpole_filter(), {});
+  for (const auto& p : points) {
+    if (p.order == TransformOrder::kUnfoldOnly) {
+      EXPECT_EQ(p.registers, 1);
+      EXPECT_EQ(p.depth, 0);
+    }
+  }
+}
+
+TEST(Tradeoff, CanSkipFamilies) {
+  TradeoffOptions options;
+  options.max_factor = 2;
+  options.include_unfold_first = false;
+  options.include_unfold_only = false;
+  const auto points = explore_tradeoffs(benchmarks::iir_filter(), options);
+  EXPECT_EQ(points.size(), 2u);
+  for (const auto& p : points) EXPECT_EQ(p.order, TransformOrder::kRetimeUnfold);
+}
+
+TEST(Tradeoff, OrderNamesRender) {
+  EXPECT_EQ(to_string(TransformOrder::kUnfoldOnly), "unfold-only");
+  EXPECT_EQ(to_string(TransformOrder::kRetimeUnfold), "retime-unfold");
+  EXPECT_EQ(to_string(TransformOrder::kUnfoldRetime), "unfold-retime");
+}
+
+TEST(Tradeoff, IterationPeriodsNeverBelowBound) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const auto bound = iteration_bound(g);
+  ASSERT_TRUE(bound.has_value());
+  TradeoffOptions options;
+  options.max_factor = 4;
+  for (const auto& p : explore_tradeoffs(g, options)) {
+    EXPECT_GE(p.iteration_period, *bound);
+  }
+}
+
+TEST(Tradeoff, UnfoldingByBoundDenominatorReachesRateOptimal) {
+  // Elliptic bound is 8/3: the unfold-first point at f = 3 must hit it.
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  TradeoffOptions options;
+  options.max_factor = 3;
+  const auto points = explore_tradeoffs(g, options);
+  const auto it = std::find_if(points.begin(), points.end(), [](const auto& p) {
+    return p.order == TransformOrder::kUnfoldRetime && p.factor == 3;
+  });
+  ASSERT_NE(it, points.end());
+  EXPECT_EQ(it->iteration_period, Rational(8, 3));
+}
+
+TEST(Tradeoff, CsrSizeGrowsLinearlyInFactorForRetimeFirst) {
+  const auto points = explore_tradeoffs(benchmarks::volterra_filter(), {});
+  std::vector<const TradeoffPoint*> retime_first;
+  for (const auto& p : points) {
+    if (p.order == TransformOrder::kRetimeUnfold) retime_first.push_back(&p);
+  }
+  ASSERT_GE(retime_first.size(), 3u);
+  const std::int64_t delta = retime_first[1]->size_csr - retime_first[0]->size_csr;
+  for (std::size_t k = 2; k < retime_first.size(); ++k) {
+    EXPECT_EQ(retime_first[k]->size_csr - retime_first[k - 1]->size_csr, delta);
+  }
+}
+
+TEST(Tradeoff, ParetoFrontierIsUndominated) {
+  TradeoffOptions options;
+  options.max_factor = 4;
+  const auto points = explore_tradeoffs(benchmarks::lattice_filter(), options);
+  const auto frontier = pareto_frontier(points);
+  ASSERT_FALSE(frontier.empty());
+  for (const auto& f : frontier) {
+    for (const auto& p : points) {
+      const bool dominates = p.iteration_period <= f.iteration_period &&
+                             p.size_csr <= f.size_csr &&
+                             (p.iteration_period < f.iteration_period ||
+                              p.size_csr < f.size_csr);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // Frontier is sorted by period.
+  for (std::size_t k = 1; k < frontier.size(); ++k) {
+    EXPECT_LE(frontier[k - 1].iteration_period, frontier[k].iteration_period);
+  }
+}
+
+TEST(Tradeoff, BestUnderBudgetRespectsConstraints) {
+  TradeoffOptions options;
+  options.max_factor = 4;
+  const auto points = explore_tradeoffs(benchmarks::lattice_filter(), options);
+  const auto best = best_under_budget(points, /*register_budget=*/3,
+                                      /*size_budget=*/120);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LE(best->registers, 3);
+  EXPECT_LE(best->size_csr, 120);
+  // It is optimal among the feasible points.
+  for (const auto& p : points) {
+    if (p.registers <= 3 && p.size_csr <= 120) {
+      EXPECT_LE(best->iteration_period, p.iteration_period);
+    }
+  }
+}
+
+TEST(Tradeoff, ImpossibleBudgetReturnsNothing) {
+  const auto points = explore_tradeoffs(benchmarks::lattice_filter(), {});
+  EXPECT_FALSE(best_under_budget(points, 0, 1).has_value());
+}
+
+TEST(Tradeoff, RejectsBadOptions) {
+  TradeoffOptions options;
+  options.max_factor = 0;
+  EXPECT_THROW(explore_tradeoffs(benchmarks::iir_filter(), options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace csr

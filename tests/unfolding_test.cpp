@@ -1,0 +1,171 @@
+// Tests for graph unfolding: the Parhi construction, its invariants
+// (legality, delay conservation, iteration-bound scaling) and the
+// fold/lift retiming maps of Theorem 4.5.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+#include "unfolding/unfold.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Unfolding, FactorOneIsIdentityShape) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Unfolding u(g, 1);
+  EXPECT_EQ(u.graph().node_count(), g.node_count());
+  EXPECT_EQ(u.graph().edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(u.graph().edge(e).delay, g.edge(e).delay);
+  }
+}
+
+TEST(Unfolding, RejectsBadFactor) {
+  EXPECT_THROW(Unfolding(benchmarks::figure1_example(), 0), InvalidArgument);
+}
+
+TEST(Unfolding, NodeBookkeeping) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Unfolding u(g, 3);
+  EXPECT_EQ(u.graph().node_count(), 9u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (int j = 0; j < 3; ++j) {
+      const NodeId w = u.copy(v, j);
+      EXPECT_EQ(u.original_node(w), v);
+      EXPECT_EQ(u.copy_index(w), j);
+      EXPECT_EQ(u.graph().node(w).time, g.node(v).time);
+    }
+  }
+}
+
+TEST(Unfolding, EdgeConstructionFigure4) {
+  // Edge B→A with delay 3 unfolded by 3: copy j feeds copy (j+3)%3 = j with
+  // delay ⌊(j+3)/3⌋ = 1.
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Unfolding u(g, 3);
+  const NodeId b0 = u.copy(*g.find_node("B"), 0);
+  const NodeId a0 = u.copy(*g.find_node("A"), 0);
+  bool found = false;
+  for (const EdgeId e : u.graph().out_edges(b0)) {
+    if (u.graph().edge(e).to == a0) {
+      EXPECT_EQ(u.graph().edge(e).delay, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Unfolding, DelayTotalsConservedPerOriginalEdge) {
+  SplitMix64 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const DataFlowGraph g = random_dfg(rng);
+    for (const int f : {2, 3, 4}) {
+      const Unfolding u(g, f);
+      // Each original edge contributes f unfolded edges whose delays sum to
+      // its own delay (standard unfolding property: Σ⌊(j+d)/f⌋ over j = d).
+      std::size_t idx = 0;
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        int sum = 0;
+        for (int j = 0; j < f; ++j, ++idx) {
+          sum += u.graph().edge(static_cast<EdgeId>(idx)).delay;
+        }
+        EXPECT_EQ(sum, g.edge(e).delay);
+      }
+    }
+  }
+}
+
+TEST(Unfolding, LegalGraphsStayLegal) {
+  SplitMix64 rng(32);
+  for (int trial = 0; trial < 30; ++trial) {
+    const DataFlowGraph g = random_dfg(rng);
+    for (const int f : {2, 5}) {
+      EXPECT_TRUE(Unfolding(g, f).graph().is_legal());
+    }
+  }
+}
+
+TEST(Unfolding, IterationBoundScalesByFactor) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const auto bound = iteration_bound(g);
+    ASSERT_TRUE(bound.has_value()) << info.name;
+    for (const int f : {2, 3}) {
+      const auto unfolded_bound = iteration_bound(unfold(g, f));
+      ASSERT_TRUE(unfolded_bound.has_value()) << info.name;
+      EXPECT_EQ(*unfolded_bound, *bound * Rational(f)) << info.name << " f=" << f;
+    }
+  }
+}
+
+TEST(Unfolding, CyclePeriodNeverBelowUnfoldedBound) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const Unfolding u(g, 3);
+  // B = 8/3, so the unfolded graph's bound is 8 — and retiming can reach a
+  // cycle period of 8, i.e. the rate-optimal iteration period 8/3.
+  const OptimalRetiming opt = minimum_period_retiming(u.graph());
+  EXPECT_EQ(opt.period, 8);
+}
+
+TEST(Unfolding, LiftRetimingPreservesLegality) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    for (const int f : {2, 3, 4}) {
+      const Unfolding u(g, f);
+      const Retiming lifted = u.lift_retiming(opt.retiming);
+      EXPECT_TRUE(is_legal_retiming(u.graph(), lifted)) << info.name << " f=" << f;
+      // fold ∘ lift is the identity (Σ_j ⌈(r−j)/f⌉ = r).
+      EXPECT_EQ(u.fold_retiming(lifted).values(), opt.retiming.values())
+          << info.name << " f=" << f;
+    }
+  }
+}
+
+TEST(Unfolding, LiftCeilingFormula) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Unfolding u(g, 3);
+  Retiming r(g.node_count());
+  r.set(0, 4);
+  // ⌈(4−j)/3⌉ for j = 0,1,2 → 2, 1, 1.
+  const Retiming lifted = u.lift_retiming(r);
+  EXPECT_EQ(lifted[u.copy(0, 0)], 2);
+  EXPECT_EQ(lifted[u.copy(0, 1)], 1);
+  EXPECT_EQ(lifted[u.copy(0, 2)], 1);
+}
+
+TEST(Unfolding, FoldRetimingSumsCopies) {
+  const DataFlowGraph g = benchmarks::figure4_example();
+  const Unfolding u(g, 2);
+  Retiming r(u.graph().node_count());
+  r.set(u.copy(0, 0), 1);
+  r.set(u.copy(0, 1), 2);
+  r.set(u.copy(2, 1), 1);
+  const Retiming folded = u.fold_retiming(r);
+  EXPECT_EQ(folded[0], 3);
+  EXPECT_EQ(folded[1], 0);
+  EXPECT_EQ(folded[2], 1);
+}
+
+TEST(Unfolding, FoldRejectsMismatchedRetiming) {
+  const Unfolding u(benchmarks::figure4_example(), 2);
+  EXPECT_THROW(u.fold_retiming(Retiming(2)), InvalidArgument);
+  EXPECT_THROW(u.lift_retiming(Retiming(5)), InvalidArgument);
+}
+
+TEST(Unfolding, UnfoldThenRetimeReachesRateOptimalPeriod) {
+  // Elliptic filter: B = 8/3, so unfolding by 3 and retiming must reach an
+  // iteration period of exactly 8/3 (cycle period 8 over 3 iterations).
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Unfolding u(g, 3);
+  const OptimalRetiming opt = minimum_period_retiming(u.graph());
+  EXPECT_EQ(Rational(opt.period, 3), Rational(8, 3));
+}
+
+}  // namespace
+}  // namespace csr

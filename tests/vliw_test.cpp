@@ -1,0 +1,172 @@
+// Tests for VLIW kernel packing: word/slot discipline, decrement placement
+// after the last guarded issue, kernel length under resource pressure, and
+// semantic equivalence of the flattened program.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/vliw.hpp"
+#include "dfg/algorithms.hpp"
+#include "retiming/opt.hpp"
+#include "support/error.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+TEST(Vliw, KernelLengthMatchesScheduleWithAmpleResources) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  const VliwKernel kernel = pack_vliw_kernel(
+      g, opt.retiming, 20, ResourceModel::uniform(static_cast<int>(g.node_count())));
+  // Retimed figure-3 has cycle period 1: one word of statements; the four
+  // decrements overflow the single scalar slot into three extra words.
+  EXPECT_EQ(kernel.words_per_trip, 4);
+  EXPECT_EQ(kernel.words[0].statements.size(), 5u);
+  EXPECT_EQ(kernel.words[0].register_ops.size(), 1u);
+}
+
+TEST(Vliw, WiderScalarSlotsCompactTheKernel) {
+  const DataFlowGraph g = benchmarks::figure3_example();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  VliwOptions options;
+  options.scalar_slots = 4;
+  const VliwKernel kernel = pack_vliw_kernel(
+      g, opt.retiming, 20, ResourceModel::uniform(static_cast<int>(g.node_count())),
+      options);
+  EXPECT_EQ(kernel.words_per_trip, 1);
+  EXPECT_EQ(kernel.words[0].register_ops.size(), 4u);
+}
+
+TEST(Vliw, RespectsFunctionalUnitWidths) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  const VliwKernel kernel = pack_vliw_kernel(g, opt.retiming, 120, model);
+  for (const VliwWord& word : kernel.words) {
+    int adds = 0;
+    int muls = 0;
+    for (const Instruction& instr : word.statements) {
+      (instr.stmt.op_text == "*" ? muls : adds) += 1;
+    }
+    EXPECT_LE(adds, 2);
+    EXPECT_LE(muls, 2);
+    EXPECT_LE(static_cast<int>(word.register_ops.size()), 1);
+  }
+}
+
+TEST(Vliw, DecrementsNeverPrecedeLastGuardedIssue) {
+  const DataFlowGraph g = benchmarks::allpole_filter();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  const VliwKernel kernel =
+      pack_vliw_kernel(g, opt.retiming, 50, ResourceModel::adders_and_multipliers(2, 2));
+  std::map<std::string, int> last_guard;
+  std::map<std::string, int> dec_word;
+  for (int w = 0; w < static_cast<int>(kernel.words.size()); ++w) {
+    for (const Instruction& instr : kernel.words[static_cast<std::size_t>(w)].statements) {
+      last_guard[instr.guard] = std::max(last_guard[instr.guard], w);
+    }
+    for (const Instruction& instr :
+         kernel.words[static_cast<std::size_t>(w)].register_ops) {
+      dec_word[instr.reg] = w;
+    }
+  }
+  for (const auto& [reg, w] : dec_word) {
+    if (last_guard.count(reg)) {
+      EXPECT_GE(w, last_guard[reg]) << reg;
+    }
+  }
+}
+
+TEST(Vliw, FlattenedProgramMatchesOriginalSemantics) {
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    for (const int units : {2, 4}) {
+      const VliwKernel kernel = pack_vliw_kernel(
+          g, opt.retiming, 23, ResourceModel::adders_and_multipliers(units, units));
+      EXPECT_TRUE(kernel.program.validate().empty()) << info.name;
+      const auto diffs = compare_programs(original_program(g, 23), kernel.program,
+                                          array_names(g));
+      EXPECT_TRUE(diffs.empty())
+          << info.name << ": " << (diffs.empty() ? "" : diffs.front());
+    }
+  }
+}
+
+TEST(Vliw, UtilizationIsSane) {
+  const DataFlowGraph g = benchmarks::elliptic_filter();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  const VliwKernel kernel =
+      pack_vliw_kernel(g, opt.retiming, 100, ResourceModel::adders_and_multipliers(4, 4));
+  EXPECT_GT(kernel.utilization, 0.0);
+  EXPECT_LE(kernel.utilization, 1.0);
+}
+
+TEST(Vliw, ResourcePressureStretchesTheKernel) {
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  const VliwKernel wide =
+      pack_vliw_kernel(g, opt.retiming, 30, ResourceModel::uniform(8));
+  const VliwKernel narrow =
+      pack_vliw_kernel(g, opt.retiming, 30, ResourceModel::uniform(1));
+  EXPECT_GT(narrow.words_per_trip, wide.words_per_trip);
+  EXPECT_GE(narrow.words_per_trip, 8);  // 8 unit-time ops on one unit
+}
+
+TEST(Vliw, RejectsBadInputs) {
+  const DataFlowGraph nonunit = benchmarks::chao_sha_example();
+  EXPECT_THROW(pack_vliw_kernel(nonunit, Retiming(nonunit.node_count()), 50,
+                                ResourceModel::uniform(2)),
+               InvalidArgument);
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const OptimalRetiming opt = minimum_period_retiming(g);
+  EXPECT_THROW(pack_vliw_kernel(g, opt.retiming, 1, ResourceModel::uniform(2)),
+               InvalidArgument);
+  VliwOptions bad;
+  bad.scalar_slots = 0;
+  EXPECT_THROW(pack_vliw_kernel(g, opt.retiming, 30, ResourceModel::uniform(2), bad),
+               InvalidArgument);
+}
+
+TEST(VliwCycles, CsrCyclesFormula) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  const std::int64_t n = 50;
+  const VliwCycleAccounting acct = vliw_cycle_accounting(g, r, n, model);
+  EXPECT_EQ(acct.csr_cycles, (n + r.max_value()) * acct.kernel_words);
+  EXPECT_EQ(acct.expanded_cycles, acct.prologue_words +
+                                      (n - r.max_value()) * acct.kernel_words +
+                                      acct.epilogue_words);
+  EXPECT_GT(acct.prologue_words, 0);
+  EXPECT_GT(acct.epilogue_words, 0);
+}
+
+TEST(VliwCycles, OverheadVanishesWithTripCount) {
+  const DataFlowGraph g = benchmarks::allpole_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+  const double small = vliw_cycle_accounting(g, r, 20, model).overhead;
+  const double large = vliw_cycle_accounting(g, r, 2000, model).overhead;
+  EXPECT_LT(large, small);
+  EXPECT_LT(large, 0.01);  // < 1% at realistic trip counts
+}
+
+TEST(VliwCycles, PrologueNeverExceedsFullStagesOfKernel) {
+  // Each prologue/epilogue stage issues a subset of the kernel statements,
+  // so its word count is bounded by the statement-only kernel length.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const Retiming r = minimum_period_retiming(g).retiming;
+    const ResourceModel model = ResourceModel::adders_and_multipliers(2, 2);
+    const VliwCycleAccounting acct = vliw_cycle_accounting(g, r, 50, model);
+    EXPECT_LE(acct.prologue_words, r.max_value() * acct.kernel_words) << info.name;
+    EXPECT_LE(acct.epilogue_words, r.max_value() * acct.kernel_words) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,217 @@
+// Tests for the VM: conditional-register guard semantics (the 0 ≥ p > −LC
+// window of Section 3.1), memory behaviour, write accounting and the
+// equivalence-checking helpers.
+
+#include <gtest/gtest.h>
+
+#include "loopir/program.hpp"
+#include "support/error.hpp"
+#include "vm/equivalence.hpp"
+#include "vm/machine.hpp"
+
+namespace csr {
+namespace {
+
+Statement write_a(std::int64_t offset = 0) {
+  Statement s;
+  s.array = "A";
+  s.offset = offset;
+  s.op_seed = op_seed_for("A");
+  return s;
+}
+
+LoopProgram single_loop(std::int64_t n, std::vector<Instruction> body,
+                        std::int64_t begin, std::int64_t end, std::int64_t step = 1) {
+  LoopProgram p;
+  p.n = n;
+  LoopSegment loop;
+  loop.begin = begin;
+  loop.end = end;
+  loop.step = step;
+  loop.instructions = std::move(body);
+  p.segments.push_back(std::move(loop));
+  return p;
+}
+
+TEST(Machine, BoundaryValuesAreDeterministicAndDistinct) {
+  EXPECT_EQ(boundary_value("A", -1), boundary_value("A", -1));
+  EXPECT_NE(boundary_value("A", -1), boundary_value("A", -2));
+  EXPECT_NE(boundary_value("A", -1), boundary_value("B", -1));
+}
+
+TEST(Machine, StatementValueDependsOnEverything) {
+  const std::vector<std::uint64_t> ops = {1, 2};
+  const std::uint64_t base = statement_value(7, 3, ops);
+  EXPECT_EQ(base, statement_value(7, 3, ops));
+  EXPECT_NE(base, statement_value(8, 3, ops));
+  EXPECT_NE(base, statement_value(7, 4, ops));
+  EXPECT_NE(base, statement_value(7, 3, {2, 1}));  // operand order matters
+  EXPECT_NE(base, statement_value(7, 3, {1}));
+}
+
+TEST(Machine, RunsUnguardedLoop) {
+  const Machine m = run_program(single_loop(5, {Instruction::statement(write_a())}, 1, 5));
+  for (std::int64_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(m.written("A", i));
+    EXPECT_EQ(m.write_count("A", i), 1);
+  }
+  EXPECT_FALSE(m.written("A", 0));
+  EXPECT_EQ(m.total_writes("A"), 5);
+  EXPECT_EQ(m.executed_statements(), 5);
+  EXPECT_EQ(m.disabled_statements(), 0);
+}
+
+TEST(Machine, ReadsBoundaryForUnwrittenCells) {
+  const Machine m = run_program(single_loop(1, {Instruction::statement(write_a())}, 1, 1));
+  EXPECT_EQ(m.read("A", 99), boundary_value("A", 99));
+  EXPECT_EQ(m.read("Z", 0), boundary_value("Z", 0));
+}
+
+TEST(Machine, GuardWindowLowerEdge) {
+  // p starts at 2 and decrements once per trip: statement enabled from the
+  // third trip (p ≤ 0), i.e. i = 3.
+  LoopProgram p;
+  p.n = 5;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 2));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  const Machine m = run_program(p);
+  EXPECT_FALSE(m.written("A", 1));
+  EXPECT_FALSE(m.written("A", 2));
+  EXPECT_TRUE(m.written("A", 3));
+  EXPECT_TRUE(m.written("A", 5));
+  EXPECT_EQ(m.disabled_statements(), 2);
+}
+
+TEST(Machine, GuardWindowUpperEdgeStopsAfterNExecutions) {
+  // p starts at 0 with LC = 3; trips 1..5 but only the first 3 execute
+  // (p > −3 fails afterwards).
+  LoopProgram p;
+  p.n = 3;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 0));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 5;
+  loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  const Machine m = run_program(p);
+  EXPECT_EQ(m.total_writes("A"), 3);
+  EXPECT_TRUE(m.written("A", 3));
+  EXPECT_FALSE(m.written("A", 4));
+}
+
+TEST(Machine, DecrementAmountRespected) {
+  // Decrement by 2 per trip with p0 = 3: p = 3,1,-1,… → first enabled trip
+  // is the third (i = 3).
+  LoopProgram p;
+  p.n = 10;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 3));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 4;
+  loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1", 2));
+  p.segments = {setup, loop};
+  const Machine m = run_program(p);
+  EXPECT_FALSE(m.written("A", 2));
+  EXPECT_TRUE(m.written("A", 3));
+  EXPECT_TRUE(m.written("A", 4));
+}
+
+TEST(Machine, GuardBeforeSetupThrows) {
+  const LoopProgram p =
+      single_loop(3, {Instruction::statement(write_a(), "p1")}, 1, 3);
+  EXPECT_THROW(run_program(p), InvalidArgument);
+}
+
+TEST(Machine, StatementsReadThroughSources) {
+  // B[i] = f(A[i−1]): with only A[0] boundary and A[1..n] written in the
+  // same loop before B, values must chain deterministically.
+  Statement write_b;
+  write_b.array = "B";
+  write_b.op_seed = op_seed_for("B");
+  write_b.sources = {ArrayRef{"A", -1}};
+  const LoopProgram p = single_loop(
+      3, {Instruction::statement(write_a()), Instruction::statement(write_b)}, 1, 3);
+  const Machine m = run_program(p);
+  EXPECT_EQ(m.read("B", 1),
+            statement_value(op_seed_for("B"), 1, {boundary_value("A", 0)}));
+  EXPECT_EQ(m.read("B", 3), statement_value(op_seed_for("B"), 3, {m.read("A", 2)}));
+}
+
+TEST(Machine, StepsSkipIndices) {
+  const Machine m =
+      run_program(single_loop(9, {Instruction::statement(write_a())}, 1, 7, 3));
+  EXPECT_TRUE(m.written("A", 1));
+  EXPECT_TRUE(m.written("A", 4));
+  EXPECT_TRUE(m.written("A", 7));
+  EXPECT_EQ(m.total_writes("A"), 3);
+}
+
+TEST(Machine, IssuedCountsDisabledToo) {
+  LoopProgram p;
+  p.n = 1;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("p1", 5));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 2;
+  loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+  loop.instructions.push_back(Instruction::decrement("p1"));
+  p.segments = {setup, loop};
+  const Machine m = run_program(p);
+  EXPECT_EQ(m.issued_instructions(), 1 + 2 * 2);
+  EXPECT_EQ(m.executed_statements(), 0);
+  EXPECT_EQ(m.disabled_statements(), 2);
+}
+
+TEST(Equivalence, DiffDetectsDivergence) {
+  const LoopProgram a = single_loop(3, {Instruction::statement(write_a())}, 1, 3);
+  const LoopProgram b = single_loop(3, {Instruction::statement(write_a(1))}, 1, 3);
+  const auto diffs = compare_programs(a, b, {"A"});
+  EXPECT_FALSE(diffs.empty());
+}
+
+TEST(Equivalence, IdenticalProgramsMatch) {
+  const LoopProgram a = single_loop(4, {Instruction::statement(write_a())}, 1, 4);
+  EXPECT_TRUE(compare_programs(a, a, {"A"}).empty());
+}
+
+TEST(Equivalence, WriteDisciplineFlagsDoubleWrites) {
+  const LoopProgram p = single_loop(
+      3, {Instruction::statement(write_a()), Instruction::statement(write_a())}, 1, 3);
+  const auto problems = check_write_discipline(run_program(p), {"A"}, 3);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Equivalence, WriteDisciplineFlagsOutOfRangeWrites) {
+  const LoopProgram p = single_loop(3, {Instruction::statement(write_a())}, 1, 4);
+  const auto problems = check_write_discipline(run_program(p), {"A"}, 3);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Equivalence, WriteDisciplineFlagsMissingIterations) {
+  const LoopProgram p = single_loop(5, {Instruction::statement(write_a())}, 1, 4);
+  const auto problems = check_write_discipline(run_program(p), {"A"}, 5);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Equivalence, CleanProgramPassesDiscipline) {
+  const LoopProgram p = single_loop(6, {Instruction::statement(write_a())}, 1, 6);
+  EXPECT_TRUE(check_write_discipline(run_program(p), {"A"}, 6).empty());
+}
+
+}  // namespace
+}  // namespace csr
