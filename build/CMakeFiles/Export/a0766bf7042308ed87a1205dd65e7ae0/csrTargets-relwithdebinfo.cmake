@@ -1,0 +1,109 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "csr::support" for configuration "RelWithDebInfo"
+set_property(TARGET csr::support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::support )
+list(APPEND _cmake_import_check_files_for_csr::support "${_IMPORT_PREFIX}/lib/libcsr_support.a" )
+
+# Import target "csr::dfg" for configuration "RelWithDebInfo"
+set_property(TARGET csr::dfg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::dfg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_dfg.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::dfg )
+list(APPEND _cmake_import_check_files_for_csr::dfg "${_IMPORT_PREFIX}/lib/libcsr_dfg.a" )
+
+# Import target "csr::retiming" for configuration "RelWithDebInfo"
+set_property(TARGET csr::retiming APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::retiming PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_retiming.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::retiming )
+list(APPEND _cmake_import_check_files_for_csr::retiming "${_IMPORT_PREFIX}/lib/libcsr_retiming.a" )
+
+# Import target "csr::unfolding" for configuration "RelWithDebInfo"
+set_property(TARGET csr::unfolding APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::unfolding PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_unfolding.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::unfolding )
+list(APPEND _cmake_import_check_files_for_csr::unfolding "${_IMPORT_PREFIX}/lib/libcsr_unfolding.a" )
+
+# Import target "csr::schedule" for configuration "RelWithDebInfo"
+set_property(TARGET csr::schedule APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::schedule PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_schedule.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::schedule )
+list(APPEND _cmake_import_check_files_for_csr::schedule "${_IMPORT_PREFIX}/lib/libcsr_schedule.a" )
+
+# Import target "csr::loopir" for configuration "RelWithDebInfo"
+set_property(TARGET csr::loopir APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::loopir PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_loopir.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::loopir )
+list(APPEND _cmake_import_check_files_for_csr::loopir "${_IMPORT_PREFIX}/lib/libcsr_loopir.a" )
+
+# Import target "csr::codegen" for configuration "RelWithDebInfo"
+set_property(TARGET csr::codegen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::codegen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_codegen.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::codegen )
+list(APPEND _cmake_import_check_files_for_csr::codegen "${_IMPORT_PREFIX}/lib/libcsr_codegen.a" )
+
+# Import target "csr::vm" for configuration "RelWithDebInfo"
+set_property(TARGET csr::vm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::vm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_vm.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::vm )
+list(APPEND _cmake_import_check_files_for_csr::vm "${_IMPORT_PREFIX}/lib/libcsr_vm.a" )
+
+# Import target "csr::codesize" for configuration "RelWithDebInfo"
+set_property(TARGET csr::codesize APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::codesize PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_codesize.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::codesize )
+list(APPEND _cmake_import_check_files_for_csr::codesize "${_IMPORT_PREFIX}/lib/libcsr_codesize.a" )
+
+# Import target "csr::benchmarks" for configuration "RelWithDebInfo"
+set_property(TARGET csr::benchmarks APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(csr::benchmarks PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcsr_benchmarks.a"
+  )
+
+list(APPEND _cmake_import_check_targets csr::benchmarks )
+list(APPEND _cmake_import_check_files_for_csr::benchmarks "${_IMPORT_PREFIX}/lib/libcsr_benchmarks.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_performance.dir/ablation_performance.cpp.o"
+  "CMakeFiles/ablation_performance.dir/ablation_performance.cpp.o.d"
+  "ablation_performance"
+  "ablation_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tripcount.dir/ablation_tripcount.cpp.o"
+  "CMakeFiles/ablation_tripcount.dir/ablation_tripcount.cpp.o.d"
+  "ablation_tripcount"
+  "ablation_tripcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tripcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_collapsing.dir/baseline_collapsing.cpp.o"
+  "CMakeFiles/baseline_collapsing.dir/baseline_collapsing.cpp.o.d"
+  "baseline_collapsing"
+  "baseline_collapsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_collapsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_codegen.dir/figure3_codegen.cpp.o"
+  "CMakeFiles/figure3_codegen.dir/figure3_codegen.cpp.o.d"
+  "figure3_codegen"
+  "figure3_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

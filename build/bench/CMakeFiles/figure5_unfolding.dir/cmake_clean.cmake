@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_unfolding.dir/figure5_unfolding.cpp.o"
+  "CMakeFiles/figure5_unfolding.dir/figure5_unfolding.cpp.o.d"
+  "figure5_unfolding"
+  "figure5_unfolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

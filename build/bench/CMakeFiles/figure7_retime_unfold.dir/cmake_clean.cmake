@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_retime_unfold.dir/figure7_retime_unfold.cpp.o"
+  "CMakeFiles/figure7_retime_unfold.dir/figure7_retime_unfold.cpp.o.d"
+  "figure7_retime_unfold"
+  "figure7_retime_unfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_retime_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

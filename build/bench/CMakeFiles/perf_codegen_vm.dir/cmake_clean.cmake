@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_codegen_vm.dir/perf_codegen_vm.cpp.o"
+  "CMakeFiles/perf_codegen_vm.dir/perf_codegen_vm.cpp.o.d"
+  "perf_codegen_vm"
+  "perf_codegen_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_codegen_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

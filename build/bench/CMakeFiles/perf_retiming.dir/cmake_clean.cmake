@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_retiming.dir/perf_retiming.cpp.o"
+  "CMakeFiles/perf_retiming.dir/perf_retiming.cpp.o.d"
+  "perf_retiming"
+  "perf_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_retiming.dir/table1_retiming.cpp.o"
+  "CMakeFiles/table1_retiming.dir/table1_retiming.cpp.o.d"
+  "table1_retiming"
+  "table1_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_unfolding.dir/table2_unfolding.cpp.o"
+  "CMakeFiles/table2_unfolding.dir/table2_unfolding.cpp.o.d"
+  "table2_unfolding"
+  "table2_unfolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ordering.dir/table3_ordering.cpp.o"
+  "CMakeFiles/table3_ordering.dir/table3_ordering.cpp.o.d"
+  "table3_ordering"
+  "table3_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_lattice.dir/table4_lattice.cpp.o"
+  "CMakeFiles/table4_lattice.dir/table4_lattice.cpp.o.d"
+  "table4_lattice"
+  "table4_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesize_explorer.dir/codesize_explorer.cpp.o"
+  "CMakeFiles/codesize_explorer.dir/codesize_explorer.cpp.o.d"
+  "codesize_explorer"
+  "codesize_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesize_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_tool.dir/dfg_tool.cpp.o"
+  "CMakeFiles/dfg_tool.dir/dfg_tool.cpp.o.d"
+  "dfg_tool"
+  "dfg_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_c_kernels.dir/emit_c_kernels.cpp.o"
+  "CMakeFiles/emit_c_kernels.dir/emit_c_kernels.cpp.o.d"
+  "emit_c_kernels"
+  "emit_c_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_c_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_pipeline.dir/vliw_pipeline.cpp.o"
+  "CMakeFiles/vliw_pipeline.dir/vliw_pipeline.cpp.o.d"
+  "vliw_pipeline"
+  "vliw_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

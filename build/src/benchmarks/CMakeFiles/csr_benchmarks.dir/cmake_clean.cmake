@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_benchmarks.dir/benchmarks.cpp.o"
+  "CMakeFiles/csr_benchmarks.dir/benchmarks.cpp.o.d"
+  "libcsr_benchmarks.a"
+  "libcsr_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/c_emitter.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/c_emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/c_emitter.cpp.o.d"
+  "/root/repo/src/codegen/original.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/original.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/original.cpp.o.d"
+  "/root/repo/src/codegen/registers.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/registers.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/registers.cpp.o.d"
+  "/root/repo/src/codegen/retimed.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/retimed.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/retimed.cpp.o.d"
+  "/root/repo/src/codegen/retimed_unfolded.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/retimed_unfolded.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/retimed_unfolded.cpp.o.d"
+  "/root/repo/src/codegen/statements.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/statements.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/statements.cpp.o.d"
+  "/root/repo/src/codegen/unfolded.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/unfolded.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/unfolded.cpp.o.d"
+  "/root/repo/src/codegen/unfolded_retimed.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/unfolded_retimed.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/unfolded_retimed.cpp.o.d"
+  "/root/repo/src/codegen/vliw.cpp" "src/codegen/CMakeFiles/csr_codegen.dir/vliw.cpp.o" "gcc" "src/codegen/CMakeFiles/csr_codegen.dir/vliw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/csr_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/retiming/CMakeFiles/csr_retiming.dir/DependInfo.cmake"
+  "/root/repo/build/src/unfolding/CMakeFiles/csr_unfolding.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/csr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/csr_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

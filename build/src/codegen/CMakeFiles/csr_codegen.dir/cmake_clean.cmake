@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_codegen.dir/c_emitter.cpp.o"
+  "CMakeFiles/csr_codegen.dir/c_emitter.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/original.cpp.o"
+  "CMakeFiles/csr_codegen.dir/original.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/registers.cpp.o"
+  "CMakeFiles/csr_codegen.dir/registers.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/retimed.cpp.o"
+  "CMakeFiles/csr_codegen.dir/retimed.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/retimed_unfolded.cpp.o"
+  "CMakeFiles/csr_codegen.dir/retimed_unfolded.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/statements.cpp.o"
+  "CMakeFiles/csr_codegen.dir/statements.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/unfolded.cpp.o"
+  "CMakeFiles/csr_codegen.dir/unfolded.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/unfolded_retimed.cpp.o"
+  "CMakeFiles/csr_codegen.dir/unfolded_retimed.cpp.o.d"
+  "CMakeFiles/csr_codegen.dir/vliw.cpp.o"
+  "CMakeFiles/csr_codegen.dir/vliw.cpp.o.d"
+  "libcsr_codegen.a"
+  "libcsr_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

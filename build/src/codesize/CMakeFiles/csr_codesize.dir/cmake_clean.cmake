@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_codesize.dir/baselines.cpp.o"
+  "CMakeFiles/csr_codesize.dir/baselines.cpp.o.d"
+  "CMakeFiles/csr_codesize.dir/model.cpp.o"
+  "CMakeFiles/csr_codesize.dir/model.cpp.o.d"
+  "CMakeFiles/csr_codesize.dir/storage.cpp.o"
+  "CMakeFiles/csr_codesize.dir/storage.cpp.o.d"
+  "CMakeFiles/csr_codesize.dir/tradeoff.cpp.o"
+  "CMakeFiles/csr_codesize.dir/tradeoff.cpp.o.d"
+  "libcsr_codesize.a"
+  "libcsr_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/algorithms.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/algorithms.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/algorithms.cpp.o.d"
+  "/root/repo/src/dfg/builders.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/builders.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/builders.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/dot.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/dot.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/io.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/io.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/io.cpp.o.d"
+  "/root/repo/src/dfg/iteration_bound.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/iteration_bound.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/iteration_bound.cpp.o.d"
+  "/root/repo/src/dfg/random.cpp" "src/dfg/CMakeFiles/csr_dfg.dir/random.cpp.o" "gcc" "src/dfg/CMakeFiles/csr_dfg.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/csr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

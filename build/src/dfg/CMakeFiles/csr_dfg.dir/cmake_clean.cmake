@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_dfg.dir/algorithms.cpp.o"
+  "CMakeFiles/csr_dfg.dir/algorithms.cpp.o.d"
+  "CMakeFiles/csr_dfg.dir/builders.cpp.o"
+  "CMakeFiles/csr_dfg.dir/builders.cpp.o.d"
+  "CMakeFiles/csr_dfg.dir/dot.cpp.o"
+  "CMakeFiles/csr_dfg.dir/dot.cpp.o.d"
+  "CMakeFiles/csr_dfg.dir/graph.cpp.o"
+  "CMakeFiles/csr_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/csr_dfg.dir/io.cpp.o"
+  "CMakeFiles/csr_dfg.dir/io.cpp.o.d"
+  "CMakeFiles/csr_dfg.dir/iteration_bound.cpp.o"
+  "CMakeFiles/csr_dfg.dir/iteration_bound.cpp.o.d"
+  "CMakeFiles/csr_dfg.dir/random.cpp.o"
+  "CMakeFiles/csr_dfg.dir/random.cpp.o.d"
+  "libcsr_dfg.a"
+  "libcsr_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loopir/optimizer.cpp" "src/loopir/CMakeFiles/csr_loopir.dir/optimizer.cpp.o" "gcc" "src/loopir/CMakeFiles/csr_loopir.dir/optimizer.cpp.o.d"
+  "/root/repo/src/loopir/printer.cpp" "src/loopir/CMakeFiles/csr_loopir.dir/printer.cpp.o" "gcc" "src/loopir/CMakeFiles/csr_loopir.dir/printer.cpp.o.d"
+  "/root/repo/src/loopir/program.cpp" "src/loopir/CMakeFiles/csr_loopir.dir/program.cpp.o" "gcc" "src/loopir/CMakeFiles/csr_loopir.dir/program.cpp.o.d"
+  "/root/repo/src/loopir/serialize.cpp" "src/loopir/CMakeFiles/csr_loopir.dir/serialize.cpp.o" "gcc" "src/loopir/CMakeFiles/csr_loopir.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/csr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_loopir.dir/optimizer.cpp.o"
+  "CMakeFiles/csr_loopir.dir/optimizer.cpp.o.d"
+  "CMakeFiles/csr_loopir.dir/printer.cpp.o"
+  "CMakeFiles/csr_loopir.dir/printer.cpp.o.d"
+  "CMakeFiles/csr_loopir.dir/program.cpp.o"
+  "CMakeFiles/csr_loopir.dir/program.cpp.o.d"
+  "CMakeFiles/csr_loopir.dir/serialize.cpp.o"
+  "CMakeFiles/csr_loopir.dir/serialize.cpp.o.d"
+  "libcsr_loopir.a"
+  "libcsr_loopir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_loopir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retiming/constraints.cpp" "src/retiming/CMakeFiles/csr_retiming.dir/constraints.cpp.o" "gcc" "src/retiming/CMakeFiles/csr_retiming.dir/constraints.cpp.o.d"
+  "/root/repo/src/retiming/diagnostics.cpp" "src/retiming/CMakeFiles/csr_retiming.dir/diagnostics.cpp.o" "gcc" "src/retiming/CMakeFiles/csr_retiming.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/retiming/min_storage.cpp" "src/retiming/CMakeFiles/csr_retiming.dir/min_storage.cpp.o" "gcc" "src/retiming/CMakeFiles/csr_retiming.dir/min_storage.cpp.o.d"
+  "/root/repo/src/retiming/opt.cpp" "src/retiming/CMakeFiles/csr_retiming.dir/opt.cpp.o" "gcc" "src/retiming/CMakeFiles/csr_retiming.dir/opt.cpp.o.d"
+  "/root/repo/src/retiming/retiming.cpp" "src/retiming/CMakeFiles/csr_retiming.dir/retiming.cpp.o" "gcc" "src/retiming/CMakeFiles/csr_retiming.dir/retiming.cpp.o.d"
+  "/root/repo/src/retiming/wd.cpp" "src/retiming/CMakeFiles/csr_retiming.dir/wd.cpp.o" "gcc" "src/retiming/CMakeFiles/csr_retiming.dir/wd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/csr_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_retiming.dir/constraints.cpp.o"
+  "CMakeFiles/csr_retiming.dir/constraints.cpp.o.d"
+  "CMakeFiles/csr_retiming.dir/diagnostics.cpp.o"
+  "CMakeFiles/csr_retiming.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/csr_retiming.dir/min_storage.cpp.o"
+  "CMakeFiles/csr_retiming.dir/min_storage.cpp.o.d"
+  "CMakeFiles/csr_retiming.dir/opt.cpp.o"
+  "CMakeFiles/csr_retiming.dir/opt.cpp.o.d"
+  "CMakeFiles/csr_retiming.dir/retiming.cpp.o"
+  "CMakeFiles/csr_retiming.dir/retiming.cpp.o.d"
+  "CMakeFiles/csr_retiming.dir/wd.cpp.o"
+  "CMakeFiles/csr_retiming.dir/wd.cpp.o.d"
+  "libcsr_retiming.a"
+  "libcsr_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

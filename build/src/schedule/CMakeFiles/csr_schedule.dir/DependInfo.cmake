@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/list_scheduler.cpp" "src/schedule/CMakeFiles/csr_schedule.dir/list_scheduler.cpp.o" "gcc" "src/schedule/CMakeFiles/csr_schedule.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/modulo.cpp" "src/schedule/CMakeFiles/csr_schedule.dir/modulo.cpp.o" "gcc" "src/schedule/CMakeFiles/csr_schedule.dir/modulo.cpp.o.d"
+  "/root/repo/src/schedule/resources.cpp" "src/schedule/CMakeFiles/csr_schedule.dir/resources.cpp.o" "gcc" "src/schedule/CMakeFiles/csr_schedule.dir/resources.cpp.o.d"
+  "/root/repo/src/schedule/rotation.cpp" "src/schedule/CMakeFiles/csr_schedule.dir/rotation.cpp.o" "gcc" "src/schedule/CMakeFiles/csr_schedule.dir/rotation.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/schedule/CMakeFiles/csr_schedule.dir/schedule.cpp.o" "gcc" "src/schedule/CMakeFiles/csr_schedule.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/csr_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/retiming/CMakeFiles/csr_retiming.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_schedule.dir/list_scheduler.cpp.o"
+  "CMakeFiles/csr_schedule.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/csr_schedule.dir/modulo.cpp.o"
+  "CMakeFiles/csr_schedule.dir/modulo.cpp.o.d"
+  "CMakeFiles/csr_schedule.dir/resources.cpp.o"
+  "CMakeFiles/csr_schedule.dir/resources.cpp.o.d"
+  "CMakeFiles/csr_schedule.dir/rotation.cpp.o"
+  "CMakeFiles/csr_schedule.dir/rotation.cpp.o.d"
+  "CMakeFiles/csr_schedule.dir/schedule.cpp.o"
+  "CMakeFiles/csr_schedule.dir/schedule.cpp.o.d"
+  "libcsr_schedule.a"
+  "libcsr_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_support.dir/rational.cpp.o"
+  "CMakeFiles/csr_support.dir/rational.cpp.o.d"
+  "CMakeFiles/csr_support.dir/rng.cpp.o"
+  "CMakeFiles/csr_support.dir/rng.cpp.o.d"
+  "CMakeFiles/csr_support.dir/text.cpp.o"
+  "CMakeFiles/csr_support.dir/text.cpp.o.d"
+  "libcsr_support.a"
+  "libcsr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_unfolding.dir/unfold.cpp.o"
+  "CMakeFiles/csr_unfolding.dir/unfold.cpp.o.d"
+  "libcsr_unfolding.a"
+  "libcsr_unfolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_vm.dir/equivalence.cpp.o"
+  "CMakeFiles/csr_vm.dir/equivalence.cpp.o.d"
+  "CMakeFiles/csr_vm.dir/machine.cpp.o"
+  "CMakeFiles/csr_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/csr_vm.dir/trace.cpp.o"
+  "CMakeFiles/csr_vm.dir/trace.cpp.o.d"
+  "libcsr_vm.a"
+  "libcsr_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

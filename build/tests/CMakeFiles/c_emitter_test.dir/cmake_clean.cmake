@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_emitter_test.dir/c_emitter_test.cpp.o"
+  "CMakeFiles/c_emitter_test.dir/c_emitter_test.cpp.o.d"
+  "c_emitter_test"
+  "c_emitter_test.pdb"
+  "c_emitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_bound_test.dir/iteration_bound_test.cpp.o"
+  "CMakeFiles/iteration_bound_test.dir/iteration_bound_test.cpp.o.d"
+  "iteration_bound_test"
+  "iteration_bound_test.pdb"
+  "iteration_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

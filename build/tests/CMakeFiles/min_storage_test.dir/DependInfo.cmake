@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/min_storage_test.cpp" "tests/CMakeFiles/min_storage_test.dir/min_storage_test.cpp.o" "gcc" "tests/CMakeFiles/min_storage_test.dir/min_storage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmarks/CMakeFiles/csr_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/codesize/CMakeFiles/csr_codesize.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/csr_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/csr_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/csr_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/csr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/unfolding/CMakeFiles/csr_unfolding.dir/DependInfo.cmake"
+  "/root/repo/build/src/retiming/CMakeFiles/csr_retiming.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/csr_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

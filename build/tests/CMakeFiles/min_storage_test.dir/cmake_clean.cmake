@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_storage_test.dir/min_storage_test.cpp.o"
+  "CMakeFiles/min_storage_test.dir/min_storage_test.cpp.o.d"
+  "min_storage_test"
+  "min_storage_test.pdb"
+  "min_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

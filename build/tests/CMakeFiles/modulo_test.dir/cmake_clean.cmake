@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modulo_test.dir/modulo_test.cpp.o"
+  "CMakeFiles/modulo_test.dir/modulo_test.cpp.o.d"
+  "modulo_test"
+  "modulo_test.pdb"
+  "modulo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modulo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
