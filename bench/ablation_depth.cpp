@@ -4,44 +4,64 @@
 // the expanded versus CSR code size. Shows the paper's core claim as a
 // curve: expanded code grows with |V|·M_r while the CSR form stays at
 // L + 2·|N_r| regardless of how deep the pipeline gets.
+//
+// Per-benchmark sweeps are independent, so they run on the driver's thread
+// pool; rows are printed in benchmark order afterwards.
 
 #include <iostream>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codesize/model.hpp"
 #include "codesize/storage.hpp"
+#include "driver/thread_pool.hpp"
 #include "retiming/opt.hpp"
 #include "retiming/wd.hpp"
 #include "table_util.hpp"
 
 int main() {
   using namespace csr;
+
+  struct Section {
+    std::string name;
+    std::int64_t l = 0;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  const auto infos = benchmarks::table_benchmarks();
+  const auto sections = driver::parallel_map(
+      infos, driver::default_thread_count(), [](const auto& info) {
+        const DataFlowGraph g = info.factory();
+        Section section{info.name, original_size(g), {}};
+        const WDMatrices wd(g);
+        const auto candidates = wd.candidate_periods();
+        std::int64_t previous_depth = -1;
+        for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+          const auto r = min_depth_retiming(g, wd, *it);
+          if (!r) break;  // below the minimum achievable period
+          const bool rate_optimal =
+              std::next(it) == candidates.rend() ||
+              !min_depth_retiming(g, wd, *std::next(it)).has_value();
+          // Show one row per distinct depth plus the rate-optimal endpoint.
+          if (previous_depth == r->max_value() && !rate_optimal) continue;
+          previous_depth = r->max_value();
+          section.rows.push_back({std::to_string(*it), std::to_string(r->max_value()),
+                                  std::to_string(predicted_retimed_size(g, *r)),
+                                  std::to_string(predicted_retimed_csr_size(g, *r)),
+                                  std::to_string(registers_required(*r)),
+                                  std::to_string(delay_register_delta(g, *r))});
+        }
+        return section;
+      });
+
   std::cout << "Ablation: code size vs software-pipelining depth\n"
             << "(per achievable cycle period: depth-minimal retiming,"
             << " expanded vs CSR size)\n";
-  for (const auto& info : benchmarks::table_benchmarks()) {
-    const DataFlowGraph g = info.factory();
-    std::cout << '\n' << info.name << " (L = " << original_size(g) << ")\n";
+  for (const Section& section : sections) {
+    std::cout << '\n' << section.name << " (L = " << section.l << ")\n";
     bench::TablePrinter table({8, 7, 10, 8, 6, 8});
     table.row({"period", "M_r", "expanded", "CSR", "Rgs", "Δdelay"});
     table.rule();
-    const WDMatrices wd(g);
-    const auto candidates = wd.candidate_periods();
-    std::int64_t previous_depth = -1;
-    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
-      const auto r = min_depth_retiming(g, wd, *it);
-      if (!r) break;  // below the minimum achievable period
-      const bool rate_optimal = std::next(it) == candidates.rend() ||
-                                !min_depth_retiming(g, wd, *std::next(it)).has_value();
-      // Show one row per distinct depth plus the rate-optimal endpoint.
-      if (previous_depth == r->max_value() && !rate_optimal) continue;
-      previous_depth = r->max_value();
-      table.row({std::to_string(*it), std::to_string(r->max_value()),
-                 std::to_string(predicted_retimed_size(g, *r)),
-                 std::to_string(predicted_retimed_csr_size(g, *r)),
-                 std::to_string(registers_required(*r)),
-                 std::to_string(delay_register_delta(g, *r))});
-    }
+    for (const auto& row : section.rows) table.row(row);
   }
   std::cout << "\nΔdelay = change in inter-iteration storage registers caused by"
                " the retiming\n(deep pipelines can trade code size for data"

@@ -4,34 +4,56 @@
 // trips instead of n − M_r plus explicit fill/drain code. This bench counts
 // VLIW instruction words issued by both forms under a 2-adder/2-multiplier
 // machine across trip counts.
+//
+// All (n, benchmark) cells are independent; they are evaluated on the
+// driver's thread pool and printed in sweep order.
 
 #include <iostream>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codegen/vliw.hpp"
+#include "driver/thread_pool.hpp"
 #include "retiming/opt.hpp"
 #include "table_util.hpp"
 
 int main() {
   using namespace csr;
   const ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
+  const std::vector<std::int64_t> trip_counts = {20, 101, 1000};
+  const auto infos = benchmarks::table_benchmarks();
+
+  struct Cell {
+    std::int64_t n;
+    std::size_t benchmark;
+  };
+  std::vector<Cell> cells;
+  for (const std::int64_t n : trip_counts) {
+    for (std::size_t b = 0; b < infos.size(); ++b) cells.push_back({n, b});
+  }
+
+  const auto rows = driver::parallel_map(
+      cells, driver::default_thread_count(), [&](const Cell& cell) {
+        const auto& info = infos[cell.benchmark];
+        const DataFlowGraph g = info.factory();
+        const Retiming r = minimum_period_retiming(g).retiming;
+        const VliwCycleAccounting acct = vliw_cycle_accounting(g, r, cell.n, machine);
+        char pct[16];
+        std::snprintf(pct, sizeof pct, "%+.2f%%", acct.overhead * 100.0);
+        return std::vector<std::string>{
+            info.name, std::to_string(acct.kernel_words),
+            std::to_string(acct.expanded_cycles), std::to_string(acct.csr_cycles),
+            pct};
+      });
+
   std::cout << "Ablation: cycle cost of CSR vs expanded pipelined code\n"
             << "(VLIW instruction words issued; 2 adders + 2 multipliers)\n\n";
-  for (const std::int64_t n : {20, 101, 1000}) {
+  std::size_t k = 0;
+  for (const std::int64_t n : trip_counts) {
     std::cout << "n = " << n << '\n';
     bench::TablePrinter table({24, 8, 10, 10, 10});
     table.row({"Benchmark", "kernel", "expanded", "CSR", "overhead"});
     table.rule();
-    for (const auto& info : benchmarks::table_benchmarks()) {
-      const DataFlowGraph g = info.factory();
-      const Retiming r = minimum_period_retiming(g).retiming;
-      const VliwCycleAccounting acct = vliw_cycle_accounting(g, r, n, machine);
-      char pct[16];
-      std::snprintf(pct, sizeof pct, "%+.2f%%", acct.overhead * 100.0);
-      table.row({info.name, std::to_string(acct.kernel_words),
-                 std::to_string(acct.expanded_cycles), std::to_string(acct.csr_cycles),
-                 pct});
-    }
+    for (std::size_t b = 0; b < infos.size(); ++b) table.row(rows[k++]);
     std::cout << '\n';
   }
   std::cout << "overhead = CSR cycles / expanded cycles − 1. The CSR form's\n"

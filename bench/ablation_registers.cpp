@@ -4,39 +4,48 @@
 // For each benchmark and each register budget, the best achievable
 // iteration period over unfolding factors 1..4 and both transformation
 // orders, with the CSR code size of the winning point.
+//
+// The per-benchmark exploration (the expensive part) runs on the driver's
+// thread pool; the table prints in benchmark order.
 
 #include <iostream>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codesize/tradeoff.hpp"
 #include "dfg/iteration_bound.hpp"
+#include "driver/thread_pool.hpp"
 #include "table_util.hpp"
 
 int main() {
   using namespace csr;
+  TradeoffOptions options;
+  options.max_factor = 4;
+
+  const auto infos = benchmarks::table_benchmarks();
+  const auto rows = driver::parallel_map(
+      infos, driver::default_thread_count(), [&](const auto& info) {
+        const DataFlowGraph g = info.factory();
+        const auto points = explore_tradeoffs(g, options);
+        std::vector<std::string> row{info.name, iteration_bound(g)->to_string()};
+        for (std::int64_t budget = 1; budget <= 4; ++budget) {
+          const auto best = best_under_budget(points, budget, /*size_budget=*/100000);
+          if (best) {
+            row.push_back(best->iteration_period.to_string() + " @ " +
+                          std::to_string(best->size_csr));
+          } else {
+            row.push_back("-");
+          }
+        }
+        return row;
+      });
+
   std::cout << "Ablation: best iteration period under a conditional-register"
             << " budget\n(sweep over f = 1..4, both orders; '-' = infeasible;"
             << " cell = period @ CSR size)\n\n";
   bench::TablePrinter table({24, 8, 14, 14, 14, 14});
   table.row({"Benchmark", "bound", "1 reg", "2 regs", "3 regs", "4 regs"});
   table.rule();
-  TradeoffOptions options;
-  options.max_factor = 4;
-  for (const auto& info : benchmarks::table_benchmarks()) {
-    const DataFlowGraph g = info.factory();
-    const auto points = explore_tradeoffs(g, options);
-    std::vector<std::string> row{info.name, iteration_bound(g)->to_string()};
-    for (std::int64_t budget = 1; budget <= 4; ++budget) {
-      const auto best = best_under_budget(points, budget, /*size_budget=*/100000);
-      if (best) {
-        row.push_back(best->iteration_period.to_string() + " @ " +
-                      std::to_string(best->size_csr));
-      } else {
-        row.push_back("-");
-      }
-    }
-    table.row(row);
-  }
+  for (const auto& row : rows) table.row(row);
   table.rule();
   std::cout << "\nWith one register only pure unfolding qualifies (no pipelining);"
                "\neach extra register unlocks deeper pipelining until the"

@@ -4,14 +4,15 @@
 // retiming that the CSR framework consumes, so they are directly comparable
 // on achieved period, pipeline depth, register count and CSR code size —
 // under both ample and tight resource models.
+//
+// This is exactly the sweep driver's engine axis: one grid with
+// transforms = {retimed_csr} and all three engines, evaluated per resource
+// model on the thread pool.
 
 #include <iostream>
 
 #include "benchmarks/benchmarks.hpp"
-#include "codesize/model.hpp"
-#include "retiming/opt.hpp"
-#include "schedule/modulo.hpp"
-#include "schedule/rotation.hpp"
+#include "driver/sweep.hpp"
 #include "table_util.hpp"
 
 int main() {
@@ -22,39 +23,46 @@ int main() {
   };
   const ModelSpec models[] = {{"2 add + 2 mul", 2, 2}, {"1 add + 1 mul", 1, 1}};
 
+  const auto engine_label = [](driver::Engine engine) -> std::string {
+    switch (engine) {
+      case driver::Engine::kOptRetiming:
+        return "OPT retiming";
+      case driver::Engine::kRotation:
+        return "rotation";
+      case driver::Engine::kModulo:
+        return "modulo (IMS)";
+    }
+    return "?";
+  };
+
+  driver::SweepGrid grid;
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    grid.benchmarks.push_back(info.name);
+  }
+  grid.engines = {driver::Engine::kOptRetiming, driver::Engine::kRotation,
+                  driver::Engine::kModulo};
+  grid.transforms = {driver::Transform::kRetimedCsr};
+  grid.factors.clear();
+
   for (const ModelSpec& spec : models) {
-    const ResourceModel machine =
-        ResourceModel::adders_and_multipliers(spec.adders, spec.multipliers);
+    driver::SweepOptions options;
+    options.threads = 0;  // one worker per hardware thread
+    options.verify = false;
+    options.machine = ResourceModel::adders_and_multipliers(spec.adders, spec.multipliers);
+    const auto results = driver::run_sweep(grid, options);
+
     std::cout << "\n=== resource model: " << spec.name << " ===\n";
     bench::TablePrinter table({24, 14, 9, 6, 6, 8});
     table.row({"Benchmark", "engine", "period", "M_r", "Rgs", "CSR"});
     table.rule();
-    for (const auto& info : benchmarks::table_benchmarks()) {
-      const DataFlowGraph g = info.factory();
-
-      // Engine 1: OPT retiming (resource-oblivious optimum).
-      const OptimalRetiming opt = minimum_period_retiming(g);
-      table.row({info.name, "OPT retiming", std::to_string(opt.period),
-                 std::to_string(opt.retiming.max_value()),
-                 std::to_string(registers_required(opt.retiming)),
-                 std::to_string(predicted_retimed_csr_size(g, opt.retiming))});
-
-      // Engine 2: rotation scheduling under the resource model.
-      const RotationResult rot = rotation_schedule(g, machine);
-      table.row({"", "rotation", std::to_string(rot.period),
-                 std::to_string(rot.retiming.max_value()),
-                 std::to_string(registers_required(rot.retiming)),
-                 std::to_string(predicted_retimed_csr_size(g, rot.retiming))});
-
-      // Engine 3: iterative modulo scheduling under the resource model.
-      const auto ms = modulo_schedule(g, machine);
-      if (ms) {
-        const Retiming r = retiming_from_modulo(g, *ms);
-        table.row({"", "modulo (IMS)", std::to_string(ms->initiation_interval),
-                   std::to_string(r.max_value()),
-                   std::to_string(registers_required(r)),
-                   std::to_string(predicted_retimed_csr_size(g, r))});
-      }
+    std::string current;
+    for (const driver::SweepResult& res : results) {
+      if (!res.feasible) continue;  // e.g. modulo scheduling found no schedule
+      const bool first = res.cell.benchmark != current;
+      current = res.cell.benchmark;
+      table.row({first ? res.cell.benchmark : "", engine_label(res.cell.engine),
+                 res.period.to_string(), std::to_string(res.depth),
+                 std::to_string(res.registers), std::to_string(res.predicted_size)});
     }
   }
   std::cout << "\nperiod = cycle period / initiation interval under the engine's"

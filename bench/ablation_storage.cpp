@@ -4,47 +4,70 @@
 // size depends on the depth-side quantities (M_r, |N_r|), storage on
 // Σ d_r(e) — the axis the paper's memory-constrained follow-ups [3,10]
 // optimize.
+//
+// The two solver runs per benchmark execute on the driver's thread pool.
 
 #include <iostream>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codesize/model.hpp"
+#include "driver/thread_pool.hpp"
 #include "retiming/min_storage.hpp"
 #include "retiming/opt.hpp"
 #include "table_util.hpp"
 
 int main() {
   using namespace csr;
+
+  struct Section {
+    bool ok = false;
+    std::string name;
+    std::vector<std::vector<std::string>> rows;
+    std::int64_t total_delay = 0;
+  };
+
+  const auto infos = benchmarks::table_benchmarks();
+  const auto sections = driver::parallel_map(
+      infos, driver::default_thread_count(), [](const auto& info) {
+        const DataFlowGraph g = info.factory();
+        Section section;
+        section.name = info.name;
+        section.total_delay = g.total_delay();
+        const OptimalRetiming depth_opt = minimum_period_retiming(g);
+        const auto storage_opt = min_storage_retiming(g, depth_opt.period);
+        if (!storage_opt) return section;
+        section.ok = true;
+        const auto row = [&](const char* objective, const Retiming& r) {
+          return std::vector<std::string>{
+              objective == std::string("min depth") ? info.name : "",
+              std::to_string(depth_opt.period), objective,
+              std::to_string(r.max_value()), std::to_string(registers_required(r)),
+              std::to_string(predicted_retimed_csr_size(g, r)),
+              std::to_string(total_delays_after(g, r))};
+        };
+        section.rows.push_back(row("min depth", depth_opt.retiming));
+        section.rows.push_back(row("min storage", *storage_opt));
+        return section;
+      });
+
   std::cout << "Ablation: depth-minimal vs storage-minimal retiming at the"
             << " rate-optimal cycle period\n\n";
   bench::TablePrinter table({24, 8, 14, 10, 10, 10, 10});
   table.row({"Benchmark", "period", "objective", "M_r", "Rgs", "CSR", "delays"});
   table.rule();
-  for (const auto& info : benchmarks::table_benchmarks()) {
-    const DataFlowGraph g = info.factory();
-    const OptimalRetiming depth_opt = minimum_period_retiming(g);
-    const auto storage_opt = min_storage_retiming(g, depth_opt.period);
-    if (!storage_opt) {
-      std::cerr << "storage solver failed for " << info.name << '\n';
+  for (const Section& section : sections) {
+    if (!section.ok) {
+      std::cerr << "storage solver failed for " << section.name << '\n';
       return 1;
     }
-    auto row = [&](const char* objective, const Retiming& r) {
-      table.row({objective == std::string("min depth") ? info.name : "",
-                 std::to_string(depth_opt.period), objective,
-                 std::to_string(r.max_value()),
-                 std::to_string(registers_required(r)),
-                 std::to_string(predicted_retimed_csr_size(g, r)),
-                 std::to_string(total_delays_after(g, r))});
-    };
-    row("min depth", depth_opt.retiming);
-    row("min storage", *storage_opt);
+    for (const auto& row : section.rows) table.row(row);
   }
   table.rule();
   std::cout << "\ndelays = Σ d_r(e), the inter-iteration values the retimed loop"
                " keeps live\n(original counts: the un-retimed graphs hold ";
   bool first = true;
-  for (const auto& info : benchmarks::table_benchmarks()) {
-    std::cout << (first ? "" : "/") << info.factory().total_delay();
+  for (const Section& section : sections) {
+    std::cout << (first ? "" : "/") << section.total_delay;
     first = false;
   }
   std::cout << ").\n";

@@ -4,6 +4,9 @@
 // after the guard optimizer exploited the compile-time-known n — isolating
 // how much of the conditional-register overhead pays for arbitrary-n
 // generality.
+//
+// Each n is an independent codegen + optimize + VM-equivalence job; the
+// driver's thread pool evaluates them concurrently.
 
 #include <iostream>
 
@@ -12,6 +15,7 @@
 #include "codegen/retimed_unfolded.hpp"
 #include "codegen/statements.hpp"
 #include "codegen/unfolded.hpp"
+#include "driver/thread_pool.hpp"
 #include "loopir/optimizer.hpp"
 #include "retiming/opt.hpp"
 #include "table_util.hpp"
@@ -23,42 +27,63 @@ int main() {
   const int f = 3;
   const Retiming r = minimum_period_retiming(g).retiming;
 
+  struct Row {
+    std::string error;
+    std::vector<std::string> cells;
+  };
+
+  const std::vector<std::int64_t> retimed_ns = {99, 100, 101, 102, 103, 104};
+  const auto retimed_rows = driver::parallel_map(
+      retimed_ns, driver::default_thread_count(), [&](std::int64_t n) {
+        Row row;
+        const LoopProgram expanded = retimed_unfolded_program(g, r, f, n);
+        const LoopProgram reduced = retimed_unfolded_csr_program(g, r, f, n);
+        const OptimizationReport opt = optimize_program(reduced);
+        const auto diffs =
+            compare_programs(original_program(g, n), opt.program, array_names(g));
+        if (!diffs.empty()) {
+          row.error = "optimized program diverges at n=" + std::to_string(n) + ": " +
+                      diffs.front();
+          return row;
+        }
+        row.cells = {std::to_string(n), std::to_string(n % f),
+                     std::to_string(expanded.code_size()),
+                     std::to_string(reduced.code_size()),
+                     std::to_string(opt.program.code_size()),
+                     std::to_string(opt.guards_dropped)};
+        return row;
+      });
+
   std::cout << "Ablation: trip-count remainder vs CSR benefit — lattice filter,"
             << " f = " << f << "\n\n";
   bench::TablePrinter table({6, 8, 10, 8, 12, 14});
   table.row({"n", "n mod f", "expanded", "CSR", "CSR+opt", "guards dropped"});
   table.rule();
-  for (const std::int64_t n : {99, 100, 101, 102, 103, 104}) {
-    const LoopProgram expanded = retimed_unfolded_program(g, r, f, n);
-    const LoopProgram reduced = retimed_unfolded_csr_program(g, r, f, n);
-    const OptimizationReport opt = optimize_program(reduced);
-    const auto diffs =
-        compare_programs(original_program(g, n), opt.program, array_names(g));
-    if (!diffs.empty()) {
-      std::cerr << "optimized program diverges at n=" << n << ": " << diffs.front()
-                << '\n';
+  for (const Row& row : retimed_rows) {
+    if (!row.error.empty()) {
+      std::cerr << row.error << '\n';
       return 1;
     }
-    table.row({std::to_string(n), std::to_string(n % f),
-               std::to_string(expanded.code_size()),
-               std::to_string(reduced.code_size()),
-               std::to_string(opt.program.code_size()),
-               std::to_string(opt.guards_dropped)});
+    table.row(row.cells);
   }
+
+  const std::vector<std::int64_t> pure_ns = {99, 100, 101};
+  const auto pure_rows = driver::parallel_map(
+      pure_ns, driver::default_thread_count(), [&](std::int64_t n) {
+        const LoopProgram expanded = unfolded_program(g, f, n);
+        const LoopProgram reduced = unfolded_csr_program(g, f, n);
+        const OptimizationReport opt = optimize_program(reduced);
+        return std::vector<std::string>{std::to_string(n), std::to_string(n % f),
+                                        std::to_string(expanded.code_size()),
+                                        std::to_string(reduced.code_size()),
+                                        std::to_string(opt.program.code_size())};
+      });
 
   std::cout << "\npure unfolding (no retiming), same sweep:\n";
   bench::TablePrinter pure({6, 8, 10, 8, 12});
   pure.row({"n", "n mod f", "expanded", "CSR", "CSR+opt"});
   pure.rule();
-  for (const std::int64_t n : {99, 100, 101}) {
-    const LoopProgram expanded = unfolded_program(g, f, n);
-    const LoopProgram reduced = unfolded_csr_program(g, f, n);
-    const OptimizationReport opt = optimize_program(reduced);
-    pure.row({std::to_string(n), std::to_string(n % f),
-              std::to_string(expanded.code_size()),
-              std::to_string(reduced.code_size()),
-              std::to_string(opt.program.code_size())});
-  }
+  for (const auto& row : pure_rows) pure.row(row);
   std::cout << "\nWhen f divides n the optimizer retires the remainder guards"
                " entirely;\notherwise the CSR overhead is the price of the"
                " conditional tail.\n";

@@ -1,82 +1,50 @@
-// Machine-readable export of the headline experiments: writes
-// csr_results.csv (current directory, or argv[1]) with one row per
-// (benchmark, transformation, factor) containing every measured quantity —
-// for plotting and regression-tracking pipelines.
+// Machine-readable export of the headline experiments, now driven by the
+// parallel sweep engine: evaluates the full (benchmark × transform × factor)
+// grid on a thread pool and writes csr_results.csv plus BENCH_sweep.json.
+// Exports are aggregated in grid order, so the files are byte-identical for
+// any thread count.
+//
+// Usage: export_results [csv_path] [json_path] [threads]
+//   csv_path   default csr_results.csv
+//   json_path  default BENCH_sweep.json
+//   threads    worker threads; 0 = one per hardware thread (default 0)
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "benchmarks/benchmarks.hpp"
-#include "codegen/original.hpp"
-#include "codegen/retimed.hpp"
-#include "codegen/retimed_unfolded.hpp"
-#include "codegen/statements.hpp"
-#include "codegen/unfolded_retimed.hpp"
-#include "codesize/model.hpp"
-#include "codesize/storage.hpp"
-#include "dfg/algorithms.hpp"
-#include "dfg/iteration_bound.hpp"
-#include "retiming/opt.hpp"
-#include "unfolding/unfold.hpp"
-#include "vm/equivalence.hpp"
+#include "driver/export.hpp"
+#include "driver/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace csr;
-  const std::string path = argc > 1 ? argv[1] : "csr_results.csv";
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot open " << path << '\n';
+  const std::string csv_path = argc > 1 ? argv[1] : "csr_results.csv";
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_sweep.json";
+
+  driver::SweepGrid grid;
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    grid.benchmarks.push_back(info.name);
+  }
+  driver::SweepOptions options;
+  options.threads = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
+
+  const std::vector<driver::SweepResult> results = driver::run_sweep(grid, options);
+
+  std::ofstream csv(csv_path);
+  if (!csv) {
+    std::cerr << "cannot open " << csv_path << '\n';
     return 1;
   }
-  const std::int64_t n = 101;
-  out << "benchmark,transform,factor,n,iteration_bound,period,depth,registers,"
-         "size,verified\n";
+  csv << driver::to_csv(results);
 
-  for (const auto& info : benchmarks::table_benchmarks()) {
-    const DataFlowGraph g = info.factory();
-    const auto bound = iteration_bound(g);
-    const OptimalRetiming opt = minimum_period_retiming(g);
-    const LoopProgram reference = original_program(g, n);
-    const auto arrays = array_names(g);
-
-    auto verified = [&](const LoopProgram& p) {
-      return compare_programs(reference, p, arrays).empty() ? "yes" : "NO";
-    };
-    auto emit = [&](const std::string& transform, int factor, const Rational& period,
-                    int depth, std::int64_t regs, const LoopProgram& p) {
-      out << info.name << ',' << transform << ',' << factor << ',' << n << ','
-          << bound->to_string() << ',' << period.to_string() << ',' << depth << ','
-          << regs << ',' << p.code_size() << ',' << verified(p) << '\n';
-    };
-
-    emit("original", 1, Rational(cycle_period(g)), 0, 0, reference);
-    emit("retimed", 1, Rational(opt.period), opt.retiming.max_value(),
-         registers_required(opt.retiming), retimed_program(g, opt.retiming, n));
-    emit("retimed_csr", 1, Rational(opt.period), opt.retiming.max_value(),
-         registers_required(opt.retiming), retimed_csr_program(g, opt.retiming, n));
-    for (const int f : {2, 3, 4}) {
-      const DataFlowGraph retimed = apply_retiming(g, opt.retiming);
-      const Rational period(cycle_period(unfold(retimed, f)), f);
-      emit("retimed_unfolded", f, period, opt.retiming.max_value(),
-           registers_required(opt.retiming),
-           retimed_unfolded_program(g, opt.retiming, f, n));
-      emit("retimed_unfolded_csr", f, period, opt.retiming.max_value(),
-           registers_required(opt.retiming),
-           retimed_unfolded_csr_program(g, opt.retiming, f, n));
-      const Unfolding u(g, f);
-      const OptimalRetiming uopt = minimum_period_retiming(u.graph());
-      if (n / f > uopt.retiming.max_value()) {
-        const Rational uperiod(uopt.period, f);
-        emit("unfolded_retimed", f, uperiod, uopt.retiming.max_value(),
-             registers_required_unfolded(u, uopt.retiming),
-             unfolded_retimed_program(u, uopt.retiming, n));
-        emit("unfolded_retimed_csr", f, uperiod, uopt.retiming.max_value(),
-             registers_required_unfolded(u, uopt.retiming),
-             unfolded_retimed_csr_program(u, uopt.retiming, n));
-      }
-    }
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "cannot open " << json_path << '\n';
+    return 1;
   }
-  out.close();
-  std::cout << "wrote " << path << '\n';
+  json << driver::to_json(results);
+
+  std::cout << "wrote " << csv_path << " and " << json_path << '\n';
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/retimed_unfolded.hpp"
+#include "driver/sweep.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "schedule/rotation.hpp"
@@ -67,6 +68,50 @@ void BM_VmExecuteCsr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
 }
 BENCHMARK(BM_VmExecuteCsr)->Arg(100)->Arg(1000);
+
+// Before/after pair for the VM fast path: the same CSR program interpreted
+// by the old map-backed reference engine and by the interned flat-storage
+// engine. The items/s ratio is the fast path's speedup.
+void BM_VmExecuteCsrReference(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = state.range(0);
+  const LoopProgram p = retimed_csr_program(g, r, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_program(p, ExecMode::kReference));
+  }
+  state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_VmExecuteCsrReference)->Arg(1000)->Arg(10000);
+
+void BM_VmExecuteCsrFast(benchmark::State& state) {
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = state.range(0);
+  const LoopProgram p = retimed_csr_program(g, r, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_program(p, ExecMode::kFast));
+  }
+  state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_VmExecuteCsrFast)->Arg(1000)->Arg(10000);
+
+// Thread scaling of the sweep driver over the full six-benchmark grid
+// (verification on — the dominant cost is VM execution per cell).
+void BM_Sweep(benchmark::State& state) {
+  driver::SweepGrid grid;
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    grid.benchmarks.push_back(info.name);
+  }
+  driver::SweepOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver::run_sweep(grid, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(grid.cells().size()));
+}
+BENCHMARK(BM_Sweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_ListSchedule(benchmark::State& state) {
   const DataFlowGraph g = benchmarks::elliptic_filter();

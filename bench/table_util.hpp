@@ -4,6 +4,8 @@
 /// tables matching the paper's layout, plus the standard "retime to the
 /// minimum period, depth-minimally" pipeline step every table starts from.
 
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -41,8 +43,11 @@ class TablePrinter {
 };
 
 inline std::string pct(std::int64_t before, std::int64_t after) {
-  const double reduction = 100.0 * static_cast<double>(before - after) /
-                           static_cast<double>(before);
+  // A degenerate baseline (empty graph, zero-size row) has nothing to
+  // reduce; report 0.0% instead of dividing by zero and printing nan/inf.
+  const double reduction = before == 0 ? 0.0
+                                       : 100.0 * static_cast<double>(before - after) /
+                                             static_cast<double>(before);
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.1f", reduction);
   return buf;

@@ -2,6 +2,11 @@
 // memory budgets — the use the paper's conclusion proposes for the CSR
 // framework.
 //
+// The explored configurations are cells of the sweep driver's grid: every
+// (order, f) point maps to an expanded + CSR transform pair, evaluated (and
+// VM-verified) in parallel on the thread pool, then folded back into
+// tradeoff points for the Pareto/budget analysis.
+//
 // Usage:  codesize_explorer [benchmark] [max_factor] [register_budget]
 //                           [size_budget]
 //   benchmark       one of: iir, diffeq, allpole, elliptic, lattice,
@@ -19,24 +24,45 @@
 #include "codesize/model.hpp"
 #include "codesize/tradeoff.hpp"
 #include "dfg/iteration_bound.hpp"
-#include "retiming/opt.hpp"
+#include "driver/sweep.hpp"
+#include "driver/thread_pool.hpp"
 #include "support/text.hpp"
 
 namespace {
 
 using namespace csr;
 
-const std::map<std::string, DataFlowGraph (*)()>& registry() {
-  static const std::map<std::string, DataFlowGraph (*)()> map = {
-      {"iir", benchmarks::iir_filter},
-      {"diffeq", benchmarks::differential_equation_solver},
-      {"allpole", benchmarks::allpole_filter},
-      {"elliptic", benchmarks::elliptic_filter},
-      {"lattice", benchmarks::lattice_filter},
-      {"volterra", benchmarks::volterra_filter},
+struct NamedBenchmark {
+  const char* table_name;  // name registered in benchmarks::all_graphs()
+  DataFlowGraph (*factory)();
+};
+
+const std::map<std::string, NamedBenchmark>& registry() {
+  static const std::map<std::string, NamedBenchmark> map = {
+      {"iir", {"IIR Filter", benchmarks::iir_filter}},
+      {"diffeq", {"Differential Equation", benchmarks::differential_equation_solver}},
+      {"allpole", {"All-pole Filter", benchmarks::allpole_filter}},
+      {"elliptic", {"Elliptical Filter", benchmarks::elliptic_filter}},
+      {"lattice", {"4-stage Lattice Filter", benchmarks::lattice_filter}},
+      {"volterra", {"Volterra Filter", benchmarks::volterra_filter}},
   };
   return map;
 }
+
+struct OrderSpec {
+  TransformOrder order;
+  driver::Transform expanded;
+  driver::Transform csr;
+};
+
+constexpr OrderSpec kOrders[] = {
+    {TransformOrder::kUnfoldOnly, driver::Transform::kUnfolded,
+     driver::Transform::kUnfoldedCsr},
+    {TransformOrder::kRetimeUnfold, driver::Transform::kRetimedUnfolded,
+     driver::Transform::kRetimedUnfoldedCsr},
+    {TransformOrder::kUnfoldRetime, driver::Transform::kUnfoldedRetimed,
+     driver::Transform::kUnfoldedRetimedCsr},
+};
 
 }  // namespace
 
@@ -45,21 +71,60 @@ int main(int argc, char** argv) {
   const auto it = registry().find(which);
   if (it == registry().end()) {
     std::cerr << "unknown benchmark '" << which << "'; choose one of:";
-    for (const auto& [name, factory] : registry()) std::cerr << ' ' << name;
+    for (const auto& [name, entry] : registry()) std::cerr << ' ' << name;
     std::cerr << '\n';
     return 2;
   }
-  TradeoffOptions options;
-  options.max_factor = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int max_factor = argc > 2 ? std::atoi(argv[2]) : 4;
   const std::int64_t register_budget = argc > 3 ? std::atoll(argv[3]) : 4;
   const std::int64_t size_budget = argc > 4 ? std::atoll(argv[4]) : 150;
+  const std::int64_t n = TradeoffOptions{}.n;
 
-  const DataFlowGraph g = it->second();
+  const DataFlowGraph g = it->second.factory();
   const auto bound = iteration_bound(g);
   std::cout << "benchmark " << which << ": " << g.node_count()
             << " nodes, iteration bound " << bound->to_string() << "\n\n";
 
-  const auto points = explore_tradeoffs(g, options);
+  // One sweep cell per (order, f, expanded|csr); evaluated concurrently.
+  std::vector<driver::SweepCell> cells;
+  for (const OrderSpec& spec : kOrders) {
+    for (int f = 1; f <= max_factor; ++f) {
+      for (const driver::Transform t : {spec.expanded, spec.csr}) {
+        driver::SweepCell cell;
+        cell.benchmark = it->second.table_name;
+        cell.transform = t;
+        cell.factor = f;
+        cell.n = n;
+        cells.push_back(cell);
+      }
+    }
+  }
+  const driver::SweepOptions options;
+  const auto results =
+      driver::parallel_map(cells, driver::default_thread_count(),
+                           [&](const driver::SweepCell& cell) {
+                             return driver::evaluate_cell(cell, options);
+                           });
+
+  // Fold expanded/CSR cell pairs back into tradeoff points.
+  std::vector<TradeoffPoint> points;
+  std::size_t unverified = 0;
+  for (std::size_t k = 0; k + 1 < results.size(); k += 2) {
+    const driver::SweepResult& expanded = results[k];
+    const driver::SweepResult& csr = results[k + 1];
+    if (!expanded.feasible || !csr.feasible) continue;
+    unverified += (expanded.verified ? 0u : 1u) + (csr.verified ? 0u : 1u);
+    TradeoffPoint p;
+    p.factor = csr.cell.factor;
+    p.depth = csr.depth;
+    p.iteration_period = csr.period;
+    p.registers = csr.registers;
+    p.size_expanded = expanded.code_size;
+    p.size_csr = csr.code_size;
+    p.order = kOrders[k / (2 * static_cast<std::size_t>(max_factor))].order;
+    points.push_back(p);
+  }
+
   std::cout << pad_right("order", 15) << pad_left("f", 4) << pad_left("M_r", 5)
             << pad_left("period", 9) << pad_left("regs", 6) << pad_left("expanded", 10)
             << pad_left("CSR", 7) << '\n'
@@ -73,6 +138,8 @@ int main(int argc, char** argv) {
               << pad_left(std::to_string(p.size_expanded), 10)
               << pad_left(std::to_string(p.size_csr), 7) << '\n';
   }
+  std::cout << (unverified == 0 ? "\nall points VM-verified against the original loop\n"
+                                : "\nWARNING: some points failed VM verification\n");
 
   std::cout << "\nPareto frontier (iteration period vs CSR code size):\n";
   for (const auto& p : pareto_frontier(points)) {

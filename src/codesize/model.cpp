@@ -36,38 +36,43 @@ std::int64_t predicted_retimed_csr_size(const DataFlowGraph& g, const Retiming& 
 
 std::int64_t predicted_unfolded_size(const DataFlowGraph& g, int factor, std::int64_t n) {
   CSR_REQUIRE(factor >= 1 && n >= 1, "factor and n must be positive");
-  return (factor + n % factor) * original_size(g);
+  const std::int64_t f = factor;
+  return (f + n % f) * original_size(g);
 }
 
 std::int64_t predicted_unfolded_csr_size(const DataFlowGraph& g, int factor) {
   CSR_REQUIRE(factor >= 1, "factor must be positive");
-  return factor * original_size(g) + factor + 1;
+  const std::int64_t f = factor;
+  return f * original_size(g) + f + 1;
 }
 
 std::int64_t predicted_retimed_unfolded_size(const DataFlowGraph& g, const Retiming& r,
                                              int factor, std::int64_t n) {
   CSR_REQUIRE(factor >= 1, "factor must be positive");
-  const int depth = r.normalized().max_value();
+  // Promote before any arithmetic: `factor + depth` in plain int wraps for
+  // deep pipelines / large unfolding factors (the sizes are int64 throughout).
+  const std::int64_t f = factor;
+  const std::int64_t depth = r.normalized().max_value();
   CSR_REQUIRE(n > depth, "trip count must exceed M_r");
-  // Prologue Σr + body f·L + merged remainder/epilogue
-  // (depth + (n−depth) mod f)·L − Σ(M−r)... algebraically:
-  //   total = L·(f + depth + (n − depth) % factor).
-  return original_size(g) * (factor + depth + (n - depth) % factor);
+  // Prologue + f·L body + merged remainder/epilogue:
+  //   total = L · (f + depth + (n − depth) mod f).
+  return original_size(g) * (f + depth + (n - depth) % f);
 }
 
 std::int64_t predicted_retimed_unfolded_csr_size(const DataFlowGraph& g,
                                                  const Retiming& r, int factor) {
   CSR_REQUIRE(factor >= 1, "factor must be positive");
+  const std::int64_t f = factor;
   const std::int64_t regs = registers_required(r);
-  return factor * original_size(g) + factor * regs + regs;
+  return f * original_size(g) + f * regs + regs;
 }
 
 std::int64_t predicted_unfolded_retimed_size(const Unfolding& u,
                                              const Retiming& r_unfolded, std::int64_t n) {
-  const int f = u.factor();
-  const int depth = r_unfolded.normalized().max_value();
+  const std::int64_t f = u.factor();
+  const std::int64_t depth = r_unfolded.normalized().max_value();
   const std::int64_t l = original_size(u.original());
-  return (static_cast<std::int64_t>(depth) + 1) * l * f + (n % f) * l;
+  return (depth + 1) * l * f + (n % f) * l;
 }
 
 std::int64_t predicted_unfolded_retimed_csr_size(const Unfolding& u,
@@ -79,22 +84,26 @@ std::int64_t predicted_unfolded_retimed_csr_size(const Unfolding& u,
 
 std::int64_t paper_unfolded_retimed_size(std::int64_t l_orig, int depth, int factor,
                                          std::int64_t n) {
-  return (static_cast<std::int64_t>(depth) + 1) * l_orig * factor + (n % factor) * l_orig;
+  const std::int64_t d = depth;
+  const std::int64_t f = factor;
+  return (d + 1) * l_orig * f + (n % f) * l_orig;
 }
 
 std::int64_t paper_retimed_unfolded_size(std::int64_t l_orig, int depth, int factor,
                                          std::int64_t n) {
-  return (static_cast<std::int64_t>(depth) + factor) * l_orig + (n % factor) * l_orig;
+  const std::int64_t d = depth;
+  const std::int64_t f = factor;
+  return (d + f) * l_orig + (n % f) * l_orig;
 }
 
 std::int64_t max_unfolding_factor(std::int64_t l_req, std::int64_t l_orig, int depth) {
   CSR_REQUIRE(l_orig >= 1, "original body size must be positive");
-  return l_req / l_orig - depth;
+  return l_req / l_orig - static_cast<std::int64_t>(depth);
 }
 
 std::int64_t max_retiming_depth(std::int64_t l_req, std::int64_t l_orig, int factor) {
   CSR_REQUIRE(l_orig >= 1, "original body size must be positive");
-  return l_req / l_orig - factor;
+  return l_req / l_orig - static_cast<std::int64_t>(factor);
 }
 
 }  // namespace csr

@@ -1,0 +1,74 @@
+#include "driver/export.hpp"
+
+#include <sstream>
+
+namespace csr::driver {
+
+namespace {
+
+/// JSON string escaping for the characters our names/errors can contain.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<SweepResult>& results) {
+  std::ostringstream out;
+  out << "benchmark,transform,factor,n,iteration_bound,period,depth,registers,"
+         "size,verified\n";
+  for (const SweepResult& r : results) {
+    if (!r.feasible) continue;
+    out << r.cell.benchmark << ',' << to_string(r.cell.transform) << ','
+        << r.cell.factor << ',' << r.cell.n << ',' << r.iteration_bound << ','
+        << r.period.to_string() << ',' << r.depth << ',' << r.registers << ','
+        << r.code_size << ',' << (r.verified ? "yes" : "NO") << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const std::vector<SweepResult>& results) {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    out << "  {\"benchmark\": \"" << json_escape(r.cell.benchmark)
+        << "\", \"engine\": \"" << to_string(r.cell.engine)
+        << "\", \"transform\": \"" << to_string(r.cell.transform)
+        << "\", \"factor\": " << r.cell.factor << ", \"n\": " << r.cell.n
+        << ", \"feasible\": " << (r.feasible ? "true" : "false")
+        << ", \"error\": \"" << json_escape(r.error)
+        << "\", \"iteration_bound\": \"" << json_escape(r.iteration_bound)
+        << "\", \"period\": \"" << r.period.to_string()
+        << "\", \"depth\": " << r.depth << ", \"registers\": " << r.registers
+        << ", \"code_size\": " << r.code_size
+        << ", \"predicted_size\": " << r.predicted_size
+        << ", \"verified\": " << (r.verified ? "true" : "false")
+        << ", \"discipline_ok\": " << (r.discipline_ok ? "true" : "false")
+        << '}' << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace csr::driver

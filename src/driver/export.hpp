@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file export.hpp
+/// Deterministic serialization of sweep results. Both exporters walk the
+/// result vector in order, so a sweep run with any thread count produces
+/// byte-identical output (run_sweep() already guarantees grid-order
+/// results). The CSV format matches the historical csr_results.csv layout;
+/// the JSON export carries every SweepResult field for downstream tooling.
+
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hpp"
+
+namespace csr::driver {
+
+/// CSV with header `benchmark,transform,factor,n,iteration_bound,period,
+/// depth,registers,size,verified`. Infeasible cells are skipped — the file
+/// lists achieved configurations, like the paper's tables. `verified` is
+/// "yes"/"NO".
+[[nodiscard]] std::string to_csv(const std::vector<SweepResult>& results);
+
+/// JSON array of objects, one per cell (including infeasible ones, with
+/// their `error`). All fields of SweepResult are present; keys are emitted
+/// in a fixed order.
+[[nodiscard]] std::string to_json(const std::vector<SweepResult>& results);
+
+}  // namespace csr::driver

@@ -1,0 +1,253 @@
+#include "driver/sweep.hpp"
+
+#include <exception>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
+#include "codegen/unfolded_retimed.hpp"
+#include "codesize/model.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "driver/thread_pool.hpp"
+#include "retiming/opt.hpp"
+#include "schedule/modulo.hpp"
+#include "schedule/rotation.hpp"
+#include "support/error.hpp"
+#include "unfolding/unfold.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr::driver {
+
+std::string_view to_string(Engine engine) {
+  switch (engine) {
+    case Engine::kOptRetiming:
+      return "opt-retiming";
+    case Engine::kRotation:
+      return "rotation";
+    case Engine::kModulo:
+      return "modulo";
+  }
+  return "?";
+}
+
+std::string_view to_string(Transform transform) {
+  switch (transform) {
+    case Transform::kOriginal:
+      return "original";
+    case Transform::kRetimed:
+      return "retimed";
+    case Transform::kRetimedCsr:
+      return "retimed_csr";
+    case Transform::kUnfolded:
+      return "unfolded";
+    case Transform::kUnfoldedCsr:
+      return "unfolded_csr";
+    case Transform::kRetimedUnfolded:
+      return "retimed_unfolded";
+    case Transform::kRetimedUnfoldedCsr:
+      return "retimed_unfolded_csr";
+    case Transform::kUnfoldedRetimed:
+      return "unfolded_retimed";
+    case Transform::kUnfoldedRetimedCsr:
+      return "unfolded_retimed_csr";
+  }
+  return "?";
+}
+
+bool transform_uses_factor(Transform transform) {
+  switch (transform) {
+    case Transform::kOriginal:
+    case Transform::kRetimed:
+    case Transform::kRetimedCsr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::vector<SweepCell> SweepGrid::cells() const {
+  std::vector<SweepCell> out;
+  for (const std::string& benchmark : benchmarks) {
+    for (const std::int64_t n : trip_counts) {
+      for (const Engine engine : engines) {
+        for (const Transform t : transforms) {
+          if (!transform_uses_factor(t)) {
+            out.push_back(SweepCell{benchmark, engine, t, 1, n});
+          }
+        }
+        for (const int f : factors) {
+          for (const Transform t : transforms) {
+            if (transform_uses_factor(t)) {
+              out.push_back(SweepCell{benchmark, engine, t, f, n});
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+DataFlowGraph make_benchmark(const std::string& name) {
+  for (const auto& info : benchmarks::all_graphs()) {
+    if (info.name == name) return info.factory();
+  }
+  throw InvalidArgument("unknown benchmark '" + name + "'");
+}
+
+struct EngineOutcome {
+  bool ok = false;
+  Retiming retiming{0};
+  std::int64_t period = 0;  ///< cycle period of the retimed graph
+};
+
+EngineOutcome run_engine(Engine engine, const DataFlowGraph& g,
+                         const ResourceModel& machine) {
+  EngineOutcome out;
+  switch (engine) {
+    case Engine::kOptRetiming: {
+      const OptimalRetiming opt = minimum_period_retiming(g);
+      out = {true, opt.retiming.normalized(), opt.period};
+      break;
+    }
+    case Engine::kRotation: {
+      const RotationResult rot = rotation_schedule(g, machine);
+      out = {true, rot.retiming.normalized(), rot.period};
+      break;
+    }
+    case Engine::kModulo: {
+      const auto ms = modulo_schedule(g, machine);
+      if (!ms) break;
+      out = {true, retiming_from_modulo(g, *ms).normalized(), ms->initiation_interval};
+      break;
+    }
+  }
+  return out;
+}
+
+void infeasible(SweepResult& res, const std::string& why) {
+  res.feasible = false;
+  res.error = why;
+}
+
+}  // namespace
+
+SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
+  SweepResult res;
+  res.cell = cell;
+  try {
+    const DataFlowGraph g = make_benchmark(cell.benchmark);
+    const auto bound = iteration_bound(g);
+    res.iteration_bound = bound ? bound->to_string() : "-";
+    const std::int64_t n = cell.n;
+    const int f = cell.factor;
+
+    LoopProgram program;
+    switch (cell.transform) {
+      case Transform::kOriginal:
+        program = original_program(g, n);
+        res.period = Rational(cycle_period(g));
+        res.predicted_size = original_size(g);
+        break;
+
+      case Transform::kRetimed:
+      case Transform::kRetimedCsr: {
+        const EngineOutcome eng = run_engine(cell.engine, g, options.machine);
+        if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
+        res.period = Rational(eng.period);
+        res.depth = eng.retiming.max_value();
+        res.registers = registers_required(eng.retiming);
+        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), res;
+        if (cell.transform == Transform::kRetimed) {
+          program = retimed_program(g, eng.retiming, n);
+          res.predicted_size = predicted_retimed_size(g, eng.retiming);
+        } else {
+          program = retimed_csr_program(g, eng.retiming, n);
+          res.predicted_size = predicted_retimed_csr_size(g, eng.retiming);
+        }
+        break;
+      }
+
+      case Transform::kUnfolded:
+      case Transform::kUnfoldedCsr:
+        res.period = Rational(cycle_period(unfold(g, f)), f);
+        if (cell.transform == Transform::kUnfolded) {
+          program = unfolded_program(g, f, n);
+          res.predicted_size = predicted_unfolded_size(g, f, n);
+        } else {
+          program = unfolded_csr_program(g, f, n);
+          res.registers = 1;  // the single remainder register
+          res.predicted_size = predicted_unfolded_csr_size(g, f);
+        }
+        break;
+
+      case Transform::kRetimedUnfolded:
+      case Transform::kRetimedUnfoldedCsr: {
+        const EngineOutcome eng = run_engine(cell.engine, g, options.machine);
+        if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
+        res.period = Rational(cycle_period(unfold(apply_retiming(g, eng.retiming), f)), f);
+        res.depth = eng.retiming.max_value();
+        res.registers = registers_required(eng.retiming);
+        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), res;
+        if (cell.transform == Transform::kRetimedUnfolded) {
+          program = retimed_unfolded_program(g, eng.retiming, f, n);
+          res.predicted_size = predicted_retimed_unfolded_size(g, eng.retiming, f, n);
+        } else {
+          program = retimed_unfolded_csr_program(g, eng.retiming, f, n);
+          res.predicted_size = predicted_retimed_unfolded_csr_size(g, eng.retiming, f);
+        }
+        break;
+      }
+
+      case Transform::kUnfoldedRetimed:
+      case Transform::kUnfoldedRetimedCsr: {
+        const Unfolding u(g, f);
+        const EngineOutcome eng = run_engine(cell.engine, u.graph(), options.machine);
+        if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
+        res.period = Rational(eng.period, f);
+        res.depth = eng.retiming.max_value();
+        res.registers = registers_required_unfolded(u, eng.retiming);
+        if (n / f <= res.depth) {
+          return infeasible(res, "need more than M'_r full unfolded trips"), res;
+        }
+        if (cell.transform == Transform::kUnfoldedRetimed) {
+          program = unfolded_retimed_program(u, eng.retiming, n);
+          res.predicted_size = predicted_unfolded_retimed_size(u, eng.retiming, n);
+        } else {
+          program = unfolded_retimed_csr_program(u, eng.retiming, n);
+          res.predicted_size = predicted_unfolded_retimed_csr_size(u, eng.retiming);
+        }
+        break;
+      }
+    }
+
+    res.code_size = program.code_size();
+    if (options.verify) {
+      const std::vector<std::string> arrays = array_names(g);
+      const Machine expected = run_program(original_program(g, n));
+      const Machine actual = run_program(program);
+      res.verified = diff_observable_state(expected, actual, arrays, n).empty();
+      res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
+    }
+  } catch (const std::exception& e) {
+    res.feasible = false;
+    res.error = e.what();
+  }
+  return res;
+}
+
+std::vector<SweepResult> run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  const std::vector<SweepCell> cells = grid.cells();
+  std::vector<SweepResult> results(cells.size());
+  parallel_for(cells.size(), options.threads,
+               [&](std::size_t i) { results[i] = evaluate_cell(cells[i], options); });
+  return results;
+}
+
+}  // namespace csr::driver

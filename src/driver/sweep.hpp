@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file sweep.hpp
+/// The parallel design-space sweep engine. The paper's evaluation — and
+/// every bench in this repo — is a cross product
+///
+///     (benchmark graph) × (pipeline engine) × (transformation order)
+///       × (unfolding factor f) × (trip count n)
+///
+/// evaluated cell by cell: generate the program, check VM equivalence
+/// against the original loop, and account code size. SweepGrid declares the
+/// product, run_sweep() evaluates its cells on a thread pool, and the result
+/// vector is always in grid order — so CSV/JSON exports are byte-identical
+/// no matter how many threads ran the sweep.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schedule/resources.hpp"
+#include "support/rational.hpp"
+
+namespace csr::driver {
+
+/// Software-pipelining engine used to obtain the retiming of retimed
+/// transforms (ignored by the pure-unfolding ones).
+enum class Engine {
+  kOptRetiming,  ///< resource-oblivious minimum-period retiming (the paper's)
+  kRotation,     ///< rotation scheduling under the resource model
+  kModulo,       ///< iterative modulo scheduling under the resource model
+};
+
+/// Transformation order / output form of one cell, mirroring the columns of
+/// Tables 1–4: expanded (prologue/epilogue) forms and their CSR reductions.
+enum class Transform {
+  kOriginal,
+  kRetimed,
+  kRetimedCsr,
+  kUnfolded,
+  kUnfoldedCsr,
+  kRetimedUnfolded,
+  kRetimedUnfoldedCsr,
+  kUnfoldedRetimed,
+  kUnfoldedRetimedCsr,
+};
+
+[[nodiscard]] std::string_view to_string(Engine engine);
+[[nodiscard]] std::string_view to_string(Transform transform);
+/// True for transforms with an unfolding-factor dimension (f > 1 meaningful).
+[[nodiscard]] bool transform_uses_factor(Transform transform);
+
+/// One point of the cross product.
+struct SweepCell {
+  std::string benchmark;  ///< name in benchmarks::all_graphs()
+  Engine engine = Engine::kOptRetiming;
+  Transform transform = Transform::kOriginal;
+  int factor = 1;
+  std::int64_t n = 101;
+};
+
+/// Everything measured for a cell. `feasible` is false when the
+/// configuration cannot be generated (e.g. unfold-then-retime with
+/// n/f ≤ M'_r, or an engine that found no schedule); `error` carries the
+/// exception text when evaluation threw.
+struct SweepResult {
+  SweepCell cell;
+  bool feasible = true;
+  std::string error;
+  std::string iteration_bound;  ///< "-" for acyclic graphs
+  Rational period;              ///< iteration period of the cell's form
+  int depth = 0;                ///< pipeline depth M_r
+  std::int64_t registers = 0;   ///< conditional registers
+  std::int64_t code_size = 0;   ///< generated program's instruction count
+  std::int64_t predicted_size = -1;  ///< closed-form model; -1 = no formula
+  bool verified = false;             ///< VM-equivalent to the original loop
+  bool discipline_ok = false;        ///< write-discipline check passed
+};
+
+struct SweepOptions {
+  unsigned threads = 1;  ///< 0 = one per hardware thread
+  bool verify = true;    ///< run VM equivalence + write discipline per cell
+  /// Resource model for the resource-constrained engines.
+  ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
+};
+
+/// The declarative grid. cells() enumerates the product in deterministic
+/// grid order: benchmark → n → engine → factor-less transforms (in list
+/// order) → factor × factor-full transforms — matching the row order of the
+/// paper's tables and of csr_results.csv.
+struct SweepGrid {
+  std::vector<std::string> benchmarks;
+  std::vector<std::int64_t> trip_counts = {101};
+  std::vector<Engine> engines = {Engine::kOptRetiming};
+  std::vector<Transform> transforms = {
+      Transform::kOriginal,           Transform::kRetimed,
+      Transform::kRetimedCsr,         Transform::kRetimedUnfolded,
+      Transform::kRetimedUnfoldedCsr, Transform::kUnfoldedRetimed,
+      Transform::kUnfoldedRetimedCsr,
+  };
+  std::vector<int> factors = {2, 3, 4};
+
+  [[nodiscard]] std::vector<SweepCell> cells() const;
+};
+
+/// Evaluates one cell: build the graph, run the engine, generate the
+/// program, measure and (optionally) verify. Never throws — failures land
+/// in SweepResult::error.
+[[nodiscard]] SweepResult evaluate_cell(const SweepCell& cell,
+                                        const SweepOptions& options);
+
+/// Evaluates every cell of the grid on `options.threads` workers. Results
+/// are in cells() order regardless of thread count.
+[[nodiscard]] std::vector<SweepResult> run_sweep(const SweepGrid& grid,
+                                                 const SweepOptions& options = {});
+
+}  // namespace csr::driver

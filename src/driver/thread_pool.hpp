@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Work distribution for the sweep driver. A small fixed-size thread pool
+/// plus an index-based parallel-for built on it: workers pull the next item
+/// off a shared atomic counter, so load balances itself (the "work-stealing"
+/// discipline reduced to a single shared deque of indices — cells of a sweep
+/// are coarse enough that one fetch_add per item is noise).
+///
+/// Determinism contract: parallel_for/parallel_map never reorder *results* —
+/// output slot i always holds fn(i) — so any aggregation that walks results
+/// in index order is byte-identical regardless of thread count or
+/// scheduling. The first exception thrown by any item is captured and
+/// rethrown on the calling thread after all workers drain.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace csr::driver {
+
+/// Number of worker threads `threads = 0` resolves to (hardware
+/// concurrency, at least 1).
+[[nodiscard]] unsigned default_thread_count();
+
+/// Runs fn(i) for every i in [0, count), on `threads` workers (0 = one per
+/// hardware thread). With threads <= 1 or count <= 1 runs inline on the
+/// calling thread. Rethrows the first exception any item raised; remaining
+/// items are still drained (each worker stops picking up new work once a
+/// failure is recorded).
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps `fn` over `items` in parallel; result i is fn(items[i]) — ordered,
+/// deterministic output independent of thread count.
+template <typename In, typename Fn>
+[[nodiscard]] auto parallel_map(const std::vector<In>& items, unsigned threads, Fn fn)
+    -> std::vector<decltype(fn(items[std::size_t{0}]))> {
+  std::vector<decltype(fn(items[std::size_t{0}]))> out(items.size());
+  parallel_for(items.size(), threads,
+               [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+}  // namespace csr::driver

@@ -71,6 +71,22 @@ std::vector<std::string> LoopProgram::conditional_registers() const {
   return regs;
 }
 
+std::vector<std::string> LoopProgram::array_names() const {
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  const auto add = [&](const std::string& array) {
+    if (!array.empty() && seen.insert(array).second) names.push_back(array);
+  };
+  for (const LoopSegment& seg : segments) {
+    for (const Instruction& instr : seg.instructions) {
+      if (instr.kind != InstrKind::kStatement) continue;
+      add(instr.stmt.array);
+      for (const ArrayRef& src : instr.stmt.sources) add(src.array);
+    }
+  }
+  return names;
+}
+
 std::vector<std::string> LoopProgram::validate() const {
   std::vector<std::string> problems;
   std::set<std::string> initialized;

@@ -103,6 +103,12 @@ struct LoopProgram {
   /// Distinct conditional registers referenced anywhere, in first-use order.
   [[nodiscard]] std::vector<std::string> conditional_registers() const;
 
+  /// Distinct array names referenced anywhere (targets and sources), in
+  /// first-use order. This is the interning order the VM uses to map array
+  /// names to dense ids at program load, so the interpreter's inner loop
+  /// never touches a string.
+  [[nodiscard]] std::vector<std::string> array_names() const;
+
   /// Structural problems (empty when well-formed): guards/decrements of
   /// registers never set up, setups inside multi-trip loops, non-positive
   /// steps, statements with empty target names.

@@ -1,5 +1,7 @@
 #include "vm/machine.hpp"
 
+#include <limits>
+
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -16,11 +18,60 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+constexpr std::uint64_t kBoundarySalt = 0xA5A5A5A5A5A5A5A5ULL;
+
+/// Dense-storage budget of the fast path, in cells (12 bytes each). Programs
+/// whose arrays span more indices than this (huge offsets, tiny trip counts)
+/// fall back to the sparse reference engine instead of over-allocating.
+constexpr std::int64_t kMaxFlatCells = std::int64_t{1} << 26;
+
+// --- resolved program: what the fast interpreter actually executes --------
+
+struct FastSource {
+  std::int32_t array = 0;
+  std::int64_t offset = 0;
+};
+
+struct FastInstr {
+  InstrKind kind = InstrKind::kStatement;
+  std::int32_t guard = -1;  // register index; -1 = unconditional
+  std::int32_t array = 0;   // kStatement: target array id
+  std::int32_t reg = 0;     // kSetup / kDecrement: register index
+  std::uint32_t src_begin = 0;
+  std::uint32_t src_count = 0;  // range into the shared source pool
+  std::int64_t offset = 0;
+  std::uint64_t op_seed = 0;
+  std::int64_t value = 0;
+};
+
+struct FastSegment {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t step = 1;
+  std::vector<FastInstr> instrs;
+};
+
+struct FastRegister {
+  std::int64_t value = 0;
+  std::int64_t lower_bound = 0;
+  bool live = false;
+};
+
+struct IndexSpan {
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  void widen(std::int64_t v) {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  [[nodiscard]] bool seen() const { return min <= max; }
+};
+
 }  // namespace
 
 std::uint64_t boundary_value(const std::string& array, std::int64_t index) {
-  return mix(op_seed_for(array) ^ mix(static_cast<std::uint64_t>(index) ^
-                                      0xA5A5A5A5A5A5A5A5ULL));
+  return mix(op_seed_for(array) ^
+             mix(static_cast<std::uint64_t>(index) ^ kBoundarySalt));
 }
 
 std::uint64_t statement_value(std::uint64_t op_seed, std::int64_t target_index,
@@ -31,6 +82,8 @@ std::uint64_t statement_value(std::uint64_t op_seed, std::int64_t target_index,
   }
   return h;
 }
+
+// --- reference engine ------------------------------------------------------
 
 void Machine::execute(const Instruction& instr, std::int64_t i, std::int64_t lc) {
   ++issued_;
@@ -74,11 +127,7 @@ void Machine::execute(const Instruction& instr, std::int64_t i, std::int64_t lc)
   }
 }
 
-void Machine::run(const LoopProgram& program) {
-  const auto problems = program.validate();
-  if (!problems.empty()) {
-    throw InvalidArgument("invalid loop program: " + join(problems, "; "));
-  }
+void Machine::run_reference(const LoopProgram& program) {
   for (const LoopSegment& seg : program.segments) {
     for (std::int64_t i = seg.begin; i <= seg.end; i += seg.step) {
       for (const Instruction& instr : seg.instructions) {
@@ -88,7 +137,189 @@ void Machine::run(const LoopProgram& program) {
   }
 }
 
+// --- fast engine ------------------------------------------------------------
+
+bool Machine::run_fast(const LoopProgram& program) {
+  // Intern array and register names to dense ids (first-use order).
+  const std::vector<std::string> array_names = program.array_names();
+  const std::vector<std::string> reg_names = program.conditional_registers();
+  std::map<std::string, std::int32_t> array_ids;
+  for (const std::string& name : array_names) {
+    array_ids.emplace(name, static_cast<std::int32_t>(array_ids.size()));
+  }
+  std::map<std::string, std::int32_t> reg_ids;
+  for (const std::string& name : reg_names) {
+    reg_ids.emplace(name, static_cast<std::int32_t>(reg_ids.size()));
+  }
+
+  // Resolve instructions and compute each array's index span over every
+  // segment's loop bounds, so storage can be flat vectors.
+  std::vector<IndexSpan> spans(array_names.size());
+  std::vector<FastSegment> segments;
+  std::vector<FastSource> sources;
+  segments.reserve(program.segments.size());
+  for (const LoopSegment& seg : program.segments) {
+    const std::int64_t trips = seg.trip_count();
+    if (trips == 0) continue;
+    const std::int64_t last = seg.begin + (trips - 1) * seg.step;
+    FastSegment fast_seg;
+    fast_seg.begin = seg.begin;
+    fast_seg.end = seg.end;
+    fast_seg.step = seg.step;
+    fast_seg.instrs.reserve(seg.instructions.size());
+    for (const Instruction& instr : seg.instructions) {
+      FastInstr fi;
+      fi.kind = instr.kind;
+      switch (instr.kind) {
+        case InstrKind::kStatement: {
+          fi.guard = instr.guard.empty() ? -1 : reg_ids.at(instr.guard);
+          fi.array = array_ids.at(instr.stmt.array);
+          fi.offset = instr.stmt.offset;
+          fi.op_seed = instr.stmt.op_seed;
+          fi.src_begin = static_cast<std::uint32_t>(sources.size());
+          fi.src_count = static_cast<std::uint32_t>(instr.stmt.sources.size());
+          spans[static_cast<std::size_t>(fi.array)].widen(seg.begin + fi.offset);
+          spans[static_cast<std::size_t>(fi.array)].widen(last + fi.offset);
+          for (const ArrayRef& src : instr.stmt.sources) {
+            const std::int32_t id = array_ids.at(src.array);
+            sources.push_back(FastSource{id, src.offset});
+            spans[static_cast<std::size_t>(id)].widen(seg.begin + src.offset);
+            spans[static_cast<std::size_t>(id)].widen(last + src.offset);
+          }
+          break;
+        }
+        case InstrKind::kSetup:
+        case InstrKind::kDecrement:
+          fi.reg = reg_ids.at(instr.reg);
+          fi.value = instr.value;
+          break;
+      }
+      fast_seg.instrs.push_back(fi);
+    }
+    segments.push_back(std::move(fast_seg));
+  }
+
+  std::int64_t total_cells = 0;
+  for (const IndexSpan& span : spans) {
+    if (!span.seen()) continue;
+    total_cells += span.max - span.min + 1;
+    if (total_cells > kMaxFlatCells) return false;  // fall back to reference
+  }
+
+  arrays_.clear();
+  arrays_.reserve(array_names.size());
+  for (std::size_t a = 0; a < array_names.size(); ++a) {
+    FlatArray flat;
+    flat.name = array_names[a];
+    flat.seed = op_seed_for(flat.name);
+    if (spans[a].seen()) {
+      flat.base = spans[a].min;
+      const auto extent = static_cast<std::size_t>(spans[a].max - spans[a].min + 1);
+      flat.values.assign(extent, 0);
+      flat.counts.assign(extent, 0);
+    }
+    arrays_.push_back(std::move(flat));
+  }
+  array_ids_ = std::move(array_ids);
+  flat_ = true;
+
+  // The interpret loop proper: no strings, no maps, no allocation.
+  std::vector<FastRegister> regs(reg_names.size());
+  const std::int64_t lc = program.n;
+  for (const FastSegment& seg : segments) {
+    for (std::int64_t i = seg.begin; i <= seg.end; i += seg.step) {
+      for (const FastInstr& fi : seg.instrs) {
+        ++issued_;
+        switch (fi.kind) {
+          case InstrKind::kStatement: {
+            if (fi.guard >= 0) {
+              const FastRegister& reg = regs[static_cast<std::size_t>(fi.guard)];
+              if (!reg.live) {
+                throw InvalidArgument(
+                    "guard register '" +
+                    reg_names[static_cast<std::size_t>(fi.guard)] +
+                    "' used before setup");
+              }
+              if (!(reg.value <= 0 && reg.value > reg.lower_bound)) {
+                ++disabled_;
+                continue;
+              }
+            }
+            const std::int64_t target = i + fi.offset;
+            std::uint64_t h = mix(fi.op_seed ^ mix(static_cast<std::uint64_t>(target)));
+            const std::uint32_t src_end = fi.src_begin + fi.src_count;
+            for (std::uint32_t s = fi.src_begin; s < src_end; ++s) {
+              const FastSource& src = sources[s];
+              const FlatArray& arr = arrays_[static_cast<std::size_t>(src.array)];
+              const std::int64_t idx = i + src.offset;
+              const auto slot = static_cast<std::size_t>(idx - arr.base);
+              const std::uint64_t v =
+                  arr.counts[slot] != 0
+                      ? arr.values[slot]
+                      : mix(arr.seed ^
+                            mix(static_cast<std::uint64_t>(idx) ^ kBoundarySalt));
+              h = mix(h ^ mix(v));
+            }
+            FlatArray& dst = arrays_[static_cast<std::size_t>(fi.array)];
+            const auto slot = static_cast<std::size_t>(target - dst.base);
+            dst.values[slot] = h;
+            ++dst.counts[slot];
+            ++dst.writes;
+            ++executed_;
+            break;
+          }
+          case InstrKind::kSetup: {
+            FastRegister& reg = regs[static_cast<std::size_t>(fi.reg)];
+            reg.value = fi.value;
+            reg.lower_bound = -lc;
+            reg.live = true;
+            break;
+          }
+          case InstrKind::kDecrement: {
+            FastRegister& reg = regs[static_cast<std::size_t>(fi.reg)];
+            if (!reg.live) {
+              throw InvalidArgument("decrement of register '" +
+                                    reg_names[static_cast<std::size_t>(fi.reg)] +
+                                    "' before setup");
+            }
+            reg.value -= fi.value;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Machine::run(const LoopProgram& program, ExecMode mode) {
+  const auto problems = program.validate();
+  if (!problems.empty()) {
+    throw InvalidArgument("invalid loop program: " + join(problems, "; "));
+  }
+  if (mode == ExecMode::kFast && run_fast(program)) return;
+  run_reference(program);
+}
+
+// --- queries (served from whichever engine ran) -----------------------------
+
+const Machine::FlatArray* Machine::flat_array(const std::string& array) const {
+  const auto it = array_ids_.find(array);
+  if (it == array_ids_.end()) return nullptr;
+  return &arrays_[static_cast<std::size_t>(it->second)];
+}
+
 std::uint64_t Machine::read(const std::string& array, std::int64_t index) const {
+  if (flat_) {
+    if (const FlatArray* arr = flat_array(array)) {
+      if (index >= arr->base &&
+          index < arr->base + static_cast<std::int64_t>(arr->values.size())) {
+        const auto slot = static_cast<std::size_t>(index - arr->base);
+        if (arr->counts[slot] != 0) return arr->values[slot];
+      }
+    }
+    return boundary_value(array, index);
+  }
   const auto arr = memory_.find(array);
   if (arr != memory_.end()) {
     const auto cell = arr->second.find(index);
@@ -102,6 +333,15 @@ bool Machine::written(const std::string& array, std::int64_t index) const {
 }
 
 int Machine::write_count(const std::string& array, std::int64_t index) const {
+  if (flat_) {
+    if (const FlatArray* arr = flat_array(array)) {
+      if (index >= arr->base &&
+          index < arr->base + static_cast<std::int64_t>(arr->counts.size())) {
+        return arr->counts[static_cast<std::size_t>(index - arr->base)];
+      }
+    }
+    return 0;
+  }
   const auto arr = write_counts_.find(array);
   if (arr == write_counts_.end()) return 0;
   const auto cell = arr->second.find(index);
@@ -109,6 +349,10 @@ int Machine::write_count(const std::string& array, std::int64_t index) const {
 }
 
 std::int64_t Machine::total_writes(const std::string& array) const {
+  if (flat_) {
+    const FlatArray* arr = flat_array(array);
+    return arr == nullptr ? 0 : arr->writes;
+  }
   const auto arr = write_counts_.find(array);
   if (arr == write_counts_.end()) return 0;
   std::int64_t total = 0;
@@ -116,9 +360,9 @@ std::int64_t Machine::total_writes(const std::string& array) const {
   return total;
 }
 
-Machine run_program(const LoopProgram& program) {
+Machine run_program(const LoopProgram& program, ExecMode mode) {
   Machine machine;
-  machine.run(program);
+  machine.run(program, mode);
   return machine;
 }
 

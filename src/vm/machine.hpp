@@ -16,10 +16,25 @@
 /// the loop's live-in data. Every write is counted, so tests can assert the
 /// execution-count claims of Theorems 4.1/4.2/4.6: each node executes
 /// exactly n times, no matter how the loop was pipelined or unfolded.
+///
+/// Two execution engines share these semantics bit-for-bit:
+///
+///   * ExecMode::kFast (default) — the program is *resolved* once before the
+///     first trip: array names are interned to dense ids (in
+///     LoopProgram::array_names() order), guard/decrement register names are
+///     pre-resolved to indices, and each array's index span is computed from
+///     the segment bounds so memory and write counts live in flat vectors.
+///     The inner interpret loop performs no string hashing, no map lookups
+///     and no per-statement allocation.
+///   * ExecMode::kReference — the original std::map-backed interpreter, kept
+///     as the differential-testing oracle and the "before" baseline of
+///     bench/perf_codegen_vm.cpp. The fast path also falls back to it when a
+///     program's index span is too large to back with dense storage.
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "loopir/program.hpp"
 
@@ -34,13 +49,16 @@ namespace csr {
                                             std::int64_t target_index,
                                             const std::vector<std::uint64_t>& operands);
 
+/// Interpreter engine selection; see the file comment.
+enum class ExecMode { kFast, kReference };
+
 class Machine {
  public:
   Machine() = default;
 
   /// Executes `program` from a fresh state. Throws InvalidArgument when the
   /// program fails LoopProgram::validate() or uses a register before setup.
-  void run(const LoopProgram& program);
+  void run(const LoopProgram& program, ExecMode mode = ExecMode::kFast);
 
   /// Current value of `array[index]` (boundary value when never written).
   [[nodiscard]] std::uint64_t read(const std::string& array, std::int64_t index) const;
@@ -67,17 +85,42 @@ class Machine {
     std::int64_t lower_bound = 0;  // the −LC of the setup
   };
 
-  void execute(const Instruction& instr, std::int64_t i, std::int64_t lc);
+  /// Flat per-array storage of the fast path: values and write counts for
+  /// every index in [base, base + values.size()), plus the precomputed
+  /// boundary-value seed so unwritten reads stay string-free.
+  struct FlatArray {
+    std::string name;
+    std::uint64_t seed = 0;
+    std::int64_t base = 0;
+    std::int64_t writes = 0;
+    std::vector<std::uint64_t> values;
+    std::vector<std::int32_t> counts;
+  };
 
+  void run_reference(const LoopProgram& program);
+  /// Returns false when the program's index span exceeds the dense-storage
+  /// budget and the caller should fall back to the reference engine.
+  bool run_fast(const LoopProgram& program);
+  void execute(const Instruction& instr, std::int64_t i, std::int64_t lc);
+  [[nodiscard]] const FlatArray* flat_array(const std::string& array) const;
+
+  // Reference-engine state.
   std::map<std::string, std::map<std::int64_t, std::uint64_t>> memory_;
   std::map<std::string, std::map<std::int64_t, int>> write_counts_;
   std::map<std::string, Register> registers_;
+
+  // Fast-engine state (post-run queries go through array_ids_).
+  std::vector<FlatArray> arrays_;
+  std::map<std::string, std::int32_t> array_ids_;
+  bool flat_ = false;
+
   std::int64_t disabled_ = 0;
   std::int64_t executed_ = 0;
   std::int64_t issued_ = 0;
 };
 
 /// Runs `program` on a fresh machine.
-[[nodiscard]] Machine run_program(const LoopProgram& program);
+[[nodiscard]] Machine run_program(const LoopProgram& program,
+                                  ExecMode mode = ExecMode::kFast);
 
 }  // namespace csr

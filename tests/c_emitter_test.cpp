@@ -60,6 +60,43 @@ TEST(CEmitter, SanitizesIdentifiers) {
   EXPECT_EQ(source.find("A.0"), std::string::npos);
 }
 
+TEST(CEmitter, CollidingSanitizedNamesStayDistinct) {
+  // Regression: "a.b" and "a_b" both sanitize to "a_b"; the emitter used to
+  // alias them to one C buffer, silently merging two arrays.
+  DataFlowGraph g("collide");
+  const NodeId a = g.add_node("a.b");
+  const NodeId b = g.add_node("a_b");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 1);
+  const std::string source = to_c_source(original_program(g, 4));
+  // Both arrays get their own buffer; the later-assigned one is suffixed.
+  EXPECT_NE(source.find("a_b_buf["), std::string::npos);
+  EXPECT_NE(source.find("a_b_2_buf["), std::string::npos);
+  EXPECT_NE(source.find("#define a_b(idx)"), std::string::npos);
+  EXPECT_NE(source.find("#define a_b_2(idx)"), std::string::npos);
+}
+
+TEST(CEmitter, RegisterNamesCannotCaptureLoopVariables) {
+  // A register named "i" must not shadow the loop induction variable.
+  LoopProgram p;
+  p.n = 3;
+  LoopSegment setup;
+  setup.begin = setup.end = 0;
+  setup.instructions.push_back(Instruction::setup("i", 1));
+  LoopSegment loop;
+  loop.begin = 1;
+  loop.end = 3;
+  Statement s;
+  s.array = "A";
+  s.op_seed = op_seed_for("A");
+  loop.instructions.push_back(Instruction::statement(s, "i"));
+  loop.instructions.push_back(Instruction::decrement("i"));
+  p.segments = {setup, loop};
+  const std::string source = to_c_source(p);
+  // The register is renamed away from the reserved loop-variable name.
+  EXPECT_NE(source.find("int64_t i_2"), std::string::npos);
+}
+
 TEST(CEmitter, RejectsInvalidProgram) {
   LoopProgram p;
   LoopSegment seg;

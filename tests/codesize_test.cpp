@@ -164,5 +164,30 @@ TEST(Model, Table1Reproduction) {
   }
 }
 
+TEST(Model, NoOverflowForDeepPipelinesAndLargeFactors) {
+  // Regression: the size formulas mixed int depth/factor with int64 sizes.
+  // With depth = factor = 2^30 the old `factor + depth` wrapped in 32-bit
+  // arithmetic before being widened, yielding a negative "size".
+  const DataFlowGraph g = benchmarks::figure4_example();  // L = 3
+  const int big = 1 << 30;
+  const std::int64_t n = std::int64_t{1} << 40;
+  const Retiming deep(std::vector<int>{0, 0, big});
+
+  // (n − depth) mod f = 0 here, so the size is L · (f + depth) = 3 · 2^31.
+  EXPECT_EQ(predicted_retimed_unfolded_size(g, deep, big, n),
+            3 * ((std::int64_t{1} << 31)));
+  EXPECT_EQ(paper_retimed_unfolded_size(3, big, big, n),
+            3 * (std::int64_t{1} << 31));
+  // (M' + 1) · L · f: ≈ 3.5 · 10^18, far beyond 32-bit range but exact in 64.
+  EXPECT_EQ(paper_unfolded_retimed_size(3, big, big, n),
+            (std::int64_t{big} + 1) * 3 * big);
+  // f · L + f · |N_r| + |N_r| with |N_r| = 2 distinct values.
+  EXPECT_EQ(predicted_retimed_unfolded_csr_size(g, deep, big),
+            std::int64_t{big} * 3 + std::int64_t{big} * 2 + 2);
+  // (f + n mod f) · L with f = 2^30, n mod f = 0.
+  EXPECT_EQ(predicted_unfolded_size(g, big, n), std::int64_t{big} * 3);
+  EXPECT_EQ(predicted_unfolded_csr_size(g, big), std::int64_t{big} * 3 + big + 1);
+}
+
 }  // namespace
 }  // namespace csr

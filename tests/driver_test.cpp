@@ -1,0 +1,157 @@
+// Tests for the parallel sweep driver: the thread pool's determinism and
+// error contracts, grid enumeration order, per-cell evaluation, and the
+// headline guarantee — serial and parallel sweeps export byte-identical
+// CSV/JSON.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codesize/model.hpp"
+#include "driver/export.hpp"
+#include "driver/sweep.hpp"
+#include "driver/thread_pool.hpp"
+
+namespace csr::driver {
+namespace {
+
+std::vector<std::string> table_benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& info : benchmarks::table_benchmarks()) names.push_back(info.name);
+  return names;
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, 4, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> doubled =
+      parallel_map(items, 4, [](int x) { return 2 * x; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(doubled[static_cast<std::size_t>(i)], 2 * i);
+}
+
+TEST(ThreadPool, RethrowsFirstException) {
+  EXPECT_THROW(parallel_for(50, 4,
+                            [](std::size_t i) {
+                              if (i == 17) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  EXPECT_GE(default_thread_count(), 1u);
+  std::atomic<int> total{0};
+  parallel_for(10, 0, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(SweepGrid, EnumeratesInDocumentedOrder) {
+  SweepGrid grid;
+  grid.benchmarks = {"A", "B"};
+  grid.transforms = {Transform::kOriginal, Transform::kRetimedCsr,
+                     Transform::kRetimedUnfoldedCsr};
+  grid.factors = {2, 3};
+  const std::vector<SweepCell> cells = grid.cells();
+  // Per benchmark: 2 factor-less transforms, then 2 factors × 1 factor-full.
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].benchmark, "A");
+  EXPECT_EQ(cells[0].transform, Transform::kOriginal);
+  EXPECT_EQ(cells[1].transform, Transform::kRetimedCsr);
+  EXPECT_EQ(cells[2].transform, Transform::kRetimedUnfoldedCsr);
+  EXPECT_EQ(cells[2].factor, 2);
+  EXPECT_EQ(cells[3].factor, 3);
+  EXPECT_EQ(cells[4].benchmark, "B");
+}
+
+TEST(Sweep, EvaluatesOriginalCell) {
+  SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.transform = Transform::kOriginal;
+  cell.n = 21;
+  const SweepResult res = evaluate_cell(cell, SweepOptions{});
+  EXPECT_TRUE(res.feasible) << res.error;
+  EXPECT_TRUE(res.verified);
+  EXPECT_TRUE(res.discipline_ok);
+  EXPECT_EQ(res.code_size, res.predicted_size);
+  EXPECT_GT(res.code_size, 0);
+}
+
+TEST(Sweep, CsrCellsMatchTheSizeModel) {
+  for (const Transform t : {Transform::kRetimedCsr, Transform::kRetimedUnfoldedCsr,
+                            Transform::kUnfoldedRetimedCsr}) {
+    SweepCell cell;
+    cell.benchmark = "Differential Equation";
+    cell.transform = t;
+    cell.factor = 2;
+    cell.n = 41;
+    const SweepResult res = evaluate_cell(cell, SweepOptions{});
+    ASSERT_TRUE(res.feasible) << to_string(t) << ": " << res.error;
+    EXPECT_TRUE(res.verified) << to_string(t);
+    EXPECT_EQ(res.code_size, res.predicted_size) << to_string(t);
+    EXPECT_GT(res.registers, 0) << to_string(t);
+  }
+}
+
+TEST(Sweep, UnknownBenchmarkIsInfeasibleNotFatal) {
+  SweepCell cell;
+  cell.benchmark = "No Such Filter";
+  const SweepResult res = evaluate_cell(cell, SweepOptions{});
+  EXPECT_FALSE(res.feasible);
+  EXPECT_NE(res.error.find("No Such Filter"), std::string::npos);
+}
+
+TEST(Sweep, TripCountBelowDepthIsInfeasible) {
+  SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.transform = Transform::kRetimedCsr;
+  cell.n = 1;  // depth of the IIR retiming is ≥ 1
+  const SweepResult res = evaluate_cell(cell, SweepOptions{});
+  EXPECT_FALSE(res.feasible);
+  EXPECT_FALSE(res.error.empty());
+}
+
+TEST(Sweep, SerialAndParallelExportsAreByteIdentical) {
+  SweepGrid grid;
+  grid.benchmarks = table_benchmark_names();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const std::vector<SweepResult> a = run_sweep(grid, serial);
+  const std::vector<SweepResult> b = run_sweep(grid, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(to_csv(a), to_csv(b));
+  EXPECT_EQ(to_json(a), to_json(b));
+  // Every feasible cell of the headline grid verifies against the original.
+  for (const SweepResult& res : a) {
+    if (res.feasible) {
+      EXPECT_TRUE(res.verified)
+          << res.cell.benchmark << ' ' << to_string(res.cell.transform) << " f="
+          << res.cell.factor;
+    }
+  }
+}
+
+TEST(Export, CsvSkipsInfeasibleRowsAndKeepsHeader) {
+  SweepResult bad;
+  bad.cell.benchmark = "X";
+  bad.feasible = false;
+  const std::string csv = to_csv({bad});
+  EXPECT_EQ(csv,
+            "benchmark,transform,factor,n,iteration_bound,period,depth,"
+            "registers,size,verified\n");
+  const std::string json = to_json({bad});
+  EXPECT_NE(json.find("\"feasible\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csr::driver

@@ -1,0 +1,33 @@
+// Tests for the bench-side table helpers — in particular the percentage
+// formatter, which must survive a degenerate zero-size baseline (regression:
+// pct(0, x) used to divide by zero and print "nan"/"inf").
+
+#include <gtest/gtest.h>
+
+#include "table_util.hpp"
+
+namespace csr::bench {
+namespace {
+
+TEST(Pct, FormatsReduction) {
+  EXPECT_EQ(pct(100, 60), "40.0");
+  EXPECT_EQ(pct(200, 150), "25.0");
+  EXPECT_EQ(pct(3, 2), "33.3");
+}
+
+TEST(Pct, NegativeReductionIsGrowth) {
+  EXPECT_EQ(pct(100, 125), "-25.0");
+}
+
+TEST(Pct, ZeroBaselineReportsZeroNotNan) {
+  // before == 0 has nothing to reduce; must not divide by zero.
+  EXPECT_EQ(pct(0, 0), "0.0");
+  EXPECT_EQ(pct(0, 7), "0.0");
+}
+
+TEST(Pct, FullReduction) {
+  EXPECT_EQ(pct(50, 0), "100.0");
+}
+
+}  // namespace
+}  // namespace csr::bench

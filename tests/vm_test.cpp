@@ -4,7 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/retimed_unfolded.hpp"
+#include "codegen/statements.hpp"
 #include "loopir/program.hpp"
+#include "retiming/opt.hpp"
 #include "support/error.hpp"
 #include "vm/equivalence.hpp"
 #include "vm/machine.hpp"
@@ -211,6 +217,157 @@ TEST(Equivalence, WriteDisciplineFlagsMissingIterations) {
 TEST(Equivalence, CleanProgramPassesDiscipline) {
   const LoopProgram p = single_loop(6, {Instruction::statement(write_a())}, 1, 6);
   EXPECT_TRUE(check_write_discipline(run_program(p), {"A"}, 6).empty());
+}
+
+// --- guard-window edge cases, exercised in both engines ---------------------
+
+constexpr ExecMode kBothModes[] = {ExecMode::kFast, ExecMode::kReference};
+
+TEST(Machine, GuardWindowExactBoundaries) {
+  // LC = n = 2. Setup p = 0, decrement by 2 per trip: p = 0 on the first
+  // trip (enabled: 0 ≥ 0 > −2) and p = −2 = −LC on the second (disabled —
+  // the window is strictly above −LC).
+  for (const ExecMode mode : kBothModes) {
+    LoopProgram p;
+    p.n = 2;
+    LoopSegment setup;
+    setup.begin = setup.end = 0;
+    setup.instructions.push_back(Instruction::setup("p1", 0));
+    LoopSegment loop;
+    loop.begin = 1;
+    loop.end = 2;
+    loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+    loop.instructions.push_back(Instruction::decrement("p1", 2));
+    p.segments = {setup, loop};
+    const Machine m = run_program(p, mode);
+    EXPECT_TRUE(m.written("A", 1));
+    EXPECT_FALSE(m.written("A", 2));
+    EXPECT_EQ(m.executed_statements(), 1);
+    EXPECT_EQ(m.disabled_statements(), 1);
+  }
+}
+
+TEST(Machine, DecrementPastLowerBoundStaysDisabled) {
+  // p = 0, −2, −4, −6, −8, −10 over n = 6 trips; the window 0 ≥ p > −6
+  // admits the first three, and once p falls past −LC it never re-opens.
+  for (const ExecMode mode : kBothModes) {
+    LoopProgram p;
+    p.n = 6;
+    LoopSegment setup;
+    setup.begin = setup.end = 0;
+    setup.instructions.push_back(Instruction::setup("p1", 0));
+    LoopSegment loop;
+    loop.begin = 1;
+    loop.end = 6;
+    loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+    loop.instructions.push_back(Instruction::decrement("p1", 2));
+    p.segments = {setup, loop};
+    const Machine m = run_program(p, mode);
+    for (std::int64_t i = 1; i <= 3; ++i) EXPECT_TRUE(m.written("A", i)) << i;
+    for (std::int64_t i = 4; i <= 6; ++i) EXPECT_FALSE(m.written("A", i)) << i;
+    EXPECT_EQ(m.disabled_statements(), 3);
+  }
+}
+
+TEST(Machine, ResetupOfLiveRegisterRestartsWindow) {
+  // A register may be re-initialized by a later straight-line segment; the
+  // guard then follows the new window, not the exhausted old one.
+  for (const ExecMode mode : kBothModes) {
+    LoopProgram p;
+    p.n = 6;
+    LoopSegment setup1;
+    setup1.begin = setup1.end = 0;
+    setup1.instructions.push_back(Instruction::setup("p1", 1));
+    LoopSegment loop1;
+    loop1.begin = 1;
+    loop1.end = 3;
+    loop1.instructions.push_back(Instruction::statement(write_a(), "p1"));
+    loop1.instructions.push_back(Instruction::decrement("p1"));
+    LoopSegment setup2;
+    setup2.begin = setup2.end = 0;
+    setup2.instructions.push_back(Instruction::setup("p1", 0));
+    LoopSegment loop2;
+    loop2.begin = 4;
+    loop2.end = 6;
+    loop2.instructions.push_back(Instruction::statement(write_a(), "p1"));
+    loop2.instructions.push_back(Instruction::decrement("p1"));
+    p.segments = {setup1, loop1, setup2, loop2};
+    const Machine m = run_program(p, mode);
+    // Loop 1: p = 1 (disabled), 0, −1. Loop 2 after re-setup: p = 0, −1, −2.
+    EXPECT_FALSE(m.written("A", 1));
+    for (std::int64_t i = 2; i <= 6; ++i) EXPECT_TRUE(m.written("A", i)) << i;
+    EXPECT_EQ(m.executed_statements(), 5);
+    EXPECT_EQ(m.disabled_statements(), 1);
+  }
+}
+
+TEST(Machine, GuardBeforeSetupThrowsInBothModes) {
+  // The register is set up only in a later segment; the program is rejected
+  // before either engine runs, identically in both modes.
+  for (const ExecMode mode : kBothModes) {
+    LoopProgram p;
+    p.n = 2;
+    LoopSegment loop;
+    loop.begin = 1;
+    loop.end = 2;
+    loop.instructions.push_back(Instruction::statement(write_a(), "p1"));
+    LoopSegment late_setup;
+    late_setup.begin = late_setup.end = 0;
+    late_setup.instructions.push_back(Instruction::setup("p1", 0));
+    p.segments = {loop, late_setup};
+    EXPECT_THROW(run_program(p, mode), InvalidArgument);
+  }
+}
+
+// --- Theorems 4.1/4.2: CSR programs execute each node exactly n times -------
+
+TEST(Machine, CsrProgramsExecuteEachNodeExactlyNTimes) {
+  const std::int64_t n = 21;
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    const LoopProgram p = retimed_csr_program(g, opt.retiming, n);
+    const auto arrays = array_names(g);
+    for (const ExecMode mode : kBothModes) {
+      const Machine m = run_program(p, mode);
+      EXPECT_EQ(m.executed_statements(),
+                static_cast<std::int64_t>(g.node_count()) * n)
+          << info.name;
+      EXPECT_TRUE(check_write_discipline(m, arrays, n).empty()) << info.name;
+    }
+  }
+}
+
+// --- the fast engine must be indistinguishable from the reference one -------
+
+TEST(Machine, FastAndReferenceEnginesAgree) {
+  const std::int64_t n = 21;
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming opt = minimum_period_retiming(g);
+    const auto arrays = array_names(g);
+    const std::vector<LoopProgram> programs = {
+        original_program(g, n),
+        retimed_program(g, opt.retiming, n),
+        retimed_csr_program(g, opt.retiming, n),
+        retimed_unfolded_csr_program(g, opt.retiming, 2, n),
+    };
+    for (const LoopProgram& p : programs) {
+      const Machine fast = run_program(p, ExecMode::kFast);
+      const Machine ref = run_program(p, ExecMode::kReference);
+      EXPECT_TRUE(diff_observable_state(ref, fast, arrays, n).empty()) << info.name;
+      EXPECT_EQ(fast.issued_instructions(), ref.issued_instructions()) << info.name;
+      EXPECT_EQ(fast.executed_statements(), ref.executed_statements()) << info.name;
+      EXPECT_EQ(fast.disabled_statements(), ref.disabled_statements()) << info.name;
+      for (const std::string& a : arrays) {
+        EXPECT_EQ(fast.total_writes(a), ref.total_writes(a)) << info.name;
+        for (std::int64_t i = 0; i <= n + 1; ++i) {
+          EXPECT_EQ(fast.read(a, i), ref.read(a, i)) << info.name;
+          EXPECT_EQ(fast.write_count(a, i), ref.write_count(a, i)) << info.name;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
