@@ -4,6 +4,12 @@
 // Exports are aggregated in grid order, so the files are byte-identical for
 // any thread count.
 //
+// The JSON additionally carries a VM-vs-native throughput section: the six
+// table benchmarks at n = 10000 executed on both the VM fast path and the
+// compiled-kernel native engine (docs/ENGINES.md), with per-cell wall time
+// (include_timing — these rows are measurements, not golden data). On hosts
+// without a working C compiler the native rows export as skipped cells.
+//
 // Usage: export_results [csv_path] [json_path] [threads]
 //   csv_path   default csr_results.csv
 //   json_path  default BENCH_sweep.json
@@ -31,6 +37,17 @@ int main(int argc, char** argv) {
 
   const std::vector<driver::SweepResult> results = driver::run_sweep(grid, options);
 
+  // VM-vs-native throughput grid: same benchmarks, large trip count, the
+  // boundary transforms of the code-size story (original and retimed CSR).
+  driver::SweepGrid perf_grid = grid;
+  perf_grid.trip_counts = {10000};
+  perf_grid.exec_engines = {driver::ExecEngine::kVm, driver::ExecEngine::kNative};
+  perf_grid.transforms = {driver::Transform::kOriginal,
+                          driver::Transform::kRetimedCsr};
+  perf_grid.factors = {};
+  const std::vector<driver::SweepResult> perf =
+      driver::run_sweep(perf_grid, options);
+
   std::ofstream csv(csv_path);
   if (!csv) {
     std::cerr << "cannot open " << csv_path << '\n';
@@ -43,7 +60,10 @@ int main(int argc, char** argv) {
     std::cerr << "cannot open " << json_path << '\n';
     return 1;
   }
-  json << driver::to_json(results);
+  json << "{\n\"sweep\": " << driver::to_json(results)
+       << ",\n\"engine_throughput\": "
+       << driver::to_json(perf, driver::JsonOptions{/*include_timing=*/true})
+       << "}\n";
 
   std::cout << "wrote " << csv_path << " and " << json_path << '\n';
   return 0;

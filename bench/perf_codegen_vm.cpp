@@ -1,13 +1,16 @@
-// Performance microbenchmarks for code generation, unfolding, scheduling
-// and VM execution throughput.
+// Performance microbenchmarks for code generation, unfolding, scheduling,
+// VM execution throughput and the compiled-kernel native engine.
 
 #include <benchmark/benchmark.h>
 
 #include "benchmarks/benchmarks.hpp"
+#include "codegen/c_emitter.hpp"
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/retimed_unfolded.hpp"
 #include "driver/sweep.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "schedule/rotation.hpp"
@@ -95,6 +98,55 @@ void BM_VmExecuteCsrFast(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
 }
 BENCHMARK(BM_VmExecuteCsrFast)->Arg(1000)->Arg(10000);
+
+// Native-engine counterpart of BM_VmExecuteCsrFast: the same CSR program
+// compiled to a shared object and run in-process. The compile is warmed
+// (and content-cached) before the timing loop, so the steady-state ratio
+// against BM_VmExecuteCsrFast is the native engine's execution speedup.
+void BM_NativeExecuteCsr(benchmark::State& state) {
+  if (!native::native_available()) {
+    state.SkipWithError("no host C compiler available");
+    return;
+  }
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const std::int64_t n = state.range(0);
+  const LoopProgram p = retimed_csr_program(g, r, n);
+  if (!native::run_native(p).ok()) {  // warm the compile cache
+    state.SkipWithError("native compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(native::run_native(p));
+  }
+  state.SetItemsProcessed(state.iterations() * n * static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_NativeExecuteCsr)->Arg(1000)->Arg(10000);
+
+// Steady-state cost of a cache-hit compile: hash the emitted source, find
+// the shared object on disk, dlopen-or-reuse. This is the per-cell overhead
+// a warm native sweep pays on top of kernel execution.
+void BM_NativeCompileCached(benchmark::State& state) {
+  if (!native::native_available()) {
+    state.SkipWithError("no host C compiler available");
+    return;
+  }
+  const DataFlowGraph g = benchmarks::lattice_filter();
+  const Retiming r = minimum_period_retiming(g).retiming;
+  const LoopProgram p = retimed_csr_program(g, r, 100);
+  CEmitterOptions emit;
+  emit.function_name = "csr_kernel";
+  emit.semantics = CEmitterOptions::Semantics::kExact;
+  const std::string source = to_c_source(p, emit);
+  if (!native::compile_shared_object(source).ok) {  // warm the cache
+    state.SkipWithError("native compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(native::compile_shared_object(source));
+  }
+}
+BENCHMARK(BM_NativeCompileCached);
 
 // Thread scaling of the sweep driver over the full six-benchmark grid
 // (verification on — the dominant cost is VM execution per cell).

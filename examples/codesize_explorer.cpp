@@ -8,12 +8,16 @@
 // tradeoff points for the Pareto/budget analysis.
 //
 // Usage:  codesize_explorer [benchmark] [max_factor] [register_budget]
-//                           [size_budget]
+//                           [size_budget] [engine]
 //   benchmark       one of: iir, diffeq, allpole, elliptic, lattice,
 //                   volterra (default: lattice)
 //   max_factor      unfolding factors to sweep (default 4)
 //   register_budget conditional registers available (default 4)
 //   size_budget     instruction budget for the loop code (default 150)
+//   engine          execution engine that verifies each point: vm, map or
+//                   native (default vm; see docs/ENGINES.md). Points whose
+//                   engine is unavailable (e.g. native with no host C
+//                   compiler) are reported as skipped, not failed.
 
 #include <cstdlib>
 #include <iostream>
@@ -78,6 +82,16 @@ int main(int argc, char** argv) {
   const int max_factor = argc > 2 ? std::atoi(argv[2]) : 4;
   const std::int64_t register_budget = argc > 3 ? std::atoll(argv[3]) : 4;
   const std::int64_t size_budget = argc > 4 ? std::atoll(argv[4]) : 150;
+  const std::string engine_name = argc > 5 ? argv[5] : "vm";
+  driver::ExecEngine exec = driver::ExecEngine::kVm;
+  if (engine_name == "map") {
+    exec = driver::ExecEngine::kMap;
+  } else if (engine_name == "native") {
+    exec = driver::ExecEngine::kNative;
+  } else if (engine_name != "vm") {
+    std::cerr << "unknown engine '" << engine_name << "' (vm|map|native)\n";
+    return 2;
+  }
   const std::int64_t n = TradeoffOptions{}.n;
 
   const DataFlowGraph g = it->second.factory();
@@ -92,6 +106,7 @@ int main(int argc, char** argv) {
       for (const driver::Transform t : {spec.expanded, spec.csr}) {
         driver::SweepCell cell;
         cell.benchmark = it->second.table_name;
+        cell.exec = exec;
         cell.transform = t;
         cell.factor = f;
         cell.n = n;
@@ -109,11 +124,20 @@ int main(int argc, char** argv) {
   // Fold expanded/CSR cell pairs back into tradeoff points.
   std::vector<TradeoffPoint> points;
   std::size_t unverified = 0;
+  std::size_t skipped = 0;
+  std::string skip_reason;
   for (std::size_t k = 0; k + 1 < results.size(); k += 2) {
     const driver::SweepResult& expanded = results[k];
     const driver::SweepResult& csr = results[k + 1];
     if (!expanded.feasible || !csr.feasible) continue;
-    unverified += (expanded.verified ? 0u : 1u) + (csr.verified ? 0u : 1u);
+    for (const driver::SweepResult* r : {&expanded, &csr}) {
+      if (r->skipped) {
+        ++skipped;
+        skip_reason = r->skip_reason;
+      } else if (!r->verified) {
+        ++unverified;
+      }
+    }
     TradeoffPoint p;
     p.factor = csr.cell.factor;
     p.depth = csr.depth;
@@ -138,8 +162,17 @@ int main(int argc, char** argv) {
               << pad_left(std::to_string(p.size_expanded), 10)
               << pad_left(std::to_string(p.size_csr), 7) << '\n';
   }
-  std::cout << (unverified == 0 ? "\nall points VM-verified against the original loop\n"
-                                : "\nWARNING: some points failed VM verification\n");
+  if (skipped > 0) {
+    std::cout << '\n' << skipped << " point(s) skipped — " << engine_name
+              << " engine unavailable: " << skip_reason << '\n';
+  }
+  if (unverified > 0) {
+    std::cout << "\nWARNING: some points failed " << engine_name
+              << " verification\n";
+  } else {
+    std::cout << "\nall " << (skipped > 0 ? "executed " : "") << "points "
+              << engine_name << "-verified against the original loop\n";
+  }
 
   std::cout << "\nPareto frontier (iteration period vs CSR code size):\n";
   for (const auto& p : pareto_frontier(points)) {

@@ -1,9 +1,15 @@
 // Emits compilable C for a benchmark's loop in every form — original,
-// software-pipelined + CSR, and retimed+unfolded + CSR — into a directory,
-// ready to drop into a DSP project or inspect side by side.
+// software-pipelined + CSR, unfolded + CSR, and retimed+unfolded + CSR —
+// into a directory, ready to drop into a DSP project or inspect side by
+// side.
 //
-// Usage: emit_c_kernels [benchmark] [n] [output_dir]
-//        (defaults: iir 100 ./kernels)
+// Two emission modes (see docs/ENGINES.md):
+//   numeric  double-typed arithmetic kernels for human use (default)
+//   exact    the native engine's bit-exact hash semantics, with the
+//            csr_* readback ABI — what src/native/ compiles and dlopens
+//
+// Usage: emit_c_kernels [benchmark] [n] [output_dir] [mode]
+//        (defaults: iir 100 ./kernels numeric)
 
 #include <filesystem>
 #include <fstream>
@@ -15,6 +21,7 @@
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/retimed_unfolded.hpp"
+#include "codegen/unfolded.hpp"
 #include "retiming/opt.hpp"
 #include "support/error.hpp"
 
@@ -31,9 +38,14 @@ int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "iir";
   const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 100;
   const std::filesystem::path dir = argc > 3 ? argv[3] : "kernels";
+  const std::string mode = argc > 4 ? argv[4] : "numeric";
   const auto it = registry.find(which);
   if (it == registry.end()) {
     std::cerr << "unknown benchmark '" << which << "'\n";
+    return 2;
+  }
+  if (mode != "numeric" && mode != "exact") {
+    std::cerr << "unknown mode '" << mode << "' (numeric|exact)\n";
     return 2;
   }
 
@@ -46,11 +58,16 @@ int main(int argc, char** argv) {
         {"original", original_program(g, n)},
         {"pipelined", retimed_program(g, opt.retiming, n)},
         {"pipelined_csr", retimed_csr_program(g, opt.retiming, n)},
+        {"unfolded", unfolded_program(g, 3, n)},
+        {"unfolded_csr", unfolded_csr_program(g, 3, n)},
         {"pipelined_unfolded_csr", retimed_unfolded_csr_program(g, opt.retiming, 3, n)},
     };
     for (const auto& [name, program] : kernels) {
       CEmitterOptions options;
       options.function_name = which + "_" + name;
+      if (mode == "exact") {
+        options.semantics = CEmitterOptions::Semantics::kExact;
+      }
       const std::filesystem::path path = dir / (which + "_" + name + ".c");
       std::ofstream(path) << to_c_source(program, options);
       std::cout << "wrote " << path.string() << "  (code size " << program.code_size()

@@ -1,6 +1,7 @@
 #include "codegen/c_emitter.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
@@ -32,6 +33,10 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
+/// Suffixes an array identifier also claims: its backing buffer, and in
+/// exact mode the write-count buffer and the read/count accessor macros.
+constexpr const char* kArraySuffixes[] = {"_buf", "_cnt", "_COUNT", "_READ"};
+
 /// Collision-free mapping from IR names to C identifiers. Sanitizing alone
 /// can merge distinct names ("a.b" and "a_b" both become "a_b"), silently
 /// aliasing two arrays onto one buffer in the emitted kernel; this table
@@ -52,16 +57,23 @@ class IdentifierTable {
     const auto it = assigned_.find(key);
     if (it != assigned_.end()) return it->second;
     const std::string base = sanitize(name);
-    // Arrays also claim "<id>_buf" for their backing buffer.
     const auto taken = [&](const std::string& c) {
-      return used_.count(c) != 0 || (kind == 'a' && used_.count(c + "_buf") != 0);
+      if (used_.count(c) != 0) return true;
+      if (kind == 'a') {
+        for (const char* suffix : kArraySuffixes) {
+          if (used_.count(c + suffix) != 0) return true;
+        }
+      }
+      return false;
     };
     std::string candidate = base;
     for (int suffix = 2; taken(candidate); ++suffix) {
       candidate = base + "_" + std::to_string(suffix);
     }
     used_.insert(candidate);
-    if (kind == 'a') used_.insert(candidate + "_buf");
+    if (kind == 'a') {
+      for (const char* suffix : kArraySuffixes) used_.insert(candidate + suffix);
+    }
     return assigned_.emplace(key, std::move(candidate)).first->second;
   }
 
@@ -77,6 +89,60 @@ std::string index_expr(std::int64_t offset) {
   return os.str();
 }
 
+std::string hex_u64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::uppercase << v << "ULL";
+  return os.str();
+}
+
+/// A C string literal for `s` (octal-escapes non-printables; IR names are
+/// normally plain identifiers but nothing enforces that).
+std::string c_string_literal(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20 || u > 0x7E) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\%03o", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// The VM's mix / boundary-value contract (vm/machine.cpp), restated as C.
+/// CSR_BOUNDARY's seed argument is the per-array op_seed; the salt constant
+/// must match kBoundarySalt.
+constexpr const char* kExactPreamble =
+    "static uint64_t csr_mix(uint64_t z) {\n"
+    "  z ^= z >> 30;\n"
+    "  z *= 0xBF58476D1CE4E5B9ULL;\n"
+    "  z ^= z >> 27;\n"
+    "  z *= 0x94D049BB133111EBULL;\n"
+    "  return z ^ (z >> 31);\n"
+    "}\n"
+    "#define CSR_BOUNDARY(seed, idx) \\\n"
+    "  csr_mix((seed) ^ csr_mix((uint64_t)(idx) ^ 0xA5A5A5A5A5A5A5A5ULL))\n";
+
+/// Identifiers the generated exact-mode code uses for itself; IR names are
+/// renamed away from these by the IdentifierTable.
+std::set<std::string> reserved_identifiers(const CEmitterOptions& options) {
+  std::set<std::string> reserved = {"i", "n", "idx", options.function_name};
+  if (options.semantics == CEmitterOptions::Semantics::kExact) {
+    reserved.insert({"csr_mix", "CSR_BOUNDARY", "csr_h", "csr_executed",
+                     "csr_disabled", "csr_abi_version", "csr_array_count",
+                     "csr_array_names", "csr_array_base", "csr_array_extent",
+                     "csr_array_values", "csr_array_counts", "seed", "z"});
+  }
+  return reserved;
+}
+
 }  // namespace
 
 std::string to_c_source(const LoopProgram& program, const CEmitterOptions& options) {
@@ -86,6 +152,8 @@ std::string to_c_source(const LoopProgram& program, const CEmitterOptions& optio
       throw InvalidArgument("cannot emit invalid program: " + join(problems, "; "));
     }
   }
+  const bool exact = options.semantics == CEmitterOptions::Semantics::kExact;
+  const std::string value_type = exact ? "uint64_t" : options.value_type;
 
   // Index ranges per array over every segment's loop span.
   std::map<std::string, IndexRange> ranges;
@@ -103,17 +171,34 @@ std::string to_c_source(const LoopProgram& program, const CEmitterOptions& optio
     }
   }
 
-  IdentifierTable ids({"i", "n", "idx", options.function_name});
+  IdentifierTable ids(reserved_identifiers(options));
 
   std::ostringstream os;
   os << "/* generated by csr from \"" << program.name << "\" (n = " << program.n
      << ", code size = " << program.code_size() << ") */\n";
+  if (exact) {
+    os << "/* exact VM semantics: uint64 statement hashes, boundary reads, and\n"
+          "   an exported csr_* state-descriptor table (src/native/ contract) */\n";
+  }
   os << "#include <stdint.h>\n\n";
+  if (exact) os << kExactPreamble << '\n';
   for (const auto& [array, range] : ranges) {
     const std::string& id = ids.array(array);
     const std::int64_t extent = range.max - range.min + 1;
-    os << "static " << options.value_type << ' ' << id << "_buf[" << extent << "];\n";
-    os << "#define " << id << "(idx) " << id << "_buf[(idx) - (" << range.min << ")]\n";
+    os << "static " << value_type << ' ' << id << "_buf[" << extent << "];\n";
+    os << "#define " << id << "(idx) " << id << "_buf[(idx) - (" << range.min
+       << ")]\n";
+    if (exact) {
+      os << "static uint32_t " << id << "_cnt[" << extent << "];\n";
+      os << "#define " << id << "_COUNT(idx) " << id << "_cnt[(idx) - ("
+         << range.min << ")]\n";
+      os << "#define " << id << "_READ(idx) \\\n  (" << id << "_COUNT(idx) ? " << id
+         << "(idx) : CSR_BOUNDARY(" << hex_u64(op_seed_for(array)) << ", (idx)))\n";
+    }
+  }
+  if (exact) {
+    os << "\nint64_t csr_executed = 0;\n";
+    os << "int64_t csr_disabled = 0;\n";
   }
 
   os << "\nvoid " << options.function_name << "(void) {\n";
@@ -124,17 +209,10 @@ std::string to_c_source(const LoopProgram& program, const CEmitterOptions& optio
   os << "  int64_t i;\n";
   os << "  (void)n;\n";
 
-  auto emit_statement = [&](const Instruction& instr, int indent) {
-    const std::string pad(static_cast<std::size_t>(indent), ' ');
-    std::string guard_close;
-    if (!instr.guard.empty()) {
-      const std::string& reg = ids.reg(instr.guard);
-      os << pad << "if (" << reg << " <= 0 && " << reg << " > -n) {\n";
-      guard_close = pad + "}\n";
-    }
-    const std::string inner_pad = guard_close.empty() ? pad : pad + "  ";
-    os << inner_pad << ids.array(instr.stmt.array) << '('
-       << index_expr(instr.stmt.offset) << ") = ";
+  auto emit_numeric_statement = [&](const Instruction& instr,
+                                    const std::string& pad) {
+    os << pad << ids.array(instr.stmt.array) << '(' << index_expr(instr.stmt.offset)
+       << ") = ";
     for (std::size_t k = 0; k < instr.stmt.sources.size(); ++k) {
       if (k > 0) os << ' ' << instr.stmt.op_text << ' ';
       os << ids.array(instr.stmt.sources[k].array) << '('
@@ -144,8 +222,46 @@ std::string to_c_source(const LoopProgram& program, const CEmitterOptions& optio
     // buffers (values stay index-dependent instead of collapsing to zero)
     // and models the constant/live-in operand of the paper's statements.
     if (!instr.stmt.sources.empty()) os << " + ";
-    os << '(' << options.value_type << ")(" << index_expr(instr.stmt.offset) << ");\n";
-    os << guard_close;
+    os << '(' << value_type << ")(" << index_expr(instr.stmt.offset) << ");\n";
+  };
+
+  auto emit_exact_statement = [&](const Instruction& instr, const std::string& pad) {
+    const std::string target = index_expr(instr.stmt.offset);
+    os << pad << "{\n";
+    os << pad << "  uint64_t csr_h = csr_mix(" << hex_u64(instr.stmt.op_seed)
+       << " ^ csr_mix((uint64_t)(" << target << ")));\n";
+    for (const ArrayRef& src : instr.stmt.sources) {
+      os << pad << "  csr_h = csr_mix(csr_h ^ csr_mix(" << ids.array(src.array)
+         << "_READ(" << index_expr(src.offset) << ")));\n";
+    }
+    const std::string& id = ids.array(instr.stmt.array);
+    os << pad << "  " << id << '(' << target << ") = csr_h;\n";
+    os << pad << "  " << id << "_COUNT(" << target << ") += 1u;\n";
+    os << pad << "  csr_executed += 1;\n";
+    os << pad << "}\n";
+  };
+
+  auto emit_statement = [&](const Instruction& instr, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const bool guarded = !instr.guard.empty();
+    if (guarded) {
+      const std::string& reg = ids.reg(instr.guard);
+      os << pad << "if (" << reg << " <= 0 && " << reg << " > -n) {\n";
+    }
+    const std::string inner_pad = guarded ? pad + "  " : pad;
+    if (exact) {
+      emit_exact_statement(instr, inner_pad);
+    } else {
+      emit_numeric_statement(instr, inner_pad);
+    }
+    if (guarded) {
+      // The VM counts guard-disabled issues; keep the native counter in step.
+      if (exact) {
+        os << pad << "} else {\n" << pad << "  csr_disabled += 1;\n" << pad << "}\n";
+      } else {
+        os << pad << "}\n";
+      }
+    }
   };
 
   for (const LoopSegment& seg : program.segments) {
@@ -174,6 +290,63 @@ std::string to_c_source(const LoopProgram& program, const CEmitterOptions& optio
     if (!seg.straight_line()) os << "  }\n";
   }
   os << "}\n";
+
+  if (exact) {
+    // State-descriptor table: everything a dlopen-ing host needs to reset
+    // the kernel's buffers and read back the final observable state. Kept
+    // as parallel flat arrays (no struct) so the host/kernel ABI cannot
+    // drift through layout or padding differences.
+    os << "\nconst int32_t csr_abi_version = 1;\n";
+    os << "const int32_t csr_array_count = " << ranges.size() << ";\n";
+    const auto emit_table = [&](const char* type, const char* name, auto&& cell) {
+      os << "const " << type << ' ' << name << "[] = {";
+      if (ranges.empty()) {
+        os << "0";  // C forbids empty initializer lists; count is 0 anyway
+      } else {
+        bool first = true;
+        for (const auto& entry : ranges) {
+          if (!first) os << ", ";
+          first = false;
+          cell(entry.first, entry.second);
+        }
+      }
+      os << "};\n";
+    };
+    emit_table("char* const", "csr_array_names",
+               [&](const std::string& array, const IndexRange&) {
+                 os << c_string_literal(array);
+               });
+    emit_table("int64_t", "csr_array_base",
+               [&](const std::string&, const IndexRange& r) { os << r.min; });
+    emit_table("int64_t", "csr_array_extent",
+               [&](const std::string&, const IndexRange& r) {
+                 os << (r.max - r.min + 1);
+               });
+    os << "uint64_t* const csr_array_values[] = {";
+    if (ranges.empty()) {
+      os << "0";
+    } else {
+      bool first = true;
+      for (const auto& [array, range] : ranges) {
+        if (!first) os << ", ";
+        first = false;
+        os << ids.array(array) << "_buf";
+      }
+    }
+    os << "};\n";
+    os << "uint32_t* const csr_array_counts[] = {";
+    if (ranges.empty()) {
+      os << "0";
+    } else {
+      bool first = true;
+      for (const auto& [array, range] : ranges) {
+        if (!first) os << ", ";
+        first = false;
+        os << ids.array(array) << "_cnt";
+      }
+    }
+    os << "};\n";
+  }
   return os.str();
 }
 

@@ -9,10 +9,21 @@
 /// the program can touch (boundary reads before iteration 1 and prologue
 /// indices).
 ///
-/// Statement semantics in C: operands joined with the statement's operator
-/// and source-free statements read a synthetic input `(T)(idx)` — the same
-/// shape as the paper's examples (`A[i] = E[i-4] + 9`), with the constant
-/// folded away.
+/// Statement semantics in C depend on the selected Semantics:
+///
+///   * kNumeric (default) — operands joined with the statement's operator,
+///     and source-free statements read a synthetic input `(T)(idx)` — the
+///     same shape as the paper's examples (`A[i] = E[i-4] + 9`), with the
+///     constant folded away. This is the human-facing DSP kernel.
+///   * kExact — the VM's abstract statement semantics, bit for bit: every
+///     array cell is a uint64_t, statements hash (op_seed, target index,
+///     operand values) with the same SplitMix64 finalizer the VM uses, and
+///     reads of never-written cells yield the VM's boundary values. The
+///     translation unit additionally exports a `csr_*` descriptor table
+///     (array names, buffer pointers, write-count buffers, index bases) so a
+///     host that dlopens the compiled object can read back the final array
+///     state and diff it against the interpreter — the contract of the
+///     native execution engine in src/native/. See docs/ENGINES.md.
 
 #include <string>
 
@@ -21,10 +32,17 @@
 namespace csr {
 
 struct CEmitterOptions {
-  /// Element type of the arrays.
+  enum class Semantics {
+    kNumeric,  ///< paper-flavoured arithmetic over value_type
+    kExact,    ///< bit-exact VM hash semantics + exported state descriptors
+  };
+
+  /// Element type of the arrays (kNumeric only; kExact forces uint64_t).
   std::string value_type = "double";
   /// Name of the emitted function.
   std::string function_name = "kernel";
+  /// Statement semantics; see the file comment.
+  Semantics semantics = Semantics::kNumeric;
 };
 
 /// Emits a self-contained C translation unit containing one function that

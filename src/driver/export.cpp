@@ -47,17 +47,21 @@ std::string to_csv(const std::vector<SweepResult>& results) {
   return out.str();
 }
 
-std::string to_json(const std::vector<SweepResult>& results) {
+std::string to_json(const std::vector<SweepResult>& results,
+                    const JsonOptions& options) {
   std::ostringstream out;
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     out << "  {\"benchmark\": \"" << json_escape(r.cell.benchmark)
         << "\", \"engine\": \"" << to_string(r.cell.engine)
+        << "\", \"exec_engine\": \"" << to_string(r.cell.exec)
         << "\", \"transform\": \"" << to_string(r.cell.transform)
         << "\", \"factor\": " << r.cell.factor << ", \"n\": " << r.cell.n
         << ", \"feasible\": " << (r.feasible ? "true" : "false")
         << ", \"error\": \"" << json_escape(r.error)
+        << "\", \"skipped\": " << (r.skipped ? "true" : "false")
+        << ", \"skip_reason\": \"" << json_escape(r.skip_reason)
         << "\", \"iteration_bound\": \"" << json_escape(r.iteration_bound)
         << "\", \"period\": \"" << r.period.to_string()
         << "\", \"depth\": " << r.depth << ", \"registers\": " << r.registers
@@ -65,7 +69,11 @@ std::string to_json(const std::vector<SweepResult>& results) {
         << ", \"predicted_size\": " << r.predicted_size
         << ", \"verified\": " << (r.verified ? "true" : "false")
         << ", \"discipline_ok\": " << (r.discipline_ok ? "true" : "false")
-        << '}' << (i + 1 < results.size() ? "," : "") << '\n';
+        << ", \"exec_statements\": " << r.exec_statements;
+    if (options.include_timing) {
+      out << ", \"exec_seconds\": " << r.exec_seconds;
+    }
+    out << '}' << (i + 1 < results.size() ? "," : "") << '\n';
   }
   out << "]\n";
   return out.str();

@@ -20,9 +20,18 @@ namespace csr::driver {
 /// "yes"/"NO".
 [[nodiscard]] std::string to_csv(const std::vector<SweepResult>& results);
 
+/// Knobs for the JSON export. Timing is off by default so that serial and
+/// parallel sweeps of the same grid stay byte-identical; benches that want
+/// throughput rows opt in.
+struct JsonOptions {
+  bool include_timing = false;  ///< emit exec_seconds (wall time, noisy)
+};
+
 /// JSON array of objects, one per cell (including infeasible ones, with
-/// their `error`). All fields of SweepResult are present; keys are emitted
-/// in a fixed order.
-[[nodiscard]] std::string to_json(const std::vector<SweepResult>& results);
+/// their `error`, and skipped ones, with their `skip_reason`). All
+/// deterministic fields of SweepResult are present; keys are emitted in a
+/// fixed order. `exec_seconds` appears only under JsonOptions::include_timing.
+[[nodiscard]] std::string to_json(const std::vector<SweepResult>& results,
+                                  const JsonOptions& options = {});
 
 }  // namespace csr::driver

@@ -1,5 +1,6 @@
 #include "driver/sweep.hpp"
 
+#include <chrono>
 #include <exception>
 
 #include "benchmarks/benchmarks.hpp"
@@ -13,6 +14,7 @@
 #include "dfg/algorithms.hpp"
 #include "dfg/iteration_bound.hpp"
 #include "driver/thread_pool.hpp"
+#include "native/engine.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/modulo.hpp"
 #include "schedule/rotation.hpp"
@@ -30,6 +32,18 @@ std::string_view to_string(Engine engine) {
       return "rotation";
     case Engine::kModulo:
       return "modulo";
+  }
+  return "?";
+}
+
+std::string_view to_string(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kVm:
+      return "vm";
+    case ExecEngine::kMap:
+      return "map";
+    case ExecEngine::kNative:
+      return "native";
   }
   return "?";
 }
@@ -74,15 +88,17 @@ std::vector<SweepCell> SweepGrid::cells() const {
   for (const std::string& benchmark : benchmarks) {
     for (const std::int64_t n : trip_counts) {
       for (const Engine engine : engines) {
-        for (const Transform t : transforms) {
-          if (!transform_uses_factor(t)) {
-            out.push_back(SweepCell{benchmark, engine, t, 1, n});
-          }
-        }
-        for (const int f : factors) {
+        for (const ExecEngine exec : exec_engines) {
           for (const Transform t : transforms) {
-            if (transform_uses_factor(t)) {
-              out.push_back(SweepCell{benchmark, engine, t, f, n});
+            if (!transform_uses_factor(t)) {
+              out.push_back(SweepCell{benchmark, engine, exec, t, 1, n});
+            }
+          }
+          for (const int f : factors) {
+            for (const Transform t : transforms) {
+              if (transform_uses_factor(t)) {
+                out.push_back(SweepCell{benchmark, engine, exec, t, f, n});
+              }
             }
           }
         }
@@ -230,10 +246,43 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
     res.code_size = program.code_size();
     if (options.verify) {
       const std::vector<std::string> arrays = array_names(g);
+      // The expected state always comes from the fast VM on the original
+      // loop, so non-VM cells are genuine cross-engine differentials.
       const Machine expected = run_program(original_program(g, n));
-      const Machine actual = run_program(program);
-      res.verified = diff_observable_state(expected, actual, arrays, n).empty();
-      res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
+      switch (cell.exec) {
+        case ExecEngine::kVm:
+        case ExecEngine::kMap: {
+          const ExecMode mode = cell.exec == ExecEngine::kVm
+                                    ? ExecMode::kFast
+                                    : ExecMode::kReference;
+          const auto start = std::chrono::steady_clock::now();
+          const Machine actual = run_program(program, mode);
+          res.exec_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+          res.exec_statements = actual.executed_statements();
+          res.verified = diff_observable_state(expected, actual, arrays, n).empty();
+          res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
+          break;
+        }
+        case ExecEngine::kNative: {
+          const native::NativeOutcome out = native::run_native(program);
+          if (!out.ok()) {
+            // A missing or broken host compiler is a property of the machine,
+            // not of the cell: report it as skipped, keep the cell feasible.
+            res.skipped = true;
+            res.skip_reason = out.diagnostic;
+            break;
+          }
+          res.exec_seconds = out.run_seconds;
+          res.exec_statements = out.result.executed_statements();
+          res.verified =
+              diff_observable_state(MachineView(expected), out.result, arrays, n)
+                  .empty();
+          res.discipline_ok = check_write_discipline(out.result, arrays, n).empty();
+          break;
+        }
+      }
     }
   } catch (const std::exception& e) {
     res.feasible = false;

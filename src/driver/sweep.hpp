@@ -4,14 +4,15 @@
 /// The parallel design-space sweep engine. The paper's evaluation — and
 /// every bench in this repo — is a cross product
 ///
-///     (benchmark graph) × (pipeline engine) × (transformation order)
-///       × (unfolding factor f) × (trip count n)
+///     (benchmark graph) × (pipeline engine) × (execution engine)
+///       × (transformation order) × (unfolding factor f) × (trip count n)
 ///
-/// evaluated cell by cell: generate the program, check VM equivalence
-/// against the original loop, and account code size. SweepGrid declares the
-/// product, run_sweep() evaluates its cells on a thread pool, and the result
-/// vector is always in grid order — so CSV/JSON exports are byte-identical
-/// no matter how many threads ran the sweep.
+/// evaluated cell by cell: generate the program, execute it on the cell's
+/// execution engine, check equivalence against the original loop, and
+/// account code size. SweepGrid declares the product, run_sweep() evaluates
+/// its cells on a thread pool, and the result vector is always in grid order
+/// — so CSV/JSON exports are byte-identical no matter how many threads ran
+/// the sweep.
 
 #include <cstdint>
 #include <string>
@@ -31,6 +32,16 @@ enum class Engine {
   kModulo,       ///< iterative modulo scheduling under the resource model
 };
 
+/// Execution engine a cell's transformed program runs on for verification —
+/// the three engines of the differential harness (docs/ENGINES.md). The
+/// expected state always comes from the fast VM running the original loop,
+/// so a kMap cell cross-checks map-vs-VM and a kNative cell VM-vs-native.
+enum class ExecEngine {
+  kVm,      ///< the VM's interned fast path (ExecMode::kFast)
+  kMap,     ///< the map-backed reference interpreter (ExecMode::kReference)
+  kNative,  ///< compiled C via src/native/ (skipped if no host compiler)
+};
+
 /// Transformation order / output form of one cell, mirroring the columns of
 /// Tables 1–4: expanded (prologue/epilogue) forms and their CSR reductions.
 enum class Transform {
@@ -46,6 +57,7 @@ enum class Transform {
 };
 
 [[nodiscard]] std::string_view to_string(Engine engine);
+[[nodiscard]] std::string_view to_string(ExecEngine engine);
 [[nodiscard]] std::string_view to_string(Transform transform);
 /// True for transforms with an unfolding-factor dimension (f > 1 meaningful).
 [[nodiscard]] bool transform_uses_factor(Transform transform);
@@ -54,6 +66,7 @@ enum class Transform {
 struct SweepCell {
   std::string benchmark;  ///< name in benchmarks::all_graphs()
   Engine engine = Engine::kOptRetiming;
+  ExecEngine exec = ExecEngine::kVm;
   Transform transform = Transform::kOriginal;
   int factor = 1;
   std::int64_t n = 101;
@@ -62,19 +75,30 @@ struct SweepCell {
 /// Everything measured for a cell. `feasible` is false when the
 /// configuration cannot be generated (e.g. unfold-then-retime with
 /// n/f ≤ M'_r, or an engine that found no schedule); `error` carries the
-/// exception text when evaluation threw.
+/// exception text when evaluation threw. `skipped` is true for feasible
+/// cells whose execution engine is unavailable on this host (e.g.
+/// exec=native without a working C compiler) — the diagnostic lands in
+/// `skip_reason` and the sweep carries on.
 struct SweepResult {
   SweepCell cell;
   bool feasible = true;
   std::string error;
+  bool skipped = false;     ///< execution engine unavailable; see skip_reason
+  std::string skip_reason;  ///< toolchain diagnostic for skipped cells
   std::string iteration_bound;  ///< "-" for acyclic graphs
   Rational period;              ///< iteration period of the cell's form
   int depth = 0;                ///< pipeline depth M_r
   std::int64_t registers = 0;   ///< conditional registers
   std::int64_t code_size = 0;   ///< generated program's instruction count
   std::int64_t predicted_size = -1;  ///< closed-form model; -1 = no formula
-  bool verified = false;             ///< VM-equivalent to the original loop
+  bool verified = false;             ///< equivalent to the original loop
   bool discipline_ok = false;        ///< write-discipline check passed
+  /// Statements the cell's engine executed while verifying (0 unverified).
+  std::int64_t exec_statements = 0;
+  /// Wall time of that execution (engine run only; excludes the expected-
+  /// state run and, for native, compilation). Non-deterministic — exported
+  /// only when JsonOptions::include_timing is set.
+  double exec_seconds = 0.0;
 };
 
 struct SweepOptions {
@@ -85,13 +109,15 @@ struct SweepOptions {
 };
 
 /// The declarative grid. cells() enumerates the product in deterministic
-/// grid order: benchmark → n → engine → factor-less transforms (in list
-/// order) → factor × factor-full transforms — matching the row order of the
-/// paper's tables and of csr_results.csv.
+/// grid order: benchmark → n → engine → execution engine → factor-less
+/// transforms (in list order) → factor × factor-full transforms — matching
+/// the row order of the paper's tables and of csr_results.csv (whose layout
+/// is preserved by the single-element exec_engines default).
 struct SweepGrid {
   std::vector<std::string> benchmarks;
   std::vector<std::int64_t> trip_counts = {101};
   std::vector<Engine> engines = {Engine::kOptRetiming};
+  std::vector<ExecEngine> exec_engines = {ExecEngine::kVm};
   std::vector<Transform> transforms = {
       Transform::kOriginal,           Transform::kRetimed,
       Transform::kRetimedCsr,         Transform::kRetimedUnfolded,

@@ -1,0 +1,232 @@
+#include "native/compile.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace csr::native {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::atomic<std::int64_t> g_hits{0};
+std::atomic<std::int64_t> g_misses{0};
+std::atomic<std::int64_t> g_failures{0};
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string cache_key(const std::string& source, const CompileOptions& options,
+                      const std::string& compiler) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(source, h);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(options.flags, h);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(compiler, h);
+  std::ostringstream os;
+  os << 'k' << std::hex << h;
+  return os.str();
+}
+
+fs::path cache_directory(const CompileOptions& options, std::string& problem) {
+  fs::path dir;
+  if (!options.cache_dir.empty()) {
+    dir = options.cache_dir;
+  } else if (const char* env = std::getenv("CSR_NATIVE_CACHE_DIR");
+             env != nullptr && *env != '\0') {
+    dir = env;
+  } else {
+    std::error_code ec;
+    dir = fs::temp_directory_path(ec);
+    if (ec) {
+      problem = "no usable temp directory: " + ec.message();
+      return {};
+    }
+    dir /= "csr-native-cache";
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    problem = "cannot create cache directory " + dir.string() + ": " + ec.message();
+    return {};
+  }
+  return dir;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+/// Runs `command` through the shell, capturing stdout+stderr. Returns the
+/// process exit status (-1 when the shell could not be spawned).
+int run_command(const std::string& command, std::string& output) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+    if (output.size() > 16384) break;  // a page of diagnostics is plenty
+  }
+  return ::pclose(pipe);
+}
+
+/// Serializes compilation per cache key within this process; cross-process
+/// safety comes from the atomic rename.
+std::mutex& key_mutex(const std::string& key) {
+  static std::mutex table_mutex;
+  static std::map<std::string, std::mutex> table;
+  const std::lock_guard<std::mutex> lock(table_mutex);
+  return table[key];
+}
+
+std::atomic<std::uint64_t> g_temp_counter{0};
+
+}  // namespace
+
+std::string default_compiler() {
+  if (const char* env = std::getenv("CSR_CC"); env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef CSR_HOST_CXX
+  return CSR_HOST_CXX;
+#else
+  return "cc";
+#endif
+}
+
+CompileResult compile_shared_object(const std::string& c_source,
+                                    const CompileOptions& options) {
+  CompileResult result;
+  const std::string compiler =
+      options.compiler.empty() ? default_compiler() : options.compiler;
+  if (compiler.empty()) {
+    result.diagnostic = "no host C compiler configured";
+    ++g_failures;
+    return result;
+  }
+  std::string problem;
+  const fs::path dir = cache_directory(options, problem);
+  if (dir.empty()) {
+    result.diagnostic = problem;
+    ++g_failures;
+    return result;
+  }
+
+  const std::string key = cache_key(c_source, options, compiler);
+  const fs::path so_path = dir / (key + ".so");
+  const std::lock_guard<std::mutex> lock(key_mutex(key));
+
+  std::error_code ec;
+  if (fs::exists(so_path, ec)) {
+    result.ok = true;
+    result.cache_hit = true;
+    result.shared_object = so_path.string();
+    ++g_hits;
+    return result;
+  }
+
+  // Content-addressed, so the source file doubles as the cache's own
+  // provenance record; written via a temp + rename like the object.
+  const std::string unique =
+      "." + std::to_string(::getpid()) + "." + std::to_string(++g_temp_counter);
+  const fs::path c_path = dir / (key + ".c");
+  const fs::path c_tmp = dir / (key + ".c.tmp" + unique);
+  {
+    std::ofstream out(c_tmp);
+    out << c_source;
+    if (!out) {
+      result.diagnostic = "cannot write " + c_tmp.string();
+      fs::remove(c_tmp, ec);
+      ++g_failures;
+      return result;
+    }
+  }
+  fs::rename(c_tmp, c_path, ec);
+  if (ec) {
+    result.diagnostic = "cannot move source into cache: " + ec.message();
+    fs::remove(c_tmp, ec);
+    ++g_failures;
+    return result;
+  }
+
+  const fs::path so_tmp = dir / (key + ".so.tmp" + unique);
+  const std::string command = compiler + " " + options.flags + " -o " +
+                              shell_quote(so_tmp.string()) + " " +
+                              shell_quote(c_path.string());
+  std::string output;
+  const int status = run_command(command, output);
+  if (status != 0 || !fs::exists(so_tmp, ec)) {
+    std::ostringstream diag;
+    diag << "native compile failed (exit " << status << "): " << command;
+    if (!output.empty()) diag << '\n' << output;
+    result.diagnostic = diag.str();
+    fs::remove(so_tmp, ec);
+    ++g_failures;
+    return result;
+  }
+  fs::rename(so_tmp, so_path, ec);
+  if (ec) {
+    // Lost a cross-process race or an unwritable cache; the object is still
+    // good if someone else's rename won.
+    if (!fs::exists(so_path, ec)) {
+      result.diagnostic = "cannot move object into cache: " + ec.message();
+      ++g_failures;
+      return result;
+    }
+    fs::remove(so_tmp, ec);
+  }
+  result.ok = true;
+  result.shared_object = so_path.string();
+  ++g_misses;
+  return result;
+}
+
+CacheStats compile_cache_stats() {
+  return CacheStats{g_hits.load(), g_misses.load(), g_failures.load()};
+}
+
+bool native_available() {
+  static std::mutex probe_mutex;
+  static std::map<std::string, bool> probed;
+  const std::string compiler = default_compiler();
+  const std::lock_guard<std::mutex> lock(probe_mutex);
+  const auto it = probed.find(compiler);
+  if (it != probed.end()) return it->second;
+
+  const CompileResult probe = compile_shared_object(
+      "/* csr native-engine availability probe */\nvoid csr_probe(void) {}\n");
+  bool ok = probe.ok;
+  if (ok) {
+    void* handle = ::dlopen(probe.shared_object.c_str(), RTLD_NOW | RTLD_LOCAL);
+    ok = handle != nullptr && ::dlsym(handle, "csr_probe") != nullptr;
+    if (handle != nullptr) ::dlclose(handle);
+  }
+  probed.emplace(compiler, ok);
+  return ok;
+}
+
+}  // namespace csr::native

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file compile.hpp
+/// Host-compiler invocation behind a content-addressed cache. The native
+/// execution engine (engine.hpp) compiles emitted C into shared objects;
+/// this module owns the toolchain interaction:
+///
+///   * the cache key is a hash of (source text, flags, compiler), so
+///     repeated sweep cells — and repeated test runs — reuse binaries;
+///   * compilation writes to a unique temporary and atomically renames into
+///     the cache, so concurrent compiles (threads or processes) of the same
+///     source are safe and the cache never contains a half-written object;
+///   * failure is a value, not an exception: a missing compiler, a sandboxed
+///     temp directory or a cc error all come back as `ok == false` with the
+///     toolchain's own output in `diagnostic`, letting callers (the sweep
+///     driver, tests) degrade gracefully instead of aborting.
+///
+/// Compiler selection: `CompileOptions::compiler` if non-empty, else the
+/// `CSR_CC` environment variable (honored verbatim with no fallback, so
+/// tests can inject a bogus compiler), else the C++ compiler that built this
+/// library (driving it in C mode via `-x c`), else `cc`.
+
+#include <cstdint>
+#include <string>
+
+namespace csr::native {
+
+struct CompileOptions {
+  /// C compiler driver; empty = auto-detect (see file comment).
+  std::string compiler;
+  /// Codegen flags; part of the cache key. `-x c` keeps a C++ driver usable.
+  std::string flags = "-O2 -fPIC -shared -w -x c -std=c11";
+  /// Cache directory; empty = $CSR_NATIVE_CACHE_DIR, else
+  /// <system temp dir>/csr-native-cache.
+  std::string cache_dir;
+};
+
+struct CompileResult {
+  bool ok = false;
+  bool cache_hit = false;
+  std::string shared_object;  ///< path of the compiled .so when ok
+  std::string diagnostic;     ///< toolchain output / failure reason when !ok
+};
+
+/// Compiles `c_source` into a shared object (cache-aware, thread- and
+/// process-safe, never throws — see the file comment).
+[[nodiscard]] CompileResult compile_shared_object(const std::string& c_source,
+                                                  const CompileOptions& options = {});
+
+/// The compiler auto-detection result used when `options.compiler` is empty.
+[[nodiscard]] std::string default_compiler();
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t failures = 0;
+};
+
+/// Process-wide compile-cache counters (benches and tests).
+[[nodiscard]] CacheStats compile_cache_stats();
+
+/// True when the current compiler selection can compile and dlopen a trivial
+/// kernel. Probed once per distinct compiler string, so it is cheap to call
+/// before every native test; respects CSR_CC changes between calls.
+[[nodiscard]] bool native_available();
+
+}  // namespace csr::native

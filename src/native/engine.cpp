@@ -1,0 +1,197 @@
+#include "native/engine.hpp"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+#include "codegen/c_emitter.hpp"
+#include "vm/machine.hpp"
+
+namespace csr::native {
+
+/// Fills a NativeResult from a kernel module's descriptor table (friend of
+/// NativeResult, so the snapshot stays out of the public API).
+struct NativeResultBuilder;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The function symbol every exact-mode kernel exports.
+constexpr const char* kKernelSymbol = "csr_kernel";
+constexpr std::int32_t kAbiVersion = 1;
+
+/// One loaded shared object: the kernel entry point plus the emitter's
+/// `csr_*` descriptor table. Buffers are static inside the object, so runs
+/// hold `run_mutex`.
+struct KernelModule {
+  std::mutex run_mutex;
+  void (*kernel)() = nullptr;
+  std::int32_t array_count = 0;
+  const char* const* names = nullptr;
+  const std::int64_t* base = nullptr;
+  const std::int64_t* extent = nullptr;
+  std::uint64_t* const* values = nullptr;
+  std::uint32_t* const* counts = nullptr;
+  std::int64_t* executed = nullptr;
+  std::int64_t* disabled = nullptr;
+};
+
+/// Modules are content-addressed (one per .so path) and stay loaded for the
+/// life of the process; reloading would only repeat dlopen work.
+std::map<std::string, std::unique_ptr<KernelModule>>& module_registry() {
+  static auto* registry = new std::map<std::string, std::unique_ptr<KernelModule>>();
+  return *registry;
+}
+
+KernelModule* load_module(const std::string& so_path, std::string& diagnostic) {
+  static std::mutex registry_mutex;
+  const std::lock_guard<std::mutex> lock(registry_mutex);
+  auto& registry = module_registry();
+  const auto it = registry.find(so_path);
+  if (it != registry.end()) return it->second.get();
+
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = ::dlerror();
+    diagnostic = "dlopen failed: " + std::string(err != nullptr ? err : "?");
+    return nullptr;
+  }
+  auto module = std::make_unique<KernelModule>();
+  bool ok = true;
+  const auto resolve = [&](const char* name) -> void* {
+    void* sym = ::dlsym(handle, name);
+    if (sym == nullptr) {
+      if (!diagnostic.empty()) diagnostic += "; ";
+      diagnostic += "missing kernel symbol '" + std::string(name) + "'";
+      ok = false;
+    }
+    return sym;
+  };
+  const auto* abi = static_cast<const std::int32_t*>(resolve("csr_abi_version"));
+  module->kernel = reinterpret_cast<void (*)()>(resolve(kKernelSymbol));
+  const auto* count = static_cast<const std::int32_t*>(resolve("csr_array_count"));
+  module->names = static_cast<const char* const*>(resolve("csr_array_names"));
+  module->base = static_cast<const std::int64_t*>(resolve("csr_array_base"));
+  module->extent = static_cast<const std::int64_t*>(resolve("csr_array_extent"));
+  module->values = static_cast<std::uint64_t* const*>(resolve("csr_array_values"));
+  module->counts = static_cast<std::uint32_t* const*>(resolve("csr_array_counts"));
+  module->executed = static_cast<std::int64_t*>(resolve("csr_executed"));
+  module->disabled = static_cast<std::int64_t*>(resolve("csr_disabled"));
+  if (ok && *abi != kAbiVersion) {
+    diagnostic = "kernel ABI version " + std::to_string(*abi) + ", host expects " +
+                 std::to_string(kAbiVersion);
+    ok = false;
+  }
+  if (!ok) {
+    ::dlclose(handle);
+    return nullptr;
+  }
+  module->array_count = *count;
+  return registry.emplace(so_path, std::move(module)).first->second.get();
+}
+
+/// Zeroes the kernel's static state so it runs from a fresh machine.
+void reset_module(KernelModule& module) {
+  for (std::int32_t a = 0; a < module.array_count; ++a) {
+    const auto cells = static_cast<std::size_t>(module.extent[a]);
+    std::memset(module.values[a], 0, cells * sizeof(std::uint64_t));
+    std::memset(module.counts[a], 0, cells * sizeof(std::uint32_t));
+  }
+  *module.executed = 0;
+  *module.disabled = 0;
+}
+
+}  // namespace
+
+struct NativeResultBuilder {
+  static void snapshot(const KernelModule& module, NativeResult& result) {
+    for (std::int32_t a = 0; a < module.array_count; ++a) {
+      NativeResult::ArrayState state;
+      state.base = module.base[a];
+      const auto cells = static_cast<std::size_t>(module.extent[a]);
+      state.values.assign(module.values[a], module.values[a] + cells);
+      state.counts.assign(module.counts[a], module.counts[a] + cells);
+      state.writes = std::accumulate(state.counts.begin(), state.counts.end(),
+                                     std::int64_t{0});
+      result.arrays_.emplace(module.names[a], std::move(state));
+    }
+    result.executed_ = *module.executed;
+    result.disabled_ = *module.disabled;
+  }
+};
+
+std::uint64_t NativeResult::read(const std::string& array, std::int64_t index) const {
+  const auto it = arrays_.find(array);
+  if (it != arrays_.end()) {
+    const ArrayState& state = it->second;
+    if (index >= state.base &&
+        index < state.base + static_cast<std::int64_t>(state.values.size())) {
+      const auto slot = static_cast<std::size_t>(index - state.base);
+      if (state.counts[slot] != 0) return state.values[slot];
+    }
+  }
+  return boundary_value(array, index);
+}
+
+int NativeResult::write_count(const std::string& array, std::int64_t index) const {
+  const auto it = arrays_.find(array);
+  if (it == arrays_.end()) return 0;
+  const ArrayState& state = it->second;
+  if (index < state.base ||
+      index >= state.base + static_cast<std::int64_t>(state.counts.size())) {
+    return 0;
+  }
+  return static_cast<int>(state.counts[static_cast<std::size_t>(index - state.base)]);
+}
+
+std::int64_t NativeResult::total_writes(const std::string& array) const {
+  const auto it = arrays_.find(array);
+  return it == arrays_.end() ? 0 : it->second.writes;
+}
+
+NativeOutcome run_native(const LoopProgram& program, const CompileOptions& options) {
+  NativeOutcome outcome;
+
+  const auto compile_start = Clock::now();
+  CEmitterOptions emitter;
+  emitter.semantics = CEmitterOptions::Semantics::kExact;
+  emitter.function_name = kKernelSymbol;
+  const std::string source = to_c_source(program, emitter);  // throws if invalid
+
+  const CompileResult compiled = compile_shared_object(source, options);
+  outcome.cache_hit = compiled.cache_hit;
+  outcome.compile_seconds = seconds_since(compile_start);
+  if (!compiled.ok) {
+    outcome.status = NativeStatus::kCompileFailed;
+    outcome.diagnostic = compiled.diagnostic;
+    return outcome;
+  }
+
+  std::string diagnostic;
+  KernelModule* module = load_module(compiled.shared_object, diagnostic);
+  if (module == nullptr) {
+    outcome.status = NativeStatus::kLoadFailed;
+    outcome.diagnostic = diagnostic;
+    return outcome;
+  }
+
+  const std::lock_guard<std::mutex> lock(module->run_mutex);
+  const auto run_start = Clock::now();
+  reset_module(*module);
+  module->kernel();
+  outcome.run_seconds = seconds_since(run_start);
+  NativeResultBuilder::snapshot(*module, outcome.result);
+  outcome.status = NativeStatus::kOk;
+  return outcome;
+}
+
+}  // namespace csr::native

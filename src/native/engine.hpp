@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file engine.hpp
+/// The native execution engine — the third engine of the differential
+/// harness, beside the VM's ExecMode::kFast and ExecMode::kReference
+/// interpreters. A loop program is emitted as exact-semantics C
+/// (CEmitterOptions::Semantics::kExact), compiled by the host toolchain into
+/// a shared object (content-hash cached, compile.hpp), dlopened, executed,
+/// and its final array state read back through the `csr_*` descriptor table
+/// the emitter exports. The result answers the same queries as Machine and
+/// implements StateView, so all three engines cross-diff array-by-array with
+/// the vm/equivalence helpers.
+///
+/// Thread safety: compiled modules stay loaded for the life of the process
+/// and are shared; because a kernel's buffers are static, concurrent runs of
+/// the *same* kernel serialize on a per-module mutex (distinct programs run
+/// fully in parallel — each has its own translation unit). Toolchain
+/// unavailability is a reported outcome, never an abort, so a sweep over
+/// `engine=native` degrades to skipped cells on hosts without a compiler.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loopir/program.hpp"
+#include "native/compile.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr::native {
+
+/// Final array state read back from one native kernel run; mirrors the
+/// Machine query API and plugs into diff_observable_state /
+/// check_write_discipline via StateView.
+class NativeResult final : public StateView {
+ public:
+  /// Value of `array[index]`; the VM's boundary value when never written.
+  [[nodiscard]] std::uint64_t read(const std::string& array,
+                                   std::int64_t index) const override;
+  [[nodiscard]] int write_count(const std::string& array,
+                                std::int64_t index) const override;
+  [[nodiscard]] std::int64_t total_writes(const std::string& array) const override;
+  /// Statement-execution counters, same contract as Machine's.
+  [[nodiscard]] std::int64_t executed_statements() const { return executed_; }
+  [[nodiscard]] std::int64_t disabled_statements() const { return disabled_; }
+
+ private:
+  friend struct NativeResultBuilder;  // engine.cpp's snapshot writer
+
+  struct ArrayState {
+    std::int64_t base = 0;
+    std::int64_t writes = 0;
+    std::vector<std::uint64_t> values;
+    std::vector<std::uint32_t> counts;
+  };
+  std::map<std::string, ArrayState> arrays_;
+  std::int64_t executed_ = 0;
+  std::int64_t disabled_ = 0;
+};
+
+enum class NativeStatus {
+  kOk,
+  kCompileFailed,  ///< missing/broken host compiler — callers should skip
+  kLoadFailed,     ///< dlopen/dlsym failure or kernel ABI mismatch
+};
+
+struct NativeOutcome {
+  NativeStatus status = NativeStatus::kCompileFailed;
+  bool cache_hit = false;      ///< the shared object came from the cache
+  std::string diagnostic;      ///< why status != kOk
+  double compile_seconds = 0;  ///< emit + compile (or cache lookup) time
+  double run_seconds = 0;      ///< buffer reset + kernel execution time
+  NativeResult result;         ///< valid only when status == kOk
+
+  [[nodiscard]] bool ok() const { return status == NativeStatus::kOk; }
+};
+
+/// Emits, compiles (cached) and runs `program` natively. Never throws for
+/// toolchain problems — inspect `status`/`diagnostic`; throws InvalidArgument
+/// only when the program fails validation (same contract as Machine::run).
+[[nodiscard]] NativeOutcome run_native(const LoopProgram& program,
+                                       const CompileOptions& options = {});
+
+}  // namespace csr::native

@@ -6,8 +6,8 @@
 
 namespace csr {
 
-std::vector<std::string> diff_observable_state(const Machine& expected,
-                                               const Machine& actual,
+std::vector<std::string> diff_observable_state(const StateView& expected,
+                                               const StateView& actual,
                                                const std::vector<std::string>& arrays,
                                                std::int64_t n) {
   std::vector<std::string> diffs;
@@ -26,21 +26,28 @@ std::vector<std::string> diff_observable_state(const Machine& expected,
   return diffs;
 }
 
-std::vector<std::string> check_write_discipline(const Machine& machine,
+std::vector<std::string> diff_observable_state(const Machine& expected,
+                                               const Machine& actual,
+                                               const std::vector<std::string>& arrays,
+                                               std::int64_t n) {
+  return diff_observable_state(MachineView(expected), MachineView(actual), arrays, n);
+}
+
+std::vector<std::string> check_write_discipline(const StateView& state,
                                                 const std::vector<std::string>& arrays,
                                                 std::int64_t n) {
   std::vector<std::string> problems;
   for (const std::string& array : arrays) {
     std::int64_t in_range = 0;
     for (std::int64_t i = 1; i <= n; ++i) {
-      const int count = machine.write_count(array, i);
+      const int count = state.write_count(array, i);
       if (count > 1) {
         problems.push_back(array + "[" + std::to_string(i) + "] written " +
                            std::to_string(count) + " times");
       }
       if (count >= 1) in_range += count;
     }
-    const std::int64_t total = machine.total_writes(array);
+    const std::int64_t total = state.total_writes(array);
     if (total != in_range) {
       problems.push_back(array + ": " + std::to_string(total - in_range) +
                          " writes outside 1.." + std::to_string(n));
@@ -51,6 +58,12 @@ std::vector<std::string> check_write_discipline(const Machine& machine,
     }
   }
   return problems;
+}
+
+std::vector<std::string> check_write_discipline(const Machine& machine,
+                                                const std::vector<std::string>& arrays,
+                                                std::int64_t n) {
+  return check_write_discipline(MachineView(machine), arrays, n);
 }
 
 std::vector<std::string> compare_programs(const LoopProgram& expected,

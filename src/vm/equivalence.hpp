@@ -9,6 +9,14 @@
 /// additionally checks the execution-count discipline (each array written
 /// exactly once per index, exactly n writes per array — no duplicated or
 /// missing node copies).
+///
+/// The diff and discipline checks are written against the StateView
+/// interface rather than the Machine class, so *any* execution engine that
+/// can answer "what is array[index] and how often was it written" plugs into
+/// the same differential harness — the map-backed reference interpreter and
+/// the fast VM (both via Machine), and the dlopen-based native engine
+/// (src/native/engine.hpp). See docs/ENGINES.md for the three-engine
+/// differential-testing contract.
 
 #include <string>
 #include <vector>
@@ -18,17 +26,59 @@
 
 namespace csr {
 
-/// Differences between two executed machines over `arrays` at indices 1..n.
+/// The observable state of one executed loop program, whatever engine ran
+/// it: per-cell values (with the engine's boundary-value fallback for
+/// never-written cells), per-cell write counts, and per-array write totals.
+class StateView {
+ public:
+  virtual ~StateView() = default;
+  [[nodiscard]] virtual std::uint64_t read(const std::string& array,
+                                           std::int64_t index) const = 0;
+  [[nodiscard]] virtual int write_count(const std::string& array,
+                                        std::int64_t index) const = 0;
+  [[nodiscard]] virtual std::int64_t total_writes(const std::string& array) const = 0;
+};
+
+/// StateView over an executed Machine (either ExecMode).
+class MachineView final : public StateView {
+ public:
+  explicit MachineView(const Machine& machine) : machine_(&machine) {}
+  [[nodiscard]] std::uint64_t read(const std::string& array,
+                                   std::int64_t index) const override {
+    return machine_->read(array, index);
+  }
+  [[nodiscard]] int write_count(const std::string& array,
+                                std::int64_t index) const override {
+    return machine_->write_count(array, index);
+  }
+  [[nodiscard]] std::int64_t total_writes(const std::string& array) const override {
+    return machine_->total_writes(array);
+  }
+
+ private:
+  const Machine* machine_;
+};
+
+/// Differences between two executed engines over `arrays` at indices 1..n.
 /// Empty means observably equivalent. Each entry is human-readable
 /// ("A[7]: 0x... vs 0x...").
+[[nodiscard]] std::vector<std::string> diff_observable_state(
+    const StateView& expected, const StateView& actual,
+    const std::vector<std::string>& arrays, std::int64_t n);
+
+/// Machine convenience overload.
 [[nodiscard]] std::vector<std::string> diff_observable_state(
     const Machine& expected, const Machine& actual,
     const std::vector<std::string>& arrays, std::int64_t n);
 
-/// Write-discipline problems of an executed machine: any index of a listed
+/// Write-discipline problems of an executed engine: any index of a listed
 /// array written more than once, writes outside 1..n, or a total write count
 /// different from n. Empty means the program executed each node exactly once
 /// per original iteration — the paper's correctness requirement.
+[[nodiscard]] std::vector<std::string> check_write_discipline(
+    const StateView& state, const std::vector<std::string>& arrays, std::int64_t n);
+
+/// Machine convenience overload.
 [[nodiscard]] std::vector<std::string> check_write_discipline(
     const Machine& machine, const std::vector<std::string>& arrays, std::int64_t n);
 

@@ -4,6 +4,11 @@
 // leave exactly the same observable array state as the original loop, and
 // must write every array index 1..n exactly once. Parameterized over all
 // benchmark graphs, several trip counts and unfolding factors.
+//
+// The second half is the three-way differential harness (docs/ENGINES.md):
+// for each paper benchmark and codegen variant, the map-backed reference
+// interpreter, the VM fast path and the native compiled kernel must agree
+// on the final array state cell by cell.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +19,8 @@
 #include "codegen/statements.hpp"
 #include "codegen/unfolded.hpp"
 #include "codegen/unfolded_retimed.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
 #include "retiming/opt.hpp"
 #include "unfolding/unfold.hpp"
 #include "vm/equivalence.hpp"
@@ -153,6 +160,113 @@ TEST_P(EquivalenceTest, DeeperThanMinimalRetimingStillMatches) {
 
 INSTANTIATE_TEST_SUITE_P(AllGraphs, EquivalenceTest, ::testing::ValuesIn(make_cases()),
                          case_name);
+
+// ---------------------------------------------------------------------------
+// Three-way differential: map reference vs VM fast path vs native kernel.
+// One fixed (n, f) per benchmark keeps the compile set small (the shared
+// objects are content-cached across test runs); variant coverage is what
+// matters — every codegen path the sweep driver can emit.
+
+std::string benchmark_case_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+std::vector<std::string> table_benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& info : benchmarks::table_benchmarks()) names.push_back(info.name);
+  return names;
+}
+
+class ThreeWayDifferentialTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+    const auto& graphs = benchmarks::all_graphs();
+    const auto it = std::find_if(graphs.begin(), graphs.end(), [&](const auto& b) {
+      return b.name == GetParam();
+    });
+    ASSERT_NE(it, graphs.end());
+    graph_ = it->factory();
+    arrays_ = array_names(graph_);
+  }
+
+  /// The three engines run `p` independently; every pair must agree, and
+  /// every engine must satisfy the write discipline.
+  void expect_three_way_agreement(const LoopProgram& p, const char* label) {
+    const Machine reference = run_program(p, ExecMode::kReference);
+    const Machine vm = run_program(p, ExecMode::kFast);
+    const native::NativeOutcome out = native::run_native(p);
+    ASSERT_TRUE(out.ok()) << label << ": " << out.diagnostic;
+
+    const MachineView ref_view(reference);
+    const MachineView vm_view(vm);
+    const auto ref_vs_vm = diff_observable_state(ref_view, vm_view, arrays_, n_);
+    EXPECT_TRUE(ref_vs_vm.empty())
+        << label << " map-vs-vm: " << (ref_vs_vm.empty() ? "" : ref_vs_vm.front());
+    const auto vm_vs_native = diff_observable_state(vm_view, out.result, arrays_, n_);
+    EXPECT_TRUE(vm_vs_native.empty())
+        << label
+        << " vm-vs-native: " << (vm_vs_native.empty() ? "" : vm_vs_native.front());
+    const auto ref_vs_native =
+        diff_observable_state(ref_view, out.result, arrays_, n_);
+    EXPECT_TRUE(ref_vs_native.empty())
+        << label
+        << " map-vs-native: " << (ref_vs_native.empty() ? "" : ref_vs_native.front());
+    EXPECT_TRUE(check_write_discipline(out.result, arrays_, n_).empty()) << label;
+    EXPECT_EQ(out.result.executed_statements(), vm.executed_statements()) << label;
+    EXPECT_EQ(out.result.disabled_statements(), vm.disabled_statements()) << label;
+  }
+
+  DataFlowGraph graph_;
+  std::vector<std::string> arrays_;
+  const std::int64_t n_ = 23;
+  const int factor_ = 3;
+};
+
+TEST_P(ThreeWayDifferentialTest, Original) {
+  expect_three_way_agreement(original_program(graph_, n_), "original");
+}
+
+TEST_P(ThreeWayDifferentialTest, RetimedAndCsr) {
+  const Retiming r = minimum_period_retiming(graph_).retiming;
+  ASSERT_GT(n_, r.max_value());
+  expect_three_way_agreement(retimed_program(graph_, r, n_), "retimed");
+  expect_three_way_agreement(retimed_csr_program(graph_, r, n_), "retimed CSR");
+}
+
+TEST_P(ThreeWayDifferentialTest, UnfoldedAndCsr) {
+  expect_three_way_agreement(unfolded_program(graph_, factor_, n_), "unfolded");
+  expect_three_way_agreement(unfolded_csr_program(graph_, factor_, n_),
+                             "unfolded CSR");
+}
+
+TEST_P(ThreeWayDifferentialTest, RetimedUnfoldedAndCsr) {
+  const Retiming r = minimum_period_retiming(graph_).retiming;
+  ASSERT_GT(n_, r.max_value());
+  expect_three_way_agreement(retimed_unfolded_program(graph_, r, factor_, n_),
+                             "retimed+unfolded");
+  expect_three_way_agreement(retimed_unfolded_csr_program(graph_, r, factor_, n_),
+                             "retimed+unfolded CSR");
+}
+
+TEST_P(ThreeWayDifferentialTest, UnfoldedRetimedCsr) {
+  const Unfolding u(graph_, factor_);
+  const OptimalRetiming opt = minimum_period_retiming(u.graph());
+  if (n_ / factor_ <= opt.retiming.max_value()) {
+    GTEST_SKIP() << "trip count too small for this pipeline depth";
+  }
+  expect_three_way_agreement(unfolded_retimed_csr_program(u, opt.retiming, n_),
+                             "unfolded+retimed CSR");
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, ThreeWayDifferentialTest,
+                         ::testing::ValuesIn(table_benchmark_names()),
+                         benchmark_case_name);
 
 }  // namespace
 }  // namespace csr

@@ -1,17 +1,51 @@
-// Deterministic robustness smoke tests: the text parsers must reject or
-// accept mutated inputs without crashing, and library entry points must
-// fail cleanly (typed exceptions) on hostile inputs.
+// Seeded corpus-driven fuzzing of the text parsers and the full transform
+// pipeline: mutated inputs must be rejected with typed exceptions (never a
+// crash), whatever parses must be structurally coherent, and random DFGs
+// must survive the whole codegen + VM path.
+//
+// Reproducing a failure: every trial runs under a SCOPED_TRACE naming its
+// corpus seed and trial index, so a gtest failure message pins the exact
+// (seed, trial) pair — rerun with the same binary and the failure is
+// deterministic. Effort scales with the CSR_FUZZ_ITERS environment variable
+// (iterations per corpus seed; default 100 keeps the suite fast, CI's
+// sanitizer job raises it).
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "benchmarks/benchmarks.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "codegen/unfolded.hpp"
 #include "dfg/io.hpp"
+#include "dfg/random.hpp"
 #include "loopir/serialize.hpp"
+#include "retiming/opt.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "vm/equivalence.hpp"
 
 namespace csr {
 namespace {
+
+/// The in-repo fuzz corpus: every run of the suite starts from exactly these
+/// seeds, so results are reproducible across machines and CI runs. Seeds
+/// that once exposed a bug should be appended here as permanent regressions.
+constexpr std::uint64_t kSeedCorpus[] = {
+    0xF00DF00Dull, 0xBADC0DEull,  0x5EED0001ull, 0x5EED0002ull,
+    0x5EED0003ull, 0xDEADBEEFull, 0xC0FFEEull,   0x123456789ABCDEFull,
+};
+
+/// Iterations per corpus seed; override with CSR_FUZZ_ITERS=<count>.
+int iterations_per_seed() {
+  if (const char* env = std::getenv("CSR_FUZZ_ITERS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 100;
+}
 
 std::string mutate(const std::string& base, SplitMix64& rng) {
   std::string text = base;
@@ -37,11 +71,26 @@ std::string mutate(const std::string& base, SplitMix64& rng) {
   return text;
 }
 
+/// Runs `body(rng, trial)` for every (corpus seed, trial) pair, each under a
+/// SCOPED_TRACE that makes failures reproducible from the message alone.
+template <typename Body>
+void for_each_corpus_trial(Body body) {
+  const int iters = iterations_per_seed();
+  for (const std::uint64_t seed : kSeedCorpus) {
+    SplitMix64 rng(seed);
+    for (int trial = 0; trial < iters; ++trial) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed 0x" << std::hex << seed << std::dec << " trial "
+                   << trial << " (rerun: CSR_FUZZ_ITERS=" << iters << ")");
+      body(rng, trial);
+    }
+  }
+}
+
 TEST(FuzzSmoke, DfgParserNeverCrashes) {
   const std::string base = to_text(benchmarks::elliptic_filter());
-  SplitMix64 rng(0xF00DF00D);
   int accepted = 0;
-  for (int trial = 0; trial < 500; ++trial) {
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
     const std::string text = mutate(base, rng);
     try {
       const DataFlowGraph g = parse_text(text);
@@ -54,7 +103,7 @@ TEST(FuzzSmoke, DfgParserNeverCrashes) {
     } catch (const Error&) {
       // ParseError / InvalidArgument are the expected rejections.
     }
-  }
+  });
   // Some mutations must survive (comments/whitespace edits), otherwise the
   // mutator is too destructive to exercise the accept path.
   EXPECT_GT(accepted, 0);
@@ -69,8 +118,7 @@ TEST(FuzzSmoke, ProgramParserNeverCrashes) {
       "segment 1 9 3\n"
       "stmt A 1 + guard p1 src B -2 src C 0\n"
       "dec p1 1\n";
-  SplitMix64 rng(0xBADC0DE);
-  for (int trial = 0; trial < 500; ++trial) {
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
     const std::string text = mutate(base, rng);
     try {
       const LoopProgram p = parse_program_text(text);
@@ -78,15 +126,52 @@ TEST(FuzzSmoke, ProgramParserNeverCrashes) {
       (void)p.validate();
     } catch (const Error&) {
     }
-  }
+  });
 }
 
 TEST(FuzzSmoke, TruncatedInputsRejectCleanly) {
   const std::string base = to_text(benchmarks::iir_filter());
   for (std::size_t len = 0; len < base.size(); len += 7) {
+    SCOPED_TRACE(::testing::Message() << "prefix length " << len);
     try {
       (void)parse_text(base.substr(0, len));
     } catch (const Error&) {
+    }
+  }
+}
+
+TEST(FuzzSmoke, PipelineSurvivesRandomDfgs) {
+  // End-to-end robustness (not just parsers): random graphs through
+  // retiming, codegen and the VM must verify — or reject with a typed
+  // exception — never crash or corrupt state. Fewer iterations than the
+  // parser fuzzers; each trial runs several programs.
+  const int iters = std::max(1, iterations_per_seed() / 10);
+  for (const std::uint64_t seed : kSeedCorpus) {
+    SplitMix64 rng(seed);
+    RandomDfgOptions options;
+    options.max_nodes = 9;
+    for (int trial = 0; trial < iters; ++trial) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed 0x" << std::hex << seed << std::dec << " trial "
+                   << trial << " (rerun: CSR_FUZZ_ITERS=" << iters * 10 << ")");
+      const DataFlowGraph g = random_dfg(rng, options);
+      const std::int64_t n = 7 + trial % 13;
+      try {
+        const Machine reference = run_program(original_program(g, n));
+        const auto arrays = array_names(g);
+        ASSERT_TRUE(check_write_discipline(reference, arrays, n).empty());
+        const OptimalRetiming opt = minimum_period_retiming(g);
+        if (n > opt.retiming.max_value()) {
+          const auto diffs = compare_programs(
+              original_program(g, n), retimed_csr_program(g, opt.retiming, n), arrays);
+          ASSERT_TRUE(diffs.empty()) << diffs[0];
+        }
+        const auto diffs = compare_programs(original_program(g, n),
+                                            unfolded_csr_program(g, 2, n), arrays);
+        ASSERT_TRUE(diffs.empty()) << diffs[0];
+      } catch (const Error&) {
+        // Typed rejection is acceptable; crashing is not.
+      }
     }
   }
 }

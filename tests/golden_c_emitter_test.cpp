@@ -1,0 +1,127 @@
+// Golden-file snapshots of the C emitter: the emitted source for each paper
+// benchmark (original and retimed-CSR forms, numeric semantics) plus one
+// exact-semantics kernel — which pins the native engine's csr_* readback
+// ABI — is compared byte-for-byte against tests/golden/*.c. Any intentional
+// emitter change shows up as a readable diff in the failure message.
+//
+// To update the snapshots after an intentional change, run:
+//
+//     CSR_UPDATE_GOLDEN=1 build/tests/golden_c_emitter_test
+//
+// then review `git diff tests/golden/` before committing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "retiming/opt.hpp"
+
+namespace csr {
+namespace {
+
+// Trip count of every snapshot; small enough to keep the files readable.
+constexpr std::int64_t kGoldenN = 12;
+
+struct GoldenCase {
+  const char* file;  ///< file name under tests/golden/
+  const char* slug;  ///< registry short name of the benchmark
+  DataFlowGraph (*factory)();
+  bool csr;    ///< retimed-CSR form instead of the original loop
+  bool exact;  ///< exact (native-engine) semantics instead of numeric
+};
+
+constexpr GoldenCase kCases[] = {
+    {"iir_original.c", "iir", benchmarks::iir_filter, false, false},
+    {"iir_retimed_csr.c", "iir", benchmarks::iir_filter, true, false},
+    {"diffeq_original.c", "diffeq", benchmarks::differential_equation_solver, false,
+     false},
+    {"diffeq_retimed_csr.c", "diffeq", benchmarks::differential_equation_solver, true,
+     false},
+    {"allpole_original.c", "allpole", benchmarks::allpole_filter, false, false},
+    {"allpole_retimed_csr.c", "allpole", benchmarks::allpole_filter, true, false},
+    {"elliptic_original.c", "elliptic", benchmarks::elliptic_filter, false, false},
+    {"elliptic_retimed_csr.c", "elliptic", benchmarks::elliptic_filter, true, false},
+    {"lattice_original.c", "lattice", benchmarks::lattice_filter, false, false},
+    {"lattice_retimed_csr.c", "lattice", benchmarks::lattice_filter, true, false},
+    {"volterra_original.c", "volterra", benchmarks::volterra_filter, false, false},
+    {"volterra_retimed_csr.c", "volterra", benchmarks::volterra_filter, true, false},
+    // The exact-mode snapshot pins the native engine's ABI: csr_mix hashing,
+    // buffer layout macros and the csr_* descriptor table (docs/ENGINES.md).
+    {"iir_retimed_csr_exact.c", "iir", benchmarks::iir_filter, true, true},
+};
+
+std::string render(const GoldenCase& c) {
+  const DataFlowGraph g = c.factory();
+  LoopProgram program;
+  if (c.csr) {
+    program = retimed_csr_program(g, minimum_period_retiming(g).retiming, kGoldenN);
+  } else {
+    program = original_program(g, kGoldenN);
+  }
+  CEmitterOptions options;
+  options.function_name = c.exact ? "csr_kernel" : std::string(c.slug) + "_kernel";
+  if (c.exact) options.semantics = CEmitterOptions::Semantics::kExact;
+  return to_c_source(program, options);
+}
+
+std::filesystem::path golden_path(const GoldenCase& c) {
+  return std::filesystem::path(CSR_GOLDEN_DIR) / c.file;
+}
+
+bool update_mode() {
+  const char* flag = std::getenv("CSR_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+std::string golden_case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.file;
+  name.resize(name.size() - 2);  // drop ".c"
+  return name;
+}
+
+class GoldenCEmitterTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenCEmitterTest, MatchesSnapshot) {
+  const GoldenCase& c = GetParam();
+  const std::string actual = render(c);
+  const std::filesystem::path path = golden_path(c);
+
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path << " missing — regenerate with CSR_UPDATE_GOLDEN=1 "
+                  << "build/tests/golden_c_emitter_test";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "emitted C drifted from " << path << "\nIf the change is intentional: "
+      << "CSR_UPDATE_GOLDEN=1 build/tests/golden_c_emitter_test, then review "
+      << "`git diff tests/golden/`.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Snapshots, GoldenCEmitterTest, ::testing::ValuesIn(kCases),
+                         golden_case_name);
+
+// The snapshots themselves must be deterministic: emitting twice from
+// scratch yields byte-identical source (no iteration-order or address
+// leakage in the emitter).
+TEST(GoldenCEmitter, EmissionIsDeterministic) {
+  for (const GoldenCase& c : kCases) {
+    EXPECT_EQ(render(c), render(c)) << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace csr

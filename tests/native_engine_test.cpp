@@ -1,0 +1,222 @@
+// The native compiled-kernel engine (src/native/): exact-semantics C from
+// the emitter, compiled by the host toolchain behind a content-hash cache,
+// dlopened and cross-diffed against the VM through the StateView interface.
+// Includes the regression tests for graceful degradation when the host
+// compiler is missing or broken (bogus-compiler injection via both
+// CompileOptions::compiler and the CSR_CC environment variable).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "driver/sweep.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
+#include "retiming/opt.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+/// Restores (or clears) an environment variable on scope exit so CSR_CC
+/// injection cannot leak into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+LoopProgram csr_program(const DataFlowGraph& g, std::int64_t n) {
+  return retimed_csr_program(g, minimum_period_retiming(g).retiming, n);
+}
+
+TEST(NativeCompile, HostCompilerIsDetected) {
+  // The C++ compiler that built this test is baked in as the fallback
+  // driver, so a build machine is always able to run the native engine.
+  EXPECT_FALSE(native::default_compiler().empty());
+  EXPECT_TRUE(native::native_available());
+}
+
+TEST(NativeCompile, SecondCompileIsACacheHit) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  CEmitterOptions emit;
+  emit.function_name = "csr_kernel";
+  emit.semantics = CEmitterOptions::Semantics::kExact;
+  const std::string source =
+      to_c_source(csr_program(benchmarks::iir_filter(), 23), emit);
+
+  const native::CompileResult first = native::compile_shared_object(source);
+  ASSERT_TRUE(first.ok) << first.diagnostic;
+  const auto before = native::compile_cache_stats();
+  const native::CompileResult second = native::compile_shared_object(source);
+  const auto after = native::compile_cache_stats();
+  ASSERT_TRUE(second.ok) << second.diagnostic;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.shared_object, first.shared_object);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(NativeCompile, DistinctFlagsMissTheCache) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  CEmitterOptions emit;
+  emit.function_name = "csr_kernel";
+  emit.semantics = CEmitterOptions::Semantics::kExact;
+  const std::string source =
+      to_c_source(csr_program(benchmarks::iir_filter(), 23), emit);
+  native::CompileOptions o0;  // cached by SecondCompileIsACacheHit
+  const native::CompileResult plain = native::compile_shared_object(source, o0);
+  ASSERT_TRUE(plain.ok);
+  native::CompileOptions o1;
+  o1.flags += " -O1";
+  const native::CompileResult tuned = native::compile_shared_object(source, o1);
+  ASSERT_TRUE(tuned.ok) << tuned.diagnostic;
+  EXPECT_NE(tuned.shared_object, plain.shared_object);
+}
+
+TEST(NativeCompile, BogusCompilerOptionFailsGracefully) {
+  native::CompileOptions options;
+  options.compiler = "/nonexistent/csr-test-cc";
+  const native::CompileResult r = native::compile_shared_object("int x;", options);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_TRUE(r.shared_object.empty());
+  EXPECT_NE(r.diagnostic.find("/nonexistent/csr-test-cc"), std::string::npos)
+      << r.diagnostic;
+  // Failures must never be cached: a retry re-runs the compiler.
+  const auto before = native::compile_cache_stats();
+  EXPECT_FALSE(native::compile_shared_object("int x;", options).ok);
+  EXPECT_EQ(native::compile_cache_stats().failures, before.failures + 1);
+}
+
+TEST(NativeCompile, BogusCompilerEnvDisablesAvailability) {
+  // CSR_CC is honored verbatim with no fallback, so a bogus value must turn
+  // native_available() off — and back on once the variable is gone.
+  {
+    ScopedEnv env("CSR_CC", "/nonexistent/csr-test-cc");
+    EXPECT_FALSE(native::native_available());
+    EXPECT_EQ(native::default_compiler(), "/nonexistent/csr-test-cc");
+  }
+  EXPECT_TRUE(native::native_available());
+}
+
+TEST(NativeEngine, RunFailsGracefullyWithBogusCompiler) {
+  native::CompileOptions options;
+  options.compiler = "/nonexistent/csr-test-cc";
+  const native::NativeOutcome out =
+      native::run_native(csr_program(benchmarks::iir_filter(), 17), options);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status, native::NativeStatus::kCompileFailed);
+  EXPECT_FALSE(out.diagnostic.empty());
+}
+
+TEST(NativeEngine, MatchesVmOnRetimedCsr) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  const DataFlowGraph g = benchmarks::iir_filter();
+  const std::int64_t n = 29;
+  const LoopProgram p = csr_program(g, n);
+  const native::NativeOutcome out = native::run_native(p);
+  ASSERT_TRUE(out.ok()) << out.diagnostic;
+
+  const Machine vm = run_program(p);
+  const auto arrays = array_names(g);
+  EXPECT_TRUE(diff_observable_state(MachineView(vm), out.result, arrays, n).empty());
+  EXPECT_TRUE(check_write_discipline(out.result, arrays, n).empty());
+  EXPECT_EQ(out.result.executed_statements(), vm.executed_statements());
+  EXPECT_EQ(out.result.disabled_statements(), vm.disabled_statements());
+}
+
+TEST(NativeEngine, ResultAnswersTheSameQueriesAsMachine) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  const DataFlowGraph g = benchmarks::differential_equation_solver();
+  const std::int64_t n = 11;
+  const LoopProgram p = original_program(g, n);
+  const native::NativeOutcome out = native::run_native(p);
+  ASSERT_TRUE(out.ok()) << out.diagnostic;
+  const Machine vm = run_program(p);
+
+  for (const std::string& array : array_names(g)) {
+    EXPECT_EQ(out.result.total_writes(array), vm.total_writes(array)) << array;
+    // Cell-by-cell past both ends: unwritten cells must fall back to the
+    // VM's boundary values, written cells to identical hashes and counts.
+    for (std::int64_t i = -3; i <= n + 3; ++i) {
+      EXPECT_EQ(out.result.read(array, i), vm.read(array, i)) << array << '[' << i << ']';
+      EXPECT_EQ(out.result.write_count(array, i), vm.write_count(array, i))
+          << array << '[' << i << ']';
+    }
+  }
+  // An array the program never mentions reads as all-boundary, zero writes.
+  EXPECT_EQ(out.result.total_writes("no_such_array"), 0);
+  EXPECT_EQ(out.result.write_count("no_such_array", 1), 0);
+}
+
+TEST(NativeEngine, SecondRunOfSameProgramHitsTheCache) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  const LoopProgram p = csr_program(benchmarks::allpole_filter(), 19);
+  ASSERT_TRUE(native::run_native(p).ok());
+  const native::NativeOutcome again = native::run_native(p);
+  ASSERT_TRUE(again.ok()) << again.diagnostic;
+  EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(NativeDriver, NativeIsAFirstClassGridAxis) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  driver::SweepGrid grid;
+  grid.benchmarks = {"IIR Filter"};
+  grid.trip_counts = {23};
+  grid.exec_engines = {driver::ExecEngine::kVm, driver::ExecEngine::kNative};
+  grid.transforms = {driver::Transform::kOriginal, driver::Transform::kRetimedCsr};
+  grid.factors = {};
+  driver::SweepOptions options;
+  options.threads = 2;
+  const auto results = driver::run_sweep(grid, options);
+  ASSERT_EQ(results.size(), 4u);  // 2 transforms x 2 execution engines
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.feasible) << r.error;
+    EXPECT_FALSE(r.skipped) << r.skip_reason;
+    EXPECT_TRUE(r.verified) << to_string(r.cell.exec) << ' '
+                            << to_string(r.cell.transform);
+    EXPECT_TRUE(r.discipline_ok);
+    EXPECT_GT(r.exec_statements, 0);
+  }
+}
+
+TEST(NativeDriver, MissingCompilerMarksCellsSkippedNotFailed) {
+  ScopedEnv env("CSR_CC", "/nonexistent/csr-test-cc");
+  driver::SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.exec = driver::ExecEngine::kNative;
+  cell.transform = driver::Transform::kRetimedCsr;
+  cell.n = 23;
+  const driver::SweepResult r = driver::evaluate_cell(cell, driver::SweepOptions{});
+  EXPECT_TRUE(r.feasible) << r.error;  // the cell itself is fine
+  EXPECT_TRUE(r.skipped);
+  EXPECT_NE(r.skip_reason.find("/nonexistent/csr-test-cc"), std::string::npos)
+      << r.skip_reason;
+  EXPECT_FALSE(r.verified);  // skipped cells never claim verification
+  EXPECT_GT(r.code_size, 0);  // generation and accounting still happened
+}
+
+}  // namespace
+}  // namespace csr

@@ -14,6 +14,8 @@
 #include "dfg/algorithms.hpp"
 #include "dfg/iteration_bound.hpp"
 #include "dfg/random.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
 #include "retiming/opt.hpp"
 #include "unfolding/unfold.hpp"
 #include "vm/equivalence.hpp"
@@ -75,6 +77,45 @@ TEST_P(RandomPipelineTest, EndToEnd) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineTest,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 1234ull,
                                            0xDEADBEEFull, 0xC0FFEEull));
+
+TEST(RandomPipeline, ThreeEnginesAgreeOnRandomDfgs) {
+  // The differential property on arbitrary (not hand-picked) programs: for
+  // random legal DFGs, the map reference interpreter, the VM fast path and
+  // the native compiled kernel must leave identical observable state on the
+  // original and retimed-CSR forms. Few trials — every random program is a
+  // fresh kernel, so each one costs a real host-compiler invocation.
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  SplitMix64 rng(0x3E3E3E3Eull);
+  RandomDfgOptions options;
+  options.max_nodes = 8;
+  const std::int64_t n = 13;
+  for (int trial = 0; trial < 4; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const auto arrays = array_names(g);
+    const OptimalRetiming opt = minimum_period_retiming(g);
+
+    std::vector<LoopProgram> programs;
+    programs.push_back(original_program(g, n));
+    if (n > opt.retiming.max_value()) {
+      programs.push_back(retimed_csr_program(g, opt.retiming, n));
+    }
+    for (const LoopProgram& p : programs) {
+      const Machine reference = run_program(p, ExecMode::kReference);
+      const Machine vm = run_program(p, ExecMode::kFast);
+      const native::NativeOutcome out = native::run_native(p);
+      ASSERT_TRUE(out.ok()) << "trial " << trial << ": " << out.diagnostic;
+
+      const MachineView ref_view(reference);
+      const MachineView vm_view(vm);
+      const auto a = diff_observable_state(ref_view, vm_view, arrays, n);
+      ASSERT_TRUE(a.empty()) << "map-vs-vm trial " << trial << ": " << a[0];
+      const auto b = diff_observable_state(vm_view, out.result, arrays, n);
+      ASSERT_TRUE(b.empty()) << "vm-vs-native trial " << trial << ": " << b[0];
+      ASSERT_TRUE(check_write_discipline(out.result, arrays, n).empty()) << trial;
+      ASSERT_EQ(out.result.executed_statements(), vm.executed_statements()) << trial;
+    }
+  }
+}
 
 TEST(RandomPipeline, RetimingNeverBeatsIterationBound) {
   SplitMix64 rng(2468);
