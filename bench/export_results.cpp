@@ -1,19 +1,22 @@
 // Machine-readable export of the headline experiments, now driven by the
-// parallel sweep engine: evaluates the full (benchmark × transform × factor)
-// grid on a thread pool and writes csr_results.csv plus BENCH_sweep.json.
-// Exports are aggregated in grid order, so the files are byte-identical for
-// any thread count.
+// fault-tolerant sweep engine: evaluates the full (benchmark × transform ×
+// factor) grid on the work-stealing scheduler and writes csr_results.csv
+// plus BENCH_sweep.json. Exports are aggregated in grid order, so the files
+// are byte-identical for any thread count, steal order or journal warmth.
 //
 // The JSON additionally carries a VM-vs-native throughput section: the six
 // table benchmarks at n = 10000 executed on both the VM fast path and the
 // compiled-kernel native engine (docs/ENGINES.md), with per-cell wall time
-// (include_timing — these rows are measurements, not golden data). On hosts
-// without a working C compiler the native rows export as skipped cells.
+// and scheduler/cache metrics (include_timing — these rows are measurements,
+// not golden data). On hosts without a working C compiler the native rows
+// fall back to VM verification with the toolchain diagnostic preserved.
 //
-// Usage: export_results [csv_path] [json_path] [threads]
-//   csv_path   default csr_results.csv
-//   json_path  default BENCH_sweep.json
-//   threads    worker threads; 0 = one per hardware thread (default 0)
+// Usage: export_results [csv_path] [json_path] [threads] [journal_path]
+//   csv_path      default csr_results.csv
+//   json_path     default BENCH_sweep.json
+//   threads       worker threads; 0 = one per hardware thread (default 0)
+//   journal_path  persistent result cache; re-runs replay completed cells
+//                 and execute only the delta (default: no journal)
 
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +25,21 @@
 #include "benchmarks/benchmarks.hpp"
 #include "driver/export.hpp"
 #include "driver/sweep.hpp"
+
+namespace {
+
+void print_stats(const char* label, const csr::driver::SweepStats& stats) {
+  std::cout << label << ": " << stats.total_cells << " cells, "
+            << stats.executed << " executed, " << stats.cache_hits
+            << " journal hits, " << stats.fallbacks << " VM fallbacks, "
+            << stats.retries << " retries, " << stats.steal_ops << " steals";
+  if (stats.journal_dropped > 0) {
+    std::cout << ", " << stats.journal_dropped << " corrupt records dropped";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace csr;
@@ -34,19 +52,28 @@ int main(int argc, char** argv) {
   }
   driver::SweepOptions options;
   options.threads = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
+  if (argc > 4) options.journal_path = argv[4];
 
-  const std::vector<driver::SweepResult> results = driver::run_sweep(grid, options);
+  driver::SweepStats stats;
+  const std::vector<driver::SweepResult> results =
+      driver::run_sweep(grid, options, &stats);
+  print_stats("sweep", stats);
 
   // VM-vs-native throughput grid: same benchmarks, large trip count, the
   // boundary transforms of the code-size story (original and retimed CSR).
+  // Deliberately unjournaled — these rows are wall-clock measurements.
   driver::SweepGrid perf_grid = grid;
   perf_grid.trip_counts = {10000};
   perf_grid.exec_engines = {driver::ExecEngine::kVm, driver::ExecEngine::kNative};
   perf_grid.transforms = {driver::Transform::kOriginal,
                           driver::Transform::kRetimedCsr};
   perf_grid.factors = {};
+  driver::SweepOptions perf_options = options;
+  perf_options.journal_path.clear();
+  driver::SweepStats perf_stats;
   const std::vector<driver::SweepResult> perf =
-      driver::run_sweep(perf_grid, options);
+      driver::run_sweep(perf_grid, perf_options, &perf_stats);
+  print_stats("throughput", perf_stats);
 
   std::ofstream csv(csv_path);
   if (!csv) {

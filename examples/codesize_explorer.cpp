@@ -4,11 +4,12 @@
 //
 // The explored configurations are cells of the sweep driver's grid: every
 // (order, f) point maps to an expanded + CSR transform pair, evaluated (and
-// VM-verified) in parallel on the thread pool, then folded back into
+// VM-verified) concurrently by run_cells() — the work-stealing, journaled,
+// retry-hardened execution path of docs/DRIVER.md — then folded back into
 // tradeoff points for the Pareto/budget analysis.
 //
 // Usage:  codesize_explorer [benchmark] [max_factor] [register_budget]
-//                           [size_budget] [engine]
+//                           [size_budget] [engine] [journal]
 //   benchmark       one of: iir, diffeq, allpole, elliptic, lattice,
 //                   volterra (default: lattice)
 //   max_factor      unfolding factors to sweep (default 4)
@@ -16,8 +17,11 @@
 //   size_budget     instruction budget for the loop code (default 150)
 //   engine          execution engine that verifies each point: vm, map or
 //                   native (default vm; see docs/ENGINES.md). Points whose
-//                   engine is unavailable (e.g. native with no host C
-//                   compiler) are reported as skipped, not failed.
+//                   native toolchain fails fall back to VM verification with
+//                   the toolchain diagnostic reported.
+//   journal         optional persistent result cache; re-running the same
+//                   exploration replays completed points instead of
+//                   re-evaluating them.
 
 #include <cstdlib>
 #include <iostream>
@@ -29,7 +33,6 @@
 #include "codesize/tradeoff.hpp"
 #include "dfg/iteration_bound.hpp"
 #include "driver/sweep.hpp"
-#include "driver/thread_pool.hpp"
 #include "support/text.hpp"
 
 namespace {
@@ -114,23 +117,33 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const driver::SweepOptions options;
-  const auto results =
-      driver::parallel_map(cells, driver::default_thread_count(),
-                           [&](const driver::SweepCell& cell) {
-                             return driver::evaluate_cell(cell, options);
-                           });
+  driver::SweepOptions options;
+  options.threads = 0;  // one worker per hardware thread
+  if (argc > 6) options.journal_path = argv[6];
+  driver::SweepStats stats;
+  const auto results = driver::run_cells(cells, options, &stats);
+  if (stats.cache_hits > 0 || stats.retries > 0) {
+    std::cout << stats.cache_hits << '/' << stats.total_cells
+              << " points replayed from the journal, " << stats.retries
+              << " native retries\n\n";
+  }
 
   // Fold expanded/CSR cell pairs back into tradeoff points.
   std::vector<TradeoffPoint> points;
   std::size_t unverified = 0;
   std::size_t skipped = 0;
+  std::size_t fallbacks = 0;
   std::string skip_reason;
+  std::string fallback_reason;
   for (std::size_t k = 0; k + 1 < results.size(); k += 2) {
     const driver::SweepResult& expanded = results[k];
     const driver::SweepResult& csr = results[k + 1];
     if (!expanded.feasible || !csr.feasible) continue;
     for (const driver::SweepResult* r : {&expanded, &csr}) {
+      if (r->engine_fallback) {
+        ++fallbacks;
+        fallback_reason = r->fallback_reason;
+      }
       if (r->skipped) {
         ++skipped;
         skip_reason = r->skip_reason;
@@ -161,6 +174,10 @@ int main(int argc, char** argv) {
               << pad_left(std::to_string(p.registers), 6)
               << pad_left(std::to_string(p.size_expanded), 10)
               << pad_left(std::to_string(p.size_csr), 7) << '\n';
+  }
+  if (fallbacks > 0) {
+    std::cout << '\n' << fallbacks << " point(s) fell back to VM verification — "
+              << fallback_reason << '\n';
   }
   if (skipped > 0) {
     std::cout << '\n' << skipped << " point(s) skipped — " << engine_name

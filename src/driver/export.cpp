@@ -38,7 +38,7 @@ std::string to_csv(const std::vector<SweepResult>& results) {
   out << "benchmark,transform,factor,n,iteration_bound,period,depth,registers,"
          "size,verified\n";
   for (const SweepResult& r : results) {
-    if (!r.feasible) continue;
+    if (!r.feasible || !r.evaluated) continue;
     out << r.cell.benchmark << ',' << to_string(r.cell.transform) << ','
         << r.cell.factor << ',' << r.cell.n << ',' << r.iteration_bound << ','
         << r.period.to_string() << ',' << r.depth << ',' << r.registers << ','
@@ -69,9 +69,17 @@ std::string to_json(const std::vector<SweepResult>& results,
         << ", \"predicted_size\": " << r.predicted_size
         << ", \"verified\": " << (r.verified ? "true" : "false")
         << ", \"discipline_ok\": " << (r.discipline_ok ? "true" : "false")
-        << ", \"exec_statements\": " << r.exec_statements;
+        << ", \"exec_statements\": " << r.exec_statements
+        << ", \"engine_fallback\": " << (r.engine_fallback ? "true" : "false")
+        << ", \"fallback_reason\": \"" << json_escape(r.fallback_reason)
+        << "\", \"evaluated\": " << (r.evaluated ? "true" : "false");
     if (options.include_timing) {
-      out << ", \"exec_seconds\": " << r.exec_seconds;
+      out << ", \"exec_seconds\": " << r.exec_seconds
+          << ", \"from_cache\": " << (r.from_cache ? "true" : "false")
+          << ", \"retries\": " << r.retries << ", \"worker\": " << r.worker
+          << ", \"queue_depth\": " << r.queue_depth
+          << ", \"worker_steals\": " << r.worker_steals
+          << ", \"stolen\": " << (r.stolen ? "true" : "false");
     }
     out << '}' << (i + 1 < results.size() ? "," : "") << '\n';
   }

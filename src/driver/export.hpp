@@ -16,21 +16,28 @@ namespace csr::driver {
 
 /// CSV with header `benchmark,transform,factor,n,iteration_bound,period,
 /// depth,registers,size,verified`. Infeasible cells are skipped — the file
-/// lists achieved configurations, like the paper's tables. `verified` is
-/// "yes"/"NO".
+/// lists achieved configurations, like the paper's tables — and so are
+/// budget-expired cells (`evaluated == false`), which carry no measurements.
+/// `verified` is "yes"/"NO".
 [[nodiscard]] std::string to_csv(const std::vector<SweepResult>& results);
 
 /// Knobs for the JSON export. Timing is off by default so that serial and
 /// parallel sweeps of the same grid stay byte-identical; benches that want
 /// throughput rows opt in.
 struct JsonOptions {
-  bool include_timing = false;  ///< emit exec_seconds (wall time, noisy)
+  /// Emit the per-run observability fields (exec_seconds, from_cache,
+  /// retries, worker, queue_depth, worker_steals, stolen). They are noisy /
+  /// scheduling-dependent, so the default export stays byte-deterministic
+  /// across thread counts, steal orders and journal warmth.
+  bool include_timing = false;
 };
 
 /// JSON array of objects, one per cell (including infeasible ones, with
 /// their `error`, and skipped ones, with their `skip_reason`). All
-/// deterministic fields of SweepResult are present; keys are emitted in a
-/// fixed order. `exec_seconds` appears only under JsonOptions::include_timing.
+/// deterministic fields of SweepResult are present — including
+/// `engine_fallback`/`fallback_reason` and `evaluated`; keys are emitted in a
+/// fixed order. The observability fields appear only under
+/// JsonOptions::include_timing.
 [[nodiscard]] std::string to_json(const std::vector<SweepResult>& results,
                                   const JsonOptions& options = {});
 

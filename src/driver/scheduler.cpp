@@ -1,0 +1,171 @@
+#include "driver/scheduler.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "driver/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace csr::driver {
+
+namespace {
+
+/// One worker's deque. Mutex-protected rather than lock-free: sweep tasks
+/// are milliseconds-to-seconds coarse, so contention on these locks is
+/// noise, and a mutex keeps the steal-half transfer trivially correct.
+struct WorkerDeque {
+  std::mutex m;
+  std::deque<std::size_t> q;
+};
+
+}  // namespace
+
+StealStats work_steal_for(
+    std::size_t count, const StealOptions& options,
+    const std::function<void(std::size_t, const TaskStats&)>& fn) {
+  StealStats stats;
+  if (count == 0) return stats;
+  std::size_t budget = options.budget == 0 ? count : options.budget;
+  if (budget > count) budget = count;
+  unsigned threads = options.threads == 0 ? default_thread_count() : options.threads;
+  if (threads > count) threads = static_cast<unsigned>(count);
+
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < budget; ++i) {
+      TaskStats ts;
+      ts.queue_depth = count - i - 1;
+      ++stats.executed;
+      fn(i, ts);
+    }
+    return stats;
+  }
+
+  std::vector<WorkerDeque> deques(threads);
+  // Block distribution seeds each worker with a contiguous index range, so
+  // with zero steals the pool degenerates to a cache-friendly static split.
+  for (unsigned w = 0; w < threads; ++w) {
+    const std::size_t lo = count * w / threads;
+    const std::size_t hi = count * (w + 1) / threads;
+    for (std::size_t i = lo; i < hi; ++i) deques[w].q.push_back(i);
+  }
+
+  // Per-worker victim orders, permuted by the seed: the steal order is an
+  // explicit input so tests can assert results do not depend on it.
+  std::vector<std::vector<unsigned>> victim_order(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    std::vector<unsigned>& order = victim_order[w];
+    for (unsigned v = 0; v < threads; ++v) {
+      if (v != w) order.push_back(v);
+    }
+    SplitMix64 rng(options.seed * 0x9E3779B97F4A7C15ULL + w + 1);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+
+  // `stolen[i]` is only written/read under the lock of the deque currently
+  // holding task i, so plain bytes are race-free.
+  std::vector<std::uint8_t> stolen(count, 0);
+
+  std::atomic<std::int64_t> budget_left{static_cast<std::int64_t>(budget)};
+  std::atomic<std::size_t> popped{0};
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::uint64_t> steal_ops(threads, 0);
+  std::vector<std::uint64_t> tasks_stolen(threads, 0);
+
+  const auto worker = [&](unsigned w) {
+    // Per-worker slots, so counters need no synchronization.
+    std::uint64_t& my_steals = steal_ops[w];
+    while (!failed.load(std::memory_order_relaxed)) {
+      // The shared atomic cell budget: every execution claims one unit
+      // up front, so at most `budget` tasks run no matter how indices
+      // migrate between deques.
+      if (budget_left.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+        budget_left.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::size_t task = 0;
+      TaskStats ts;
+      bool have_task = false;
+      while (!have_task) {
+        {
+          const std::lock_guard<std::mutex> lock(deques[w].m);
+          if (!deques[w].q.empty()) {
+            task = deques[w].q.front();
+            deques[w].q.pop_front();
+            ts.queue_depth = deques[w].q.size();
+            have_task = true;
+          }
+        }
+        if (have_task) break;
+        // Steal-half: take the back half of the first non-empty victim, in
+        // the worker's permuted victim order.
+        std::vector<std::size_t> loot;
+        for (const unsigned v : victim_order[w]) {
+          const std::lock_guard<std::mutex> lock(deques[v].m);
+          const std::size_t k = deques[v].q.size();
+          if (k == 0) continue;
+          const std::size_t take = (k + 1) / 2;
+          loot.assign(deques[v].q.end() - static_cast<std::ptrdiff_t>(take),
+                      deques[v].q.end());
+          deques[v].q.erase(deques[v].q.end() - static_cast<std::ptrdiff_t>(take),
+                            deques[v].q.end());
+          for (const std::size_t i : loot) stolen[i] = 1;
+          break;
+        }
+        if (!loot.empty()) {
+          ++my_steals;
+          tasks_stolen[w] += loot.size();
+          const std::lock_guard<std::mutex> lock(deques[w].m);
+          deques[w].q.insert(deques[w].q.begin(), loot.begin(), loot.end());
+          continue;
+        }
+        // Every deque looked empty. If all tasks have been popped, no work
+        // will ever reappear; otherwise some tasks are in a steal transit
+        // or still queued behind a lock — spin politely.
+        if (popped.load(std::memory_order_acquire) >= count ||
+            failed.load(std::memory_order_relaxed)) {
+          budget_left.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::yield();
+      }
+      popped.fetch_add(1, std::memory_order_release);
+      ts.worker = w;
+      ts.stolen = stolen[task] != 0;
+      ts.worker_steals = my_steals;
+      executed.fetch_add(1, std::memory_order_relaxed);
+      try {
+        fn(task, ts);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+
+  stats.executed = executed.load();
+  for (unsigned w = 0; w < threads; ++w) {
+    stats.steal_ops += steal_ops[w];
+    stats.tasks_stolen += tasks_stolen[w];
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+}  // namespace csr::driver

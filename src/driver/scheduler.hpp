@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The work-stealing task scheduler behind run_sweep(). The older
+/// parallel_for (thread_pool.hpp) hands out indices from one shared atomic
+/// counter — perfect when every task costs about the same, but sweep cells
+/// no longer do: a VM cell is microseconds while a cold native-compile cell
+/// is a full toolchain invocation, three orders of magnitude apart. The
+/// scheduler here keeps workers busy under that skew:
+///
+///   * each worker owns a deque of task indices, seeded with a contiguous
+///     block of the index space (preserving the cache-friendly front-to-back
+///     walk of the grid);
+///   * a worker executes from the *front* of its own deque; when empty it
+///     picks victims in a seed-permuted round-robin order and steals the
+///     *back half* of the first non-empty deque it finds (steal-half keeps
+///     thieves from ping-ponging single tasks);
+///   * total execution is bounded by a shared atomic **cell budget**: every
+///     task execution first claims one unit, so `budget < count` runs an
+///     arbitrary prefix of the workload and stops — the primitive the
+///     journaled sweep uses for incremental and crash-resumed runs.
+///
+/// Determinism contract: like parallel_for, result slot i always receives
+/// fn(i), so aggregations that walk results in index order are byte-stable
+/// for any worker count, steal order or budget. Which *subset* executes is
+/// only deterministic when the budget covers every task.
+///
+/// Per-task metrics (executing worker, local queue depth, steal counts) are
+/// reported through TaskStats for observability; they are scheduling facts,
+/// inherently non-deterministic, and callers must keep them out of
+/// deterministic exports.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace csr::driver {
+
+/// Scheduling facts about one executed task — non-deterministic by nature.
+struct TaskStats {
+  unsigned worker = 0;           ///< worker that executed the task
+  std::size_t queue_depth = 0;   ///< owner deque depth right after the pop
+  std::uint64_t worker_steals = 0;  ///< steals the worker had done by then
+  bool stolen = false;           ///< task changed deques before executing
+};
+
+/// Whole-run counters.
+struct StealStats {
+  std::uint64_t steal_ops = 0;     ///< successful steal-half operations
+  std::uint64_t tasks_stolen = 0;  ///< tasks that moved deques
+  std::uint64_t executed = 0;      ///< tasks executed (== count unless budgeted)
+};
+
+struct StealOptions {
+  unsigned threads = 1;     ///< 0 = one worker per hardware thread
+  std::size_t budget = 0;   ///< max tasks executed this run; 0 = no bound
+  std::uint64_t seed = 0;   ///< permutes each worker's victim order
+};
+
+/// Runs fn(i, stats) for indices in [0, count) on a work-stealing pool,
+/// executing at most `options.budget` tasks (0 = all). Rethrows the first
+/// exception any task raised after all workers drain; remaining tasks are
+/// abandoned, and the returned counters still reflect what actually ran.
+StealStats work_steal_for(
+    std::size_t count, const StealOptions& options,
+    const std::function<void(std::size_t, const TaskStats&)>& fn);
+
+}  // namespace csr::driver

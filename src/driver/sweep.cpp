@@ -1,7 +1,12 @@
 #include "driver/sweep.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <exception>
+#include <thread>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codegen/original.hpp"
@@ -12,13 +17,16 @@
 #include "codegen/unfolded_retimed.hpp"
 #include "codesize/model.hpp"
 #include "dfg/algorithms.hpp"
+#include "dfg/io.hpp"
 #include "dfg/iteration_bound.hpp"
-#include "driver/thread_pool.hpp"
+#include "driver/scheduler.hpp"
 #include "native/engine.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/modulo.hpp"
 #include "schedule/rotation.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/journal.hpp"
 #include "unfolding/unfold.hpp"
 #include "vm/equivalence.hpp"
 
@@ -152,7 +160,187 @@ void infeasible(SweepResult& res, const std::string& why) {
   res.error = why;
 }
 
+/// Deterministic per-(cell, attempt) jitter in [0.5, 1.0): reproducible runs
+/// beat true randomness here, and hashing decorrelates concurrent retries.
+double backoff_jitter(const SweepCell& cell, int attempt) {
+  const std::uint64_t h = ContentHasher()
+                              .field(cell.benchmark)
+                              .field(to_string(cell.transform))
+                              .field(cell.factor)
+                              .field(cell.n)
+                              .field(attempt)
+                              .value();
+  return 0.5 + 0.5 * static_cast<double>(h >> 11) / 9007199254740992.0;  // 2^53
+}
+
+void backoff_sleep(const SweepCell& cell, int attempt, const RetryPolicy& policy) {
+  double seconds = policy.backoff_base * std::pow(2.0, attempt - 1);
+  seconds = std::min(seconds, policy.backoff_max);
+  seconds *= backoff_jitter(cell, attempt);
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+// --- journal payload codec --------------------------------------------------
+//
+// Payload: kPayloadVersion plus the deterministic result fields, joined by
+// 0x1F unit separators; string fields escape backslash and the separator so
+// arbitrary diagnostics round-trip. The outer journal layer handles line
+// framing and checksums.
+
+constexpr std::string_view kPayloadVersion = "sweep-v1";
+
+std::string field_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\x1f') {
+      out += "\\u";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool field_unescape(const std::string& s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i == s.size()) return false;
+    if (s[i] == '\\') {
+      out += '\\';
+    } else if (s[i] == 'u') {
+      out += '\x1f';
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> split_fields(const std::string& payload) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (const char c : payload) {
+    if (c == '\x1f') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(s.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool parse_bool(const std::string& s, bool& out) {
+  if (s == "1") {
+    out = true;
+  } else if (s == "0") {
+    out = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::string journal_key(const SweepCell& cell, const SweepOptions& options) {
+  // Key the graph by content, not name: if a benchmark's definition ever
+  // changes, its journal entries must stop matching.
+  std::string dfg_text;
+  try {
+    dfg_text = to_text(make_benchmark(cell.benchmark));
+  } catch (const std::exception&) {
+    dfg_text = "unknown-benchmark";
+  }
+  return 'c' + ContentHasher()
+                   .field(kPayloadVersion)
+                   .field(cell.benchmark)
+                   .field(dfg_text)
+                   .field(to_string(cell.engine))
+                   .field(to_string(cell.exec))
+                   .field(to_string(cell.transform))
+                   .field(cell.factor)
+                   .field(cell.n)
+                   .field(options.verify ? 1 : 0)
+                   .field(options.machine.description())
+                   .hex();
+}
+
+std::string to_journal_payload(const SweepResult& r) {
+  const char sep = '\x1f';
+  std::string out(kPayloadVersion);
+  const auto add = [&](const std::string& field) {
+    out += sep;
+    out += field;
+  };
+  add(r.feasible ? "1" : "0");
+  add(field_escape(r.error));
+  add(r.skipped ? "1" : "0");
+  add(field_escape(r.skip_reason));
+  add(field_escape(r.iteration_bound));
+  add(std::to_string(r.period.num()));
+  add(std::to_string(r.period.den()));
+  add(std::to_string(r.depth));
+  add(std::to_string(r.registers));
+  add(std::to_string(r.code_size));
+  add(std::to_string(r.predicted_size));
+  add(r.verified ? "1" : "0");
+  add(r.discipline_ok ? "1" : "0");
+  add(std::to_string(r.exec_statements));
+  add(r.engine_fallback ? "1" : "0");
+  add(field_escape(r.fallback_reason));
+  return out;
+}
+
+bool from_journal_payload(const std::string& payload, const SweepCell& cell,
+                          SweepResult& result) {
+  const std::vector<std::string> f = split_fields(payload);
+  if (f.size() != 17 || f[0] != kPayloadVersion) return false;
+  SweepResult r;
+  r.cell = cell;
+  std::int64_t period_num = 0;
+  std::int64_t period_den = 1;
+  std::int64_t depth = 0;
+  if (!parse_bool(f[1], r.feasible) || !field_unescape(f[2], r.error) ||
+      !parse_bool(f[3], r.skipped) || !field_unescape(f[4], r.skip_reason) ||
+      !field_unescape(f[5], r.iteration_bound) || !parse_i64(f[6], period_num) ||
+      !parse_i64(f[7], period_den) || !parse_i64(f[8], depth) ||
+      !parse_i64(f[9], r.registers) || !parse_i64(f[10], r.code_size) ||
+      !parse_i64(f[11], r.predicted_size) || !parse_bool(f[12], r.verified) ||
+      !parse_bool(f[13], r.discipline_ok) || !parse_i64(f[14], r.exec_statements) ||
+      !parse_bool(f[15], r.engine_fallback) ||
+      !field_unescape(f[16], r.fallback_reason)) {
+    return false;
+  }
+  if (period_den <= 0 || depth < INT32_MIN || depth > INT32_MAX) return false;
+  try {
+    r.period = Rational(period_num, period_den);
+  } catch (const std::exception&) {
+    return false;
+  }
+  r.depth = static_cast<int>(depth);
+  result = std::move(r);
+  return true;
+}
 
 SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
   SweepResult res;
@@ -249,37 +437,60 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
       // The expected state always comes from the fast VM on the original
       // loop, so non-VM cells are genuine cross-engine differentials.
       const Machine expected = run_program(original_program(g, n));
+
+      const auto verify_on_vm = [&](ExecMode mode) {
+        const auto start = std::chrono::steady_clock::now();
+        const Machine actual = run_program(program, mode);
+        res.exec_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        res.exec_statements = actual.executed_statements();
+        res.verified = diff_observable_state(expected, actual, arrays, n).empty();
+        res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
+      };
+
       switch (cell.exec) {
         case ExecEngine::kVm:
-        case ExecEngine::kMap: {
-          const ExecMode mode = cell.exec == ExecEngine::kVm
-                                    ? ExecMode::kFast
-                                    : ExecMode::kReference;
-          const auto start = std::chrono::steady_clock::now();
-          const Machine actual = run_program(program, mode);
-          res.exec_seconds =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                  .count();
-          res.exec_statements = actual.executed_statements();
-          res.verified = diff_observable_state(expected, actual, arrays, n).empty();
-          res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
+          verify_on_vm(ExecMode::kFast);
           break;
-        }
+        case ExecEngine::kMap:
+          verify_on_vm(ExecMode::kReference);
+          break;
         case ExecEngine::kNative: {
-          const native::NativeOutcome out = native::run_native(program);
-          if (!out.ok()) {
-            // A missing or broken host compiler is a property of the machine,
-            // not of the cell: report it as skipped, keep the cell feasible.
+          // Retry / timeout / degradation policy: every compile runs under
+          // a subprocess deadline; transient failures back off and retry;
+          // a cell that exhausts its attempts is verified on the VM with
+          // the native failure preserved as its diagnostic. A broken or
+          // hung toolchain can cost a cell time, never abort the sweep.
+          native::CompileOptions copts;
+          copts.deadline_seconds = options.retry.compile_deadline;
+          const int max_attempts = std::max(1, options.retry.max_attempts);
+          native::NativeOutcome out;
+          int attempt = 1;
+          for (;; ++attempt) {
+            out = native::run_native(program, copts);
+            if (out.ok() || attempt >= max_attempts) break;
+            backoff_sleep(cell, attempt, options.retry);
+          }
+          res.retries = attempt - 1;
+          if (out.ok()) {
+            res.exec_seconds = out.run_seconds;
+            res.exec_statements = out.result.executed_statements();
+            res.verified =
+                diff_observable_state(MachineView(expected), out.result, arrays, n)
+                    .empty();
+            res.discipline_ok = check_write_discipline(out.result, arrays, n).empty();
+          } else if (options.retry.fallback_to_vm) {
+            res.engine_fallback = true;
+            res.fallback_reason = out.diagnostic;
+            verify_on_vm(ExecMode::kFast);
+          } else {
+            // The pre-fallback contract: a missing or broken host compiler
+            // is a property of the machine, not of the cell — report the
+            // cell skipped, keep it feasible.
             res.skipped = true;
             res.skip_reason = out.diagnostic;
-            break;
           }
-          res.exec_seconds = out.run_seconds;
-          res.exec_statements = out.result.executed_statements();
-          res.verified =
-              diff_observable_state(MachineView(expected), out.result, arrays, n)
-                  .empty();
-          res.discipline_ok = check_write_discipline(out.result, arrays, n).empty();
           break;
         }
       }
@@ -291,12 +502,79 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
   return res;
 }
 
-std::vector<SweepResult> run_sweep(const SweepGrid& grid, const SweepOptions& options) {
-  const std::vector<SweepCell> cells = grid.cells();
+std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
+                                   const SweepOptions& options, SweepStats* stats) {
+  SweepStats local_stats;
+  SweepStats& s = stats != nullptr ? *stats : local_stats;
+  s = SweepStats{};
+  s.total_cells = cells.size();
+
   std::vector<SweepResult> results(cells.size());
-  parallel_for(cells.size(), options.threads,
-               [&](std::size_t i) { results[i] = evaluate_cell(cells[i], options); });
+
+  ResultJournal journal;
+  const bool journaled =
+      !options.journal_path.empty() && journal.open(options.journal_path);
+  if (journaled) s.journal_dropped = journal.dropped_records();
+
+  // Replay phase: cached cells are filled in directly; everything else
+  // becomes a pending task for the scheduler.
+  std::vector<std::string> keys(cells.size());
+  std::vector<std::size_t> pending;
+  pending.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (journaled) {
+      keys[i] = journal_key(cells[i], options);
+      if (const auto payload = journal.lookup(keys[i]);
+          payload && from_journal_payload(*payload, cells[i], results[i])) {
+        results[i].from_cache = true;
+        ++s.cache_hits;
+        continue;
+      }
+    }
+    // Pre-mark as unevaluated so budget-expired cells still carry their
+    // cell identity into exports; execution overwrites the whole slot.
+    results[i].cell = cells[i];
+    results[i].evaluated = false;
+    pending.push_back(i);
+  }
+
+  StealOptions steal;
+  steal.threads = options.threads;
+  steal.budget = options.cell_budget;
+  steal.seed = options.steal_seed;
+  const StealStats run = work_steal_for(
+      pending.size(), steal, [&](std::size_t j, const TaskStats& task) {
+        const std::size_t i = pending[j];
+        SweepResult r = evaluate_cell(cells[i], options);
+        r.worker = task.worker;
+        r.queue_depth = task.queue_depth;
+        r.worker_steals = task.worker_steals;
+        r.stolen = task.stolen;
+        if (journaled) {
+          // Appended (and flushed) as each cell completes, so a sweep killed
+          // at any point resumes from every cell that finished.
+          journal.append(keys[i], to_journal_payload(r));
+        }
+        results[i] = std::move(r);
+      });
+
+  s.executed = run.executed;
+  s.steal_ops = run.steal_ops;
+  for (const std::size_t i : pending) {
+    const SweepResult& r = results[i];
+    if (!r.evaluated) {
+      ++s.budget_expired;
+      continue;
+    }
+    s.retries += static_cast<std::size_t>(r.retries);
+    if (r.engine_fallback) ++s.fallbacks;
+  }
   return results;
+}
+
+std::vector<SweepResult> run_sweep(const SweepGrid& grid, const SweepOptions& options,
+                                   SweepStats* stats) {
+  return run_cells(grid.cells(), options, stats);
 }
 
 }  // namespace csr::driver

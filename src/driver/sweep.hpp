@@ -10,10 +10,29 @@
 /// evaluated cell by cell: generate the program, execute it on the cell's
 /// execution engine, check equivalence against the original loop, and
 /// account code size. SweepGrid declares the product, run_sweep() evaluates
-/// its cells on a thread pool, and the result vector is always in grid order
-/// — so CSV/JSON exports are byte-identical no matter how many threads ran
-/// the sweep.
+/// its cells, and the result vector is always in grid order — so CSV/JSON
+/// exports are byte-identical no matter how many threads ran the sweep.
+///
+/// Three production-hardening layers sit between the grid and the results
+/// (docs/DRIVER.md has the full design):
+///
+///   * **Work-stealing execution** (scheduler.hpp): per-worker deques with
+///     steal-half balancing, because a native-compile cell costs orders of
+///     magnitude more than a VM cell. Bounded by the shared atomic cell
+///     budget in SweepOptions::cell_budget, which turns one run into an
+///     incremental slice of the grid.
+///   * **Persistent result cache** (SweepOptions::journal_path): every
+///     completed cell is appended to a crash-safe on-disk journal keyed by
+///     a content hash of (DFG, transform, engines, parameters). Re-running
+///     the same grid replays cached cells and executes only the delta —
+///     a sweep killed mid-run resumes instead of restarting.
+///   * **Retry / timeout / fallback** (RetryPolicy): native-engine cells
+///     run their compiler subprocess under a deadline, retry transient
+///     failures with jittered exponential backoff, and finally degrade to
+///     the VM engine with the failure preserved as a per-cell diagnostic —
+///     a hung or broken toolchain can never abort a sweep.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -39,7 +58,7 @@ enum class Engine {
 enum class ExecEngine {
   kVm,      ///< the VM's interned fast path (ExecMode::kFast)
   kMap,     ///< the map-backed reference interpreter (ExecMode::kReference)
-  kNative,  ///< compiled C via src/native/ (skipped if no host compiler)
+  kNative,  ///< compiled C via src/native/ (degrades to the VM on failure)
 };
 
 /// Transformation order / output form of one cell, mirroring the columns of
@@ -76,9 +95,9 @@ struct SweepCell {
 /// configuration cannot be generated (e.g. unfold-then-retime with
 /// n/f ≤ M'_r, or an engine that found no schedule); `error` carries the
 /// exception text when evaluation threw. `skipped` is true for feasible
-/// cells whose execution engine is unavailable on this host (e.g.
-/// exec=native without a working C compiler) — the diagnostic lands in
-/// `skip_reason` and the sweep carries on.
+/// cells whose execution engine is unavailable and whose retry policy
+/// disabled VM fallback — the diagnostic lands in `skip_reason` and the
+/// sweep carries on.
 struct SweepResult {
   SweepCell cell;
   bool feasible = true;
@@ -95,10 +114,43 @@ struct SweepResult {
   bool discipline_ok = false;        ///< write-discipline check passed
   /// Statements the cell's engine executed while verifying (0 unverified).
   std::int64_t exec_statements = 0;
-  /// Wall time of that execution (engine run only; excludes the expected-
-  /// state run and, for native, compilation). Non-deterministic — exported
-  /// only when JsonOptions::include_timing is set.
+
+  /// True when a native cell exhausted its retry budget and was verified on
+  /// the VM instead; the final native failure is kept in fallback_reason.
+  /// Deterministic for a given host+policy, so part of the default export
+  /// and of the journal payload.
+  bool engine_fallback = false;
+  std::string fallback_reason;
+
+  /// False when the run's cell budget expired before this cell executed —
+  /// the cell was neither evaluated nor journaled. CSV skips such rows.
+  bool evaluated = true;
+
+  // --- per-run observability, never journaled, exported only under
+  // JsonOptions::include_timing (they would break byte-determinism) -------
+  /// Wall time of the verifying execution (engine run only; excludes the
+  /// expected-state run and, for native, compilation).
   double exec_seconds = 0.0;
+  bool from_cache = false;  ///< replayed from the journal, not executed
+  int retries = 0;          ///< native attempts beyond the first
+  unsigned worker = 0;      ///< scheduler worker that ran the cell
+  std::size_t queue_depth = 0;    ///< worker's deque depth after the pop
+  std::uint64_t worker_steals = 0;  ///< steals that worker had performed
+  bool stolen = false;            ///< cell migrated deques before running
+};
+
+/// Retry / timeout / degradation policy for native-engine cells. Backoff
+/// before attempt k (k ≥ 2) is min(backoff_max, backoff_base·2^(k−2))
+/// scaled by a deterministic per-cell jitter in [0.5, 1.0].
+struct RetryPolicy {
+  int max_attempts = 3;            ///< native attempts before giving up
+  double compile_deadline = 20.0;  ///< seconds per compiler subprocess; 0 = none
+  double backoff_base = 0.02;      ///< seconds
+  double backoff_max = 0.5;        ///< seconds
+  /// After the attempts are exhausted: true = verify the cell on the VM and
+  /// record the native failure in fallback_reason; false = mark the cell
+  /// skipped (the pre-journal behavior, still used by availability tests).
+  bool fallback_to_vm = true;
 };
 
 struct SweepOptions {
@@ -106,6 +158,27 @@ struct SweepOptions {
   bool verify = true;    ///< run VM equivalence + write discipline per cell
   /// Resource model for the resource-constrained engines.
   ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
+  RetryPolicy retry;
+  /// Non-empty = persistent result cache: completed cells are appended to
+  /// this journal and replayed (not re-executed) by later runs.
+  std::string journal_path;
+  /// Max cells executed this run, shared across all workers (0 = all).
+  /// Budget-expired cells come back with `evaluated == false`.
+  std::size_t cell_budget = 0;
+  /// Permutes each worker's steal-victim order; results never depend on it.
+  std::uint64_t steal_seed = 0;
+};
+
+/// Aggregate accounting of one run_sweep()/run_cells() call.
+struct SweepStats {
+  std::size_t total_cells = 0;
+  std::size_t executed = 0;        ///< cells evaluated by this run
+  std::size_t cache_hits = 0;      ///< cells replayed from the journal
+  std::size_t budget_expired = 0;  ///< cells left unevaluated by the budget
+  std::size_t fallbacks = 0;       ///< native cells degraded to the VM
+  std::size_t retries = 0;         ///< total native retry attempts
+  std::uint64_t steal_ops = 0;     ///< scheduler steal-half operations
+  std::size_t journal_dropped = 0; ///< corrupt journal records ignored
 };
 
 /// The declarative grid. cells() enumerates the product in deterministic
@@ -135,9 +208,34 @@ struct SweepGrid {
 [[nodiscard]] SweepResult evaluate_cell(const SweepCell& cell,
                                         const SweepOptions& options);
 
-/// Evaluates every cell of the grid on `options.threads` workers. Results
-/// are in cells() order regardless of thread count.
+/// Evaluates an explicit cell list (work-stealing, journal-cached, retried —
+/// everything SweepOptions describes). Result slot i always corresponds to
+/// cells[i], so aggregations in input order are deterministic.
+[[nodiscard]] std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
+                                                 const SweepOptions& options,
+                                                 SweepStats* stats = nullptr);
+
+/// Evaluates every cell of the grid; results are in cells() order regardless
+/// of worker count, steal order or journal warmth.
 [[nodiscard]] std::vector<SweepResult> run_sweep(const SweepGrid& grid,
-                                                 const SweepOptions& options = {});
+                                                 const SweepOptions& options = {},
+                                                 SweepStats* stats = nullptr);
+
+// --- journal plumbing (exposed for tests and tooling) ----------------------
+
+/// Content-hash cache key of a cell under `options`: hashes the benchmark
+/// DFG's full text serialization (not just its name), the transform/engine
+/// axes, parameters, the verify flag and a codec version — any semantic
+/// change to inputs or payload format invalidates old journals.
+[[nodiscard]] std::string journal_key(const SweepCell& cell,
+                                      const SweepOptions& options);
+
+/// Serializes the deterministic fields of a result as a journal payload.
+[[nodiscard]] std::string to_journal_payload(const SweepResult& result);
+
+/// Parses a payload back into `result` (cell fields are taken from `cell`).
+/// Returns false on malformed or version-mismatched payloads.
+[[nodiscard]] bool from_journal_payload(const std::string& payload,
+                                        const SweepCell& cell, SweepResult& result);
 
 }  // namespace csr::driver

@@ -1,16 +1,25 @@
 #include "native/compile.hpp"
 
 #include <dlfcn.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
-#include <cstdio>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
+
+#include "support/check.hpp"
+#include "support/hash.hpp"
 
 namespace csr::native {
 
@@ -22,25 +31,23 @@ std::atomic<std::int64_t> g_hits{0};
 std::atomic<std::int64_t> g_misses{0};
 std::atomic<std::int64_t> g_failures{0};
 
-std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
+/// Fault-injection spec in effect: explicit option first, then $CSR_FAKE_CC.
+std::string effective_fake_spec(const CompileOptions& options) {
+  if (!options.fake_compiler.empty()) return options.fake_compiler;
+  const char* env = std::getenv("CSR_FAKE_CC");
+  return env != nullptr ? env : "";
 }
 
 std::string cache_key(const std::string& source, const CompileOptions& options,
                       const std::string& compiler) {
-  std::uint64_t h = 1469598103934665603ULL;
-  h = fnv1a(source, h);
-  h = fnv1a("\x1f", h);
-  h = fnv1a(options.flags, h);
-  h = fnv1a("\x1f", h);
-  h = fnv1a(compiler, h);
-  std::ostringstream os;
-  os << 'k' << std::hex << h;
-  return os.str();
+  // The fake spec is part of the key: an injected-fault compile must never
+  // be satisfied by (or pollute) an object the real toolchain produced.
+  return 'k' + ContentHasher()
+                   .field(source)
+                   .field(options.flags)
+                   .field(compiler)
+                   .field(effective_fake_spec(options))
+                   .hex();
 }
 
 fs::path cache_directory(const CompileOptions& options, std::string& problem) {
@@ -81,26 +88,176 @@ std::string shell_quote(const std::string& s) {
   return out;
 }
 
-/// Runs `command` through the shell, capturing stdout+stderr. Returns the
-/// process exit status (-1 when the shell could not be spawned).
-int run_command(const std::string& command, std::string& output) {
-  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
-  if (pipe == nullptr) return -1;
-  char buffer[4096];
-  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
-    output += buffer;
-    if (output.size() > 16384) break;  // a page of diagnostics is plenty
+/// Runs `command` through the shell in its own process group, capturing
+/// stdout+stderr, enforcing `deadline_seconds` (0 = none) by killing the
+/// group on expiry. Returns the exit status; -1 when the child could not be
+/// spawned or died on a signal, -2 when the deadline fired (`timed_out` is
+/// also set). Replaces the previous popen() runner, which had no way to
+/// bound a hung toolchain.
+int run_command(const std::string& command, double deadline_seconds,
+                std::string& output, bool& timed_out) {
+  timed_out = false;
+  int fds[2];
+  if (::pipe(fds) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return -1;
   }
-  return ::pclose(pipe);
+  if (pid == 0) {
+    ::setpgid(0, 0);  // own group, so a deadline kill reaps grandchildren too
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::execl("/bin/sh", "sh", "-c", command.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::setpgid(pid, pid);  // both sides race to set it; either winning is fine
+  ::close(fds[1]);
+
+  const auto start = std::chrono::steady_clock::now();
+  char buffer[4096];
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double remaining = deadline_seconds - elapsed;
+      if (remaining <= 0) {
+        timed_out = true;
+        ::kill(-pid, SIGKILL);
+        break;
+      }
+      timeout_ms = static_cast<int>(remaining * 1000.0) + 1;
+    }
+    struct pollfd p = {fds[0], POLLIN, 0};
+    const int ready = ::poll(&p, 1, timeout_ms);
+    if (ready > 0) {
+      const ssize_t k = ::read(fds[0], buffer, sizeof(buffer));
+      if (k > 0) {
+        if (output.size() < 16384) {  // a page of diagnostics is plenty
+          output.append(buffer, static_cast<std::size_t>(k));
+        }
+        continue;
+      }
+      if (k < 0 && errno == EINTR) continue;
+      break;  // EOF (or unrecoverable read error): the child closed its end
+    }
+    if (ready == 0) {
+      timed_out = true;
+      ::kill(-pid, SIGKILL);
+      break;
+    }
+    if (errno != EINTR) break;
+  }
+  ::close(fds[0]);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (timed_out) return -2;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
-/// Serializes compilation per cache key within this process; cross-process
-/// safety comes from the atomic rename.
-std::mutex& key_mutex(const std::string& key) {
-  static std::mutex table_mutex;
-  static std::map<std::string, std::mutex> table;
-  const std::lock_guard<std::mutex> lock(table_mutex);
-  return table[key];
+// ---------------------------------------------------------------------------
+// Lock hierarchy of the compile cache.
+//
+// Level 1: the key-mutex registry lock (short map lookups only).
+// Level 2: one per-key mutex (held across a whole toolchain invocation).
+//
+// The old code handed out bare `std::mutex&` references from the registry
+// with nothing preventing a caller from re-entering the cache — or a future
+// eviction pass from invalidating the reference — while a key lock was
+// held. KeyLock now owns the mutex by shared_ptr (safe against eviction)
+// and a thread-local level counter turns any ordering violation into an
+// immediate LogicError instead of a latent deadlock.
+
+int& lock_level() {
+  thread_local int level = 0;
+  return level;
+}
+
+std::mutex& key_registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::shared_ptr<std::mutex>>& key_registry() {
+  static auto* registry = new std::map<std::string, std::shared_ptr<std::mutex>>();
+  return *registry;
+}
+
+/// Serializes compilation per cache key within this process (cross-process
+/// safety comes from the atomic rename), asserting the lock order above.
+class KeyLock {
+ public:
+  explicit KeyLock(const std::string& key) {
+    CSR_ENSURE(lock_level() == 0,
+               "compile-cache lock order violated: key lock requested at level " +
+                   std::to_string(lock_level()));
+    {
+      lock_level() = 1;
+      const std::lock_guard<std::mutex> registry_lock(key_registry_mutex());
+      std::shared_ptr<std::mutex>& slot = key_registry()[key];
+      if (slot == nullptr) slot = std::make_shared<std::mutex>();
+      mutex_ = slot;
+      lock_level() = 0;
+    }
+    mutex_->lock();
+    lock_level() = 2;
+  }
+  ~KeyLock() {
+    mutex_->unlock();
+    lock_level() = 0;
+  }
+  KeyLock(const KeyLock&) = delete;
+  KeyLock& operator=(const KeyLock&) = delete;
+
+ private:
+  std::shared_ptr<std::mutex> mutex_;
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection (CSR_FAKE_CC / CompileOptions::fake_compiler).
+
+struct FakeSpec {
+  enum class Mode { kNone, kHang, kFail, kOkAfter };
+  Mode mode = Mode::kNone;
+  double hang_seconds = 600.0;
+  int ok_after = 1;
+};
+
+FakeSpec parse_fake_spec(const std::string& spec) {
+  FakeSpec fake;
+  if (spec.empty()) return fake;
+  if (spec == "hang" || spec.rfind("hang:", 0) == 0) {
+    fake.mode = FakeSpec::Mode::kHang;
+    if (spec.size() > 5) fake.hang_seconds = std::atof(spec.c_str() + 5);
+    if (fake.hang_seconds <= 0) fake.hang_seconds = 600.0;
+  } else if (spec == "fail") {
+    fake.mode = FakeSpec::Mode::kFail;
+  } else if (spec.rfind("ok-after=", 0) == 0) {
+    fake.mode = FakeSpec::Mode::kOkAfter;
+    fake.ok_after = std::atoi(spec.c_str() + 9);
+    if (fake.ok_after < 1) fake.ok_after = 1;
+  } else {
+    // Unknown specs behave like `fail` so a typo cannot silently disable
+    // the injection a test asked for.
+    fake.mode = FakeSpec::Mode::kFail;
+  }
+  return fake;
+}
+
+std::mutex& fake_attempts_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, int>& fake_attempts() {
+  static auto* attempts = new std::map<std::string, int>();
+  return *attempts;
 }
 
 std::atomic<std::uint64_t> g_temp_counter{0};
@@ -116,6 +273,11 @@ std::string default_compiler() {
 #else
   return "cc";
 #endif
+}
+
+void reset_fake_cc_attempts() {
+  const std::lock_guard<std::mutex> lock(fake_attempts_mutex());
+  fake_attempts().clear();
 }
 
 CompileResult compile_shared_object(const std::string& c_source,
@@ -138,7 +300,7 @@ CompileResult compile_shared_object(const std::string& c_source,
 
   const std::string key = cache_key(c_source, options, compiler);
   const fs::path so_path = dir / (key + ".so");
-  const std::lock_guard<std::mutex> lock(key_mutex(key));
+  const KeyLock lock(key);
 
   std::error_code ec;
   if (fs::exists(so_path, ec)) {
@@ -174,15 +336,52 @@ CompileResult compile_shared_object(const std::string& c_source,
   }
 
   const fs::path so_tmp = dir / (key + ".so.tmp" + unique);
-  const std::string command = compiler + " " + options.flags + " -o " +
-                              shell_quote(so_tmp.string()) + " " +
-                              shell_quote(c_path.string());
+  std::string command = compiler + " " + options.flags + " -o " +
+                        shell_quote(so_tmp.string()) + " " +
+                        shell_quote(c_path.string());
+
+  // Fault injection replaces (or, for ok-after=N, delays) the real
+  // toolchain command; see the file comment of compile.hpp.
+  const FakeSpec fake = parse_fake_spec(effective_fake_spec(options));
+  switch (fake.mode) {
+    case FakeSpec::Mode::kNone:
+      break;
+    case FakeSpec::Mode::kHang: {
+      std::ostringstream cmd;
+      cmd << "sleep " << fake.hang_seconds;
+      command = cmd.str();
+      break;
+    }
+    case FakeSpec::Mode::kFail:
+      command = "echo 'csr-fake-cc: injected failure'; exit 1";
+      break;
+    case FakeSpec::Mode::kOkAfter: {
+      int attempt = 0;
+      {
+        const std::lock_guard<std::mutex> attempts_lock(fake_attempts_mutex());
+        attempt = ++fake_attempts()[key];
+      }
+      if (attempt < fake.ok_after) {
+        command = "echo 'csr-fake-cc: injected failure (attempt " +
+                  std::to_string(attempt) + ")'; exit 1";
+      }
+      break;
+    }
+  }
+
   std::string output;
-  const int status = run_command(command, output);
+  bool timed_out = false;
+  const int status = run_command(command, options.deadline_seconds, output, timed_out);
   if (status != 0 || !fs::exists(so_tmp, ec)) {
     std::ostringstream diag;
-    diag << "native compile failed (exit " << status << "): " << command;
+    if (timed_out) {
+      diag << "native compile timed out after " << options.deadline_seconds
+           << "s: " << command;
+    } else {
+      diag << "native compile failed (exit " << status << "): " << command;
+    }
     if (!output.empty()) diag << '\n' << output;
+    result.timed_out = timed_out;
     result.diagnostic = diag.str();
     fs::remove(so_tmp, ec);
     ++g_failures;
@@ -212,11 +411,21 @@ CacheStats compile_cache_stats() {
 bool native_available() {
   static std::mutex probe_mutex;
   static std::map<std::string, bool> probed;
-  const std::string compiler = default_compiler();
-  const std::lock_guard<std::mutex> lock(probe_mutex);
-  const auto it = probed.find(compiler);
-  if (it != probed.end()) return it->second;
-
+  // The fault-injection hook changes what a compiler string does, so it is
+  // part of the memo key — a probe under CSR_FAKE_CC must not poison the
+  // verdict for the real toolchain (or vice versa).
+  const char* fake_env = std::getenv("CSR_FAKE_CC");
+  const std::string compiler =
+      default_compiler() + '\x1f' + (fake_env != nullptr ? fake_env : "");
+  {
+    const std::lock_guard<std::mutex> lock(probe_mutex);
+    const auto it = probed.find(compiler);
+    if (it != probed.end()) return it->second;
+  }
+  // Probe outside the mutex: holding a cache-external lock across a whole
+  // toolchain invocation (as the previous code did) both serialized
+  // first-probes and nested foreign locks around the cache's own hierarchy.
+  // Two threads racing the first probe of one compiler just both probe.
   const CompileResult probe = compile_shared_object(
       "/* csr native-engine availability probe */\nvoid csr_probe(void) {}\n");
   bool ok = probe.ok;
@@ -225,6 +434,7 @@ bool native_available() {
     ok = handle != nullptr && ::dlsym(handle, "csr_probe") != nullptr;
     if (handle != nullptr) ::dlclose(handle);
   }
+  const std::lock_guard<std::mutex> lock(probe_mutex);
   probed.emplace(compiler, ok);
   return ok;
 }

@@ -13,12 +13,34 @@
 ///   * failure is a value, not an exception: a missing compiler, a sandboxed
 ///     temp directory or a cc error all come back as `ok == false` with the
 ///     toolchain's own output in `diagnostic`, letting callers (the sweep
-///     driver, tests) degrade gracefully instead of aborting.
+///     driver, tests) degrade gracefully instead of aborting;
+///   * every compiler subprocess runs under an optional **deadline**
+///     (`CompileOptions::deadline_seconds`): on expiry the whole process
+///     group is killed and the result reports `timed_out` — a hung compiler
+///     can stall one sweep cell, never the sweep.
 ///
 /// Compiler selection: `CompileOptions::compiler` if non-empty, else the
 /// `CSR_CC` environment variable (honored verbatim with no fallback, so
 /// tests can inject a bogus compiler), else the C++ compiler that built this
 /// library (driving it in C mode via `-x c`), else `cc`.
+///
+/// Fault injection: when `CompileOptions::fake_compiler` (default: the
+/// `CSR_FAKE_CC` environment variable) is non-empty, the toolchain
+/// invocation is replaced by a scripted stand-in so retry/timeout paths can
+/// be tested deterministically without a broken toolchain:
+///
+///     hang[:secs]   the "compiler" sleeps (default 600 s) and produces
+///                   nothing — exercises deadline enforcement;
+///     fail          always exits non-zero with a diagnostic;
+///     ok-after=N    attempts 1..N−1 for a given cache key fail, the Nth
+///                   runs the real compiler — exercises bounded retries.
+///
+/// Locking discipline: per-key mutexes serialize compilation of identical
+/// sources within the process; the registry handing them out is a leaf-free
+/// two-level hierarchy (registry lock, then one key lock) whose ordering is
+/// asserted at runtime — acquiring the registry lock while holding a key
+/// lock, or nesting two key locks on one thread, throws LogicError instead
+/// of deadlocking.
 
 #include <cstdint>
 #include <string>
@@ -33,11 +55,18 @@ struct CompileOptions {
   /// Cache directory; empty = $CSR_NATIVE_CACHE_DIR, else
   /// <system temp dir>/csr-native-cache.
   std::string cache_dir;
+  /// Wall-clock budget for one compiler subprocess; 0 = unbounded. On
+  /// expiry the subprocess group is killed and the result is a failure
+  /// with `timed_out` set.
+  double deadline_seconds = 0.0;
+  /// Fault-injection spec (see file comment); empty = $CSR_FAKE_CC.
+  std::string fake_compiler;
 };
 
 struct CompileResult {
   bool ok = false;
   bool cache_hit = false;
+  bool timed_out = false;     ///< the compiler subprocess hit the deadline
   std::string shared_object;  ///< path of the compiled .so when ok
   std::string diagnostic;     ///< toolchain output / failure reason when !ok
 };
@@ -58,6 +87,10 @@ struct CacheStats {
 
 /// Process-wide compile-cache counters (benches and tests).
 [[nodiscard]] CacheStats compile_cache_stats();
+
+/// Clears the per-key attempt counters behind the `ok-after=N` fault spec,
+/// so tests can replay injection scenarios from a clean slate.
+void reset_fake_cc_attempts();
 
 /// True when the current compiler selection can compile and dlopen a trivial
 /// kernel. Probed once per distinct compiler string, so it is cheap to call

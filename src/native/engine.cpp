@@ -169,6 +169,7 @@ NativeOutcome run_native(const LoopProgram& program, const CompileOptions& optio
 
   const CompileResult compiled = compile_shared_object(source, options);
   outcome.cache_hit = compiled.cache_hit;
+  outcome.timed_out = compiled.timed_out;
   outcome.compile_seconds = seconds_since(compile_start);
   if (!compiled.ok) {
     outcome.status = NativeStatus::kCompileFailed;

@@ -67,6 +67,7 @@ enum class NativeStatus {
 struct NativeOutcome {
   NativeStatus status = NativeStatus::kCompileFailed;
   bool cache_hit = false;      ///< the shared object came from the cache
+  bool timed_out = false;      ///< the compile subprocess hit its deadline
   std::string diagnostic;      ///< why status != kOk
   double compile_seconds = 0;  ///< emit + compile (or cache lookup) time
   double run_seconds = 0;      ///< buffer reset + kernel execution time

@@ -33,6 +33,15 @@ std::string ResourceModel::node_class(const DataFlowGraph& g, NodeId v) const {
   return classify_(g, v);
 }
 
+std::string ResourceModel::description() const {
+  std::string out;
+  for (const auto& [cls, count] : units_) {  // std::map keeps this sorted
+    if (!out.empty()) out += ',';
+    out += cls + '=' + std::to_string(count);
+  }
+  return out;
+}
+
 int ResourceModel::units(const std::string& cls) const {
   const auto it = units_.find(cls);
   if (it == units_.end()) {

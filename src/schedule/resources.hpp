@@ -36,6 +36,12 @@ class ResourceModel {
   /// Units available for `cls`; throws InvalidArgument for unknown classes.
   [[nodiscard]] int units(const std::string& cls) const;
 
+  /// Stable textual descriptor of the unit table ("add=2,mul=2"), used by
+  /// the sweep journal's cache key. Classifiers are code, not data, and are
+  /// deliberately not part of the descriptor — sweeps with custom
+  /// classifiers over identical unit tables should use distinct journals.
+  [[nodiscard]] std::string description() const;
+
  private:
   std::map<std::string, int> units_;
   Classifier classify_;

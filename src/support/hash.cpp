@@ -1,0 +1,13 @@
+#include "support/hash.hpp"
+
+#include <sstream>
+
+namespace csr {
+
+std::string hex64(std::uint64_t h) {
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+}  // namespace csr

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file hash.hpp
+/// Stable 64-bit content hashing shared by the native compile cache and the
+/// sweep driver's persistent result journal. Both subsystems need the same
+/// two guarantees:
+///
+///   * the hash of a given byte sequence is identical across platforms,
+///     processes and library versions (cache files outlive the process that
+///     wrote them), which rules out std::hash;
+///   * multi-field keys must be unambiguous — "ab"+"c" and "a"+"bc" hash
+///     differently — which ContentHasher ensures by feeding a 0x1F unit
+///     separator between fields.
+///
+/// The function is FNV-1a: tiny, dependency-free, and collision-resistant
+/// enough for content addressing at the scales this library sees (thousands
+/// of kernels / sweep cells, 64-bit space). It is *not* cryptographic.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace csr {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// FNV-1a over `s`, continuing from `h` so hashes can be chained.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s,
+                                              std::uint64_t h = kFnv1aOffset) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Lowercase hex rendering of `h` (no leading zeros, like %llx).
+[[nodiscard]] std::string hex64(std::uint64_t h);
+
+/// Accumulates a multi-field content hash with unambiguous field framing.
+/// Usage: `ContentHasher().field(source).field(flags).field(n).hex()`.
+class ContentHasher {
+ public:
+  ContentHasher& field(std::string_view s) {
+    h_ = fnv1a64(s, h_);
+    h_ = fnv1a64(kSep, h_);
+    return *this;
+  }
+  ContentHasher& field(std::int64_t v) { return field(std::to_string(v)); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+  [[nodiscard]] std::string hex() const { return hex64(h_); }
+
+ private:
+  static constexpr std::string_view kSep = "\x1f";
+  std::uint64_t h_ = kFnv1aOffset;
+};
+
+}  // namespace csr

@@ -1,0 +1,146 @@
+#include "support/journal.hpp"
+
+#include <sstream>
+
+#include "support/hash.hpp"
+
+namespace csr {
+
+namespace {
+
+std::string record_checksum(const std::string& key, const std::string& payload) {
+  return ContentHasher().field(key).field(payload).hex();
+}
+
+bool valid_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    if (c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string journal_escape(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (const char c : payload) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> journal_unescape(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '\\') {
+      out += line[i];
+      continue;
+    }
+    if (++i == line.size()) return std::nullopt;  // dangling backslash
+    switch (line[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+bool ResultJournal::open(const std::string& path, std::string* error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  dropped_ = 0;
+  path_ = path;
+  if (out_.is_open()) out_.close();
+
+  // Replay phase: every well-formed, checksum-valid line becomes an entry;
+  // anything else (torn tail line of a killed writer, bit rot) is dropped.
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      const std::size_t t1 = line.find('\t');
+      const std::size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+      if (t2 == std::string::npos) {
+        ++dropped_;
+        continue;
+      }
+      const std::string key = line.substr(0, t1);
+      const std::string checksum = line.substr(t1 + 1, t2 - t1 - 1);
+      const auto payload = journal_unescape(line.substr(t2 + 1));
+      if (!payload || !valid_key(key) ||
+          record_checksum(key, *payload) != checksum) {
+        ++dropped_;
+        continue;
+      }
+      entries_[key] = *payload;  // last writer wins
+    }
+    // A missing file is a fresh journal, not an error.
+  }
+
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    if (error != nullptr) *error = "cannot open journal for append: " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> ResultJournal::lookup(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ResultJournal::append(const std::string& key, const std::string& payload) {
+  if (!valid_key(key)) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = payload;
+  if (!out_.is_open()) return false;
+  // One composed write + flush per record: a crash can tear only the final
+  // line, which the next open() detects by its checksum and drops.
+  std::ostringstream record;
+  record << key << '\t' << record_checksum(key, payload) << '\t'
+         << journal_escape(payload) << '\n';
+  out_ << record.str();
+  out_.flush();
+  return static_cast<bool>(out_);
+}
+
+std::size_t ResultJournal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace csr

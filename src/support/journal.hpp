@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file journal.hpp
+/// A crash-safe, append-only, on-disk key→payload journal — the persistence
+/// layer of the sweep driver's result cache. Design constraints, in order:
+///
+///   * **Crash safety.** A process killed mid-append must never corrupt the
+///     records already on disk. The journal is therefore append-only, one
+///     record per line, each carrying its own content checksum; `open()`
+///     silently drops any torn or corrupt record (typically the killed
+///     process's last partial line) and keeps everything before it.
+///   * **Replayability.** Re-opening a journal replays every valid record
+///     into memory; duplicate keys resolve last-writer-wins, so re-running a
+///     cell simply supersedes its previous result.
+///   * **Concurrency.** `append()` and `lookup()` are thread-safe within a
+///     process (one writer mutex; records are composed into a single write
+///     plus flush). Cross-process appenders are not supported — one sweep
+///     owns one journal file at a time.
+///
+/// Record format (one line, three tab-separated fields):
+///
+///     <key> \t <fnv1a-hex checksum of key+payload> \t <escaped payload>
+///
+/// Payloads are escaped (`\\`, `\t`, `\n`, `\r`) so any byte sequence fits
+/// on a line. Durability is flush-to-OS per record: the journal survives
+/// process death (including SIGKILL), not kernel panics or power loss.
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace csr {
+
+/// Escapes a payload for single-line storage (see file comment).
+[[nodiscard]] std::string journal_escape(const std::string& payload);
+/// Inverse of journal_escape; returns nullopt on malformed escapes.
+[[nodiscard]] std::optional<std::string> journal_unescape(const std::string& line);
+
+class ResultJournal {
+ public:
+  ResultJournal() = default;
+  ResultJournal(const ResultJournal&) = delete;
+  ResultJournal& operator=(const ResultJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at `path`, replaying every valid
+  /// record into memory. Returns false — with the reason in `*error` — only
+  /// when the file cannot be read or opened for append; corrupt records are
+  /// not an error, they are counted in dropped_records().
+  bool open(const std::string& path, std::string* error = nullptr);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// The payload last recorded for `key`, if any.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+
+  /// Appends one record and flushes it to the OS. Returns false when the
+  /// journal is not open or the write failed (the in-memory entry is still
+  /// updated so the running sweep keeps its result). `key` must be non-empty
+  /// and free of tabs/newlines — ContentHasher hex keys always are.
+  bool append(const std::string& key, const std::string& payload);
+
+  /// Distinct keys currently known.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Corrupt or torn records ignored by the last open().
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> entries_;
+  std::ofstream out_;
+  std::string path_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace csr

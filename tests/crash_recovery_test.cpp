@@ -1,0 +1,157 @@
+// Crash recovery of a journaled sweep. Two layers:
+//
+//   * a deterministic variant driven by the cell budget — a "crash" is just
+//     a run that stops after k cells, and resuming must execute exactly the
+//     delta (and, once complete, exactly zero cells);
+//   * a genuine kill — a forked child sweeps slice by slice until SIGKILLed
+//     mid-run, and the parent resumes from whatever the journal captured
+//     (including a possibly torn final record).
+//
+// In every case the final exports must be byte-identical to a clean,
+// uncrashed, unjournaled sweep of the same grid.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "driver/export.hpp"
+#include "driver/sweep.hpp"
+#include "support/journal.hpp"
+
+namespace csr {
+namespace {
+
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {
+    std::remove(path_.c_str());
+  }
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+driver::SweepGrid recovery_grid() {
+  driver::SweepGrid grid;
+  grid.benchmarks = {"IIR Filter", "All-pole Filter"};
+  grid.trip_counts = {23};
+  grid.factors = {2, 3};
+  return grid;
+}
+
+TEST(CrashRecovery, BudgetedRunsResumeWithExactDeltas) {
+  const driver::SweepGrid grid = recovery_grid();
+  const std::size_t total = grid.cells().size();
+  ASSERT_GE(total, 6u);
+  const ScopedFile journal(::testing::TempDir() + "csr_crash_budget.tsv");
+
+  // Clean reference: no journal, no budget, no crash.
+  driver::SweepOptions plain;
+  plain.threads = 2;
+  const auto reference = driver::run_sweep(grid, plain);
+  const std::string ref_csv = driver::to_csv(reference);
+  const std::string ref_json = driver::to_json(reference);
+
+  driver::SweepOptions options;
+  options.threads = 2;
+  options.journal_path = journal.path();
+
+  // Run 1 "crashes" after a third of the grid.
+  options.cell_budget = total / 3;
+  driver::SweepStats first;
+  const auto partial = driver::run_sweep(grid, options, &first);
+  EXPECT_EQ(first.executed, total / 3);
+  EXPECT_EQ(first.budget_expired, total - total / 3);
+  EXPECT_EQ(first.cache_hits, 0u);
+  std::size_t unevaluated = 0;
+  for (const auto& r : partial) unevaluated += r.evaluated ? 0 : 1;
+  EXPECT_EQ(unevaluated, first.budget_expired);
+
+  // Run 2 resumes: replays the journaled third, executes only the delta.
+  options.cell_budget = 0;
+  driver::SweepStats second;
+  const auto resumed = driver::run_sweep(grid, options, &second);
+  EXPECT_EQ(second.cache_hits, total / 3);
+  EXPECT_EQ(second.executed, total - total / 3);
+  EXPECT_EQ(driver::to_csv(resumed), ref_csv);
+  EXPECT_EQ(driver::to_json(resumed), ref_json);
+
+  // Run 3: the journal is complete — zero cells re-execute.
+  driver::SweepStats third;
+  const auto replayed = driver::run_sweep(grid, options, &third);
+  EXPECT_EQ(third.executed, 0u);
+  EXPECT_EQ(third.cache_hits, total);
+  EXPECT_EQ(driver::to_csv(replayed), ref_csv);
+  EXPECT_EQ(driver::to_json(replayed), ref_json);
+}
+
+TEST(CrashRecovery, SigkilledSweepResumesFromTheJournal) {
+  const driver::SweepGrid grid = recovery_grid();
+  const std::size_t total = grid.cells().size();
+  const ScopedFile journal(::testing::TempDir() + "csr_crash_kill.tsv");
+
+  driver::SweepOptions plain;
+  plain.threads = 2;
+  const auto reference = driver::run_sweep(grid, plain);
+  const std::string ref_csv = driver::to_csv(reference);
+  const std::string ref_json = driver::to_json(reference);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child: sweep one new cell at a time with a pause between slices, so
+    // the parent's SIGKILL reliably lands mid-run. _exit, never exit — no
+    // gtest teardown in the child.
+    driver::SweepOptions options;
+    options.threads = 1;
+    options.journal_path = journal.path();
+    options.cell_budget = 1;
+    for (std::size_t slice = 0; slice < total; ++slice) {
+      (void)driver::run_sweep(grid, options);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::_exit(0);
+  }
+
+  // Parent: give the child time to journal a few slices, then kill it cold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The journal holds whatever the child finished — possibly with a torn
+  // final record, which open() must drop silently.
+  driver::SweepOptions options;
+  options.threads = 2;
+  options.journal_path = journal.path();
+  driver::SweepStats resumed_stats;
+  const auto resumed = driver::run_sweep(grid, options, &resumed_stats);
+  EXPECT_GE(resumed_stats.cache_hits, 1u)
+      << "child was killed before journaling anything — raise the delay";
+  EXPECT_EQ(resumed_stats.cache_hits + resumed_stats.executed, total);
+  EXPECT_LE(resumed_stats.journal_dropped, 1u);  // at most the torn tail
+  EXPECT_EQ(driver::to_csv(resumed), ref_csv);
+  EXPECT_EQ(driver::to_json(resumed), ref_json);
+
+  // And once recovered, a further run re-executes nothing at all.
+  driver::SweepStats final_stats;
+  const auto replayed = driver::run_sweep(grid, options, &final_stats);
+  EXPECT_EQ(final_stats.executed, 0u);
+  EXPECT_EQ(final_stats.cache_hits, total);
+  EXPECT_EQ(driver::to_csv(replayed), ref_csv);
+}
+
+}  // namespace
+}  // namespace csr

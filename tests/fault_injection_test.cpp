@@ -1,0 +1,279 @@
+// Fault injection for the native toolchain path (CSR_FAKE_CC /
+// CompileOptions::fake_compiler): hung compilers must hit their subprocess
+// deadline, transient failures must be retried with bounded backoff, and a
+// cell whose toolchain never recovers must degrade to VM verification with
+// the failure preserved — injected faults may cost a cell time, never abort
+// a sweep. Also hammers the compile cache's per-key locking from many
+// threads, the regression test for the lock-ordering discipline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "driver/sweep.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
+
+namespace csr {
+namespace {
+
+/// Restores (or clears) an environment variable on scope exit so fault
+/// injection cannot leak into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// A private, empty compile-cache directory for the test's scope. The real
+/// cache is content-addressed and persists across processes — exactly what
+/// attempt-counting tests must NOT see, or a success cached by an earlier
+/// run satisfies "attempt 1" instantly.
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const char* name)
+      : dir_(::testing::TempDir() + name), env_("CSR_NATIVE_CACHE_DIR", dir_.c_str()) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~ScopedCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+  ScopedEnv env_;
+};
+
+driver::SweepCell native_cell() {
+  driver::SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.exec = driver::ExecEngine::kNative;
+  cell.transform = driver::Transform::kRetimedCsr;
+  cell.n = 23;
+  return cell;
+}
+
+driver::RetryPolicy fast_retry(int attempts) {
+  driver::RetryPolicy retry;
+  retry.max_attempts = attempts;
+  retry.backoff_base = 0.001;  // keep injected-failure tests fast
+  retry.backoff_max = 0.002;
+  return retry;
+}
+
+TEST(FakeCompiler, FailSpecAlwaysFailsWithDiagnostic) {
+  native::CompileOptions options;
+  options.fake_compiler = "fail";
+  const native::CompileResult r =
+      native::compile_shared_object("int csr_fake_fail_probe;", options);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_NE(r.diagnostic.find("injected failure"), std::string::npos) << r.diagnostic;
+}
+
+TEST(FakeCompiler, UnknownSpecBehavesLikeFail) {
+  native::CompileOptions options;
+  options.fake_compiler = "explode-colorfully";
+  EXPECT_FALSE(native::compile_shared_object("int csr_fake_unknown_probe;", options).ok);
+}
+
+TEST(FakeCompiler, HangSpecIsKilledAtTheDeadline) {
+  native::CompileOptions options;
+  options.fake_compiler = "hang:30";
+  options.deadline_seconds = 0.4;
+  const auto start = std::chrono::steady_clock::now();
+  const native::CompileResult r =
+      native::compile_shared_object("int csr_fake_hang_probe;", options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_NE(r.diagnostic.find("timed out"), std::string::npos) << r.diagnostic;
+  // Deadline enforcement, not the fake's 30 s sleep, ended the subprocess.
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(FakeCompiler, OkAfterSucceedsOnTheNthAttempt) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  const ScopedCacheDir cache("csr_okafter_cache");
+  native::reset_fake_cc_attempts();
+  native::CompileOptions options;
+  options.fake_compiler = "ok-after=3";
+  const std::string source = "int csr_fake_okafter_probe;";
+  const native::CompileResult a1 = native::compile_shared_object(source, options);
+  EXPECT_FALSE(a1.ok);
+  EXPECT_NE(a1.diagnostic.find("attempt 1"), std::string::npos) << a1.diagnostic;
+  const native::CompileResult a2 = native::compile_shared_object(source, options);
+  EXPECT_FALSE(a2.ok);
+  EXPECT_NE(a2.diagnostic.find("attempt 2"), std::string::npos) << a2.diagnostic;
+  const native::CompileResult a3 = native::compile_shared_object(source, options);
+  EXPECT_TRUE(a3.ok) << a3.diagnostic;
+  EXPECT_FALSE(a3.shared_object.empty());
+}
+
+TEST(FakeCompiler, AttemptCountersArePerCacheKey) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  const ScopedCacheDir cache("csr_perkey_cache");
+  native::reset_fake_cc_attempts();
+  native::CompileOptions options;
+  options.fake_compiler = "ok-after=2";
+  // Two distinct sources count attempts independently: each needs its own
+  // second try.
+  EXPECT_FALSE(native::compile_shared_object("int csr_per_key_a;", options).ok);
+  EXPECT_FALSE(native::compile_shared_object("int csr_per_key_b;", options).ok);
+  EXPECT_TRUE(native::compile_shared_object("int csr_per_key_a;", options).ok);
+  EXPECT_TRUE(native::compile_shared_object("int csr_per_key_b;", options).ok);
+}
+
+TEST(FakeCompiler, EnvironmentVariableDrivesInjection) {
+  ScopedEnv env("CSR_FAKE_CC", "fail");
+  const native::CompileResult r =
+      native::compile_shared_object("int csr_fake_env_probe;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("injected failure"), std::string::npos);
+}
+
+TEST(SweepRetry, PersistentFailureRetriesThenFallsBackToVm) {
+  ScopedEnv env("CSR_FAKE_CC", "fail");
+  driver::SweepOptions options;
+  options.retry = fast_retry(3);
+  const driver::SweepResult r = driver::evaluate_cell(native_cell(), options);
+  EXPECT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.retries, 2);  // 3 attempts = 2 retries
+  EXPECT_TRUE(r.engine_fallback);
+  EXPECT_NE(r.fallback_reason.find("injected failure"), std::string::npos)
+      << r.fallback_reason;
+  EXPECT_TRUE(r.verified);  // the VM carried the differential check
+  EXPECT_TRUE(r.discipline_ok);
+}
+
+TEST(SweepRetry, TransientFailureRecoversWithinTheRetryBudget) {
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  const ScopedCacheDir cache("csr_transient_cache");
+  native::reset_fake_cc_attempts();
+  ScopedEnv env("CSR_FAKE_CC", "ok-after=2");
+  driver::SweepOptions options;
+  options.retry = fast_retry(3);
+  const driver::SweepResult r = driver::evaluate_cell(native_cell(), options);
+  EXPECT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.retries, 1);  // failed once, recovered on attempt 2
+  EXPECT_FALSE(r.engine_fallback) << r.fallback_reason;
+  EXPECT_TRUE(r.verified);  // verified natively this time
+}
+
+TEST(SweepRetry, HungCompilerHitsDeadlineAndNeverAbortsTheSweep) {
+  ScopedEnv env("CSR_FAKE_CC", "hang:30");
+  driver::SweepOptions options;
+  options.retry = fast_retry(2);
+  options.retry.compile_deadline = 0.3;
+  const auto start = std::chrono::steady_clock::now();
+  const driver::SweepResult r = driver::evaluate_cell(native_cell(), options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.retries, 1);
+  EXPECT_TRUE(r.engine_fallback);
+  EXPECT_NE(r.fallback_reason.find("timed out"), std::string::npos)
+      << r.fallback_reason;
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(elapsed, 20.0);  // two deadlines + backoff, not two 30 s hangs
+}
+
+TEST(SweepRetry, WholeNativeSweepSurvivesInjectedFailures) {
+  // End-to-end: a multi-cell sweep over the native axis with a failing
+  // toolchain completes every cell (via fallback), aggregates its retries
+  // and fallbacks, and stays feasible throughout.
+  ScopedEnv env("CSR_FAKE_CC", "fail");
+  driver::SweepGrid grid;
+  grid.benchmarks = {"IIR Filter"};
+  grid.trip_counts = {23};
+  grid.exec_engines = {driver::ExecEngine::kNative};
+  grid.transforms = {driver::Transform::kOriginal, driver::Transform::kRetimedCsr};
+  grid.factors = {};
+  driver::SweepOptions options;
+  options.threads = 2;
+  options.retry = fast_retry(2);
+  driver::SweepStats stats;
+  const auto results = driver::run_sweep(grid, options, &stats);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.feasible) << r.error;
+    EXPECT_TRUE(r.engine_fallback);
+    EXPECT_TRUE(r.verified);
+  }
+  EXPECT_EQ(stats.fallbacks, 2u);
+  EXPECT_EQ(stats.retries, 2u);  // one retry per cell
+  EXPECT_EQ(stats.executed, 2u);
+}
+
+TEST(CompileCache, EightThreadsHammeringCollidingKeysStaysConsistent) {
+  // Regression test for the per-key locking rework: eight threads compile a
+  // small set of colliding sources concurrently; every call must succeed
+  // with a consistent shared object per source, and the runtime
+  // lock-ordering assertions must stay quiet throughout.
+  if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  const std::vector<std::string> sources = {
+      "int csr_hammer_a; int csr_hammer_a2;",
+      "int csr_hammer_b;",
+      "int csr_hammer_c; int csr_hammer_c2; int csr_hammer_c3;",
+  };
+  std::vector<std::vector<std::string>> seen(sources.size());
+  std::mutex seen_mutex;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t which = static_cast<std::size_t>(t + round) % sources.size();
+        const native::CompileResult r =
+            native::compile_shared_object(sources[which]);
+        if (!r.ok) {
+          ++failures;
+          continue;
+        }
+        const std::lock_guard<std::mutex> lock(seen_mutex);
+        seen[which].push_back(r.shared_object);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_FALSE(seen[i].empty()) << i;
+    for (const std::string& path : seen[i]) {
+      EXPECT_EQ(path, seen[i].front()) << i;  // one object per source, ever
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

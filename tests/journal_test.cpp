@@ -1,0 +1,173 @@
+// The crash-safe result journal (support/journal.hpp): escaping, replay,
+// last-writer-wins, and — the point of the design — tolerance of torn and
+// corrupt records, which are exactly what a SIGKILLed sweep leaves behind.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/hash.hpp"
+#include "support/journal.hpp"
+
+namespace csr {
+namespace {
+
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {
+    std::remove(path_.c_str());
+  }
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+TEST(JournalEscape, RoundTripsControlCharacters) {
+  const std::string hostile = "plain \\ back\tslash\nnew\rline \x1f unit";
+  const std::string escaped = journal_escape(hostile);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\r'), std::string::npos);
+  const auto back = journal_unescape(escaped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, hostile);
+}
+
+TEST(JournalEscape, RejectsMalformedEscapes) {
+  EXPECT_FALSE(journal_unescape("trailing\\").has_value());
+  EXPECT_FALSE(journal_unescape("unknown\\q").has_value());
+  EXPECT_TRUE(journal_unescape("fine\\\\").has_value());
+}
+
+TEST(ResultJournal, AppendLookupAndReplay) {
+  const ScopedFile file(temp_path("csr_journal_replay.tsv"));
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(file.path()));
+    EXPECT_TRUE(journal.append("k1", "payload one"));
+    EXPECT_TRUE(journal.append("k2", "tab\there\nand newline"));
+    EXPECT_EQ(journal.size(), 2u);
+    const auto hit = journal.lookup("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "payload one");
+    EXPECT_FALSE(journal.lookup("missing").has_value());
+  }
+  // A fresh open replays everything the previous owner flushed.
+  ResultJournal replay;
+  ASSERT_TRUE(replay.open(file.path()));
+  EXPECT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay.dropped_records(), 0u);
+  const auto k2 = replay.lookup("k2");
+  ASSERT_TRUE(k2.has_value());
+  EXPECT_EQ(*k2, "tab\there\nand newline");
+}
+
+TEST(ResultJournal, DuplicateKeysResolveLastWriterWins) {
+  const ScopedFile file(temp_path("csr_journal_lww.tsv"));
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(file.path()));
+    EXPECT_TRUE(journal.append("k", "old"));
+    EXPECT_TRUE(journal.append("k", "new"));
+    EXPECT_EQ(journal.size(), 1u);
+    EXPECT_EQ(*journal.lookup("k"), "new");
+  }
+  ResultJournal replay;
+  ASSERT_TRUE(replay.open(file.path()));
+  EXPECT_EQ(*replay.lookup("k"), "new");
+}
+
+TEST(ResultJournal, TornTailRecordIsDroppedOnOpen) {
+  // A process killed mid-append leaves a partial final line; open() must
+  // keep every complete record before it and count exactly one drop.
+  const ScopedFile file(temp_path("csr_journal_torn.tsv"));
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(file.path()));
+    ASSERT_TRUE(journal.append("good1", "payload"));
+    ASSERT_TRUE(journal.append("good2", "payload"));
+  }
+  {
+    std::ofstream out(file.path(), std::ios::app | std::ios::binary);
+    out << "torn-key\t0123456789abcdef\ttruncated-paylo";  // no newline, bad sum
+  }
+  ResultJournal replay;
+  ASSERT_TRUE(replay.open(file.path()));
+  EXPECT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay.dropped_records(), 1u);
+  EXPECT_TRUE(replay.lookup("good1").has_value());
+  EXPECT_FALSE(replay.lookup("torn-key").has_value());
+}
+
+TEST(ResultJournal, ChecksumMismatchIsDroppedOnOpen) {
+  // Bit rot (or hand editing) must degrade to a cache miss, never to a
+  // silently wrong replay.
+  const ScopedFile file(temp_path("csr_journal_sum.tsv"));
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(file.path()));
+    ASSERT_TRUE(journal.append("victim", "original payload"));
+    ASSERT_TRUE(journal.append("witness", "untouched"));
+  }
+  // Flip a payload byte on disk, keeping the record well-formed.
+  std::string contents;
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto at = contents.find("original");
+  ASSERT_NE(at, std::string::npos);
+  contents[at] = 'O';
+  {
+    std::ofstream out(file.path(), std::ios::trunc | std::ios::binary);
+    out << contents;
+  }
+  ResultJournal replay;
+  ASSERT_TRUE(replay.open(file.path()));
+  EXPECT_EQ(replay.dropped_records(), 1u);
+  EXPECT_FALSE(replay.lookup("victim").has_value());
+  EXPECT_TRUE(replay.lookup("witness").has_value());
+}
+
+TEST(ResultJournal, AppendWithoutOpenFailsButKeepsTheEntryInMemory) {
+  // The documented degraded mode: when the disk side is unavailable the
+  // append reports failure but the running sweep keeps its result cached
+  // in memory — persistence degrades, correctness doesn't.
+  ResultJournal journal;
+  EXPECT_FALSE(journal.is_open());
+  EXPECT_FALSE(journal.append("k", "v"));
+  const auto hit = journal.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "v");
+}
+
+TEST(ResultJournal, OpenReportsUnwritableDirectory) {
+  ResultJournal journal;
+  std::string error;
+  EXPECT_FALSE(journal.open("/nonexistent-dir/csr.journal", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(journal.is_open());
+}
+
+TEST(ContentHasher, FieldSeparatorsPreventConcatenationCollisions) {
+  // ("ab", "c") and ("a", "bc") must hash differently — the whole point of
+  // the \x1f field framing under the journal keys.
+  const auto h1 = ContentHasher().field("ab").field("c").value();
+  const auto h2 = ContentHasher().field("a").field("bc").value();
+  EXPECT_NE(h1, h2);
+  EXPECT_FALSE(hex64(h1).empty());
+  // Stable across calls (pure function of the fields), and integer fields
+  // hash like their decimal rendering — the journal key contract.
+  EXPECT_EQ(h1, ContentHasher().field("ab").field("c").value());
+  EXPECT_EQ(ContentHasher().field(std::int64_t{12}).value(),
+            ContentHasher().field("12").value());
+}
+
+}  // namespace
+}  // namespace csr

@@ -202,20 +202,50 @@ TEST(NativeDriver, NativeIsAFirstClassGridAxis) {
   }
 }
 
-TEST(NativeDriver, MissingCompilerMarksCellsSkippedNotFailed) {
+TEST(NativeDriver, MissingCompilerFallsBackToVmWithDiagnostic) {
+  // The default retry policy degrades a native cell whose toolchain is
+  // broken to VM verification, preserving the toolchain failure as the
+  // cell's diagnostic — the sweep keeps full differential coverage.
   ScopedEnv env("CSR_CC", "/nonexistent/csr-test-cc");
   driver::SweepCell cell;
   cell.benchmark = "IIR Filter";
   cell.exec = driver::ExecEngine::kNative;
   cell.transform = driver::Transform::kRetimedCsr;
   cell.n = 23;
-  const driver::SweepResult r = driver::evaluate_cell(cell, driver::SweepOptions{});
+  driver::SweepOptions options;
+  options.retry.max_attempts = 1;  // a missing binary never comes back
+  const driver::SweepResult r = driver::evaluate_cell(cell, options);
   EXPECT_TRUE(r.feasible) << r.error;  // the cell itself is fine
+  EXPECT_FALSE(r.skipped);
+  EXPECT_TRUE(r.engine_fallback);
+  EXPECT_NE(r.fallback_reason.find("/nonexistent/csr-test-cc"), std::string::npos)
+      << r.fallback_reason;
+  EXPECT_TRUE(r.verified);  // verified — on the VM, not natively
+  EXPECT_TRUE(r.discipline_ok);
+  EXPECT_GT(r.code_size, 0);  // generation and accounting still happened
+}
+
+TEST(NativeDriver, MissingCompilerMarksCellsSkippedWhenFallbackDisabled) {
+  // RetryPolicy::fallback_to_vm = false restores the pre-journal contract:
+  // a missing host compiler is a property of the machine, not of the cell,
+  // so the cell reports skipped (still feasible) with the diagnostic.
+  ScopedEnv env("CSR_CC", "/nonexistent/csr-test-cc");
+  driver::SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.exec = driver::ExecEngine::kNative;
+  cell.transform = driver::Transform::kRetimedCsr;
+  cell.n = 23;
+  driver::SweepOptions options;
+  options.retry.max_attempts = 1;
+  options.retry.fallback_to_vm = false;
+  const driver::SweepResult r = driver::evaluate_cell(cell, options);
+  EXPECT_TRUE(r.feasible) << r.error;
   EXPECT_TRUE(r.skipped);
+  EXPECT_FALSE(r.engine_fallback);
   EXPECT_NE(r.skip_reason.find("/nonexistent/csr-test-cc"), std::string::npos)
       << r.skip_reason;
   EXPECT_FALSE(r.verified);  // skipped cells never claim verification
-  EXPECT_GT(r.code_size, 0);  // generation and accounting still happened
+  EXPECT_GT(r.code_size, 0);
 }
 
 }  // namespace

@@ -1,8 +1,14 @@
 // Randomized property tests tying the whole pipeline together: on random
 // legal DFGs, minimum-period retiming and all code-generation paths must
 // produce semantically equivalent programs with model-exact code sizes.
+// The second half checks the *structural* invariants of Section 2.2 and
+// Theorem 4.3 on random graphs, and the sweep driver's determinism
+// contract: exports are byte-identical across worker counts, steal orders
+// and journal warmth.
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
@@ -14,6 +20,8 @@
 #include "dfg/algorithms.hpp"
 #include "dfg/iteration_bound.hpp"
 #include "dfg/random.hpp"
+#include "driver/export.hpp"
+#include "driver/sweep.hpp"
 #include "native/compile.hpp"
 #include "native/engine.hpp"
 #include "retiming/opt.hpp"
@@ -149,6 +157,226 @@ TEST(RandomPipeline, UnfoldingApproachesFractionalBounds) {
     EXPECT_EQ(Rational(opt.period, q), *bound) << trial;
   }
   EXPECT_GT(fractional_seen, 0);
+}
+
+std::int64_t statement_count(const LoopSegment& seg) {
+  std::int64_t count = 0;
+  for (const Instruction& instr : seg.instructions) {
+    if (instr.kind == InstrKind::kStatement) ++count;
+  }
+  return count;
+}
+
+TEST(PaperInvariants, NormalizedRetimingExpansionMatchesClosedForms) {
+  // Section 2.2 as a structural property: software-pipelining a loop under a
+  // normalized retiming puts exactly r(v) copies of each node v into the
+  // prologue and M_r − r(v) into the epilogue — so the generated program's
+  // prologue holds Σ_v r(v) statements and its epilogue Σ_v (M_r − r(v)),
+  // exactly the pipeline_expansion() census.
+  SplitMix64 rng(0x5EEDF00Dull);
+  RandomDfgOptions options;
+  options.max_nodes = 9;
+  const std::int64_t n = 31;
+  for (int trial = 0; trial < 40; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const Retiming r = minimum_period_retiming(g).retiming.normalized();
+    if (n <= r.max_value() + 1) continue;  // keep the steady loop multi-trip
+    const PipelineExpansion census = pipeline_expansion(g, r);
+    ASSERT_EQ(census.depth, r.max_value()) << trial;
+
+    const LoopProgram p = retimed_program(g, r, n);
+    // Shape: straight-line prologue segments, one multi-trip steady-state
+    // loop, straight-line epilogue segments.
+    std::int64_t prologue = 0;
+    std::int64_t epilogue = 0;
+    std::int64_t body = -1;
+    bool seen_loop = false;
+    for (const LoopSegment& seg : p.segments) {
+      if (!seg.straight_line()) {
+        ASSERT_FALSE(seen_loop) << trial << ": two steady-state loops";
+        seen_loop = true;
+        body = statement_count(seg);
+      } else if (!seen_loop) {
+        prologue += statement_count(seg);
+      } else {
+        epilogue += statement_count(seg);
+      }
+    }
+    ASSERT_TRUE(seen_loop) << trial;
+    EXPECT_EQ(prologue, census.prologue_statements) << trial;
+    EXPECT_EQ(epilogue, census.epilogue_statements) << trial;
+    EXPECT_EQ(body, original_size(g)) << trial;  // one statement per node
+  }
+}
+
+TEST(PaperInvariants, RetimedCsrIsLoopBodyAloneWithRegisterOverhead) {
+  // Theorem 4.3 as a structural property: the CSR form removes prologue and
+  // epilogue entirely. Every statement copy lives in the single loop — one
+  // guarded statement per node, L_orig in total — and the only additions are
+  // |N_r| register setups before the loop and |N_r| decrements inside it.
+  SplitMix64 rng(0xCA5CADEull);
+  RandomDfgOptions options;
+  options.max_nodes = 9;
+  const std::int64_t n = 31;
+  for (int trial = 0; trial < 40; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const Retiming r = minimum_period_retiming(g).retiming.normalized();
+    if (n <= r.max_value()) continue;
+    const std::int64_t regs = registers_required(r);
+    ASSERT_EQ(regs, static_cast<std::int64_t>(r.distinct_values().size())) << trial;
+
+    const LoopProgram p = retimed_csr_program(g, r, n);
+    std::int64_t statements = 0;
+    std::int64_t setups = 0;
+    std::int64_t decrements = 0;
+    std::int64_t statements_outside_loop = 0;
+    for (const LoopSegment& seg : p.segments) {
+      for (const Instruction& instr : seg.instructions) {
+        switch (instr.kind) {
+          case InstrKind::kStatement:
+            ++statements;
+            if (seg.straight_line()) ++statements_outside_loop;
+            break;
+          case InstrKind::kSetup:
+            ++setups;
+            break;
+          case InstrKind::kDecrement:
+            ++decrements;
+            break;
+        }
+      }
+    }
+    EXPECT_EQ(statements, original_size(g)) << trial;  // the loop body alone
+    EXPECT_EQ(statements_outside_loop, 0) << trial;    // no prologue/epilogue
+    EXPECT_EQ(setups, regs) << trial;
+    EXPECT_EQ(decrements, regs) << trial;
+    EXPECT_EQ(p.code_size(), original_size(g) + 2 * regs) << trial;
+    EXPECT_EQ(static_cast<std::int64_t>(p.conditional_registers().size()), regs)
+        << trial;
+  }
+}
+
+/// Removes a file on scope exit — temp journals must not leak across tests.
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {
+    std::remove(path_.c_str());
+  }
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+driver::SweepGrid small_grid() {
+  driver::SweepGrid grid;
+  grid.benchmarks = {"IIR Filter", "Differential Equation"};
+  grid.trip_counts = {23};
+  grid.factors = {2, 3};
+  return grid;
+}
+
+TEST(SweepProperties, ExportsIndependentOfWorkerCountAndStealOrder) {
+  // The determinism contract: result slot i always holds cell i's result,
+  // so the default exports are byte-identical for any thread count and any
+  // steal-victim permutation.
+  const driver::SweepGrid grid = small_grid();
+  driver::SweepOptions serial;
+  serial.threads = 1;
+  const auto reference = driver::run_sweep(grid, serial);
+  const std::string ref_csv = driver::to_csv(reference);
+  const std::string ref_json = driver::to_json(reference);
+  EXPECT_FALSE(ref_csv.empty());
+
+  for (const unsigned threads : {2u, 5u, 8u}) {
+    for (const std::uint64_t seed : {0ull, 0xFEEDull}) {
+      driver::SweepOptions options;
+      options.threads = threads;
+      options.steal_seed = seed;
+      const auto results = driver::run_sweep(grid, options);
+      EXPECT_EQ(driver::to_csv(results), ref_csv) << threads << '/' << seed;
+      EXPECT_EQ(driver::to_json(results), ref_json) << threads << '/' << seed;
+    }
+  }
+}
+
+TEST(SweepProperties, JournalReplayIsByteIdenticalAndExecutesNothing) {
+  // The persistent-cache contract: a warm re-run replays every cell from
+  // the journal (zero executions) and its default exports are byte-equal to
+  // both the cold run's and an unjournaled run's.
+  const driver::SweepGrid grid = small_grid();
+  const ScopedFile journal(::testing::TempDir() + "csr_property_journal.tsv");
+
+  driver::SweepOptions options;
+  options.threads = 4;
+  options.journal_path = journal.path();
+
+  driver::SweepStats cold;
+  const auto first = driver::run_sweep(grid, options, &cold);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.executed, cold.total_cells);
+  EXPECT_GT(cold.total_cells, 0u);
+
+  driver::SweepStats warm;
+  const auto second = driver::run_sweep(grid, options, &warm);
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.total_cells);
+
+  driver::SweepOptions uncached;
+  uncached.threads = 4;
+  const auto plain = driver::run_sweep(grid, uncached);
+
+  EXPECT_EQ(driver::to_csv(second), driver::to_csv(first));
+  EXPECT_EQ(driver::to_json(second), driver::to_json(first));
+  EXPECT_EQ(driver::to_csv(plain), driver::to_csv(first));
+  EXPECT_EQ(driver::to_json(plain), driver::to_json(first));
+  for (const auto& r : second) EXPECT_TRUE(r.from_cache);
+}
+
+TEST(SweepProperties, JournalPayloadRoundTripsHostileStrings) {
+  // The payload codec must round-trip any diagnostic text — including the
+  // codec's own separator and escape characters.
+  driver::SweepResult r;
+  r.cell.benchmark = "IIR Filter";
+  r.feasible = false;
+  r.error = "tab\there \x1f unit \\ backslash\nnewline";
+  r.skip_reason = "\x1f\x1f\\\\";
+  r.fallback_reason = "cc: exited with status 1\n\tline 2";
+  r.engine_fallback = true;
+  r.iteration_bound = "8/3";
+  r.period = Rational(7, 3);
+  r.depth = 4;
+  r.registers = 3;
+  r.code_size = 17;
+  r.predicted_size = 17;
+  r.verified = true;
+  r.discipline_ok = true;
+  r.exec_statements = 12345;
+
+  const std::string payload = driver::to_journal_payload(r);
+  driver::SweepResult back;
+  ASSERT_TRUE(driver::from_journal_payload(payload, r.cell, back));
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_EQ(back.skip_reason, r.skip_reason);
+  EXPECT_EQ(back.fallback_reason, r.fallback_reason);
+  EXPECT_EQ(back.engine_fallback, r.engine_fallback);
+  EXPECT_EQ(back.iteration_bound, r.iteration_bound);
+  EXPECT_EQ(back.period, r.period);
+  EXPECT_EQ(back.depth, r.depth);
+  EXPECT_EQ(back.registers, r.registers);
+  EXPECT_EQ(back.code_size, r.code_size);
+  EXPECT_EQ(back.verified, r.verified);
+  EXPECT_EQ(back.exec_statements, r.exec_statements);
+
+  // Malformed payloads must be rejected, not misparsed: a corrupt journal
+  // degrades to a cache miss, never to a wrong result.
+  driver::SweepResult scratch;
+  EXPECT_FALSE(driver::from_journal_payload("", r.cell, scratch));
+  EXPECT_FALSE(driver::from_journal_payload("bogus-v9" + payload, r.cell, scratch));
+  EXPECT_FALSE(
+      driver::from_journal_payload(payload.substr(0, payload.size() / 2), r.cell,
+                                   scratch));
 }
 
 TEST(RandomPipeline, CsrRegisterCountInvariantUnderUnfolding) {
