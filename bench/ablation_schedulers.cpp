@@ -10,9 +10,11 @@
 // model on the thread pool.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "benchmarks/benchmarks.hpp"
-#include "driver/sweep.hpp"
+#include "driver/config.hpp"
 #include "table_util.hpp"
 
 int main() {
@@ -35,21 +37,26 @@ int main() {
     return "?";
   };
 
-  driver::SweepGrid grid;
+  std::vector<std::string> names;
   for (const auto& info : benchmarks::table_benchmarks()) {
-    grid.benchmarks.push_back(info.name);
+    names.push_back(info.name);
   }
-  grid.engines = {driver::Engine::kOptRetiming, driver::Engine::kRotation,
-                  driver::Engine::kModulo};
-  grid.transforms = {driver::Transform::kRetimedCsr};
-  grid.factors.clear();
+  const driver::SweepConfig base =
+      driver::SweepConfig()
+          .benchmarks(names)
+          .engines({driver::Engine::kOptRetiming, driver::Engine::kRotation,
+                    driver::Engine::kModulo})
+          .transforms({driver::Transform::kRetimedCsr})
+          .factors({})
+          .threads(0)  // one worker per hardware thread
+          .verify(false);
 
   for (const ModelSpec& spec : models) {
-    driver::SweepOptions options;
-    options.threads = 0;  // one worker per hardware thread
-    options.verify = false;
-    options.machine = ResourceModel::adders_and_multipliers(spec.adders, spec.multipliers);
-    const auto results = driver::run_sweep(grid, options);
+    const auto results =
+        driver::run_sweep(driver::SweepConfig(base).machine(
+                              ResourceModel::adders_and_multipliers(
+                                  spec.adders, spec.multipliers)))
+            .results;
 
     std::cout << "\n=== resource model: " << spec.name << " ===\n";
     bench::TablePrinter table({24, 14, 9, 6, 6, 8});

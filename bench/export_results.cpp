@@ -2,7 +2,8 @@
 // fault-tolerant sweep engine: evaluates the full (benchmark × transform ×
 // factor) grid on the work-stealing scheduler and writes csr_results.csv
 // plus BENCH_sweep.json. Exports are aggregated in grid order, so the files
-// are byte-identical for any thread count, steal order or journal warmth.
+// are byte-identical for any thread count, steal order or journal warmth —
+// and for tracing on or off.
 //
 // The JSON additionally carries a VM-vs-native throughput section: the six
 // table benchmarks at n = 10000 executed on both the VM fast path and the
@@ -12,19 +13,27 @@
 // fall back to VM verification with the toolchain diagnostic preserved.
 //
 // Usage: export_results [csv_path] [json_path] [threads] [journal_path]
-//   csv_path      default csr_results.csv
-//   json_path     default BENCH_sweep.json
-//   threads       worker threads; 0 = one per hardware thread (default 0)
-//   journal_path  persistent result cache; re-runs replay completed cells
-//                 and execute only the delta (default: no journal)
+//                       [--trace-out trace.json] [--metrics-out metrics.txt]
+//   csv_path       default csr_results.csv
+//   json_path      default BENCH_sweep.json
+//   threads        worker threads; 0 = one per hardware thread (default 0)
+//   journal_path   persistent result cache; re-runs replay completed cells
+//                  and execute only the delta (default: no journal)
+//   --trace-out    enable span tracing, write Chrome trace_event JSON there
+//                  (open in chrome://tracing or https://ui.perfetto.dev)
+//   --metrics-out  write the metric registry there after the run; the
+//                  extension picks the format: .json → JSON, anything
+//                  else → Prometheus text exposition
+//
+// docs/OBSERVABILITY.md documents the span taxonomy and metric catalogue.
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "benchmarks/benchmarks.hpp"
-#include "driver/export.hpp"
-#include "driver/sweep.hpp"
+#include "api/csr.hpp"
 
 namespace {
 
@@ -39,59 +48,92 @@ void print_stats(const char* label, const csr::driver::SweepStats& stats) {
   std::cout << '\n';
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace csr;
-  const std::string csv_path = argc > 1 ? argv[1] : "csr_results.csv";
-  const std::string json_path = argc > 2 ? argv[2] : "BENCH_sweep.json";
 
-  driver::SweepGrid grid;
-  for (const auto& info : benchmarks::table_benchmarks()) {
-    grid.benchmarks.push_back(info.name);
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" || arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a path\n";
+        return 2;
+      }
+      (arg == "--trace-out" ? trace_path : metrics_path) = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
   }
-  driver::SweepOptions options;
-  options.threads = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
-  if (argc > 4) options.journal_path = argv[4];
+  const std::string csv_path = !positional.empty() ? positional[0] : "csr_results.csv";
+  const std::string json_path = positional.size() > 1 ? positional[1] : "BENCH_sweep.json";
 
-  driver::SweepStats stats;
-  const std::vector<driver::SweepResult> results =
-      driver::run_sweep(grid, options, &stats);
-  print_stats("sweep", stats);
+  if (!trace_path.empty()) observe::Tracer::global().set_enabled(true);
+
+  std::vector<std::string> names;
+  for (const auto& info : benchmarks::table_benchmarks()) names.push_back(info.name);
+
+  driver::SweepConfig config = driver::SweepConfig().benchmarks(names).threads(
+      positional.size() > 2
+          ? static_cast<unsigned>(std::atoi(positional[2].c_str()))
+          : 0);
+  if (positional.size() > 3) config.journal(positional[3]);
+
+  const driver::SweepRun sweep = driver::run_sweep(config);
+  print_stats("sweep", sweep.stats);
 
   // VM-vs-native throughput grid: same benchmarks, large trip count, the
   // boundary transforms of the code-size story (original and retimed CSR).
   // Deliberately unjournaled — these rows are wall-clock measurements.
-  driver::SweepGrid perf_grid = grid;
-  perf_grid.trip_counts = {10000};
-  perf_grid.exec_engines = {driver::ExecEngine::kVm, driver::ExecEngine::kNative};
-  perf_grid.transforms = {driver::Transform::kOriginal,
-                          driver::Transform::kRetimedCsr};
-  perf_grid.factors = {};
-  driver::SweepOptions perf_options = options;
-  perf_options.journal_path.clear();
-  driver::SweepStats perf_stats;
-  const std::vector<driver::SweepResult> perf =
-      driver::run_sweep(perf_grid, perf_options, &perf_stats);
-  print_stats("throughput", perf_stats);
+  const driver::SweepRun perf = driver::run_sweep(
+      driver::SweepConfig(config)
+          .journal("")
+          .trip_counts({10000})
+          .exec_engines({driver::ExecEngine::kVm, driver::ExecEngine::kNative})
+          .transforms({driver::Transform::kOriginal, driver::Transform::kRetimedCsr})
+          .factors({}));
+  print_stats("throughput", perf.stats);
 
-  std::ofstream csv(csv_path);
-  if (!csv) {
-    std::cerr << "cannot open " << csv_path << '\n';
-    return 1;
-  }
-  csv << driver::to_csv(results);
+  if (!write_file(csv_path, driver::to_csv(sweep.results))) return 1;
 
-  std::ofstream json(json_path);
-  if (!json) {
-    std::cerr << "cannot open " << json_path << '\n';
-    return 1;
-  }
-  json << "{\n\"sweep\": " << driver::to_json(results)
-       << ",\n\"engine_throughput\": "
-       << driver::to_json(perf, driver::JsonOptions{/*include_timing=*/true})
-       << "}\n";
-
+  driver::ExportOptions timing;
+  timing.include_timing = true;
+  const std::string json = "{\n\"sweep\": " + driver::to_json(sweep.results) +
+                           ",\n\"engine_throughput\": " +
+                           driver::to_json(perf.results, timing) + "}\n";
+  if (!write_file(json_path, json)) return 1;
   std::cout << "wrote " << csv_path << " and " << json_path << '\n';
+
+  if (!trace_path.empty()) {
+    if (!write_file(trace_path, observe::Tracer::global().to_chrome_json())) return 1;
+    std::cout << "wrote " << trace_path << " ("
+              << observe::Tracer::global().event_count() << " spans)\n";
+  }
+  if (!metrics_path.empty()) {
+    auto& registry = observe::MetricsRegistry::global();
+    const std::string text =
+        ends_with(metrics_path, ".json") ? registry.to_json() : registry.to_prometheus();
+    if (!write_file(metrics_path, text)) return 1;
+    std::cout << "wrote " << metrics_path << " (" << registry.size()
+              << " instruments)\n";
+  }
   return 0;
 }

@@ -8,7 +8,7 @@
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/retimed_unfolded.hpp"
-#include "driver/sweep.hpp"
+#include "driver/config.hpp"
 #include "native/compile.hpp"
 #include "native/engine.hpp"
 #include "retiming/opt.hpp"
@@ -151,17 +151,18 @@ BENCHMARK(BM_NativeCompileCached);
 // Thread scaling of the sweep driver over the full six-benchmark grid
 // (verification on — the dominant cost is VM execution per cell).
 void BM_Sweep(benchmark::State& state) {
-  driver::SweepGrid grid;
+  std::vector<std::string> names;
   for (const auto& info : benchmarks::table_benchmarks()) {
-    grid.benchmarks.push_back(info.name);
+    names.push_back(info.name);
   }
-  driver::SweepOptions options;
-  options.threads = static_cast<unsigned>(state.range(0));
+  const driver::SweepConfig config = driver::SweepConfig()
+                                         .benchmarks(names)
+                                         .threads(static_cast<unsigned>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(driver::run_sweep(grid, options));
+    benchmark::DoNotOptimize(driver::run_sweep(config));
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(grid.cells().size()));
+                          static_cast<std::int64_t>(config.cells().size()));
 }
 BENCHMARK(BM_Sweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 

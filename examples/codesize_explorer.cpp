@@ -4,7 +4,7 @@
 //
 // The explored configurations are cells of the sweep driver's grid: every
 // (order, f) point maps to an expanded + CSR transform pair, evaluated (and
-// VM-verified) concurrently by run_cells() — the work-stealing, journaled,
+// VM-verified) concurrently by run_sweep() — the work-stealing, journaled,
 // retry-hardened execution path of docs/DRIVER.md — then folded back into
 // tradeoff points for the Pareto/budget analysis.
 //
@@ -26,13 +26,15 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codesize/model.hpp"
 #include "codesize/tradeoff.hpp"
 #include "dfg/iteration_bound.hpp"
-#include "driver/sweep.hpp"
+#include "driver/config.hpp"
 #include "support/text.hpp"
 
 namespace {
@@ -86,15 +88,12 @@ int main(int argc, char** argv) {
   const std::int64_t register_budget = argc > 3 ? std::atoll(argv[3]) : 4;
   const std::int64_t size_budget = argc > 4 ? std::atoll(argv[4]) : 150;
   const std::string engine_name = argc > 5 ? argv[5] : "vm";
-  driver::ExecEngine exec = driver::ExecEngine::kVm;
-  if (engine_name == "map") {
-    exec = driver::ExecEngine::kMap;
-  } else if (engine_name == "native") {
-    exec = driver::ExecEngine::kNative;
-  } else if (engine_name != "vm") {
+  const std::optional<driver::ExecEngine> parsed = driver::parse_exec_engine(engine_name);
+  if (!parsed) {
     std::cerr << "unknown engine '" << engine_name << "' (vm|map|native)\n";
     return 2;
   }
+  const driver::ExecEngine exec = *parsed;
   const std::int64_t n = TradeoffOptions{}.n;
 
   const DataFlowGraph g = it->second.factory();
@@ -117,11 +116,11 @@ int main(int argc, char** argv) {
       }
     }
   }
-  driver::SweepOptions options;
-  options.threads = 0;  // one worker per hardware thread
-  if (argc > 6) options.journal_path = argv[6];
-  driver::SweepStats stats;
-  const auto results = driver::run_cells(cells, options, &stats);
+  driver::SweepConfig config = driver::SweepConfig().cells(cells).threads(0);
+  if (argc > 6) config.journal(argv[6]);
+  const driver::SweepRun run = driver::run_sweep(config);
+  const driver::SweepStats& stats = run.stats;
+  const std::vector<driver::SweepResult>& results = run.results;
   if (stats.cache_hits > 0 || stats.retries > 0) {
     std::cout << stats.cache_hits << '/' << stats.total_cells
               << " points replayed from the journal, " << stats.retries

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file csr.hpp
+/// The public umbrella header. One include gives an application the stable
+/// surface of the library — the sweep driver and its configuration builder,
+/// the exporters, the benchmark suite, and the observability layer:
+///
+///     #include "api/csr.hpp"
+///
+///     int main() {
+///       using namespace csr::driver;
+///       csr::observe::Tracer::global().set_enabled(true);
+///       const SweepRun run = run_sweep(SweepConfig().benchmarks({"iir"}));
+///       std::cout << to_csv(run.results);
+///     }
+///
+/// Deeper headers (dfg/, retiming/, codegen/, vm/, native/, ...) remain
+/// available for programs that work below the driver, but everything here
+/// is what the deprecation policy keeps stable: types reachable from this
+/// header are renamed only through `[[deprecated]]` shims that live for at
+/// least one release (the current ones: sweep.hpp's pre-SweepConfig sweep
+/// overloads and export.hpp's old options-struct alias).
+
+#include "benchmarks/benchmarks.hpp"
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "driver/export_schema.hpp"
+#include "driver/sweep.hpp"
+#include "observe/observe.hpp"
+#include "schedule/resources.hpp"
+#include "support/enum_names.hpp"
+#include "support/rational.hpp"

@@ -1,0 +1,11 @@
+#include "driver/config.hpp"
+
+namespace csr::driver {
+
+SweepRun run_sweep(const SweepConfig& config) {
+  SweepRun run;
+  run.results = detail::run_cells(config.cells(), config.options(), &run.stats);
+  return run;
+}
+
+}  // namespace csr::driver

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file config.hpp
+/// The stable driver API: one configuration object, one entry point.
+///
+/// SweepConfig consolidates what used to be scattered across SweepGrid,
+/// SweepOptions, RetryPolicy, a journal path string and per-exporter timing
+/// flags into a single fluent builder, and `run_sweep(const SweepConfig&)`
+/// is the one way to run a sweep:
+///
+///     const SweepRun run = run_sweep(SweepConfig()
+///                                        .benchmarks({"iir", "biquad"})
+///                                        .trip_counts({101})
+///                                        .exec_engines({ExecEngine::kVm})
+///                                        .threads(8)
+///                                        .journal("sweep.journal"));
+///     write_csv(std::cout, run.results);
+///
+/// The grid axes default exactly as SweepGrid's members do, so an empty
+/// SweepConfig plus `benchmarks(...)` reproduces the paper's tables. The
+/// pre-config overloads in sweep.hpp still work but are [[deprecated]];
+/// they forward to the same executor.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hpp"
+
+namespace csr::driver {
+
+/// Results plus accounting of one sweep run. `results[i]` corresponds to
+/// `config.cells()[i]` — deterministic grid order, independent of thread
+/// count, steal order and journal warmth.
+struct SweepRun {
+  std::vector<SweepResult> results;
+  SweepStats stats;
+};
+
+/// Fluent, value-semantic sweep description. Every setter returns *this so
+/// configurations compose in one expression; all fields have working
+/// defaults. Axis setters fill the grid; `cells(...)` bypasses the grid with
+/// an explicit cell list (for hand-picked cells, as in the explorer example).
+class SweepConfig {
+ public:
+  SweepConfig() = default;
+
+  // --- grid axes -----------------------------------------------------------
+  SweepConfig& benchmarks(std::vector<std::string> names) {
+    grid_.benchmarks = std::move(names);
+    return *this;
+  }
+  SweepConfig& add_benchmark(std::string name) {
+    grid_.benchmarks.push_back(std::move(name));
+    return *this;
+  }
+  SweepConfig& trip_counts(std::vector<std::int64_t> counts) {
+    grid_.trip_counts = std::move(counts);
+    return *this;
+  }
+  SweepConfig& engines(std::vector<Engine> engines) {
+    grid_.engines = std::move(engines);
+    return *this;
+  }
+  SweepConfig& exec_engines(std::vector<ExecEngine> engines) {
+    grid_.exec_engines = std::move(engines);
+    return *this;
+  }
+  SweepConfig& transforms(std::vector<Transform> transforms) {
+    grid_.transforms = std::move(transforms);
+    return *this;
+  }
+  SweepConfig& factors(std::vector<int> factors) {
+    grid_.factors = std::move(factors);
+    return *this;
+  }
+  /// Explicit cell list; when set, the grid axes are ignored by cells().
+  SweepConfig& cells(std::vector<SweepCell> cells) {
+    explicit_cells_ = std::move(cells);
+    has_explicit_cells_ = true;
+    return *this;
+  }
+
+  // --- execution -----------------------------------------------------------
+  SweepConfig& threads(unsigned count) {
+    options_.threads = count;
+    return *this;
+  }
+  SweepConfig& verify(bool enabled) {
+    options_.verify = enabled;
+    return *this;
+  }
+  SweepConfig& machine(ResourceModel model) {
+    options_.machine = std::move(model);
+    return *this;
+  }
+  SweepConfig& retry(RetryPolicy policy) {
+    options_.retry = policy;
+    return *this;
+  }
+  SweepConfig& journal(std::string path) {
+    options_.journal_path = std::move(path);
+    return *this;
+  }
+  SweepConfig& cell_budget(std::size_t budget) {
+    options_.cell_budget = budget;
+    return *this;
+  }
+  SweepConfig& steal_seed(std::uint64_t seed) {
+    options_.steal_seed = seed;
+    return *this;
+  }
+
+  // --- views ---------------------------------------------------------------
+  /// The underlying value structs, mutable for migration from code that
+  /// built a SweepGrid/SweepOptions — `cfg.grid() = my_grid;` just works.
+  [[nodiscard]] SweepGrid& grid() { return grid_; }
+  [[nodiscard]] const SweepGrid& grid() const { return grid_; }
+  [[nodiscard]] SweepOptions& options() { return options_; }
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+
+  [[nodiscard]] bool has_explicit_cells() const { return has_explicit_cells_; }
+
+  /// The cells run_sweep will evaluate, in result order: the explicit list
+  /// when one was set, otherwise the grid product.
+  [[nodiscard]] std::vector<SweepCell> cells() const {
+    return has_explicit_cells_ ? explicit_cells_ : grid_.cells();
+  }
+
+ private:
+  SweepGrid grid_;
+  SweepOptions options_;
+  std::vector<SweepCell> explicit_cells_;
+  bool has_explicit_cells_ = false;
+};
+
+/// The one sweep entry point: evaluates config.cells() through the
+/// work-stealing, journal-cached, retry-hardened executor and returns
+/// results (in cell order) with the run's accounting.
+[[nodiscard]] SweepRun run_sweep(const SweepConfig& config);
+
+}  // namespace csr::driver

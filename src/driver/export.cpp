@@ -33,10 +33,10 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
-std::string to_csv(const std::vector<SweepResult>& results) {
+std::string to_csv(const std::vector<SweepResult>& results,
+                   const ExportOptions& /*options*/) {
   std::ostringstream out;
-  out << "benchmark,transform,factor,n,iteration_bound,period,depth,registers,"
-         "size,verified\n";
+  out << csv_header();
   for (const SweepResult& r : results) {
     if (!r.feasible || !r.evaluated) continue;
     out << r.cell.benchmark << ',' << to_string(r.cell.transform) << ','
@@ -48,7 +48,7 @@ std::string to_csv(const std::vector<SweepResult>& results) {
 }
 
 std::string to_json(const std::vector<SweepResult>& results,
-                    const JsonOptions& options) {
+                    const ExportOptions& options) {
   std::ostringstream out;
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -4,41 +4,81 @@
 /// Deterministic serialization of sweep results. Both exporters walk the
 /// result vector in order, so a sweep run with any thread count produces
 /// byte-identical output (run_sweep() already guarantees grid-order
-/// results). The CSV format matches the historical csr_results.csv layout;
-/// the JSON export carries every SweepResult field for downstream tooling.
+/// results). The CSV format matches the historical csr_results.csv layout
+/// (column table: export_schema.hpp); the JSON export carries every
+/// SweepResult field for downstream tooling.
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "driver/export_schema.hpp"
 #include "driver/sweep.hpp"
+#include "support/enum_names.hpp"
 
 namespace csr::driver {
 
-/// CSV with header `benchmark,transform,factor,n,iteration_bound,period,
-/// depth,registers,size,verified`. Infeasible cells are skipped — the file
-/// lists achieved configurations, like the paper's tables — and so are
-/// budget-expired cells (`evaluated == false`), which carry no measurements.
-/// `verified` is "yes"/"NO".
-[[nodiscard]] std::string to_csv(const std::vector<SweepResult>& results);
+/// Output format of the export tools, parsed from the command line via
+/// parse_export_format().
+enum class ExportFormat {
+  kCsv,
+  kJson,
+};
 
-/// Knobs for the JSON export. Timing is off by default so that serial and
-/// parallel sweeps of the same grid stay byte-identical; benches that want
-/// throughput rows opt in.
-struct JsonOptions {
+}  // namespace csr::driver
+
+namespace csr {
+
+template <>
+struct EnumNames<driver::ExportFormat> {
+  static constexpr std::pair<driver::ExportFormat, std::string_view> entries[] = {
+      {driver::ExportFormat::kCsv, "csv"},
+      {driver::ExportFormat::kJson, "json"},
+  };
+};
+
+}  // namespace csr
+
+namespace csr::driver {
+
+[[nodiscard]] constexpr std::string_view to_string(ExportFormat format) {
+  return enum_name(format);
+}
+[[nodiscard]] constexpr std::optional<ExportFormat> parse_export_format(
+    std::string_view name) {
+  return parse_enum<ExportFormat>(name);
+}
+
+/// Shared knobs of both exporters. Timing is off by default so that serial
+/// and parallel sweeps of the same grid stay byte-identical; benches that
+/// want throughput rows opt in.
+struct ExportOptions {
   /// Emit the per-run observability fields (exec_seconds, from_cache,
-  /// retries, worker, queue_depth, worker_steals, stolen). They are noisy /
-  /// scheduling-dependent, so the default export stays byte-deterministic
-  /// across thread counts, steal orders and journal warmth.
+  /// retries, worker, queue_depth, worker_steals, stolen) in the JSON
+  /// export. They are noisy / scheduling-dependent, so the default export
+  /// stays byte-deterministic across thread counts, steal orders, journal
+  /// warmth — and tracing on vs off.
   bool include_timing = false;
 };
+
+/// The old name of ExportOptions, kept for source compatibility.
+using JsonOptions [[deprecated("use ExportOptions")]] = ExportOptions;
+
+/// CSV with the export_schema.hpp header. Infeasible cells are skipped — the
+/// file lists achieved configurations, like the paper's tables — and so are
+/// budget-expired cells (`evaluated == false`), which carry no measurements.
+/// `verified` is "yes"/"NO".
+[[nodiscard]] std::string to_csv(const std::vector<SweepResult>& results,
+                                 const ExportOptions& options = {});
 
 /// JSON array of objects, one per cell (including infeasible ones, with
 /// their `error`, and skipped ones, with their `skip_reason`). All
 /// deterministic fields of SweepResult are present — including
-/// `engine_fallback`/`fallback_reason` and `evaluated`; keys are emitted in a
-/// fixed order. The observability fields appear only under
-/// JsonOptions::include_timing.
+/// `engine_fallback`/`fallback_reason` and `evaluated`; keys are emitted in
+/// the export_schema.hpp order. The observability fields appear only under
+/// ExportOptions::include_timing.
 [[nodiscard]] std::string to_json(const std::vector<SweepResult>& results,
-                                  const JsonOptions& options = {});
+                                  const ExportOptions& options = {});
 
 }  // namespace csr::driver

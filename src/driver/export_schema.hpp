@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file export_schema.hpp
+/// The single source of truth for the exporters' column/key layout. The CSV
+/// header literal used to be duplicated (and hand-maintained) in export.cpp,
+/// the driver tests and the bench tools; everyone now derives it from this
+/// table, so a schema change is one edit and every consumer follows.
+
+#include <string>
+#include <string_view>
+
+namespace csr::driver {
+
+/// Columns of the CSV export, in emission order. This is the historical
+/// csr_results.csv layout — the byte-determinism contract pins it.
+inline constexpr std::string_view kCsvColumns[] = {
+    "benchmark", "transform", "factor",    "n",    "iteration_bound",
+    "period",    "depth",     "registers", "size", "verified",
+};
+
+/// The CSV header line, trailing newline included:
+/// "benchmark,transform,...,verified\n".
+[[nodiscard]] inline std::string csv_header() {
+  std::string out;
+  for (const std::string_view column : kCsvColumns) {
+    if (!out.empty()) out += ',';
+    out += column;
+  }
+  out += '\n';
+  return out;
+}
+
+/// Keys of the JSON export's deterministic prefix, in emission order. The
+/// observability keys (exec_seconds, from_cache, retries, worker,
+/// queue_depth, worker_steals, stolen) follow only under
+/// ExportOptions::include_timing.
+inline constexpr std::string_view kJsonKeys[] = {
+    "benchmark",     "engine",         "exec_engine",     "transform",
+    "factor",        "n",              "feasible",        "error",
+    "skipped",       "skip_reason",    "iteration_bound", "period",
+    "depth",         "registers",      "code_size",       "predicted_size",
+    "verified",      "discipline_ok",  "exec_statements", "engine_fallback",
+    "fallback_reason", "evaluated",
+};
+
+}  // namespace csr::driver

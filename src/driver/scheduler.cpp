@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "driver/thread_pool.hpp"
+#include "observe/observe.hpp"
 #include "support/rng.hpp"
 
 namespace csr::driver {
@@ -22,6 +23,32 @@ struct WorkerDeque {
   std::deque<std::size_t> q;
 };
 
+/// Scheduler metrics (docs/OBSERVABILITY.md). Queue depth buckets are task
+/// counts, not seconds, hence the dedicated power-of-two edges.
+struct SchedulerMetrics {
+  observe::Counter& steals;
+  observe::Counter& tasks_stolen;
+  observe::Counter& tasks_executed;
+  observe::Histogram& queue_depth;
+
+  static SchedulerMetrics& get() {
+    static SchedulerMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return SchedulerMetrics{
+          reg.counter("csr_scheduler_steals_total", "Steal-half operations"),
+          reg.counter("csr_scheduler_tasks_stolen_total",
+                      "Tasks migrated between worker deques"),
+          reg.counter("csr_scheduler_tasks_executed_total",
+                      "Tasks run by the work-stealing pool"),
+          reg.histogram("csr_scheduler_queue_depth",
+                        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+                        "Worker deque depth observed after each task pop"),
+      };
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace
 
 StealStats work_steal_for(
@@ -29,16 +56,24 @@ StealStats work_steal_for(
     const std::function<void(std::size_t, const TaskStats&)>& fn) {
   StealStats stats;
   if (count == 0) return stats;
+  SchedulerMetrics& metrics = SchedulerMetrics::get();
   std::size_t budget = options.budget == 0 ? count : options.budget;
   if (budget > count) budget = count;
   unsigned threads = options.threads == 0 ? default_thread_count() : options.threads;
   if (threads > count) threads = static_cast<unsigned>(count);
+
+  observe::Span run_span("scheduler", "work_steal_for");
+  run_span.arg("tasks", static_cast<std::uint64_t>(count))
+      .arg("threads", threads)
+      .arg("budget", static_cast<std::uint64_t>(budget));
 
   if (threads <= 1 || count <= 1) {
     for (std::size_t i = 0; i < budget; ++i) {
       TaskStats ts;
       ts.queue_depth = count - i - 1;
       ++stats.executed;
+      metrics.tasks_executed.increment();
+      metrics.queue_depth.observe(static_cast<double>(ts.queue_depth));
       fn(i, ts);
     }
     return stats;
@@ -82,6 +117,8 @@ StealStats work_steal_for(
   std::vector<std::uint64_t> tasks_stolen(threads, 0);
 
   const auto worker = [&](unsigned w) {
+    observe::Span worker_span("scheduler", "worker");
+    worker_span.arg("worker", w);
     // Per-worker slots, so counters need no synchronization.
     std::uint64_t& my_steals = steal_ops[w];
     while (!failed.load(std::memory_order_relaxed)) {
@@ -124,6 +161,8 @@ StealStats work_steal_for(
         if (!loot.empty()) {
           ++my_steals;
           tasks_stolen[w] += loot.size();
+          metrics.steals.increment();
+          metrics.tasks_stolen.increment(loot.size());
           const std::lock_guard<std::mutex> lock(deques[w].m);
           deques[w].q.insert(deques[w].q.begin(), loot.begin(), loot.end());
           continue;
@@ -143,6 +182,8 @@ StealStats work_steal_for(
       ts.stolen = stolen[task] != 0;
       ts.worker_steals = my_steals;
       executed.fetch_add(1, std::memory_order_relaxed);
+      metrics.tasks_executed.increment();
+      metrics.queue_depth.observe(static_cast<double>(ts.queue_depth));
       try {
         fn(task, ts);
       } catch (...) {

@@ -21,6 +21,7 @@
 #include "dfg/iteration_bound.hpp"
 #include "driver/scheduler.hpp"
 #include "native/engine.hpp"
+#include "observe/observe.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/modulo.hpp"
 #include "schedule/rotation.hpp"
@@ -31,54 +32,6 @@
 #include "vm/equivalence.hpp"
 
 namespace csr::driver {
-
-std::string_view to_string(Engine engine) {
-  switch (engine) {
-    case Engine::kOptRetiming:
-      return "opt-retiming";
-    case Engine::kRotation:
-      return "rotation";
-    case Engine::kModulo:
-      return "modulo";
-  }
-  return "?";
-}
-
-std::string_view to_string(ExecEngine engine) {
-  switch (engine) {
-    case ExecEngine::kVm:
-      return "vm";
-    case ExecEngine::kMap:
-      return "map";
-    case ExecEngine::kNative:
-      return "native";
-  }
-  return "?";
-}
-
-std::string_view to_string(Transform transform) {
-  switch (transform) {
-    case Transform::kOriginal:
-      return "original";
-    case Transform::kRetimed:
-      return "retimed";
-    case Transform::kRetimedCsr:
-      return "retimed_csr";
-    case Transform::kUnfolded:
-      return "unfolded";
-    case Transform::kUnfoldedCsr:
-      return "unfolded_csr";
-    case Transform::kRetimedUnfolded:
-      return "retimed_unfolded";
-    case Transform::kRetimedUnfoldedCsr:
-      return "retimed_unfolded_csr";
-    case Transform::kUnfoldedRetimed:
-      return "unfolded_retimed";
-    case Transform::kUnfoldedRetimedCsr:
-      return "unfolded_retimed_csr";
-  }
-  return "?";
-}
 
 bool transform_uses_factor(Transform transform) {
   switch (transform) {
@@ -260,6 +213,37 @@ bool parse_bool(const std::string& s, bool& out) {
   return true;
 }
 
+/// The sweep layer's slice of the metric catalogue (docs/OBSERVABILITY.md),
+/// registered once and cached — the hot path only touches atomics.
+struct SweepMetrics {
+  observe::Counter& cells_total;
+  observe::Counter& cells_executed;
+  observe::Counter& cache_hits;
+  observe::Counter& budget_expired;
+  observe::Counter& fallbacks;
+  observe::Counter& retries;
+  observe::Histogram& cell_seconds;
+
+  static SweepMetrics& get() {
+    static SweepMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return SweepMetrics{
+          reg.counter("csr_sweep_cells_total", "Cells requested across sweep runs"),
+          reg.counter("csr_sweep_cells_executed_total", "Cells evaluated (not cached)"),
+          reg.counter("csr_sweep_cache_hits_total", "Cells replayed from a journal"),
+          reg.counter("csr_sweep_budget_expired_total",
+                      "Cells left unevaluated by a cell budget"),
+          reg.counter("csr_sweep_fallbacks_total",
+                      "Native cells degraded to VM verification"),
+          reg.counter("csr_sweep_retries_total", "Native attempts beyond the first"),
+          reg.histogram("csr_sweep_cell_seconds", observe::latency_seconds_bounds(),
+                        "Wall time of one cell evaluation"),
+      };
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace
 
 std::string journal_key(const SweepCell& cell, const SweepOptions& options) {
@@ -343,6 +327,15 @@ bool from_journal_payload(const std::string& payload, const SweepCell& cell,
 }
 
 SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
+  SweepMetrics& metrics = SweepMetrics::get();
+  observe::Span span("driver", "evaluate_cell");
+  span.arg("benchmark", cell.benchmark)
+      .arg("engine", to_string(cell.engine))
+      .arg("exec", to_string(cell.exec))
+      .arg("transform", to_string(cell.transform))
+      .arg("factor", cell.factor)
+      .arg("n", cell.n);
+  observe::ScopedTimer cell_timer(metrics.cell_seconds);
   SweepResult res;
   res.cell = cell;
   try {
@@ -502,8 +495,16 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
   return res;
 }
 
+namespace detail {
+
 std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
                                    const SweepOptions& options, SweepStats* stats) {
+  SweepMetrics& metrics = SweepMetrics::get();
+  observe::Span sweep_span("driver", "run_sweep");
+  sweep_span.arg("cells", static_cast<std::uint64_t>(cells.size()))
+      .arg("threads", options.threads)
+      .arg("journaled", !options.journal_path.empty());
+
   SweepStats local_stats;
   SweepStats& s = stats != nullptr ? *stats : local_stats;
   s = SweepStats{};
@@ -521,21 +522,26 @@ std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
   std::vector<std::string> keys(cells.size());
   std::vector<std::size_t> pending;
   pending.reserve(cells.size());
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (journaled) {
-      keys[i] = journal_key(cells[i], options);
-      if (const auto payload = journal.lookup(keys[i]);
-          payload && from_journal_payload(*payload, cells[i], results[i])) {
-        results[i].from_cache = true;
-        ++s.cache_hits;
-        continue;
+  {
+    observe::Span replay_span("driver", "journal_replay");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (journaled) {
+        keys[i] = journal_key(cells[i], options);
+        if (const auto payload = journal.lookup(keys[i]);
+            payload && from_journal_payload(*payload, cells[i], results[i])) {
+          results[i].from_cache = true;
+          ++s.cache_hits;
+          continue;
+        }
       }
+      // Pre-mark as unevaluated so budget-expired cells still carry their
+      // cell identity into exports; execution overwrites the whole slot.
+      results[i].cell = cells[i];
+      results[i].evaluated = false;
+      pending.push_back(i);
     }
-    // Pre-mark as unevaluated so budget-expired cells still carry their
-    // cell identity into exports; execution overwrites the whole slot.
-    results[i].cell = cells[i];
-    results[i].evaluated = false;
-    pending.push_back(i);
+    replay_span.arg("cache_hits", static_cast<std::uint64_t>(s.cache_hits))
+        .arg("pending", static_cast<std::uint64_t>(pending.size()));
   }
 
   StealOptions steal;
@@ -569,12 +575,39 @@ std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
     s.retries += static_cast<std::size_t>(r.retries);
     if (r.engine_fallback) ++s.fallbacks;
   }
+
+  // Mirror the run's accounting into the global registry so --metrics-out
+  // (and any scraper) sees the same numbers SweepStats reports.
+  metrics.cells_total.increment(s.total_cells);
+  metrics.cells_executed.increment(s.executed);
+  metrics.cache_hits.increment(s.cache_hits);
+  metrics.budget_expired.increment(s.budget_expired);
+  metrics.fallbacks.increment(s.fallbacks);
+  metrics.retries.increment(s.retries);
   return results;
+}
+
+}  // namespace detail
+
+// Deprecated shims: same executor, frozen spelling. Silence our own
+// deprecation warnings — these definitions *are* the legacy surface.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
+                                   const SweepOptions& options, SweepStats* stats) {
+  return detail::run_cells(cells, options, stats);
 }
 
 std::vector<SweepResult> run_sweep(const SweepGrid& grid, const SweepOptions& options,
                                    SweepStats* stats) {
-  return run_cells(grid.cells(), options, stats);
+  return detail::run_cells(grid.cells(), options, stats);
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace csr::driver

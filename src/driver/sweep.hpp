@@ -9,9 +9,13 @@
 ///
 /// evaluated cell by cell: generate the program, execute it on the cell's
 /// execution engine, check equivalence against the original loop, and
-/// account code size. SweepGrid declares the product, run_sweep() evaluates
-/// its cells, and the result vector is always in grid order — so CSV/JSON
-/// exports are byte-identical no matter how many threads ran the sweep.
+/// account code size. SweepGrid declares the product and the result vector
+/// is always in grid order — so CSV/JSON exports are byte-identical no
+/// matter how many threads ran the sweep.
+///
+/// **Entry point:** `run_sweep(const SweepConfig&)` in driver/config.hpp
+/// (or through the umbrella header api/csr.hpp). The grid/options overloads
+/// below are deprecated shims kept so downstreams migrate at their own pace.
 ///
 /// Three production-hardening layers sit between the grid and the results
 /// (docs/DRIVER.md has the full design):
@@ -31,14 +35,20 @@
 ///     failures with jittered exponential backoff, and finally degrade to
 ///     the VM engine with the failure preserved as a per-cell diagnostic —
 ///     a hung or broken toolchain can never abort a sweep.
+///
+/// Every phase is instrumented through src/observe/ (spans per sweep, cell,
+/// engine run; counters and latency histograms in the global
+/// MetricsRegistry) — docs/OBSERVABILITY.md catalogues both.
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "schedule/resources.hpp"
+#include "support/enum_names.hpp"
 #include "support/rational.hpp"
 
 namespace csr::driver {
@@ -75,9 +85,74 @@ enum class Transform {
   kUnfoldedRetimedCsr,
 };
 
-[[nodiscard]] std::string_view to_string(Engine engine);
-[[nodiscard]] std::string_view to_string(ExecEngine engine);
-[[nodiscard]] std::string_view to_string(Transform transform);
+}  // namespace csr::driver
+
+namespace csr {
+
+// Name tables (support/enum_names.hpp): the single source of truth for both
+// printing and parsing of every driver enum.
+
+template <>
+struct EnumNames<driver::Engine> {
+  static constexpr std::pair<driver::Engine, std::string_view> entries[] = {
+      {driver::Engine::kOptRetiming, "opt-retiming"},
+      {driver::Engine::kRotation, "rotation"},
+      {driver::Engine::kModulo, "modulo"},
+  };
+};
+
+template <>
+struct EnumNames<driver::ExecEngine> {
+  static constexpr std::pair<driver::ExecEngine, std::string_view> entries[] = {
+      {driver::ExecEngine::kVm, "vm"},
+      {driver::ExecEngine::kMap, "map"},
+      {driver::ExecEngine::kNative, "native"},
+  };
+};
+
+template <>
+struct EnumNames<driver::Transform> {
+  static constexpr std::pair<driver::Transform, std::string_view> entries[] = {
+      {driver::Transform::kOriginal, "original"},
+      {driver::Transform::kRetimed, "retimed"},
+      {driver::Transform::kRetimedCsr, "retimed_csr"},
+      {driver::Transform::kUnfolded, "unfolded"},
+      {driver::Transform::kUnfoldedCsr, "unfolded_csr"},
+      {driver::Transform::kRetimedUnfolded, "retimed_unfolded"},
+      {driver::Transform::kRetimedUnfoldedCsr, "retimed_unfolded_csr"},
+      {driver::Transform::kUnfoldedRetimed, "unfolded_retimed"},
+      {driver::Transform::kUnfoldedRetimedCsr, "unfolded_retimed_csr"},
+  };
+};
+
+}  // namespace csr
+
+namespace csr::driver {
+
+[[nodiscard]] constexpr std::string_view to_string(Engine engine) {
+  return enum_name(engine);
+}
+[[nodiscard]] constexpr std::string_view to_string(ExecEngine engine) {
+  return enum_name(engine);
+}
+[[nodiscard]] constexpr std::string_view to_string(Transform transform) {
+  return enum_name(transform);
+}
+
+/// Round-trip parsers: parse_engine(to_string(e)) == e for every enumerator;
+/// unknown names yield nullopt (tests/enum_names_test.cpp).
+[[nodiscard]] constexpr std::optional<Engine> parse_engine(std::string_view name) {
+  return parse_enum<Engine>(name);
+}
+[[nodiscard]] constexpr std::optional<ExecEngine> parse_exec_engine(
+    std::string_view name) {
+  return parse_enum<ExecEngine>(name);
+}
+[[nodiscard]] constexpr std::optional<Transform> parse_transform(
+    std::string_view name) {
+  return parse_enum<Transform>(name);
+}
+
 /// True for transforms with an unfolding-factor dimension (f > 1 meaningful).
 [[nodiscard]] bool transform_uses_factor(Transform transform);
 
@@ -127,7 +202,8 @@ struct SweepResult {
   bool evaluated = true;
 
   // --- per-run observability, never journaled, exported only under
-  // JsonOptions::include_timing (they would break byte-determinism) -------
+  // ExportOptions::include_timing (they would break byte-determinism).
+  // Aggregates of the same facts live in observe::MetricsRegistry ----------
   /// Wall time of the verifying execution (engine run only; excludes the
   /// expected-state run and, for native, compilation).
   double exec_seconds = 0.0;
@@ -169,7 +245,8 @@ struct SweepOptions {
   std::uint64_t steal_seed = 0;
 };
 
-/// Aggregate accounting of one run_sweep()/run_cells() call.
+/// Aggregate accounting of one sweep run. Mirrored into the global
+/// MetricsRegistry (csr_sweep_* counters) when a run completes.
 struct SweepStats {
   std::size_t total_cells = 0;
   std::size_t executed = 0;        ///< cells evaluated by this run
@@ -208,15 +285,24 @@ struct SweepGrid {
 [[nodiscard]] SweepResult evaluate_cell(const SweepCell& cell,
                                         const SweepOptions& options);
 
-/// Evaluates an explicit cell list (work-stealing, journal-cached, retried —
-/// everything SweepOptions describes). Result slot i always corresponds to
-/// cells[i], so aggregations in input order are deterministic.
+namespace detail {
+/// The canonical sweep executor behind every public entry point
+/// (work-stealing, journal-cached, retried — everything SweepOptions
+/// describes). Result slot i always corresponds to cells[i]. Prefer
+/// run_sweep(const SweepConfig&) from driver/config.hpp.
+[[nodiscard]] std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
+                                                 const SweepOptions& options,
+                                                 SweepStats* stats = nullptr);
+}  // namespace detail
+
+/// Deprecated shims of the pre-SweepConfig API (driver/config.hpp). They
+/// forward to the same executor; only the spelling is frozen.
+[[deprecated("use run_sweep(const SweepConfig&) from driver/config.hpp")]]
 [[nodiscard]] std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
                                                  const SweepOptions& options,
                                                  SweepStats* stats = nullptr);
 
-/// Evaluates every cell of the grid; results are in cells() order regardless
-/// of worker count, steal order or journal warmth.
+[[deprecated("use run_sweep(const SweepConfig&) from driver/config.hpp")]]
 [[nodiscard]] std::vector<SweepResult> run_sweep(const SweepGrid& grid,
                                                  const SweepOptions& options = {},
                                                  SweepStats* stats = nullptr);

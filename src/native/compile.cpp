@@ -18,6 +18,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "observe/observe.hpp"
 #include "support/check.hpp"
 #include "support/hash.hpp"
 
@@ -27,9 +28,33 @@ namespace {
 
 namespace fs = std::filesystem;
 
-std::atomic<std::int64_t> g_hits{0};
-std::atomic<std::int64_t> g_misses{0};
-std::atomic<std::int64_t> g_failures{0};
+/// Cache accounting lives in the global MetricsRegistry (the ad-hoc local
+/// atomics it replaces told the same story a second time); CacheStats is a
+/// read-out of these counters.
+struct CompileMetrics {
+  observe::Counter& hits;
+  observe::Counter& misses;
+  observe::Counter& failures;
+  observe::Histogram& compile_seconds;
+
+  static CompileMetrics& get() {
+    static CompileMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return CompileMetrics{
+          reg.counter("csr_native_compile_cache_hits_total",
+                      "Compiles satisfied by a cached shared object"),
+          reg.counter("csr_native_compile_cache_misses_total",
+                      "Compiles that ran the toolchain successfully"),
+          reg.counter("csr_native_compile_failures_total",
+                      "Compiles that failed or timed out"),
+          reg.histogram("csr_native_compile_seconds",
+                        observe::latency_seconds_bounds(),
+                        "Wall time of one compile_shared_object call"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 /// Fault-injection spec in effect: explicit option first, then $CSR_FAKE_CC.
 std::string effective_fake_spec(const CompileOptions& options) {
@@ -282,19 +307,22 @@ void reset_fake_cc_attempts() {
 
 CompileResult compile_shared_object(const std::string& c_source,
                                     const CompileOptions& options) {
+  CompileMetrics& metrics = CompileMetrics::get();
+  observe::Span span("native", "compile");
+  observe::ScopedTimer timer(metrics.compile_seconds);
   CompileResult result;
   const std::string compiler =
       options.compiler.empty() ? default_compiler() : options.compiler;
   if (compiler.empty()) {
     result.diagnostic = "no host C compiler configured";
-    ++g_failures;
+    metrics.failures.increment();
     return result;
   }
   std::string problem;
   const fs::path dir = cache_directory(options, problem);
   if (dir.empty()) {
     result.diagnostic = problem;
-    ++g_failures;
+    metrics.failures.increment();
     return result;
   }
 
@@ -307,9 +335,11 @@ CompileResult compile_shared_object(const std::string& c_source,
     result.ok = true;
     result.cache_hit = true;
     result.shared_object = so_path.string();
-    ++g_hits;
+    metrics.hits.increment();
+    span.arg("cache_hit", true);
     return result;
   }
+  span.arg("cache_hit", false);
 
   // Content-addressed, so the source file doubles as the cache's own
   // provenance record; written via a temp + rename like the object.
@@ -323,7 +353,7 @@ CompileResult compile_shared_object(const std::string& c_source,
     if (!out) {
       result.diagnostic = "cannot write " + c_tmp.string();
       fs::remove(c_tmp, ec);
-      ++g_failures;
+      metrics.failures.increment();
       return result;
     }
   }
@@ -331,7 +361,7 @@ CompileResult compile_shared_object(const std::string& c_source,
   if (ec) {
     result.diagnostic = "cannot move source into cache: " + ec.message();
     fs::remove(c_tmp, ec);
-    ++g_failures;
+    metrics.failures.increment();
     return result;
   }
 
@@ -384,7 +414,7 @@ CompileResult compile_shared_object(const std::string& c_source,
     result.timed_out = timed_out;
     result.diagnostic = diag.str();
     fs::remove(so_tmp, ec);
-    ++g_failures;
+    metrics.failures.increment();
     return result;
   }
   fs::rename(so_tmp, so_path, ec);
@@ -393,19 +423,22 @@ CompileResult compile_shared_object(const std::string& c_source,
     // good if someone else's rename won.
     if (!fs::exists(so_path, ec)) {
       result.diagnostic = "cannot move object into cache: " + ec.message();
-      ++g_failures;
+      metrics.failures.increment();
       return result;
     }
     fs::remove(so_tmp, ec);
   }
   result.ok = true;
   result.shared_object = so_path.string();
-  ++g_misses;
+  metrics.misses.increment();
   return result;
 }
 
 CacheStats compile_cache_stats() {
-  return CacheStats{g_hits.load(), g_misses.load(), g_failures.load()};
+  CompileMetrics& metrics = CompileMetrics::get();
+  return CacheStats{static_cast<std::int64_t>(metrics.hits.value()),
+                    static_cast<std::int64_t>(metrics.misses.value()),
+                    static_cast<std::int64_t>(metrics.failures.value())};
 }
 
 bool native_available() {

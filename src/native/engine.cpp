@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "codegen/c_emitter.hpp"
+#include "observe/observe.hpp"
 #include "vm/machine.hpp"
 
 namespace csr::native {
@@ -59,6 +60,10 @@ KernelModule* load_module(const std::string& so_path, std::string& diagnostic) {
   const auto it = registry.find(so_path);
   if (it != registry.end()) return it->second.get();
 
+  CSR_SPAN("native", "dlopen");
+  observe::MetricsRegistry::global()
+      .counter("csr_native_dlopen_total", "Kernel shared objects loaded")
+      .increment();
   void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
     const char* err = ::dlerror();
@@ -159,6 +164,11 @@ std::int64_t NativeResult::total_writes(const std::string& array) const {
 }
 
 NativeOutcome run_native(const LoopProgram& program, const CompileOptions& options) {
+  CSR_SPAN("native", "run_native");
+  static observe::Histogram& kernel_seconds =
+      observe::MetricsRegistry::global().histogram(
+          "csr_native_kernel_run_seconds", observe::latency_seconds_bounds(),
+          "Wall time of one compiled kernel execution");
   NativeOutcome outcome;
 
   const auto compile_start = Clock::now();
@@ -186,10 +196,12 @@ NativeOutcome run_native(const LoopProgram& program, const CompileOptions& optio
   }
 
   const std::lock_guard<std::mutex> lock(module->run_mutex);
+  observe::Span run_span("native", "kernel_run");
   const auto run_start = Clock::now();
   reset_module(*module);
   module->kernel();
   outcome.run_seconds = seconds_since(run_start);
+  kernel_seconds.observe(outcome.run_seconds);
   NativeResultBuilder::snapshot(*module, outcome.result);
   outcome.status = NativeStatus::kOk;
   return outcome;

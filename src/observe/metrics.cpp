@@ -1,0 +1,252 @@
+#include "observe/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+namespace csr::observe {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Doubles rendered for both exporters: shortest text that round-trips is
+/// overkill here; a plain ostream with default precision is deterministic
+/// and readable ("0.001", "2.5e-05").
+std::string number_text(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("histogram bucket bounds must be sorted");
+  }
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose upper edge admits the value; everything above the
+  // last finite edge lands in the +Inf bucket.
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+std::uint64_t Histogram::cumulative_count(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& latency_seconds_bounds() {
+  static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                             1e-1, 1.0,  10.0};
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked intentionally, like the tracer: instrument references held by
+  // static-storage callers must outlive every destructor.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  if (it->second.counter == nullptr) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  if (it->second.gauge == nullptr) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  if (it->second.histogram == nullptr) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return *it->second.histogram;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.counter == nullptr) return 0;
+  return it->second.counter->value();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) out << "# HELP " << name << ' ' << entry.help << '\n';
+    if (entry.counter != nullptr) {
+      out << "# TYPE " << name << " counter\n"
+          << name << ' ' << entry.counter->value() << '\n';
+    } else if (entry.gauge != nullptr) {
+      out << "# TYPE " << name << " gauge\n"
+          << name << ' ' << entry.gauge->value() << '\n';
+    } else if (entry.histogram != nullptr) {
+      const Histogram& h = *entry.histogram;
+      out << "# TYPE " << name << " histogram\n";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+        cumulative += h.bucket_count(b);
+        out << name << "_bucket{le=\"" << number_text(h.bounds()[b]) << "\"} "
+            << cumulative << '\n';
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+          << name << "_sum " << number_text(h.sum()) << '\n'
+          << name << "_count " << h.count() << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      counters << (first_counter ? "" : ", ") << '"' << json_escape(name)
+               << "\": " << entry.counter->value();
+      first_counter = false;
+    } else if (entry.gauge != nullptr) {
+      gauges << (first_gauge ? "" : ", ") << '"' << json_escape(name)
+             << "\": " << entry.gauge->value();
+      first_gauge = false;
+    } else if (entry.histogram != nullptr) {
+      const Histogram& h = *entry.histogram;
+      histograms << (first_histogram ? "" : ", ") << '"' << json_escape(name)
+                 << "\": {\"buckets\": [";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+        cumulative += h.bucket_count(b);
+        histograms << (b > 0 ? ", " : "") << "{\"le\": "
+                   << number_text(h.bounds()[b]) << ", \"count\": " << cumulative
+                   << '}';
+      }
+      histograms << "], \"count\": " << h.count() << ", \"sum\": "
+                 << number_text(h.sum()) << '}';
+      first_histogram = false;
+    }
+  }
+  std::ostringstream out;
+  out << "{\n\"counters\": {" << counters.str() << "},\n\"gauges\": {"
+      << gauges.str() << "},\n\"histograms\": {" << histograms.str() << "}\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) entry.counter->reset();
+    if (entry.gauge != nullptr) entry.gauge->reset();
+    if (entry.histogram != nullptr) entry.histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ScopedTimer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double ScopedTimer::seconds_so_far() const {
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+ScopedTimer::~ScopedTimer() {
+  const double seconds = seconds_so_far();
+  if (histogram_ != nullptr) histogram_->observe(seconds);
+  if (out_ != nullptr) *out_ = seconds;
+}
+
+}  // namespace csr::observe

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The metrics half of the observability layer: a process-global registry of
+/// named counters, gauges and fixed-bucket histograms. Design constraints:
+///
+///   * **Lock-free hot path.** Instruments are plain atomics; incrementing a
+///     counter or observing a histogram takes no lock. The registry mutex is
+///     touched only at registration (once per site, cached through a static
+///     local reference) and at export.
+///   * **Stable identity.** An instrument, once registered, lives for the
+///     process lifetime at a stable address — instrumentation sites hold
+///     `Counter&` references across threads safely.
+///   * **Two exporters.** Prometheus text exposition (`to_prometheus()`) for
+///     scraping, and a JSON document (`to_json()`) for tooling; both walk
+///     the registry in name order, so exports are deterministic.
+///
+/// Metric catalogue and naming conventions: docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csr::observe {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depths, pool sizes).
+class Gauge {
+ public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram in the Prometheus style: `bounds` are the
+/// inclusive upper edges of the finite buckets; one implicit +Inf bucket
+/// catches the rest. Buckets, count and sum are atomics — concurrent
+/// observe() calls never lock, at the usual cost that an export racing an
+/// observe can see count/sum/buckets at slightly different instants.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket i alone (i == bounds().size() is +Inf).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Observations ≤ bounds()[i] — the Prometheus cumulative `le` count.
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket edges for second-valued latencies: 1 µs to 10 s, roughly
+/// logarithmic. Cell evaluation, native compiles and journal replays all fit.
+[[nodiscard]] const std::vector<double>& latency_seconds_bounds();
+
+/// The process-global name → instrument registry.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Returns the named instrument, registering it on first use. Re-requests
+  /// with the same name return the same instance; requesting a name already
+  /// registered as a different kind throws std::logic_error. `help` is kept
+  /// from the first registration that supplies one.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = "");
+
+  /// Value of a registered counter, 0 when absent (test/tooling convenience).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Prometheus text exposition format, instruments in name order.
+  [[nodiscard]] std::string to_prometheus() const;
+  /// JSON document {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zeroes every instrument, keeping registrations (and the references
+  /// instrumentation sites hold) valid.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    std::string help;
+    // Exactly one of these is set; unique_ptr pins the address for the
+    // references handed out.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// RAII wall-clock timer: on destruction observes the elapsed seconds into a
+/// histogram and/or stores them through `out`. The profiling-hook companion
+/// of Span for code that wants a metric rather than (or in addition to) a
+/// trace event.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), start_ns_(now_ns()) {}
+  explicit ScopedTimer(double& out) : out_(&out), start_ns_(now_ns()) {}
+  ScopedTimer(Histogram& histogram, double& out)
+      : histogram_(&histogram), out_(&out), start_ns_(now_ns()) {}
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] double seconds_so_far() const;
+
+ private:
+  Histogram* histogram_ = nullptr;
+  double* out_ = nullptr;
+  std::uint64_t start_ns_;
+
+  static std::uint64_t now_ns();
+};
+
+}  // namespace csr::observe

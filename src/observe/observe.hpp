@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file observe.hpp
+/// Umbrella header of the observability layer: tracing (trace.hpp), metrics
+/// (metrics.hpp) and the profiling-hook helpers (CSR_SPAN, ScopedTimer).
+/// Instrumentation sites include this one header; docs/OBSERVABILITY.md is
+/// the span taxonomy and metric catalogue.
+
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"

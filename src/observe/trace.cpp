@@ -1,0 +1,180 @@
+#include "observe/trace.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace csr::observe {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with nanosecond fraction, rendered without ostream locale
+/// surprises: "1234.567".
+std::string microseconds_text(std::uint64_t ns) {
+  std::string out = std::to_string(ns / 1000);
+  const std::uint64_t frac = ns % 1000;
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), ".%03llu", static_cast<unsigned long long>(frac));
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer& Tracer::global() {
+  // Leaked intentionally: instrumentation in static destructors must never
+  // touch a destroyed tracer.
+  static auto* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out << "  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+        << json_escape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+        << microseconds_text(e.start_ns) << ", \"dur\": "
+        << microseconds_text(e.duration_ns) << ", \"pid\": 1, \"tid\": "
+        << e.thread;
+    if (!e.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        const TraceArg& arg = e.args[a];
+        if (a > 0) out << ", ";
+        out << '"' << json_escape(arg.key) << "\": ";
+        if (arg.quoted_string) {
+          out << '"' << json_escape(arg.value) << '"';
+        } else {
+          out << arg.value;
+        }
+      }
+      out << '}';
+    }
+    out << '}' << (i + 1 < events_.size() ? "," : "") << '\n';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+Span::Span(std::string_view category, std::string_view name) {
+  if (!Tracer::global().enabled()) return;
+  active_ = true;
+  event_.name = name;
+  event_.category = category;
+  event_.thread = current_thread_id();
+  event_.start_ns = monotonic_now_ns();
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  event_.duration_ns = monotonic_now_ns() - event_.start_ns;
+  Tracer::global().record(std::move(event_));
+}
+
+Span& Span::arg(std::string_view key, std::string_view value) {
+  if (active_) {
+    event_.args.push_back({std::string(key), std::string(value), true});
+  }
+  return *this;
+}
+
+Span& Span::arg(std::string_view key, bool value) {
+  if (active_) {
+    event_.args.push_back({std::string(key), value ? "true" : "false", false});
+  }
+  return *this;
+}
+
+Span& Span::arg(std::string_view key, double value) {
+  if (active_) {
+    std::ostringstream text;
+    text << value;
+    event_.args.push_back({std::string(key), text.str(), false});
+  }
+  return *this;
+}
+
+Span& Span::arg(std::string_view key, std::int64_t value) {
+  if (active_) {
+    event_.args.push_back({std::string(key), std::to_string(value), false});
+  }
+  return *this;
+}
+
+Span& Span::arg(std::string_view key, std::uint64_t value) {
+  if (active_) {
+    event_.args.push_back({std::string(key), std::to_string(value), false});
+  }
+  return *this;
+}
+
+}  // namespace csr::observe

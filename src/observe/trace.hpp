@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file trace.hpp
+/// Hierarchical span tracing for the pipeline the paper's evaluation sweeps
+/// over (retime → unfold → CSR → schedule → codegen → execute). A Span is an
+/// RAII begin/end pair carrying a category, a name, a dense thread id,
+/// monotonic timestamps and key/value attributes; the process-global Tracer
+/// collects completed spans and exports them in Chrome `trace_event` JSON,
+/// so any sweep can be opened in chrome://tracing or https://ui.perfetto.dev
+/// (nesting is reconstructed from time containment per thread, the standard
+/// interpretation of "X" complete events).
+///
+/// The tracer is always compiled in and **disabled by default**. A disabled
+/// Span costs one relaxed atomic load and touches nothing else — no clock
+/// read, no allocation, no lock — which is what keeps instrumented hot paths
+/// within noise of uninstrumented ones (bench/perf_observe.cpp demonstrates
+/// the contract on the VM sweep path).
+///
+/// Span taxonomy and attribute conventions: docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace csr::observe {
+
+/// Monotonic nanoseconds (steady clock); the time base of every span.
+[[nodiscard]] std::uint64_t monotonic_now_ns();
+
+/// Small dense id of the calling thread, assigned on first use. Stable for
+/// the thread's lifetime; exported as the trace's `tid`.
+[[nodiscard]] std::uint32_t current_thread_id();
+
+/// One key/value span attribute. `value` is the pre-rendered JSON text:
+/// quoted_string selects between string (escaped and quoted on export) and
+/// bare numeric/boolean literals.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted_string = true;
+};
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;
+  std::vector<TraceArg> args;
+};
+
+/// The process-global span collector. Thread-safe; spans from any thread
+/// land in one buffer and export in recording order.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Enables/disables recording. Spans opened while disabled stay inert even
+  /// if tracing is enabled before they close — a span is recorded iff the
+  /// tracer was enabled when it was *opened*.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(TraceEvent event);
+  void clear();
+  [[nodiscard]] std::size_t event_count() const;
+  /// Snapshot of the recorded spans (copies; for tests and tooling).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with one "ph": "X"
+  /// complete event per span, timestamps in microseconds.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  Tracer() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Construction snapshots the start time iff the global tracer is
+/// enabled; destruction (or an explicit end()) records the completed event.
+/// Attributes attached through arg() are dropped silently when inactive, so
+/// instrumentation sites need no enabled() checks of their own.
+class Span {
+ public:
+  Span(std::string_view category, std::string_view name);
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& arg(std::string_view key, std::string_view value);
+  Span& arg(std::string_view key, const char* value) {
+    return arg(key, std::string_view(value));
+  }
+  Span& arg(std::string_view key, const std::string& value) {
+    return arg(key, std::string_view(value));
+  }
+  Span& arg(std::string_view key, bool value);
+  Span& arg(std::string_view key, double value);
+  Span& arg(std::string_view key, std::int64_t value);
+  Span& arg(std::string_view key, std::uint64_t value);
+  Span& arg(std::string_view key, int value) {
+    return arg(key, static_cast<std::int64_t>(value));
+  }
+  Span& arg(std::string_view key, unsigned value) {
+    return arg(key, static_cast<std::uint64_t>(value));
+  }
+
+  /// Ends the span early; the destructor then does nothing.
+  void end();
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+// Token pasting needs one indirection so __LINE__ expands first.
+#define CSR_OBSERVE_CONCAT_INNER(a, b) a##b
+#define CSR_OBSERVE_CONCAT(a, b) CSR_OBSERVE_CONCAT_INNER(a, b)
+
+/// Anonymous scope span: CSR_SPAN("driver", "evaluate_cell");
+#define CSR_SPAN(category, name) \
+  ::csr::observe::Span CSR_OBSERVE_CONCAT(csr_span_at_line_, __LINE__)(category, name)
+
+}  // namespace csr::observe

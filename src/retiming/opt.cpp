@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dfg/algorithms.hpp"
+#include "observe/observe.hpp"
 #include "retiming/constraints.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
@@ -10,6 +11,29 @@
 namespace csr {
 
 namespace {
+
+/// Retiming-solver metrics (docs/OBSERVABILITY.md).
+struct RetimingMetrics {
+  observe::Counter& feasibility_checks;
+  observe::Counter& solutions;
+  observe::Histogram& solve_seconds;
+
+  static RetimingMetrics& get() {
+    static RetimingMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return RetimingMetrics{
+          reg.counter("csr_retiming_feasibility_checks_total",
+                      "Difference-constraint systems solved"),
+          reg.counter("csr_retiming_solutions_total",
+                      "Feasibility checks that produced a retiming"),
+          reg.histogram("csr_retiming_solve_seconds",
+                        observe::latency_seconds_bounds(),
+                        "Wall time of one minimum_period_retiming call"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 /// Base constraint system for "legal retiming with cycle period ≤ period".
 /// Variables 0..n−1 are r(v). Under the paper's convention d_r(e) =
@@ -66,9 +90,12 @@ std::optional<Retiming> spread_bounded_retiming(const DataFlowGraph& g,
 std::optional<Retiming> feasible_retiming(const DataFlowGraph& g, const WDMatrices& wd,
                                           std::int64_t period) {
   CSR_REQUIRE(wd.size() == g.node_count(), "W/D matrices do not match graph");
+  RetimingMetrics& metrics = RetimingMetrics::get();
+  metrics.feasibility_checks.increment();
   const auto solution =
       solve_difference_constraints(g.node_count(), period_constraints(g, wd, period));
   if (!solution) return std::nullopt;
+  metrics.solutions.increment();
   return from_solution(*solution, g.node_count());
 }
 
@@ -78,6 +105,9 @@ std::optional<Retiming> feasible_retiming(const DataFlowGraph& g, std::int64_t p
 
 std::optional<Retiming> min_depth_retiming(const DataFlowGraph& g, const WDMatrices& wd,
                                            std::int64_t period) {
+  observe::Span span("retiming", "min_depth_retiming");
+  span.arg("nodes", static_cast<std::uint64_t>(g.node_count()))
+      .arg("period", period);
   const auto unconstrained = feasible_retiming(g, wd, period);
   if (!unconstrained) return std::nullopt;
   // The unconstrained witness bounds the answer; binary search the spread.
@@ -103,6 +133,10 @@ std::optional<Retiming> min_depth_retiming(const DataFlowGraph& g, std::int64_t 
 
 OptimalRetiming minimum_period_retiming(const DataFlowGraph& g) {
   CSR_REQUIRE(g.node_count() > 0, "cannot retime an empty graph");
+  observe::Span span("retiming", "minimum_period_retiming");
+  span.arg("nodes", static_cast<std::uint64_t>(g.node_count()))
+      .arg("edges", static_cast<std::uint64_t>(g.edge_count()));
+  observe::ScopedTimer timer(RetimingMetrics::get().solve_seconds);
   const WDMatrices wd(g);
   const auto candidates = wd.candidate_periods();
   CSR_ENSURE(!candidates.empty(), "no candidate periods for non-empty graph");
@@ -129,6 +163,7 @@ OptimalRetiming minimum_period_retiming(const DataFlowGraph& g) {
   // Postcondition: the witness really achieves the period.
   CSR_ENSURE(cycle_period(apply_retiming(g, out.retiming)) <= out.period,
              "retimed graph exceeds the computed minimum period");
+  span.arg("min_period", out.period);
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "dfg/algorithms.hpp"
 #include "dfg/iteration_bound.hpp"
+#include "observe/observe.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
@@ -203,6 +204,11 @@ std::optional<ModuloSchedule> modulo_schedule(const DataFlowGraph& g,
                                               const ModuloScheduleOptions& options) {
   CSR_REQUIRE(g.node_count() > 0, "cannot schedule an empty graph");
   CSR_REQUIRE(options.budget_factor >= 1, "budget factor must be >= 1");
+  observe::Span span("schedule", "modulo_schedule");
+  span.arg("nodes", static_cast<std::uint64_t>(g.node_count()));
+  observe::MetricsRegistry::global()
+      .counter("csr_schedule_modulo_runs_total", "modulo_schedule calls")
+      .increment();
   const int min_ii = std::max(resource_min_ii(g, model), recurrence_min_ii(g));
   // The sequential schedule is always a valid modulo schedule at
   // II = Σ t(v), so the search is bounded.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "observe/observe.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
@@ -30,6 +31,11 @@ RotationResult rotation_schedule(const DataFlowGraph& g, const ResourceModel& mo
                                  int max_rotations) {
   CSR_REQUIRE(g.unit_time(), "rotation scheduling requires unit-time nodes");
   CSR_REQUIRE(g.node_count() > 0, "cannot schedule an empty graph");
+  observe::Span span("schedule", "rotation_schedule");
+  span.arg("nodes", static_cast<std::uint64_t>(g.node_count()));
+  observe::MetricsRegistry::global()
+      .counter("csr_schedule_rotation_runs_total", "rotation_schedule calls")
+      .increment();
   const int n = static_cast<int>(g.node_count());
   if (max_rotations < 0) max_rotations = n * n;
 

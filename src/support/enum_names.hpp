@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file enum_names.hpp
+/// One mechanism for enum ↔ name mapping, replacing the per-enum switch
+/// statements (and ad-hoc if/else parsers in the tools) that used to
+/// duplicate every name. An enum opts in by specializing EnumNames with a
+/// static `entries` array; `enum_name()` and `parse_enum()` then derive the
+/// two directions from the single table, so a renamed enumerator can never
+/// desynchronize printing from parsing:
+///
+///     template <> struct EnumNames<Engine> {
+///       static constexpr std::pair<Engine, std::string_view> entries[] = {
+///           {Engine::kOptRetiming, "opt-retiming"}, ...};
+///     };
+///
+///     std::string_view n = enum_name(Engine::kModulo);    // "modulo"
+///     std::optional<Engine> e = parse_enum<Engine>("modulo");
+///
+/// tests/enum_names_test.cpp round-trips every registered table.
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace csr {
+
+/// Specialize per enum with a static constexpr `entries` array of
+/// {value, name} pairs covering every enumerator exactly once.
+template <typename E>
+struct EnumNames;
+
+/// The registered name of `value`; "?" for values missing from the table
+/// (mirrors the defensive default of the old switch-based to_string).
+template <typename E>
+[[nodiscard]] constexpr std::string_view enum_name(E value) {
+  for (const auto& [v, name] : EnumNames<E>::entries) {
+    if (v == value) return name;
+  }
+  return "?";
+}
+
+/// Inverse of enum_name; nullopt for unknown names.
+template <typename E>
+[[nodiscard]] constexpr std::optional<E> parse_enum(std::string_view name) {
+  for (const auto& [v, n] : EnumNames<E>::entries) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+/// Number of registered enumerators (for exhaustiveness tests).
+template <typename E>
+[[nodiscard]] constexpr std::size_t enum_count() {
+  return std::size(EnumNames<E>::entries);
+}
+
+}  // namespace csr

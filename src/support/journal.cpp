@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "observe/observe.hpp"
 #include "support/hash.hpp"
 
 namespace csr {
@@ -11,6 +12,34 @@ namespace {
 std::string record_checksum(const std::string& key, const std::string& payload) {
   return ContentHasher().field(key).field(payload).hex();
 }
+
+/// Journal metrics (docs/OBSERVABILITY.md).
+struct JournalMetrics {
+  observe::Counter& replayed;
+  observe::Counter& dropped;
+  observe::Counter& appends;
+  observe::Counter& append_failures;
+  observe::Histogram& replay_seconds;
+
+  static JournalMetrics& get() {
+    static JournalMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return JournalMetrics{
+          reg.counter("csr_journal_records_replayed_total",
+                      "Valid records loaded by journal open"),
+          reg.counter("csr_journal_records_dropped_total",
+                      "Malformed or checksum-failed records ignored on replay"),
+          reg.counter("csr_journal_appends_total", "Records appended"),
+          reg.counter("csr_journal_append_failures_total",
+                      "Appends that could not reach the backing file"),
+          reg.histogram("csr_journal_replay_seconds",
+                        observe::latency_seconds_bounds(),
+                        "Wall time of one journal open (replay included)"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 bool valid_key(const std::string& key) {
   if (key.empty()) return false;
@@ -76,6 +105,9 @@ std::optional<std::string> journal_unescape(const std::string& line) {
 }
 
 bool ResultJournal::open(const std::string& path, std::string* error) {
+  JournalMetrics& metrics = JournalMetrics::get();
+  observe::Span span("journal", "open");
+  observe::ScopedTimer timer(metrics.replay_seconds);
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   dropped_ = 0;
@@ -107,6 +139,10 @@ bool ResultJournal::open(const std::string& path, std::string* error) {
     }
     // A missing file is a fresh journal, not an error.
   }
+  metrics.replayed.increment(entries_.size());
+  metrics.dropped.increment(dropped_);
+  span.arg("entries", static_cast<std::uint64_t>(entries_.size()))
+      .arg("dropped", static_cast<std::uint64_t>(dropped_));
 
   out_.open(path, std::ios::app);
   if (!out_) {
@@ -124,10 +160,18 @@ std::optional<std::string> ResultJournal::lookup(const std::string& key) const {
 }
 
 bool ResultJournal::append(const std::string& key, const std::string& payload) {
-  if (!valid_key(key)) return false;
+  JournalMetrics& metrics = JournalMetrics::get();
+  CSR_SPAN("journal", "append");
+  if (!valid_key(key)) {
+    metrics.append_failures.increment();
+    return false;
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_[key] = payload;
-  if (!out_.is_open()) return false;
+  if (!out_.is_open()) {
+    metrics.append_failures.increment();
+    return false;
+  }
   // One composed write + flush per record: a crash can tear only the final
   // line, which the next open() detects by its checksum and drops.
   std::ostringstream record;
@@ -135,7 +179,12 @@ bool ResultJournal::append(const std::string& key, const std::string& payload) {
          << journal_escape(payload) << '\n';
   out_ << record.str();
   out_.flush();
-  return static_cast<bool>(out_);
+  if (!out_) {
+    metrics.append_failures.increment();
+    return false;
+  }
+  metrics.appends.increment();
+  return true;
 }
 
 std::size_t ResultJournal::size() const {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "observe/observe.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -361,8 +362,27 @@ std::int64_t Machine::total_writes(const std::string& array) const {
 }
 
 Machine run_program(const LoopProgram& program, ExecMode mode) {
+  /// Registered once; run_program is the VM's hot entry point, so per-call
+  /// work beyond the atomic adds (and one inert Span) must stay zero.
+  struct VmMetrics {
+    observe::Counter& runs;
+    observe::Counter& statements;
+  };
+  static VmMetrics metrics = [] {
+    auto& reg = observe::MetricsRegistry::global();
+    return VmMetrics{
+        reg.counter("csr_vm_runs_total", "Programs executed on the VM"),
+        reg.counter("csr_vm_statements_total", "Statements the VM executed"),
+    };
+  }();
+  observe::Span span("vm", "run_program");
+  span.arg("mode", mode == ExecMode::kFast ? "fast" : "reference");
   Machine machine;
   machine.run(program, mode);
+  metrics.runs.increment();
+  metrics.statements.increment(
+      static_cast<std::uint64_t>(machine.executed_statements()));
+  span.arg("statements", machine.executed_statements());
   return machine;
 }
 

@@ -1,0 +1,160 @@
+// Tests for the stable driver API (api/csr.hpp, driver/config.hpp): the
+// SweepConfig fluent builder, the SweepRun contract of run_sweep(), the
+// byte-determinism of default exports with tracing on vs off, and the
+// deprecated pre-config entry points, which must keep producing identical
+// results until they are removed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/csr.hpp"
+
+namespace csr::driver {
+namespace {
+
+/// A small, fast grid: one benchmark, three transforms, one factor.
+SweepConfig small_config() {
+  return SweepConfig()
+      .benchmarks({"IIR Filter"})
+      .trip_counts({21})
+      .transforms({Transform::kOriginal, Transform::kRetimed, Transform::kRetimedCsr})
+      .factors({})
+      .threads(2);
+}
+
+TEST(SweepConfig, FluentSettersFillGridAndOptions) {
+  const SweepConfig config = SweepConfig()
+                                 .benchmarks({"A"})
+                                 .add_benchmark("B")
+                                 .trip_counts({7, 11})
+                                 .engines({Engine::kRotation})
+                                 .exec_engines({ExecEngine::kMap})
+                                 .transforms({Transform::kOriginal})
+                                 .factors({2, 4})
+                                 .threads(3)
+                                 .verify(false)
+                                 .journal("j.journal")
+                                 .cell_budget(5)
+                                 .steal_seed(99);
+  EXPECT_EQ(config.grid().benchmarks, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(config.grid().trip_counts, (std::vector<std::int64_t>{7, 11}));
+  EXPECT_EQ(config.grid().engines, (std::vector<Engine>{Engine::kRotation}));
+  EXPECT_EQ(config.grid().exec_engines, (std::vector<ExecEngine>{ExecEngine::kMap}));
+  EXPECT_EQ(config.options().threads, 3u);
+  EXPECT_FALSE(config.options().verify);
+  EXPECT_EQ(config.options().journal_path, "j.journal");
+  EXPECT_EQ(config.options().cell_budget, 5u);
+  EXPECT_EQ(config.options().steal_seed, 99u);
+  EXPECT_FALSE(config.has_explicit_cells());
+  // cells() is the grid product: 2 benchmarks × 2 trip counts × 1 transform.
+  EXPECT_EQ(config.cells().size(), 4u);
+}
+
+TEST(SweepConfig, CopyThenModifyLeavesTheBaseUntouched) {
+  const SweepConfig base = small_config();
+  const SweepConfig variant = SweepConfig(base).threads(7).journal("other");
+  EXPECT_EQ(base.options().threads, 2u);
+  EXPECT_TRUE(base.options().journal_path.empty());
+  EXPECT_EQ(variant.options().threads, 7u);
+  EXPECT_EQ(variant.options().journal_path, "other");
+  EXPECT_EQ(variant.grid().benchmarks, base.grid().benchmarks);
+}
+
+TEST(SweepConfig, ExplicitCellsBypassTheGrid) {
+  SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.transform = Transform::kOriginal;
+  cell.n = 21;
+  const SweepConfig config =
+      SweepConfig().benchmarks({"A", "B", "C"}).cells({cell, cell});
+  EXPECT_TRUE(config.has_explicit_cells());
+  ASSERT_EQ(config.cells().size(), 2u);  // not the 3-benchmark grid
+  EXPECT_EQ(config.cells()[0].benchmark, "IIR Filter");
+
+  const SweepRun run = run_sweep(config);
+  ASSERT_EQ(run.results.size(), 2u);
+  EXPECT_TRUE(run.results[0].feasible) << run.results[0].error;
+  EXPECT_EQ(run.stats.total_cells, 2u);
+}
+
+TEST(RunSweep, ResultsMatchCellOrderAndStatsAccount) {
+  const SweepConfig config = small_config();
+  const std::vector<SweepCell> cells = config.cells();
+  const SweepRun run = run_sweep(config);
+  ASSERT_EQ(run.results.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(run.results[i].cell.benchmark, cells[i].benchmark) << i;
+    EXPECT_EQ(run.results[i].cell.transform, cells[i].transform) << i;
+  }
+  EXPECT_EQ(run.stats.total_cells, cells.size());
+  EXPECT_EQ(run.stats.executed, cells.size());  // no journal, nothing cached
+  EXPECT_EQ(run.stats.cache_hits, 0u);
+}
+
+TEST(RunSweep, DefaultExportsAreByteIdenticalWithTracingOnAndOff) {
+  // The headline determinism guarantee of docs/OBSERVABILITY.md: turning the
+  // tracer on may never change what a sweep computes or exports.
+  const SweepConfig config = small_config();
+  auto& tracer = observe::Tracer::global();
+  tracer.set_enabled(false);
+  const SweepRun off = run_sweep(config);
+
+  tracer.clear();
+  tracer.set_enabled(true);
+  const SweepRun on = run_sweep(config);
+  const std::size_t traced = tracer.event_count();
+  tracer.set_enabled(false);
+  tracer.clear();
+
+  EXPECT_EQ(to_csv(off.results), to_csv(on.results));
+  EXPECT_EQ(to_json(off.results), to_json(on.results));
+  // The traced run actually recorded the sweep: at least one run_sweep span
+  // plus one evaluate_cell span per cell.
+  EXPECT_GT(traced, config.cells().size());
+}
+
+TEST(RunSweep, TimingFieldsAppearOnlyWhenOptedIn) {
+  const SweepRun run = run_sweep(small_config());
+  const std::string plain = to_json(run.results);
+  EXPECT_EQ(plain.find("\"exec_seconds\""), std::string::npos);
+  ExportOptions timing;
+  timing.include_timing = true;
+  const std::string timed = to_json(run.results, timing);
+  EXPECT_NE(timed.find("\"exec_seconds\""), std::string::npos);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedShims, GridOverloadMatchesTheConfigEntryPoint) {
+  // The pre-config overloads must stay behaviorally identical to the new
+  // entry point until their removal (api/csr.hpp's deprecation policy).
+  const SweepConfig config = small_config();
+  const SweepRun canonical = run_sweep(config);
+
+  const std::vector<SweepResult> via_grid =
+      run_sweep(config.grid(), config.options());
+  EXPECT_EQ(to_csv(canonical.results), to_csv(via_grid));
+  EXPECT_EQ(to_json(canonical.results), to_json(via_grid));
+
+  SweepStats stats;
+  const std::vector<SweepResult> via_cells =
+      run_cells(config.cells(), config.options(), &stats);
+  EXPECT_EQ(to_json(canonical.results), to_json(via_cells));
+  EXPECT_EQ(stats.total_cells, canonical.stats.total_cells);
+  EXPECT_EQ(stats.executed, canonical.stats.executed);
+}
+
+TEST(DeprecatedShims, JsonOptionsAliasStillCompiles) {
+  JsonOptions legacy;
+  legacy.include_timing = true;
+  const ExportOptions& as_new = legacy;  // same type, not a lookalike
+  EXPECT_TRUE(as_new.include_timing);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace csr::driver

@@ -22,8 +22,8 @@
 #include <string>
 #include <thread>
 
+#include "driver/config.hpp"
 #include "driver/export.hpp"
-#include "driver/sweep.hpp"
 #include "support/journal.hpp"
 
 namespace csr {
@@ -41,70 +41,60 @@ class ScopedFile {
   std::string path_;
 };
 
-driver::SweepGrid recovery_grid() {
-  driver::SweepGrid grid;
-  grid.benchmarks = {"IIR Filter", "All-pole Filter"};
-  grid.trip_counts = {23};
-  grid.factors = {2, 3};
-  return grid;
+driver::SweepConfig recovery_config() {
+  return driver::SweepConfig()
+      .benchmarks({"IIR Filter", "All-pole Filter"})
+      .trip_counts({23})
+      .factors({2, 3});
 }
 
 TEST(CrashRecovery, BudgetedRunsResumeWithExactDeltas) {
-  const driver::SweepGrid grid = recovery_grid();
-  const std::size_t total = grid.cells().size();
+  const driver::SweepConfig base = recovery_config();
+  const std::size_t total = base.cells().size();
   ASSERT_GE(total, 6u);
   const ScopedFile journal(::testing::TempDir() + "csr_crash_budget.tsv");
 
   // Clean reference: no journal, no budget, no crash.
-  driver::SweepOptions plain;
-  plain.threads = 2;
-  const auto reference = driver::run_sweep(grid, plain);
-  const std::string ref_csv = driver::to_csv(reference);
-  const std::string ref_json = driver::to_json(reference);
+  const auto reference = driver::run_sweep(driver::SweepConfig(base).threads(2));
+  const std::string ref_csv = driver::to_csv(reference.results);
+  const std::string ref_json = driver::to_json(reference.results);
 
-  driver::SweepOptions options;
-  options.threads = 2;
-  options.journal_path = journal.path();
+  const driver::SweepConfig journaled =
+      driver::SweepConfig(base).threads(2).journal(journal.path());
 
   // Run 1 "crashes" after a third of the grid.
-  options.cell_budget = total / 3;
-  driver::SweepStats first;
-  const auto partial = driver::run_sweep(grid, options, &first);
-  EXPECT_EQ(first.executed, total / 3);
-  EXPECT_EQ(first.budget_expired, total - total / 3);
-  EXPECT_EQ(first.cache_hits, 0u);
+  const auto first =
+      driver::run_sweep(driver::SweepConfig(journaled).cell_budget(total / 3));
+  EXPECT_EQ(first.stats.executed, total / 3);
+  EXPECT_EQ(first.stats.budget_expired, total - total / 3);
+  EXPECT_EQ(first.stats.cache_hits, 0u);
   std::size_t unevaluated = 0;
-  for (const auto& r : partial) unevaluated += r.evaluated ? 0 : 1;
-  EXPECT_EQ(unevaluated, first.budget_expired);
+  for (const auto& r : first.results) unevaluated += r.evaluated ? 0 : 1;
+  EXPECT_EQ(unevaluated, first.stats.budget_expired);
 
   // Run 2 resumes: replays the journaled third, executes only the delta.
-  options.cell_budget = 0;
-  driver::SweepStats second;
-  const auto resumed = driver::run_sweep(grid, options, &second);
-  EXPECT_EQ(second.cache_hits, total / 3);
-  EXPECT_EQ(second.executed, total - total / 3);
-  EXPECT_EQ(driver::to_csv(resumed), ref_csv);
-  EXPECT_EQ(driver::to_json(resumed), ref_json);
+  const auto resumed = driver::run_sweep(journaled);
+  EXPECT_EQ(resumed.stats.cache_hits, total / 3);
+  EXPECT_EQ(resumed.stats.executed, total - total / 3);
+  EXPECT_EQ(driver::to_csv(resumed.results), ref_csv);
+  EXPECT_EQ(driver::to_json(resumed.results), ref_json);
 
   // Run 3: the journal is complete — zero cells re-execute.
-  driver::SweepStats third;
-  const auto replayed = driver::run_sweep(grid, options, &third);
-  EXPECT_EQ(third.executed, 0u);
-  EXPECT_EQ(third.cache_hits, total);
-  EXPECT_EQ(driver::to_csv(replayed), ref_csv);
-  EXPECT_EQ(driver::to_json(replayed), ref_json);
+  const auto replayed = driver::run_sweep(journaled);
+  EXPECT_EQ(replayed.stats.executed, 0u);
+  EXPECT_EQ(replayed.stats.cache_hits, total);
+  EXPECT_EQ(driver::to_csv(replayed.results), ref_csv);
+  EXPECT_EQ(driver::to_json(replayed.results), ref_json);
 }
 
 TEST(CrashRecovery, SigkilledSweepResumesFromTheJournal) {
-  const driver::SweepGrid grid = recovery_grid();
-  const std::size_t total = grid.cells().size();
+  const driver::SweepConfig base = recovery_config();
+  const std::size_t total = base.cells().size();
   const ScopedFile journal(::testing::TempDir() + "csr_crash_kill.tsv");
 
-  driver::SweepOptions plain;
-  plain.threads = 2;
-  const auto reference = driver::run_sweep(grid, plain);
-  const std::string ref_csv = driver::to_csv(reference);
-  const std::string ref_json = driver::to_json(reference);
+  const auto reference = driver::run_sweep(driver::SweepConfig(base).threads(2));
+  const std::string ref_csv = driver::to_csv(reference.results);
+  const std::string ref_json = driver::to_json(reference.results);
 
   const pid_t child = fork();
   ASSERT_GE(child, 0) << "fork failed";
@@ -112,12 +102,12 @@ TEST(CrashRecovery, SigkilledSweepResumesFromTheJournal) {
     // Child: sweep one new cell at a time with a pause between slices, so
     // the parent's SIGKILL reliably lands mid-run. _exit, never exit — no
     // gtest teardown in the child.
-    driver::SweepOptions options;
-    options.threads = 1;
-    options.journal_path = journal.path();
-    options.cell_budget = 1;
+    const driver::SweepConfig slice_config = driver::SweepConfig(base)
+                                                  .threads(1)
+                                                  .journal(journal.path())
+                                                  .cell_budget(1);
     for (std::size_t slice = 0; slice < total; ++slice) {
-      (void)driver::run_sweep(grid, options);
+      (void)driver::run_sweep(slice_config);
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     ::_exit(0);
@@ -133,24 +123,21 @@ TEST(CrashRecovery, SigkilledSweepResumesFromTheJournal) {
 
   // The journal holds whatever the child finished — possibly with a torn
   // final record, which open() must drop silently.
-  driver::SweepOptions options;
-  options.threads = 2;
-  options.journal_path = journal.path();
-  driver::SweepStats resumed_stats;
-  const auto resumed = driver::run_sweep(grid, options, &resumed_stats);
-  EXPECT_GE(resumed_stats.cache_hits, 1u)
+  const driver::SweepConfig recover =
+      driver::SweepConfig(base).threads(2).journal(journal.path());
+  const auto resumed = driver::run_sweep(recover);
+  EXPECT_GE(resumed.stats.cache_hits, 1u)
       << "child was killed before journaling anything — raise the delay";
-  EXPECT_EQ(resumed_stats.cache_hits + resumed_stats.executed, total);
-  EXPECT_LE(resumed_stats.journal_dropped, 1u);  // at most the torn tail
-  EXPECT_EQ(driver::to_csv(resumed), ref_csv);
-  EXPECT_EQ(driver::to_json(resumed), ref_json);
+  EXPECT_EQ(resumed.stats.cache_hits + resumed.stats.executed, total);
+  EXPECT_LE(resumed.stats.journal_dropped, 1u);  // at most the torn tail
+  EXPECT_EQ(driver::to_csv(resumed.results), ref_csv);
+  EXPECT_EQ(driver::to_json(resumed.results), ref_json);
 
   // And once recovered, a further run re-executes nothing at all.
-  driver::SweepStats final_stats;
-  const auto replayed = driver::run_sweep(grid, options, &final_stats);
-  EXPECT_EQ(final_stats.executed, 0u);
-  EXPECT_EQ(final_stats.cache_hits, total);
-  EXPECT_EQ(driver::to_csv(replayed), ref_csv);
+  const auto replayed = driver::run_sweep(recover);
+  EXPECT_EQ(replayed.stats.executed, 0u);
+  EXPECT_EQ(replayed.stats.cache_hits, total);
+  EXPECT_EQ(driver::to_csv(replayed.results), ref_csv);
 }
 
 }  // namespace

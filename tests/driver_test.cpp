@@ -10,7 +10,9 @@
 
 #include "benchmarks/benchmarks.hpp"
 #include "codesize/model.hpp"
+#include "driver/config.hpp"
 #include "driver/export.hpp"
+#include "driver/export_schema.hpp"
 #include "driver/sweep.hpp"
 #include "driver/thread_pool.hpp"
 
@@ -120,14 +122,9 @@ TEST(Sweep, TripCountBelowDepthIsInfeasible) {
 }
 
 TEST(Sweep, SerialAndParallelExportsAreByteIdentical) {
-  SweepGrid grid;
-  grid.benchmarks = table_benchmark_names();
-  SweepOptions serial;
-  serial.threads = 1;
-  SweepOptions parallel;
-  parallel.threads = 4;
-  const std::vector<SweepResult> a = run_sweep(grid, serial);
-  const std::vector<SweepResult> b = run_sweep(grid, parallel);
+  const SweepConfig base = SweepConfig().benchmarks(table_benchmark_names());
+  const std::vector<SweepResult> a = run_sweep(SweepConfig(base).threads(1)).results;
+  const std::vector<SweepResult> b = run_sweep(SweepConfig(base).threads(4)).results;
   ASSERT_EQ(a.size(), b.size());
   EXPECT_EQ(to_csv(a), to_csv(b));
   EXPECT_EQ(to_json(a), to_json(b));
@@ -146,7 +143,8 @@ TEST(Export, CsvSkipsInfeasibleRowsAndKeepsHeader) {
   bad.cell.benchmark = "X";
   bad.feasible = false;
   const std::string csv = to_csv({bad});
-  EXPECT_EQ(csv,
+  EXPECT_EQ(csv, csv_header());
+  EXPECT_EQ(csv_header(),
             "benchmark,transform,factor,n,iteration_bound,period,depth,"
             "registers,size,verified\n");
   const std::string json = to_json({bad});

@@ -1,0 +1,81 @@
+// Round-trips every EnumNames table (support/enum_names.hpp): printing and
+// parsing are derived from one entries array, so `parse(to_string(v)) == v`
+// must hold for every enumerator of every registered enum, unknown names
+// must parse to nullopt, and unregistered values must print as "?".
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "driver/export.hpp"
+#include "driver/sweep.hpp"
+#include "support/enum_names.hpp"
+
+namespace csr {
+namespace {
+
+/// Shared exhaustiveness check: every entry round-trips, and no two entries
+/// share a name (a duplicate would make parsing ambiguous).
+template <typename E>
+void expect_table_round_trips() {
+  std::set<std::string> names;
+  for (const auto& [value, name] : EnumNames<E>::entries) {
+    EXPECT_EQ(enum_name(value), name);
+    const std::optional<E> parsed = parse_enum<E>(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, value) << name;
+    EXPECT_TRUE(names.insert(std::string(name)).second) << "duplicate: " << name;
+  }
+  EXPECT_EQ(names.size(), enum_count<E>());
+  EXPECT_FALSE(parse_enum<E>("no-such-enumerator").has_value());
+  EXPECT_FALSE(parse_enum<E>("").has_value());
+}
+
+TEST(EnumNames, EngineTableRoundTrips) {
+  expect_table_round_trips<driver::Engine>();
+  EXPECT_EQ(enum_count<driver::Engine>(), 3u);
+  EXPECT_EQ(driver::to_string(driver::Engine::kOptRetiming), "opt-retiming");
+  EXPECT_EQ(driver::parse_engine("modulo"), driver::Engine::kModulo);
+}
+
+TEST(EnumNames, ExecEngineTableRoundTrips) {
+  expect_table_round_trips<driver::ExecEngine>();
+  EXPECT_EQ(enum_count<driver::ExecEngine>(), 3u);
+  EXPECT_EQ(driver::parse_exec_engine("native"), driver::ExecEngine::kNative);
+  EXPECT_EQ(driver::parse_exec_engine("vm"), driver::ExecEngine::kVm);
+}
+
+TEST(EnumNames, TransformTableRoundTrips) {
+  expect_table_round_trips<driver::Transform>();
+  // All nine forms of Tables 1–4: original, four expanded, four CSR.
+  EXPECT_EQ(enum_count<driver::Transform>(), 9u);
+  EXPECT_EQ(driver::to_string(driver::Transform::kRetimedUnfoldedCsr),
+            "retimed_unfolded_csr");
+  EXPECT_EQ(driver::parse_transform("unfolded_retimed"),
+            driver::Transform::kUnfoldedRetimed);
+}
+
+TEST(EnumNames, ExportFormatTableRoundTrips) {
+  expect_table_round_trips<driver::ExportFormat>();
+  EXPECT_EQ(enum_count<driver::ExportFormat>(), 2u);
+  EXPECT_EQ(driver::parse_export_format("csv"), driver::ExportFormat::kCsv);
+  EXPECT_EQ(driver::parse_export_format("json"), driver::ExportFormat::kJson);
+}
+
+TEST(EnumNames, UnregisteredValuePrintsQuestionMark) {
+  // Mirrors the defensive default of the old switch-based to_string.
+  EXPECT_EQ(enum_name(static_cast<driver::Transform>(255)), "?");
+  EXPECT_EQ(enum_name(static_cast<driver::Engine>(255)), "?");
+}
+
+TEST(EnumNames, TablesAreUsableAtCompileTime) {
+  static_assert(enum_name(driver::ExecEngine::kMap) == "map");
+  static_assert(parse_enum<driver::ExecEngine>("map") == driver::ExecEngine::kMap);
+  static_assert(!parse_enum<driver::Engine>("bogus").has_value());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace csr

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "benchmarks/benchmarks.hpp"
-#include "driver/sweep.hpp"
+#include "driver/config.hpp"
 #include "native/compile.hpp"
 #include "native/engine.hpp"
 
@@ -210,17 +210,16 @@ TEST(SweepRetry, WholeNativeSweepSurvivesInjectedFailures) {
   // toolchain completes every cell (via fallback), aggregates its retries
   // and fallbacks, and stays feasible throughout.
   ScopedEnv env("CSR_FAKE_CC", "fail");
-  driver::SweepGrid grid;
-  grid.benchmarks = {"IIR Filter"};
-  grid.trip_counts = {23};
-  grid.exec_engines = {driver::ExecEngine::kNative};
-  grid.transforms = {driver::Transform::kOriginal, driver::Transform::kRetimedCsr};
-  grid.factors = {};
-  driver::SweepOptions options;
-  options.threads = 2;
-  options.retry = fast_retry(2);
-  driver::SweepStats stats;
-  const auto results = driver::run_sweep(grid, options, &stats);
+  const auto [results, stats] =
+      driver::run_sweep(driver::SweepConfig()
+                            .benchmarks({"IIR Filter"})
+                            .trip_counts({23})
+                            .exec_engines({driver::ExecEngine::kNative})
+                            .transforms({driver::Transform::kOriginal,
+                                         driver::Transform::kRetimedCsr})
+                            .factors({})
+                            .threads(2)
+                            .retry(fast_retry(2)));
   ASSERT_EQ(results.size(), 2u);
   for (const auto& r : results) {
     EXPECT_TRUE(r.feasible) << r.error;

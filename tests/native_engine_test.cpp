@@ -14,7 +14,7 @@
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/statements.hpp"
-#include "driver/sweep.hpp"
+#include "driver/config.hpp"
 #include "native/compile.hpp"
 #include "native/engine.hpp"
 #include "retiming/opt.hpp"
@@ -182,15 +182,14 @@ TEST(NativeEngine, SecondRunOfSameProgramHitsTheCache) {
 
 TEST(NativeDriver, NativeIsAFirstClassGridAxis) {
   if (!native::native_available()) GTEST_SKIP() << "no host C compiler";
-  driver::SweepGrid grid;
-  grid.benchmarks = {"IIR Filter"};
-  grid.trip_counts = {23};
-  grid.exec_engines = {driver::ExecEngine::kVm, driver::ExecEngine::kNative};
-  grid.transforms = {driver::Transform::kOriginal, driver::Transform::kRetimedCsr};
-  grid.factors = {};
-  driver::SweepOptions options;
-  options.threads = 2;
-  const auto results = driver::run_sweep(grid, options);
+  const auto [results, stats] = driver::run_sweep(
+      driver::SweepConfig()
+          .benchmarks({"IIR Filter"})
+          .trip_counts({23})
+          .exec_engines({driver::ExecEngine::kVm, driver::ExecEngine::kNative})
+          .transforms({driver::Transform::kOriginal, driver::Transform::kRetimedCsr})
+          .factors({})
+          .threads(2));
   ASSERT_EQ(results.size(), 4u);  // 2 transforms x 2 execution engines
   for (const auto& r : results) {
     EXPECT_TRUE(r.feasible) << r.error;

@@ -1,0 +1,269 @@
+// Tests for the observability layer (src/observe/): the RAII span tracer —
+// null-sink inertness, nesting, thread safety, Chrome JSON shape — and the
+// metrics registry — histogram bucket boundaries, lock-free concurrent
+// updates, exporter shape, reset semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "observe/observe.hpp"
+
+namespace csr::observe {
+namespace {
+
+/// Every tracer test runs against the process-global tracer, so each starts
+/// from a clean, enabled slate and leaves tracing off for the next test.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpanRecordsNothing) {
+  Tracer::global().set_enabled(false);
+  {
+    Span span("test", "inert");
+    span.arg("key", "value");  // dropped silently, no enabled() check needed
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST_F(TracerTest, SpanOpenedWhileDisabledStaysInert) {
+  // The contract: a span is recorded iff the tracer was enabled at *open*.
+  Tracer::global().set_enabled(false);
+  Span span("test", "late");
+  Tracer::global().set_enabled(true);
+  span.end();
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST_F(TracerTest, SpanRecordsCategoryNameAndArgs) {
+  {
+    Span span("driver", "unit_test_span");
+    span.arg("text", "hello").arg("flag", true).arg("n", 42);
+  }
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit_test_span");
+  EXPECT_EQ(events[0].category, "driver");
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].key, "text");
+  EXPECT_EQ(events[0].args[0].value, "hello");
+  EXPECT_TRUE(events[0].args[0].quoted_string);
+  EXPECT_EQ(events[0].args[1].value, "true");
+  EXPECT_FALSE(events[0].args[1].quoted_string);
+  EXPECT_EQ(events[0].args[2].value, "42");
+}
+
+TEST_F(TracerTest, NestedSpansAreTimeContainedAndCloseInnerFirst) {
+  {
+    Span outer("test", "outer");
+    {
+      Span inner("test", "inner");
+      (void)inner;
+    }
+  }
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on close, so the inner one lands first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.thread, outer.thread);
+  // Chrome/Perfetto reconstruct nesting from time containment per thread.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns, outer.start_ns + outer.duration_ns);
+}
+
+TEST_F(TracerTest, ExplicitEndStopsTheClockAndDestructorIsIdempotent) {
+  {
+    Span span("test", "ended_early");
+    span.end();
+    EXPECT_FALSE(span.active());
+    span.end();  // second end is a no-op; the destructor adds nothing either
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 1u);
+}
+
+TEST_F(TracerTest, ConcurrentSpansFromManyThreadsAllLand) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("test", "worker_span");
+        span.arg("thread", t).arg("i", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kSpansPerThread));
+  // Dense thread ids: every span from one std::thread carries the same tid,
+  // and the "thread" arg partitions events into kThreads groups of equal size.
+  std::vector<int> per_arg_thread(kThreads, 0);
+  for (const TraceEvent& e : events) {
+    ASSERT_EQ(e.args.size(), 2u);
+    per_arg_thread[std::stoi(e.args[0].value)]++;
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_arg_thread[t], kSpansPerThread);
+}
+
+TEST_F(TracerTest, ChromeJsonHasCompleteEventsAndArgs) {
+  {
+    Span span("driver", "json_probe");
+    span.arg("label", "va\"lue").arg("count", 7);
+  }
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"json_probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"driver\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"va\\\"lue\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 7"), std::string::npos);
+}
+
+TEST_F(TracerTest, CsrSpanMacroExpandsToAScopedSpan) {
+  {
+    CSR_SPAN("test", "macro_span");
+    CSR_SPAN("test", "second_on_same_scope");  // distinct names, no collision
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 2u);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0 (≤ 1)
+  h.observe(1.0);   // bucket 0 — the edge belongs to the lower bucket
+  h.observe(2.0);   // bucket 1
+  h.observe(2.001); // bucket 2
+  h.observe(100.0); // +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // index bounds().size() is +Inf
+  EXPECT_EQ(h.cumulative_count(0), 2u);
+  EXPECT_EQ(h.cumulative_count(1), 3u);
+  EXPECT_EQ(h.cumulative_count(2), 4u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 2.0 + 2.001 + 100.0);
+}
+
+TEST(Histogram, ConcurrentObservesLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 10000;
+  Histogram h({1.0, 2.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t expected = static_cast<std::uint64_t>(kThreads) * kObservations;
+  EXPECT_EQ(h.count(), expected);
+  EXPECT_EQ(h.bucket_count(0), expected);
+  // The CAS loop on the double sum must not drop updates either; every
+  // observation contributed exactly 1.0, so the sum is exact.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(expected));
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test_registry_identity_total", "help once");
+  Counter& b = reg.counter("test_registry_identity_total");
+  EXPECT_EQ(&a, &b);
+  a.increment(3);
+  EXPECT_EQ(reg.counter_value("test_registry_identity_total"), 3u);
+  EXPECT_EQ(reg.counter_value("test_registry_no_such_counter"), 0u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_registry_kind_total");
+  EXPECT_THROW(reg.gauge("test_registry_kind_total"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test_registry_kind_total", {1.0}), std::logic_error);
+}
+
+TEST(MetricsRegistry, PrometheusExpositionShape) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_prom_events_total", "Events counted by the test").increment(2);
+  reg.gauge("test_prom_depth", "A depth gauge").set(-4);
+  Histogram& h =
+      reg.histogram("test_prom_seconds", {0.1, 1.0}, "A latency histogram");
+  h.observe(0.05);
+  h.observe(5.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP test_prom_events_total Events counted by the test"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE test_prom_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_events_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_depth -4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_seconds_bucket{le=\"0.1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_prom_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_seconds_sum"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportNamesEveryKind) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_json_probe_total").increment();
+  reg.gauge("test_json_probe_gauge").set(9);
+  reg.histogram("test_json_probe_seconds", {1.0}).observe(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_probe_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_probe_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_probe_seconds\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsReferencesValid) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test_reset_survivor_total");
+  c.increment(41);
+  const std::size_t size_before = reg.size();
+  reg.reset();
+  EXPECT_EQ(reg.size(), size_before);  // registrations survive, values don't
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();  // the cached reference instrumentation sites hold still works
+  EXPECT_EQ(reg.counter_value("test_reset_survivor_total"), 1u);
+}
+
+TEST(ScopedTimer, ObservesElapsedSecondsIntoHistogramAndDouble) {
+  Histogram h(latency_seconds_bounds());
+  double seconds = -1.0;
+  {
+    ScopedTimer timer(h, seconds);
+    EXPECT_GE(timer.seconds_so_far(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_LT(seconds, 10.0);  // sanity: constructing a timer is not slow
+  EXPECT_DOUBLE_EQ(h.sum(), seconds);
+}
+
+}  // namespace
+}  // namespace csr::observe

@@ -20,8 +20,8 @@
 #include "dfg/algorithms.hpp"
 #include "dfg/iteration_bound.hpp"
 #include "dfg/random.hpp"
+#include "driver/config.hpp"
 #include "driver/export.hpp"
-#include "driver/sweep.hpp"
 #include "native/compile.hpp"
 #include "native/engine.hpp"
 #include "retiming/opt.hpp"
@@ -269,34 +269,29 @@ class ScopedFile {
   std::string path_;
 };
 
-driver::SweepGrid small_grid() {
-  driver::SweepGrid grid;
-  grid.benchmarks = {"IIR Filter", "Differential Equation"};
-  grid.trip_counts = {23};
-  grid.factors = {2, 3};
-  return grid;
+driver::SweepConfig small_config() {
+  return driver::SweepConfig()
+      .benchmarks({"IIR Filter", "Differential Equation"})
+      .trip_counts({23})
+      .factors({2, 3});
 }
 
 TEST(SweepProperties, ExportsIndependentOfWorkerCountAndStealOrder) {
   // The determinism contract: result slot i always holds cell i's result,
   // so the default exports are byte-identical for any thread count and any
   // steal-victim permutation.
-  const driver::SweepGrid grid = small_grid();
-  driver::SweepOptions serial;
-  serial.threads = 1;
-  const auto reference = driver::run_sweep(grid, serial);
-  const std::string ref_csv = driver::to_csv(reference);
-  const std::string ref_json = driver::to_json(reference);
+  const driver::SweepConfig base = small_config();
+  const auto reference = driver::run_sweep(driver::SweepConfig(base).threads(1));
+  const std::string ref_csv = driver::to_csv(reference.results);
+  const std::string ref_json = driver::to_json(reference.results);
   EXPECT_FALSE(ref_csv.empty());
 
   for (const unsigned threads : {2u, 5u, 8u}) {
     for (const std::uint64_t seed : {0ull, 0xFEEDull}) {
-      driver::SweepOptions options;
-      options.threads = threads;
-      options.steal_seed = seed;
-      const auto results = driver::run_sweep(grid, options);
-      EXPECT_EQ(driver::to_csv(results), ref_csv) << threads << '/' << seed;
-      EXPECT_EQ(driver::to_json(results), ref_json) << threads << '/' << seed;
+      const auto run = driver::run_sweep(
+          driver::SweepConfig(base).threads(threads).steal_seed(seed));
+      EXPECT_EQ(driver::to_csv(run.results), ref_csv) << threads << '/' << seed;
+      EXPECT_EQ(driver::to_json(run.results), ref_json) << threads << '/' << seed;
     }
   }
 }
@@ -305,33 +300,28 @@ TEST(SweepProperties, JournalReplayIsByteIdenticalAndExecutesNothing) {
   // The persistent-cache contract: a warm re-run replays every cell from
   // the journal (zero executions) and its default exports are byte-equal to
   // both the cold run's and an unjournaled run's.
-  const driver::SweepGrid grid = small_grid();
+  const driver::SweepConfig base = small_config();
   const ScopedFile journal(::testing::TempDir() + "csr_property_journal.tsv");
 
-  driver::SweepOptions options;
-  options.threads = 4;
-  options.journal_path = journal.path();
+  const driver::SweepConfig journaled =
+      driver::SweepConfig(base).threads(4).journal(journal.path());
 
-  driver::SweepStats cold;
-  const auto first = driver::run_sweep(grid, options, &cold);
-  EXPECT_EQ(cold.cache_hits, 0u);
-  EXPECT_EQ(cold.executed, cold.total_cells);
-  EXPECT_GT(cold.total_cells, 0u);
+  const auto first = driver::run_sweep(journaled);
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+  EXPECT_EQ(first.stats.executed, first.stats.total_cells);
+  EXPECT_GT(first.stats.total_cells, 0u);
 
-  driver::SweepStats warm;
-  const auto second = driver::run_sweep(grid, options, &warm);
-  EXPECT_EQ(warm.executed, 0u);
-  EXPECT_EQ(warm.cache_hits, warm.total_cells);
+  const auto second = driver::run_sweep(journaled);
+  EXPECT_EQ(second.stats.executed, 0u);
+  EXPECT_EQ(second.stats.cache_hits, second.stats.total_cells);
 
-  driver::SweepOptions uncached;
-  uncached.threads = 4;
-  const auto plain = driver::run_sweep(grid, uncached);
+  const auto plain = driver::run_sweep(driver::SweepConfig(base).threads(4));
 
-  EXPECT_EQ(driver::to_csv(second), driver::to_csv(first));
-  EXPECT_EQ(driver::to_json(second), driver::to_json(first));
-  EXPECT_EQ(driver::to_csv(plain), driver::to_csv(first));
-  EXPECT_EQ(driver::to_json(plain), driver::to_json(first));
-  for (const auto& r : second) EXPECT_TRUE(r.from_cache);
+  EXPECT_EQ(driver::to_csv(second.results), driver::to_csv(first.results));
+  EXPECT_EQ(driver::to_json(second.results), driver::to_json(first.results));
+  EXPECT_EQ(driver::to_csv(plain.results), driver::to_csv(first.results));
+  EXPECT_EQ(driver::to_json(plain.results), driver::to_json(first.results));
+  for (const auto& r : second.results) EXPECT_TRUE(r.from_cache);
 }
 
 TEST(SweepProperties, JournalPayloadRoundTripsHostileStrings) {
