@@ -1,0 +1,289 @@
+// loadgen — closed-loop load generator for csr_serve (BENCH_serve.json).
+//
+// N client threads each own one keep-alive connection and issue the same
+// /v1/sweep query back-to-back: send, read the full response, record the
+// latency, repeat. Closed-loop means offered load adapts to service rate —
+// the report is the server's sustained throughput at saturation, not a
+// drop rate. After --seconds of measurement it writes aggregate throughput
+// and latency percentiles (p50/p90/p99/max) as JSON.
+//
+// Usage:
+//   loadgen --port P [--host H] [--threads N] [--seconds S]
+//           [--body JSON | --body-file F] [--output BENCH_serve.json]
+//           [--expect-cache hit|partial|miss]
+//
+// The default body is a single-cell cached-friendly query, so a warm run
+// measures the cache + HTTP path (the ROADMAP's >=5k req/s acceptance
+// gate); point --body-file at a larger grid to measure compute instead.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+constexpr const char* kDefaultBody =
+    R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"]})";
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  unsigned threads = 4;
+  double seconds = 5.0;
+  std::string body = kDefaultBody;
+  std::string output = "BENCH_serve.json";
+  std::string expect_cache;  ///< empty = don't check
+};
+
+struct ThreadStats {
+  std::vector<double> latencies_ms;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  bool cache_mismatch = false;
+};
+
+int dial(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly one HTTP/1.1 response off `fd` using `buffer` as carry-over
+/// between calls (keep-alive). Returns the status code, or -1 on a broken
+/// connection / unparseable response. Requires Content-Length (csr_serve
+/// always sends it). `headers_out` gets the raw header block.
+int read_response(int fd, std::string& buffer, std::string* headers_out) {
+  char chunk[64 * 1024];
+  std::size_t header_end = std::string::npos;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return -1;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string headers = buffer.substr(0, header_end);
+  if (headers_out != nullptr) *headers_out = headers;
+
+  int status = -1;
+  if (headers.size() > 12 && headers.compare(0, 5, "HTTP/") == 0) {
+    status = std::atoi(headers.c_str() + 9);
+  }
+  std::size_t content_length = 0;
+  {
+    // Case-insensitive scan for the Content-Length header.
+    std::string lower = headers;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    const std::size_t pos = lower.find("content-length:");
+    if (pos == std::string::npos) return -1;
+    content_length = static_cast<std::size_t>(
+        std::strtoull(headers.c_str() + pos + 15, nullptr, 10));
+  }
+
+  const std::size_t total = header_end + 4 + content_length;
+  while (buffer.size() < total) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return -1;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  buffer.erase(0, total);  // leave any pipelined surplus for the next call
+  return status;
+}
+
+void client_loop(const Options& options, const std::string& request,
+                 std::chrono::steady_clock::time_point deadline,
+                 ThreadStats& stats) {
+  int fd = dial(options.host, options.port);
+  std::string buffer;
+  while (fd >= 0 && std::chrono::steady_clock::now() < deadline) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string headers;
+    if (!send_all(fd, request) || read_response(fd, buffer, &headers) != 200) {
+      ++stats.errors;
+      ::close(fd);
+      buffer.clear();
+      fd = dial(options.host, options.port);  // reconnect and keep going
+      continue;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    ++stats.requests;
+    stats.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    if (!options.expect_cache.empty() &&
+        headers.find("X-Csr-Cache: " + options.expect_cache) == std::string::npos) {
+      stats.cache_mismatch = true;
+    }
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "loadgen: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = value();
+    } else if (arg == "--port") {
+      options.port = std::atoi(value());
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--seconds") {
+      options.seconds = std::atof(value());
+    } else if (arg == "--body") {
+      options.body = value();
+    } else if (arg == "--body-file") {
+      std::ifstream in(value());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      options.body = ss.str();
+    } else if (arg == "--output") {
+      options.output = value();
+    } else if (arg == "--expect-cache") {
+      options.expect_cache = value();
+    } else {
+      std::cerr << "loadgen: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (options.port <= 0 || options.threads == 0 || options.seconds <= 0) {
+    std::cerr << "loadgen: --port is required (and threads/seconds positive)\n";
+    return 2;
+  }
+
+  std::string request = "POST /v1/sweep HTTP/1.1\r\n";
+  request += "Host: " + options.host + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(options.body.size()) + "\r\n";
+  request += "Connection: keep-alive\r\n\r\n";
+  request += options.body;
+
+  // One priming request warms the cache (and fails fast on a dead server).
+  {
+    const int fd = dial(options.host, options.port);
+    if (fd < 0) {
+      std::cerr << "loadgen: cannot connect to " << options.host << ":"
+                << options.port << "\n";
+      return 1;
+    }
+    std::string buffer;
+    const int status = send_all(fd, request) ? read_response(fd, buffer, nullptr) : -1;
+    ::close(fd);
+    if (status != 200) {
+      std::cerr << "loadgen: priming request failed (status " << status << ")\n";
+      return 1;
+    }
+  }
+
+  std::vector<ThreadStats> stats(options.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(options.seconds));
+  std::vector<std::thread> clients;
+  clients.reserve(options.threads);
+  for (unsigned t = 0; t < options.threads; ++t) {
+    clients.emplace_back(client_loop, std::cref(options), std::cref(request),
+                         deadline, std::ref(stats[t]));
+  }
+  for (std::thread& c : clients) c.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<double> latencies;
+  std::uint64_t requests = 0, errors = 0;
+  bool cache_mismatch = false;
+  for (ThreadStats& s : stats) {
+    requests += s.requests;
+    errors += s.errors;
+    cache_mismatch = cache_mismatch || s.cache_mismatch;
+    latencies.insert(latencies.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double rps = elapsed > 0 ? static_cast<double>(requests) / elapsed : 0;
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n  \"serve\": {\n"
+       << "    \"threads\": " << options.threads << ",\n"
+       << "    \"seconds\": " << elapsed << ",\n"
+       << "    \"requests\": " << requests << ",\n"
+       << "    \"errors\": " << errors << ",\n"
+       << "    \"throughput_rps\": " << rps << ",\n"
+       << "    \"latency_ms\": {\n"
+       << "      \"p50\": " << percentile(latencies, 50) << ",\n"
+       << "      \"p90\": " << percentile(latencies, 90) << ",\n"
+       << "      \"p99\": " << percentile(latencies, 99) << ",\n"
+       << "      \"max\": " << (latencies.empty() ? 0.0 : latencies.back()) << "\n"
+       << "    }\n  }\n}\n";
+
+  std::ofstream out(options.output, std::ios::trunc);
+  out << json.str();
+  std::cout << json.str();
+  std::cerr << "loadgen: " << requests << " requests in " << elapsed << "s ("
+            << static_cast<std::uint64_t>(rps) << " req/s), errors=" << errors
+            << (cache_mismatch ? ", CACHE EXPECTATION VIOLATED" : "") << "\n";
+  return cache_mismatch ? 3 : (errors > requests / 100 ? 4 : 0);
+}

@@ -18,8 +18,11 @@
 /// available for programs that work below the driver, but everything here
 /// is what the deprecation policy keeps stable: types reachable from this
 /// header are renamed only through `[[deprecated]]` shims that live for at
-/// least one release (the current ones: sweep.hpp's pre-SweepConfig sweep
-/// overloads and export.hpp's old options-struct alias).
+/// least one release. (The pre-SweepConfig sweep overloads and the old
+/// JsonOptions alias completed that cycle and have been removed.)
+///
+/// Programs that serve sweeps over the network layer their server on top of
+/// this same surface — see serve/server.hpp and docs/SERVING.md.
 
 #include "benchmarks/benchmarks.hpp"
 #include "driver/config.hpp"

@@ -17,9 +17,9 @@
 ///     write_csv(std::cout, run.results);
 ///
 /// The grid axes default exactly as SweepGrid's members do, so an empty
-/// SweepConfig plus `benchmarks(...)` reproduces the paper's tables. The
-/// pre-config overloads in sweep.hpp still work but are [[deprecated]];
-/// they forward to the same executor.
+/// SweepConfig plus `benchmarks(...)` reproduces the paper's tables. (The
+/// pre-config sweep.hpp overloads lived one release as [[deprecated]] shims
+/// and are gone; this is the only entry point.)
 
 #include <cstddef>
 #include <cstdint>

@@ -62,9 +62,6 @@ struct ExportOptions {
   bool include_timing = false;
 };
 
-/// The old name of ExportOptions, kept for source compatibility.
-using JsonOptions [[deprecated("use ExportOptions")]] = ExportOptions;
-
 /// CSV with the export_schema.hpp header. Infeasible cells are skipped — the
 /// file lists achieved configurations, like the paper's tables — and so are
 /// budget-expired cells (`evaluated == false`), which carry no measurements.

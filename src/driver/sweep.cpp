@@ -255,18 +255,20 @@ std::string journal_key(const SweepCell& cell, const SweepOptions& options) {
   } catch (const std::exception&) {
     dfg_text = "unknown-benchmark";
   }
-  return 'c' + ContentHasher()
-                   .field(kPayloadVersion)
-                   .field(cell.benchmark)
-                   .field(dfg_text)
-                   .field(to_string(cell.engine))
-                   .field(to_string(cell.exec))
-                   .field(to_string(cell.transform))
-                   .field(cell.factor)
-                   .field(cell.n)
-                   .field(options.verify ? 1 : 0)
-                   .field(options.machine.description())
-                   .hex();
+  // One shared helper (support/hash.hpp) renders the key for every consumer
+  // — the on-disk journal and the serve layer's in-memory result cache — so
+  // the two can never drift. The field framing below is pinned by
+  // tests/serve_service_test.cpp and by every existing journal file.
+  return content_key('c', {std::string(kPayloadVersion),
+                           cell.benchmark,
+                           dfg_text,
+                           std::string(to_string(cell.engine)),
+                           std::string(to_string(cell.exec)),
+                           std::string(to_string(cell.transform)),
+                           std::to_string(cell.factor),
+                           std::to_string(cell.n),
+                           options.verify ? "1" : "0",
+                           options.machine.description()});
 }
 
 std::string to_journal_payload(const SweepResult& r) {
@@ -588,26 +590,5 @@ std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
 }
 
 }  // namespace detail
-
-// Deprecated shims: same executor, frozen spelling. Silence our own
-// deprecation warnings — these definitions *are* the legacy surface.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
-                                   const SweepOptions& options, SweepStats* stats) {
-  return detail::run_cells(cells, options, stats);
-}
-
-std::vector<SweepResult> run_sweep(const SweepGrid& grid, const SweepOptions& options,
-                                   SweepStats* stats) {
-  return detail::run_cells(grid.cells(), options, stats);
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace csr::driver

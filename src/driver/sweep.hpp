@@ -14,8 +14,9 @@
 /// matter how many threads ran the sweep.
 ///
 /// **Entry point:** `run_sweep(const SweepConfig&)` in driver/config.hpp
-/// (or through the umbrella header api/csr.hpp). The grid/options overloads
-/// below are deprecated shims kept so downstreams migrate at their own pace.
+/// (or through the umbrella header api/csr.hpp). The pre-SweepConfig
+/// grid/options overloads went through a full `[[deprecated]]` release and
+/// have been removed.
 ///
 /// Three production-hardening layers sit between the grid and the results
 /// (docs/DRIVER.md has the full design):
@@ -294,18 +295,6 @@ namespace detail {
                                                  const SweepOptions& options,
                                                  SweepStats* stats = nullptr);
 }  // namespace detail
-
-/// Deprecated shims of the pre-SweepConfig API (driver/config.hpp). They
-/// forward to the same executor; only the spelling is frozen.
-[[deprecated("use run_sweep(const SweepConfig&) from driver/config.hpp")]]
-[[nodiscard]] std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
-                                                 const SweepOptions& options,
-                                                 SweepStats* stats = nullptr);
-
-[[deprecated("use run_sweep(const SweepConfig&) from driver/config.hpp")]]
-[[nodiscard]] std::vector<SweepResult> run_sweep(const SweepGrid& grid,
-                                                 const SweepOptions& options = {},
-                                                 SweepStats* stats = nullptr);
 
 // --- journal plumbing (exposed for tests and tooling) ----------------------
 

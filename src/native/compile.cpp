@@ -67,12 +67,8 @@ std::string cache_key(const std::string& source, const CompileOptions& options,
                       const std::string& compiler) {
   // The fake spec is part of the key: an injected-fault compile must never
   // be satisfied by (or pollute) an object the real toolchain produced.
-  return 'k' + ContentHasher()
-                   .field(source)
-                   .field(options.flags)
-                   .field(compiler)
-                   .field(effective_fake_spec(options))
-                   .hex();
+  return content_key(
+      'k', {source, options.flags, compiler, effective_fake_spec(options)});
 }
 
 fs::path cache_directory(const CompileOptions& options, std::string& problem) {

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file cache.hpp
+/// The serve layer's in-memory result cache: string key → string payload,
+/// least-recently-used eviction, sharded by key hash so concurrent request
+/// threads contend on different mutexes. Keys are the *same* content hashes
+/// the persistent journal uses (driver::journal_key, built on
+/// support/hash.hpp's content_key), which is what lets the cache be
+/// warm-started verbatim from a journal snapshot at boot and guarantees the
+/// online and offline caches can never disagree about identity.
+///
+/// Capacity is a total entry count split evenly across shards; each shard
+/// runs an exact LRU under its own mutex. Hit/miss/eviction counts are
+/// plain atomics, mirrored into the global MetricsRegistry by the service
+/// layer (docs/OBSERVABILITY.md).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace csr::serve {
+
+class ShardedLruCache {
+ public:
+  /// `capacity` = max total entries (at least one per shard);
+  /// `shards` is rounded up to a power of two for mask-based selection.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// The cached payload, refreshing recency; nullopt on miss.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or overwrites; may evict the shard's least-recent entry.
+  void put(const std::string& key, std::string payload);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recent. List nodes own the (key, payload) pair so the
+    /// index can point at stable storage.
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string, std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace csr::serve

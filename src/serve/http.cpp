@@ -1,0 +1,237 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace csr::serve {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeaderEnd = "\r\n\r\n";
+
+bool is_token_char(char c) {
+  // RFC 9110 token characters; enough to reject header-name smuggling.
+  static constexpr std::string_view kExtra = "!#$%&'*+-.^_`|~";
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+         kExtra.find(c) != std::string_view::npos;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpRequest::header(std::string_view name) const {
+  const auto it = headers.find(std::string(name));
+  if (it == headers.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+bool HttpRequest::keep_alive() const {
+  const auto connection = header("connection");
+  const std::string value = connection ? lower(trim(*connection)) : "";
+  if (version_minor >= 1) return value != "close";
+  return value == "keep-alive";
+}
+
+void RequestParser::feed(std::string_view bytes) {
+  if (error_status_ != 0) return;  // poisoned; don't buffer unboundedly
+  buffer_.append(bytes);
+}
+
+ParseStatus RequestParser::fail(int status, std::string reason) {
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+  return ParseStatus::kError;
+}
+
+void RequestParser::compact() {
+  // Drop the consumed prefix once it dominates the buffer, so a long
+  // keep-alive connection doesn't accrete every request it ever served.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+ParseStatus RequestParser::next_request(HttpRequest* out) {
+  if (error_status_ != 0) return ParseStatus::kError;
+  const std::string_view data = std::string_view(buffer_).substr(consumed_);
+
+  const std::size_t head_end = data.find(kHeaderEnd);
+  if (head_end == std::string_view::npos) {
+    if (data.size() > limits_.max_header_bytes) {
+      return fail(431, "header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return ParseStatus::kNeedMore;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    return fail(431, "header section exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  HttpRequest req;
+
+  // --- request line: METHOD SP target SP HTTP/1.x --------------------------
+  const std::string_view head = data.substr(0, head_end);
+  const std::size_t line_end = head.find(kCrlf);
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  {
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return fail(400, "malformed request line");
+    }
+    const std::string_view method = request_line.substr(0, sp1);
+    const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = request_line.substr(sp2 + 1);
+    if (method.empty() ||
+        !std::all_of(method.begin(), method.end(), is_token_char)) {
+      return fail(400, "malformed method token");
+    }
+    if (target.empty() || target[0] != '/') {
+      return fail(400, "request target must be origin-form");
+    }
+    if (version == "HTTP/1.1") {
+      req.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+      req.version_minor = 0;
+    } else if (version.substr(0, 5) == "HTTP/") {
+      return fail(505, "unsupported protocol version");
+    } else {
+      return fail(400, "malformed protocol version");
+    }
+    req.method = std::string(method);
+    req.target = std::string(target);
+  }
+
+  // --- header fields -------------------------------------------------------
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{} : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    std::size_t eol = rest.find(kCrlf);
+    if (eol == std::string_view::npos) eol = rest.size();
+    const std::string_view line = rest.substr(0, eol);
+    rest.remove_prefix(std::min(rest.size(), eol + 2));
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      return fail(400, "obsolete header line folding");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header field");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+      // Includes the "Header : v" smuggling shape — a space before the
+      // colon is not a token character.
+      return fail(400, "malformed header field name");
+    }
+    const std::string_view value = trim(line.substr(colon + 1));
+    // Lines were split on CRLF, so a stray CR, LF or NUL here is a bare
+    // control byte inside the value — forbidden (RFC 9110 §5.5) and a
+    // response-splitting vector if ever echoed.
+    if (value.find_first_of(std::string_view("\r\n\0", 3)) !=
+        std::string_view::npos) {
+      return fail(400, "control character in header value");
+    }
+    req.headers[lower(name)] = std::string(value);
+  }
+
+  // --- body framing --------------------------------------------------------
+  if (req.headers.count("transfer-encoding") != 0) {
+    return fail(501, "transfer-encoding is not supported");
+  }
+  std::size_t content_length = 0;
+  if (const auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    const std::string& value = it->second;
+    if (value.empty() ||
+        !std::all_of(value.begin(), value.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; })) {
+      return fail(400, "malformed content-length");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' ||
+        parsed > limits_.max_body_bytes) {
+      return fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                           " bytes");
+    }
+    content_length = static_cast<std::size_t>(parsed);
+  }
+
+  const std::size_t body_start = head_end + kHeaderEnd.size();
+  if (data.size() - body_start < content_length) return ParseStatus::kNeedMore;
+  req.body = std::string(data.substr(body_start, content_length));
+
+  consumed_ += body_start + content_length;
+  compact();
+  if (out != nullptr) *out = std::move(req);
+  return ParseStatus::kRequest;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 422: return "Unprocessable Content";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string render_response(int status, std::string_view content_type,
+                            std::string_view body, bool keep_alive,
+                            const std::vector<std::string>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + ' ';
+  out += status_reason(status);
+  out += kCrlf;
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += kCrlf;
+  }
+  out += "Content-Length: " + std::to_string(body.size());
+  out += kCrlf;
+  out += keep_alive ? "Connection: keep-alive" : "Connection: close";
+  out += kCrlf;
+  for (const std::string& header : extra_headers) {
+    out += header;
+    out += kCrlf;
+  }
+  out += kCrlf;
+  out += body;
+  return out;
+}
+
+}  // namespace csr::serve

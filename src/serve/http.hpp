@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file http.hpp
+/// A dependency-free, incremental HTTP/1.1 message layer for the query
+/// service — plain POSIX sockets feed raw bytes in, parsed requests come
+/// out, rendered responses go back. Scope is deliberately the subset the
+/// server speaks (docs/SERVING.md pins the protocol):
+///
+///   * request line + headers + fixed Content-Length bodies;
+///   * keep-alive and pipelining: the parser is a push-style state machine
+///     over one growing buffer, so a read() that lands two and a half
+///     requests yields two complete ones and keeps the tail;
+///   * hard resource bounds: header bytes and body bytes are capped and
+///     violations are typed parse errors carrying the HTTP status the
+///     connection should die with (431/413), because a networked parser's
+///     first job is to bound untrusted input;
+///   * no chunked transfer encoding (501 — the clients this serves POST
+///     small JSON bodies with explicit lengths).
+///
+/// The parser performs no I/O and touches no globals, which is what makes
+/// it unit-testable byte-by-byte (tests/serve_http_test.cpp) and fuzzable
+/// (tests/serve_fuzz_test.cpp) without a socket in sight.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csr::serve {
+
+/// One parsed request. Header names are lower-cased at parse time (field
+/// names are case-insensitive, RFC 9110 §5.1); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< as sent: "GET", "POST", ...
+  std::string target;   ///< origin-form target, e.g. "/v1/sweep"
+  int version_minor = 1;  ///< HTTP/1.<minor>; only 0 and 1 are accepted
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// The value of `name` (already lower-case), if present.
+  [[nodiscard]] std::optional<std::string_view> header(
+      std::string_view name) const;
+
+  /// Connection persistence per RFC 9112: HTTP/1.1 defaults to keep-alive
+  /// unless "connection: close"; HTTP/1.0 defaults to close unless
+  /// "connection: keep-alive".
+  [[nodiscard]] bool keep_alive() const;
+};
+
+/// Parser limits. Defaults fit the service's POST-small-JSON workload while
+/// keeping a hostile peer from ballooning memory.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;  ///< request line + all headers
+  std::size_t max_body_bytes = 1024 * 1024;  ///< Content-Length ceiling
+};
+
+/// Outcome of one next_request() step.
+enum class ParseStatus {
+  kNeedMore,  ///< no complete request buffered yet; feed more bytes
+  kRequest,   ///< one request extracted into *out
+  kError,     ///< protocol violation; connection must be closed after
+};            ///  sending the suggested status
+
+/// Push-style incremental request parser. feed() appends raw bytes;
+/// next_request() extracts at most one complete request per call, so a
+/// pipelined burst is drained by looping until kNeedMore. After kError the
+/// parser is poisoned (every further call reports the same error) — an
+/// HTTP/1.1 byte stream has no resynchronization point after a framing
+/// error.
+class RequestParser {
+ public:
+  RequestParser() = default;
+  explicit RequestParser(HttpLimits limits) : limits_(limits) {}
+
+  void feed(std::string_view bytes);
+
+  [[nodiscard]] ParseStatus next_request(HttpRequest* out);
+
+  /// After kError: the HTTP status (400/413/431/501/505) and a one-line
+  /// reason to send before closing.
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] const std::string& error_reason() const { return error_reason_; }
+
+  /// Bytes buffered but not yet consumed by a returned request.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  ParseStatus fail(int status, std::string reason);
+  void compact();
+
+  HttpLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already parsed away
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// Renders a response head + body. `status` picks the standard reason
+/// phrase; `extra_headers` are emitted verbatim after Content-Length (each
+/// "Name: value", no CRLF). Always emits an explicit Content-Length and a
+/// "Connection:" header matching `keep_alive`.
+[[nodiscard]] std::string render_response(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive, const std::vector<std::string>& extra_headers = {});
+
+/// The standard reason phrase for the statuses the server emits
+/// ("200" → "OK", "503" → "Service Unavailable", ...; "Unknown" otherwise).
+[[nodiscard]] std::string_view status_reason(int status);
+
+}  // namespace csr::serve

@@ -1,0 +1,367 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace csr::serve {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value, std::optional<std::int64_t> exact) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.double_ = value;
+  v.int_ = exact;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  std::optional<JsonValue> run(JsonError* error) {
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      report(error);
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the JSON value");
+      report(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void report(JsonError* error) const {
+    if (error != nullptr) *error = JsonError{message_, error_pos_};
+  }
+
+  bool fail(std::string message) {
+    if (message_.empty()) {
+      message_ = std::move(message);
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > max_depth_) return fail("nesting depth limit exceeded");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = JsonValue::null();
+        return true;
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = JsonValue::boolean(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = JsonValue::boolean(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+      }
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = JsonValue::array(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    out = JsonValue::array(std::move(items));
+    return true;
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = JsonValue::object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      members[std::move(key)] = std::move(value);  // last writer wins
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    out = JsonValue::object(std::move(members));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (++pos_ >= text_.size()) return fail("unterminated escape");
+        switch (text_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (!append_unicode_escape(out)) return false;
+            break;
+          }
+          default:
+            return fail("invalid escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  /// pos_ is at the 'u'; decodes \uXXXX (and surrogate pairs) to UTF-8,
+  /// leaving pos_ on the final consumed hex digit.
+  bool append_unicode_escape(std::string& out) {
+    std::uint32_t code = 0;
+    if (!read_hex4(code)) return false;
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: require the paired low surrogate.
+      if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '\\' ||
+          text_[pos_ + 2] != 'u') {
+        return fail("unpaired surrogate escape");
+      }
+      pos_ += 2;
+      std::uint32_t low = 0;
+      if (!read_hex4(low)) return false;
+      if (low < 0xDC00 || low > 0xDFFF) return fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return fail("unpaired surrogate escape");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return true;
+  }
+
+  /// pos_ is at 'u'; reads 4 hex digits, leaving pos_ on the last one.
+  bool read_hex4(std::uint32_t& out) {
+    if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 1; i <= 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    errno = 0;
+    const double value = std::strtod(literal.c_str(), nullptr);
+    if (errno == ERANGE) return fail("number out of range");
+    std::optional<std::int64_t> exact;
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long as_ll = std::strtoll(literal.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') exact = as_ll;
+    }
+    out = JsonValue::number(value, exact);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  std::string message_;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, JsonError* error,
+                                    std::size_t max_depth) {
+  return Parser(text, max_depth).run(error);
+}
+
+}  // namespace csr::serve

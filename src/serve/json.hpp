@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file json.hpp
+/// A small recursive-descent JSON reader for the service's request bodies.
+/// The repo's exporters *write* JSON (driver/export_schema.hpp); this is the
+/// missing read half, scoped to what an untrusted network body needs:
+///
+///   * full value model (null, bool, number, string, array, object) with a
+///     depth limit, so a 10 KiB "[[[[..." cannot recurse the stack away;
+///   * numbers keep both an int64 view (exact when the text is integral and
+///     in range) and a double view, because request fields like trip counts
+///     must not round-trip through floating point;
+///   * strict by default: trailing garbage after the value is an error —
+///     a request body is one JSON value, not a stream;
+///   * errors are returned (JsonParseError with byte offset), never thrown
+///     past the service boundary; the server maps them onto 400 responses.
+///
+/// Duplicate object keys resolve last-writer-wins, matching the journal's
+/// replay semantics for duplicate records.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csr::serve {
+
+class JsonValue;
+
+/// Parse failure: what and where (byte offset into the input).
+struct JsonError {
+  std::string message;
+  std::size_t offset = 0;
+};
+
+/// One JSON value. A small tagged union over owned containers — request
+/// bodies are tiny, so clarity beats allocation tricks.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return double_; }
+  /// The exact integer value, when the literal was integral and fits int64.
+  [[nodiscard]] std::optional<std::int64_t> as_int() const { return int_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const { return array_; }
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+
+  // Builders used by the parser (and tests).
+  static JsonValue null();
+  static JsonValue boolean(bool value);
+  static JsonValue number(double value, std::optional<std::int64_t> exact);
+  static JsonValue string(std::string value);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double double_ = 0.0;
+  std::optional<std::int64_t> int_;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed). On failure returns nullopt and, when `error` is
+/// non-null, the reason and offset. `max_depth` bounds container nesting.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  JsonError* error = nullptr,
+                                                  std::size_t max_depth = 64);
+
+}  // namespace csr::serve

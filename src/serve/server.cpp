@@ -1,0 +1,430 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "benchmarks/benchmarks.hpp"
+#include "observe/observe.hpp"
+
+namespace csr::serve {
+
+namespace {
+
+/// Server-level metric slice (docs/OBSERVABILITY.md).
+struct ServerMetrics {
+  observe::Counter& connections;
+  observe::Counter& rejected;
+  observe::Counter& requests;
+  observe::Counter& parse_errors;
+  observe::Gauge& queue_depth;
+  observe::Gauge& draining;
+
+  static ServerMetrics& get() {
+    static ServerMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return ServerMetrics{
+          reg.counter("csr_serve_connections_total", "Connections accepted"),
+          reg.counter("csr_serve_connections_rejected_total",
+                      "Connections shed by admission control or drain"),
+          reg.counter("csr_serve_requests_total", "HTTP requests served"),
+          reg.counter("csr_serve_parse_errors_total",
+                      "Connections closed on a protocol violation"),
+          reg.gauge("csr_serve_queue_depth", "Accepted connections awaiting a worker"),
+          reg.gauge("csr_serve_draining", "1 while graceful drain is in progress"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+/// Writes all of `data` to `fd`; best-effort, returns false on any error.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// The write end of the registered server's signal pipe; the handler only
+/// touches this (async-signal-safe write of one byte).
+std::atomic<int> g_signal_fd{-1};
+
+extern "C" void csr_serve_signal_handler(int) {
+  const int fd = g_signal_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+Server::Server(SweepService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + options_.host + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(signal_pipe_) != 0) return fail("pipe");
+
+  running_.store(true, std::memory_order_seq_cst);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  signal_thread_ = std::thread([this] { signal_loop(); });
+  workers_.reserve(options_.worker_threads);
+  for (unsigned i = 0; i < std::max(1u, options_.worker_threads); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+bool Server::install_signal_handlers(Server* server) {
+  if (server == nullptr || server->signal_pipe_[1] < 0) return false;
+  g_signal_fd.store(server->signal_pipe_[1], std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = csr_serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  return ::sigaction(SIGTERM, &action, nullptr) == 0 &&
+         ::sigaction(SIGINT, &action, nullptr) == 0;
+}
+
+void Server::signal_loop() {
+  // Blocks on the self-pipe; one byte = one drain request. Closing the read
+  // end in stop() unblocks the poll.
+  pollfd pfd{signal_pipe_[0], POLLIN, 0};
+  while (running_.load(std::memory_order_relaxed)) {
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready <= 0) continue;
+    char byte = 0;
+    if (::read(signal_pipe_[0], &byte, 1) == 1) {
+      request_drain();
+      return;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  ServerMetrics& metrics = ServerMetrics::get();
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  while (running_.load(std::memory_order_relaxed)) {
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (draining_.load(std::memory_order_relaxed)) {
+      // Keep accepting during drain so new arrivals get an immediate 503
+      // instead of hanging in the listen backlog until their own timeout.
+      reject_connection(fd);
+      continue;
+    }
+
+    bool admitted = false;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() < options_.queue_limit &&
+          !draining_.load(std::memory_order_relaxed)) {
+        queue_.push_back(fd);
+        admitted = true;
+        metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+      }
+    }
+    if (admitted) {
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      metrics.connections.increment();
+      queue_cv_.notify_one();
+    } else {
+      // Backpressure: shed at the front door with an explicit retry hint —
+      // a full queue means the workers are saturated, and buffering more
+      // would only convert overload into latency.
+      reject_connection(fd);
+    }
+  }
+}
+
+void Server::reject_connection(int fd) {
+  ServerMetrics::get().rejected.increment();
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+  const std::string body = draining_.load(std::memory_order_relaxed)
+                               ? "draining\n"
+                               : "server overloaded\n";
+  send_all(fd, render_response(
+                   503, "text/plain", body, /*keep_alive=*/false,
+                   {"Retry-After: " + std::to_string(options_.retry_after_seconds)}));
+  ::close(fd);
+}
+
+int Server::next_connection() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [&] {
+    return !queue_.empty() || !running_.load(std::memory_order_relaxed);
+  });
+  if (queue_.empty()) return -1;
+  const int fd = queue_.front();
+  queue_.pop_front();
+  ServerMetrics::get().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+  return fd;
+}
+
+void Server::worker_loop() {
+  while (true) {
+    const int fd = next_connection();
+    if (fd < 0) return;
+    if (draining_.load(std::memory_order_relaxed)) {
+      // Queued but never served before drain began: shed, don't start.
+      reject_connection(fd);
+      continue;
+    }
+    handle_connection(fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  ServerMetrics& metrics = ServerMetrics::get();
+  observe::Span span("serve", "connection");
+
+  // Bounded reads let a worker notice drain/stop while a keep-alive peer
+  // is idle.
+  timeval tv{};
+  tv.tv_sec = options_.poll_interval_ms / 1000;
+  tv.tv_usec = (options_.poll_interval_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  RequestParser parser(options_.http_limits);
+  char buffer[16 * 1024];
+  std::uint64_t served = 0;
+
+  while (running_.load(std::memory_order_relaxed)) {
+    // Drain every already-buffered (pipelined) request before reading more.
+    bool close_connection = false;
+    while (true) {
+      HttpRequest request;
+      const ParseStatus status = parser.next_request(&request);
+      if (status == ParseStatus::kNeedMore) break;
+      if (status == ParseStatus::kError) {
+        metrics.parse_errors.increment();
+        send_all(fd, render_response(parser.error_status(), "text/plain",
+                                     parser.error_reason() + "\n",
+                                     /*keep_alive=*/false));
+        close_connection = true;
+        break;
+      }
+      ++served;
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      metrics.requests.increment();
+      std::string response = route(request);
+      // Decide persistence after route() returns: drain may have begun while
+      // this request was computing, and the advertised Connection header must
+      // match the close that follows.
+      const bool keep = request.keep_alive() &&
+                        !draining_.load(std::memory_order_relaxed);
+      // route() renders with keep-alive; flip the connection header when
+      // this response must be the last (client asked, or drain began).
+      if (!keep) {
+        const std::size_t pos = response.find("Connection: keep-alive");
+        if (pos != std::string::npos) {
+          response.replace(pos, std::strlen("Connection: keep-alive"),
+                           "Connection: close");
+        }
+      }
+      if (!send_all(fd, response)) close_connection = true;
+      if (!keep) close_connection = true;
+      if (close_connection) break;
+    }
+    if (close_connection) break;
+    if (draining_.load(std::memory_order_relaxed)) break;  // idle + draining
+
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    } else if (n == 0) {
+      break;  // peer closed
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      continue;  // idle timeout tick: re-check running/draining
+    } else {
+      break;
+    }
+  }
+  span.arg("requests", served);
+  ::close(fd);
+}
+
+std::string Server::route(const HttpRequest& request) {
+  const bool keep = request.keep_alive();
+
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return render_response(405, "text/plain", "method not allowed\n", keep);
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      return render_response(503, "text/plain", "draining\n", keep);
+    }
+    return render_response(200, "text/plain", "ok\n", keep);
+  }
+
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return render_response(405, "text/plain", "method not allowed\n", keep);
+    }
+    return render_response(200, "text/plain; version=0.0.4",
+                           observe::MetricsRegistry::global().to_prometheus(),
+                           keep);
+  }
+
+  if (request.target == "/v1/benchmarks") {
+    if (request.method != "GET") {
+      return render_response(405, "text/plain", "method not allowed\n", keep);
+    }
+    // The benchmark vocabulary, for query authors hitting the 422 on typos.
+    std::string body = "[";
+    for (const auto& info : benchmarks::all_graphs()) {
+      if (body.size() > 1) body += ", ";
+      body += '"' + info.name + '"';
+    }
+    body += "]\n";
+    return render_response(200, "application/json", body, keep);
+  }
+
+  if (request.target == "/v1/sweep") {
+    if (request.method != "POST") {
+      return render_response(405, "text/plain", "use POST\n", keep,
+                             {"Allow: POST"});
+    }
+    QueryResult rejection;
+    auto query = parse_query(request.body, &rejection);
+    if (!query) {
+      return render_response(rejection.status, rejection.content_type,
+                             rejection.body, keep);
+    }
+    // A deadline can also ride as a header, for clients that treat the body
+    // as an opaque query document; the body's deadline_ms wins.
+    if (query->deadline_seconds == 0) {
+      if (const auto header = request.header("x-csr-deadline-ms")) {
+        const double ms = std::strtod(std::string(*header).c_str(), nullptr);
+        if (ms > 0) query->deadline_seconds = ms / 1000.0;
+      }
+    }
+    const QueryResult result = service_.execute(*query);
+    std::vector<std::string> extra;
+    if (result.status == 200) {
+      extra.push_back(std::string("X-Csr-Cache: ") +
+                      (result.cache_hits == result.cells ? "hit"
+                       : result.cache_hits > 0           ? "partial"
+                                                         : "miss"));
+      if (result.coalesced) extra.push_back("X-Csr-Coalesced: 1");
+    } else if (result.status == 503) {
+      extra.push_back("Retry-After: " +
+                      std::to_string(options_.retry_after_seconds));
+    }
+    return render_response(result.status, result.content_type, result.body,
+                           keep, extra);
+  }
+
+  return render_response(404, "text/plain", "unknown endpoint\n", keep);
+}
+
+void Server::request_drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  ServerMetrics::get().draining.set(1);
+  observe::Span span("serve", "drain");
+
+  // Shed everything queued but unserved; workers holding connections finish
+  // their in-flight requests and close on their next loop iteration.
+  std::deque<int> orphaned;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    orphaned.swap(queue_);
+  }
+  for (const int fd : orphaned) reject_connection(fd);
+  queue_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+void Server::wait_until_drained() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drain_cv_.wait(lock, [&] {
+    return draining_.load(std::memory_order_relaxed) ||
+           !running_.load(std::memory_order_relaxed);
+  });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  request_drain();
+  queue_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (signal_thread_.joinable()) signal_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (g_signal_fd.load(std::memory_order_relaxed) == signal_pipe_[1]) {
+    g_signal_fd.store(-1, std::memory_order_relaxed);
+  }
+  for (int& fd : signal_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const int fd : queue_) ::close(fd);
+    queue_.clear();
+  }
+  ServerMetrics::get().draining.set(0);
+}
+
+}  // namespace csr::serve

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file server.hpp
+/// The network front of the query service: a thread-per-connection HTTP/1.1
+/// server on plain POSIX sockets. Transport policy lives here; everything
+/// about *what* a query means lives in service.hpp. Operational shape
+/// (docs/SERVING.md has the runbook):
+///
+///   * **Bounded admission.** Accepted connections enter a bounded queue;
+///     when it is full the accept thread answers `503` with a `Retry-After`
+///     header and closes — load is shed at the front door, before a worker
+///     or the sweep engine is touched.
+///   * **Keep-alive + pipelining.** A worker owns a connection for its
+///     lifetime and drains every pipelined request the parser yields,
+///     responding in order.
+///   * **Graceful drain.** request_drain() (wired to SIGTERM/SIGINT through
+///     a self-pipe by install_signal_handlers) stops accepting, answers
+///     queued-but-unserved connections with 503, lets in-flight requests
+///     complete, then closes their connections. /healthz flips to 503 the
+///     moment draining starts so load balancers stop routing.
+///
+/// Endpoints: POST /v1/sweep (the query service), GET /healthz,
+/// GET /metrics (Prometheus exposition of the global MetricsRegistry).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace csr::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;   ///< 0 = ephemeral; see Server::port()
+  unsigned worker_threads = 8; ///< concurrent connections served
+  std::size_t queue_limit = 64;  ///< accepted-but-unclaimed connections
+  int retry_after_seconds = 1;   ///< advertised on backpressure 503s
+  HttpLimits http_limits;
+  /// Poll granularity for idle reads and the accept loop — bounds how long
+  /// drain can go unnoticed by a blocked worker.
+  int poll_interval_ms = 200;
+};
+
+class Server {
+ public:
+  Server(SweepService& service, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept + worker threads. False (with
+  /// `*error`) when the socket cannot be set up.
+  bool start(std::string* error = nullptr);
+
+  /// The bound port — the ephemeral one the kernel picked when
+  /// options.port == 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Begins graceful drain: stop accepting, finish in-flight requests,
+  /// reject everything else. Idempotent, callable from any thread (but not
+  /// from a signal handler — that is what install_signal_handlers is for).
+  void request_drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until drain has been requested — by request_drain(), a routed
+  /// signal, or stop(). The daemon's main thread parks here.
+  void wait_until_drained();
+
+  /// Drains and joins every thread. The destructor calls this too.
+  void stop();
+
+  /// Routes SIGTERM and SIGINT to `server`.request_drain() via the
+  /// self-pipe trick (the handler only write()s one byte). One server per
+  /// process can be registered at a time.
+  static bool install_signal_handlers(Server* server);
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// One request routed to a response — exposed for tests that exercise
+  /// routing without a socket.
+  [[nodiscard]] std::string route(const HttpRequest& request);
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void signal_loop();
+  void handle_connection(int fd);
+  /// Pops the next queued connection; -1 when the server is stopping and
+  /// the queue is empty.
+  int next_connection();
+  void reject_connection(int fd);
+
+  SweepService& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  // Workers wait on queue_cv_; drain watchers wait on drain_cv_. Separate
+  // condition variables because the accept loop uses notify_one — a shared
+  // cv could hand a new-connection wakeup to a drain watcher, whose
+  // predicate ignores the queue, and strand the connection until the next
+  // notify.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<int> queue_;
+
+  std::thread accept_thread_;
+  std::thread signal_thread_;
+  std::vector<std::thread> workers_;
+  int signal_pipe_[2] = {-1, -1};
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace csr::serve

@@ -1,0 +1,398 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "benchmarks/benchmarks.hpp"
+#include "observe/observe.hpp"
+#include "serve/json.hpp"
+#include "support/hash.hpp"
+
+namespace csr::serve {
+
+namespace {
+
+/// The serve layer's slice of the metric catalogue (docs/OBSERVABILITY.md).
+struct ServeMetrics {
+  observe::Counter& queries;
+  observe::Counter& query_errors;
+  observe::Counter& coalesced;
+  observe::Counter& deadline_expired;
+  observe::Counter& cells;
+  observe::Counter& cell_cache_hits;
+  observe::Counter& sweeps;
+  observe::Histogram& query_seconds;
+  observe::Gauge& cache_entries;
+
+  static ServeMetrics& get() {
+    static ServeMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return ServeMetrics{
+          reg.counter("csr_serve_queries_total", "Sweep queries executed"),
+          reg.counter("csr_serve_query_errors_total",
+                      "Queries rejected or failed (non-200 outcomes)"),
+          reg.counter("csr_serve_coalesced_total",
+                      "Queries that shared a concurrent identical computation"),
+          reg.counter("csr_serve_deadline_expired_total",
+                      "Queries that hit their deadline before executing"),
+          reg.counter("csr_serve_cells_total", "Cells requested across queries"),
+          reg.counter("csr_serve_cell_cache_hits_total",
+                      "Cells served from the in-memory result cache"),
+          reg.counter("csr_serve_sweeps_total",
+                      "Underlying run_sweep invocations (cache-missing work)"),
+          reg.histogram("csr_serve_query_seconds",
+                        observe::latency_seconds_bounds(),
+                        "Wall time of one query, cache hits included"),
+          reg.gauge("csr_serve_cache_entries", "Cells in the serve result cache"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+QueryResult reject(int status, std::string why) {
+  QueryResult r;
+  r.status = status;
+  r.content_type = "text/plain";
+  r.error = why;
+  r.body = std::move(why);
+  r.body += '\n';
+  return r;
+}
+
+/// Reads a JSON array of strings into `out`; false (with rejection) on
+/// wrong shapes.
+bool read_string_array(const JsonValue& value, std::string_view key,
+                       std::vector<std::string>& out, QueryResult* rejection) {
+  if (!value.is_array()) {
+    *rejection = reject(422, std::string(key) + " must be an array of strings");
+    return false;
+  }
+  out.clear();
+  for (const JsonValue& item : value.as_array()) {
+    if (!item.is_string()) {
+      *rejection = reject(422, std::string(key) + " must be an array of strings");
+      return false;
+    }
+    out.push_back(item.as_string());
+  }
+  return true;
+}
+
+bool read_int_array(const JsonValue& value, std::string_view key,
+                    std::vector<std::int64_t>& out, QueryResult* rejection) {
+  if (!value.is_array()) {
+    *rejection = reject(422, std::string(key) + " must be an array of integers");
+    return false;
+  }
+  out.clear();
+  for (const JsonValue& item : value.as_array()) {
+    const auto exact = item.is_number() ? item.as_int() : std::nullopt;
+    if (!exact) {
+      *rejection = reject(422, std::string(key) + " must be an array of integers");
+      return false;
+    }
+    out.push_back(*exact);
+  }
+  return true;
+}
+
+/// Parses an array of enum names through the shared EnumNames tables.
+template <typename Enum>
+bool read_enum_array(const JsonValue& value, std::string_view key,
+                     std::vector<Enum>& out, QueryResult* rejection) {
+  std::vector<std::string> names;
+  if (!read_string_array(value, key, names, rejection)) return false;
+  out.clear();
+  for (const std::string& name : names) {
+    const auto parsed = parse_enum<Enum>(name);
+    if (!parsed) {
+      *rejection = reject(422, "unknown " + std::string(key) + " value '" + name +
+                                   "' (see docs/SERVING.md for the vocabulary)");
+      return false;
+    }
+    out.push_back(*parsed);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Query> parse_query(const std::string& body, QueryResult* rejection) {
+  JsonError error;
+  const auto parsed = parse_json(body, &error);
+  if (!parsed) {
+    *rejection = reject(400, "invalid JSON at byte " + std::to_string(error.offset) +
+                                 ": " + error.message);
+    return std::nullopt;
+  }
+  if (!parsed->is_object()) {
+    *rejection = reject(422, "request body must be a JSON object");
+    return std::nullopt;
+  }
+
+  Query query;
+  driver::SweepGrid& grid = query.config.grid();
+
+  const JsonValue* benchmarks = parsed->get("benchmarks");
+  if (benchmarks == nullptr) {
+    *rejection = reject(422, "missing required field 'benchmarks'");
+    return std::nullopt;
+  }
+  if (!read_string_array(*benchmarks, "benchmarks", grid.benchmarks, rejection)) {
+    return std::nullopt;
+  }
+  if (grid.benchmarks.empty()) {
+    *rejection = reject(422, "'benchmarks' must name at least one graph");
+    return std::nullopt;
+  }
+  // Reject unknown graphs up front: the sweep engine would dutifully emit
+  // an error row per cell, but for a query API a typo is a caller error,
+  // not a result.
+  for (const std::string& name : grid.benchmarks) {
+    const auto& graphs = benchmarks::all_graphs();
+    const bool known = std::any_of(
+        graphs.begin(), graphs.end(),
+        [&](const benchmarks::BenchmarkInfo& info) { return info.name == name; });
+    if (!known) {
+      *rejection = reject(422, "unknown benchmark '" + name +
+                                   "' (GET /v1/benchmarks lists the vocabulary)");
+      return std::nullopt;
+    }
+  }
+
+  if (const JsonValue* v = parsed->get("trip_counts"); v != nullptr) {
+    if (!read_int_array(*v, "trip_counts", grid.trip_counts, rejection)) {
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* v = parsed->get("engines"); v != nullptr) {
+    if (!read_enum_array(*v, "engines", grid.engines, rejection)) return std::nullopt;
+  }
+  if (const JsonValue* v = parsed->get("exec_engines"); v != nullptr) {
+    if (!read_enum_array(*v, "exec_engines", grid.exec_engines, rejection)) {
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* v = parsed->get("transforms"); v != nullptr) {
+    if (!read_enum_array(*v, "transforms", grid.transforms, rejection)) {
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* v = parsed->get("factors"); v != nullptr) {
+    std::vector<std::int64_t> factors;
+    if (!read_int_array(*v, "factors", factors, rejection)) return std::nullopt;
+    grid.factors.clear();
+    for (const std::int64_t f : factors) {
+      if (f < 2 || f > 64) {
+        *rejection = reject(422, "factors must be in [2, 64]");
+        return std::nullopt;
+      }
+      grid.factors.push_back(static_cast<int>(f));
+    }
+  }
+  if (const JsonValue* v = parsed->get("verify"); v != nullptr) {
+    if (!v->is_bool()) {
+      *rejection = reject(422, "'verify' must be a boolean");
+      return std::nullopt;
+    }
+    query.config.verify(v->as_bool());
+  }
+  if (const JsonValue* v = parsed->get("format"); v != nullptr) {
+    const auto format = v->is_string()
+                            ? driver::parse_export_format(v->as_string())
+                            : std::nullopt;
+    if (!format) {
+      *rejection = reject(422, "'format' must be \"csv\" or \"json\"");
+      return std::nullopt;
+    }
+    query.format = *format;
+  }
+  if (const JsonValue* v = parsed->get("deadline_ms"); v != nullptr) {
+    if (!v->is_number() || v->as_double() < 0) {
+      *rejection = reject(422, "'deadline_ms' must be a non-negative number");
+      return std::nullopt;
+    }
+    query.deadline_seconds = v->as_double() / 1000.0;
+  }
+  return query;
+}
+
+SweepService::SweepService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (!options_.journal_path.empty()) {
+    journaled_ = journal_.open(options_.journal_path);
+    if (journaled_) {
+      // Warm start: every journaled cell becomes a cache entry, so a
+      // restarted server answers yesterday's queries without re-executing
+      // them. Keys are shared with the journal by construction.
+      for (auto& [key, payload] : journal_.snapshot()) {
+        cache_.put(key, std::move(payload));
+        ++warm_started_;
+      }
+    }
+  }
+  ServeMetrics::get().cache_entries.set(static_cast<std::int64_t>(cache_.size()));
+}
+
+driver::SweepOptions SweepService::sweep_options(const Query& query) const {
+  driver::SweepOptions opts;
+  opts.threads = options_.sweep_threads;
+  opts.verify = query.config.options().verify;
+  opts.machine = options_.machine;
+  opts.retry = options_.retry;
+  return opts;
+}
+
+QueryResult SweepService::handle(const std::string& body) {
+  QueryResult rejection;
+  const auto query = parse_query(body, &rejection);
+  if (!query) {
+    ServeMetrics::get().query_errors.increment();
+    return rejection;
+  }
+  return execute(*query);
+}
+
+QueryResult SweepService::execute(const Query& query) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  observe::Span span("serve", "query");
+  observe::ScopedTimer timer(metrics.query_seconds);
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<driver::SweepCell> cells = query.config.cells();
+  span.arg("cells", static_cast<std::uint64_t>(cells.size()));
+  metrics.queries.increment();
+  metrics.cells.increment(cells.size());
+
+  if (cells.empty()) {
+    metrics.query_errors.increment();
+    return reject(422, "request expands to an empty grid");
+  }
+  if (cells.size() > options_.max_cells_per_request) {
+    metrics.query_errors.increment();
+    return reject(422, "request expands to " + std::to_string(cells.size()) +
+                           " cells (limit " +
+                           std::to_string(options_.max_cells_per_request) + ")");
+  }
+
+  // Request-level identity: the format plus every cell's content key. Two
+  // requests with the same key are the same computation, whatever JSON
+  // spelling produced them — that is what single-flight coalesces on.
+  const driver::SweepOptions sweep_opts = sweep_options(query);
+  std::vector<std::string> key_fields;
+  key_fields.reserve(cells.size() + 1);
+  key_fields.push_back(std::string(to_string(query.format)));
+  for (const driver::SweepCell& cell : cells) {
+    key_fields.push_back(driver::journal_key(cell, sweep_opts));
+  }
+  const std::string request_key = content_key('q', key_fields);
+
+  try {
+    auto [result, coalesced] = flights_.run(request_key, [&] {
+      return compute(query, cells, start);
+    });
+    if (coalesced) {
+      result.coalesced = true;
+      metrics.coalesced.increment();
+    }
+    if (result.status != 200) metrics.query_errors.increment();
+    span.arg("status", result.status).arg("coalesced", result.coalesced);
+    return result;
+  } catch (const std::exception& e) {
+    metrics.query_errors.increment();
+    return reject(500, std::string("internal error: ") + e.what());
+  }
+}
+
+QueryResult SweepService::compute(const Query& query,
+                                  const std::vector<driver::SweepCell>& cells,
+                                  std::chrono::steady_clock::time_point start) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  observe::Span span("serve", "compute");
+  if (options_.compute_hook) options_.compute_hook();
+
+  QueryResult out;
+  out.cells = cells.size();
+
+  // Phase 1: serve what the cache already knows. Cache payloads are journal
+  // payloads, replayed exactly like a warm offline re-run.
+  const driver::SweepOptions sweep_opts = sweep_options(query);
+  std::vector<driver::SweepResult> results(cells.size());
+  std::vector<std::string> keys(cells.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    keys[i] = driver::journal_key(cells[i], sweep_opts);
+    if (const auto payload = cache_.get(keys[i]);
+        payload && driver::from_journal_payload(*payload, cells[i], results[i])) {
+      results[i].from_cache = true;
+      ++out.cache_hits;
+      continue;
+    }
+    missing.push_back(i);
+  }
+  metrics.cell_cache_hits.increment(out.cache_hits);
+  span.arg("cache_hits", static_cast<std::uint64_t>(out.cache_hits))
+      .arg("missing", static_cast<std::uint64_t>(missing.size()));
+
+  // Phase 2: execute the delta, under what remains of the deadline.
+  if (!missing.empty()) {
+    double remaining = 0;
+    if (query.deadline_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      remaining = query.deadline_seconds - elapsed;
+      if (remaining <= 0) {
+        metrics.deadline_expired.increment();
+        return reject(504, "deadline expired before execution (" +
+                               std::to_string(cells.size() - out.cache_hits) +
+                               " cells uncached)");
+      }
+    }
+
+    std::vector<driver::SweepCell> todo;
+    todo.reserve(missing.size());
+    for (const std::size_t i : missing) todo.push_back(cells[i]);
+
+    driver::SweepConfig config;
+    config.cells(std::move(todo));
+    config.options() = sweep_opts;
+    if (remaining > 0) {
+      // The existing retry policy is the propagation point: a native cell's
+      // compiler subprocess may not outlive the request that asked for it.
+      driver::RetryPolicy& retry = config.options().retry;
+      retry.compile_deadline = retry.compile_deadline > 0
+                                   ? std::min(retry.compile_deadline, remaining)
+                                   : remaining;
+    }
+
+    sweeps_executed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.sweeps.increment();
+    const driver::SweepRun run = driver::run_sweep(config);
+
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      const std::size_t i = missing[j];
+      results[i] = run.results[j];
+      const std::string payload = driver::to_journal_payload(results[i]);
+      if (journaled_) journal_.append(keys[i], payload);
+      cache_.put(keys[i], payload);
+    }
+    metrics.cache_entries.set(static_cast<std::int64_t>(cache_.size()));
+  }
+
+  // Phase 3: render through the shared exporters — the bytes a direct
+  // run_sweep + to_json/to_csv of the same cells would produce.
+  if (query.format == driver::ExportFormat::kCsv) {
+    out.content_type = "text/csv";
+    out.body = driver::to_csv(results);
+  } else {
+    out.content_type = "application/json";
+    out.body = driver::to_json(results);
+  }
+  return out;
+}
+
+}  // namespace csr::serve

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file service.hpp
+/// The query service behind the HTTP endpoints: request body → SweepConfig →
+/// cached / coalesced / deadline-bounded execution → export bytes. This
+/// layer is socket-free (the server in server.hpp is a thin transport over
+/// it), which is what lets the cache, single-flight and deadline semantics
+/// be tested in-process without a port.
+///
+/// The serving pipeline per query (docs/SERVING.md):
+///
+///   1. **Parse + validate** the JSON body onto driver::SweepConfig. Syntax
+///      errors are 400; semantically invalid fields (unknown engine names,
+///      non-positive factors, too many cells) are 422.
+///   2. **Cell cache.** Every cell of the request grid is looked up in the
+///      sharded LRU (cache.hpp) under its driver::journal_key — the *same*
+///      content hash the persistent journal uses, via the one shared helper
+///      in support/hash.hpp, so online and offline results can never alias
+///      differently. Hits are journal payloads replayed through
+///      from_journal_payload, exactly like a warm offline re-run.
+///   3. **Single flight.** Cache-missing work runs under a request-level
+///      content key; concurrent identical queries share one computation
+///      (single_flight.hpp).
+///   4. **Deadline.** A request deadline (deadline_ms) bounds the compute:
+///      expired before execution → 504; otherwise the remaining budget is
+///      propagated into the existing RetryPolicy's compile deadline so a
+///      native-engine cell cannot out-live its request.
+///   5. **Persist + render.** Executed cells are appended to the journal
+///      (when configured) and inserted into the cache; the full result
+///      vector — in deterministic grid order — is rendered through the
+///      shared exporters, so a served body is byte-identical to the offline
+///      `run_sweep` export for the same cells.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "serve/cache.hpp"
+#include "serve/single_flight.hpp"
+#include "support/journal.hpp"
+
+namespace csr::serve {
+
+struct ServiceOptions {
+  /// Persistent journal: warm-starts the cache at boot and absorbs every
+  /// newly executed cell. Empty = in-memory cache only.
+  std::string journal_path;
+  std::size_t cache_capacity = 1 << 16;  ///< total cached cells
+  std::size_t cache_shards = 16;
+  /// Ceiling on cells() per request — admission control against a single
+  /// query that expands to a galaxy-sized grid.
+  std::size_t max_cells_per_request = 4096;
+
+  /// Execution knobs applied to every query (the request body controls the
+  /// grid axes and `verify`; the machine model and thread budget are
+  /// operator policy, not caller policy).
+  unsigned sweep_threads = 0;  ///< 0 = one per hardware thread
+  driver::RetryPolicy retry;
+  ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
+
+  /// Test hook: runs inside the single-flight leader's computation, before
+  /// the sweep. The hammer and drain tests use it to hold a computation
+  /// open deterministically. Never set in production.
+  std::function<void()> compute_hook;
+};
+
+/// One parsed query.
+struct Query {
+  driver::SweepConfig config;
+  driver::ExportFormat format = driver::ExportFormat::kJson;
+  double deadline_seconds = 0;  ///< 0 = none
+};
+
+/// Outcome of one query execution, transport-agnostic: the server maps
+/// `status` onto the HTTP response line.
+struct QueryResult {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::string error;         ///< non-empty iff status != 200
+  std::size_t cells = 0;     ///< grid size of the request
+  std::size_t cache_hits = 0;  ///< cells served from the LRU
+  bool coalesced = false;    ///< result shared from a concurrent identical query
+};
+
+/// Parses a /v1/sweep JSON body. Returns the query or a 400/422 QueryResult
+/// explaining the rejection.
+[[nodiscard]] std::optional<Query> parse_query(const std::string& body,
+                                               QueryResult* rejection);
+
+class SweepService {
+ public:
+  explicit SweepService(ServiceOptions options);
+
+  /// Executes one parsed query through cache + single-flight + driver.
+  [[nodiscard]] QueryResult execute(const Query& query);
+
+  /// Convenience: parse_query + execute.
+  [[nodiscard]] QueryResult handle(const std::string& body);
+
+  // --- introspection (tests, /healthz, stats) ------------------------------
+  /// Underlying run_sweep invocations so far — the single-flight hammer
+  /// test's "exactly one sweep per unique key" is asserted against this.
+  [[nodiscard]] std::uint64_t sweeps_executed() const {
+    return sweeps_executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t cached_cells() const { return cache_.size(); }
+  [[nodiscard]] std::size_t warm_started_cells() const { return warm_started_; }
+  /// Queries currently blocked on another query's computation.
+  [[nodiscard]] std::size_t inflight_waiters() const { return flights_.waiters(); }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// The driver options a query runs under: the operator's execution policy
+  /// plus the caller's `verify` flag — exactly the fields journal_key hashes.
+  [[nodiscard]] driver::SweepOptions sweep_options(const Query& query) const;
+
+  QueryResult compute(const Query& query, const std::vector<driver::SweepCell>& cells,
+                      std::chrono::steady_clock::time_point start);
+
+  ServiceOptions options_;
+  ShardedLruCache cache_;
+  SingleFlight<QueryResult> flights_;
+  ResultJournal journal_;
+  bool journaled_ = false;
+  std::size_t warm_started_ = 0;
+  std::atomic<std::uint64_t> sweeps_executed_{0};
+};
+
+}  // namespace csr::serve

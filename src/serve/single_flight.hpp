@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file single_flight.hpp
+/// Duplicate-suppression for concurrent identical queries: the first caller
+/// for a key (the leader) computes; every caller that arrives while that
+/// computation is in flight blocks and receives a copy of the same result —
+/// a thundering herd of N identical cache-missing requests costs one sweep,
+/// not N. (The Go singleflight package popularized the shape; this is the
+/// C++ condition-variable rendering.)
+///
+/// Completed calls are forgotten immediately: memoization across time is the
+/// result cache's job (cache.hpp); single-flight only collapses *overlap*.
+/// The waiters() accessor exists for the deterministic hammer test — a
+/// compute hook can hold the leader until the expected waiters have
+/// registered, making "exactly one sweep for 8 concurrent queries" a fact
+/// rather than a race (tests/serve_service_test.cpp).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace csr::serve {
+
+/// `Result` must be default-constructible and copyable — every coalesced
+/// waiter gets its own copy.
+template <typename Result>
+class SingleFlight {
+ public:
+  /// Runs `compute()` for `key`, or waits on the in-flight computation of
+  /// the same key. Returns {result, coalesced}: coalesced is true iff this
+  /// caller received another caller's result. An exception thrown by
+  /// compute() propagates to the leader and is rethrown to every waiter.
+  template <typename Compute>
+  std::pair<Result, bool> run(const std::string& key, Compute compute) {
+    std::shared_ptr<Call> call;
+    bool leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto& slot = calls_[key];
+      if (slot == nullptr) {
+        slot = std::make_shared<Call>();
+        leader = true;
+      }
+      call = slot;
+    }
+
+    if (!leader) {
+      waiting_.fetch_add(1, std::memory_order_seq_cst);
+      std::unique_lock<std::mutex> lock(call->mutex);
+      call->cv.wait(lock, [&] { return call->done; });
+      waiting_.fetch_sub(1, std::memory_order_seq_cst);
+      if (call->error) std::rethrow_exception(call->error);
+      return {call->result, true};
+    }
+
+    try {
+      Result result = compute();
+      finish(key, *call, [&] { call->result = std::move(result); });
+      return {call->result, false};
+    } catch (...) {
+      finish(key, *call, [&] { call->error = std::current_exception(); });
+      throw;
+    }
+  }
+
+  /// Callers currently blocked on someone else's computation (all keys).
+  [[nodiscard]] std::size_t waiters() const {
+    return waiting_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct Call {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Result result{};
+    std::exception_ptr error;
+  };
+
+  template <typename Store>
+  void finish(const std::string& key, Call& call, Store store) {
+    {
+      const std::lock_guard<std::mutex> lock(call.mutex);
+      store();
+      call.done = true;
+    }
+    {
+      // Forget the call before waking waiters: a request arriving after this
+      // point starts a fresh flight instead of latching onto a stale result.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      calls_.erase(key);
+    }
+    call.cv.notify_all();
+  }
+
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Call>> calls_;
+  std::atomic<std::size_t> waiting_{0};
+};
+
+}  // namespace csr::serve

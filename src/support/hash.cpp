@@ -10,4 +10,10 @@ std::string hex64(std::uint64_t h) {
   return os.str();
 }
 
+std::string content_key(char prefix, const std::vector<std::string>& fields) {
+  ContentHasher hasher;
+  for (const std::string& field : fields) hasher.field(field);
+  return prefix + hasher.hex();
+}
+
 }  // namespace csr

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace csr {
 
@@ -56,5 +57,14 @@ class ContentHasher {
   static constexpr std::string_view kSep = "\x1f";
   std::uint64_t h_ = kFnv1aOffset;
 };
+
+/// The canonical rendering of a multi-field content key: a one-character
+/// domain prefix (e.g. 'c' for sweep cells, 'k' for native kernels) followed
+/// by the hex of the ContentHasher over `fields` in order. Every persistent
+/// or shared cache that keys the same entity MUST derive its key through
+/// this one function — the sweep journal and the serve result cache both do
+/// (driver::journal_key), which is what guarantees they can never drift.
+[[nodiscard]] std::string content_key(char prefix,
+                                      const std::vector<std::string>& fields);
 
 }  // namespace csr

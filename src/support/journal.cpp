@@ -187,6 +187,11 @@ bool ResultJournal::append(const std::string& key, const std::string& payload) {
   return true;
 }
 
+std::vector<std::pair<std::string, std::string>> ResultJournal::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
 std::size_t ResultJournal::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();

@@ -31,6 +31,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace csr {
 
@@ -56,6 +58,11 @@ class ResultJournal {
 
   /// The payload last recorded for `key`, if any.
   [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+
+  /// Copy of every (key, payload) entry in key order — the warm-start feed
+  /// of in-memory caches layered above the journal (src/serve/ loads this
+  /// into its sharded LRU at boot).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> snapshot() const;
 
   /// Appends one record and flushes it to the OS. Returns false when the
   /// journal is not open or the write failed (the in-memory entry is still

@@ -1,8 +1,8 @@
 // Tests for the stable driver API (api/csr.hpp, driver/config.hpp): the
-// SweepConfig fluent builder, the SweepRun contract of run_sweep(), the
-// byte-determinism of default exports with tracing on vs off, and the
-// deprecated pre-config entry points, which must keep producing identical
-// results until they are removed.
+// SweepConfig fluent builder, the SweepRun contract of run_sweep(), and the
+// byte-determinism of default exports with tracing on vs off. (The
+// deprecated pre-config entry points completed their removal cycle; their
+// shim-equality tests left with them.)
 
 #include <gtest/gtest.h>
 
@@ -124,37 +124,6 @@ TEST(RunSweep, TimingFieldsAppearOnlyWhenOptedIn) {
   const std::string timed = to_json(run.results, timing);
   EXPECT_NE(timed.find("\"exec_seconds\""), std::string::npos);
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedShims, GridOverloadMatchesTheConfigEntryPoint) {
-  // The pre-config overloads must stay behaviorally identical to the new
-  // entry point until their removal (api/csr.hpp's deprecation policy).
-  const SweepConfig config = small_config();
-  const SweepRun canonical = run_sweep(config);
-
-  const std::vector<SweepResult> via_grid =
-      run_sweep(config.grid(), config.options());
-  EXPECT_EQ(to_csv(canonical.results), to_csv(via_grid));
-  EXPECT_EQ(to_json(canonical.results), to_json(via_grid));
-
-  SweepStats stats;
-  const std::vector<SweepResult> via_cells =
-      run_cells(config.cells(), config.options(), &stats);
-  EXPECT_EQ(to_json(canonical.results), to_json(via_cells));
-  EXPECT_EQ(stats.total_cells, canonical.stats.total_cells);
-  EXPECT_EQ(stats.executed, canonical.stats.executed);
-}
-
-TEST(DeprecatedShims, JsonOptionsAliasStillCompiles) {
-  JsonOptions legacy;
-  legacy.include_timing = true;
-  const ExportOptions& as_new = legacy;  // same type, not a lookalike
-  EXPECT_TRUE(as_new.include_timing);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace csr::driver

@@ -1,0 +1,228 @@
+// Seeded corpus-driven fuzzing of the serve-layer parsers: the handwritten
+// HTTP/1.1 request parser and the JSON parser must reject arbitrary and
+// mutated input with a typed error status — never a crash, hang, or
+// out-of-bounds read (CI runs this under ASan+UBSan with raised
+// CSR_FUZZ_ITERS). Also checks chunking invariance: a valid request must
+// parse identically no matter how the bytes are split across feed() calls.
+//
+// Follows the fuzz_smoke_test.cpp conventions: fixed seed corpus, effort
+// scaled by CSR_FUZZ_ITERS, SCOPED_TRACE pinning (seed, trial) for replay.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "support/rng.hpp"
+
+namespace csr::serve {
+namespace {
+
+constexpr std::uint64_t kSeedCorpus[] = {
+    0x5EBAE5E0ull, 0xF00DF00Dull, 0xBADC0DEull,  0x5EED0010ull,
+    0x5EED0011ull, 0xDEADBEEFull, 0xC0FFEEull,   0x7E57ABCDull,
+};
+
+int iterations_per_seed() {
+  if (const char* env = std::getenv("CSR_FUZZ_ITERS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 100;
+}
+
+template <typename Body>
+void for_each_corpus_trial(Body body) {
+  const int iters = iterations_per_seed();
+  for (const std::uint64_t seed : kSeedCorpus) {
+    SplitMix64 rng(seed);
+    for (int trial = 0; trial < iters; ++trial) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed 0x" << std::hex << seed << std::dec << " trial "
+                   << trial << " (rerun: CSR_FUZZ_ITERS=" << iters << ")");
+      body(rng, trial);
+    }
+  }
+}
+
+const std::string kValidRequests[] = {
+    "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+    "POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n"
+    "Content-Length: 27\r\n\r\n{\"benchmarks\":[\"Figure 1\"]}",
+    "GET /metrics HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+};
+
+std::string mutate(const std::string& base, SplitMix64& rng) {
+  std::string text = base;
+  const int edits = static_cast<int>(rng.uniform(1, 6));
+  for (int k = 0; k < edits && !text.empty(); ++k) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.uniform(0, 4)) {
+      case 0:  // flip a byte — full range, including NUL and high bytes
+        text[pos] = static_cast<char>(rng.uniform(0, 255));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, static_cast<std::size_t>(rng.uniform(1, 10)));
+        break;
+      case 2:  // duplicate a span
+        text.insert(pos,
+                    text.substr(pos, static_cast<std::size_t>(rng.uniform(1, 10))));
+        break;
+      case 3:  // inject a bare CR or LF (line-structure attacks)
+        text.insert(pos, rng.uniform(0, 1) == 0 ? "\r" : "\n");
+        break;
+      default:  // splice in a header-ish fragment
+        text.insert(pos, "X-A: \t b\r\n");
+        break;
+    }
+  }
+  return text;
+}
+
+/// Feeds `wire` into a parser in random-sized chunks and drains every
+/// complete request. Returns false if the parser entered an error state.
+bool drive(const std::string& wire, SplitMix64& rng,
+           std::vector<HttpRequest>* out) {
+  RequestParser parser{HttpLimits{}};
+  std::size_t off = 0;
+  ParseStatus status = ParseStatus::kNeedMore;
+  while (off < wire.size() && status != ParseStatus::kError) {
+    const auto step = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(wire.size())));
+    const std::string_view chunk(wire.data() + off,
+                                 std::min(step, wire.size() - off));
+    off += chunk.size();
+    parser.feed(chunk);
+    HttpRequest request;
+    while ((status = parser.next_request(&request)) == ParseStatus::kRequest) {
+      if (out != nullptr) out->push_back(request);
+      // Whatever parses must be internally coherent.
+      EXPECT_FALSE(request.method.empty());
+      EXPECT_FALSE(request.target.empty());
+      for (const auto& [name, value] : request.headers) {
+        EXPECT_FALSE(name.empty());
+        for (const char c : name) {
+          EXPECT_TRUE(c != '\r' && c != '\n' && c != ' ');
+        }
+        EXPECT_EQ(value.find('\n'), std::string::npos);
+      }
+    }
+  }
+  if (status == ParseStatus::kError) {
+    // Errors are typed — one of the statuses the server can answer with.
+    const int code = parser.error_status();
+    EXPECT_TRUE(code == 400 || code == 413 || code == 431 || code == 501 ||
+                code == 505)
+        << "unexpected error status " << code;
+    EXPECT_FALSE(parser.error_reason().empty());
+    // Poisoned parsers must stay poisoned, even across a valid request.
+    parser.feed("GET / HTTP/1.1\r\n\r\n");
+    HttpRequest request;
+    EXPECT_EQ(parser.next_request(&request), ParseStatus::kError);
+    EXPECT_EQ(parser.error_status(), code);
+    return false;
+  }
+  return true;
+}
+
+TEST(ServeFuzz, HttpParserSurvivesRandomBytes) {
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
+    std::string junk(static_cast<std::size_t>(rng.uniform(1, 512)), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.uniform(0, 255));
+    drive(junk, rng, nullptr);  // must not crash; error status typed if any
+  });
+}
+
+TEST(ServeFuzz, HttpParserSurvivesMutatedRequests) {
+  int accepted = 0;
+  for_each_corpus_trial([&](SplitMix64& rng, int trial) {
+    const std::string& base =
+        kValidRequests[static_cast<std::size_t>(trial) %
+                       (sizeof(kValidRequests) / sizeof(kValidRequests[0]))];
+    std::vector<HttpRequest> requests;
+    if (drive(mutate(base, rng), rng, &requests)) accepted += !requests.empty();
+  });
+  // The mutator is gentle enough that some inputs still parse — this guards
+  // against the parser degenerating into reject-everything.
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(ServeFuzz, HttpParserIsChunkingInvariant) {
+  for_each_corpus_trial([&](SplitMix64& rng, int trial) {
+    const std::string& wire =
+        kValidRequests[static_cast<std::size_t>(trial) %
+                       (sizeof(kValidRequests) / sizeof(kValidRequests[0]))];
+
+    RequestParser whole{HttpLimits{}};
+    whole.feed(wire);
+    HttpRequest expected;
+    ASSERT_EQ(whole.next_request(&expected), ParseStatus::kRequest);
+
+    std::vector<HttpRequest> requests;
+    ASSERT_TRUE(drive(wire, rng, &requests));
+    ASSERT_EQ(requests.size(), 1u);
+    EXPECT_EQ(requests[0].method, expected.method);
+    EXPECT_EQ(requests[0].target, expected.target);
+    EXPECT_EQ(requests[0].body, expected.body);
+    EXPECT_EQ(requests[0].headers, expected.headers);
+  });
+}
+
+const std::string kValidJson[] = {
+    R"({"benchmarks":["IIR Filter","Figure 1"],"factors":[2,3],"verify":true})",
+    R"([1,-2.5,3e4,"é😀",null,{"a":[{}]},false])",
+    R"({"s":"line\nbreak\ttab\\slash\"quote","n":-0.125e-3})",
+};
+
+TEST(ServeFuzz, JsonParserSurvivesRandomBytes) {
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
+    std::string junk(static_cast<std::size_t>(rng.uniform(1, 256)), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.uniform(0, 255));
+    JsonError error;
+    // Must not crash; whether it parses is irrelevant here.
+    const auto value = parse_json(junk, &error);
+    static_cast<void>(value);
+  });
+}
+
+TEST(ServeFuzz, JsonParserSurvivesMutatedDocuments) {
+  int accepted = 0;
+  for_each_corpus_trial([&](SplitMix64& rng, int trial) {
+    const std::string& base =
+        kValidJson[static_cast<std::size_t>(trial) %
+                   (sizeof(kValidJson) / sizeof(kValidJson[0]))];
+    JsonError error;
+    const auto value = parse_json(mutate(base, rng), &error);
+    if (value.has_value()) {
+      ++accepted;
+    } else {
+      EXPECT_FALSE(error.message.empty());
+    }
+  });
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(ServeFuzz, JsonDeepNestingNeverOverflowsTheStack) {
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
+    const auto depth = static_cast<std::size_t>(rng.uniform(1, 4096));
+    const bool arrays = rng.uniform(0, 1) == 0;
+    std::string doc(depth, arrays ? '[' : '{');
+    if (!arrays) {
+      doc.clear();
+      for (std::size_t i = 0; i < depth; ++i) doc += "{\"k\":";
+    }
+    JsonError error;
+    const auto value = parse_json(doc, &error);
+    // Anything past the depth limit is an error, not a recursion crash.
+    if (depth > 64) {
+      EXPECT_FALSE(value.has_value());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace csr::serve

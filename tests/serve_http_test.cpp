@@ -1,0 +1,329 @@
+// Unit tests for the serve layer's socket-free pieces: the incremental
+// HTTP/1.1 request parser, response rendering, the JSON reader, the sharded
+// LRU cache and single-flight coalescing (src/serve/). Everything here runs
+// without a port; the end-to-end socket tests live in serve_server_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/single_flight.hpp"
+
+namespace csr::serve {
+namespace {
+
+// --- request parser ---------------------------------------------------------
+
+TEST(RequestParser, ParsesSimpleGet) {
+  RequestParser parser;
+  parser.feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.body.empty());
+  ASSERT_TRUE(request.header("host").has_value());
+  EXPECT_EQ(*request.header("host"), "x");
+  EXPECT_EQ(parser.next_request(&request), ParseStatus::kNeedMore);
+}
+
+TEST(RequestParser, ParsesPostBody) {
+  RequestParser parser;
+  parser.feed(
+      "POST /v1/sweep HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(request.body, "abcd");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParser, ReassemblesByteByByte) {
+  const std::string wire =
+      "POST /v1/sweep HTTP/1.1\r\nContent-Length: 11\r\nX-Extra: v\r\n\r\n"
+      "hello world";
+  RequestParser parser;
+  HttpRequest request;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.feed(std::string_view(&wire[i], 1));
+    ASSERT_EQ(parser.next_request(&request), ParseStatus::kNeedMore)
+        << "completed early at byte " << i;
+  }
+  parser.feed(std::string_view(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(request.body, "hello world");
+  EXPECT_EQ(*request.header("x-extra"), "v");
+}
+
+TEST(RequestParser, DrainsPipelinedRequests) {
+  RequestParser parser;
+  parser.feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.body, "hi");
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(request.target, "/c");
+  EXPECT_EQ(parser.next_request(&request), ParseStatus::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParser, HeaderNamesAreLowercasedValuesTrimmed) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nX-MiXeD-CaSe:   padded value  \r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kRequest);
+  EXPECT_EQ(*request.header("x-mixed-case"), "padded value");
+}
+
+TEST(RequestParser, RejectsMalformedRequestLine) {
+  for (const char* wire : {
+           "GET\r\n\r\n",                        // no target
+           "GET / extra HTTP/1.1\r\n\r\n",       // three spaces
+           "GET /\r\n\r\n",                      // no version
+           "GET / HTTP/9.9\r\n\r\n",             // unsupported major
+       }) {
+    RequestParser parser;
+    parser.feed(wire);
+    HttpRequest request;
+    EXPECT_EQ(parser.next_request(&request), ParseStatus::kError) << wire;
+    EXPECT_GE(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(RequestParser, RejectsUnsupportedVersionWith505) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/2.0\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(RequestParser, RejectsSpaceBeforeColon) {
+  // "Header : v" is a request-smuggling vector (RFC 9112 §5.1 requires
+  // rejection).
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nBad-Header : v\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParser, RejectsObsoleteLineFolding) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nA: 1\r\n  folded\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParser, RejectsOversizedHeaders) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  RequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Pad: ";
+  wire.append(512, 'a');
+  wire += "\r\n\r\n";
+  parser.feed(wire);
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, RejectsOversizedBody) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  RequestParser parser(limits);
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParser, RejectsChunkedTransferEncoding) {
+  RequestParser parser;
+  parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParser, RejectsNegativeAndJunkContentLength) {
+  for (const char* bad : {"-1", "abc", "12x", ""}) {
+    RequestParser parser;
+    parser.feed(std::string("POST / HTTP/1.1\r\nContent-Length: ") + bad +
+                "\r\n\r\n");
+    HttpRequest request;
+    EXPECT_EQ(parser.next_request(&request), ParseStatus::kError)
+        << "Content-Length: " << bad;
+  }
+}
+
+TEST(RequestParser, StaysPoisonedAfterError) {
+  RequestParser parser;
+  parser.feed("BROKEN\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next_request(&request), ParseStatus::kError);
+  const int status = parser.error_status();
+  parser.feed("GET / HTTP/1.1\r\n\r\n");  // valid bytes cannot resurrect it
+  EXPECT_EQ(parser.next_request(&request), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), status);
+}
+
+TEST(HttpRequest, KeepAliveDefaultsPerVersion) {
+  HttpRequest request;
+  request.version_minor = 1;
+  EXPECT_TRUE(request.keep_alive());
+  request.headers["connection"] = "close";
+  EXPECT_FALSE(request.keep_alive());
+  request.headers.clear();
+  request.version_minor = 0;
+  EXPECT_FALSE(request.keep_alive());
+  request.headers["connection"] = "keep-alive";
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(RenderResponse, EmitsContentLengthAndConnection) {
+  const std::string response =
+      render_response(200, "text/plain", "ok\n", /*keep_alive=*/true,
+                      {"X-Extra: 1"});
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(response.find("X-Extra: 1\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 3), "ok\n");
+
+  const std::string closed =
+      render_response(503, "text/plain", "", /*keep_alive=*/false);
+  EXPECT_NE(closed.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(closed.find("Connection: close\r\n"), std::string::npos);
+}
+
+// --- JSON reader ------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const auto v = parse_json(
+      R"({"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "s": "x\nA"})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[0].as_int(), 1);
+  EXPECT_FALSE(a->as_array()[1].as_int().has_value());  // 2.5 is not exact
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_double(), 2.5);
+  EXPECT_EQ(a->as_array()[2].as_int(), -3);
+  EXPECT_TRUE(v->get("b")->get("c")->as_bool());
+  EXPECT_TRUE(v->get("b")->get("d")->is_null());
+  EXPECT_EQ(v->get("s")->as_string(), "x\nA");
+}
+
+TEST(Json, RejectsTrailingGarbageAndBadSyntax) {
+  for (const char* bad :
+       {"{} x", "[1,]", "{\"a\":}", "\"unterminated", "01", "+1", "nul",
+        "[1 2]", "{\"a\" 1}", ""}) {
+    JsonError error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.message.empty()) << bad;
+  }
+}
+
+TEST(Json, DepthLimitStopsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(parse_json(deep, nullptr, 64).has_value());
+  EXPECT_TRUE(parse_json(deep, nullptr, 128).has_value());
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  const auto v = parse_json(R"("😀")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+// --- sharded LRU cache ------------------------------------------------------
+
+TEST(ShardedLruCache, PutGetAndMissCounting) {
+  ShardedLruCache cache(8, 2);
+  EXPECT_FALSE(cache.get("absent").has_value());
+  cache.put("k1", "v1");
+  const auto hit = cache.get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "v1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCache, OverwriteReplacesValue) {
+  ShardedLruCache cache(8, 1);
+  cache.put("k", "old");
+  cache.put("k", "new");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get("k"), "new");
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedPerShard) {
+  // One shard makes the LRU order deterministic and global.
+  ShardedLruCache cache(2, 1);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  ASSERT_TRUE(cache.get("a").has_value());  // a is now most-recent
+  cache.put("c", "3");                      // evicts b
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCache, ShardCountRoundsUpToPowerOfTwo) {
+  // 3 shards round to 4; keys must still resolve consistently.
+  ShardedLruCache cache(64, 3);
+  for (int i = 0; i < 32; ++i) {
+    cache.put("key" + std::to_string(i), std::to_string(i));
+  }
+  for (int i = 0; i < 32; ++i) {
+    const auto v = cache.get("key" + std::to_string(i));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, std::to_string(i));
+  }
+}
+
+// --- single flight ----------------------------------------------------------
+
+TEST(SingleFlight, LeaderComputesOnceSequentially) {
+  SingleFlight<int> flights;
+  int computed = 0;
+  const auto [first, coalesced1] = flights.run("k", [&] { return ++computed; });
+  EXPECT_EQ(first, 1);
+  EXPECT_FALSE(coalesced1);
+  // The call is forgotten after completion: a later request recomputes.
+  const auto [second, coalesced2] = flights.run("k", [&] { return ++computed; });
+  EXPECT_EQ(second, 2);
+  EXPECT_FALSE(coalesced2);
+}
+
+TEST(SingleFlight, ExceptionPropagatesToLeaderAndWaiters) {
+  SingleFlight<int> flights;
+  EXPECT_THROW(
+      flights.run("k", []() -> int { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The failed call must not wedge the key.
+  const auto [value, coalesced] = flights.run("k", [] { return 7; });
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(coalesced);
+}
+
+}  // namespace
+}  // namespace csr::serve

@@ -1,0 +1,323 @@
+// End-to-end tests for the HTTP server (src/serve/server.hpp) over real
+// loopback sockets: routing, cache headers, byte-identity with the offline
+// export, admission-queue backpressure, and graceful drain via SIGTERM.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace csr::serve {
+namespace {
+
+/// A minimal blocking HTTP/1.1 client for loopback tests.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool request(const std::string& method, const std::string& target,
+               const std::string& body = "") {
+    std::string wire = method + " " + target + " HTTP/1.1\r\nHost: t\r\n";
+    if (!body.empty()) {
+      wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    wire += "\r\n" + body;
+    return send_raw(wire);
+  }
+
+  /// Reads one full response. Returns the status code, or -1 on EOF/parse
+  /// trouble. Headers and body land in the accessors.
+  int read_response() {
+    char chunk[64 * 1024];
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    headers_ = buffer_.substr(0, header_end);
+    std::string lower = headers_;
+    for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const std::size_t cl = lower.find("content-length:");
+    if (cl == std::string::npos) return -1;
+    const std::size_t length =
+        std::strtoull(headers_.c_str() + cl + 15, nullptr, 10);
+    const std::size_t total = header_end + 4 + length;
+    while (buffer_.size() < total) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    body_ = buffer_.substr(header_end + 4, length);
+    buffer_.erase(0, total);
+    return std::atoi(headers_.c_str() + 9);
+  }
+
+  [[nodiscard]] const std::string& headers() const { return headers_; }
+  [[nodiscard]] const std::string& body() const { return body_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::string headers_;
+  std::string body_;
+};
+
+constexpr const char* kSmallQuery =
+    R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"]})";
+
+ServerOptions quick_server_options() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral: tests must never collide on a fixed port
+  options.worker_threads = 4;
+  options.poll_interval_ms = 20;  // keep drain/stop latencies test-sized
+  return options;
+}
+
+TEST(Server, RoutesCoreEndpointsOverLoopback) {
+  ServiceOptions service_options;
+  SweepService service(service_options);
+  Server server(service, quick_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // One keep-alive connection exercises every endpoint in sequence.
+  ASSERT_TRUE(client.request("GET", "/healthz"));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_EQ(client.body(), "ok\n");
+
+  ASSERT_TRUE(client.request("GET", "/v1/benchmarks"));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.body().find("IIR Filter"), std::string::npos);
+
+  ASSERT_TRUE(client.request("POST", "/v1/sweep", kSmallQuery));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.headers().find("X-Csr-Cache: miss"), std::string::npos);
+  const std::string cold_body = client.body();
+
+  ASSERT_TRUE(client.request("POST", "/v1/sweep", kSmallQuery));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.headers().find("X-Csr-Cache: hit"), std::string::npos);
+  EXPECT_EQ(client.body(), cold_body);
+
+  // Acceptance: served bytes == offline run_sweep export of the same cells.
+  driver::SweepConfig config;
+  config.grid().benchmarks = {"IIR Filter"};
+  config.grid().transforms = {driver::Transform::kRetimedCsr};
+  const driver::SweepRun run = driver::run_sweep(config);
+  EXPECT_EQ(cold_body, driver::to_json(run.results));
+
+  ASSERT_TRUE(client.request("GET", "/metrics"));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.body().find("csr_serve_requests_total"), std::string::npos);
+  EXPECT_NE(client.body().find("csr_serve_queries_total"), std::string::npos);
+
+  ASSERT_TRUE(client.request("GET", "/no/such/endpoint"));
+  EXPECT_EQ(client.read_response(), 404);
+
+  ASSERT_TRUE(client.request("GET", "/v1/sweep"));
+  EXPECT_EQ(client.read_response(), 405);
+
+  ASSERT_TRUE(client.request("POST", "/v1/sweep", "{malformed"));
+  EXPECT_EQ(client.read_response(), 400);
+
+  EXPECT_GE(server.requests_served(), 8u);
+  server.stop();
+}
+
+TEST(Server, ParseErrorAnswersThenCloses) {
+  ServiceOptions service_options;
+  SweepService service(service_options);
+  Server server(service, quick_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_raw("GET / HTTP/2.0\r\n\r\n"));
+  EXPECT_EQ(client.read_response(), 505);
+  EXPECT_NE(client.headers().find("Connection: close"), std::string::npos);
+  EXPECT_EQ(client.read_response(), -1);  // server closed the connection
+  server.stop();
+}
+
+TEST(Server, PipelinedRequestsAnswerInOrder) {
+  ServiceOptions service_options;
+  SweepService service(service_options);
+  Server server(service, quick_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_raw(
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "GET /v1/benchmarks HTTP/1.1\r\n\r\n"
+      "GET /nope HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_EQ(client.body(), "ok\n");
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.body().find("IIR Filter"), std::string::npos);
+  EXPECT_EQ(client.read_response(), 404);
+  server.stop();
+}
+
+TEST(Server, BackpressureShedsWith503RetryAfter) {
+  // One worker, queue of one: a blocked request + one queued connection
+  // leave no room, so the third connection must be shed at the door.
+  ServiceOptions service_options;
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  service_options.compute_hook = [&] {
+    entered.store(true);
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  SweepService service(service_options);
+  ServerOptions server_options = quick_server_options();
+  server_options.worker_threads = 1;
+  server_options.queue_limit = 1;
+  server_options.retry_after_seconds = 7;
+  Server server(service, server_options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient busy(server.port());
+  ASSERT_TRUE(busy.connected());
+  ASSERT_TRUE(busy.request("POST", "/v1/sweep", kSmallQuery));
+  for (int i = 0; i < 2000 && !entered.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(entered.load()) << "worker never picked up the blocked request";
+
+  TestClient queued(server.port());  // occupies the single queue slot
+  ASSERT_TRUE(queued.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // let it enqueue
+
+  TestClient shed(server.port());
+  ASSERT_TRUE(shed.connected());
+  EXPECT_EQ(shed.read_response(), 503);  // rejected without sending anything
+  EXPECT_NE(shed.headers().find("Retry-After: 7"), std::string::npos);
+  EXPECT_GE(server.connections_rejected(), 1u);
+
+  release.store(true);
+  EXPECT_EQ(busy.read_response(), 200);
+  server.stop();
+}
+
+TEST(Server, SigtermDrainsGracefully) {
+  // The drain contract: in-flight requests complete; everything new gets an
+  // immediate 503; the daemon's wait_until_drained() wakes up.
+  ServiceOptions service_options;
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  service_options.compute_hook = [&] {
+    entered.store(true);
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  SweepService service(service_options);
+  Server server(service, quick_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_TRUE(Server::install_signal_handlers(&server));
+
+  TestClient inflight(server.port());
+  ASSERT_TRUE(inflight.connected());
+  ASSERT_TRUE(inflight.request("POST", "/v1/sweep", kSmallQuery));
+  for (int i = 0; i < 2000 && !entered.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(entered.load());
+
+  // SIGTERM → handler → self-pipe → signal thread → request_drain().
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  for (int i = 0; i < 2000 && !server.draining(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(server.draining());
+
+  // New arrivals are shed with 503 while the old request is still in flight.
+  TestClient late(server.port());
+  ASSERT_TRUE(late.connected());
+  EXPECT_EQ(late.read_response(), 503);
+  EXPECT_NE(late.body().find("draining"), std::string::npos);
+
+  // The in-flight request completes — and is told the connection is done.
+  release.store(true);
+  EXPECT_EQ(inflight.read_response(), 200);
+  EXPECT_NE(inflight.headers().find("Connection: close"), std::string::npos);
+
+  server.wait_until_drained();  // must not block: drain already requested
+  server.stop();
+
+  // Restore default handlers so a later abort in this process behaves.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+TEST(Server, StopIsIdempotentAndRestartable) {
+  ServiceOptions service_options;
+  SweepService service(service_options);
+  {
+    Server server(service, quick_server_options());
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    server.stop();
+    server.stop();  // second stop is a no-op
+  }
+  // A second server over the same service works (destructor released the
+  // port; ephemeral ports cannot collide).
+  Server again(service, quick_server_options());
+  std::string error;
+  ASSERT_TRUE(again.start(&error)) << error;
+  TestClient client(again.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.request("GET", "/healthz"));
+  EXPECT_EQ(client.read_response(), 200);
+  again.stop();
+}
+
+}  // namespace
+}  // namespace csr::serve

@@ -1,0 +1,284 @@
+// Tests for the socket-free query service (src/serve/service.hpp): request
+// parsing/validation, cache + journal warm start, byte-identity of served
+// bodies with the offline run_sweep export, the shared content-key framing,
+// deadline enforcement, and the deterministic 8-thread single-flight hammer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/io.hpp"
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "serve/service.hpp"
+#include "support/hash.hpp"
+
+namespace csr::serve {
+namespace {
+
+std::string temp_journal_path(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / (std::string("csr_serve_test_") + tag + "_" +
+                 std::to_string(::getpid()) + ".journal"))
+      .string();
+}
+
+constexpr const char* kSmallQuery =
+    R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"]})";
+
+// --- parse_query validation -------------------------------------------------
+
+TEST(ParseQuery, SyntaxErrorIs400) {
+  QueryResult rejection;
+  EXPECT_FALSE(parse_query("{not json", &rejection).has_value());
+  EXPECT_EQ(rejection.status, 400);
+}
+
+TEST(ParseQuery, SemanticErrorsAre422) {
+  const char* bad[] = {
+      R"(["not an object"])",
+      R"({})",                                           // missing benchmarks
+      R"({"benchmarks":[]})",                            // empty benchmarks
+      R"({"benchmarks":["no such graph"]})",             // unknown graph
+      R"({"benchmarks":["IIR Filter"],"engines":["warp-drive"]})",
+      R"({"benchmarks":["IIR Filter"],"factors":[1]})",  // below 2
+      R"({"benchmarks":["IIR Filter"],"factors":[65]})",
+      R"({"benchmarks":["IIR Filter"],"format":"xml"})",
+      R"({"benchmarks":["IIR Filter"],"deadline_ms":-5})",
+      R"({"benchmarks":["IIR Filter"],"verify":"yes"})",
+      R"({"benchmarks":[42]})",
+      R"({"benchmarks":["IIR Filter"],"trip_counts":["a"]})",
+  };
+  for (const char* body : bad) {
+    QueryResult rejection;
+    EXPECT_FALSE(parse_query(body, &rejection).has_value()) << body;
+    EXPECT_EQ(rejection.status, 422) << body;
+    EXPECT_FALSE(rejection.error.empty()) << body;
+  }
+}
+
+TEST(ParseQuery, MapsFieldsOntoSweepConfig) {
+  QueryResult rejection;
+  const auto query = parse_query(
+      R"({"benchmarks":["IIR Filter","Figure 1"],"trip_counts":[7],
+          "transforms":["original","retimed_unfolded"],"factors":[2,3],
+          "verify":false,"format":"csv","deadline_ms":1500})",
+      &rejection);
+  ASSERT_TRUE(query.has_value()) << rejection.error;
+  const driver::SweepGrid& grid = query->config.grid();
+  EXPECT_EQ(grid.benchmarks.size(), 2u);
+  EXPECT_EQ(grid.trip_counts, (std::vector<std::int64_t>{7}));
+  EXPECT_EQ(grid.factors, (std::vector<int>{2, 3}));
+  EXPECT_FALSE(query->config.options().verify);
+  EXPECT_EQ(query->format, driver::ExportFormat::kCsv);
+  EXPECT_DOUBLE_EQ(query->deadline_seconds, 1.5);
+}
+
+// --- shared key framing -----------------------------------------------------
+
+TEST(KeyPinning, JournalKeyIsTheSharedContentKey) {
+  // The serve cache and the persistent journal must use the byte-identical
+  // key for the same cell — both go through support/hash.hpp's content_key
+  // with this exact field framing. If this test breaks, existing journals
+  // (and warm-started caches) silently stop matching: bump deliberately.
+  driver::SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.transform = driver::Transform::kRetimedCsr;
+  driver::SweepOptions options;
+
+  std::string dfg_text;
+  for (const auto& info : benchmarks::all_graphs()) {
+    if (info.name == cell.benchmark) dfg_text = to_text(info.factory());
+  }
+  ASSERT_FALSE(dfg_text.empty());
+
+  const std::string expected =
+      content_key('c', {"sweep-v1", cell.benchmark, dfg_text,
+                        std::string(to_string(cell.engine)),
+                        std::string(to_string(cell.exec)),
+                        std::string(to_string(cell.transform)),
+                        std::to_string(cell.factor), std::to_string(cell.n),
+                        options.verify ? "1" : "0",
+                        options.machine.description()});
+  EXPECT_EQ(driver::journal_key(cell, options), expected);
+  EXPECT_EQ(expected.front(), 'c');
+}
+
+TEST(KeyPinning, ContentKeyFieldFramingResistsConcatenation) {
+  // {"ab","c"} and {"a","bc"} must hash differently — field boundaries are
+  // part of the identity.
+  EXPECT_NE(content_key('x', {"ab", "c"}), content_key('x', {"a", "bc"}));
+  EXPECT_NE(content_key('x', {"ab"}), content_key('x', {"ab", ""}));
+  EXPECT_NE(content_key('x', {}), content_key('y', {}));
+  // Deterministic across calls.
+  EXPECT_EQ(content_key('c', {"a", "b"}), content_key('c', {"a", "b"}));
+}
+
+// --- execution, cache, byte-identity ----------------------------------------
+
+TEST(SweepService, ServedBodyIsByteIdenticalToOfflineExport) {
+  ServiceOptions options;
+  SweepService service(options);
+
+  QueryResult rejection;
+  const auto query = parse_query(kSmallQuery, &rejection);
+  ASSERT_TRUE(query.has_value());
+
+  const QueryResult cold = service.execute(*query);
+  ASSERT_EQ(cold.status, 200) << cold.error;
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(service.sweeps_executed(), 1u);
+
+  // The same cells through the plain offline pipeline.
+  driver::SweepConfig config;
+  config.grid() = query->config.grid();
+  const driver::SweepRun run = driver::run_sweep(config);
+  EXPECT_EQ(cold.body, driver::to_json(run.results));
+
+  // Warm: every cell from the LRU, still the same bytes.
+  const QueryResult warm = service.execute(*query);
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.cache_hits, warm.cells);
+  EXPECT_EQ(service.sweeps_executed(), 1u);  // no second sweep
+  EXPECT_EQ(warm.body, cold.body);
+}
+
+TEST(SweepService, CsvFormatMatchesOfflineCsv) {
+  ServiceOptions options;
+  SweepService service(options);
+  QueryResult rejection;
+  const auto query = parse_query(
+      R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"],"format":"csv"})",
+      &rejection);
+  ASSERT_TRUE(query.has_value());
+  const QueryResult result = service.execute(*query);
+  ASSERT_EQ(result.status, 200);
+  EXPECT_EQ(result.content_type, "text/csv");
+
+  driver::SweepConfig config;
+  config.grid() = query->config.grid();
+  const driver::SweepRun run = driver::run_sweep(config);
+  EXPECT_EQ(result.body, driver::to_csv(run.results));
+}
+
+TEST(SweepService, RejectsOversizedGrids) {
+  ServiceOptions options;
+  options.max_cells_per_request = 3;
+  SweepService service(options);
+  // Default transform list x factors expands well past 3 cells.
+  const QueryResult result = service.handle(R"({"benchmarks":["IIR Filter"]})");
+  EXPECT_EQ(result.status, 422);
+}
+
+TEST(SweepService, WarmStartsCacheFromJournal) {
+  const std::string path = temp_journal_path("warm");
+  std::filesystem::remove(path);
+  {
+    ServiceOptions options;
+    options.journal_path = path;
+    SweepService service(options);
+    EXPECT_EQ(service.warm_started_cells(), 0u);
+    const QueryResult cold = service.handle(kSmallQuery);
+    ASSERT_EQ(cold.status, 200) << cold.error;
+  }
+  {
+    // A fresh service over the same journal starts warm: no sweep executes.
+    ServiceOptions options;
+    options.journal_path = path;
+    SweepService service(options);
+    EXPECT_GT(service.warm_started_cells(), 0u);
+    const QueryResult warm = service.handle(kSmallQuery);
+    ASSERT_EQ(warm.status, 200);
+    EXPECT_EQ(warm.cache_hits, warm.cells);
+    EXPECT_EQ(service.sweeps_executed(), 0u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SweepService, DeadlineAlreadySpentIs504) {
+  ServiceOptions options;
+  options.compute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  SweepService service(options);
+  QueryResult rejection;
+  auto query = parse_query(kSmallQuery, &rejection);
+  ASSERT_TRUE(query.has_value());
+  query->deadline_seconds = 0.005;  // expires inside the compute hook
+  const QueryResult result = service.execute(*query);
+  EXPECT_EQ(result.status, 504);
+  EXPECT_EQ(service.sweeps_executed(), 0u);
+}
+
+TEST(SweepService, DeadlineDoesNotApplyToCachedCells) {
+  ServiceOptions options;
+  SweepService service(options);
+  QueryResult rejection;
+  auto query = parse_query(kSmallQuery, &rejection);
+  ASSERT_TRUE(query.has_value());
+  ASSERT_EQ(service.execute(*query).status, 200);  // populate the cache
+
+  // Even an effectively-expired deadline serves cached cells: phase 2
+  // (execution) never runs, and that is the only deadline checkpoint.
+  query->deadline_seconds = 1e-9;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const QueryResult warm = service.execute(*query);
+  EXPECT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.cache_hits, warm.cells);
+}
+
+// --- single-flight hammer ---------------------------------------------------
+
+TEST(SweepService, EightThreadHammerExecutesExactlyOneSweep) {
+  constexpr unsigned kThreads = 8;
+  ServiceOptions options;
+  std::atomic<bool> release{false};
+  SweepService* service_ptr = nullptr;
+  // The hook runs inside the single-flight leader. Holding it until all
+  // seven followers are registered as waiters makes "exactly one sweep"
+  // deterministic rather than a lucky interleaving.
+  options.compute_hook = [&] {
+    while (!release.load(std::memory_order_acquire)) {
+      if (service_ptr != nullptr &&
+          service_ptr->inflight_waiters() >= kThreads - 1) {
+        release.store(true, std::memory_order_release);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  };
+  SweepService service(options);
+  service_ptr = &service;
+
+  QueryResult rejection;
+  const auto query = parse_query(kSmallQuery, &rejection);
+  ASSERT_TRUE(query.has_value());
+
+  std::vector<QueryResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = service.execute(*query); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(service.sweeps_executed(), 1u);
+  unsigned coalesced = 0;
+  for (const QueryResult& result : results) {
+    ASSERT_EQ(result.status, 200) << result.error;
+    EXPECT_EQ(result.body, results[0].body);
+    if (result.coalesced) ++coalesced;
+  }
+  EXPECT_EQ(coalesced, kThreads - 1);
+}
+
+}  // namespace
+}  // namespace csr::serve

@@ -1,0 +1,185 @@
+// csr_serve — the long-running query daemon over the sweep pipeline.
+//
+// Boots a SweepService (warm-starting its cache from the persistent result
+// journal when --journal is given), binds the HTTP server, wires SIGTERM /
+// SIGINT to graceful drain, and blocks until drained. See docs/SERVING.md
+// for the endpoint contract and a runbook.
+//
+// Usage:
+//   csr_serve [--host H] [--port P] [--journal FILE] [--workers N]
+//             [--queue-limit N] [--cache-capacity N] [--sweep-threads N]
+//             [--port-file FILE]
+//   csr_serve --oneshot BODY
+//
+// --port 0 asks the kernel for an ephemeral port; the bound port is printed
+// on stdout (and written to --port-file) so test harnesses can discover it.
+//
+// --oneshot takes a /v1/sweep request body, runs it through the plain
+// offline driver::run_sweep (no server, no cache, no single flight) and
+// prints the shared-exporter bytes to stdout. CI's smoke job diffs a served
+// response against this to prove the service's byte-identity guarantee.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --oneshot BODY      run a /v1/sweep body through the offline\n"
+      << "                      run_sweep pipeline, print the export, exit\n"
+      << "  --host H            bind address        (default 127.0.0.1)\n"
+      << "  --port P            bind port, 0=ephemeral (default 8080)\n"
+      << "  --journal FILE      persistent result journal; warm-starts the\n"
+      << "                      cache and absorbs newly executed cells\n"
+      << "  --workers N         connection worker threads (default 8)\n"
+      << "  --queue-limit N     accepted-but-unclaimed connections (default 64)\n"
+      << "  --cache-capacity N  cached cells across all shards (default 65536)\n"
+      << "  --sweep-threads N   threads per sweep, 0=hardware (default 0)\n"
+      << "  --port-file FILE    write the bound port (for scripts)\n";
+}
+
+bool parse_unsigned(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// The byte-identity reference path: the same body the server accepts, run
+/// through the plain offline pipeline with none of the serving machinery.
+int run_oneshot(const std::string& body) {
+  csr::serve::QueryResult rejection;
+  const auto query = csr::serve::parse_query(body, &rejection);
+  if (!query.has_value()) {
+    std::cerr << "csr_serve: --oneshot body rejected (" << rejection.status
+              << "): " << rejection.error << "\n";
+    return 1;
+  }
+  csr::driver::SweepConfig config;
+  config.grid() = query->config.grid();
+  config.options().verify = query->config.options().verify;
+  const csr::driver::SweepRun run = csr::driver::run_sweep(config);
+  std::cout << (query->format == csr::driver::ExportFormat::kCsv
+                    ? csr::driver::to_csv(run.results)
+                    : csr::driver::to_json(run.results));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  csr::serve::ServiceOptions service_options;
+  csr::serve::ServerOptions server_options;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "csr_serve: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--oneshot") {
+      return run_oneshot(value());
+    } else if (arg == "--host") {
+      server_options.host = value();
+    } else if (arg == "--port") {
+      if (!parse_unsigned(value(), &n) || n > 65535) {
+        std::cerr << "csr_serve: bad --port\n";
+        return 2;
+      }
+      server_options.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--journal") {
+      service_options.journal_path = value();
+    } else if (arg == "--workers") {
+      if (!parse_unsigned(value(), &n) || n == 0) {
+        std::cerr << "csr_serve: bad --workers\n";
+        return 2;
+      }
+      server_options.worker_threads = static_cast<unsigned>(n);
+    } else if (arg == "--queue-limit") {
+      if (!parse_unsigned(value(), &n) || n == 0) {
+        std::cerr << "csr_serve: bad --queue-limit\n";
+        return 2;
+      }
+      server_options.queue_limit = n;
+    } else if (arg == "--cache-capacity") {
+      if (!parse_unsigned(value(), &n) || n == 0) {
+        std::cerr << "csr_serve: bad --cache-capacity\n";
+        return 2;
+      }
+      service_options.cache_capacity = n;
+    } else if (arg == "--sweep-threads") {
+      if (!parse_unsigned(value(), &n)) {
+        std::cerr << "csr_serve: bad --sweep-threads\n";
+        return 2;
+      }
+      service_options.sweep_threads = static_cast<unsigned>(n);
+    } else if (arg == "--port-file") {
+      port_file = value();
+    } else {
+      std::cerr << "csr_serve: unknown option " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  csr::serve::SweepService service(service_options);
+  if (service.warm_started_cells() > 0) {
+    std::cerr << "csr_serve: warm-started " << service.warm_started_cells()
+              << " cells from " << service_options.journal_path << "\n";
+  }
+
+  csr::serve::Server server(service, server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "csr_serve: " << error << "\n";
+    return 1;
+  }
+  if (!csr::serve::Server::install_signal_handlers(&server)) {
+    std::cerr << "csr_serve: failed to install signal handlers\n";
+    server.stop();
+    return 1;
+  }
+
+  std::cout << "csr_serve: listening on " << server_options.host << ":"
+            << server.port() << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::cerr << "csr_serve: cannot write " << port_file << "\n";
+      server.stop();
+      return 1;
+    }
+  }
+
+  // Block until SIGTERM/SIGINT triggers drain, then let stop() finish the
+  // in-flight work and join every thread.
+  server.wait_until_drained();
+  server.stop();
+  std::cerr << "csr_serve: drained, served " << server.requests_served()
+            << " requests\n";
+  return 0;
+}
