@@ -33,6 +33,8 @@ int main() {
         return "rotation";
       case driver::Engine::kModulo:
         return "modulo (IMS)";
+      case driver::Engine::kOptExact:
+        return "exact (B&B)";
     }
     return "?";
   };
@@ -45,7 +47,7 @@ int main() {
       driver::SweepConfig()
           .benchmarks(names)
           .engines({driver::Engine::kOptRetiming, driver::Engine::kRotation,
-                    driver::Engine::kModulo})
+                    driver::Engine::kModulo, driver::Engine::kOptExact})
           .transforms({driver::Transform::kRetimedCsr})
           .factors({})
           .threads(0)  // one worker per hardware thread

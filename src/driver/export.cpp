@@ -42,7 +42,13 @@ std::string to_csv(const std::vector<SweepResult>& results,
     out << r.cell.benchmark << ',' << to_string(r.cell.transform) << ','
         << r.cell.factor << ',' << r.cell.n << ',' << r.iteration_bound << ','
         << r.period.to_string() << ',' << r.depth << ',' << r.registers << ','
-        << r.code_size << ',' << (r.verified ? "yes" : "NO") << '\n';
+        << r.code_size << ',' << (r.verified ? "yes" : "NO") << ',';
+    if (r.optimality_gap >= 0) {
+      out << r.optimality_gap;
+    } else {
+      out << '-';  // engine-less transform: no gap is defined
+    }
+    out << '\n';
   }
   return out.str();
 }
@@ -72,7 +78,8 @@ std::string to_json(const std::vector<SweepResult>& results,
         << ", \"exec_statements\": " << r.exec_statements
         << ", \"engine_fallback\": " << (r.engine_fallback ? "true" : "false")
         << ", \"fallback_reason\": \"" << json_escape(r.fallback_reason)
-        << "\", \"evaluated\": " << (r.evaluated ? "true" : "false");
+        << "\", \"evaluated\": " << (r.evaluated ? "true" : "false")
+        << ", \"optimality_gap\": " << r.optimality_gap;
     if (options.include_timing) {
       out << ", \"exec_seconds\": " << r.exec_seconds
           << ", \"from_cache\": " << (r.from_cache ? "true" : "false")

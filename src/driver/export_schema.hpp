@@ -12,10 +12,13 @@
 namespace csr::driver {
 
 /// Columns of the CSV export, in emission order. This is the historical
-/// csr_results.csv layout — the byte-determinism contract pins it.
+/// csr_results.csv layout — the byte-determinism contract pins it; new
+/// columns append (optimality_gap was added with the exact engine so the
+/// pre-existing columns stay byte-identical).
 inline constexpr std::string_view kCsvColumns[] = {
     "benchmark", "transform", "factor",    "n",    "iteration_bound",
     "period",    "depth",     "registers", "size", "verified",
+    "optimality_gap",
 };
 
 /// The CSV header line, trailing newline included:
@@ -40,7 +43,7 @@ inline constexpr std::string_view kJsonKeys[] = {
     "skipped",       "skip_reason",    "iteration_bound", "period",
     "depth",         "registers",      "code_size",       "predicted_size",
     "verified",      "discipline_ok",  "exec_statements", "engine_fallback",
-    "fallback_reason", "evaluated",
+    "fallback_reason", "evaluated",    "optimality_gap",
 };
 
 }  // namespace csr::driver

@@ -22,6 +22,7 @@
 #include "driver/scheduler.hpp"
 #include "native/engine.hpp"
 #include "observe/observe.hpp"
+#include "retiming/exact.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/modulo.hpp"
 #include "schedule/rotation.hpp"
@@ -82,6 +83,9 @@ struct EngineOutcome {
   bool ok = false;
   Retiming retiming{0};
   std::int64_t period = 0;  ///< cycle period of the retimed graph
+  /// Certified minimum period, filled only when the engine itself proved it
+  /// (kOptExact) — saves evaluate_cell a second exact solve for the gap.
+  std::optional<std::int64_t> exact_period;
 };
 
 EngineOutcome run_engine(Engine engine, const DataFlowGraph& g,
@@ -90,22 +94,38 @@ EngineOutcome run_engine(Engine engine, const DataFlowGraph& g,
   switch (engine) {
     case Engine::kOptRetiming: {
       const OptimalRetiming opt = minimum_period_retiming(g);
-      out = {true, opt.retiming.normalized(), opt.period};
+      out = {true, opt.retiming.normalized(), opt.period, std::nullopt};
       break;
     }
     case Engine::kRotation: {
       const RotationResult rot = rotation_schedule(g, machine);
-      out = {true, rot.retiming.normalized(), rot.period};
+      out = {true, rot.retiming.normalized(), rot.period, std::nullopt};
       break;
     }
     case Engine::kModulo: {
       const auto ms = modulo_schedule(g, machine);
       if (!ms) break;
-      out = {true, retiming_from_modulo(g, *ms).normalized(), ms->initiation_interval};
+      out = {true, retiming_from_modulo(g, *ms).normalized(), ms->initiation_interval,
+             std::nullopt};
+      break;
+    }
+    case Engine::kOptExact: {
+      const ExactRetiming exact = exact_optimal_retiming(g);
+      out = {true, exact.retiming.normalized(), exact.period, exact.period};
       break;
     }
   }
   return out;
+}
+
+/// Achieved cycle period minus the certified exact minimum of the graph the
+/// engine actually retimed (integer cycle periods on both sides; ≥ 0 by
+/// optimality of the exact engine). kOptExact carries its own certificate;
+/// the others pay one extra exact solve — a handful of Bellman–Ford runs.
+std::int64_t optimality_gap_of(const EngineOutcome& eng, const DataFlowGraph& g) {
+  const std::int64_t exact =
+      eng.exact_period ? *eng.exact_period : exact_minimum_period(g);
+  return eng.period - exact;
 }
 
 void infeasible(SweepResult& res, const std::string& why) {
@@ -142,7 +162,9 @@ void backoff_sleep(const SweepCell& cell, int attempt, const RetryPolicy& policy
 // arbitrary diagnostics round-trip. The outer journal layer handles line
 // framing and checksums.
 
-constexpr std::string_view kPayloadVersion = "sweep-v1";
+// v2: appended optimality_gap. Old journals fail the version check and the
+// affected cells simply re-execute — never a silent misparse.
+constexpr std::string_view kPayloadVersion = "sweep-v2";
 
 std::string field_escape(const std::string& s) {
   std::string out;
@@ -294,13 +316,14 @@ std::string to_journal_payload(const SweepResult& r) {
   add(std::to_string(r.exec_statements));
   add(r.engine_fallback ? "1" : "0");
   add(field_escape(r.fallback_reason));
+  add(std::to_string(r.optimality_gap));
   return out;
 }
 
 bool from_journal_payload(const std::string& payload, const SweepCell& cell,
                           SweepResult& result) {
   const std::vector<std::string> f = split_fields(payload);
-  if (f.size() != 17 || f[0] != kPayloadVersion) return false;
+  if (f.size() != 18 || f[0] != kPayloadVersion) return false;
   SweepResult r;
   r.cell = cell;
   std::int64_t period_num = 0;
@@ -314,7 +337,8 @@ bool from_journal_payload(const std::string& payload, const SweepCell& cell,
       !parse_i64(f[11], r.predicted_size) || !parse_bool(f[12], r.verified) ||
       !parse_bool(f[13], r.discipline_ok) || !parse_i64(f[14], r.exec_statements) ||
       !parse_bool(f[15], r.engine_fallback) ||
-      !field_unescape(f[16], r.fallback_reason)) {
+      !field_unescape(f[16], r.fallback_reason) ||
+      !parse_i64(f[17], r.optimality_gap)) {
     return false;
   }
   if (period_den <= 0 || depth < INT32_MIN || depth > INT32_MAX) return false;
@@ -360,6 +384,7 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
         const EngineOutcome eng = run_engine(cell.engine, g, options.machine);
         if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
         res.period = Rational(eng.period);
+        res.optimality_gap = optimality_gap_of(eng, g);
         res.depth = eng.retiming.max_value();
         res.registers = registers_required(eng.retiming);
         if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), res;
@@ -391,6 +416,7 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
         const EngineOutcome eng = run_engine(cell.engine, g, options.machine);
         if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
         res.period = Rational(cycle_period(unfold(apply_retiming(g, eng.retiming), f)), f);
+        res.optimality_gap = optimality_gap_of(eng, g);
         res.depth = eng.retiming.max_value();
         res.registers = registers_required(eng.retiming);
         if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), res;
@@ -410,6 +436,7 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
         const EngineOutcome eng = run_engine(cell.engine, u.graph(), options.machine);
         if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
         res.period = Rational(eng.period, f);
+        res.optimality_gap = optimality_gap_of(eng, u.graph());
         res.depth = eng.retiming.max_value();
         res.registers = registers_required_unfolded(u, eng.retiming);
         if (n / f <= res.depth) {

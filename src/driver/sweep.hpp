@@ -60,6 +60,7 @@ enum class Engine {
   kOptRetiming,  ///< resource-oblivious minimum-period retiming (the paper's)
   kRotation,     ///< rotation scheduling under the resource model
   kModulo,       ///< iterative modulo scheduling under the resource model
+  kOptExact,     ///< exact branch-and-bound optimum (retiming/exact.hpp)
 };
 
 /// Execution engine a cell's transformed program runs on for verification —
@@ -99,6 +100,7 @@ struct EnumNames<driver::Engine> {
       {driver::Engine::kOptRetiming, "opt-retiming"},
       {driver::Engine::kRotation, "rotation"},
       {driver::Engine::kModulo, "modulo"},
+      {driver::Engine::kOptExact, "opt-exact"},
   };
 };
 
@@ -201,6 +203,12 @@ struct SweepResult {
   /// False when the run's cell budget expired before this cell executed —
   /// the cell was neither evaluated nor journaled. CSV skips such rows.
   bool evaluated = true;
+
+  /// Cycle period achieved by the cell's engine minus the certified exact
+  /// minimum (retiming/exact.hpp) of the graph the engine retimed — 0 means
+  /// provably period-optimal. −1 for engine-less transforms (original /
+  /// pure unfolding) and infeasible cells; exported as "-" in CSV.
+  std::int64_t optimality_gap = -1;
 
   // --- per-run observability, never journaled, exported only under
   // ExportOptions::include_timing (they would break byte-determinism).

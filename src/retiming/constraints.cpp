@@ -1,5 +1,7 @@
 #include "retiming/constraints.hpp"
 
+#include <limits>
+
 #include "support/check.hpp"
 
 namespace csr {
@@ -10,6 +12,26 @@ std::optional<std::vector<std::int64_t>> solve_difference_constraints(
     CSR_REQUIRE(c.x < variable_count && c.y < variable_count,
                 "difference constraint variable out of range");
   }
+  // Overflow safety: relaxation accumulates sums of bounds, and bounds near
+  // the int64 extremes would make `dist + bound` undefined behavior in plain
+  // 64-bit arithmetic. All candidate distances are therefore computed in
+  // 128-bit. Two floors guard the result:
+  //
+  //   * `floor` = Σ_c min(0, bound_c). Any walk that never closes a negative
+  //     cycle shortens to a simple path, whose weight uses each constraint at
+  //     most once and so is ≥ floor. A candidate strictly below floor proves
+  //     a negative cycle — report infeasible immediately instead of letting
+  //     the distances diverge.
+  //   * a candidate ≥ floor but below INT64_MIN cannot be represented in the
+  //     result vector (possible only when floor itself underflows int64);
+  //     such systems are reported infeasible rather than returned saturated —
+  //     the explicit signal callers can act on, never UB.
+  using int128 = __int128;
+  int128 floor = 0;
+  for (const DifferenceConstraint& c : constraints) {
+    if (c.bound < 0) floor += static_cast<int128>(c.bound);
+  }
+
   // Implicit super-source with 0-weight edges to every variable: initialize
   // all distances to 0 and relax |V| times; a change on the extra pass means
   // a negative cycle.
@@ -18,9 +40,13 @@ std::optional<std::vector<std::int64_t>> solve_difference_constraints(
   for (std::size_t pass = 0; pass <= variable_count && changed; ++pass) {
     changed = false;
     for (const DifferenceConstraint& c : constraints) {
-      const std::int64_t cand = dist[c.x] + c.bound;
+      const int128 cand = static_cast<int128>(dist[c.x]) + c.bound;
       if (cand < dist[c.y]) {
-        dist[c.y] = cand;
+        if (cand < floor) return std::nullopt;  // negative cycle, proven early
+        if (cand < static_cast<int128>(std::numeric_limits<std::int64_t>::min())) {
+          return std::nullopt;  // feasible values would not fit int64
+        }
+        dist[c.y] = static_cast<std::int64_t>(cand);
         changed = true;
       }
     }

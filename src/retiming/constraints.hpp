@@ -22,6 +22,12 @@ struct DifferenceConstraint {
 /// assignment (the Bellman–Ford shortest-path solution, which is the
 /// component-wise maximal non-positive one), or std::nullopt when the system
 /// is infeasible (a negative constraint cycle exists).
+///
+/// Relaxation is overflow-safe for bounds anywhere in the int64 range: the
+/// arithmetic runs in 128-bit and a proven negative cycle is reported the
+/// moment a distance drops below the simple-path floor Σ min(0, bound). The
+/// (degenerate) case of a feasible system whose solution values would not fit
+/// in int64 is also reported as std::nullopt — an explicit signal, never UB.
 [[nodiscard]] std::optional<std::vector<std::int64_t>> solve_difference_constraints(
     std::size_t variable_count, const std::vector<DifferenceConstraint>& constraints);
 

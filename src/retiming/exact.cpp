@@ -1,0 +1,164 @@
+#include "retiming/exact.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "observe/observe.hpp"
+#include "retiming/constraints.hpp"
+#include "retiming/min_storage.hpp"
+#include "retiming/opt.hpp"
+#include "retiming/wd.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Exact-solver metrics (docs/OBSERVABILITY.md).
+struct ExactMetrics {
+  observe::Counter& nodes;
+  observe::Counter& backtracks;
+  observe::Histogram& solve_seconds;
+
+  static ExactMetrics& get() {
+    static ExactMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return ExactMetrics{
+          reg.counter("csr_exact_nodes_total",
+                      "Branch-and-bound nodes explored (difference-logic solves)"),
+          reg.counter("csr_exact_backtracks_total",
+                      "Branch-and-bound backtracks (infeasible solves)"),
+          reg.histogram("csr_exact_solve_seconds",
+                        observe::latency_seconds_bounds(),
+                        "Wall time of one exact_optimal_retiming call"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+/// One branch-and-bound node: an interval [lo, hi] of candidate indices that
+/// may still contain the optimum, plus the incumbent found so far.
+struct SearchState {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::optional<std::vector<std::int64_t>> incumbent_solution;
+  std::size_t incumbent_index = 0;
+};
+
+/// Core search shared by both entry points: returns the index of the optimal
+/// candidate and (optionally) its Bellman–Ford witness, filling `stats`.
+SearchState search_minimum_period(const DataFlowGraph& g, const WDMatrices& wd,
+                                  const std::vector<std::int64_t>& candidates,
+                                  const ExactRetimingOptions& options,
+                                  ExactRetimingStats* stats) {
+  ExactMetrics& metrics = ExactMetrics::get();
+  stats->candidates_total = candidates.size();
+
+  // Bounding cut: the iteration bound B lower-bounds the period of any
+  // static schedule, so candidates < ⌈B⌉ are infeasible without a solve.
+  std::size_t lo = 0;
+  if (const auto bound = iteration_bound(g)) {
+    const std::int64_t min_period = bound->ceil();
+    while (lo < candidates.size() - 1 && candidates[lo] < min_period) ++lo;
+    stats->candidates_pruned = lo;
+  }
+
+  SearchState state{lo, candidates.size() - 1, std::nullopt, 0};
+  // The maximum D value is feasible via the zero retiming (it is the current
+  // cycle period of some path, hence ≥ cycle_period(g) retimed by identity),
+  // so the interval always contains the optimum. Each solve kills one
+  // subtree: ≤ ⌈log2 K⌉ + 1 nodes total.
+  while (state.lo < state.hi) {
+    CSR_ENSURE(stats->nodes_explored < options.max_nodes,
+               "exact retiming search exceeded its node budget");
+    const std::size_t mid = state.lo + (state.hi - state.lo) / 2;
+    ++stats->nodes_explored;
+    metrics.nodes.increment();
+    auto solution = solve_difference_constraints(
+        g.node_count(), period_constraint_system(g, wd, candidates[mid]));
+    if (solution.has_value()) {
+      state.incumbent_solution = std::move(solution);
+      state.incumbent_index = mid;
+      state.hi = mid;  // upper subtree dominated by the new incumbent
+    } else {
+      ++stats->backtracks;
+      metrics.backtracks.increment();
+      state.lo = mid + 1;  // lower subtree infeasible a fortiori
+    }
+  }
+  // Interval collapsed: state.lo is optimal. Ensure we hold its witness
+  // (the last solve may have been an infeasible one below it).
+  if (!state.incumbent_solution.has_value() || state.incumbent_index != state.lo) {
+    CSR_ENSURE(stats->nodes_explored < options.max_nodes,
+               "exact retiming search exceeded its node budget");
+    ++stats->nodes_explored;
+    metrics.nodes.increment();
+    state.incumbent_solution = solve_difference_constraints(
+        g.node_count(), period_constraint_system(g, wd, candidates[state.lo]));
+    state.incumbent_index = state.lo;
+    CSR_ENSURE(state.incumbent_solution.has_value(),
+               "search converged on an infeasible candidate period");
+  }
+  return state;
+}
+
+Retiming retiming_from(const std::vector<std::int64_t>& solution, std::size_t n) {
+  std::vector<int> values(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    values[v] = static_cast<int>(solution[v]);
+  }
+  return Retiming(std::move(values)).normalized();
+}
+
+}  // namespace
+
+ExactRetiming exact_optimal_retiming(const DataFlowGraph& g,
+                                     const ExactRetimingOptions& options) {
+  CSR_REQUIRE(g.node_count() > 0, "cannot retime an empty graph");
+  observe::Span span("retiming", "exact_optimal_retiming");
+  span.arg("nodes", static_cast<std::uint64_t>(g.node_count()))
+      .arg("edges", static_cast<std::uint64_t>(g.edge_count()));
+  observe::ScopedTimer timer(ExactMetrics::get().solve_seconds);
+
+  const WDMatrices wd(g);
+  const auto candidates = wd.candidate_periods();
+  CSR_ENSURE(!candidates.empty(), "no candidate periods for non-empty graph");
+
+  ExactRetiming out{0, Retiming(g.node_count()), 0, {}};
+  SearchState state =
+      search_minimum_period(g, wd, candidates, options, &out.stats);
+  out.period = candidates[state.incumbent_index];
+
+  if (options.minimize_storage) {
+    // Secondary objective: among all retimings achieving the certified
+    // period, take one with minimum Σ_e d_r(e).
+    auto witness = min_storage_retiming(g, wd, out.period);
+    CSR_ENSURE(witness.has_value(),
+               "storage minimization lost a certified-feasible period");
+    out.retiming = std::move(*witness);
+  } else {
+    out.retiming = retiming_from(*state.incumbent_solution, g.node_count());
+  }
+  out.total_storage = total_delays_after(g, out.retiming);
+
+  // Postconditions: the witness is legal and meets the certified period.
+  CSR_ENSURE(is_legal_retiming(g, out.retiming), "exact witness is illegal");
+  CSR_ENSURE(cycle_period(apply_retiming(g, out.retiming)) <= out.period,
+             "exact witness exceeds the certified period");
+  span.arg("min_period", out.period)
+      .arg("bb_nodes", out.stats.nodes_explored)
+      .arg("bb_backtracks", out.stats.backtracks);
+  return out;
+}
+
+std::int64_t exact_minimum_period(const DataFlowGraph& g) {
+  ExactRetimingOptions options;
+  options.minimize_storage = false;
+  return exact_optimal_retiming(g, options).period;
+}
+
+}  // namespace csr

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file exact.hpp
+/// Exact optimal retiming by branch-and-bound over difference-logic systems.
+///
+/// The heuristic pipeline (opt.hpp) is already provably period-optimal for
+/// pure retiming, but nothing in the export pipeline *certified* that — and
+/// future engines (rotation, modulo, SMT-style schedulers) have no such
+/// guarantee at all. This engine is the certificate: an independent solver
+/// that minimizes the cycle period first and the total delay-register count
+/// (Σ_e d_r(e), min_storage.hpp) second, and whose result every other engine
+/// is differentially compared against via the `optimality_gap` export column.
+///
+/// Encoding. For a candidate period P the query "does a legal retiming with
+/// cycle period ≤ P exist?" is the difference-logic system
+/// period_constraint_system(g, wd, P): legality constraints r(v) − r(u) ≤
+/// d(e) are unconditional, while each ordered pair (u,v) contributes a
+/// *binarized* period constraint r(v) − r(u) ≤ W(u,v) − 1 that is active iff
+/// D(u,v) > P. Feasibility of one system is decided exactly by the
+/// overflow-safe Bellman–Ford core in constraints.hpp.
+///
+/// Branching. The candidate periods are the distinct finite D values
+/// (wd.candidate_periods()); activation of the binarized constraints is
+/// monotone in P (growing P only deactivates constraints), so feasibility is
+/// monotone too. Each branch-and-bound node owns an interval of candidate
+/// indices and branches on the median system: a feasible solve makes the
+/// median the incumbent and *prunes the entire upper subtree* (dominated),
+/// an infeasible solve is a backtrack that prunes the entire lower subtree
+/// (all its systems are supersets of an infeasible one). The iteration bound
+/// ⌈B⌉ (dfg/iteration_bound.hpp) prunes candidates below the rate bound
+/// before any solve.
+///
+/// Termination bound. One subtree dies per solve, so the search explores at
+/// most ⌈log2 K⌉ + 1 nodes for K surviving candidates — never more than
+/// ⌈log2(n²)⌉ + 1 difference-logic solves for an n-node graph.
+
+#include <cstdint>
+#include <optional>
+
+#include "dfg/graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// Knobs for the exact search.
+struct ExactRetimingOptions {
+  /// Hard cap on branch-and-bound nodes (feasibility solves). The log2
+  /// termination bound keeps real searches far below this; hitting the cap
+  /// throws InternalError (it would indicate a monotonicity violation).
+  std::uint64_t max_nodes = 4096;
+  /// When true (default), the optimal period is witnessed by a
+  /// storage-minimal retiming (min_storage.hpp); when false, by the plain
+  /// Bellman–Ford solution of the optimal system.
+  bool minimize_storage = true;
+};
+
+/// Search statistics, also exported as csr_exact_* metrics.
+struct ExactRetimingStats {
+  std::uint64_t nodes_explored = 0;     ///< Difference-logic systems solved.
+  std::uint64_t backtracks = 0;         ///< Infeasible solves (subtree pruned).
+  std::uint64_t candidates_total = 0;   ///< Distinct finite D values.
+  std::uint64_t candidates_pruned = 0;  ///< Cut below ⌈iteration bound⌉.
+};
+
+/// A certified optimum: no legal retiming of the graph achieves a smaller
+/// cycle period, and among retimings achieving `period`, `retiming` has the
+/// minimum total delay count when ExactRetimingOptions::minimize_storage.
+struct ExactRetiming {
+  std::int64_t period = 0;         ///< Provably minimal cycle period.
+  Retiming retiming;               ///< Normalized witness achieving it.
+  std::int64_t total_storage = 0;  ///< Σ_e d_r(e) of the witness.
+  ExactRetimingStats stats;
+};
+
+/// Runs the exact search. Throws InvalidArgument for empty graphs or graphs
+/// with zero-delay cycles (same contract as minimum_period_retiming).
+[[nodiscard]] ExactRetiming exact_optimal_retiming(
+    const DataFlowGraph& g, const ExactRetimingOptions& options = {});
+
+/// Fast path for gap computation: the certified minimum cycle period only,
+/// skipping the storage-minimal witness.
+[[nodiscard]] std::int64_t exact_minimum_period(const DataFlowGraph& g);
+
+}  // namespace csr

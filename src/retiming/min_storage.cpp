@@ -7,6 +7,7 @@
 
 #include "dfg/algorithms.hpp"
 #include "retiming/constraints.hpp"
+#include "retiming/opt.hpp"
 #include "support/check.hpp"
 
 namespace csr {
@@ -50,21 +51,11 @@ std::optional<Retiming> min_storage_retiming(const DataFlowGraph& g,
   const std::size_t n = g.node_count();
   if (n == 0) return Retiming(0);
 
-  // Difference constraints r(y) − r(x) ≤ b: legality + period.
+  // Difference constraints r(y) − r(x) ≤ b: legality + period (the shared
+  // system from opt.hpp — identical to what the OPT search solves).
   std::vector<Arc> arcs;
-  std::vector<DifferenceConstraint> constraints;
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    const Edge& edge = g.edge(e);
-    constraints.push_back({edge.from, edge.to, edge.delay});
-  }
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = 0; v < n; ++v) {
-      if (!wd.reachable(u, v)) continue;
-      if (wd.d(u, v) > period) {
-        constraints.push_back({u, v, wd.w(u, v) - 1});
-      }
-    }
-  }
+  const std::vector<DifferenceConstraint> constraints =
+      period_constraint_system(g, wd, period);
 
   // Feasibility + initial potentials (Bellman–Ford solution π satisfies
   // π_y − π_x ≤ b, i.e. every reduced cost b + π_x − π_y ≥ 0).

@@ -35,14 +35,35 @@ struct RetimingMetrics {
   }
 };
 
-/// Base constraint system for "legal retiming with cycle period ≤ period".
-/// Variables 0..n−1 are r(v). Under the paper's convention d_r(e) =
-/// d(e) + r(u) − r(v):
-///   legality:      r(v) − r(u) ≤ d(e)                       for every edge
-///   period bound:  r(v) − r(u) ≤ W(u,v) − 1  whenever D(u,v) > period.
-std::vector<DifferenceConstraint> period_constraints(const DataFlowGraph& g,
-                                                     const WDMatrices& wd,
-                                                     std::int64_t period) {
+Retiming from_solution(const std::vector<std::int64_t>& solution, std::size_t n) {
+  std::vector<int> values(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    values[v] = static_cast<int>(solution[v]);
+  }
+  return Retiming(std::move(values)).normalized();
+}
+
+/// Feasibility with the additional requirement spread ≤ k, enforced through a
+/// virtual minimum variable z (index n): r(z) ≤ r(v) ≤ r(z) + k for all v.
+std::optional<Retiming> spread_bounded_retiming(const DataFlowGraph& g,
+                                                const WDMatrices& wd,
+                                                std::int64_t period, std::int64_t k) {
+  auto cs = period_constraint_system(g, wd, period);
+  const std::uint32_t z = static_cast<std::uint32_t>(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    cs.push_back({v, z, 0});  // r(z) − r(v) ≤ 0
+    cs.push_back({z, v, k});  // r(v) − r(z) ≤ k
+  }
+  const auto solution = solve_difference_constraints(g.node_count() + 1, cs);
+  if (!solution) return std::nullopt;
+  return from_solution(*solution, g.node_count());
+}
+
+}  // namespace
+
+std::vector<DifferenceConstraint> period_constraint_system(const DataFlowGraph& g,
+                                                           const WDMatrices& wd,
+                                                           std::int64_t period) {
   std::vector<DifferenceConstraint> cs;
   cs.reserve(g.edge_count() + g.node_count() * g.node_count() / 4);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
@@ -61,39 +82,13 @@ std::vector<DifferenceConstraint> period_constraints(const DataFlowGraph& g,
   return cs;
 }
 
-Retiming from_solution(const std::vector<std::int64_t>& solution, std::size_t n) {
-  std::vector<int> values(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    values[v] = static_cast<int>(solution[v]);
-  }
-  return Retiming(std::move(values)).normalized();
-}
-
-/// Feasibility with the additional requirement spread ≤ k, enforced through a
-/// virtual minimum variable z (index n): r(z) ≤ r(v) ≤ r(z) + k for all v.
-std::optional<Retiming> spread_bounded_retiming(const DataFlowGraph& g,
-                                                const WDMatrices& wd,
-                                                std::int64_t period, std::int64_t k) {
-  auto cs = period_constraints(g, wd, period);
-  const std::uint32_t z = static_cast<std::uint32_t>(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    cs.push_back({v, z, 0});  // r(z) − r(v) ≤ 0
-    cs.push_back({z, v, k});  // r(v) − r(z) ≤ k
-  }
-  const auto solution = solve_difference_constraints(g.node_count() + 1, cs);
-  if (!solution) return std::nullopt;
-  return from_solution(*solution, g.node_count());
-}
-
-}  // namespace
-
 std::optional<Retiming> feasible_retiming(const DataFlowGraph& g, const WDMatrices& wd,
                                           std::int64_t period) {
   CSR_REQUIRE(wd.size() == g.node_count(), "W/D matrices do not match graph");
   RetimingMetrics& metrics = RetimingMetrics::get();
   metrics.feasibility_checks.increment();
   const auto solution =
-      solve_difference_constraints(g.node_count(), period_constraints(g, wd, period));
+      solve_difference_constraints(g.node_count(), period_constraint_system(g, wd, period));
   if (!solution) return std::nullopt;
   metrics.solutions.increment();
   return from_solution(*solution, g.node_count());

@@ -11,12 +11,24 @@
 /// shallower pipeline with the same period strictly dominates for code size.
 
 #include <optional>
+#include <vector>
 
 #include "dfg/graph.hpp"
+#include "retiming/constraints.hpp"
 #include "retiming/retiming.hpp"
 #include "retiming/wd.hpp"
 
 namespace csr {
+
+/// The base constraint system for "legal retiming with cycle period ≤ period".
+/// Variables 0..n−1 are r(v). Under the paper's convention d_r(e) =
+/// d(e) + r(u) − r(v):
+///   legality:      r(v) − r(u) ≤ d(e)                       for every edge
+///   period bound:  r(v) − r(u) ≤ W(u,v) − 1  whenever D(u,v) > period.
+/// Shared by the heuristic OPT search, the min-storage LP, and the exact
+/// branch-and-bound engine (retiming/exact.hpp). `wd` must belong to `g`.
+[[nodiscard]] std::vector<DifferenceConstraint> period_constraint_system(
+    const DataFlowGraph& g, const WDMatrices& wd, std::int64_t period);
 
 /// Finds a legal retiming achieving cycle period ≤ `period`, or std::nullopt
 /// when none exists. The result is normalized. `wd` must belong to `g`.

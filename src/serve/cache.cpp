@@ -18,16 +18,23 @@ std::size_t round_up_pow2(std::size_t n) {
 
 ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
     : shards_(round_up_pow2(std::max<std::size_t>(1, shards))) {
-  per_shard_capacity_ =
-      std::max<std::size_t>(1, (capacity + shards_.size() - 1) / shards_.size());
+  // Distribute the total exactly: rounding every shard up used to let a
+  // 16-shard cache exceed the configured capacity by up to 15 entries. The
+  // documented "at least one per shard" floor is the only case where the
+  // total is raised.
+  capacity_ = std::max(capacity, shards_.size());
+  const std::size_t base = capacity_ / shards_.size();
+  const std::size_t remainder = capacity_ % shards_.size();
+  shard_capacity_.assign(shards_.size(), base);
+  for (std::size_t i = 0; i < remainder; ++i) ++shard_capacity_[i];
 }
 
-ShardedLruCache::Shard& ShardedLruCache::shard_for(const std::string& key) {
-  return shards_[fnv1a64(key) & (shards_.size() - 1)];
+std::size_t ShardedLruCache::shard_index(const std::string& key) const {
+  return fnv1a64(key) & (shards_.size() - 1);
 }
 
 std::optional<std::string> ShardedLruCache::get(const std::string& key) {
-  Shard& shard = shard_for(key);
+  Shard& shard = shards_[shard_index(key)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
@@ -40,7 +47,8 @@ std::optional<std::string> ShardedLruCache::get(const std::string& key) {
 }
 
 void ShardedLruCache::put(const std::string& key, std::string payload) {
-  Shard& shard = shard_for(key);
+  const std::size_t index = shard_index(key);
+  Shard& shard = shards_[index];
   const std::lock_guard<std::mutex> lock(shard.mutex);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     it->second->second = std::move(payload);
@@ -49,7 +57,7 @@ void ShardedLruCache::put(const std::string& key, std::string payload) {
   }
   shard.lru.emplace_front(key, std::move(payload));
   shard.index[key] = shard.lru.begin();
-  if (shard.lru.size() > per_shard_capacity_) {
+  if (shard.lru.size() > shard_capacity_[index]) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -9,10 +9,13 @@
 /// warm-started verbatim from a journal snapshot at boot and guarantees the
 /// online and offline caches can never disagree about identity.
 ///
-/// Capacity is a total entry count split evenly across shards; each shard
-/// runs an exact LRU under its own mutex. Hit/miss/eviction counts are
-/// plain atomics, mirrored into the global MetricsRegistry by the service
-/// layer (docs/OBSERVABILITY.md).
+/// Capacity is a total entry count distributed *exactly* across shards
+/// (base = total/shards with the remainder spread one entry each over the
+/// first total%shards shards), so Σ per-shard capacities == capacity() and
+/// the cache can never hold more entries than configured. Each shard runs an
+/// exact LRU under its own mutex. Hit/miss/eviction counts are plain
+/// atomics, mirrored into the global MetricsRegistry by the service layer
+/// (docs/OBSERVABILITY.md).
 
 #include <atomic>
 #include <cstddef>
@@ -44,6 +47,10 @@ class ShardedLruCache {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Hard upper bound on size(): Σ per-shard capacities. Equals the
+  /// constructor's `capacity` argument, raised to shard_count() when the
+  /// request was below one entry per shard.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
@@ -62,10 +69,12 @@ class ShardedLruCache {
         index;
   };
 
-  Shard& shard_for(const std::string& key);
+  std::size_t shard_index(const std::string& key) const;
 
   std::vector<Shard> shards_;
-  std::size_t per_shard_capacity_;
+  /// shard_capacity_[i] is shard i's exact entry budget; sums to capacity_.
+  std::vector<std::size_t> shard_capacity_;
+  std::size_t capacity_ = 0;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

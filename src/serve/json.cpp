@@ -22,11 +22,13 @@ JsonValue JsonValue::boolean(bool value) {
   return v;
 }
 
-JsonValue JsonValue::number(double value, std::optional<std::int64_t> exact) {
+JsonValue JsonValue::number(double value, std::optional<std::int64_t> exact,
+                            bool int_out_of_range) {
   JsonValue v;
   v.kind_ = Kind::kNumber;
   v.double_ = value;
   v.int_ = exact;
+  v.int_out_of_range_ = int_out_of_range;
   return v;
 }
 
@@ -340,13 +342,21 @@ class Parser {
     const double value = std::strtod(literal.c_str(), nullptr);
     if (errno == ERANGE) return fail("number out of range");
     std::optional<std::int64_t> exact;
+    bool int_out_of_range = false;
     if (integral) {
       errno = 0;
       char* end = nullptr;
       const long long as_ll = std::strtoll(literal.c_str(), &end, 10);
-      if (errno == 0 && end != nullptr && *end == '\0') exact = as_ll;
+      if (errno == ERANGE) {
+        // strtoll clamped to LLONG_MIN/MAX — do NOT surface the clamped
+        // value as exact. Record the overflow so consumers that need an
+        // exact integer can reject with a typed "out of range" error.
+        int_out_of_range = true;
+      } else if (errno == 0 && end != nullptr && *end == '\0') {
+        exact = as_ll;
+      }
     }
-    out = JsonValue::number(value, exact);
+    out = JsonValue::number(value, exact, int_out_of_range);
     return true;
   }
 

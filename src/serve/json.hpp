@@ -56,6 +56,11 @@ class JsonValue {
   [[nodiscard]] double as_double() const { return double_; }
   /// The exact integer value, when the literal was integral and fits int64.
   [[nodiscard]] std::optional<std::int64_t> as_int() const { return int_; }
+  /// True when the literal was integral but did not fit int64 (std::strtoll
+  /// reported ERANGE). as_int() is nullopt for such values; callers needing
+  /// exactness can turn this into a typed "out of range" rejection instead
+  /// of a generic "not an integer" one.
+  [[nodiscard]] bool int_out_of_range() const { return int_out_of_range_; }
   [[nodiscard]] const std::string& as_string() const { return string_; }
   [[nodiscard]] const std::vector<JsonValue>& as_array() const { return array_; }
   [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const {
@@ -68,7 +73,8 @@ class JsonValue {
   // Builders used by the parser (and tests).
   static JsonValue null();
   static JsonValue boolean(bool value);
-  static JsonValue number(double value, std::optional<std::int64_t> exact);
+  static JsonValue number(double value, std::optional<std::int64_t> exact,
+                          bool int_out_of_range = false);
   static JsonValue string(std::string value);
   static JsonValue array(std::vector<JsonValue> items);
   static JsonValue object(std::map<std::string, JsonValue> members);
@@ -78,6 +84,7 @@ class JsonValue {
   bool bool_ = false;
   double double_ = 0.0;
   std::optional<std::int64_t> int_;
+  bool int_out_of_range_ = false;
   std::string string_;
   std::vector<JsonValue> array_;
   std::map<std::string, JsonValue> object_;

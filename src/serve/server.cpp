@@ -323,13 +323,34 @@ std::string Server::route(const HttpRequest& request) {
     if (request.method != "GET") {
       return render_response(405, "text/plain", "method not allowed\n", keep);
     }
-    // The benchmark vocabulary, for query authors hitting the 422 on typos.
-    std::string body = "[";
+    // The full request vocabulary, for query authors hitting the 422 on
+    // typos: every enum axis comes straight off the shared EnumNames tables,
+    // so a new engine (e.g. opt-exact) appears here the moment it exists.
+    std::string body = "{\"benchmarks\": [";
+    bool first = true;
     for (const auto& info : benchmarks::all_graphs()) {
-      if (body.size() > 1) body += ", ";
+      if (!first) body += ", ";
+      first = false;
       body += '"' + info.name + '"';
     }
-    body += "]\n";
+    const auto append_axis = [&body](std::string_view axis, const auto& entries) {
+      body += "], \"";
+      body += axis;
+      body += "\": [";
+      bool axis_first = true;
+      for (const auto& [value, name] : entries) {
+        static_cast<void>(value);
+        if (!axis_first) body += ", ";
+        axis_first = false;
+        body += '"';
+        body += name;
+        body += '"';
+      }
+    };
+    append_axis("engines", EnumNames<driver::Engine>::entries);
+    append_axis("exec_engines", EnumNames<driver::ExecEngine>::entries);
+    append_axis("transforms", EnumNames<driver::Transform>::entries);
+    body += "], \"formats\": [\"json\", \"csv\"]}\n";
     return render_response(200, "application/json", body, keep);
   }
 

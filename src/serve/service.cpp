@@ -90,7 +90,13 @@ bool read_int_array(const JsonValue& value, std::string_view key,
   for (const JsonValue& item : value.as_array()) {
     const auto exact = item.is_number() ? item.as_int() : std::nullopt;
     if (!exact) {
-      *rejection = reject(422, std::string(key) + " must be an array of integers");
+      if (item.is_number() && item.int_out_of_range()) {
+        *rejection = reject(422, std::string(key) +
+                                     " contains an integer out of range "
+                                     "(does not fit a signed 64-bit value)");
+      } else {
+        *rejection = reject(422, std::string(key) + " must be an array of integers");
+      }
       return false;
     }
     out.push_back(*exact);

@@ -35,9 +35,10 @@ void expect_table_round_trips() {
 
 TEST(EnumNames, EngineTableRoundTrips) {
   expect_table_round_trips<driver::Engine>();
-  EXPECT_EQ(enum_count<driver::Engine>(), 3u);
+  EXPECT_EQ(enum_count<driver::Engine>(), 4u);
   EXPECT_EQ(driver::to_string(driver::Engine::kOptRetiming), "opt-retiming");
   EXPECT_EQ(driver::parse_engine("modulo"), driver::Engine::kModulo);
+  EXPECT_EQ(driver::parse_engine("opt-exact"), driver::Engine::kOptExact);
 }
 
 TEST(EnumNames, ExecEngineTableRoundTrips) {

@@ -1,0 +1,163 @@
+// The four-way differential harness around the exact engine: every paper
+// benchmark is swept with the heuristic AND the exact engine across all
+// three execution engines (vm, map, native), so each cell cross-checks
+//
+//     heuristic-vs-exact  ×  map-vs-VM / VM-vs-native
+//
+// and the optimality_gap column certifies the heuristic's period. Random
+// DFGs extend the property beyond the six benchmarks. CI runs this suite
+// under the `exact` label, and again under ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/random.hpp"
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "retiming/exact.hpp"
+#include "retiming/opt.hpp"
+#include "retiming/retiming.hpp"
+#include "support/rng.hpp"
+
+namespace csr::driver {
+namespace {
+
+std::vector<std::string> table_benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+TEST(ExactDifferential, FourWayHarnessPassesOnAllSixBenchmarks) {
+  // Six benchmarks × {opt-retiming, opt-exact} × {vm, map, native} on the
+  // retimed CSR form. Native cells degrade to the VM (with the failure
+  // preserved) on hosts without a toolchain, so the suite is portable; the
+  // verification bit must hold either way.
+  const SweepRun run = run_sweep(
+      SweepConfig()
+          .benchmarks(table_benchmark_names())
+          .engines({Engine::kOptRetiming, Engine::kOptExact})
+          .exec_engines({ExecEngine::kVm, ExecEngine::kMap, ExecEngine::kNative})
+          .transforms({Transform::kRetimedCsr})
+          .factors({})
+          .trip_counts({13})
+          .threads(0));
+  ASSERT_EQ(run.results.size(), 6u * 2u * 3u);
+  for (const SweepResult& res : run.results) {
+    SCOPED_TRACE(res.cell.benchmark + " engine=" +
+                 std::string(to_string(res.cell.engine)) + " exec=" +
+                 std::string(to_string(res.cell.exec)));
+    ASSERT_TRUE(res.feasible) << res.error;
+    EXPECT_TRUE(res.evaluated);
+    EXPECT_FALSE(res.skipped) << res.skip_reason;
+    EXPECT_TRUE(res.verified);
+    EXPECT_TRUE(res.discipline_ok);
+    // Both engines are period-optimal, so every gap is exactly 0 — the
+    // acceptance criterion behind the optimality_gap export column.
+    EXPECT_EQ(res.optimality_gap, 0);
+  }
+
+  // The same cells must agree across engines on the achieved period: the
+  // exact certificate and the heuristic witness describe one optimum.
+  for (const SweepResult& a : run.results) {
+    for (const SweepResult& b : run.results) {
+      if (a.cell.benchmark == b.cell.benchmark) {
+        EXPECT_EQ(a.period, b.period) << a.cell.benchmark;
+      }
+    }
+  }
+}
+
+TEST(ExactDifferential, ResourceConstrainedEnginesReportNonNegativeGaps) {
+  // Rotation and modulo schedule under a finite resource model, so their
+  // period may exceed the resource-oblivious exact minimum — the gap is the
+  // new science axis. It must never be negative (the exact engine is a true
+  // lower bound) and engine-less transforms must not carry a gap at all.
+  const SweepRun run = run_sweep(
+      SweepConfig()
+          .benchmarks(table_benchmark_names())
+          .engines({Engine::kRotation, Engine::kModulo})
+          .transforms({Transform::kOriginal, Transform::kRetimedCsr})
+          .factors({})
+          .trip_counts({13})
+          .threads(0));
+  for (const SweepResult& res : run.results) {
+    SCOPED_TRACE(res.cell.benchmark + " engine=" +
+                 std::string(to_string(res.cell.engine)) + " transform=" +
+                 std::string(to_string(res.cell.transform)));
+    if (!res.feasible) continue;  // modulo may legitimately find no schedule
+    if (res.cell.transform == Transform::kOriginal) {
+      EXPECT_EQ(res.optimality_gap, -1);  // no engine ran: no gap defined
+    } else {
+      EXPECT_GE(res.optimality_gap, 0);
+    }
+  }
+}
+
+TEST(ExactDifferential, GapColumnRoundTripsThroughJournalAndExports) {
+  const SweepRun run = run_sweep(SweepConfig()
+                                     .benchmarks({table_benchmark_names().front()})
+                                     .engines({Engine::kOptExact})
+                                     .transforms({Transform::kRetimedCsr})
+                                     .factors({})
+                                     .trip_counts({13}));
+  ASSERT_EQ(run.results.size(), 1u);
+  const SweepResult& res = run.results.front();
+  ASSERT_TRUE(res.feasible) << res.error;
+  EXPECT_EQ(res.optimality_gap, 0);
+
+  // Journal payload codec round-trips the new field.
+  SweepResult replayed;
+  ASSERT_TRUE(
+      from_journal_payload(to_journal_payload(res), res.cell, replayed));
+  EXPECT_EQ(replayed.optimality_gap, res.optimality_gap);
+
+  // Exports carry the column: CSV appends it after `verified`, JSON keys it.
+  const std::string csv = to_csv(run.results);
+  EXPECT_NE(csv.find("optimality_gap"), std::string::npos);
+  EXPECT_NE(csv.find(",yes,0\n"), std::string::npos);
+  const std::string json = to_json(run.results);
+  EXPECT_NE(json.find("\"optimality_gap\": 0"), std::string::npos);
+
+  // Engine-less transforms export "-" in CSV and -1 in JSON.
+  const SweepRun original = run_sweep(SweepConfig()
+                                          .benchmarks({res.cell.benchmark})
+                                          .transforms({Transform::kOriginal})
+                                          .factors({})
+                                          .trip_counts({13}));
+  ASSERT_EQ(original.results.size(), 1u);
+  EXPECT_EQ(original.results.front().optimality_gap, -1);
+  EXPECT_NE(to_csv(original.results).find(",-\n"), std::string::npos);
+  EXPECT_NE(to_json(original.results).find("\"optimality_gap\": -1"),
+            std::string::npos);
+}
+
+TEST(ExactDifferential, RandomGraphsAgreeAcrossHeuristicAndExact) {
+  // ≥100 random DFGs: the heuristic's period must equal the certified
+  // optimum, and both witnesses must be legal retimings achieving it. This
+  // is the randomized leg of the acceptance criterion.
+  SplitMix64 rng(0xD1FFE4ull);
+  RandomDfgOptions options;
+  for (int trial = 0; trial < 120; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    const DataFlowGraph g = random_dfg(rng, options);
+    const OptimalRetiming heuristic = minimum_period_retiming(g);
+    const ExactRetiming exact = exact_optimal_retiming(g);
+    EXPECT_EQ(heuristic.period, exact.period);
+    EXPECT_TRUE(is_legal_retiming(g, heuristic.retiming));
+    EXPECT_TRUE(is_legal_retiming(g, exact.retiming));
+    EXPECT_LE(cycle_period(apply_retiming(g, exact.retiming)), exact.period);
+    EXPECT_LE(cycle_period(apply_retiming(g, heuristic.retiming)),
+              heuristic.period);
+  }
+}
+
+}  // namespace
+}  // namespace csr::driver

@@ -1,0 +1,190 @@
+// Tests for the exact branch-and-bound retiming engine (retiming/exact.hpp):
+// agreement with the heuristic on the six paper benchmarks (gap == 0), the
+// heuristic-period ≥ exact-period property on random DFGs, the log2
+// termination bound on branch-and-bound nodes, the storage-minimal secondary
+// objective, and the overflow hardening of the Bellman–Ford core the engine
+// branches over.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/algorithms.hpp"
+#include "dfg/iteration_bound.hpp"
+#include "dfg/random.hpp"
+#include "retiming/constraints.hpp"
+#include "retiming/exact.hpp"
+#include "retiming/min_storage.hpp"
+#include "retiming/opt.hpp"
+#include "support/rng.hpp"
+
+namespace csr {
+namespace {
+
+std::uint64_t log2_ceil(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  while ((1ull << bits) < n) ++bits;
+  return bits;
+}
+
+// --- agreement with the heuristic --------------------------------------------
+
+TEST(ExactRetiming, GapIsZeroOnAllSixPaperBenchmarks) {
+  // The heuristic OPT search is provably period-optimal for pure retiming,
+  // so the exact engine must certify every paper benchmark at the same
+  // period — the optimality_gap column is 0 across Tables 1–4.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    SCOPED_TRACE(info.name);
+    const DataFlowGraph g = info.factory();
+    const OptimalRetiming heuristic = minimum_period_retiming(g);
+    const ExactRetiming exact = exact_optimal_retiming(g);
+    EXPECT_EQ(exact.period, heuristic.period);
+    EXPECT_TRUE(is_legal_retiming(g, exact.retiming));
+    EXPECT_LE(cycle_period(apply_retiming(g, exact.retiming)), exact.period);
+  }
+}
+
+TEST(ExactRetiming, HeuristicNeverBeatsExactOnRandomGraphs) {
+  SplitMix64 rng(0xE4AC7ull);
+  RandomDfgOptions options;
+  for (int trial = 0; trial < 150; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    const DataFlowGraph g = random_dfg(rng, options);
+    const OptimalRetiming heuristic = minimum_period_retiming(g);
+    const ExactRetiming exact = exact_optimal_retiming(g);
+    // The exact period is a certified minimum: nothing beats it, and the
+    // (also-optimal) heuristic must land exactly on it.
+    EXPECT_GE(heuristic.period, exact.period);
+    EXPECT_EQ(heuristic.period, exact.period);
+    // The certificate respects the rate bound.
+    if (const auto bound = iteration_bound(g)) {
+      EXPECT_GE(exact.period, bound->ceil());
+    }
+  }
+}
+
+// --- branch-and-bound mechanics ----------------------------------------------
+
+TEST(ExactRetiming, NodeCountRespectsTheLog2TerminationBound) {
+  SplitMix64 rng(0xB0B5ull);
+  RandomDfgOptions options;
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    const DataFlowGraph g = random_dfg(rng, options);
+    const ExactRetiming exact = exact_optimal_retiming(g);
+    const ExactRetimingStats& s = exact.stats;
+    ASSERT_GT(s.candidates_total, 0u);
+    // One subtree dies per solve, plus at most one witness re-solve at the
+    // collapsed interval: ≤ ⌈log2 K⌉ + 1 nodes (docs/THEORY.md).
+    const std::uint64_t surviving = s.candidates_total - s.candidates_pruned;
+    EXPECT_LE(s.nodes_explored, log2_ceil(surviving) + 1);
+    EXPECT_LE(s.backtracks, s.nodes_explored);
+    EXPECT_LE(s.candidates_pruned, s.candidates_total);
+  }
+}
+
+TEST(ExactRetiming, IterationBoundPruneNeverCutsTheOptimum) {
+  // Pruning candidates below ⌈B⌉ is safe: the optimum is itself ≥ ⌈B⌉.
+  for (const auto& info : benchmarks::table_benchmarks()) {
+    SCOPED_TRACE(info.name);
+    const DataFlowGraph g = info.factory();
+    const ExactRetiming exact = exact_optimal_retiming(g);
+    if (const auto bound = iteration_bound(g)) {
+      EXPECT_GE(exact.period, bound->ceil());
+    }
+  }
+}
+
+// --- secondary objective -----------------------------------------------------
+
+TEST(ExactRetiming, WitnessIsStorageMinimalAtTheOptimalPeriod) {
+  SplitMix64 rng(0x5709A6Eull);
+  RandomDfgOptions options;
+  for (int trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    const DataFlowGraph g = random_dfg(rng, options);
+    const ExactRetiming exact = exact_optimal_retiming(g);
+    EXPECT_EQ(exact.total_storage, total_delays_after(g, exact.retiming));
+    // min_storage_retiming is the storage optimum at this period; the
+    // engine's witness must match its storage exactly.
+    const auto reference = min_storage_retiming(g, exact.period);
+    ASSERT_TRUE(reference.has_value());
+    EXPECT_EQ(exact.total_storage, total_delays_after(g, *reference));
+    // And no worse than the heuristic pipeline's witness.
+    const OptimalRetiming heuristic = minimum_period_retiming(g);
+    EXPECT_LE(exact.total_storage, total_delays_after(g, heuristic.retiming));
+  }
+}
+
+TEST(ExactRetiming, PlainWitnessModeSkipsStorageMinimization) {
+  const DataFlowGraph g = benchmarks::table_benchmarks().front().factory();
+  ExactRetimingOptions options;
+  options.minimize_storage = false;
+  const ExactRetiming exact = exact_optimal_retiming(g, options);
+  EXPECT_TRUE(is_legal_retiming(g, exact.retiming));
+  EXPECT_LE(cycle_period(apply_retiming(g, exact.retiming)), exact.period);
+  EXPECT_EQ(exact.period, exact_minimum_period(g));
+}
+
+// --- overflow hardening of the Bellman–Ford core -----------------------------
+
+TEST(SolveDifferenceConstraints, AdversarialWeightsNearInt64ExtremesAreSafe) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  {
+    // Negative cycle whose relaxations would underflow int64 within two
+    // passes: x1 − x0 ≤ kMin + 1, x0 − x1 ≤ −2. Must report infeasible, not
+    // wrap around.
+    const auto solution =
+        solve_difference_constraints(2, {{0, 1, kMin + 1}, {1, 0, -2}});
+    EXPECT_FALSE(solution.has_value());
+  }
+  {
+    // Feasible but extreme: a single huge negative bound is satisfiable and
+    // its Bellman–Ford solution is exactly that bound.
+    const auto solution = solve_difference_constraints(2, {{0, 1, kMin + 1}});
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_EQ((*solution)[0], 0);
+    EXPECT_EQ((*solution)[1], kMin + 1);
+    EXPECT_LE((*solution)[1] - (*solution)[0], kMin + 1);
+  }
+  {
+    // A chain of huge negative bounds whose sum leaves int64: feasible in
+    // the rationals, unrepresentable in the result vector — the explicit
+    // infeasibility signal, never UB.
+    const auto solution = solve_difference_constraints(
+        3, {{0, 1, kMin + 1}, {1, 2, kMin + 1}});
+    EXPECT_FALSE(solution.has_value());
+  }
+  {
+    // Huge positive bounds never bind (distances start at 0 and only
+    // decrease), even mixed with normal constraints.
+    const auto solution = solve_difference_constraints(
+        3, {{0, 1, kMax}, {1, 2, -5}, {0, 2, kMax - 1}});
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_LE((*solution)[2] - (*solution)[1], -5);
+  }
+  {
+    // Zero-length negative cycle via a self-loop-style pair at the extreme.
+    const auto solution =
+        solve_difference_constraints(2, {{0, 1, kMin + 1}, {1, 0, kMin + 1}});
+    EXPECT_FALSE(solution.has_value());
+  }
+}
+
+TEST(SolveDifferenceConstraints, StillSolvesOrdinarySystems) {
+  // Regression guard: the hardened path must not change ordinary results.
+  const auto solution = solve_difference_constraints(
+      3, {{0, 1, 2}, {1, 2, -1}, {0, 2, 0}});
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_LE((*solution)[1] - (*solution)[0], 2);
+  EXPECT_LE((*solution)[2] - (*solution)[1], -1);
+  EXPECT_LE((*solution)[2] - (*solution)[0], 0);
+}
+
+}  // namespace
+}  // namespace csr

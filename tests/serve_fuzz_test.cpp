@@ -16,6 +16,7 @@
 
 #include "serve/http.hpp"
 #include "serve/json.hpp"
+#include "serve/service.hpp"
 #include "support/rng.hpp"
 
 namespace csr::serve {
@@ -176,6 +177,11 @@ const std::string kValidJson[] = {
     R"({"benchmarks":["IIR Filter","Figure 1"],"factors":[2,3],"verify":true})",
     R"([1,-2.5,3e4,"é😀",null,{"a":[{}]},false])",
     R"({"s":"line\nbreak\ttab\\slash\"quote","n":-0.125e-3})",
+    // Numeric extremes: int64 boundaries and just-out-of-range literals, so
+    // the mutator explores the strtoll ERANGE edge from both sides.
+    R"([9223372036854775807,-9223372036854775808,9223372036854775808,
+        -9223372036854775809,18446744073709551615,1e18])",
+    R"({"trip_counts":[99999999999999999999],"factors":[3]})",
 };
 
 TEST(ServeFuzz, JsonParserSurvivesRandomBytes) {
@@ -204,6 +210,59 @@ TEST(ServeFuzz, JsonParserSurvivesMutatedDocuments) {
     }
   });
   EXPECT_GT(accepted, 0);
+}
+
+TEST(ServeFuzz, JsonIntegerRangeEdgeIsExact) {
+  // int64 boundaries parse exactly; one past either boundary loses the
+  // exact view but is *flagged* out-of-range rather than silently clamped
+  // to LLONG_MIN/MAX (the strtoll ERANGE bug).
+  const auto parsed = parse_json(
+      R"([9223372036854775807,-9223372036854775808,
+          9223372036854775808,-9223372036854775809])");
+  ASSERT_TRUE(parsed.has_value());
+  const auto& items = parsed->as_array();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].as_int(), std::optional<std::int64_t>{INT64_MAX});
+  EXPECT_EQ(items[1].as_int(), std::optional<std::int64_t>{INT64_MIN});
+  EXPECT_FALSE(items[0].int_out_of_range());
+  EXPECT_FALSE(items[1].int_out_of_range());
+  for (std::size_t i = 2; i < 4; ++i) {
+    EXPECT_FALSE(items[i].as_int().has_value()) << i;
+    EXPECT_TRUE(items[i].int_out_of_range()) << i;
+  }
+  // Non-integral literals never carry the flag, however extreme.
+  const auto big_float = parse_json("[1.5e300]");
+  ASSERT_TRUE(big_float.has_value());
+  EXPECT_FALSE(big_float->as_array()[0].int_out_of_range());
+}
+
+TEST(ServeFuzz, OutOfRangeIntegersInQueriesAreTyped422s) {
+  // End to end through the query parser: an out-of-range trip count must be
+  // a 422 naming the range problem, not a crash, a clamp, or a generic
+  // "not an integer".
+  const char* bodies[] = {
+      R"({"benchmarks":["IIR Filter"],"trip_counts":[99999999999999999999]})",
+      R"({"benchmarks":["IIR Filter"],"trip_counts":[-99999999999999999999]})",
+      R"({"benchmarks":["IIR Filter"],"factors":[18446744073709551616]})",
+  };
+  for (const char* body : bodies) {
+    QueryResult rejection;
+    EXPECT_FALSE(parse_query(body, &rejection).has_value()) << body;
+    EXPECT_EQ(rejection.status, 422) << body;
+    EXPECT_NE(rejection.error.find("out of range"), std::string::npos)
+        << rejection.error;
+  }
+  // The boundary itself is *in* range: it must get past the integer check
+  // (trip counts have no further range clamp, so this one executes — keep
+  // it to a parse-only assertion via an invalid benchmark).
+  QueryResult rejection;
+  EXPECT_FALSE(parse_query(
+                   R"({"benchmarks":["no such graph"],
+                       "trip_counts":[9223372036854775807]})",
+                   &rejection)
+                   .has_value());
+  EXPECT_EQ(rejection.status, 422);
+  EXPECT_NE(rejection.error.find("unknown benchmark"), std::string::npos);
 }
 
 TEST(ServeFuzz, JsonDeepNestingNeverOverflowsTheStack) {

@@ -17,6 +17,7 @@
 #include "dfg/io.hpp"
 #include "driver/config.hpp"
 #include "driver/export.hpp"
+#include "serve/cache.hpp"
 #include "serve/service.hpp"
 #include "support/hash.hpp"
 
@@ -100,7 +101,7 @@ TEST(KeyPinning, JournalKeyIsTheSharedContentKey) {
   ASSERT_FALSE(dfg_text.empty());
 
   const std::string expected =
-      content_key('c', {"sweep-v1", cell.benchmark, dfg_text,
+      content_key('c', {"sweep-v2", cell.benchmark, dfg_text,
                         std::string(to_string(cell.engine)),
                         std::string(to_string(cell.exec)),
                         std::string(to_string(cell.transform)),
@@ -119,6 +120,38 @@ TEST(KeyPinning, ContentKeyFieldFramingResistsConcatenation) {
   EXPECT_NE(content_key('x', {}), content_key('y', {}));
   // Deterministic across calls.
   EXPECT_EQ(content_key('c', {"a", "b"}), content_key('c', {"a", "b"}));
+}
+
+// --- cache capacity accounting ----------------------------------------------
+
+TEST(ShardedLruCache, TotalCapacityIsExact) {
+  // The per-shard budgets must sum to exactly the configured capacity:
+  // rounding each shard up used to let a 16-shard cache exceed it by up to
+  // shards−1 entries. Overfill with keys landing on every shard and assert
+  // the hard bound holds.
+  for (const std::size_t capacity : {16u, 17u, 100u, 1000u}) {
+    ShardedLruCache cache(capacity, 16);
+    ASSERT_EQ(cache.shard_count(), 16u);
+    EXPECT_EQ(cache.capacity(), capacity);
+    for (int i = 0; i < 4096; ++i) {
+      cache.put("key-" + std::to_string(i), "payload");
+    }
+    EXPECT_LE(cache.size(), capacity) << "capacity " << capacity;
+    // The distribution is exact, not conservative: a fully hammered cache
+    // should also fill close to its budget (every shard got ≥ base keys).
+    EXPECT_GE(cache.size(), capacity - cache.shard_count());
+  }
+}
+
+TEST(ShardedLruCache, CapacityBelowShardCountKeepsOnePerShard) {
+  // The documented floor: at least one entry per shard, so tiny capacities
+  // are raised to shard_count rather than starving shards to zero.
+  ShardedLruCache cache(3, 16);
+  EXPECT_EQ(cache.capacity(), cache.shard_count());
+  for (int i = 0; i < 512; ++i) {
+    cache.put("k" + std::to_string(i), "v");
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
 }
 
 // --- execution, cache, byte-identity ----------------------------------------
