@@ -48,6 +48,12 @@ std::string to_csv(const std::vector<SweepResult>& results,
     } else {
       out << '-';  // engine-less transform: no gap is defined
     }
+    out << ',';
+    if (r.measured_size >= 0) {
+      out << r.measured_size;
+    } else {
+      out << '-';  // no codegen ran for this cell
+    }
     out << '\n';
   }
   return out.str();
@@ -79,7 +85,8 @@ std::string to_json(const std::vector<SweepResult>& results,
         << ", \"engine_fallback\": " << (r.engine_fallback ? "true" : "false")
         << ", \"fallback_reason\": \"" << json_escape(r.fallback_reason)
         << "\", \"evaluated\": " << (r.evaluated ? "true" : "false")
-        << ", \"optimality_gap\": " << r.optimality_gap;
+        << ", \"optimality_gap\": " << r.optimality_gap
+        << ", \"measured_size\": " << r.measured_size;
     if (options.include_timing) {
       out << ", \"exec_seconds\": " << r.exec_seconds
           << ", \"from_cache\": " << (r.from_cache ? "true" : "false")

@@ -18,7 +18,7 @@ namespace csr::driver {
 inline constexpr std::string_view kCsvColumns[] = {
     "benchmark", "transform", "factor",    "n",    "iteration_bound",
     "period",    "depth",     "registers", "size", "verified",
-    "optimality_gap",
+    "optimality_gap", "measured_size",
 };
 
 /// The CSV header line, trailing newline included:
@@ -43,7 +43,7 @@ inline constexpr std::string_view kJsonKeys[] = {
     "skipped",       "skip_reason",    "iteration_bound", "period",
     "depth",         "registers",      "code_size",       "predicted_size",
     "verified",      "discipline_ok",  "exec_statements", "engine_fallback",
-    "fallback_reason", "evaluated",    "optimality_gap",
+    "fallback_reason", "evaluated",    "optimality_gap",  "measured_size",
 };
 
 }  // namespace csr::driver

@@ -20,6 +20,7 @@
 #include "dfg/io.hpp"
 #include "dfg/iteration_bound.hpp"
 #include "driver/scheduler.hpp"
+#include "loopir/pipeline.hpp"
 #include "native/engine.hpp"
 #include "observe/observe.hpp"
 #include "retiming/exact.hpp"
@@ -162,9 +163,11 @@ void backoff_sleep(const SweepCell& cell, int attempt, const RetryPolicy& policy
 // arbitrary diagnostics round-trip. The outer journal layer handles line
 // framing and checksums.
 
-// v2: appended optimality_gap. Old journals fail the version check and the
-// affected cells simply re-execute — never a silent misparse.
-constexpr std::string_view kPayloadVersion = "sweep-v2";
+// v2: appended optimality_gap. v3: appended measured_size (and cells now
+// execute the peephole-optimized program, so older payloads describe a
+// different run). Old journals fail the version check and the affected cells
+// simply re-execute — never a silent misparse.
+constexpr std::string_view kPayloadVersion = "sweep-v3";
 
 std::string field_escape(const std::string& s) {
   std::string out;
@@ -317,13 +320,14 @@ std::string to_journal_payload(const SweepResult& r) {
   add(r.engine_fallback ? "1" : "0");
   add(field_escape(r.fallback_reason));
   add(std::to_string(r.optimality_gap));
+  add(std::to_string(r.measured_size));
   return out;
 }
 
 bool from_journal_payload(const std::string& payload, const SweepCell& cell,
                           SweepResult& result) {
   const std::vector<std::string> f = split_fields(payload);
-  if (f.size() != 18 || f[0] != kPayloadVersion) return false;
+  if (f.size() != 19 || f[0] != kPayloadVersion) return false;
   SweepResult r;
   r.cell = cell;
   std::int64_t period_num = 0;
@@ -338,7 +342,8 @@ bool from_journal_payload(const std::string& payload, const SweepCell& cell,
       !parse_bool(f[13], r.discipline_ok) || !parse_i64(f[14], r.exec_statements) ||
       !parse_bool(f[15], r.engine_fallback) ||
       !field_unescape(f[16], r.fallback_reason) ||
-      !parse_i64(f[17], r.optimality_gap)) {
+      !parse_i64(f[17], r.optimality_gap) ||
+      !parse_i64(f[18], r.measured_size)) {
     return false;
   }
   if (period_den <= 0 || depth < INT32_MIN || depth > INT32_MAX) return false;
@@ -454,6 +459,16 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
     }
 
     res.code_size = program.code_size();
+
+    // Run the fixpoint peephole pipeline and account the *measured* size
+    // next to the closed-form prediction. Verification below executes the
+    // optimized program against the original loop's expected state, so every
+    // verified cell doubles as a live optimizer differential — across the
+    // VM, the map interpreter and the native C emitter alike.
+    PipelineResult optimized = optimize_pipeline(program);
+    res.measured_size = optimized.program.code_size();
+    program = std::move(optimized.program);
+
     if (options.verify) {
       const std::vector<std::string> arrays = array_names(g);
       // The expected state always comes from the fast VM on the original

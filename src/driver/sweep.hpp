@@ -188,6 +188,12 @@ struct SweepResult {
   std::int64_t registers = 0;   ///< conditional registers
   std::int64_t code_size = 0;   ///< generated program's instruction count
   std::int64_t predicted_size = -1;  ///< closed-form model; -1 = no formula
+  /// Instruction count after the fixpoint peephole pipeline
+  /// (loopir/pipeline.hpp) ran over the generated program — the *measured*
+  /// size the verifying execution actually ran, vs. the closed-form
+  /// `predicted_size`. Never exceeds `code_size`; −1 ("-" in CSV) when no
+  /// codegen ran (infeasible / unevaluated cells).
+  std::int64_t measured_size = -1;
   bool verified = false;             ///< equivalent to the original loop
   bool discipline_ok = false;        ///< write-discipline check passed
   /// Statements the cell's engine executed while verifying (0 unverified).
@@ -279,7 +285,8 @@ struct SweepGrid {
   std::vector<ExecEngine> exec_engines = {ExecEngine::kVm};
   std::vector<Transform> transforms = {
       Transform::kOriginal,           Transform::kRetimed,
-      Transform::kRetimedCsr,         Transform::kRetimedUnfolded,
+      Transform::kRetimedCsr,         Transform::kUnfolded,
+      Transform::kUnfoldedCsr,        Transform::kRetimedUnfolded,
       Transform::kRetimedUnfoldedCsr, Transform::kUnfoldedRetimed,
       Transform::kUnfoldedRetimedCsr,
   };

@@ -1,158 +1,25 @@
 #include "loopir/optimizer.hpp"
 
-#include <map>
-#include <set>
-#include <string>
+#include <utility>
 
-#include "support/check.hpp"
-#include "support/error.hpp"
-#include "support/text.hpp"
+#include "loopir/pipeline.hpp"
 
 namespace csr {
 
-namespace {
-
-/// Classification of one guarded instruction over all trips of its segment.
-enum class GuardFate { kAlwaysEnabled, kNeverEnabled, kMixed };
-
-struct RegisterState {
-  std::int64_t value = 0;  // value on entry to the current segment
-  bool initialized = false;
-};
-
-GuardFate classify(std::int64_t entry_value, std::int64_t decs_before_in_trip,
-                   std::int64_t decs_per_trip, std::int64_t trips, std::int64_t n) {
-  // p(k) = entry − decs_before − k·decs_per_trip for trip k = 0..trips−1;
-  // monotonically non-increasing in k, window is 0 ≥ p > −n.
-  const std::int64_t first = entry_value - decs_before_in_trip;
-  const std::int64_t last = first - (trips - 1) * decs_per_trip;
-  const bool all_enabled = first <= 0 && last > -n;
-  if (all_enabled) return GuardFate::kAlwaysEnabled;
-  // Never enabled iff no k has −n < p(k) ≤ 0. With p non-increasing this
-  // means the window is skipped entirely: either the last value is still
-  // positive, the first is already ≤ −n, or the decrement jumps over the
-  // whole window between two trips.
-  if (last > 0 || first <= -n) return GuardFate::kNeverEnabled;
-  if (decs_per_trip == 0) {
-    // Constant value: enabled for all trips or none.
-    return (first <= 0 && first > -n) ? GuardFate::kAlwaysEnabled
-                                      : GuardFate::kNeverEnabled;
-  }
-  // Does some k land inside (−n, 0]? The smallest k with p(k) ≤ 0 is
-  // k0 = ⌈first / decs⌉ (for first > 0; otherwise k0 = 0).
-  std::int64_t k0 = 0;
-  if (first > 0) {
-    k0 = (first + decs_per_trip - 1) / decs_per_trip;
-  }
-  if (k0 >= trips) return GuardFate::kNeverEnabled;
-  const std::int64_t at_k0 = first - k0 * decs_per_trip;
-  if (at_k0 <= -n) return GuardFate::kNeverEnabled;  // jumped past the window
-  return GuardFate::kMixed;
-}
-
-}  // namespace
-
 OptimizationReport optimize_program(const LoopProgram& program) {
-  {
-    const auto problems = program.validate();
-    if (!problems.empty()) {
-      throw InvalidArgument("cannot optimize invalid program: " + join(problems, "; "));
-    }
-  }
+  PipelineResult result = optimize_pipeline(program);
 
+  // The legacy report's categories map onto the pipeline totals:
+  // `registers_removed` has always meant "setup/decrement instructions that
+  // disappeared", whichever pass retired them — plain dce deletions,
+  // coalesced decrement pairs and setup-absorbed decrements all qualify.
   OptimizationReport report;
-  report.program = program;
-  std::map<std::string, RegisterState> registers;
-
-  // Pass 1: classify every guard and rewrite statements.
-  for (LoopSegment& seg : report.program.segments) {
-    const std::int64_t trips = seg.trip_count();
-
-    // Decrement totals per register for one trip of this segment.
-    std::map<std::string, std::int64_t> per_trip;
-    for (const Instruction& instr : seg.instructions) {
-      if (instr.kind == InstrKind::kDecrement) per_trip[instr.reg] += instr.value;
-    }
-
-    std::map<std::string, std::int64_t> before;  // decrements so far this trip
-    std::vector<Instruction> rewritten;
-    rewritten.reserve(seg.instructions.size());
-    for (const Instruction& instr : seg.instructions) {
-      switch (instr.kind) {
-        case InstrKind::kSetup:
-          registers[instr.reg] = RegisterState{instr.value, true};
-          rewritten.push_back(instr);
-          break;
-        case InstrKind::kDecrement:
-          before[instr.reg] += instr.value;
-          rewritten.push_back(instr);
-          break;
-        case InstrKind::kStatement: {
-          if (instr.guard.empty() || trips == 0) {
-            rewritten.push_back(instr);
-            break;
-          }
-          const RegisterState& state = registers.at(instr.guard);
-          CSR_ENSURE(state.initialized, "validated program with uninitialized guard");
-          const GuardFate fate =
-              classify(state.value, before[instr.guard],
-                       per_trip.count(instr.guard) ? per_trip[instr.guard] : 0, trips,
-                       report.program.n);
-          switch (fate) {
-            case GuardFate::kAlwaysEnabled: {
-              Instruction unguarded = instr;
-              unguarded.guard.clear();
-              rewritten.push_back(std::move(unguarded));
-              ++report.guards_dropped;
-              break;
-            }
-            case GuardFate::kNeverEnabled:
-              ++report.statements_removed;
-              break;
-            case GuardFate::kMixed:
-              rewritten.push_back(instr);
-              break;
-          }
-          break;
-        }
-      }
-    }
-    seg.instructions = std::move(rewritten);
-
-    // Advance register values across this segment.
-    for (const auto& [reg, amount] : per_trip) {
-      registers[reg].value -= trips * amount;
-    }
-  }
-
-  // Pass 2: retire registers no guard references any more.
-  std::set<std::string> live;
-  for (const LoopSegment& seg : report.program.segments) {
-    for (const Instruction& instr : seg.instructions) {
-      if (instr.kind == InstrKind::kStatement && !instr.guard.empty()) {
-        live.insert(instr.guard);
-      }
-    }
-  }
-  for (LoopSegment& seg : report.program.segments) {
-    std::vector<Instruction> kept;
-    kept.reserve(seg.instructions.size());
-    for (Instruction& instr : seg.instructions) {
-      const bool dead_register_op =
-          (instr.kind == InstrKind::kSetup || instr.kind == InstrKind::kDecrement) &&
-          live.count(instr.reg) == 0;
-      if (dead_register_op) {
-        ++report.registers_removed;
-      } else {
-        kept.push_back(std::move(instr));
-      }
-    }
-    seg.instructions = std::move(kept);
-  }
-
-  // Drop segments that became empty.
-  std::erase_if(report.program.segments,
-                [](const LoopSegment& seg) { return seg.instructions.empty(); });
+  report.guards_dropped = result.totals.guards_dropped;
+  report.statements_removed = result.totals.statements_removed;
+  report.registers_removed = result.totals.register_ops_removed +
+                             result.totals.decrements_coalesced +
+                             result.totals.setups_folded;
+  report.program = std::move(result.program);
   return report;
 }
 

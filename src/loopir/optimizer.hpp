@@ -1,16 +1,18 @@
 #pragma once
 
 /// \file optimizer.hpp
-/// Guard simplification for loop programs. Conditional-register values are
-/// fully determined at compile time: a register is set up once and then
-/// decremented by constants, so its value at any instruction of any trip is
-/// an affine function of the trip index. This pass evaluates each guard's
-/// window exactly and
+/// Guard simplification for loop programs — the legacy single-call facade
+/// over the fixpoint pass pipeline (pipeline.hpp). Conditional-register
+/// values are fully determined at compile time: a register is set up once
+/// and then decremented by constants, so its value at any instruction of any
+/// trip is an affine function of the trip index. The pipeline evaluates each
+/// guard's window exactly and
 ///
 ///   * drops guards that are enabled on every trip of their segment,
 ///   * deletes statements whose guard never enables,
-///   * removes setups and decrements of registers no guard references
-///     afterwards.
+///   * removes setups and decrements no guard observes afterwards,
+///   * coalesces decrements across unfolded copies and folds decrements
+///     into their setups where nothing observes the intermediate value.
 ///
 /// The interesting consequence for the paper's framework: when the trip
 /// count divides the unfolding factor (no remainder) or n is known at

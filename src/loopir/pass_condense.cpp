@@ -1,0 +1,104 @@
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loopir/passes.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Does `instr` reference register `reg` at all (as guard, setup target or
+/// decrement target)? References are the merge barriers: a decrement may
+/// only travel forward across instructions that never look at its register.
+bool references(const Instruction& instr, const std::string& reg) {
+  switch (instr.kind) {
+    case InstrKind::kStatement:
+      return instr.guard == reg;
+    case InstrKind::kSetup:
+    case InstrKind::kDecrement:
+      return instr.reg == reg;
+  }
+  return false;
+}
+
+}  // namespace
+
+PassChanges condense_pass(LoopProgram& program) {
+  PassChanges changes;
+
+  // Coalesce decrements: within one segment body, `dec r a; …; dec r b`
+  // merges into `dec r (a+b)` at the later position when no instruction in
+  // between references r. Legal because guards are the only observers of r
+  // and every observation point keeps its exact prefix sum; the per-trip
+  // total (and therefore the value entering every later trip and segment)
+  // is unchanged. Merges never cross a trip boundary: the scan is a single
+  // forward walk over the body list.
+  for (LoopSegment& seg : program.segments) {
+    if (seg.trip_count() == 0) continue;  // never executes; handled below
+    // reg → index (into `kept`) of a decrement still eligible to merge.
+    std::map<std::string, std::size_t> pending;
+    std::vector<Instruction> kept;
+    kept.reserve(seg.instructions.size());
+    for (Instruction& instr : seg.instructions) {
+      if (instr.kind == InstrKind::kDecrement) {
+        const auto it = pending.find(instr.reg);
+        if (it != pending.end()) {
+          Instruction& prev = kept[it->second];
+          // Both amounts are positive; merge only when the sum stays in
+          // range (Instruction::decrement requires a representable amount).
+          if (prev.value <= std::numeric_limits<std::int64_t>::max() - instr.value) {
+            instr.value += prev.value;
+            kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(it->second));
+            for (auto& [reg, idx] : pending) {
+              if (idx > it->second) --idx;
+            }
+            ++changes.decrements_coalesced;
+          }
+        }
+        kept.push_back(std::move(instr));
+        pending[kept.back().reg] = kept.size() - 1;
+        continue;
+      }
+      // A setup of r is a barrier too: merging a decrement across it would
+      // change the value the re-setup overwrites vs. the value after it.
+      for (auto it = pending.begin(); it != pending.end();) {
+        it = references(instr, it->first) ? pending.erase(it) : std::next(it);
+      }
+      kept.push_back(std::move(instr));
+    }
+    seg.instructions = std::move(kept);
+  }
+
+  // NOP condensing: a zero-trip segment executes nothing, so its statements
+  // and decrements can go. Segments holding a setup are kept untouched —
+  // removing a setup, even one that never executes, could strip the
+  // syntactic setup-before-use witness validate() checks.
+  std::erase_if(program.segments, [&](const LoopSegment& seg) {
+    if (seg.trip_count() != 0) return false;
+    for (const Instruction& instr : seg.instructions) {
+      if (instr.kind == InstrKind::kSetup) return false;
+    }
+    for (const Instruction& instr : seg.instructions) {
+      if (instr.kind == InstrKind::kStatement) {
+        ++changes.statements_removed;
+      } else {
+        ++changes.register_ops_removed;
+      }
+    }
+    ++changes.segments_removed;
+    return true;
+  });
+
+  // And segments that other passes emptied out.
+  std::erase_if(program.segments, [&](const LoopSegment& seg) {
+    if (!seg.instructions.empty()) return false;
+    ++changes.segments_removed;
+    return true;
+  });
+  return changes;
+}
+
+}  // namespace csr

@@ -1,0 +1,81 @@
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "loopir/passes.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Is the register op at segments[s].instructions[i] (a setup or decrement
+/// of register r) observable? It is live iff some guard use of r executes
+/// after it and before the next *executed* setup of r. The scan follows
+/// runtime order: within a multi-trip segment every instruction wraps around
+/// to the next trip, so any guard use of r anywhere in such a segment counts
+/// (and such segments cannot contain setups); zero-trip segments execute
+/// nothing and are invisible.
+bool live(const LoopProgram& program, std::size_t s, std::size_t i,
+          const std::string& r) {
+  const LoopSegment& own = program.segments[s];
+  if (own.trip_count() >= 2) {
+    for (const Instruction& instr : own.instructions) {
+      if (instr.kind == InstrKind::kStatement && instr.guard == r) return true;
+    }
+  } else {
+    for (std::size_t j = i + 1; j < own.instructions.size(); ++j) {
+      const Instruction& instr = own.instructions[j];
+      if (instr.kind == InstrKind::kStatement && instr.guard == r) return true;
+      if (instr.kind == InstrKind::kSetup && instr.reg == r) return false;
+    }
+  }
+  for (std::size_t t = s + 1; t < program.segments.size(); ++t) {
+    const LoopSegment& seg = program.segments[t];
+    if (seg.trip_count() == 0) continue;
+    for (const Instruction& instr : seg.instructions) {
+      if (instr.kind == InstrKind::kStatement && instr.guard == r) return true;
+      if (instr.kind == InstrKind::kSetup && instr.reg == r) return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PassChanges dce_pass(LoopProgram& program) {
+  PassChanges changes;
+
+  // Deadness is consistent under simultaneous removal: a setup is dead only
+  // when every decrement downstream of it (before the next setup / program
+  // end) is dead too — both scans hit the same re-setup or program end — so
+  // removing all dead ops at once never leaves a decrement without its
+  // setup, and validate() stays clean. Zero-trip segments are skipped
+  // entirely: their ops never execute, but a setup there can still be the
+  // syntactic setup-before-use witness validate() wants.
+  for (std::size_t s = 0; s < program.segments.size(); ++s) {
+    LoopSegment& seg = program.segments[s];
+    if (seg.trip_count() == 0) continue;
+    // Decide first, filter second: live() re-scans this very segment, so the
+    // instruction list must stay intact until every verdict is in.
+    std::vector<bool> dead(seg.instructions.size(), false);
+    for (std::size_t i = 0; i < seg.instructions.size(); ++i) {
+      const Instruction& instr = seg.instructions[i];
+      const bool register_op =
+          instr.kind == InstrKind::kSetup || instr.kind == InstrKind::kDecrement;
+      dead[i] = register_op && !live(program, s, i, instr.reg);
+    }
+    std::vector<Instruction> kept;
+    kept.reserve(seg.instructions.size());
+    for (std::size_t i = 0; i < seg.instructions.size(); ++i) {
+      if (dead[i]) {
+        ++changes.register_ops_removed;
+      } else {
+        kept.push_back(std::move(seg.instructions[i]));
+      }
+    }
+    seg.instructions = std::move(kept);
+  }
+  return changes;
+}
+
+}  // namespace csr

@@ -1,0 +1,60 @@
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loopir/passes.hpp"
+
+namespace csr {
+
+PassChanges fold_pass(LoopProgram& program) {
+  PassChanges changes;
+
+  // Only single-trip segments qualify: there the setup and the decrement
+  // each execute exactly once, so `setup r v; …; dec r a` collapses to
+  // `setup r (v−a)` provided no guard observes r in between (a guard would
+  // see the pre-decrement value). Decrements of *other* registers and
+  // unguarded statements never observe r and are transparent. Multi-trip
+  // segments cannot contain setups at all (validate()), and a zero-trip
+  // segment executes neither instruction.
+  for (LoopSegment& seg : program.segments) {
+    if (seg.trip_count() != 1) continue;
+    // reg → index (into `kept`) of its latest setup, still unobserved.
+    std::map<std::string, std::size_t> setups;
+    std::vector<Instruction> kept;
+    kept.reserve(seg.instructions.size());
+    for (Instruction& instr : seg.instructions) {
+      switch (instr.kind) {
+        case InstrKind::kSetup:
+          kept.push_back(std::move(instr));
+          setups[kept.back().reg] = kept.size() - 1;
+          continue;
+        case InstrKind::kDecrement: {
+          const auto it = setups.find(instr.reg);
+          if (it != setups.end()) {
+            Instruction& setup = kept[it->second];
+            // The amount is positive; fold only when v−a stays in range.
+            if (setup.value >=
+                std::numeric_limits<std::int64_t>::min() + instr.value) {
+              setup.value -= instr.value;
+              ++changes.setups_folded;
+              continue;  // decrement absorbed
+            }
+          }
+          break;
+        }
+        case InstrKind::kStatement:
+          // A guard on r observes r: later decrements of r must not fold
+          // past this point into the (earlier) setup.
+          if (!instr.guard.empty()) setups.erase(instr.guard);
+          break;
+      }
+      kept.push_back(std::move(instr));
+    }
+    seg.instructions = std::move(kept);
+  }
+  return changes;
+}
+
+}  // namespace csr

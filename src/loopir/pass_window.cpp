@@ -1,0 +1,147 @@
+#include <map>
+#include <vector>
+
+#include "loopir/passes.hpp"
+#include "support/check.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Classification of one guarded instruction over all trips of its segment.
+enum class GuardFate { kAlwaysEnabled, kNeverEnabled, kMixed };
+
+// The analysis runs in 128-bit arithmetic with saturation. Register values
+// only ever decrease after setup (decrement amounts are positive), so
+// clamping a value at -kValueClamp is exact for classification purposes:
+// both the true and the clamped value are far below any window bound -n
+// (n is int64). kProductCap saturates trips×amount products the same way.
+using i128 = __int128;
+constexpr i128 kValueClamp = i128{1} << 100;
+constexpr i128 kProductCap = i128{1} << 110;
+
+/// a·b for non-negative a, b, saturated at kProductCap.
+i128 sat_mul(i128 a, i128 b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kProductCap / b) return kProductCap;
+  return a * b;
+}
+
+struct RegisterState {
+  i128 value = 0;  // value on entry to the current segment
+  bool initialized = false;
+};
+
+GuardFate classify(i128 entry_value, i128 decs_before_in_trip, i128 decs_per_trip,
+                   i128 trips, i128 n) {
+  // p(k) = entry − decs_before − k·decs_per_trip for trip k = 0..trips−1;
+  // monotonically non-increasing in k, window is 0 ≥ p > −n.
+  const i128 first = entry_value - decs_before_in_trip;
+  const i128 last = first - sat_mul(trips - 1, decs_per_trip);
+  const bool all_enabled = first <= 0 && last > -n;
+  if (all_enabled) return GuardFate::kAlwaysEnabled;
+  // Never enabled iff no k has −n < p(k) ≤ 0. With p non-increasing this
+  // means the window is skipped entirely: either the last value is still
+  // positive, the first is already ≤ −n, or the decrement jumps over the
+  // whole window between two trips.
+  if (last > 0 || first <= -n) return GuardFate::kNeverEnabled;
+  if (decs_per_trip == 0) {
+    // Constant value: enabled for all trips or none.
+    return (first <= 0 && first > -n) ? GuardFate::kAlwaysEnabled
+                                      : GuardFate::kNeverEnabled;
+  }
+  // Does some k land inside (−n, 0]? The smallest k with p(k) ≤ 0 is
+  // k0 = ⌈first / decs⌉ (for first > 0; otherwise k0 = 0).
+  i128 k0 = 0;
+  if (first > 0) {
+    k0 = (first + decs_per_trip - 1) / decs_per_trip;
+  }
+  if (k0 >= trips) return GuardFate::kNeverEnabled;
+  const i128 at_k0 = first - k0 * decs_per_trip;
+  if (at_k0 <= -n) return GuardFate::kNeverEnabled;  // jumped past the window
+  return GuardFate::kMixed;
+}
+
+}  // namespace
+
+PassChanges window_pass(LoopProgram& program) {
+  PassChanges changes;
+  std::map<std::string, RegisterState> registers;
+
+  for (LoopSegment& seg : program.segments) {
+    const std::int64_t trips = seg.trip_count();
+    // A zero-trip segment executes nothing: its setups never run (the VM
+    // would reject a later guard relying on one) and its decrements change
+    // no state. Leave it alone; condense_pass decides whether it can go.
+    if (trips == 0) continue;
+
+    // Decrement totals per register for one trip of this segment.
+    std::map<std::string, i128> per_trip;
+    for (const Instruction& instr : seg.instructions) {
+      if (instr.kind == InstrKind::kDecrement) per_trip[instr.reg] += instr.value;
+    }
+
+    std::map<std::string, i128> before;  // decrements so far this trip
+    std::vector<Instruction> rewritten;
+    rewritten.reserve(seg.instructions.size());
+    for (const Instruction& instr : seg.instructions) {
+      switch (instr.kind) {
+        case InstrKind::kSetup:
+          registers[instr.reg] = RegisterState{instr.value, true};
+          rewritten.push_back(instr);
+          break;
+        case InstrKind::kDecrement:
+          before[instr.reg] += instr.value;
+          rewritten.push_back(instr);
+          break;
+        case InstrKind::kStatement: {
+          if (instr.guard.empty()) {
+            rewritten.push_back(instr);
+            break;
+          }
+          const auto it = registers.find(instr.guard);
+          if (it == registers.end() || !it->second.initialized) {
+            // No *executed* setup reaches this guard (it only validates
+            // because of a setup in a zero-trip segment). The VM throws at
+            // runtime; keep the instruction untouched.
+            rewritten.push_back(instr);
+            break;
+          }
+          const GuardFate fate =
+              classify(it->second.value, before[instr.guard],
+                       per_trip.count(instr.guard) ? per_trip[instr.guard] : 0,
+                       trips, program.n);
+          switch (fate) {
+            case GuardFate::kAlwaysEnabled: {
+              Instruction unguarded = instr;
+              unguarded.guard.clear();
+              rewritten.push_back(std::move(unguarded));
+              ++changes.guards_dropped;
+              break;
+            }
+            case GuardFate::kNeverEnabled:
+              ++changes.statements_removed;
+              break;
+            case GuardFate::kMixed:
+              rewritten.push_back(instr);
+              break;
+          }
+          break;
+        }
+      }
+    }
+    seg.instructions = std::move(rewritten);
+
+    // Advance register values across this segment, clamped: values are
+    // monotone non-increasing, so saturating far below every window bound
+    // preserves all later classifications exactly.
+    for (const auto& [reg, amount] : per_trip) {
+      RegisterState& state = registers[reg];
+      state.value -= sat_mul(trips, amount);
+      if (state.value < -kValueClamp) state.value = -kValueClamp;
+    }
+  }
+  return changes;
+}
+
+}  // namespace csr

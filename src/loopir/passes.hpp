@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file passes.hpp
+/// The individual peephole passes the fixpoint pipeline (pipeline.hpp)
+/// iterates over generated loop programs. Each pass mutates the program in
+/// place and reports exactly what it changed; a zero `total()` is the
+/// pipeline's convergence signal.
+///
+/// Every pass preserves observable semantics (the enabled statements, in
+/// order, with identical operand values) *and* structural validity
+/// (`LoopProgram::validate()` stays clean). Every counted change strictly
+/// shrinks the triple (instructions, guarded statements, segments), which is
+/// what guarantees the pipeline reaches a fixpoint — see docs/OPTIMIZER.md
+/// for the per-pass legality arguments.
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// What one pass did to the program. The counters are disjoint: each removed
+/// instruction is counted under exactly one of statements_removed,
+/// register_ops_removed, decrements_coalesced or setups_folded.
+struct PassChanges {
+  std::int64_t guards_dropped = 0;        ///< window: always-enabled guards cleared
+  std::int64_t statements_removed = 0;    ///< window/condense: statements deleted
+  std::int64_t register_ops_removed = 0;  ///< dce/condense: setups+decrements deleted
+  std::int64_t decrements_coalesced = 0;  ///< condense: `dec r a; dec r b` merged
+  std::int64_t setups_folded = 0;         ///< fold: decrement absorbed into its setup
+  std::int64_t segments_removed = 0;      ///< condense: empty / zero-trip segments
+
+  /// Instructions this pass deleted from the program.
+  [[nodiscard]] std::int64_t instructions_removed() const {
+    return statements_removed + register_ops_removed + decrements_coalesced +
+           setups_folded;
+  }
+  /// Total change count — zero means the pass was a no-op.
+  [[nodiscard]] std::int64_t total() const {
+    return guards_dropped + instructions_removed() + segments_removed;
+  }
+
+  PassChanges& operator+=(const PassChanges& other) {
+    guards_dropped += other.guards_dropped;
+    statements_removed += other.statements_removed;
+    register_ops_removed += other.register_ops_removed;
+    decrements_coalesced += other.decrements_coalesced;
+    setups_folded += other.setups_folded;
+    segments_removed += other.segments_removed;
+    return *this;
+  }
+};
+
+/// Constant folding for register setups: in a single-trip segment, a
+/// decrement whose register was set up earlier in the same segment — with no
+/// guard observing the register in between — is absorbed into the setup's
+/// initial value (`setup r v; ...; dec r a` → `setup r v−a`).
+PassChanges fold_pass(LoopProgram& program);
+
+/// Exact guard-window analysis (the pass behind the paper-facing result):
+/// register values are affine in the trip index, so every guard's fate over
+/// all trips of its segment is decidable. Drops guards that are enabled on
+/// every trip and deletes statements whose guard never enables. Arithmetic
+/// is 128-bit with saturation, so adversarial (fuzzed) magnitudes degrade to
+/// the conservative "keep the guard" answer instead of overflowing.
+PassChanges window_pass(LoopProgram& program);
+
+/// Setup/decrement coalescing across unfolded copies plus NOP condensing:
+/// merges `dec r a; …; dec r b` into one `dec r (a+b)` when nothing between
+/// the two observes r, and erases segments that cannot execute (zero trips,
+/// no setups) or carry no instructions at all.
+PassChanges condense_pass(LoopProgram& program);
+
+/// Position-aware dead-register-op elimination: a setup or decrement is dead
+/// when no guard observes the register between it and the next setup of the
+/// same register (or the end of the program). Subsumes global "no guard
+/// references r anywhere" liveness and additionally retires overwritten
+/// setups and trailing decrements.
+PassChanges dce_pass(LoopProgram& program);
+
+}  // namespace csr

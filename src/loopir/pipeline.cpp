@@ -1,0 +1,124 @@
+#include "loopir/pipeline.hpp"
+
+#include <utility>
+
+#include "loopir/printer.hpp"
+#include "observe/metrics.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+
+namespace {
+
+/// The optimizer's slice of the metric catalogue (docs/OBSERVABILITY.md),
+/// registered once and cached — the hot path only touches atomics.
+struct OptimizerMetrics {
+  observe::Counter& runs_total;
+  observe::Counter& fixpoint_iterations;
+  observe::Counter& pass_changes;
+  observe::Counter& instructions_removed;
+  observe::Counter& nonconverged;
+  observe::Counter& fold_changes;
+  observe::Counter& window_changes;
+  observe::Counter& condense_changes;
+  observe::Counter& dce_changes;
+
+  static OptimizerMetrics& get() {
+    static OptimizerMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return OptimizerMetrics{
+          reg.counter("csr_opt_runs_total", "Fixpoint pipeline invocations"),
+          reg.counter("csr_opt_fixpoint_iterations",
+                      "Fixpoint rounds executed, summed over runs"),
+          reg.counter("csr_opt_pass_changes_total",
+                      "IR changes reported by all passes"),
+          reg.counter("csr_opt_instructions_removed_total",
+                      "Instructions deleted by the pipeline"),
+          reg.counter("csr_opt_nonconverged_total",
+                      "Runs stopped by the iteration bound (pass bug canary)"),
+          reg.counter("csr_opt_fold_changes_total", "Changes by the fold pass"),
+          reg.counter("csr_opt_window_changes_total",
+                      "Changes by the guard-window pass"),
+          reg.counter("csr_opt_condense_changes_total",
+                      "Changes by the condense pass"),
+          reg.counter("csr_opt_dce_changes_total", "Changes by the dce pass"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+struct Pass {
+  const char* name;
+  PassChanges (*run)(LoopProgram&);
+  observe::Counter* changes_counter;
+};
+
+}  // namespace
+
+PipelineResult optimize_pipeline(const LoopProgram& program,
+                                 const PipelineOptions& options) {
+  {
+    const auto problems = program.validate();
+    if (!problems.empty()) {
+      throw InvalidArgument("cannot optimize invalid program: " +
+                            join(problems, "; "));
+    }
+  }
+  OptimizerMetrics& metrics = OptimizerMetrics::get();
+  metrics.runs_total.increment();
+
+  PipelineResult result;
+  result.program = program;
+  result.size_before = program.code_size();
+  if (options.capture_snapshots) {
+    result.snapshots.push_back({"input", to_source(result.program)});
+  }
+
+  const Pass passes[] = {
+      {"fold", &fold_pass, &metrics.fold_changes},
+      {"window", &window_pass, &metrics.window_changes},
+      {"condense", &condense_pass, &metrics.condense_changes},
+      {"dce", &dce_pass, &metrics.dce_changes},
+  };
+
+  while (result.iterations < options.max_iterations) {
+    ++result.iterations;
+    std::int64_t round_changes = 0;
+    for (const Pass& pass : passes) {
+      PassReport report;
+      report.pass = pass.name;
+      report.iteration = result.iterations;
+      report.changes = pass.run(result.program);
+      report.size_after = result.program.code_size();
+      const std::int64_t changed = report.changes.total();
+      round_changes += changed;
+      result.totals += report.changes;
+      if (changed > 0) {
+        pass.changes_counter->increment(static_cast<std::uint64_t>(changed));
+        if (options.capture_snapshots) {
+          result.snapshots.push_back(
+              {"iter" + std::to_string(result.iterations) + "/" + pass.name,
+               to_source(result.program)});
+        }
+      }
+      result.passes.push_back(std::move(report));
+    }
+    if (round_changes == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.size_after = result.program.code_size();
+  metrics.fixpoint_iterations.increment(
+      static_cast<std::uint64_t>(result.iterations));
+  metrics.pass_changes.increment(static_cast<std::uint64_t>(result.totals.total()));
+  metrics.instructions_removed.increment(
+      static_cast<std::uint64_t>(result.totals.instructions_removed()));
+  if (!result.converged) metrics.nonconverged.increment();
+  return result;
+}
+
+}  // namespace csr

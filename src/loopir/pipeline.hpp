@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The fixpoint pass manager over LoopIR. One round runs the peephole
+/// passes (passes.hpp) in a fixed order — fold, window, condense, dce — and
+/// the pipeline repeats rounds until a whole round reports zero changes or
+/// the hard iteration bound trips.
+///
+/// Termination is structural, not hoped-for: every counted change strictly
+/// shrinks the lexicographic measure (instructions, guarded statements,
+/// segments), and no pass ever grows any component, so the fixpoint is
+/// reached after at most `code_size + guards + segments` productive rounds.
+/// The bound exists to turn a pass bug into a loud, observable failure
+/// (`converged == false`, `csr_opt_nonconverged_total`) instead of a hang.
+///
+/// Per-pass change counts and fixpoint iterations are exported through the
+/// observability registry (`csr_opt_pass_changes_total`,
+/// `csr_opt_fixpoint_iterations`, …); docs/OPTIMIZER.md is the catalogue.
+
+#include <string>
+#include <vector>
+
+#include "loopir/passes.hpp"
+#include "loopir/program.hpp"
+
+namespace csr {
+
+/// One pass execution within one round, for reporting and golden dumps.
+struct PassReport {
+  std::string pass;    ///< "fold" | "window" | "condense" | "dce"
+  int iteration = 0;   ///< 1-based round number
+  PassChanges changes;
+  std::int64_t size_after = 0;  ///< code size once the pass ran
+};
+
+/// Pretty-printed IR captured after a pass that changed the program.
+struct PipelineSnapshot {
+  std::string label;  ///< e.g. "input", "iter1/window"
+  std::string ir;     ///< loopir/printer `to_source` dump
+};
+
+struct PipelineOptions {
+  /// Hard bound on fixpoint rounds (including the final no-change round).
+  int max_iterations = 16;
+  /// Capture `to_source` dumps of the input and after every changing pass.
+  bool capture_snapshots = false;
+};
+
+struct PipelineResult {
+  LoopProgram program;
+  bool converged = false;  ///< a full round reported zero changes
+  int iterations = 0;      ///< rounds executed, counting the no-change round
+  std::int64_t size_before = 0;
+  std::int64_t size_after = 0;
+  PassChanges totals;              ///< summed over every pass and round
+  std::vector<PassReport> passes;  ///< per pass × round, in execution order
+  std::vector<PipelineSnapshot> snapshots;  ///< when capture_snapshots
+};
+
+/// Runs the pipeline on a copy of `program` (which must validate cleanly;
+/// throws InvalidArgument otherwise). The result executes exactly the same
+/// enabled statements in the same order with identical operand values.
+[[nodiscard]] PipelineResult optimize_pipeline(const LoopProgram& program,
+                                               const PipelineOptions& options = {});
+
+}  // namespace csr

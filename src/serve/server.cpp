@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "benchmarks/benchmarks.hpp"
+#include "driver/export_schema.hpp"
 #include "observe/observe.hpp"
 
 namespace csr::serve {
@@ -350,6 +351,17 @@ std::string Server::route(const HttpRequest& request) {
     append_axis("engines", EnumNames<driver::Engine>::entries);
     append_axis("exec_engines", EnumNames<driver::ExecEngine>::entries);
     append_axis("transforms", EnumNames<driver::Transform>::entries);
+    // Response column vocabulary, straight off the export schema — a new
+    // column (e.g. measured_size) is advertised the moment exports carry it.
+    body += "], \"columns\": [";
+    bool column_first = true;
+    for (const std::string_view column : driver::kCsvColumns) {
+      if (!column_first) body += ", ";
+      column_first = false;
+      body += '"';
+      body += column;
+      body += '"';
+    }
     body += "], \"formats\": [\"json\", \"csv\"]}\n";
     return render_response(200, "application/json", body, keep);
   }

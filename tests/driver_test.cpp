@@ -146,7 +146,7 @@ TEST(Export, CsvSkipsInfeasibleRowsAndKeepsHeader) {
   EXPECT_EQ(csv, csv_header());
   EXPECT_EQ(csv_header(),
             "benchmark,transform,factor,n,iteration_bound,period,depth,"
-            "registers,size,verified,optimality_gap\n");
+            "registers,size,verified,optimality_gap,measured_size\n");
   const std::string json = to_json({bad});
   EXPECT_NE(json.find("\"feasible\": false"), std::string::npos);
 }

@@ -21,6 +21,7 @@
 #include "codegen/unfolded.hpp"
 #include "dfg/io.hpp"
 #include "dfg/random.hpp"
+#include "loopir/pipeline.hpp"
 #include "loopir/serialize.hpp"
 #include "retiming/opt.hpp"
 #include "support/error.hpp"
@@ -138,6 +139,96 @@ TEST(FuzzSmoke, TruncatedInputsRejectCleanly) {
     } catch (const Error&) {
     }
   }
+}
+
+TEST(FuzzSmoke, LoopIrSerializationRoundTrips) {
+  // Serialize → parse → serialize must be the identity on every generated
+  // program shape, for random DFGs drawn from the corpus seeds. This is the
+  // contract the golden dumps and journal replay lean on.
+  const int iters = std::max(1, iterations_per_seed() / 10);
+  for (const std::uint64_t seed : kSeedCorpus) {
+    SplitMix64 rng(seed);
+    RandomDfgOptions options;
+    options.max_nodes = 8;
+    for (int trial = 0; trial < iters; ++trial) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed 0x" << std::hex << seed << std::dec << " trial "
+                   << trial << " (rerun: CSR_FUZZ_ITERS=" << iters * 10 << ")");
+      const DataFlowGraph g = random_dfg(rng, options);
+      const std::int64_t n = 5 + trial % 11;
+      for (const LoopProgram& p :
+           {original_program(g, n), unfolded_csr_program(g, 2 + trial % 3, n)}) {
+        const std::string text = to_program_text(p);
+        const LoopProgram parsed = parse_program_text(text);
+        EXPECT_EQ(to_program_text(parsed), text);
+        EXPECT_EQ(parsed.code_size(), p.code_size());
+        EXPECT_TRUE(parsed.validate().empty());
+      }
+    }
+  }
+}
+
+TEST(FuzzSmoke, OptimizerSurvivesMutatedProgramsAndPreservesSemantics) {
+  // Adversarial inputs for the peephole pipeline: whatever mutated program
+  // text still parses AND validates must optimize without crashing, stay
+  // valid, never grow — and when the program is cheap enough to execute,
+  // the optimized form must be observably equivalent to the parsed one.
+  const std::string base =
+      "program demo\n"
+      "n 9\n"
+      "segment 0 0 1\n"
+      "setup p1 2\n"
+      "setup p2 0\n"
+      "dec p1 1\n"
+      "segment 1 9 3\n"
+      "stmt A 1 + guard p1 src B -2 src C 0\n"
+      "dec p1 1\n"
+      "stmt B 1 * src A 0\n"
+      "dec p1 1\n"
+      "stmt C 1 + guard p2 src A -1\n"
+      "dec p2 1\n";
+  int optimized_count = 0;
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
+    const std::string text = mutate(base, rng);
+    LoopProgram parsed;
+    try {
+      parsed = parse_program_text(text);
+    } catch (const Error&) {
+      return;  // typed rejection is the expected path
+    }
+    if (!parsed.validate().empty()) return;
+    // Bound the execution cost: mutations can inflate n or segment bounds
+    // arbitrarily, and the equivalence check runs the program twice.
+    std::int64_t work = 0;
+    for (const LoopSegment& seg : parsed.segments) {
+      work += seg.trip_count() *
+              static_cast<std::int64_t>(seg.instructions.size());
+      if (work < 0) break;  // overflow: clearly too big
+    }
+    const bool executable = work >= 0 && work <= 100000 && parsed.n <= 100000;
+
+    const PipelineResult result = optimize_pipeline(parsed);
+    ++optimized_count;
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.size_after, result.size_before);
+    EXPECT_TRUE(result.program.validate().empty());
+    if (!executable) return;
+    // The *parsed* program can be a runtime reject (e.g. a guard whose only
+    // setup sits in a zero-trip segment) — that is the VM's call, not the
+    // optimizer's, so skip those. But once the input runs, the optimized
+    // form must run too and leave identical observable state; an Error out
+    // of compare_programs here would be an optimizer-introduced reject and
+    // fails the test loudly.
+    try {
+      (void)run_program(parsed);
+    } catch (const Error&) {
+      return;
+    }
+    const auto diffs = compare_programs(parsed, result.program, {"A", "B", "C"});
+    EXPECT_TRUE(diffs.empty()) << diffs[0];
+  });
+  // The mutator must leave enough valid programs to exercise the pipeline.
+  EXPECT_GT(optimized_count, 0);
 }
 
 TEST(FuzzSmoke, PipelineSurvivesRandomDfgs) {

@@ -1,0 +1,126 @@
+// Golden-file snapshots of the fixpoint peephole pipeline: for each paper
+// benchmark the pass-by-pass IR dumps (loopir/printer `to_source` after
+// every pass that changed the program) are compared byte-for-byte against
+// tests/golden/*.ir. The snapshots tell the optimization story end to end —
+// which guards the window pass drops, which decrements coalesce, what dce
+// retires — so any intentional pass change shows up as a readable diff.
+//
+// To update the snapshots after an intentional change, run:
+//
+//     CSR_UPDATE_GOLDEN=1 build/tests/golden_optimizer_test
+//
+// then review `git diff tests/golden/` before committing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/unfolded.hpp"
+#include "loopir/pipeline.hpp"
+
+namespace csr {
+namespace {
+
+struct GoldenCase {
+  const char* file;  ///< file name under tests/golden/
+  DataFlowGraph (*factory)();
+  int factor;
+  std::int64_t n;
+};
+
+// All snapshots are unfolded-CSR forms — the shape where every pass fires.
+// f | n (the ×3, n=12 cases): every guard is always-enabled, so the window
+// pass strips them all, condense merges the three decrements and dce retires
+// the register entirely. The ×3, n=101 case is the measured-beats-predicted
+// witness: two guards drop, one decrement pair coalesces, the third guard
+// (and with it the register) must stay.
+constexpr GoldenCase kCases[] = {
+    {"iir_unfolded_csr_passes.ir", benchmarks::iir_filter, 3, 12},
+    {"diffeq_unfolded_csr_passes.ir", benchmarks::differential_equation_solver, 3,
+     12},
+    {"allpole_unfolded_csr_passes.ir", benchmarks::allpole_filter, 3, 12},
+    {"elliptic_unfolded_csr_passes.ir", benchmarks::elliptic_filter, 3, 12},
+    {"lattice_unfolded_csr_passes.ir", benchmarks::lattice_filter, 3, 12},
+    {"volterra_unfolded_csr_passes.ir", benchmarks::volterra_filter, 3, 12},
+    {"iir_unfolded_csr_n101_passes.ir", benchmarks::iir_filter, 3, 101},
+};
+
+std::string render(const GoldenCase& c) {
+  const LoopProgram program = unfolded_csr_program(c.factory(), c.factor, c.n);
+  PipelineOptions options;
+  options.capture_snapshots = true;
+  const PipelineResult result = optimize_pipeline(program, options);
+
+  std::ostringstream out;
+  for (const PipelineSnapshot& snapshot : result.snapshots) {
+    out << "== " << snapshot.label << " ==\n" << snapshot.ir << '\n';
+  }
+  out << "== summary ==\n"
+      << "size " << result.size_before << " -> " << result.size_after
+      << ", converged in " << result.iterations << " iterations\n"
+      << "guards_dropped " << result.totals.guards_dropped
+      << ", statements_removed " << result.totals.statements_removed
+      << ", register_ops_removed " << result.totals.register_ops_removed
+      << ", decrements_coalesced " << result.totals.decrements_coalesced
+      << ", setups_folded " << result.totals.setups_folded
+      << ", segments_removed " << result.totals.segments_removed << '\n';
+  return out.str();
+}
+
+std::filesystem::path golden_path(const GoldenCase& c) {
+  return std::filesystem::path(CSR_GOLDEN_DIR) / c.file;
+}
+
+bool update_mode() {
+  const char* flag = std::getenv("CSR_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+std::string golden_case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.file;
+  name.resize(name.size() - 3);  // drop ".ir"
+  return name;
+}
+
+class GoldenOptimizerTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenOptimizerTest, MatchesSnapshot) {
+  const GoldenCase& c = GetParam();
+  const std::string actual = render(c);
+  const std::filesystem::path path = golden_path(c);
+
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path << " missing — regenerate with CSR_UPDATE_GOLDEN=1 "
+                  << "build/tests/golden_optimizer_test";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "pass-by-pass dump drifted from " << path
+      << "\nIf the change is intentional: CSR_UPDATE_GOLDEN=1 "
+      << "build/tests/golden_optimizer_test, then review `git diff tests/golden/`.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Snapshots, GoldenOptimizerTest, ::testing::ValuesIn(kCases),
+                         golden_case_name);
+
+// The dumps must be deterministic: optimizing twice from scratch yields
+// byte-identical snapshots (no iteration-order or address leakage).
+TEST(GoldenOptimizer, DumpsAreDeterministic) {
+  for (const GoldenCase& c : kCases) {
+    EXPECT_EQ(render(c), render(c)) << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -22,6 +22,7 @@
 #include "dfg/random.hpp"
 #include "driver/config.hpp"
 #include "driver/export.hpp"
+#include "loopir/pipeline.hpp"
 #include "native/compile.hpp"
 #include "native/engine.hpp"
 #include "retiming/opt.hpp"
@@ -85,6 +86,54 @@ TEST_P(RandomPipelineTest, EndToEnd) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineTest,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 1234ull,
                                            0xDEADBEEFull, 0xC0FFEEull));
+
+class OptimizerPipelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizerPipelinePropertyTest, EveryVariantOptimizesCleanly) {
+  // The peephole pipeline's contract on random DFGs across *every* codegen
+  // variant: it converges within the bound, a second run is a no-op, the
+  // program never grows, and the optimized program leaves the observable
+  // state of the unoptimized one. 4 seeds × 25 trials × ~9 variants ≥ 100
+  // random DFGs, matching the randomized acceptance leg.
+  SplitMix64 rng(GetParam());
+  RandomDfgOptions options;
+  options.max_nodes = 9;
+  for (int trial = 0; trial < 25; ++trial) {
+    const DataFlowGraph g = random_dfg(rng, options);
+    const std::int64_t n = 17 + trial % 7;
+    const auto arrays = array_names(g);
+    const OptimalRetiming opt = minimum_period_retiming(g);
+
+    std::vector<LoopProgram> programs;
+    programs.push_back(original_program(g, n));
+    for (const int f : {2, 3}) {
+      programs.push_back(unfolded_program(g, f, n));
+      programs.push_back(unfolded_csr_program(g, f, n));
+    }
+    if (n > opt.retiming.max_value()) {
+      programs.push_back(retimed_program(g, opt.retiming, n));
+      programs.push_back(retimed_csr_program(g, opt.retiming, n));
+      programs.push_back(retimed_unfolded_csr_program(g, opt.retiming, 3, n));
+    }
+
+    for (const LoopProgram& p : programs) {
+      SCOPED_TRACE(::testing::Message() << p.name << " trial " << trial);
+      const PipelineResult result = optimize_pipeline(p);
+      ASSERT_TRUE(result.converged);
+      ASSERT_LE(result.iterations, PipelineOptions{}.max_iterations);
+      ASSERT_LE(result.size_after, result.size_before);
+      ASSERT_TRUE(result.program.validate().empty());
+      const auto diffs = compare_programs(p, result.program, arrays);
+      ASSERT_TRUE(diffs.empty()) << diffs[0];
+      const PipelineResult again = optimize_pipeline(result.program);
+      ASSERT_EQ(again.totals.total(), 0);
+      ASSERT_EQ(again.iterations, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPipelinePropertyTest,
+                         ::testing::Values(11ull, 22ull, 33ull, 0xAB5EEDull));
 
 TEST(RandomPipeline, ThreeEnginesAgreeOnRandomDfgs) {
   // The differential property on arbitrary (not hand-picked) programs: for
@@ -367,6 +416,23 @@ TEST(SweepProperties, JournalPayloadRoundTripsHostileStrings) {
   EXPECT_FALSE(
       driver::from_journal_payload(payload.substr(0, payload.size() / 2), r.cell,
                                    scratch));
+}
+
+TEST(SweepProperties, MeasuredSizeNeverExceedsGeneratedSize) {
+  // The measured_size contract over a real sweep: every feasible evaluated
+  // cell carries a measured size that never exceeds the generated program's
+  // size (the pipeline only shrinks), and infeasible/unevaluated cells keep
+  // the -1 sentinel.
+  const auto run = driver::run_sweep(small_config());
+  ASSERT_FALSE(run.results.empty());
+  for (const auto& r : run.results) {
+    if (r.feasible && r.evaluated && !r.skipped) {
+      EXPECT_GE(r.measured_size, 0) << r.cell.benchmark;
+      EXPECT_LE(r.measured_size, r.code_size) << r.cell.benchmark;
+    } else {
+      EXPECT_EQ(r.measured_size, -1) << r.cell.benchmark;
+    }
+  }
 }
 
 TEST(RandomPipeline, CsrRegisterCountInvariantUnderUnfolding) {

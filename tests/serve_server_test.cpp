@@ -132,6 +132,10 @@ TEST(Server, RoutesCoreEndpointsOverLoopback) {
   ASSERT_TRUE(client.request("GET", "/v1/benchmarks"));
   EXPECT_EQ(client.read_response(), 200);
   EXPECT_NE(client.body().find("IIR Filter"), std::string::npos);
+  // The vocabulary advertises the export columns straight off the schema,
+  // including the optimizer's measured-size column.
+  EXPECT_NE(client.body().find("\"columns\""), std::string::npos);
+  EXPECT_NE(client.body().find("\"measured_size\""), std::string::npos);
 
   ASSERT_TRUE(client.request("POST", "/v1/sweep", kSmallQuery));
   EXPECT_EQ(client.read_response(), 200);

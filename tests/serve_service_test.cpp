@@ -101,7 +101,7 @@ TEST(KeyPinning, JournalKeyIsTheSharedContentKey) {
   ASSERT_FALSE(dfg_text.empty());
 
   const std::string expected =
-      content_key('c', {"sweep-v2", cell.benchmark, dfg_text,
+      content_key('c', {"sweep-v3", cell.benchmark, dfg_text,
                         std::string(to_string(cell.engine)),
                         std::string(to_string(cell.exec)),
                         std::string(to_string(cell.transform)),
