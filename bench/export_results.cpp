@@ -27,15 +27,90 @@
 //
 // docs/OBSERVABILITY.md documents the span taxonomy and metric catalogue.
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/csr.hpp"
+#include "codegen/retimed.hpp"
+#include "native/batch.hpp"
+#include "native/engine.hpp"
+#include "retiming/opt.hpp"
 
 namespace {
+
+/// Batched-vs-single native throughput over the six table benchmarks:
+/// `width` ragged lanes of each benchmark's retimed-CSR form, executed once
+/// per lane through run_native and once as a single run_native_batch call.
+/// Cells/sec is end-to-end (emit + compile + run) against a cold compile
+/// cache — exactly the cost the sweep driver pays per cell — which is what
+/// batching amortizes W:1. Returns the JSON section; rows are wall-clock
+/// measurements, not golden data.
+std::string measure_batch_throughput(std::size_t width, std::int64_t base_n) {
+  using clock = std::chrono::steady_clock;
+  const std::filesystem::path cache =
+      std::filesystem::temp_directory_path() /
+      ("csr-bench-batch-cache-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(cache);
+  csr::native::CompileOptions compile;
+  compile.cache_dir = cache.string();
+
+  std::ostringstream json;
+  json << "{\n  \"batch_width\": " << width << ",\n  \"trip_count_base\": "
+       << base_n << ",\n  \"benchmarks\": [";
+  double log_speedup_sum = 0;
+  std::size_t measured = 0;
+  bool first = true;
+  for (const auto& info : csr::benchmarks::table_benchmarks()) {
+    const csr::DataFlowGraph g = info.factory();
+    const csr::Retiming r = csr::minimum_period_retiming(g).retiming;
+    std::vector<csr::LoopProgram> lanes;
+    for (std::size_t i = 0; i < width; ++i) {
+      // Ragged trip counts, each distinct, so every single-cell kernel is
+      // its own compile — as in a real sweep over a trip-count axis.
+      lanes.push_back(csr::retimed_csr_program(
+          g, r, base_n + static_cast<std::int64_t>(i) * 37));
+    }
+
+    const auto single_start = clock::now();
+    bool ok = true;
+    for (const csr::LoopProgram& p : lanes) {
+      ok = ok && csr::native::run_native(p, compile).ok();
+    }
+    const double single_seconds =
+        std::chrono::duration<double>(clock::now() - single_start).count();
+
+    const auto batch_start = clock::now();
+    ok = ok && csr::native::run_native_batch(lanes, compile).ok();
+    const double batch_seconds =
+        std::chrono::duration<double>(clock::now() - batch_start).count();
+
+    if (!ok || single_seconds <= 0 || batch_seconds <= 0) continue;
+    const double cells = static_cast<double>(width);
+    const double speedup = single_seconds / batch_seconds;
+    log_speedup_sum += std::log(speedup);
+    ++measured;
+    json << (first ? "" : ",") << "\n    {\"benchmark\": \"" << info.name
+         << "\", \"single_cells_per_sec\": " << cells / single_seconds
+         << ", \"batch_cells_per_sec\": " << cells / batch_seconds
+         << ", \"speedup\": " << speedup << "}";
+    first = false;
+  }
+  json << "\n  ],\n  \"geomean_speedup\": "
+       << (measured > 0 ? std::exp(log_speedup_sum / static_cast<double>(measured))
+                        : 0.0)
+       << "\n}";
+  std::filesystem::remove_all(cache);
+  return json.str();
+}
 
 void print_stats(const char* label, const csr::driver::SweepStats& stats) {
   std::cout << label << ": " << stats.total_cells << " cells, "
@@ -114,11 +189,20 @@ int main(int argc, char** argv) {
 
   if (!write_file(csv_path, driver::to_csv(sweep.results))) return 1;
 
+  // Batched native execution: lanes/sec through one SoA kernel vs one
+  // kernel per cell (docs/ENGINES.md, batch execution model). Skipped —
+  // empty section — when no host compiler works.
+  const std::string batch_throughput =
+      native::native_available()
+          ? measure_batch_throughput(/*width=*/16, /*base_n=*/10000)
+          : "{}";
+
   driver::ExportOptions timing;
   timing.include_timing = true;
   const std::string json = "{\n\"sweep\": " + driver::to_json(sweep.results) +
                            ",\n\"engine_throughput\": " +
-                           driver::to_json(perf.results, timing) + "}\n";
+                           driver::to_json(perf.results, timing) +
+                           ",\n\"batch_throughput\": " + batch_throughput + "}\n";
   if (!write_file(json_path, json)) return 1;
   std::cout << "wrote " << csv_path << " and " << json_path << '\n';
 

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file batch_emitter.hpp
+/// Emission of *batch kernels*: one C translation unit that executes many
+/// (n, initial-state) instances of the same loop shape per call, over
+/// struct-of-arrays state. Array cells are laid out lane-innermost —
+/// `buf[(idx - base) * W + lane]` — so every statement's per-lane accesses
+/// are contiguous and the innermost lane loop auto-vectorizes.
+///
+/// Lanes must share the program's *shape*: identical segments, steps,
+/// instruction sequences, guards, statement arrays/offsets/op_seeds and
+/// decrement amounts. The quantities the sweep varies with trip count are
+/// parametric per lane and become constant tables in the emitted unit:
+///
+///   * the guard bound n (`csr_lane_n[]`),
+///   * segment begin and trip count (`csr_seg<k>_begin[]`, `csr_seg<k>_trips[]`),
+///   * setup initial values (`csr_setup<k>_val[]`).
+///
+/// Ragged batches (lanes with different trip counts) run each segment as a
+/// lockstep loop over the minimum trip count — every lane live, no masking,
+/// fully vectorizable — followed by a *remainder loop* up to the maximum
+/// trip count in which a lane participates only while `t < its trips`.
+/// Array index ranges are the union over lanes; cells a short lane never
+/// writes keep count 0 and read back as VM boundary values, so per-lane
+/// semantics are exactly those of a single-cell run.
+///
+/// Emitted units use the exact VM hash semantics of
+/// CEmitterOptions::Semantics::kExact and export a batched `csr_*`
+/// descriptor table (ABI version 2, `csr_batch_width`, per-lane
+/// `csr_executed[]`/`csr_disabled[]`) consumed by src/native/batch.hpp.
+
+#include <string>
+#include <vector>
+
+#include "loopir/program.hpp"
+
+namespace csr {
+
+struct BatchEmitterOptions {
+  /// Name of the emitted function.
+  std::string function_name = "csr_kernel";
+};
+
+/// Structural fingerprint of a program modulo the lane-parametric values
+/// (n, segment bounds, setup initial values). Two programs can share one
+/// batch kernel iff their shape keys are equal.
+[[nodiscard]] std::string batch_shape_key(const LoopProgram& program);
+
+/// True when `a` and `b` can execute as lanes of one batch kernel.
+[[nodiscard]] bool batch_compatible(const LoopProgram& a, const LoopProgram& b);
+
+/// Emits a self-contained C translation unit whose kernel executes every
+/// program in `lanes` (width = lanes.size()). Throws InvalidArgument when
+/// `lanes` is empty, a lane fails validation, or the lanes' shape keys
+/// differ.
+[[nodiscard]] std::string to_batch_c_source(const std::vector<LoopProgram>& lanes,
+                                            const BatchEmitterOptions& options = {});
+
+}  // namespace csr

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file emit_common.hpp
+/// Helpers shared by the single-program C emitter (c_emitter.cpp) and the
+/// batched SoA emitter (batch_emitter.cpp): identifier sanitation and
+/// collision-free renaming, index/hex/string-literal formatting, and the
+/// exact-semantics preamble restating the VM's mix / boundary-value
+/// contract. Internal to src/codegen/ — not part of the public API.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace csr::emit {
+
+struct IndexRange {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  void widen(std::int64_t value) {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+};
+
+inline std::string sanitize(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out.insert(out.begin(), 'a');
+  }
+  return out;
+}
+
+/// Suffixes an array identifier also claims: its backing buffer, and in
+/// exact mode the write-count buffer and the read/count accessor macros.
+constexpr const char* kArraySuffixes[] = {"_buf", "_cnt", "_COUNT", "_READ"};
+
+/// Collision-free mapping from IR names to C identifiers. Sanitizing alone
+/// can merge distinct names ("a.b" and "a_b" both become "a_b"), silently
+/// aliasing two arrays onto one buffer in the emitted kernel; this table
+/// uniques them with a numeric suffix. Arrays and conditional registers get
+/// separate namespaces in the IR but share one C scope, so both draw from
+/// the same pool of used identifiers.
+class IdentifierTable {
+ public:
+  explicit IdentifierTable(std::set<std::string> reserved)
+      : used_(std::move(reserved)) {}
+
+  const std::string& array(const std::string& name) { return id('a', name); }
+  const std::string& reg(const std::string& name) { return id('r', name); }
+
+ private:
+  const std::string& id(char kind, const std::string& name) {
+    const std::string key = kind + name;
+    const auto it = assigned_.find(key);
+    if (it != assigned_.end()) return it->second;
+    const std::string base = sanitize(name);
+    const auto taken = [&](const std::string& c) {
+      if (used_.count(c) != 0) return true;
+      if (kind == 'a') {
+        for (const char* suffix : kArraySuffixes) {
+          if (used_.count(c + suffix) != 0) return true;
+        }
+      }
+      return false;
+    };
+    std::string candidate = base;
+    for (int suffix = 2; taken(candidate); ++suffix) {
+      candidate = base + "_" + std::to_string(suffix);
+    }
+    used_.insert(candidate);
+    if (kind == 'a') {
+      for (const char* suffix : kArraySuffixes) used_.insert(candidate + suffix);
+    }
+    return assigned_.emplace(key, std::move(candidate)).first->second;
+  }
+
+  std::map<std::string, std::string> assigned_;
+  std::set<std::string> used_;
+};
+
+/// `i`, `i + k` or `i - k` for a loop-relative offset.
+inline std::string index_expr(std::int64_t offset) {
+  std::ostringstream os;
+  os << "i";
+  if (offset > 0) os << " + " << offset;
+  if (offset < 0) os << " - " << -offset;
+  return os.str();
+}
+
+inline std::string hex_u64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::uppercase << v << "ULL";
+  return os.str();
+}
+
+/// A C string literal for `s` (octal-escapes non-printables; IR names are
+/// normally plain identifiers but nothing enforces that).
+inline std::string c_string_literal(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20 || u > 0x7E) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\%03o", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// The VM's mix / boundary-value contract (vm/machine.cpp), restated as C.
+/// CSR_BOUNDARY's seed argument is the per-array op_seed; the salt constant
+/// must match kBoundarySalt.
+constexpr const char* kExactPreamble =
+    "static uint64_t csr_mix(uint64_t z) {\n"
+    "  z ^= z >> 30;\n"
+    "  z *= 0xBF58476D1CE4E5B9ULL;\n"
+    "  z ^= z >> 27;\n"
+    "  z *= 0x94D049BB133111EBULL;\n"
+    "  return z ^ (z >> 31);\n"
+    "}\n"
+    "#define CSR_BOUNDARY(seed, idx) \\\n"
+    "  csr_mix((seed) ^ csr_mix((uint64_t)(idx) ^ 0xA5A5A5A5A5A5A5A5ULL))\n";
+
+}  // namespace csr::emit

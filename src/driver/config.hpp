@@ -111,6 +111,12 @@ class SweepConfig {
     options_.steal_seed = seed;
     return *this;
   }
+  /// Lanes per batched kernel invocation; 1 = single-cell execution. See
+  /// SweepOptions::batch_width — results are byte-identical at any width.
+  SweepConfig& batch_width(std::size_t width) {
+    options_.batch_width = width;
+    return *this;
+  }
 
   // --- views ---------------------------------------------------------------
   /// The underlying value structs, mutable for migration from code that

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "benchmarks/benchmarks.hpp"
+#include "codegen/batch_emitter.hpp"
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/retimed_unfolded.hpp"
@@ -21,6 +22,7 @@
 #include "dfg/iteration_bound.hpp"
 #include "driver/scheduler.hpp"
 #include "loopir/pipeline.hpp"
+#include "native/batch.hpp"
 #include "native/engine.hpp"
 #include "observe/observe.hpp"
 #include "retiming/exact.hpp"
@@ -31,6 +33,7 @@
 #include "support/hash.hpp"
 #include "support/journal.hpp"
 #include "unfolding/unfold.hpp"
+#include "vm/batch.hpp"
 #include "vm/equivalence.hpp"
 
 namespace csr::driver {
@@ -357,17 +360,25 @@ bool from_journal_payload(const std::string& payload, const SweepCell& cell,
   return true;
 }
 
-SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
-  SweepMetrics& metrics = SweepMetrics::get();
-  observe::Span span("driver", "evaluate_cell");
-  span.arg("benchmark", cell.benchmark)
-      .arg("engine", to_string(cell.engine))
-      .arg("exec", to_string(cell.exec))
-      .arg("transform", to_string(cell.transform))
-      .arg("factor", cell.factor)
-      .arg("n", cell.n);
-  observe::ScopedTimer cell_timer(metrics.cell_seconds);
+namespace {
+
+/// A cell after the generation phase: its (peephole-optimized) program plus
+/// everything the verification phase needs. The two phases are split so the
+/// batched sweep path (SweepOptions::batch_width > 1) can group prepared
+/// cells by batch shape and verify whole groups with one kernel invocation.
+struct PreparedCell {
   SweepResult res;
+  DataFlowGraph graph;
+  std::vector<std::string> arrays;
+  LoopProgram program;  ///< the optimized program verification executes
+  /// True when a program was generated and verification can run; false for
+  /// infeasible/errored cells (res carries the diagnosis).
+  bool runnable = false;
+};
+
+PreparedCell prepare_cell(const SweepCell& cell, const SweepOptions& options) {
+  PreparedCell prep;
+  SweepResult& res = prep.res;
   res.cell = cell;
   try {
     const DataFlowGraph g = make_benchmark(cell.benchmark);
@@ -387,12 +398,12 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
       case Transform::kRetimed:
       case Transform::kRetimedCsr: {
         const EngineOutcome eng = run_engine(cell.engine, g, options.machine);
-        if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
+        if (!eng.ok) return infeasible(res, "engine found no schedule"), prep;
         res.period = Rational(eng.period);
         res.optimality_gap = optimality_gap_of(eng, g);
         res.depth = eng.retiming.max_value();
         res.registers = registers_required(eng.retiming);
-        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), res;
+        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), prep;
         if (cell.transform == Transform::kRetimed) {
           program = retimed_program(g, eng.retiming, n);
           res.predicted_size = predicted_retimed_size(g, eng.retiming);
@@ -419,12 +430,12 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
       case Transform::kRetimedUnfolded:
       case Transform::kRetimedUnfoldedCsr: {
         const EngineOutcome eng = run_engine(cell.engine, g, options.machine);
-        if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
+        if (!eng.ok) return infeasible(res, "engine found no schedule"), prep;
         res.period = Rational(cycle_period(unfold(apply_retiming(g, eng.retiming), f)), f);
         res.optimality_gap = optimality_gap_of(eng, g);
         res.depth = eng.retiming.max_value();
         res.registers = registers_required(eng.retiming);
-        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), res;
+        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), prep;
         if (cell.transform == Transform::kRetimedUnfolded) {
           program = retimed_unfolded_program(g, eng.retiming, f, n);
           res.predicted_size = predicted_retimed_unfolded_size(g, eng.retiming, f, n);
@@ -439,13 +450,13 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
       case Transform::kUnfoldedRetimedCsr: {
         const Unfolding u(g, f);
         const EngineOutcome eng = run_engine(cell.engine, u.graph(), options.machine);
-        if (!eng.ok) return infeasible(res, "engine found no schedule"), res;
+        if (!eng.ok) return infeasible(res, "engine found no schedule"), prep;
         res.period = Rational(eng.period, f);
         res.optimality_gap = optimality_gap_of(eng, u.graph());
         res.depth = eng.retiming.max_value();
         res.registers = registers_required_unfolded(u, eng.retiming);
         if (n / f <= res.depth) {
-          return infeasible(res, "need more than M'_r full unfolded trips"), res;
+          return infeasible(res, "need more than M'_r full unfolded trips"), prep;
         }
         if (cell.transform == Transform::kUnfoldedRetimed) {
           program = unfolded_retimed_program(u, eng.retiming, n);
@@ -461,83 +472,311 @@ SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
     res.code_size = program.code_size();
 
     // Run the fixpoint peephole pipeline and account the *measured* size
-    // next to the closed-form prediction. Verification below executes the
+    // next to the closed-form prediction. Verification executes the
     // optimized program against the original loop's expected state, so every
     // verified cell doubles as a live optimizer differential — across the
     // VM, the map interpreter and the native C emitter alike.
     PipelineResult optimized = optimize_pipeline(program);
     res.measured_size = optimized.program.code_size();
-    program = std::move(optimized.program);
+    prep.program = std::move(optimized.program);
+    prep.graph = g;
+    prep.arrays = array_names(g);
+    prep.runnable = true;
+  } catch (const std::exception& e) {
+    res.feasible = false;
+    res.error = e.what();
+  }
+  return prep;
+}
 
-    if (options.verify) {
-      const std::vector<std::string> arrays = array_names(g);
-      // The expected state always comes from the fast VM on the original
-      // loop, so non-VM cells are genuine cross-engine differentials.
-      const Machine expected = run_program(original_program(g, n));
+/// Phase 2 of a cell: runs the verifying execution engine over the prepared
+/// program and fills the verification fields. No-op for unrunnable cells or
+/// verify-less sweeps.
+void verify_cell(PreparedCell& prep, const SweepOptions& options) {
+  if (!prep.runnable || !options.verify) return;
+  SweepResult& res = prep.res;
+  const SweepCell& cell = res.cell;
+  const LoopProgram& program = prep.program;
+  try {
+    const std::vector<std::string>& arrays = prep.arrays;
+    const std::int64_t n = cell.n;
+    // The expected state always comes from the fast VM on the original
+    // loop, so non-VM cells are genuine cross-engine differentials.
+    const Machine expected = run_program(original_program(prep.graph, n));
 
-      const auto verify_on_vm = [&](ExecMode mode) {
-        const auto start = std::chrono::steady_clock::now();
-        const Machine actual = run_program(program, mode);
-        res.exec_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                .count();
-        res.exec_statements = actual.executed_statements();
-        res.verified = diff_observable_state(expected, actual, arrays, n).empty();
-        res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
-      };
+    const auto verify_on_vm = [&](ExecMode mode) {
+      const auto start = std::chrono::steady_clock::now();
+      const Machine actual = run_program(program, mode);
+      res.exec_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      res.exec_statements = actual.executed_statements();
+      res.verified = diff_observable_state(expected, actual, arrays, n).empty();
+      res.discipline_ok = check_write_discipline(actual, arrays, n).empty();
+    };
 
-      switch (cell.exec) {
-        case ExecEngine::kVm:
-          verify_on_vm(ExecMode::kFast);
-          break;
-        case ExecEngine::kMap:
-          verify_on_vm(ExecMode::kReference);
-          break;
-        case ExecEngine::kNative: {
-          // Retry / timeout / degradation policy: every compile runs under
-          // a subprocess deadline; transient failures back off and retry;
-          // a cell that exhausts its attempts is verified on the VM with
-          // the native failure preserved as its diagnostic. A broken or
-          // hung toolchain can cost a cell time, never abort the sweep.
-          native::CompileOptions copts;
-          copts.deadline_seconds = options.retry.compile_deadline;
-          const int max_attempts = std::max(1, options.retry.max_attempts);
-          native::NativeOutcome out;
-          int attempt = 1;
-          for (;; ++attempt) {
-            out = native::run_native(program, copts);
-            if (out.ok() || attempt >= max_attempts) break;
-            backoff_sleep(cell, attempt, options.retry);
-          }
-          res.retries = attempt - 1;
-          if (out.ok()) {
-            res.exec_seconds = out.run_seconds;
-            res.exec_statements = out.result.executed_statements();
-            res.verified =
-                diff_observable_state(MachineView(expected), out.result, arrays, n)
-                    .empty();
-            res.discipline_ok = check_write_discipline(out.result, arrays, n).empty();
-          } else if (options.retry.fallback_to_vm) {
-            res.engine_fallback = true;
-            res.fallback_reason = out.diagnostic;
-            verify_on_vm(ExecMode::kFast);
-          } else {
-            // The pre-fallback contract: a missing or broken host compiler
-            // is a property of the machine, not of the cell — report the
-            // cell skipped, keep it feasible.
-            res.skipped = true;
-            res.skip_reason = out.diagnostic;
-          }
-          break;
+    switch (cell.exec) {
+      case ExecEngine::kVm:
+        verify_on_vm(ExecMode::kFast);
+        break;
+      case ExecEngine::kMap:
+        verify_on_vm(ExecMode::kReference);
+        break;
+      case ExecEngine::kNative: {
+        // Retry / timeout / degradation policy: every compile runs under
+        // a subprocess deadline; transient failures back off and retry;
+        // a cell that exhausts its attempts is verified on the VM with
+        // the native failure preserved as its diagnostic. A broken or
+        // hung toolchain can cost a cell time, never abort the sweep.
+        native::CompileOptions copts;
+        copts.deadline_seconds = options.retry.compile_deadline;
+        const int max_attempts = std::max(1, options.retry.max_attempts);
+        native::NativeOutcome out;
+        int attempt = 1;
+        for (;; ++attempt) {
+          out = native::run_native(program, copts);
+          if (out.ok() || attempt >= max_attempts) break;
+          backoff_sleep(cell, attempt, options.retry);
         }
+        res.retries = attempt - 1;
+        if (out.ok()) {
+          res.exec_seconds = out.run_seconds;
+          res.exec_statements = out.result.executed_statements();
+          res.verified =
+              diff_observable_state(MachineView(expected), out.result, arrays, n)
+                  .empty();
+          res.discipline_ok = check_write_discipline(out.result, arrays, n).empty();
+        } else if (options.retry.fallback_to_vm) {
+          res.engine_fallback = true;
+          res.fallback_reason = out.diagnostic;
+          verify_on_vm(ExecMode::kFast);
+        } else {
+          // The pre-fallback contract: a missing or broken host compiler
+          // is a property of the machine, not of the cell — report the
+          // cell skipped, keep it feasible.
+          res.skipped = true;
+          res.skip_reason = out.diagnostic;
+        }
+        break;
       }
     }
   } catch (const std::exception& e) {
     res.feasible = false;
     res.error = e.what();
   }
-  return res;
 }
+
+}  // namespace
+
+SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
+  SweepMetrics& metrics = SweepMetrics::get();
+  observe::Span span("driver", "evaluate_cell");
+  span.arg("benchmark", cell.benchmark)
+      .arg("engine", to_string(cell.engine))
+      .arg("exec", to_string(cell.exec))
+      .arg("transform", to_string(cell.transform))
+      .arg("factor", cell.factor)
+      .arg("n", cell.n);
+  observe::ScopedTimer cell_timer(metrics.cell_seconds);
+  PreparedCell prep = prepare_cell(cell, options);
+  verify_cell(prep, options);
+  return std::move(prep.res);
+}
+
+namespace {
+
+/// Batched execution of the pending (non-cached) cells, the
+/// SweepOptions::batch_width > 1 path of run_cells:
+///
+///   * **Phase A (prepare)** — generate + peephole-optimize every pending
+///     cell on the work-stealing pool; the cell budget applies here, so a
+///     prepared cell is an executed cell. Cells that cannot join a batch
+///     (map engine, verify off, infeasible/errored) finish entirely in this
+///     phase, exactly as evaluate_cell would have run them.
+///   * **Phase B (group)** — deterministic grouping of prepared cells by
+///     (execution engine, batch shape key); each group splits into batches
+///     of at most batch_width lanes in grid order.
+///   * **Phase C (execute)** — one batched kernel invocation per batch
+///     (native SoA kernel / batched superinstruction VM) with per-lane
+///     readback and verification. A batch-level failure degrades to
+///     per-lane single-cell verification — with its full retry and
+///     VM-fallback semantics — so batching can never lose a cell.
+///
+/// Result slots and journal payloads receive exactly the deterministic
+/// fields a single-cell run would have produced (the `batch` ctest label
+/// holds this byte-for-byte).
+void run_pending_batched(const std::vector<SweepCell>& cells,
+                         const SweepOptions& options,
+                         const std::vector<std::size_t>& pending,
+                         const std::vector<std::string>& keys,
+                         ResultJournal* journal, const StealOptions& steal,
+                         StealStats& run, std::vector<SweepResult>& results) {
+  SweepMetrics& metrics = SweepMetrics::get();
+  auto& reg = observe::MetricsRegistry::global();
+  static observe::Counter& group_counter =
+      reg.counter("csr_batch_groups_total",
+                  "Shape-compatible batch groups formed by the sweep");
+  static observe::Counter& batched_cells =
+      reg.counter("csr_batch_cells_total",
+                  "Cells verified through a batched kernel invocation");
+  static observe::Counter& single_fallbacks =
+      reg.counter("csr_batch_single_fallback_total",
+                  "Batch-grouped cells degraded to single-cell verification");
+
+  observe::Span span("driver", "batch_sweep");
+  span.arg("width", static_cast<std::uint64_t>(options.batch_width))
+      .arg("pending", static_cast<std::uint64_t>(pending.size()));
+
+  std::vector<PreparedCell> prepared(pending.size());
+  std::vector<char> batchable(pending.size(), 0);
+  {
+    observe::Span prep_span("driver", "batch_prepare");
+    run = work_steal_for(
+        pending.size(), steal, [&](std::size_t j, const TaskStats& task) {
+          const std::size_t i = pending[j];
+          const SweepCell& cell = cells[i];
+          observe::Span cell_span("driver", "evaluate_cell");
+          cell_span.arg("benchmark", cell.benchmark)
+              .arg("engine", to_string(cell.engine))
+              .arg("exec", to_string(cell.exec))
+              .arg("transform", to_string(cell.transform))
+              .arg("factor", cell.factor)
+              .arg("n", cell.n);
+          observe::ScopedTimer cell_timer(metrics.cell_seconds);
+          PreparedCell prep = prepare_cell(cell, options);
+          prep.res.worker = task.worker;
+          prep.res.queue_depth = task.queue_depth;
+          prep.res.worker_steals = task.worker_steals;
+          prep.res.stolen = task.stolen;
+          if (prep.runnable && options.verify && cell.exec != ExecEngine::kMap) {
+            batchable[j] = 1;
+          } else {
+            verify_cell(prep, options);  // the map engine has no batch path
+            if (journal != nullptr) {
+              journal->append(keys[i], to_journal_payload(prep.res));
+            }
+            results[i] = prep.res;
+          }
+          prepared[j] = std::move(prep);
+        });
+  }
+
+  // Grid order in, grid order out: groups form in first-occurrence order
+  // and each keeps its lanes in pending order, so batch composition is
+  // deterministic for any thread count.
+  std::map<std::pair<ExecEngine, std::string>, std::size_t> group_ids;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    if (batchable[j] == 0) continue;
+    const auto key = std::make_pair(cells[pending[j]].exec,
+                                    batch_shape_key(prepared[j].program));
+    const auto [it, inserted] = group_ids.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(j);
+  }
+  std::vector<std::vector<std::size_t>> batches;
+  for (const auto& group : groups) {
+    for (std::size_t at = 0; at < group.size(); at += options.batch_width) {
+      const auto begin = group.begin() + static_cast<std::ptrdiff_t>(at);
+      const auto end =
+          group.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(group.size(), at + options.batch_width));
+      batches.emplace_back(begin, end);
+    }
+  }
+  group_counter.increment(groups.size());
+  span.arg("groups", static_cast<std::uint64_t>(groups.size()))
+      .arg("batches", static_cast<std::uint64_t>(batches.size()));
+
+  const auto finish_lane = [&](std::size_t j) {
+    const std::size_t i = pending[j];
+    if (journal != nullptr) {
+      journal->append(keys[i], to_journal_payload(prepared[j].res));
+    }
+    results[i] = std::move(prepared[j].res);
+  };
+
+  const auto run_batch = [&](const std::vector<std::size_t>& lanes_j) {
+    observe::Span batch_span("driver", "batch_execute");
+    const SweepCell& first = cells[pending[lanes_j.front()]];
+    batch_span.arg("exec", to_string(first.exec))
+        .arg("lanes", static_cast<std::uint64_t>(lanes_j.size()));
+    std::vector<LoopProgram> lanes;
+    lanes.reserve(lanes_j.size());
+    for (const std::size_t j : lanes_j) lanes.push_back(prepared[j].program);
+
+    // Fills exactly the fields verify_cell's engine switch fills; the
+    // expected state still comes from the fast VM on the original loop.
+    const auto verify_lane = [&](std::size_t j, const StateView& actual,
+                                 std::int64_t executed, double seconds) {
+      PreparedCell& prep = prepared[j];
+      SweepResult& res = prep.res;
+      const std::int64_t n = res.cell.n;
+      const Machine expected = run_program(original_program(prep.graph, n));
+      res.exec_seconds = seconds;
+      res.exec_statements = executed;
+      res.verified =
+          diff_observable_state(MachineView(expected), actual, prep.arrays, n)
+              .empty();
+      res.discipline_ok = check_write_discipline(actual, prep.arrays, n).empty();
+    };
+
+    bool ok = false;
+    try {
+      if (first.exec == ExecEngine::kVm) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<Machine> machines = run_program_batch(lanes);
+        const double share =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count() /
+            static_cast<double>(lanes.size());
+        for (std::size_t k = 0; k < lanes_j.size(); ++k) {
+          verify_lane(lanes_j[k], MachineView(machines[k]),
+                      machines[k].executed_statements(), share);
+        }
+        ok = true;
+      } else {
+        native::CompileOptions copts;
+        copts.deadline_seconds = options.retry.compile_deadline;
+        const int max_attempts = std::max(1, options.retry.max_attempts);
+        native::BatchOutcome out;
+        int attempt = 1;
+        for (;; ++attempt) {
+          out = native::run_native_batch(lanes, copts);
+          if (out.ok() || attempt >= max_attempts) break;
+          backoff_sleep(first, attempt, options.retry);
+        }
+        if (out.ok()) {
+          const double share = out.run_seconds / static_cast<double>(lanes.size());
+          for (std::size_t k = 0; k < lanes_j.size(); ++k) {
+            verify_lane(lanes_j[k], out.lanes[k],
+                        out.lanes[k].executed_statements(), share);
+          }
+          ok = true;
+        }
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (ok) {
+      batched_cells.increment(lanes_j.size());
+    } else {
+      // Per-lane degradation: single-cell verification owns retry, VM
+      // fallback and skip semantics, so the lanes end up exactly as an
+      // unbatched run would have left them.
+      single_fallbacks.increment(lanes_j.size());
+      for (const std::size_t j : lanes_j) verify_cell(prepared[j], options);
+    }
+    for (const std::size_t j : lanes_j) finish_lane(j);
+  };
+
+  StealOptions batch_steal = steal;
+  batch_steal.budget = 0;  // the cell budget was consumed in phase A
+  work_steal_for(batches.size(), batch_steal,
+                 [&](std::size_t b, const TaskStats&) { run_batch(batches[b]); });
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -592,21 +831,27 @@ std::vector<SweepResult> run_cells(const std::vector<SweepCell>& cells,
   steal.threads = options.threads;
   steal.budget = options.cell_budget;
   steal.seed = options.steal_seed;
-  const StealStats run = work_steal_for(
-      pending.size(), steal, [&](std::size_t j, const TaskStats& task) {
-        const std::size_t i = pending[j];
-        SweepResult r = evaluate_cell(cells[i], options);
-        r.worker = task.worker;
-        r.queue_depth = task.queue_depth;
-        r.worker_steals = task.worker_steals;
-        r.stolen = task.stolen;
-        if (journaled) {
-          // Appended (and flushed) as each cell completes, so a sweep killed
-          // at any point resumes from every cell that finished.
-          journal.append(keys[i], to_journal_payload(r));
-        }
-        results[i] = std::move(r);
-      });
+  StealStats run;
+  if (options.batch_width > 1) {
+    run_pending_batched(cells, options, pending, keys,
+                        journaled ? &journal : nullptr, steal, run, results);
+  } else {
+    run = work_steal_for(
+        pending.size(), steal, [&](std::size_t j, const TaskStats& task) {
+          const std::size_t i = pending[j];
+          SweepResult r = evaluate_cell(cells[i], options);
+          r.worker = task.worker;
+          r.queue_depth = task.queue_depth;
+          r.worker_steals = task.worker_steals;
+          r.stolen = task.stolen;
+          if (journaled) {
+            // Appended (and flushed) as each cell completes, so a sweep
+            // killed at any point resumes from every cell that finished.
+            journal.append(keys[i], to_journal_payload(r));
+          }
+          results[i] = std::move(r);
+        });
+  }
 
   s.executed = run.executed;
   s.steal_ops = run.steal_ops;

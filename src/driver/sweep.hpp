@@ -258,6 +258,16 @@ struct SweepOptions {
   std::size_t cell_budget = 0;
   /// Permutes each worker's steal-victim order; results never depend on it.
   std::uint64_t steal_seed = 0;
+  /// Maximum lanes per batched kernel invocation. At the default 1 every
+  /// cell executes alone (the historical path). Above 1, cells that share
+  /// an execution engine and a batch shape (codegen/batch_emitter.hpp) —
+  /// same DFG/variant, differing only in trip count — are verified in
+  /// groups: native cells through one SoA batch kernel, VM cells through
+  /// the superinstruction path. Per-cell results, journal payloads and
+  /// deterministic exports are byte-identical to a single-cell run for any
+  /// width; journal_key deliberately excludes the width so batched and
+  /// unbatched runs share cache entries.
+  std::size_t batch_width = 1;
 };
 
 /// Aggregate accounting of one sweep run. Mirrored into the global

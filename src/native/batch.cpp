@@ -1,0 +1,216 @@
+#include "native/batch.hpp"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+#include "codegen/batch_emitter.hpp"
+#include "observe/observe.hpp"
+
+namespace csr::native {
+
+/// Fills one NativeResult per lane from a batch module's SoA descriptor
+/// table (friend of NativeResult, like engine.cpp's NativeResultBuilder).
+struct BatchResultBuilder;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr const char* kKernelSymbol = "csr_kernel";
+constexpr std::int32_t kBatchAbiVersion = 2;
+
+/// One loaded batch shared object: the kernel entry point plus the batched
+/// `csr_*` descriptor table. Buffers are static SoA storage of
+/// extent[a] * width cells per array; counters are per-lane arrays.
+struct BatchModule {
+  std::mutex run_mutex;
+  void (*kernel)() = nullptr;
+  std::int32_t width = 0;
+  std::int32_t array_count = 0;
+  const char* const* names = nullptr;
+  const std::int64_t* base = nullptr;
+  const std::int64_t* extent = nullptr;
+  std::uint64_t* const* values = nullptr;
+  std::uint32_t* const* counts = nullptr;
+  std::int64_t* executed = nullptr;  ///< [width]
+  std::int64_t* disabled = nullptr;  ///< [width]
+};
+
+/// Batch modules are content-addressed by .so path, separate from the
+/// single-cell registry (the two ABIs resolve different symbol shapes).
+std::map<std::string, std::unique_ptr<BatchModule>>& batch_registry() {
+  static auto* registry = new std::map<std::string, std::unique_ptr<BatchModule>>();
+  return *registry;
+}
+
+BatchModule* load_batch_module(const std::string& so_path,
+                               std::int32_t expected_width,
+                               std::string& diagnostic) {
+  static std::mutex registry_mutex;
+  const std::lock_guard<std::mutex> lock(registry_mutex);
+  auto& registry = batch_registry();
+  const auto it = registry.find(so_path);
+  if (it != registry.end()) return it->second.get();
+
+  CSR_SPAN("native", "batch_dlopen");
+  observe::MetricsRegistry::global()
+      .counter("csr_batch_dlopen_total", "Batch kernel shared objects loaded")
+      .increment();
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = ::dlerror();
+    diagnostic = "dlopen failed: " + std::string(err != nullptr ? err : "?");
+    return nullptr;
+  }
+  auto module = std::make_unique<BatchModule>();
+  bool ok = true;
+  const auto resolve = [&](const char* name) -> void* {
+    void* sym = ::dlsym(handle, name);
+    if (sym == nullptr) {
+      if (!diagnostic.empty()) diagnostic += "; ";
+      diagnostic += "missing kernel symbol '" + std::string(name) + "'";
+      ok = false;
+    }
+    return sym;
+  };
+  const auto* abi = static_cast<const std::int32_t*>(resolve("csr_abi_version"));
+  const auto* width = static_cast<const std::int32_t*>(resolve("csr_batch_width"));
+  module->kernel = reinterpret_cast<void (*)()>(resolve(kKernelSymbol));
+  const auto* count = static_cast<const std::int32_t*>(resolve("csr_array_count"));
+  module->names = static_cast<const char* const*>(resolve("csr_array_names"));
+  module->base = static_cast<const std::int64_t*>(resolve("csr_array_base"));
+  module->extent = static_cast<const std::int64_t*>(resolve("csr_array_extent"));
+  module->values = static_cast<std::uint64_t* const*>(resolve("csr_array_values"));
+  module->counts = static_cast<std::uint32_t* const*>(resolve("csr_array_counts"));
+  module->executed = static_cast<std::int64_t*>(resolve("csr_executed"));
+  module->disabled = static_cast<std::int64_t*>(resolve("csr_disabled"));
+  if (ok && *abi != kBatchAbiVersion) {
+    diagnostic = "kernel ABI version " + std::to_string(*abi) + ", host expects " +
+                 std::to_string(kBatchAbiVersion);
+    ok = false;
+  }
+  if (ok && *width != expected_width) {
+    diagnostic = "kernel batch width " + std::to_string(*width) +
+                 ", host expects " + std::to_string(expected_width);
+    ok = false;
+  }
+  if (!ok) {
+    ::dlclose(handle);
+    return nullptr;
+  }
+  module->width = *width;
+  module->array_count = *count;
+  return registry.emplace(so_path, std::move(module)).first->second.get();
+}
+
+/// Zeroes the batch kernel's static SoA state across all lanes.
+void reset_batch_module(BatchModule& module) {
+  const auto width = static_cast<std::size_t>(module.width);
+  for (std::int32_t a = 0; a < module.array_count; ++a) {
+    const auto cells = static_cast<std::size_t>(module.extent[a]) * width;
+    std::memset(module.values[a], 0, cells * sizeof(std::uint64_t));
+    std::memset(module.counts[a], 0, cells * sizeof(std::uint32_t));
+  }
+  std::memset(module.executed, 0, width * sizeof(std::int64_t));
+  std::memset(module.disabled, 0, width * sizeof(std::int64_t));
+}
+
+}  // namespace
+
+struct BatchResultBuilder {
+  /// De-interleaves lane `lane` of the SoA buffers into a NativeResult with
+  /// the same observable layout run_native would produce for that lane.
+  static void snapshot(const BatchModule& module, std::int32_t lane,
+                       NativeResult& result) {
+    const auto width = static_cast<std::size_t>(module.width);
+    for (std::int32_t a = 0; a < module.array_count; ++a) {
+      NativeResult::ArrayState state;
+      state.base = module.base[a];
+      const auto cells = static_cast<std::size_t>(module.extent[a]);
+      state.values.resize(cells);
+      state.counts.resize(cells);
+      const std::uint64_t* values = module.values[a];
+      const std::uint32_t* counts = module.counts[a];
+      for (std::size_t c = 0; c < cells; ++c) {
+        state.values[c] = values[c * width + static_cast<std::size_t>(lane)];
+        state.counts[c] = counts[c * width + static_cast<std::size_t>(lane)];
+      }
+      state.writes = std::accumulate(state.counts.begin(), state.counts.end(),
+                                     std::int64_t{0});
+      result.arrays_.emplace(module.names[a], std::move(state));
+    }
+    result.executed_ = module.executed[lane];
+    result.disabled_ = module.disabled[lane];
+  }
+};
+
+BatchOutcome run_native_batch(const std::vector<LoopProgram>& programs,
+                              const CompileOptions& options) {
+  CSR_SPAN("native", "run_native_batch");
+  auto& registry = observe::MetricsRegistry::global();
+  static observe::Histogram& kernel_seconds = registry.histogram(
+      "csr_batch_kernel_run_seconds", observe::latency_seconds_bounds(),
+      "Wall time of one batched kernel execution (all lanes)");
+  static observe::Counter& lane_counter = registry.counter(
+      "csr_batch_lanes_total", "Lanes executed through batch kernels");
+  static observe::Counter& run_counter =
+      registry.counter("csr_batch_kernel_runs_total", "Batched kernel executions");
+
+  BatchOutcome outcome;
+  const auto width = static_cast<std::int32_t>(programs.size());
+
+  const auto compile_start = Clock::now();
+  // Throws on empty/invalid/shape-incompatible input — same contract as
+  // the emitter, surfaced before any toolchain work.
+  const std::string source = to_batch_c_source(programs);
+
+  CompileOptions batch_options = options;
+  batch_options.layout = "soa-v1-w" + std::to_string(width);
+  const CompileResult compiled = compile_shared_object(source, batch_options);
+  outcome.cache_hit = compiled.cache_hit;
+  outcome.timed_out = compiled.timed_out;
+  outcome.compile_seconds = seconds_since(compile_start);
+  if (!compiled.ok) {
+    outcome.status = NativeStatus::kCompileFailed;
+    outcome.diagnostic = compiled.diagnostic;
+    return outcome;
+  }
+
+  std::string diagnostic;
+  BatchModule* module = load_batch_module(compiled.shared_object, width, diagnostic);
+  if (module == nullptr) {
+    outcome.status = NativeStatus::kLoadFailed;
+    outcome.diagnostic = diagnostic;
+    return outcome;
+  }
+
+  const std::lock_guard<std::mutex> lock(module->run_mutex);
+  observe::Span run_span("native", "batch_kernel_run");
+  run_span.arg("width", std::to_string(width));
+  const auto run_start = Clock::now();
+  reset_batch_module(*module);
+  module->kernel();
+  outcome.run_seconds = seconds_since(run_start);
+  kernel_seconds.observe(outcome.run_seconds);
+  run_counter.increment();
+  lane_counter.increment(width);
+  outcome.lanes.resize(programs.size());
+  for (std::int32_t lane = 0; lane < width; ++lane) {
+    BatchResultBuilder::snapshot(*module, lane,
+                                 outcome.lanes[static_cast<std::size_t>(lane)]);
+  }
+  outcome.status = NativeStatus::kOk;
+  return outcome;
+}
+
+}  // namespace csr::native

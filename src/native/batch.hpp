@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batched native execution: many (n, initial-state) lanes of one loop
+/// shape compiled into a single SoA kernel (codegen/batch_emitter.hpp) and
+/// executed with one call. Per-lane final state is read back through the
+/// batched `csr_*` descriptor table (ABI version 2: `csr_batch_width`,
+/// per-lane `csr_executed[]`/`csr_disabled[]`, lane-innermost buffers) into
+/// one NativeResult per lane, each observably identical to what
+/// run_native() would have produced for that lane alone — the batch
+/// differential harness (ctest label `batch`) holds this bit-for-bit.
+///
+/// Same availability contract as run_native: toolchain problems are
+/// reported outcomes, never aborts. Modules stay loaded for the life of
+/// the process and runs of one module serialize on its mutex.
+
+#include <string>
+#include <vector>
+
+#include "loopir/program.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
+
+namespace csr::native {
+
+/// Outcome of one batched kernel run; `lanes` is parallel to the input
+/// programs and valid only when ok().
+struct BatchOutcome {
+  NativeStatus status = NativeStatus::kCompileFailed;
+  bool cache_hit = false;
+  bool timed_out = false;
+  std::string diagnostic;
+  double compile_seconds = 0;
+  double run_seconds = 0;  ///< one reset + one kernel call for all lanes
+  std::vector<NativeResult> lanes;
+
+  [[nodiscard]] bool ok() const { return status == NativeStatus::kOk; }
+};
+
+/// Emits, compiles (cached, layout-keyed "soa-v1-w<W>") and runs the batch
+/// kernel for `programs` (width = programs.size()). Throws InvalidArgument
+/// when `programs` is empty, a program fails validation, or the programs'
+/// batch shapes differ (batch_shape_key); toolchain failures come back in
+/// `status`/`diagnostic`.
+[[nodiscard]] BatchOutcome run_native_batch(const std::vector<LoopProgram>& programs,
+                                            const CompileOptions& options = {});
+
+}  // namespace csr::native

@@ -67,8 +67,10 @@ std::string cache_key(const std::string& source, const CompileOptions& options,
                       const std::string& compiler) {
   // The fake spec is part of the key: an injected-fault compile must never
   // be satisfied by (or pollute) an object the real toolchain produced.
-  return content_key(
-      'k', {source, options.flags, compiler, effective_fake_spec(options)});
+  // The layout tag keeps single-cell and batch (SoA) kernels apart even if
+  // their source texts ever coincide — the two ABIs are incompatible.
+  return content_key('k', {source, options.flags, compiler,
+                           effective_fake_spec(options), options.layout});
 }
 
 fs::path cache_directory(const CompileOptions& options, std::string& problem) {

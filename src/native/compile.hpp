@@ -61,6 +61,11 @@ struct CompileOptions {
   double deadline_seconds = 0.0;
   /// Fault-injection spec (see file comment); empty = $CSR_FAKE_CC.
   std::string fake_compiler;
+  /// Kernel state-layout tag, part of the cache key. Single-cell kernels
+  /// leave it empty; the batch engine sets "soa-v1-w<width>" so a batch
+  /// kernel and a single-cell kernel derived from the same program text can
+  /// never collide in the cache (the layouts have incompatible ABIs).
+  std::string layout;
 };
 
 struct CompileResult {

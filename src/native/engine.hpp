@@ -46,6 +46,7 @@ class NativeResult final : public StateView {
 
  private:
   friend struct NativeResultBuilder;  // engine.cpp's snapshot writer
+  friend struct BatchResultBuilder;   // batch.cpp's per-lane snapshot writer
 
   struct ArrayState {
     std::int64_t base = 0;

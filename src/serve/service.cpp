@@ -246,6 +246,7 @@ SweepService::SweepService(ServiceOptions options)
 driver::SweepOptions SweepService::sweep_options(const Query& query) const {
   driver::SweepOptions opts;
   opts.threads = options_.sweep_threads;
+  opts.batch_width = options_.sweep_batch_width;
   opts.verify = query.config.options().verify;
   opts.machine = options_.machine;
   opts.retry = options_.retry;

@@ -61,6 +61,10 @@ struct ServiceOptions {
   /// grid axes and `verify`; the machine model and thread budget are
   /// operator policy, not caller policy).
   unsigned sweep_threads = 0;  ///< 0 = one per hardware thread
+  /// Lanes per batched kernel invocation (SweepOptions::batch_width).
+  /// Results are byte-identical at any width, so this is pure operator
+  /// throughput policy — it never enters journal or cache keys.
+  std::size_t sweep_batch_width = 1;
   driver::RetryPolicy retry;
   ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
 

@@ -1,0 +1,21 @@
+#include "vm/batch.hpp"
+
+#include "observe/observe.hpp"
+
+namespace csr {
+
+std::vector<Machine> run_program_batch(const std::vector<LoopProgram>& programs) {
+  CSR_SPAN("vm", "run_program_batch");
+  static observe::Counter& lane_counter =
+      observe::MetricsRegistry::global().counter(
+          "csr_batch_vm_lanes_total", "Lanes executed through the batched VM path");
+  std::vector<Machine> machines;
+  machines.reserve(programs.size());
+  for (const LoopProgram& program : programs) {
+    machines.push_back(run_program(program, ExecMode::kSuper));
+  }
+  lane_counter.increment(programs.size());
+  return machines;
+}
+
+}  // namespace csr

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batched VM execution: runs every program of a batch through the
+/// superinstruction engine (ExecMode::kSuper) and returns one Machine per
+/// lane. Lanes are independent on the VM — there is no cross-lane state to
+/// vectorize — so this is the driver's uniform batch interface for
+/// ExecEngine::kVm, the per-lane results bit-identical to single-cell
+/// run_program calls (held by the batch differential harness).
+
+#include <vector>
+
+#include "loopir/program.hpp"
+#include "vm/machine.hpp"
+
+namespace csr {
+
+/// Runs each program on a fresh machine via ExecMode::kSuper. Results are
+/// parallel to `programs`. Throws InvalidArgument on the first invalid
+/// program (same contract as Machine::run).
+[[nodiscard]] std::vector<Machine> run_program_batch(
+    const std::vector<LoopProgram>& programs);
+
+}  // namespace csr

@@ -45,11 +45,24 @@ struct FastInstr {
   std::int64_t value = 0;
 };
 
+/// One fused op of the superinstruction path (ExecMode::kSuper): a maximal
+/// run of consecutive statements sharing one guard register (-1 = all
+/// unconditional), or a single setup/decrement. Fusing is legal exactly
+/// because no register-mutating instruction sits inside a run, so the guard
+/// window evaluated once at the run's head holds for every statement in it.
+struct SuperOp {
+  InstrKind kind = InstrKind::kStatement;
+  std::int32_t guard = -1;
+  std::uint32_t first = 0;  ///< index of the run's first FastInstr
+  std::uint32_t count = 0;  ///< statements fused into this op
+};
+
 struct FastSegment {
   std::int64_t begin = 0;
   std::int64_t end = 0;
   std::int64_t step = 1;
   std::vector<FastInstr> instrs;
+  std::vector<SuperOp> super;  ///< filled only by the kSuper path
 };
 
 struct FastRegister {
@@ -140,7 +153,7 @@ void Machine::run_reference(const LoopProgram& program) {
 
 // --- fast engine ------------------------------------------------------------
 
-bool Machine::run_fast(const LoopProgram& program) {
+bool Machine::run_fast(const LoopProgram& program, bool fuse) {
   // Intern array and register names to dense ids (first-use order).
   const std::vector<std::string> array_names = program.array_names();
   const std::vector<std::string> reg_names = program.conditional_registers();
@@ -197,6 +210,29 @@ bool Machine::run_fast(const LoopProgram& program) {
       }
       fast_seg.instrs.push_back(fi);
     }
+    if (fuse) {
+      // Fuse maximal same-guard statement runs; setups and decrements stay
+      // singleton ops (they mutate registers, so they delimit runs).
+      for (std::uint32_t k = 0; k < fast_seg.instrs.size(); ++k) {
+        const FastInstr& fi = fast_seg.instrs[k];
+        SuperOp op;
+        op.kind = fi.kind;
+        op.first = k;
+        op.count = 1;
+        if (fi.kind == InstrKind::kStatement) {
+          op.guard = fi.guard;
+          if (!fast_seg.super.empty()) {
+            SuperOp& prev = fast_seg.super.back();
+            if (prev.kind == InstrKind::kStatement && prev.guard == fi.guard &&
+                prev.first + prev.count == k) {
+              ++prev.count;
+              continue;
+            }
+          }
+        }
+        fast_seg.super.push_back(op);
+      }
+    }
     segments.push_back(std::move(fast_seg));
   }
 
@@ -227,6 +263,89 @@ bool Machine::run_fast(const LoopProgram& program) {
   // The interpret loop proper: no strings, no maps, no allocation.
   std::vector<FastRegister> regs(reg_names.size());
   const std::int64_t lc = program.n;
+
+  const auto exec_statement = [&](const FastInstr& fi, std::int64_t i) {
+    const std::int64_t target = i + fi.offset;
+    std::uint64_t h = mix(fi.op_seed ^ mix(static_cast<std::uint64_t>(target)));
+    const std::uint32_t src_end = fi.src_begin + fi.src_count;
+    for (std::uint32_t s = fi.src_begin; s < src_end; ++s) {
+      const FastSource& src = sources[s];
+      const FlatArray& arr = arrays_[static_cast<std::size_t>(src.array)];
+      const std::int64_t idx = i + src.offset;
+      const auto slot = static_cast<std::size_t>(idx - arr.base);
+      const std::uint64_t v =
+          arr.counts[slot] != 0
+              ? arr.values[slot]
+              : mix(arr.seed ^ mix(static_cast<std::uint64_t>(idx) ^ kBoundarySalt));
+      h = mix(h ^ mix(v));
+    }
+    FlatArray& dst = arrays_[static_cast<std::size_t>(fi.array)];
+    const auto slot = static_cast<std::size_t>(target - dst.base);
+    dst.values[slot] = h;
+    ++dst.counts[slot];
+    ++dst.writes;
+    ++executed_;
+  };
+  const auto setup_register = [&](const FastInstr& fi) {
+    FastRegister& reg = regs[static_cast<std::size_t>(fi.reg)];
+    reg.value = fi.value;
+    reg.lower_bound = -lc;
+    reg.live = true;
+  };
+  const auto decrement_register = [&](const FastInstr& fi) {
+    FastRegister& reg = regs[static_cast<std::size_t>(fi.reg)];
+    if (!reg.live) {
+      throw InvalidArgument("decrement of register '" +
+                            reg_names[static_cast<std::size_t>(fi.reg)] +
+                            "' before setup");
+    }
+    reg.value -= fi.value;
+  };
+
+  if (fuse) {
+    // Superinstruction path: one guard evaluation per fused run. Counters
+    // stay per original statement, so every observable (values, counts,
+    // issued/executed/disabled) is bit-identical to the unfused path.
+    for (const FastSegment& seg : segments) {
+      for (std::int64_t i = seg.begin; i <= seg.end; i += seg.step) {
+        for (const SuperOp& op : seg.super) {
+          switch (op.kind) {
+            case InstrKind::kStatement: {
+              issued_ += op.count;
+              if (op.guard >= 0) {
+                const FastRegister& reg = regs[static_cast<std::size_t>(op.guard)];
+                if (!reg.live) {
+                  throw InvalidArgument(
+                      "guard register '" +
+                      reg_names[static_cast<std::size_t>(op.guard)] +
+                      "' used before setup");
+                }
+                if (!(reg.value <= 0 && reg.value > reg.lower_bound)) {
+                  disabled_ += op.count;
+                  continue;
+                }
+              }
+              const std::uint32_t run_end = op.first + op.count;
+              for (std::uint32_t k = op.first; k < run_end; ++k) {
+                exec_statement(seg.instrs[k], i);
+              }
+              break;
+            }
+            case InstrKind::kSetup:
+              ++issued_;
+              setup_register(seg.instrs[op.first]);
+              break;
+            case InstrKind::kDecrement:
+              ++issued_;
+              decrement_register(seg.instrs[op.first]);
+              break;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
   for (const FastSegment& seg : segments) {
     for (std::int64_t i = seg.begin; i <= seg.end; i += seg.step) {
       for (const FastInstr& fi : seg.instrs) {
@@ -246,46 +365,15 @@ bool Machine::run_fast(const LoopProgram& program) {
                 continue;
               }
             }
-            const std::int64_t target = i + fi.offset;
-            std::uint64_t h = mix(fi.op_seed ^ mix(static_cast<std::uint64_t>(target)));
-            const std::uint32_t src_end = fi.src_begin + fi.src_count;
-            for (std::uint32_t s = fi.src_begin; s < src_end; ++s) {
-              const FastSource& src = sources[s];
-              const FlatArray& arr = arrays_[static_cast<std::size_t>(src.array)];
-              const std::int64_t idx = i + src.offset;
-              const auto slot = static_cast<std::size_t>(idx - arr.base);
-              const std::uint64_t v =
-                  arr.counts[slot] != 0
-                      ? arr.values[slot]
-                      : mix(arr.seed ^
-                            mix(static_cast<std::uint64_t>(idx) ^ kBoundarySalt));
-              h = mix(h ^ mix(v));
-            }
-            FlatArray& dst = arrays_[static_cast<std::size_t>(fi.array)];
-            const auto slot = static_cast<std::size_t>(target - dst.base);
-            dst.values[slot] = h;
-            ++dst.counts[slot];
-            ++dst.writes;
-            ++executed_;
+            exec_statement(fi, i);
             break;
           }
-          case InstrKind::kSetup: {
-            FastRegister& reg = regs[static_cast<std::size_t>(fi.reg)];
-            reg.value = fi.value;
-            reg.lower_bound = -lc;
-            reg.live = true;
+          case InstrKind::kSetup:
+            setup_register(fi);
             break;
-          }
-          case InstrKind::kDecrement: {
-            FastRegister& reg = regs[static_cast<std::size_t>(fi.reg)];
-            if (!reg.live) {
-              throw InvalidArgument("decrement of register '" +
-                                    reg_names[static_cast<std::size_t>(fi.reg)] +
-                                    "' before setup");
-            }
-            reg.value -= fi.value;
+          case InstrKind::kDecrement:
+            decrement_register(fi);
             break;
-          }
         }
       }
     }
@@ -298,7 +386,10 @@ void Machine::run(const LoopProgram& program, ExecMode mode) {
   if (!problems.empty()) {
     throw InvalidArgument("invalid loop program: " + join(problems, "; "));
   }
-  if (mode == ExecMode::kFast && run_fast(program)) return;
+  if ((mode == ExecMode::kFast || mode == ExecMode::kSuper) &&
+      run_fast(program, mode == ExecMode::kSuper)) {
+    return;
+  }
   run_reference(program);
 }
 
@@ -376,7 +467,9 @@ Machine run_program(const LoopProgram& program, ExecMode mode) {
     };
   }();
   observe::Span span("vm", "run_program");
-  span.arg("mode", mode == ExecMode::kFast ? "fast" : "reference");
+  span.arg("mode", mode == ExecMode::kFast    ? "fast"
+                   : mode == ExecMode::kSuper ? "super"
+                                              : "reference");
   Machine machine;
   machine.run(program, mode);
   metrics.runs.increment();

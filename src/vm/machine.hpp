@@ -17,7 +17,7 @@
 /// execution-count claims of Theorems 4.1/4.2/4.6: each node executes
 /// exactly n times, no matter how the loop was pipelined or unfolded.
 ///
-/// Two execution engines share these semantics bit-for-bit:
+/// Three execution engines share these semantics bit-for-bit:
 ///
 ///   * ExecMode::kFast (default) — the program is *resolved* once before the
 ///     first trip: array names are interned to dense ids (in
@@ -26,10 +26,20 @@
 ///     the segment bounds so memory and write counts live in flat vectors.
 ///     The inner interpret loop performs no string hashing, no map lookups
 ///     and no per-statement allocation.
+///   * ExecMode::kSuper — the superinstruction fast path: on top of the
+///     kFast resolution, maximal runs of consecutive statements that share
+///     one guard register (or are all unguarded) are fused into single
+///     superinstructions. The guard window is evaluated once per fused op —
+///     legal because no setup or decrement can intervene inside a run — so
+///     straight-line guarded segments of post-optimizer LoopIR execute with
+///     one branch per run instead of one per statement. Execution counters
+///     (issued / executed / disabled) are accounted per original statement,
+///     so results are bit-identical to kFast (the batch execution engine
+///     and the fuzz harness both cross-check this).
 ///   * ExecMode::kReference — the original std::map-backed interpreter, kept
 ///     as the differential-testing oracle and the "before" baseline of
-///     bench/perf_codegen_vm.cpp. The fast path also falls back to it when a
-///     program's index span is too large to back with dense storage.
+///     bench/perf_codegen_vm.cpp. Both fast paths also fall back to it when
+///     a program's index span is too large to back with dense storage.
 
 #include <cstdint>
 #include <map>
@@ -50,7 +60,7 @@ namespace csr {
                                             const std::vector<std::uint64_t>& operands);
 
 /// Interpreter engine selection; see the file comment.
-enum class ExecMode { kFast, kReference };
+enum class ExecMode { kFast, kSuper, kReference };
 
 class Machine {
  public:
@@ -99,8 +109,10 @@ class Machine {
 
   void run_reference(const LoopProgram& program);
   /// Returns false when the program's index span exceeds the dense-storage
-  /// budget and the caller should fall back to the reference engine.
-  bool run_fast(const LoopProgram& program);
+  /// budget and the caller should fall back to the reference engine. When
+  /// `fuse` is set, consecutive same-guard statement runs execute as fused
+  /// superinstructions (ExecMode::kSuper); results are bit-identical.
+  bool run_fast(const LoopProgram& program, bool fuse);
   void execute(const Instruction& instr, std::int64_t i, std::int64_t lc);
   [[nodiscard]] const FlatArray* flat_array(const std::string& array) const;
 

@@ -1,0 +1,335 @@
+// The batch-vs-single differential harness (ctest label `batch`): batched
+// execution is a pure throughput optimization, so every observable it
+// produces must be bit-identical to the single-cell path it replaces.
+//
+// Three layers are held, each across the six paper benchmarks:
+//
+//   * **VM** — run_program_batch (superinstruction engine per lane) against
+//     single-cell run_program on ragged lane sets, at widths {1,2,3,7,16}:
+//     same array state, write discipline and execution counters per lane.
+//   * **Native** — run_native_batch (one SoA kernel for the whole batch)
+//     against single-cell run_native and against the VM expectation: the
+//     lockstep + masked-remainder kernel must leave exactly the per-lane
+//     state a width-1 kernel leaves.
+//   * **Driver** — run_sweep over an explicit cell list at every width,
+//     asserting the default CSV and JSON exports are byte-identical to the
+//     width-1 run (the acceptance criterion of docs/ENGINES.md's batch
+//     section), including verified / measured_size bits per cell.
+//
+// Plus the supporting invariants: the superinstruction engine agrees with
+// both the resolved fast path and the map-backed reference interpreter, the
+// batch shape key groups exactly the lanes one kernel may serve, and the
+// compile cache keeps SoA layouts and the single-cell layout apart
+// (regression: the key once ignored the layout, so a batch kernel could
+// collide with the single kernel built from the same source text).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/batch_emitter.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "native/batch.hpp"
+#include "native/compile.hpp"
+#include "native/engine.hpp"
+#include "retiming/opt.hpp"
+#include "vm/batch.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+/// Ragged lane sizes: deliberately non-uniform and non-monotone so the
+/// lockstep loop and the masked remainder loop both execute for every
+/// width > 1, and cycled to 16 lanes so the widest batch is full.
+std::vector<std::int64_t> ragged_ns() {
+  const std::int64_t base[] = {7, 23, 11, 40, 17, 9, 31, 12};
+  std::vector<std::int64_t> ns;
+  for (std::size_t i = 0; i < 16; ++i) ns.push_back(base[i % std::size(base)]);
+  return ns;
+}
+
+constexpr std::size_t kWidths[] = {1, 2, 3, 7, 16};
+
+struct VariantCase {
+  std::string benchmark;  ///< registry short name
+  bool csr;               ///< retimed-CSR form instead of the original loop
+};
+
+std::string variant_name(const ::testing::TestParamInfo<VariantCase>& info) {
+  std::string name =
+      info.param.benchmark + (info.param.csr ? "_retimed_csr" : "_original");
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+std::vector<VariantCase> make_variants() {
+  std::vector<VariantCase> cases;
+  for (const auto& info : benchmarks::all_graphs()) {
+    cases.push_back({info.name, false});
+    cases.push_back({info.name, true});
+  }
+  return cases;
+}
+
+DataFlowGraph graph_for(const std::string& name) {
+  const auto& graphs = benchmarks::all_graphs();
+  const auto it = std::find_if(graphs.begin(), graphs.end(),
+                               [&](const auto& b) { return b.name == name; });
+  EXPECT_NE(it, graphs.end()) << name;
+  return it->factory();
+}
+
+LoopProgram make_program(const DataFlowGraph& g, bool csr, std::int64_t n) {
+  return csr ? retimed_csr_program(g, minimum_period_retiming(g).retiming, n)
+             : original_program(g, n);
+}
+
+/// Asserts one batched lane is observably identical to its single-cell run:
+/// array state, write discipline and all three execution counters.
+void expect_lane_matches(const Machine& single, const StateView& lane,
+                         const std::vector<std::string>& arrays, std::int64_t n,
+                         const std::string& label) {
+  const auto diffs = diff_observable_state(MachineView(single), lane, arrays, n);
+  EXPECT_TRUE(diffs.empty()) << label << ": " << (diffs.empty() ? "" : diffs.front());
+  const auto discipline = check_write_discipline(lane, arrays, n);
+  EXPECT_TRUE(discipline.empty())
+      << label << ": " << (discipline.empty() ? "" : discipline.front());
+}
+
+class BatchDifferentialTest : public ::testing::TestWithParam<VariantCase> {
+ protected:
+  void SetUp() override {
+    graph_ = graph_for(GetParam().benchmark);
+    arrays_ = array_names(graph_);
+    for (const std::int64_t n : ragged_ns()) {
+      programs_.push_back(make_program(graph_, GetParam().csr, n));
+    }
+  }
+
+  DataFlowGraph graph_;
+  std::vector<std::string> arrays_;
+  std::vector<LoopProgram> programs_;
+};
+
+// All 16 ragged lanes share one batch shape — the grouping predicate the
+// driver batches on — and a structurally different program does not.
+TEST_P(BatchDifferentialTest, RaggedLanesShareOneShape) {
+  const std::string key = batch_shape_key(programs_.front());
+  EXPECT_FALSE(key.empty());
+  for (const LoopProgram& p : programs_) {
+    EXPECT_EQ(batch_shape_key(p), key) << "n=" << p.n;
+    EXPECT_TRUE(batch_compatible(programs_.front(), p));
+  }
+  const LoopProgram other = GetParam().csr
+                                ? original_program(graph_, programs_.front().n)
+                                : retimed_csr_program(
+                                      graph_, minimum_period_retiming(graph_).retiming,
+                                      programs_.front().n);
+  EXPECT_NE(batch_shape_key(other), key);
+  EXPECT_FALSE(batch_compatible(programs_.front(), other));
+}
+
+// The superinstruction engine agrees with the resolved fast path and the
+// map-backed reference interpreter, counters included.
+TEST_P(BatchDifferentialTest, SuperinstructionEngineMatchesFastAndReference) {
+  for (const LoopProgram& p : programs_) {
+    const Machine fast = run_program(p, ExecMode::kFast);
+    const Machine super = run_program(p, ExecMode::kSuper);
+    const Machine ref = run_program(p, ExecMode::kReference);
+    expect_lane_matches(fast, MachineView(super), arrays_, p.n, "super vs fast");
+    expect_lane_matches(ref, MachineView(super), arrays_, p.n, "super vs reference");
+    EXPECT_EQ(super.executed_statements(), fast.executed_statements());
+    EXPECT_EQ(super.disabled_statements(), fast.disabled_statements());
+    EXPECT_EQ(super.issued_instructions(), fast.issued_instructions());
+  }
+}
+
+// VM batching: every lane of every chunk, at every width, is bit-identical
+// to a single-cell run of the same program.
+TEST_P(BatchDifferentialTest, VmBatchMatchesSingleAtEveryWidth) {
+  std::vector<Machine> singles;
+  for (const LoopProgram& p : programs_) singles.push_back(run_program(p));
+
+  for (const std::size_t width : kWidths) {
+    for (std::size_t at = 0; at < programs_.size(); at += width) {
+      const std::size_t count = std::min(width, programs_.size() - at);
+      const std::vector<LoopProgram> chunk(programs_.begin() + at,
+                                           programs_.begin() + at + count);
+      const std::vector<Machine> lanes = run_program_batch(chunk);
+      ASSERT_EQ(lanes.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const Machine& single = singles[at + i];
+        const std::string label = "vm width=" + std::to_string(width) + " lane=" +
+                                  std::to_string(at + i) + " n=" +
+                                  std::to_string(chunk[i].n);
+        expect_lane_matches(single, MachineView(lanes[i]), arrays_, chunk[i].n, label);
+        EXPECT_EQ(lanes[i].executed_statements(), single.executed_statements()) << label;
+        EXPECT_EQ(lanes[i].disabled_statements(), single.disabled_statements()) << label;
+        EXPECT_EQ(lanes[i].issued_instructions(), single.issued_instructions()) << label;
+      }
+    }
+  }
+}
+
+// Native batching: the SoA kernel's per-lane readback equals both the
+// single-cell native kernel and the VM expectation.
+TEST_P(BatchDifferentialTest, NativeBatchMatchesSingleAtEveryWidth) {
+  if (!native::native_available()) GTEST_SKIP() << "no working host compiler";
+
+  std::vector<Machine> singles;
+  for (const LoopProgram& p : programs_) singles.push_back(run_program(p));
+
+  for (const std::size_t width : kWidths) {
+    for (std::size_t at = 0; at < programs_.size(); at += width) {
+      const std::size_t count = std::min(width, programs_.size() - at);
+      const std::vector<LoopProgram> chunk(programs_.begin() + at,
+                                           programs_.begin() + at + count);
+      const native::BatchOutcome batch = native::run_native_batch(chunk);
+      ASSERT_TRUE(batch.ok()) << batch.diagnostic;
+      ASSERT_EQ(batch.lanes.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const Machine& single = singles[at + i];
+        const std::string label = "native width=" + std::to_string(width) + " lane=" +
+                                  std::to_string(at + i) + " n=" +
+                                  std::to_string(chunk[i].n);
+        expect_lane_matches(single, batch.lanes[i], arrays_, chunk[i].n, label);
+        EXPECT_EQ(batch.lanes[i].executed_statements(), single.executed_statements())
+            << label;
+        EXPECT_EQ(batch.lanes[i].disabled_statements(), single.disabled_statements())
+            << label;
+      }
+    }
+    // Width 1 additionally cross-checks the two native ABIs against each
+    // other: a one-lane batch kernel vs the single-cell kernel.
+    if (width == 1) {
+      const native::NativeOutcome one = native::run_native(programs_.front());
+      ASSERT_TRUE(one.ok()) << one.diagnostic;
+      const native::BatchOutcome batch =
+          native::run_native_batch({programs_.front()});
+      ASSERT_TRUE(batch.ok()) << batch.diagnostic;
+      EXPECT_EQ(batch.lanes[0].executed_statements(), one.result.executed_statements());
+      EXPECT_EQ(batch.lanes[0].disabled_statements(), one.result.disabled_statements());
+      const auto diffs = diff_observable_state(one.result, batch.lanes[0], arrays_,
+                                               programs_.front().n);
+      EXPECT_TRUE(diffs.empty()) << (diffs.empty() ? "" : diffs.front());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, BatchDifferentialTest,
+                         ::testing::ValuesIn(make_variants()), variant_name);
+
+// ---------------------------------------------------------------------------
+// Driver level: batched sweeps export the same bytes as single-cell sweeps.
+
+std::vector<driver::SweepCell> driver_cells() {
+  std::vector<driver::SweepCell> cells;
+  for (const auto& info : benchmarks::all_graphs()) {
+    for (const driver::ExecEngine exec :
+         {driver::ExecEngine::kVm, driver::ExecEngine::kNative}) {
+      for (const std::int64_t n : {17, 23, 40}) {
+        for (const driver::Transform t :
+             {driver::Transform::kOriginal, driver::Transform::kRetimedCsr,
+              driver::Transform::kUnfoldedCsr}) {
+          driver::SweepCell cell;
+          cell.benchmark = info.name;
+          cell.exec = exec;
+          cell.transform = t;
+          cell.factor = t == driver::Transform::kUnfoldedCsr ? 2 : 1;
+          cell.n = n;
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+TEST(BatchDriver, ExportsAreByteIdenticalAtEveryWidth) {
+  driver::SweepConfig base;
+  base.cells(driver_cells()).threads(4);
+
+  const driver::SweepRun single = run_sweep(base);
+  const std::string csv = driver::to_csv(single.results);
+  const std::string json = driver::to_json(single.results);
+
+  for (const std::size_t width : {std::size_t{2}, std::size_t{3}, std::size_t{7},
+                                  std::size_t{16}}) {
+    driver::SweepConfig batched = base;
+    batched.batch_width(width);
+    const driver::SweepRun run = run_sweep(batched);
+    ASSERT_EQ(run.results.size(), single.results.size());
+    EXPECT_EQ(driver::to_csv(run.results), csv) << "width=" << width;
+    EXPECT_EQ(driver::to_json(run.results), json) << "width=" << width;
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+      const driver::SweepResult& a = single.results[i];
+      const driver::SweepResult& b = run.results[i];
+      EXPECT_EQ(a.verified, b.verified) << i;
+      EXPECT_EQ(a.discipline_ok, b.discipline_ok) << i;
+      EXPECT_EQ(a.measured_size, b.measured_size) << i;
+      EXPECT_EQ(a.exec_statements, b.exec_statements) << i;
+      EXPECT_EQ(a.engine_fallback, b.engine_fallback) << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compile cache: the SoA layouts and the single-cell layout must never
+// alias. Regression for the content key ignoring CompileOptions::layout —
+// the batch kernel and the single kernel are built from *different* source
+// texts in production, but nothing in the cache contract may rely on that.
+
+TEST(BatchCompileCache, LayoutIsPartOfTheCacheKey) {
+  if (!native::native_available()) GTEST_SKIP() << "no working host compiler";
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("csr-batch-layout-cache-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  const std::string source = "int csr_cache_probe(void) { return 42; }\n";
+  native::CompileOptions single;
+  single.cache_dir = dir.string();
+  native::CompileOptions batch2 = single;
+  batch2.layout = "soa-v1-w2";
+  native::CompileOptions batch3 = single;
+  batch3.layout = "soa-v1-w3";
+
+  const native::CompileResult a = native::compile_shared_object(source, single);
+  const native::CompileResult b = native::compile_shared_object(source, batch2);
+  const native::CompileResult c = native::compile_shared_object(source, batch3);
+  ASSERT_TRUE(a.ok) << a.diagnostic;
+  ASSERT_TRUE(b.ok) << b.diagnostic;
+  ASSERT_TRUE(c.ok) << c.diagnostic;
+
+  // Distinct layouts → distinct cache slots; no first-writer-wins aliasing.
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_FALSE(c.cache_hit);
+  EXPECT_NE(a.shared_object, b.shared_object);
+  EXPECT_NE(a.shared_object, c.shared_object);
+  EXPECT_NE(b.shared_object, c.shared_object);
+
+  // Same layout → the cache serves the same object back.
+  const native::CompileResult b2 = native::compile_shared_object(source, batch2);
+  ASSERT_TRUE(b2.ok) << b2.diagnostic;
+  EXPECT_TRUE(b2.cache_hit);
+  EXPECT_EQ(b2.shared_object, b.shared_object);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace csr

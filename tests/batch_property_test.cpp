@@ -1,0 +1,198 @@
+// Property tests of the batch execution paths over random DFGs: batching is
+// a pure scheduling decision, so for any lane set the per-lane results must
+// be invariant under (a) the batch width, (b) the order lanes are packed
+// into batches, and (c) where the batch/remainder split falls. Each trial
+// draws a random legal graph, builds ragged lanes (original and retimed-CSR
+// forms at random trip counts), fixes the width-1 result as the oracle and
+// replays the lanes through randomly re-ordered, randomly split batches.
+//
+// The VM leg runs every trial; the native leg compiles one kernel per
+// (shape, width) so it samples fewer trials. Iterations scale with
+// CSR_FUZZ_ITERS like the fuzz suite; every trial runs under a SCOPED_TRACE
+// naming its seed so failures reproduce from the message alone.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "codegen/statements.hpp"
+#include "dfg/random.hpp"
+#include "native/batch.hpp"
+#include "native/compile.hpp"
+#include "retiming/opt.hpp"
+#include "support/rng.hpp"
+#include "vm/batch.hpp"
+#include "vm/equivalence.hpp"
+
+namespace csr {
+namespace {
+
+constexpr std::uint64_t kSeedCorpus[] = {
+    0xBA7C4ED5ull, 0x5EED0B47ull, 0xC0DE50A1ull, 0xF00D5EEDull,
+};
+
+int iterations_per_seed() {
+  if (const char* env = std::getenv("CSR_FUZZ_ITERS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return std::max(1, value / 10);
+  }
+  return 10;
+}
+
+/// One trial's lane set: a random graph's original or retimed-CSR form at
+/// 3..16 random ragged trip counts — by construction batch-compatible.
+struct LaneSet {
+  DataFlowGraph graph;
+  std::vector<std::string> arrays;
+  std::vector<LoopProgram> programs;
+};
+
+LaneSet random_lanes(SplitMix64& rng) {
+  LaneSet lanes;
+  RandomDfgOptions options;
+  options.max_nodes = 8;
+  lanes.graph = random_dfg(rng, options);
+  lanes.arrays = array_names(lanes.graph);
+  const bool csr = rng.uniform(0, 1) == 1;
+  const std::optional<OptimalRetiming> opt =
+      csr ? std::optional<OptimalRetiming>(minimum_period_retiming(lanes.graph))
+          : std::nullopt;
+  const int count = static_cast<int>(rng.uniform(3, 16));
+  for (int i = 0; i < count; ++i) {
+    // Retimed-CSR needs n past the deepest prologue; keep a safe floor.
+    const std::int64_t floor = csr ? opt->retiming.max_value() + 1 : 1;
+    const std::int64_t n = floor + rng.uniform(1, 40);
+    lanes.programs.push_back(
+        csr ? retimed_csr_program(lanes.graph, opt->retiming, n)
+            : original_program(lanes.graph, n));
+  }
+  return lanes;
+}
+
+/// Splits [0, count) at random boundaries; every element appears once.
+std::vector<std::vector<std::size_t>> random_split(std::size_t count,
+                                                   SplitMix64& rng,
+                                                   bool shuffle) {
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (shuffle) {
+    for (std::size_t i = count; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  std::vector<std::vector<std::size_t>> chunks;
+  std::size_t at = 0;
+  while (at < count) {
+    const auto take = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(count - at)));
+    chunks.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(at),
+                        order.begin() + static_cast<std::ptrdiff_t>(at + take));
+    at += take;
+  }
+  return chunks;
+}
+
+void expect_same_as_single(const Machine& single, const StateView& lane,
+                           const std::vector<std::string>& arrays,
+                           std::int64_t n, const std::string& label) {
+  const auto diffs = diff_observable_state(MachineView(single), lane, arrays, n);
+  ASSERT_TRUE(diffs.empty()) << label << ": " << diffs.front();
+}
+
+template <typename Body>
+void for_each_trial(Body body) {
+  const int iters = iterations_per_seed();
+  for (const std::uint64_t seed : kSeedCorpus) {
+    SplitMix64 rng(seed);
+    for (int trial = 0; trial < iters; ++trial) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed 0x" << std::hex << seed << std::dec << " trial "
+                   << trial);
+      body(rng);
+    }
+  }
+}
+
+// VM: any shuffle + any split of the lane list reproduces the width-1
+// result lane for lane, counters included.
+TEST(BatchProperty, VmBatchInvariantUnderOrderingAndSplit) {
+  for_each_trial([](SplitMix64& rng) {
+    const LaneSet lanes = random_lanes(rng);
+    std::vector<Machine> singles;
+    for (const LoopProgram& p : lanes.programs) singles.push_back(run_program(p));
+
+    for (const bool shuffle : {false, true}) {
+      const auto chunks = random_split(lanes.programs.size(), rng, shuffle);
+      for (const auto& chunk : chunks) {
+        std::vector<LoopProgram> batch;
+        for (const std::size_t i : chunk) batch.push_back(lanes.programs[i]);
+        const std::vector<Machine> out = run_program_batch(batch);
+        ASSERT_EQ(out.size(), chunk.size());
+        for (std::size_t k = 0; k < chunk.size(); ++k) {
+          const Machine& single = singles[chunk[k]];
+          const std::string label =
+              "lane " + std::to_string(chunk[k]) +
+              (shuffle ? " (shuffled)" : " (in order)");
+          expect_same_as_single(single, MachineView(out[k]), lanes.arrays,
+                                batch[k].n, label);
+          EXPECT_EQ(out[k].executed_statements(), single.executed_statements())
+              << label;
+          EXPECT_EQ(out[k].disabled_statements(), single.disabled_statements())
+              << label;
+          EXPECT_EQ(out[k].issued_instructions(), single.issued_instructions())
+              << label;
+        }
+      }
+    }
+  });
+}
+
+// Native: same invariant through the SoA kernel. One compile per (shape,
+// width) makes this the expensive leg, so it runs a slice of the trials.
+TEST(BatchProperty, NativeBatchInvariantUnderOrderingAndSplit) {
+  if (!native::native_available()) GTEST_SKIP() << "no working host compiler";
+
+  int trials = 0;
+  for (const std::uint64_t seed : kSeedCorpus) {
+    SplitMix64 rng(seed);
+    SCOPED_TRACE(::testing::Message() << "seed 0x" << std::hex << seed);
+    const LaneSet lanes = random_lanes(rng);
+    std::vector<Machine> singles;
+    for (const LoopProgram& p : lanes.programs) singles.push_back(run_program(p));
+
+    const auto chunks = random_split(lanes.programs.size(), rng, /*shuffle=*/true);
+    for (const auto& chunk : chunks) {
+      std::vector<LoopProgram> batch;
+      for (const std::size_t i : chunk) batch.push_back(lanes.programs[i]);
+      const native::BatchOutcome out = native::run_native_batch(batch);
+      ASSERT_TRUE(out.ok()) << out.diagnostic;
+      ASSERT_EQ(out.lanes.size(), chunk.size());
+      for (std::size_t k = 0; k < chunk.size(); ++k) {
+        const Machine& single = singles[chunk[k]];
+        const std::string label = "native lane " + std::to_string(chunk[k]);
+        expect_same_as_single(single, out.lanes[k], lanes.arrays, batch[k].n,
+                              label);
+        EXPECT_EQ(out.lanes[k].executed_statements(),
+                  single.executed_statements())
+            << label;
+        EXPECT_EQ(out.lanes[k].disabled_statements(),
+                  single.disabled_statements())
+            << label;
+      }
+    }
+    ++trials;
+  }
+  EXPECT_GT(trials, 0);
+}
+
+}  // namespace
+}  // namespace csr

@@ -231,6 +231,73 @@ TEST(FuzzSmoke, OptimizerSurvivesMutatedProgramsAndPreservesSemantics) {
   EXPECT_GT(optimized_count, 0);
 }
 
+TEST(FuzzSmoke, SuperinstructionVmMatchesReferenceOnMutatedPrograms) {
+  // The superinstruction engine (ExecMode::kSuper) fuses guarded runs of
+  // post-optimizer LoopIR into single ops; on *any* program that runs at
+  // all it must agree with the map-backed reference interpreter — state,
+  // write counts and all three issue counters. Mutated program text is the
+  // adversary here: it produces guard/setup/segment shapes no generator
+  // emits (zero-trip segments, dead guards, duplicated decrements).
+  const std::string base =
+      "program demo\n"
+      "n 11\n"
+      "segment 0 0 1\n"
+      "setup p1 3\n"
+      "setup p2 1\n"
+      "segment 1 11 2\n"
+      "stmt A 1 + guard p1 src B -2 src C 0\n"
+      "stmt B 1 * guard p1 src A -1\n"
+      "dec p1 1\n"
+      "stmt C 1 + guard p2 src A -1\n"
+      "dec p2 1\n"
+      "stmt D 1 - src C 0\n";
+  int executed = 0;
+  for_each_corpus_trial([&](SplitMix64& rng, int /*trial*/) {
+    const std::string text = mutate(base, rng);
+    LoopProgram parsed;
+    try {
+      parsed = parse_program_text(text);
+    } catch (const Error&) {
+      return;
+    }
+    if (!parsed.validate().empty()) return;
+    std::int64_t work = 0;
+    for (const LoopSegment& seg : parsed.segments) {
+      work += seg.trip_count() *
+              static_cast<std::int64_t>(seg.instructions.size());
+      if (work < 0) break;
+    }
+    if (work < 0 || work > 100000 || parsed.n > 100000) return;
+
+    // Both engines must agree on accept vs reject, and on everything
+    // observable when they accept.
+    Machine reference;
+    bool reference_ran = false;
+    try {
+      reference = run_program(parsed, ExecMode::kReference);
+      reference_ran = true;
+    } catch (const Error&) {
+    }
+    Machine super;
+    bool super_ran = false;
+    try {
+      super = run_program(parsed, ExecMode::kSuper);
+      super_ran = true;
+    } catch (const Error&) {
+    }
+    EXPECT_EQ(reference_ran, super_ran) << "engines disagree on rejection";
+    if (!reference_ran || !super_ran) return;
+    ++executed;
+    const auto diffs =
+        diff_observable_state(reference, super, {"A", "B", "C", "D"}, parsed.n);
+    EXPECT_TRUE(diffs.empty()) << diffs[0];
+    EXPECT_EQ(super.executed_statements(), reference.executed_statements());
+    EXPECT_EQ(super.disabled_statements(), reference.disabled_statements());
+    EXPECT_EQ(super.issued_instructions(), reference.issued_instructions());
+  });
+  EXPECT_GT(executed, 0);
+}
+
 TEST(FuzzSmoke, PipelineSurvivesRandomDfgs) {
   // End-to-end robustness (not just parsers): random graphs through
   // retiming, codegen and the VM must verify — or reject with a typed

@@ -1,0 +1,113 @@
+// Golden-file snapshots of the batch C emitter: the SoA kernel source for
+// representative (benchmark, variant, lane-set) combinations is compared
+// byte-for-byte against tests/golden/*_batch.c. The snapshots pin the batch
+// ABI (version 2): the CSR_W lane dimension, lane-innermost buffer macros,
+// per-lane constant tables, the lockstep + masked-remainder loop split and
+// the csr_* descriptor table the batched readback walks.
+//
+// To update the snapshots after an intentional change, run:
+//
+//     CSR_UPDATE_GOLDEN=1 build/tests/golden_batch_emitter_test
+//
+// then review `git diff tests/golden/` before committing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "codegen/batch_emitter.hpp"
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "retiming/opt.hpp"
+
+namespace csr {
+namespace {
+
+struct GoldenBatchCase {
+  const char* file;  ///< file name under tests/golden/
+  DataFlowGraph (*factory)();
+  bool csr;  ///< retimed-CSR form instead of the original loop
+  /// Ragged lane trip counts; the batch width is the list's length. Small
+  /// and non-uniform, so both the lockstep loop and the masked remainder
+  /// loop appear in every snapshot.
+  std::vector<std::int64_t> ns;
+};
+
+const GoldenBatchCase kCases[] = {
+    {"iir_retimed_csr_w4_batch.c", benchmarks::iir_filter, true, {5, 12, 9, 7}},
+    {"diffeq_original_w2_batch.c", benchmarks::differential_equation_solver, false,
+     {8, 13}},
+    {"allpole_retimed_csr_w3_batch.c", benchmarks::allpole_filter, true, {6, 11, 6}},
+    // Width 1 pins the degenerate layout: one lane must still go through
+    // the CSR_W dimension, not silently collapse to the single-cell ABI.
+    {"elliptic_original_w1_batch.c", benchmarks::elliptic_filter, false, {9}},
+};
+
+std::string render(const GoldenBatchCase& c) {
+  const DataFlowGraph g = c.factory();
+  std::vector<LoopProgram> lanes;
+  for (const std::int64_t n : c.ns) {
+    lanes.push_back(c.csr ? retimed_csr_program(
+                                g, minimum_period_retiming(g).retiming, n)
+                          : original_program(g, n));
+  }
+  return to_batch_c_source(lanes);
+}
+
+std::filesystem::path golden_path(const GoldenBatchCase& c) {
+  return std::filesystem::path(CSR_GOLDEN_DIR) / c.file;
+}
+
+bool update_mode() {
+  const char* flag = std::getenv("CSR_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+std::string golden_case_name(const ::testing::TestParamInfo<GoldenBatchCase>& info) {
+  std::string name = info.param.file;
+  name.resize(name.size() - 2);  // drop ".c"
+  return name;
+}
+
+class GoldenBatchEmitterTest : public ::testing::TestWithParam<GoldenBatchCase> {};
+
+TEST_P(GoldenBatchEmitterTest, MatchesSnapshot) {
+  const GoldenBatchCase& c = GetParam();
+  const std::string actual = render(c);
+  const std::filesystem::path path = golden_path(c);
+
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path << " missing — regenerate with CSR_UPDATE_GOLDEN=1 "
+                  << "build/tests/golden_batch_emitter_test";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "emitted batch C drifted from " << path
+      << "\nIf the change is intentional: CSR_UPDATE_GOLDEN=1 "
+      << "build/tests/golden_batch_emitter_test, then review "
+      << "`git diff tests/golden/`.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Snapshots, GoldenBatchEmitterTest,
+                         ::testing::ValuesIn(kCases), golden_case_name);
+
+TEST(GoldenBatchEmitter, EmissionIsDeterministic) {
+  for (const GoldenBatchCase& c : kCases) {
+    EXPECT_EQ(render(c), render(c)) << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -8,7 +8,7 @@
 // Usage:
 //   csr_serve [--host H] [--port P] [--journal FILE] [--workers N]
 //             [--queue-limit N] [--cache-capacity N] [--sweep-threads N]
-//             [--port-file FILE]
+//             [--batch-width N] [--port-file FILE]
 //   csr_serve --oneshot BODY
 //
 // --port 0 asks the kernel for an ephemeral port; the bound port is printed
@@ -48,6 +48,8 @@ void usage(const char* argv0) {
       << "  --queue-limit N     accepted-but-unclaimed connections (default 64)\n"
       << "  --cache-capacity N  cached cells across all shards (default 65536)\n"
       << "  --sweep-threads N   threads per sweep, 0=hardware (default 0)\n"
+      << "  --batch-width N     lanes per batched kernel run (default 1);\n"
+      << "                      results are byte-identical at any width\n"
       << "  --port-file FILE    write the bound port (for scripts)\n";
 }
 
@@ -136,6 +138,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       service_options.sweep_threads = static_cast<unsigned>(n);
+    } else if (arg == "--batch-width") {
+      if (!parse_unsigned(value(), &n) || n == 0) {
+        std::cerr << "csr_serve: bad --batch-width\n";
+        return 2;
+      }
+      service_options.sweep_batch_width = n;
     } else if (arg == "--port-file") {
       port_file = value();
     } else {
