@@ -1,34 +1,51 @@
-// loadgen — closed-loop load generator for csr_serve (BENCH_serve.json).
+// loadgen — load generator for csr_serve (BENCH_serve.json).
 //
-// N client threads each own one keep-alive connection and issue the same
-// /v1/sweep query back-to-back: send, read the full response, record the
-// latency, repeat. Closed-loop means offered load adapts to service rate —
-// the report is the server's sustained throughput at saturation, not a
-// drop rate. After --seconds of measurement it writes aggregate throughput
-// and latency percentiles (p50/p90/p99/max) as JSON.
+// N client threads each own one keep-alive connection and drive it in one
+// of two modes:
+//
+//   * **Closed loop** (default): keep --pipeline requests outstanding;
+//     every response completion refills the window. Offered load adapts to
+//     service rate, so the report is the server's sustained throughput at
+//     saturation, not a drop rate. Latency is measured from send.
+//   * **Open loop** (--rate R): requests *arrive* on a fixed schedule — R
+//     per second spread across the threads — regardless of how fast the
+//     server answers (bounded only by the pipeline window). Latency is
+//     measured from the scheduled arrival, so server-side queueing under
+//     overload shows up in the percentiles instead of silently throttling
+//     the generator.
+//
+// The first --warmup seconds of each run (plus the priming request) warm
+// caches and branch predictors; their completions are counted separately
+// and excluded from the throughput and latency report. Errors are split by
+// kind — connect failures, response timeouts, and protocol errors (broken
+// connection, non-200) — so a flaky network is distinguishable from a
+// misbehaving server.
 //
 // Usage:
-//   loadgen --port P [--host H] [--threads N] [--seconds S]
+//   loadgen --port P [--host H] [--threads N] [--seconds S] [--warmup S]
+//           [--pipeline D] [--rate R] [--timeout-ms MS]
 //           [--body JSON | --body-file F] [--output BENCH_serve.json]
 //           [--expect-cache hit|partial|miss]
 //
-// The default body is a single-cell cached-friendly query, so a warm run
-// measures the cache + HTTP path (the ROADMAP's >=5k req/s acceptance
-// gate); point --body-file at a larger grid to measure compute instead.
+// The default body is a single-cell cache-friendly query, so a warm run
+// measures the serving path itself (the ROADMAP's >=100k req/s acceptance
+// gate rides on --pipeline); point --body-file at a larger grid to measure
+// compute instead.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -38,6 +55,8 @@
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 constexpr const char* kDefaultBody =
     R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"]})";
 
@@ -46,15 +65,22 @@ struct Options {
   int port = 0;
   unsigned threads = 4;
   double seconds = 5.0;
+  double warmup = 0.5;
+  std::size_t pipeline = 1;
+  double rate = 0.0;  ///< total req/s across threads; 0 = closed loop
+  int timeout_ms = 5000;
   std::string body = kDefaultBody;
   std::string output = "BENCH_serve.json";
   std::string expect_cache;  ///< empty = don't check
 };
 
 struct ThreadStats {
-  std::vector<double> latencies_ms;
-  std::uint64_t requests = 0;
-  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;  ///< post-warmup completions only
+  std::uint64_t requests = 0;        ///< post-warmup completions
+  std::uint64_t warmup_requests = 0;
+  std::uint64_t errors = 0;  ///< protocol: broken conn, bad parse, non-200
+  std::uint64_t connect_errors = 0;
+  std::uint64_t timeout_errors = 0;
   bool cache_mismatch = false;
 };
 
@@ -87,20 +113,39 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
-/// Reads exactly one HTTP/1.1 response off `fd` using `buffer` as carry-over
-/// between calls (keep-alive). Returns the status code, or -1 on a broken
-/// connection / unparseable response. Requires Content-Length (csr_serve
-/// always sends it). `headers_out` gets the raw header block.
-int read_response(int fd, std::string& buffer, std::string* headers_out) {
-  char chunk[64 * 1024];
-  std::size_t header_end = std::string::npos;
-  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+/// Appends whatever the socket has to `buffer`, waiting at most `timeout_ms`.
+/// Returns 1 on data, 0 on timeout, -1 on error or orderly close.
+int recv_into(int fd, std::string& buffer, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r == 0) return 0;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    char chunk[64 * 1024];
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return -1;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
+    return 1;
+  }
+}
+
+/// Reads exactly one HTTP/1.1 response off `fd` using `buffer` as carry-over
+/// between calls (keep-alive + pipelining: surplus bytes stay buffered for
+/// the next call, and a fully buffered response costs no syscall). Returns
+/// the status code, -1 on a broken connection / unparseable response, or -2
+/// on timeout. Requires Content-Length (csr_serve always sends it).
+int read_response(int fd, std::string& buffer, int timeout_ms,
+                  std::string* headers_out) {
+  std::size_t header_end = std::string::npos;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const int r = recv_into(fd, buffer, timeout_ms);
+    if (r <= 0) return r == 0 ? -2 : -1;
   }
   const std::string headers = buffer.substr(0, header_end);
   if (headers_out != nullptr) *headers_out = headers;
@@ -123,36 +168,114 @@ int read_response(int fd, std::string& buffer, std::string* headers_out) {
 
   const std::size_t total = header_end + 4 + content_length;
   while (buffer.size() < total) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return -1;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    const int r = recv_into(fd, buffer, timeout_ms);
+    if (r <= 0) return r == 0 ? -2 : -1;
   }
   buffer.erase(0, total);  // leave any pipelined surplus for the next call
   return status;
 }
 
 void client_loop(const Options& options, const std::string& request,
-                 std::chrono::steady_clock::time_point deadline,
-                 ThreadStats& stats) {
+                 Clock::time_point warmup_end, Clock::time_point deadline,
+                 double thread_interval_s, ThreadStats& stats) {
   int fd = dial(options.host, options.port);
+  if (fd < 0) ++stats.connect_errors;
   std::string buffer;
-  while (fd >= 0 && std::chrono::steady_clock::now() < deadline) {
-    const auto start = std::chrono::steady_clock::now();
-    std::string headers;
-    if (!send_all(fd, request) || read_response(fd, buffer, &headers) != 200) {
-      ++stats.errors;
-      ::close(fd);
-      buffer.clear();
-      fd = dial(options.host, options.port);  // reconnect and keep going
+  // Send timestamps (closed loop) or scheduled arrival times (open loop) of
+  // the outstanding pipelined requests, oldest first.
+  std::deque<Clock::time_point> outstanding;
+
+  const bool open_loop = thread_interval_s > 0;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(open_loop ? thread_interval_s : 0));
+  Clock::time_point next_arrival = Clock::now();
+
+  const auto reconnect = [&]() {
+    ::close(fd);
+    buffer.clear();
+    outstanding.clear();
+    fd = dial(options.host, options.port);
+    if (fd < 0) {
+      ++stats.connect_errors;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+
+  for (;;) {
+    const auto now = Clock::now();
+    if (fd < 0) {
+      if (now >= deadline) break;
+      reconnect();
       continue;
     }
-    const auto end = std::chrono::steady_clock::now();
-    ++stats.requests;
-    stats.latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(end - start).count());
+
+    // Top off the pipeline window. Closed loop refills whenever at least
+    // half the window is free (so sends batch into ~pipeline/2 requests per
+    // syscall); open loop sends exactly the arrivals that are due, catching
+    // up in a burst when the server lagged — that burst is the point.
+    std::size_t due = 0;
+    if (now < deadline) {
+      if (open_loop) {
+        while (next_arrival <= now && outstanding.size() + due < options.pipeline) {
+          ++due;
+          next_arrival += interval;
+        }
+      } else if (outstanding.empty() ||
+                 outstanding.size() <= options.pipeline / 2) {
+        due = options.pipeline - outstanding.size();
+      }
+    }
+    if (due > 0) {
+      std::string block;
+      block.reserve(due * request.size());
+      for (std::size_t k = 0; k < due; ++k) block += request;
+      if (!send_all(fd, block)) {
+        ++stats.errors;
+        reconnect();
+        continue;
+      }
+      for (std::size_t k = 0; k < due; ++k) {
+        // Open loop: latency is measured from the scheduled arrival, so
+        // catch-up bursts charge the server for the queueing they caused.
+        outstanding.push_back(
+            open_loop
+                ? Clock::time_point(next_arrival -
+                                    interval * static_cast<long long>(due - k))
+                : now);
+      }
+    }
+
+    if (outstanding.empty()) {
+      if (now >= deadline) break;
+      if (open_loop && next_arrival > now) {
+        std::this_thread::sleep_until(std::min(next_arrival, deadline));
+      }
+      continue;
+    }
+
+    std::string headers;
+    const int status =
+        read_response(fd, buffer, options.timeout_ms, &headers);
+    if (status != 200) {
+      if (status == -2) {
+        ++stats.timeout_errors;
+      } else {
+        ++stats.errors;
+      }
+      if (Clock::now() >= deadline) break;
+      reconnect();
+      continue;
+    }
+    const auto end = Clock::now();
+    const auto sent = outstanding.front();
+    outstanding.pop_front();
+    if (end < warmup_end) {
+      ++stats.warmup_requests;
+    } else {
+      ++stats.requests;
+      stats.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(end - sent).count());
+    }
     if (!options.expect_cache.empty() &&
         headers.find("X-Csr-Cache: " + options.expect_cache) == std::string::npos) {
       stats.cache_mismatch = true;
@@ -191,6 +314,14 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(std::atoi(value()));
     } else if (arg == "--seconds") {
       options.seconds = std::atof(value());
+    } else if (arg == "--warmup") {
+      options.warmup = std::atof(value());
+    } else if (arg == "--pipeline") {
+      options.pipeline = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--rate") {
+      options.rate = std::atof(value());
+    } else if (arg == "--timeout-ms") {
+      options.timeout_ms = std::atoi(value());
     } else if (arg == "--body") {
       options.body = value();
     } else if (arg == "--body-file") {
@@ -207,8 +338,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.port <= 0 || options.threads == 0 || options.seconds <= 0) {
-    std::cerr << "loadgen: --port is required (and threads/seconds positive)\n";
+  if (options.port <= 0 || options.threads == 0 || options.seconds <= 0 ||
+      options.pipeline == 0 || options.warmup < 0 || options.rate < 0 ||
+      options.timeout_ms <= 0) {
+    std::cerr << "loadgen: --port is required (and threads/seconds/pipeline "
+                 "positive, warmup/rate non-negative)\n";
     return 2;
   }
 
@@ -228,7 +362,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::string buffer;
-    const int status = send_all(fd, request) ? read_response(fd, buffer, nullptr) : -1;
+    const int status = send_all(fd, request)
+                           ? read_response(fd, buffer, options.timeout_ms, nullptr)
+                           : -1;
     ::close(fd);
     if (status != 200) {
       std::cerr << "loadgen: priming request failed (status " << status << ")\n";
@@ -236,27 +372,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  const double per_thread_interval =
+      options.rate > 0 ? static_cast<double>(options.threads) / options.rate
+                       : 0.0;
+
   std::vector<ThreadStats> stats(options.threads);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = Clock::now();
+  const auto warmup_end =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(options.warmup));
   const auto deadline =
-      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-               std::chrono::duration<double>(options.seconds));
+      warmup_end + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(options.seconds));
   std::vector<std::thread> clients;
   clients.reserve(options.threads);
   for (unsigned t = 0; t < options.threads; ++t) {
     clients.emplace_back(client_loop, std::cref(options), std::cref(request),
-                         deadline, std::ref(stats[t]));
+                         warmup_end, deadline, per_thread_interval,
+                         std::ref(stats[t]));
   }
   for (std::thread& c : clients) c.join();
+  // Throughput over the measurement window only — warmup completions are
+  // reported separately and never enter the percentiles.
   const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      std::chrono::duration<double>(Clock::now() - warmup_end).count();
 
   std::vector<double> latencies;
-  std::uint64_t requests = 0, errors = 0;
+  std::uint64_t requests = 0, warmup_requests = 0;
+  std::uint64_t errors = 0, connect_errors = 0, timeout_errors = 0;
   bool cache_mismatch = false;
   for (ThreadStats& s : stats) {
     requests += s.requests;
+    warmup_requests += s.warmup_requests;
     errors += s.errors;
+    connect_errors += s.connect_errors;
+    timeout_errors += s.timeout_errors;
     cache_mismatch = cache_mismatch || s.cache_mismatch;
     latencies.insert(latencies.end(), s.latencies_ms.begin(), s.latencies_ms.end());
   }
@@ -268,9 +418,15 @@ int main(int argc, char** argv) {
   json << std::fixed;
   json << "{\n  \"serve\": {\n"
        << "    \"threads\": " << options.threads << ",\n"
+       << "    \"pipeline\": " << options.pipeline << ",\n"
+       << "    \"rate_rps\": " << options.rate << ",\n"
+       << "    \"warmup_seconds\": " << options.warmup << ",\n"
+       << "    \"warmup_requests\": " << warmup_requests << ",\n"
        << "    \"seconds\": " << elapsed << ",\n"
        << "    \"requests\": " << requests << ",\n"
        << "    \"errors\": " << errors << ",\n"
+       << "    \"connect_errors\": " << connect_errors << ",\n"
+       << "    \"timeout_errors\": " << timeout_errors << ",\n"
        << "    \"throughput_rps\": " << rps << ",\n"
        << "    \"latency_ms\": {\n"
        << "      \"p50\": " << percentile(latencies, 50) << ",\n"
@@ -282,8 +438,10 @@ int main(int argc, char** argv) {
   std::ofstream out(options.output, std::ios::trunc);
   out << json.str();
   std::cout << json.str();
+  const std::uint64_t total_errors = errors + connect_errors + timeout_errors;
   std::cerr << "loadgen: " << requests << " requests in " << elapsed << "s ("
             << static_cast<std::uint64_t>(rps) << " req/s), errors=" << errors
+            << " connect=" << connect_errors << " timeout=" << timeout_errors
             << (cache_mismatch ? ", CACHE EXPECTATION VIOLATED" : "") << "\n";
-  return cache_mismatch ? 3 : (errors > requests / 100 ? 4 : 0);
+  return cache_mismatch ? 3 : (total_errors > requests / 100 ? 4 : 0);
 }

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file cell_exec.hpp
+/// The two halves of one sweep cell, exposed as a public API.
+///
+/// `evaluate_cell` (sweep.hpp) is the fused convenience path; this header
+/// splits it at the seam the batched executor has always used internally:
+///
+///   * **prepare_cell** — build the graph, run the pipeline engine, generate
+///     the program, run the fixpoint peephole optimizer, account sizes. The
+///     result is a PreparedCell whose program is ready to execute.
+///   * **verify_cell** — run the verifying execution engine (VM / map /
+///     native with retry + fallback) over a prepared program and fill the
+///     verification fields.
+///
+/// Splitting the phases publicly is what lets callers *other than* the sweep
+/// scheduler group prepared cells for batched execution. The serving tier
+/// coalesces prepared cells of distinct concurrent requests by
+/// `prepared_batch_key` and verifies whole groups through
+/// `execute_prepared_batch` — one SoA kernel (or one batched
+/// superinstruction VM run) serving several requests, with per-lane failure
+/// degradation back to `verify_cell`'s retry/VM-fallback semantics
+/// (src/serve/coalesce.hpp). Results are byte-identical to single-cell
+/// execution for any grouping (the `batch` ctest label holds this).
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "driver/sweep.hpp"
+#include "loopir/program.hpp"
+
+namespace csr::driver {
+
+/// A cell after the generation phase: its (peephole-optimized) program plus
+/// everything the verification phase needs.
+struct PreparedCell {
+  SweepResult res;
+  DataFlowGraph graph;
+  std::vector<std::string> arrays;
+  LoopProgram program;  ///< the optimized program verification executes
+  /// True when a program was generated and verification can run; false for
+  /// infeasible/errored cells (res carries the diagnosis).
+  bool runnable = false;
+};
+
+/// Phase 1 of a cell: graph → engine → program → peephole pipeline → size
+/// accounting. Never throws — failures land in `res.error`.
+[[nodiscard]] PreparedCell prepare_cell(const SweepCell& cell,
+                                        const SweepOptions& options);
+
+/// Phase 2 of a cell: runs the verifying execution engine over the prepared
+/// program and fills the verification fields (incl. native retry, deadline
+/// and VM-fallback policy). No-op for unrunnable cells or verify-less
+/// sweeps.
+void verify_cell(PreparedCell& prep, const SweepOptions& options);
+
+/// True when `prep` can join a batched kernel run under `options`: it is
+/// runnable, the sweep verifies, and the execution engine has a batch path
+/// (the map interpreter does not).
+[[nodiscard]] bool prepared_batchable(const PreparedCell& prep,
+                                      const SweepOptions& options);
+
+/// Grouping key for batched execution: the cell's execution engine plus the
+/// program's batch shape key (codegen/batch_emitter.hpp). Two prepared
+/// cells with equal keys may execute as lanes of one batch kernel.
+/// Meaningless for cells where !prepared_batchable.
+[[nodiscard]] std::string prepared_batch_key(const PreparedCell& prep);
+
+/// One batched kernel invocation over `lanes` — every lane must satisfy
+/// prepared_batchable and share one prepared_batch_key. Native lanes run
+/// one SoA batch kernel (with the retry policy's compile deadline and
+/// backoff); VM lanes run the batched superinstruction path. On success the
+/// verification fields of every lane are filled exactly as verify_cell
+/// would have, and true is returned. On failure nothing is guaranteed about
+/// the lanes' verification fields and false is returned — the caller
+/// degrades each lane individually through verify_cell, which owns the full
+/// retry/VM-fallback/skip semantics.
+[[nodiscard]] bool execute_prepared_batch(const std::vector<PreparedCell*>& lanes,
+                                          const SweepOptions& options);
+
+/// The journal payload codec version ("sweep-v3"): part of every journal
+/// key, advertised by the serving tier's GET /v1/version.
+[[nodiscard]] std::string_view journal_payload_version();
+
+}  // namespace csr::driver

@@ -6,7 +6,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "benchmarks/benchmarks.hpp"
 #include "codegen/batch_emitter.hpp"
@@ -20,6 +22,7 @@
 #include "dfg/algorithms.hpp"
 #include "dfg/io.hpp"
 #include "dfg/iteration_bound.hpp"
+#include "driver/cell_exec.hpp"
 #include "driver/scheduler.hpp"
 #include "loopir/pipeline.hpp"
 #include "native/batch.hpp"
@@ -274,14 +277,30 @@ struct SweepMetrics {
 
 }  // namespace
 
+std::string_view journal_payload_version() { return kPayloadVersion; }
+
 std::string journal_key(const SweepCell& cell, const SweepOptions& options) {
   // Key the graph by content, not name: if a benchmark's definition ever
-  // changes, its journal entries must stop matching.
+  // changes, its journal entries must stop matching. Benchmark definitions
+  // are immutable within a process, so the (expensive) build + serialize
+  // runs once per name — journal_key is on the serving tier's per-request
+  // hot path, where rebuilding the graph per call dominated the cache hit.
   std::string dfg_text;
-  try {
-    dfg_text = to_text(make_benchmark(cell.benchmark));
-  } catch (const std::exception&) {
-    dfg_text = "unknown-benchmark";
+  {
+    static std::mutex mutex;
+    static std::unordered_map<std::string, std::string> texts;
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = texts.find(cell.benchmark);
+    if (it != texts.end()) {
+      dfg_text = it->second;
+    } else {
+      try {
+        dfg_text = to_text(make_benchmark(cell.benchmark));
+      } catch (const std::exception&) {
+        dfg_text = "unknown-benchmark";
+      }
+      texts.emplace(cell.benchmark, dfg_text);
+    }
   }
   // One shared helper (support/hash.hpp) renders the key for every consumer
   // — the on-disk journal and the serve layer's in-memory result cache — so
@@ -360,21 +379,10 @@ bool from_journal_payload(const std::string& payload, const SweepCell& cell,
   return true;
 }
 
-namespace {
-
-/// A cell after the generation phase: its (peephole-optimized) program plus
-/// everything the verification phase needs. The two phases are split so the
-/// batched sweep path (SweepOptions::batch_width > 1) can group prepared
-/// cells by batch shape and verify whole groups with one kernel invocation.
-struct PreparedCell {
-  SweepResult res;
-  DataFlowGraph graph;
-  std::vector<std::string> arrays;
-  LoopProgram program;  ///< the optimized program verification executes
-  /// True when a program was generated and verification can run; false for
-  /// infeasible/errored cells (res carries the diagnosis).
-  bool runnable = false;
-};
+// The two cell phases below are public (driver/cell_exec.hpp) so callers
+// other than the sweep scheduler — notably the serving tier's cross-request
+// coalescer — can group prepared cells by batch shape and verify whole
+// groups with one kernel invocation.
 
 PreparedCell prepare_cell(const SweepCell& cell, const SweepOptions& options) {
   PreparedCell prep;
@@ -489,9 +497,6 @@ PreparedCell prepare_cell(const SweepCell& cell, const SweepOptions& options) {
   return prep;
 }
 
-/// Phase 2 of a cell: runs the verifying execution engine over the prepared
-/// program and fills the verification fields. No-op for unrunnable cells or
-/// verify-less sweeps.
 void verify_cell(PreparedCell& prep, const SweepOptions& options) {
   if (!prep.runnable || !options.verify) return;
   SweepResult& res = prep.res;
@@ -566,7 +571,79 @@ void verify_cell(PreparedCell& prep, const SweepOptions& options) {
   }
 }
 
-}  // namespace
+bool prepared_batchable(const PreparedCell& prep, const SweepOptions& options) {
+  return prep.runnable && options.verify &&
+         prep.res.cell.exec != ExecEngine::kMap;
+}
+
+std::string prepared_batch_key(const PreparedCell& prep) {
+  std::string key(to_string(prep.res.cell.exec));
+  key += '|';
+  key += batch_shape_key(prep.program);
+  return key;
+}
+
+bool execute_prepared_batch(const std::vector<PreparedCell*>& lanes_p,
+                            const SweepOptions& options) {
+  if (lanes_p.empty()) return true;
+  observe::Span batch_span("driver", "batch_execute");
+  const SweepCell& first = lanes_p.front()->res.cell;
+  batch_span.arg("exec", to_string(first.exec))
+      .arg("lanes", static_cast<std::uint64_t>(lanes_p.size()));
+  std::vector<LoopProgram> lanes;
+  lanes.reserve(lanes_p.size());
+  for (const PreparedCell* prep : lanes_p) lanes.push_back(prep->program);
+
+  // Fills exactly the fields verify_cell's engine switch fills; the
+  // expected state still comes from the fast VM on the original loop.
+  const auto verify_lane = [&](PreparedCell& prep, const StateView& actual,
+                               std::int64_t executed, double seconds) {
+    SweepResult& res = prep.res;
+    const std::int64_t n = res.cell.n;
+    const Machine expected = run_program(original_program(prep.graph, n));
+    res.exec_seconds = seconds;
+    res.exec_statements = executed;
+    res.verified =
+        diff_observable_state(MachineView(expected), actual, prep.arrays, n)
+            .empty();
+    res.discipline_ok = check_write_discipline(actual, prep.arrays, n).empty();
+  };
+
+  try {
+    if (first.exec == ExecEngine::kVm) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<Machine> machines = run_program_batch(lanes);
+      const double share =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count() /
+          static_cast<double>(lanes.size());
+      for (std::size_t k = 0; k < lanes_p.size(); ++k) {
+        verify_lane(*lanes_p[k], MachineView(machines[k]),
+                    machines[k].executed_statements(), share);
+      }
+      return true;
+    }
+    native::CompileOptions copts;
+    copts.deadline_seconds = options.retry.compile_deadline;
+    const int max_attempts = std::max(1, options.retry.max_attempts);
+    native::BatchOutcome out;
+    int attempt = 1;
+    for (;; ++attempt) {
+      out = native::run_native_batch(lanes, copts);
+      if (out.ok() || attempt >= max_attempts) break;
+      backoff_sleep(first, attempt, options.retry);
+    }
+    if (!out.ok()) return false;
+    const double share = out.run_seconds / static_cast<double>(lanes.size());
+    for (std::size_t k = 0; k < lanes_p.size(); ++k) {
+      verify_lane(*lanes_p[k], out.lanes[k], out.lanes[k].executed_statements(),
+                  share);
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 SweepResult evaluate_cell(const SweepCell& cell, const SweepOptions& options) {
   SweepMetrics& metrics = SweepMetrics::get();
@@ -648,7 +725,7 @@ void run_pending_batched(const std::vector<SweepCell>& cells,
           prep.res.queue_depth = task.queue_depth;
           prep.res.worker_steals = task.worker_steals;
           prep.res.stolen = task.stolen;
-          if (prep.runnable && options.verify && cell.exec != ExecEngine::kMap) {
+          if (prepared_batchable(prep, options)) {
             batchable[j] = 1;
           } else {
             verify_cell(prep, options);  // the map engine has no batch path
@@ -664,12 +741,11 @@ void run_pending_batched(const std::vector<SweepCell>& cells,
   // Grid order in, grid order out: groups form in first-occurrence order
   // and each keeps its lanes in pending order, so batch composition is
   // deterministic for any thread count.
-  std::map<std::pair<ExecEngine, std::string>, std::size_t> group_ids;
+  std::map<std::string, std::size_t> group_ids;
   std::vector<std::vector<std::size_t>> groups;
   for (std::size_t j = 0; j < pending.size(); ++j) {
     if (batchable[j] == 0) continue;
-    const auto key = std::make_pair(cells[pending[j]].exec,
-                                    batch_shape_key(prepared[j].program));
+    const std::string key = prepared_batch_key(prepared[j]);
     const auto [it, inserted] = group_ids.emplace(key, groups.size());
     if (inserted) groups.emplace_back();
     groups[it->second].push_back(j);
@@ -697,67 +773,10 @@ void run_pending_batched(const std::vector<SweepCell>& cells,
   };
 
   const auto run_batch = [&](const std::vector<std::size_t>& lanes_j) {
-    observe::Span batch_span("driver", "batch_execute");
-    const SweepCell& first = cells[pending[lanes_j.front()]];
-    batch_span.arg("exec", to_string(first.exec))
-        .arg("lanes", static_cast<std::uint64_t>(lanes_j.size()));
-    std::vector<LoopProgram> lanes;
+    std::vector<PreparedCell*> lanes;
     lanes.reserve(lanes_j.size());
-    for (const std::size_t j : lanes_j) lanes.push_back(prepared[j].program);
-
-    // Fills exactly the fields verify_cell's engine switch fills; the
-    // expected state still comes from the fast VM on the original loop.
-    const auto verify_lane = [&](std::size_t j, const StateView& actual,
-                                 std::int64_t executed, double seconds) {
-      PreparedCell& prep = prepared[j];
-      SweepResult& res = prep.res;
-      const std::int64_t n = res.cell.n;
-      const Machine expected = run_program(original_program(prep.graph, n));
-      res.exec_seconds = seconds;
-      res.exec_statements = executed;
-      res.verified =
-          diff_observable_state(MachineView(expected), actual, prep.arrays, n)
-              .empty();
-      res.discipline_ok = check_write_discipline(actual, prep.arrays, n).empty();
-    };
-
-    bool ok = false;
-    try {
-      if (first.exec == ExecEngine::kVm) {
-        const auto start = std::chrono::steady_clock::now();
-        const std::vector<Machine> machines = run_program_batch(lanes);
-        const double share =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                .count() /
-            static_cast<double>(lanes.size());
-        for (std::size_t k = 0; k < lanes_j.size(); ++k) {
-          verify_lane(lanes_j[k], MachineView(machines[k]),
-                      machines[k].executed_statements(), share);
-        }
-        ok = true;
-      } else {
-        native::CompileOptions copts;
-        copts.deadline_seconds = options.retry.compile_deadline;
-        const int max_attempts = std::max(1, options.retry.max_attempts);
-        native::BatchOutcome out;
-        int attempt = 1;
-        for (;; ++attempt) {
-          out = native::run_native_batch(lanes, copts);
-          if (out.ok() || attempt >= max_attempts) break;
-          backoff_sleep(first, attempt, options.retry);
-        }
-        if (out.ok()) {
-          const double share = out.run_seconds / static_cast<double>(lanes.size());
-          for (std::size_t k = 0; k < lanes_j.size(); ++k) {
-            verify_lane(lanes_j[k], out.lanes[k],
-                        out.lanes[k].executed_statements(), share);
-          }
-          ok = true;
-        }
-      }
-    } catch (const std::exception&) {
-      ok = false;
-    }
+    for (const std::size_t j : lanes_j) lanes.push_back(&prepared[j]);
+    const bool ok = execute_prepared_batch(lanes, options);
     if (ok) {
       batched_cells.increment(lanes_j.size());
     } else {

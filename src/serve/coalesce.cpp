@@ -1,0 +1,177 @@
+#include "serve/coalesce.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "observe/observe.hpp"
+
+namespace csr::serve {
+
+namespace {
+
+struct CoalesceMetrics {
+  observe::Counter& batches;
+  observe::Counter& lanes;
+  observe::Counter& cross_request;
+  observe::Counter& failed;
+
+  static CoalesceMetrics& get() {
+    static CoalesceMetrics metrics = [] {
+      auto& reg = observe::MetricsRegistry::global();
+      return CoalesceMetrics{
+          reg.counter("csr_serve_coalesce_batches_total",
+                      "Cross-request batch kernel runs"),
+          reg.counter("csr_serve_coalesce_lanes_total",
+                      "Cells verified through cross-request batches"),
+          reg.counter("csr_serve_coalesce_cross_request_total",
+                      "Batches mixing lanes of distinct requests"),
+          reg.counter("csr_serve_coalesce_failed_total",
+                      "Batches degraded to per-lane verification"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+CellCoalescer::CellCoalescer(std::size_t max_lanes,
+                             std::function<void()> batch_hook)
+    : max_lanes_(std::max<std::size_t>(2, max_lanes)),
+      batch_hook_(std::move(batch_hook)),
+      runner_([this] { runner_loop(); }) {}
+
+CellCoalescer::~CellCoalescer() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  runner_cv_.notify_all();
+  if (runner_.joinable()) runner_.join();
+}
+
+void CellCoalescer::execute(const std::vector<driver::PreparedCell*>& lanes,
+                            const driver::SweepOptions& options) {
+  if (lanes.empty()) return;
+  Submission submission;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    submission.remaining = lanes.size();
+    for (driver::PreparedCell* cell : lanes) {
+      buckets_[driver::prepared_batch_key(*cell)].push_back(
+          Lane{cell, &submission, &options});
+    }
+  }
+  runner_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return submission.remaining == 0; });
+}
+
+std::size_t CellCoalescer::pending_lanes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t lanes = 0;
+  for (const auto& [key, bucket] : buckets_) lanes += bucket.size();
+  return lanes;
+}
+
+void CellCoalescer::runner_loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      runner_cv_.wait(lock, [&] { return stopping_ || !buckets_.empty(); });
+      if (buckets_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+    }
+
+    // The hook runs between the wake and the collection, outside the lock,
+    // so a test hook can hold the runner without stalling submitters —
+    // arrivals during the hook land in the buckets and join the batch
+    // collected right after it returns. It must run HERE (not at loop top):
+    // the wake may race a multi-lane staging, and collecting before the
+    // hook would split the staged lanes into partial batches.
+    if (batch_hook_) batch_hook_();
+
+    std::vector<Lane> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (buckets_.empty()) continue;
+      // Deepest bucket first: the fullest batch amortizes best, and a
+      // steady mixed load still drains every key because executed lanes
+      // leave their bucket.
+      auto deepest = buckets_.begin();
+      for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+        if (it->second.size() > deepest->second.size()) deepest = it;
+      }
+      std::deque<Lane>& bucket = deepest->second;
+      const std::size_t take = std::min(max_lanes_, bucket.size());
+      batch.assign(bucket.begin(), bucket.begin() + static_cast<std::ptrdiff_t>(take));
+      bucket.erase(bucket.begin(), bucket.begin() + static_cast<std::ptrdiff_t>(take));
+      if (bucket.empty()) buckets_.erase(deepest);
+    }
+
+    run_batch(batch);
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (const Lane& lane : batch) --lane.submission->remaining;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void CellCoalescer::run_batch(const std::vector<Lane>& batch) {
+  CoalesceMetrics& metrics = CoalesceMetrics::get();
+  observe::Span span("serve", "coalesce_batch");
+  span.arg("lanes", static_cast<std::uint64_t>(batch.size()));
+
+  std::set<const Submission*> requests;
+  for (const Lane& lane : batch) requests.insert(lane.submission);
+  const bool cross = requests.size() > 1;
+  span.arg("requests", static_cast<std::uint64_t>(requests.size()));
+
+  bool ok = false;
+  if (batch.size() == 1) {
+    // A lone lane gains nothing from the batch ABI; the single-cell path
+    // shares its compile cache with offline sweeps.
+    driver::verify_cell(*batch.front().cell, *batch.front().options);
+    ok = true;
+  } else {
+    // The batch runs under the tightest participating deadline: no lane may
+    // hold the kernel alive past its own request's budget. Lanes with more
+    // budget re-verify individually if the tight deadline kills the batch.
+    driver::SweepOptions options = *batch.front().options;
+    double deadline = 0;
+    for (const Lane& lane : batch) {
+      const double d = lane.options->retry.compile_deadline;
+      if (d > 0) deadline = deadline > 0 ? std::min(deadline, d) : d;
+    }
+    options.retry.compile_deadline = deadline;
+
+    std::vector<driver::PreparedCell*> cells;
+    cells.reserve(batch.size());
+    for (const Lane& lane : batch) cells.push_back(lane.cell);
+    ok = driver::execute_prepared_batch(cells, options);
+    if (!ok) {
+      failed_batches_.fetch_add(1, std::memory_order_relaxed);
+      metrics.failed.increment();
+      for (const Lane& lane : batch) {
+        driver::verify_cell(*lane.cell, *lane.options);
+      }
+    }
+  }
+
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  lanes_run_.fetch_add(batch.size(), std::memory_order_relaxed);
+  metrics.batches.increment();
+  metrics.lanes.increment(batch.size());
+  if (cross) {
+    cross_request_batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics.cross_request.increment();
+  }
+  span.arg("ok", ok);
+}
+
+}  // namespace csr::serve

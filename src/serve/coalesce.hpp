@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file coalesce.hpp
+/// Cross-request cell batching: the serving-side generalization of the
+/// driver's shape-grouped batch execution (PR 8) and of single-flight.
+///
+/// Single-flight collapses *identical* concurrent queries; the coalescer
+/// collapses *distinct* ones. Prepared cells from in-flight queries that
+/// share a `driver::prepared_batch_key` — same execution engine, same batch
+/// shape (codegen/batch_emitter.hpp) — accumulate in per-key buckets; a
+/// runner thread drains each bucket through one
+/// `driver::execute_prepared_batch` call of up to `max_lanes` lanes, so one
+/// SoA kernel (or one batched superinstruction VM run) verifies cells for
+/// several requests at once. The group-commit rhythm is what creates the
+/// batches: while one batch executes, new arrivals pile into the buckets.
+///
+/// Correctness properties (held by tests/serve_coalesce_test.cpp):
+///
+///   * **Byte-identical results.** execute_prepared_batch fills exactly the
+///     fields single-cell verification fills; journal keys never see the
+///     grouping, so batched and unbatched serving share cache entries.
+///   * **Per-lane degradation.** A failed batch (compiler fault, deadline)
+///     falls back to `verify_cell` per lane — each lane under its *own*
+///     request's options, so one request's tight deadline cannot fail
+///     another's cells.
+///   * **Deadline safety.** A batch containing any deadline-bearing lane
+///     runs under the minimum of the participating deadlines; lanes of a
+///     request with more budget retry individually on failure.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "driver/cell_exec.hpp"
+
+namespace csr::serve {
+
+class CellCoalescer {
+ public:
+  /// `max_lanes` bounds one batch kernel's width. `batch_hook` (tests only)
+  /// runs in the runner thread before each bucket collection, outside the
+  /// lock — the hammer test uses it to stage concurrent arrivals
+  /// deterministically.
+  explicit CellCoalescer(std::size_t max_lanes,
+                         std::function<void()> batch_hook = {});
+  ~CellCoalescer();
+  CellCoalescer(const CellCoalescer&) = delete;
+  CellCoalescer& operator=(const CellCoalescer&) = delete;
+
+  /// Executes every lane — each must satisfy driver::prepared_batchable
+  /// under `options` — through shape-grouped batches shared with other
+  /// concurrently executing requests. Blocks until all lanes are verified.
+  /// Thread-safe; any compute thread may call it.
+  void execute(const std::vector<driver::PreparedCell*>& lanes,
+               const driver::SweepOptions& options);
+
+  // --- introspection (tests, metrics) --------------------------------------
+  [[nodiscard]] std::uint64_t batches_run() const {
+    return batches_run_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lanes_run() const {
+    return lanes_run_.load(std::memory_order_relaxed);
+  }
+  /// Batches whose lanes came from more than one execute() call — the
+  /// cross-request wins single-flight cannot see.
+  [[nodiscard]] std::uint64_t cross_request_batches() const {
+    return cross_request_batches_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failed_batches() const {
+    return failed_batches_.load(std::memory_order_relaxed);
+  }
+  /// Lanes currently waiting in the buckets. A test batch_hook spins on this
+  /// to hold the runner until every staged submission has arrived.
+  [[nodiscard]] std::size_t pending_lanes() const;
+
+ private:
+  struct Submission {
+    std::size_t remaining = 0;  ///< lanes not yet verified (guarded by mutex_)
+  };
+  struct Lane {
+    driver::PreparedCell* cell = nullptr;
+    Submission* submission = nullptr;
+    const driver::SweepOptions* options = nullptr;
+  };
+
+  void runner_loop();
+  /// Executes one collected batch (no locks held). Returns the lanes to
+  /// mark done.
+  void run_batch(const std::vector<Lane>& batch);
+
+  const std::size_t max_lanes_;
+  const std::function<void()> batch_hook_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable runner_cv_;  ///< runner waits for work
+  std::condition_variable done_cv_;    ///< submitters wait for completion
+  std::map<std::string, std::deque<Lane>> buckets_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> batches_run_{0};
+  std::atomic<std::uint64_t> lanes_run_{0};
+  std::atomic<std::uint64_t> cross_request_batches_{0};
+  std::atomic<std::uint64_t> failed_batches_{0};
+
+  std::thread runner_;
+};
+
+}  // namespace csr::serve

@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file config.hpp
+/// The stable serve API: one configuration object for the whole tier.
+///
+/// ServerConfig consolidates what used to be scattered across
+/// ServiceOptions, ServerOptions and a dozen csr_serve flags into a single
+/// fluent builder mirroring driver::SweepConfig — the daemon, the tests and
+/// the bench harness all construct the tier the same way:
+///
+///     ServerConfig config = ServerConfig()
+///                               .port(0)
+///                               .event_threads(2)
+///                               .journal("serve.journal")
+///                               .batch_width(8)
+///                               .coalesce(true);
+///     SweepService service(config);
+///     Server server(service, config);
+///
+/// Like SweepConfig over SweepGrid/SweepOptions, the underlying value
+/// structs (ServiceOptions for the query service, ReactorOptions for the
+/// transport) stay public and are reachable through service()/reactor() for
+/// migration and tests; the builder is the construction path.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace csr::serve {
+
+/// Transport policy for the epoll reactor (server.hpp). Everything about
+/// *what* a query means stays in ServiceOptions.
+struct ReactorOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;  ///< 0 = ephemeral; see Server::port()
+  /// Bind with SO_REUSEPORT so `cluster` sibling processes (tools/csr_serve
+  /// --cluster N) can share the port; the kernel load-balances accepts.
+  bool reuse_port = false;
+  /// Event-loop threads: each runs its own epoll instance; connections are
+  /// pinned to the loop that accepted them. 0 = one per hardware thread,
+  /// capped at 4 (event loops are I/O-bound; compute happens in the pool).
+  unsigned event_threads = 0;
+  /// Compute-pool threads executing cache-missing /v1/sweep queries.
+  /// 0 = one per hardware thread.
+  unsigned compute_threads = 0;
+  /// Ceiling on queries queued or executing in the compute pool; beyond it
+  /// new sweep requests are shed with a 503 envelope + Retry-After without
+  /// touching the pool. Socket I/O itself is never queued.
+  std::size_t max_inflight = 256;
+  /// Ceiling on open connections across all loops; accepts beyond it are
+  /// answered 503 and closed.
+  std::size_t max_connections = 4096;
+  int retry_after_seconds = 1;  ///< advertised on every shed 503
+  HttpLimits http_limits;
+  /// epoll_wait tick — bounds how long drain/stop can go unnoticed by an
+  /// otherwise idle loop, and the signal thread's poll granularity.
+  int poll_interval_ms = 200;
+};
+
+/// Fluent, value-semantic description of the whole serving tier. Every
+/// setter returns *this; all fields have working defaults.
+class ServerConfig {
+ public:
+  ServerConfig() = default;
+
+  // --- network -------------------------------------------------------------
+  ServerConfig& host(std::string h) {
+    reactor_.host = std::move(h);
+    return *this;
+  }
+  ServerConfig& port(std::uint16_t p) {
+    reactor_.port = p;
+    return *this;
+  }
+  ServerConfig& reuse_port(bool enabled) {
+    reactor_.reuse_port = enabled;
+    return *this;
+  }
+  ServerConfig& max_connections(std::size_t n) {
+    reactor_.max_connections = n;
+    return *this;
+  }
+
+  // --- reactor threading ---------------------------------------------------
+  ServerConfig& event_threads(unsigned n) {
+    reactor_.event_threads = n;
+    return *this;
+  }
+  ServerConfig& compute_threads(unsigned n) {
+    reactor_.compute_threads = n;
+    return *this;
+  }
+  ServerConfig& max_inflight(std::size_t n) {
+    reactor_.max_inflight = n;
+    return *this;
+  }
+  ServerConfig& retry_after(int seconds) {
+    reactor_.retry_after_seconds = seconds;
+    return *this;
+  }
+  ServerConfig& http_limits(HttpLimits limits) {
+    reactor_.http_limits = limits;
+    return *this;
+  }
+  ServerConfig& poll_interval_ms(int ms) {
+    reactor_.poll_interval_ms = ms;
+    return *this;
+  }
+
+  // --- cache + journal -----------------------------------------------------
+  ServerConfig& journal(std::string path) {
+    service_.journal_path = std::move(path);
+    return *this;
+  }
+  ServerConfig& cache_capacity(std::size_t cells) {
+    service_.cache_capacity = cells;
+    return *this;
+  }
+  ServerConfig& cache_shards(std::size_t shards) {
+    service_.cache_shards = shards;
+    return *this;
+  }
+  /// Rendered-response memo entries (0 disables the memo fast path).
+  ServerConfig& memo_capacity(std::size_t entries) {
+    service_.memo_capacity = entries;
+    return *this;
+  }
+
+  // --- query execution policy ----------------------------------------------
+  ServerConfig& max_cells_per_request(std::size_t cells) {
+    service_.max_cells_per_request = cells;
+    return *this;
+  }
+  ServerConfig& sweep_threads(unsigned n) {
+    service_.sweep_threads = n;
+    return *this;
+  }
+  /// Lanes per batched kernel invocation (byte-identical at any width).
+  ServerConfig& batch_width(std::size_t width) {
+    service_.sweep_batch_width = width;
+    return *this;
+  }
+  /// Cross-request cell batching: concurrent queries whose prepared cells
+  /// share (exec engine, batch shape) coalesce into one batch kernel run.
+  /// Requires batch_width > 1 to take effect.
+  ServerConfig& coalesce(bool enabled) {
+    service_.coalesce = enabled;
+    return *this;
+  }
+  /// Queries whose cache-missing delta exceeds this many cells bypass the
+  /// coalescer and run through the parallel sweep scheduler instead.
+  ServerConfig& coalesce_cell_limit(std::size_t cells) {
+    service_.coalesce_cell_limit = cells;
+    return *this;
+  }
+  ServerConfig& retry(driver::RetryPolicy policy) {
+    service_.retry = policy;
+    return *this;
+  }
+  ServerConfig& machine(ResourceModel model) {
+    service_.machine = std::move(model);
+    return *this;
+  }
+
+  // --- test hooks (never set in production) --------------------------------
+  ServerConfig& compute_hook(std::function<void()> hook) {
+    service_.compute_hook = std::move(hook);
+    return *this;
+  }
+  ServerConfig& batch_hook(std::function<void()> hook) {
+    service_.batch_hook = std::move(hook);
+    return *this;
+  }
+
+  // --- views ---------------------------------------------------------------
+  [[nodiscard]] ServiceOptions& service() { return service_; }
+  [[nodiscard]] const ServiceOptions& service() const { return service_; }
+  [[nodiscard]] ReactorOptions& reactor() { return reactor_; }
+  [[nodiscard]] const ReactorOptions& reactor() const { return reactor_; }
+
+ private:
+  ServiceOptions service_;
+  ReactorOptions reactor_;
+};
+
+}  // namespace csr::serve

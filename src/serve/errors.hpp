@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file errors.hpp
+/// The one error shape the wire surface speaks. Every 4xx/5xx response body
+/// the serving tier emits — parser violations, query rejections, overload
+/// sheds, drain refusals, deadline expiries, internal faults — is the same
+/// typed JSON envelope:
+///
+///     {"error": {"code": "<slug>", "message": "<human text>",
+///                "retry_after": <seconds, only when retrying helps>}}
+///
+/// `code` is a stable machine-readable slug (clients branch on it;
+/// docs/SERVING.md pins the catalogue), `message` is for humans and carries
+/// no stability promise. Success bodies are untouched — they remain
+/// byte-identical to the offline exporters.
+
+#include <string>
+#include <string_view>
+
+namespace csr::serve {
+
+/// The default code slug for an HTTP status. Statuses with more than one
+/// cause (503: "overloaded" vs "draining") pass an explicit code instead.
+[[nodiscard]] inline std::string_view error_code(int status) {
+  switch (status) {
+    case 400: return "bad_request";
+    case 404: return "not_found";
+    case 405: return "method_not_allowed";
+    case 413: return "payload_too_large";
+    case 422: return "invalid_query";
+    case 431: return "headers_too_large";
+    case 500: return "internal";
+    case 501: return "not_implemented";
+    case 503: return "overloaded";
+    case 504: return "deadline_expired";
+    case 505: return "http_version_not_supported";
+    default:  return "error";
+  }
+}
+
+/// Escapes `text` for placement inside a JSON string literal.
+[[nodiscard]] inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders the error envelope. `retry_after_seconds > 0` adds the
+/// "retry_after" member (the transport mirrors it as a Retry-After header).
+[[nodiscard]] inline std::string error_body(std::string_view code,
+                                            std::string_view message,
+                                            int retry_after_seconds = 0) {
+  std::string body = "{\"error\": {\"code\": \"";
+  body += json_escape(code);
+  body += "\", \"message\": \"";
+  body += json_escape(message);
+  body += '"';
+  if (retry_after_seconds > 0) {
+    body += ", \"retry_after\": ";
+    body += std::to_string(retry_after_seconds);
+  }
+  body += "}}\n";
+  return body;
+}
+
+/// Convenience: envelope with the status' default code.
+[[nodiscard]] inline std::string error_body_for(int status,
+                                                std::string_view message,
+                                                int retry_after_seconds = 0) {
+  return error_body(error_code(status), message, retry_after_seconds);
+}
+
+}  // namespace csr::serve

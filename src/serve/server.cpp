@@ -3,19 +3,26 @@
 #include <arpa/inet.h>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <map>
+#include <unordered_map>
 
 #include "benchmarks/benchmarks.hpp"
+#include "driver/cell_exec.hpp"
 #include "driver/export_schema.hpp"
 #include "observe/observe.hpp"
+#include "serve/errors.hpp"
 
 namespace csr::serve {
 
@@ -27,7 +34,9 @@ struct ServerMetrics {
   observe::Counter& rejected;
   observe::Counter& requests;
   observe::Counter& parse_errors;
-  observe::Gauge& queue_depth;
+  observe::Counter& shed_requests;
+  observe::Gauge& open_connections;
+  observe::Gauge& inflight;
   observe::Gauge& draining;
 
   static ServerMetrics& get() {
@@ -40,7 +49,11 @@ struct ServerMetrics {
           reg.counter("csr_serve_requests_total", "HTTP requests served"),
           reg.counter("csr_serve_parse_errors_total",
                       "Connections closed on a protocol violation"),
-          reg.gauge("csr_serve_queue_depth", "Accepted connections awaiting a worker"),
+          reg.counter("csr_serve_shed_requests_total",
+                      "Sweep requests shed 503 at the compute-pool bound"),
+          reg.gauge("csr_serve_open_connections", "Connections currently open"),
+          reg.gauge("csr_serve_inflight_queries",
+                    "Sweep queries queued or executing in the compute pool"),
           reg.gauge("csr_serve_draining", "1 while graceful drain is in progress"),
       };
     }();
@@ -49,6 +62,7 @@ struct ServerMetrics {
 };
 
 /// Writes all of `data` to `fd`; best-effort, returns false on any error.
+/// Used only on the synchronous shed path (fresh sockets, tiny bodies).
 bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
@@ -59,6 +73,36 @@ bool send_all(int fd, std::string_view data) {
     data.remove_prefix(static_cast<std::size_t>(n));
   }
   return true;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// epoll_data sentinels for the two non-connection fds in every instance.
+void* const kListenTag = nullptr;
+void* const kWakeTag = reinterpret_cast<void*>(1);
+
+/// True when the response's header block advertises `Connection: close`.
+/// Only the head is scanned — render_response places the header there.
+bool advertises_close(const std::string& response) {
+  const std::string_view head(response.data(),
+                              std::min<std::size_t>(response.size(), 256));
+  return head.find("Connection: close") != std::string_view::npos;
+}
+
+/// Rewrites an already-rendered keep-alive response into a closing one —
+/// drain can begin between render and enqueue, and the advertised header
+/// must match the close that follows.
+void force_close_header(std::string* response) {
+  constexpr std::string_view kKeep = "Connection: keep-alive";
+  const std::string_view head(response->data(),
+                              std::min<std::size_t>(response->size(), 256));
+  const std::size_t pos = head.find(kKeep);
+  if (pos != std::string_view::npos) {
+    response->replace(pos, kKeep.size(), "Connection: close");
+  }
 }
 
 /// The write end of the registered server's signal pipe; the handler only
@@ -75,14 +119,77 @@ extern "C" void csr_serve_signal_handler(int) {
 
 }  // namespace
 
-Server::Server(SweepService& service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+/// One accepted socket, pinned to the loop that accepted it. Every field is
+/// touched only by that loop's thread.
+struct Server::Connection {
+  int fd = -1;
+  RequestParser parser;
+  /// In-order bytes awaiting the kernel; [outbox_off, size) is unsent.
+  std::string outbox;
+  std::size_t outbox_off = 0;
+  std::uint64_t next_seq = 0;    ///< next request sequence to assign
+  std::uint64_t next_flush = 0;  ///< next sequence to append to the outbox
+  /// Completed responses waiting for their turn (pipelined out-of-order
+  /// completions park here).
+  std::map<std::uint64_t, std::string> ready;
+  std::size_t inflight = 0;  ///< jobs in the compute pool for this connection
+  /// Smallest sequence whose response mandates close; responses beyond it
+  /// are dropped and the connection closes once it flushes.
+  std::uint64_t close_seq = UINT64_MAX;
+  bool want_write = false;  ///< EPOLLOUT armed
+  bool peer_closed = false;
+  bool dead = false;  ///< transport error; destroy once inflight drains
+  std::uint64_t served = 0;
+
+  Connection(int f, const HttpLimits& limits) : fd(f), parser(limits) {}
+};
+
+/// One event loop: an epoll instance, its wake eventfd, and the connections
+/// pinned to it. `completions` is the only cross-thread state (compute
+/// workers post under `mutex`, the loop thread drains on wake).
+struct Server::Loop {
+  Server* server = nullptr;
+  std::size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::mutex mutex;
+  std::vector<Completion> completions;
+  std::unordered_map<int, Connection*> conns;
+  /// Connections destroyed mid-event-batch: the fd closes immediately, the
+  /// object outlives the batch so stale epoll events can't dangle.
+  std::vector<Connection*> graveyard;
+  std::atomic<bool> stop{false};
+};
+
+struct Server::Completion {
+  Connection* conn = nullptr;
+  std::uint64_t seq = 0;
+  QueryResult result;
+  bool keep = false;
+};
+
+Server::Server(SweepService& service, const ServerConfig& config)
+    : service_(service),
+      options_(config.reactor()),
+      batch_width_(config.service().sweep_batch_width),
+      coalesce_(config.service().coalesce &&
+                config.service().sweep_batch_width > 1) {}
 
 Server::~Server() { stop(); }
 
 bool Server::start(std::string* error) {
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    for (auto& loop : loops_) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+    }
+    loops_.clear();
+    for (int& fd : signal_pipe_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -94,6 +201,14 @@ bool Server::start(std::string* error) {
   if (listen_fd_ < 0) return fail("socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options_.reuse_port) {
+    // Cluster mode: sibling processes bind the same port and the kernel
+    // load-balances accepts across their listen queues.
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      return fail("setsockopt(SO_REUSEPORT)");
+    }
+  }
+  if (!set_nonblocking(listen_fd_)) return fail("fcntl(listen)");
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -105,7 +220,7 @@ bool Server::start(std::string* error) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return fail("bind");
   }
-  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+  if (::listen(listen_fd_, 512) != 0) return fail("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -115,13 +230,55 @@ bool Server::start(std::string* error) {
 
   if (::pipe(signal_pipe_) != 0) return fail("pipe");
 
-  running_.store(true, std::memory_order_seq_cst);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  signal_thread_ = std::thread([this] { signal_loop(); });
-  workers_.reserve(options_.worker_threads);
-  for (unsigned i = 0; i < std::max(1u, options_.worker_threads); ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned event_threads =
+      options_.event_threads > 0 ? options_.event_threads : std::min(4u, hw);
+  const unsigned compute_threads =
+      options_.compute_threads > 0 ? options_.compute_threads : hw;
+
+  for (unsigned i = 0; i < event_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->server = this;
+    loop->index = i;
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) {
+      loops_.push_back(std::move(loop));
+      return fail("epoll_create1");
+    }
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) {
+      loops_.push_back(std::move(loop));
+      return fail("eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = kWakeTag;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) != 0) {
+      loops_.push_back(std::move(loop));
+      return fail("epoll_ctl(wake)");
+    }
+    // Every loop watches the one listening socket; EPOLLEXCLUSIVE makes the
+    // kernel wake a single loop per readiness burst instead of thundering
+    // every epoll instance.
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.ptr = kListenTag;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      loops_.push_back(std::move(loop));
+      return fail("epoll_ctl(listen)");
+    }
+    loops_.push_back(std::move(loop));
   }
+
+  running_.store(true, std::memory_order_seq_cst);
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { loop_run(*raw); });
+  }
+  compute_threads_.reserve(compute_threads);
+  for (unsigned i = 0; i < compute_threads; ++i) {
+    compute_threads_.emplace_back([this] { compute_loop(); });
+  }
+  signal_thread_ = std::thread([this] { signal_loop(); });
   return true;
 }
 
@@ -137,8 +294,7 @@ bool Server::install_signal_handlers(Server* server) {
 }
 
 void Server::signal_loop() {
-  // Blocks on the self-pipe; one byte = one drain request. Closing the read
-  // end in stop() unblocks the poll.
+  // Blocks on the self-pipe; one byte = one drain request.
   pollfd pfd{signal_pipe_[0], POLLIN, 0};
   while (running_.load(std::memory_order_relaxed)) {
     const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
@@ -151,226 +307,495 @@ void Server::signal_loop() {
   }
 }
 
-void Server::accept_loop() {
+// --- event loop --------------------------------------------------------------
+
+void Server::loop_run(Loop& loop) {
+  std::vector<epoll_event> events(256);
+  while (!loop.stop.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(loop.epoll_fd, events.data(),
+                               static_cast<int>(events.size()),
+                               options_.poll_interval_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      void* ptr = events[i].data.ptr;
+      if (ptr == kListenTag) {
+        accept_ready(loop);
+      } else if (ptr == kWakeTag) {
+        handle_wake(loop);
+      } else {
+        auto* conn = static_cast<Connection*>(ptr);
+        if (conn->fd < 0) continue;  // destroyed earlier in this batch
+        if ((events[i].events & EPOLLOUT) != 0) {
+          flush(loop, conn);
+          maybe_close(loop, conn);
+        }
+        if (conn->fd >= 0 &&
+            (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+          conn_read(loop, conn);
+        }
+      }
+    }
+    for (Connection* conn : loop.graveyard) delete conn;
+    loop.graveyard.clear();
+  }
+
+  // Final pass: flush any completions posted before the stop, then tear
+  // down every connection still pinned here.
+  handle_wake(loop);
+  for (Connection* conn : loop.graveyard) delete conn;
+  loop.graveyard.clear();
+  for (auto& [fd, conn] : loop.conns) {
+    flush(loop, conn);  // best-effort
+    ::close(fd);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    delete conn;
+  }
+  loop.conns.clear();
+  ServerMetrics::get().open_connections.set(
+      static_cast<std::int64_t>(open_connections_.load(std::memory_order_relaxed)));
+}
+
+void Server::wake(Loop& loop) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(loop.wake_fd, &one, sizeof(one));
+}
+
+void Server::accept_ready(Loop& loop) {
   ServerMetrics& metrics = ServerMetrics::get();
-  pollfd pfd{listen_fd_, POLLIN, 0};
   while (running_.load(std::memory_order_relaxed)) {
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: burst drained
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     if (draining_.load(std::memory_order_relaxed)) {
       // Keep accepting during drain so new arrivals get an immediate 503
       // instead of hanging in the listen backlog until their own timeout.
-      reject_connection(fd);
+      reject_connection(fd, "draining", "server is draining");
       continue;
     }
-
-    bool admitted = false;
-    {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (queue_.size() < options_.queue_limit &&
-          !draining_.load(std::memory_order_relaxed)) {
-        queue_.push_back(fd);
-        admitted = true;
-        metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
-      }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      reject_connection(fd, "overloaded", "connection limit reached");
+      continue;
     }
-    if (admitted) {
-      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-      metrics.connections.increment();
-      queue_cv_.notify_one();
-    } else {
-      // Backpressure: shed at the front door with an explicit retry hint —
-      // a full queue means the workers are saturated, and buffering more
-      // would only convert overload into latency.
-      reject_connection(fd);
+    auto* conn = new Connection(fd, options_.http_limits);
+    loop.conns.emplace(fd, conn);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    metrics.connections.increment();
+    metrics.open_connections.set(
+        static_cast<std::int64_t>(open_connections_.load(std::memory_order_relaxed)));
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.ptr = conn;
+    if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      loop.conns.erase(fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+      delete conn;
     }
   }
 }
 
-void Server::reject_connection(int fd) {
+void Server::reject_connection(int fd, std::string_view code,
+                               std::string_view message) {
   ServerMetrics::get().rejected.increment();
   connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-  const std::string body = draining_.load(std::memory_order_relaxed)
-                               ? "draining\n"
-                               : "server overloaded\n";
   send_all(fd, render_response(
-                   503, "text/plain", body, /*keep_alive=*/false,
+                   503, "application/json",
+                   error_body(code, message, options_.retry_after_seconds),
+                   /*keep_alive=*/false,
                    {"Retry-After: " + std::to_string(options_.retry_after_seconds)}));
   ::close(fd);
 }
 
-int Server::next_connection() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock, [&] {
-    return !queue_.empty() || !running_.load(std::memory_order_relaxed);
-  });
-  if (queue_.empty()) return -1;
-  const int fd = queue_.front();
-  queue_.pop_front();
-  ServerMetrics::get().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
-  return fd;
-}
-
-void Server::worker_loop() {
+void Server::conn_read(Loop& loop, Connection* conn) {
+  char buffer[64 * 1024];
   while (true) {
-    const int fd = next_connection();
-    if (fd < 0) return;
-    if (draining_.load(std::memory_order_relaxed)) {
-      // Queued but never served before drain began: shed, don't start.
-      reject_connection(fd);
-      continue;
-    }
-    handle_connection(fd);
-  }
-}
-
-void Server::handle_connection(int fd) {
-  ServerMetrics& metrics = ServerMetrics::get();
-  observe::Span span("serve", "connection");
-
-  // Bounded reads let a worker notice drain/stop while a keep-alive peer
-  // is idle.
-  timeval tv{};
-  tv.tv_sec = options_.poll_interval_ms / 1000;
-  tv.tv_usec = (options_.poll_interval_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  RequestParser parser(options_.http_limits);
-  char buffer[16 * 1024];
-  std::uint64_t served = 0;
-
-  while (running_.load(std::memory_order_relaxed)) {
-    // Drain every already-buffered (pipelined) request before reading more.
-    bool close_connection = false;
-    while (true) {
-      HttpRequest request;
-      const ParseStatus status = parser.next_request(&request);
-      if (status == ParseStatus::kNeedMore) break;
-      if (status == ParseStatus::kError) {
-        metrics.parse_errors.increment();
-        send_all(fd, render_response(parser.error_status(), "text/plain",
-                                     parser.error_reason() + "\n",
-                                     /*keep_alive=*/false));
-        close_connection = true;
-        break;
-      }
-      ++served;
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
-      metrics.requests.increment();
-      std::string response = route(request);
-      // Decide persistence after route() returns: drain may have begun while
-      // this request was computing, and the advertised Connection header must
-      // match the close that follows.
-      const bool keep = request.keep_alive() &&
-                        !draining_.load(std::memory_order_relaxed);
-      // route() renders with keep-alive; flip the connection header when
-      // this response must be the last (client asked, or drain began).
-      if (!keep) {
-        const std::size_t pos = response.find("Connection: keep-alive");
-        if (pos != std::string::npos) {
-          response.replace(pos, std::strlen("Connection: keep-alive"),
-                           "Connection: close");
-        }
-      }
-      if (!send_all(fd, response)) close_connection = true;
-      if (!keep) close_connection = true;
-      if (close_connection) break;
-    }
-    if (close_connection) break;
-    if (draining_.load(std::memory_order_relaxed)) break;  // idle + draining
-
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
-      parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
-    } else if (n == 0) {
-      break;  // peer closed
-    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      continue;  // idle timeout tick: re-check running/draining
-    } else {
+      conn->parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+      continue;  // edge-triggered: drain to EAGAIN
+    }
+    if (n == 0) {
+      conn->peer_closed = true;
       break;
     }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->dead = true;
+    break;
   }
-  span.arg("requests", served);
-  ::close(fd);
+  if (!conn->dead) drain_requests(loop, conn);
+  flush(loop, conn);
+  maybe_close(loop, conn);
+}
+
+void Server::drain_requests(Loop& loop, Connection* conn) {
+  ServerMetrics& metrics = ServerMetrics::get();
+  while (true) {
+    HttpRequest request;
+    const ParseStatus status = conn->parser.next_request(&request);
+    if (status == ParseStatus::kNeedMore) break;
+    if (status == ParseStatus::kError) {
+      metrics.parse_errors.increment();
+      const std::uint64_t seq = conn->next_seq++;
+      enqueue_response(
+          conn, seq,
+          render_response(conn->parser.error_status(), "application/json",
+                          error_body_for(conn->parser.error_status(),
+                                         conn->parser.error_reason()),
+                          /*keep_alive=*/false));
+      break;  // parser is poisoned; close after the error flushes
+    }
+    ++conn->served;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    metrics.requests.increment();
+    dispatch(loop, conn, conn->next_seq++, std::move(request));
+  }
+}
+
+void Server::dispatch(Loop& loop, Connection* conn, std::uint64_t seq,
+                      HttpRequest request) {
+  const bool keep = request.keep_alive();
+
+  if (request.target == "/v1/sweep" && request.method == "POST") {
+    // The inline path: memo hit, parse rejection, or all-cells-cached —
+    // answered on this event thread without touching the pool.
+    Query query;
+    QueryResult result;
+    if (service_.try_fast(request.body, &query, &result)) {
+      enqueue_response(conn, seq,
+                       render_result(result, keep && !draining_.load(
+                                                         std::memory_order_relaxed)));
+      return;
+    }
+    // A deadline can also ride as a header, for clients that treat the body
+    // as an opaque query document; the body's deadline_ms wins.
+    if (query.deadline_seconds == 0) {
+      if (const auto header = request.header("x-csr-deadline-ms")) {
+        const double ms = std::strtod(std::string(*header).c_str(), nullptr);
+        if (ms > 0) query.deadline_seconds = ms / 1000.0;
+      }
+    }
+    // Bounded admission to the compute pool: shed, don't buffer.
+    if (inflight_jobs_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+      ServerMetrics::get().shed_requests.increment();
+      QueryResult shed;
+      shed.status = 503;
+      shed.code = "overloaded";
+      shed.error = "compute queue full";
+      shed.body = error_body("overloaded", "compute queue full",
+                             options_.retry_after_seconds);
+      enqueue_response(conn, seq,
+                       render_result(shed, keep && !draining_.load(
+                                                       std::memory_order_relaxed)));
+      return;
+    }
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().inflight.set(
+        static_cast<std::int64_t>(inflight_jobs_.load(std::memory_order_relaxed)));
+    ++conn->inflight;
+    {
+      const std::lock_guard<std::mutex> lock(pool_mutex_);
+      pool_queue_.push_back(Job{&loop, conn, seq, std::move(query), keep});
+    }
+    pool_cv_.notify_one();
+    return;
+  }
+
+  // Every other endpoint is cheap: serve it inline through the reference
+  // router (enqueue_response applies the drain flip).
+  enqueue_response(conn, seq, route(request));
+}
+
+std::string Server::render_result(const QueryResult& result, bool keep) const {
+  std::vector<std::string> extra;
+  if (result.status == 200) {
+    extra.push_back(std::string("X-Csr-Cache: ") +
+                    (result.cache_hits == result.cells ? "hit"
+                     : result.cache_hits > 0           ? "partial"
+                                                       : "miss"));
+    if (result.coalesced) extra.push_back("X-Csr-Coalesced: 1");
+  } else if (result.status == 503) {
+    extra.push_back("Retry-After: " + std::to_string(options_.retry_after_seconds));
+  }
+  return render_response(result.status, result.content_type, result.body, keep,
+                         extra);
+}
+
+void Server::enqueue_response(Connection* conn, std::uint64_t seq,
+                              std::string response) {
+  // Drain may have begun after this response was rendered; the advertised
+  // Connection header must match the close that follows.
+  if (draining_.load(std::memory_order_relaxed)) force_close_header(&response);
+  if (advertises_close(response)) conn->close_seq = std::min(conn->close_seq, seq);
+  conn->ready.emplace(seq, std::move(response));
+  // Append every response whose turn has come; responses sequenced after a
+  // closing one are dropped — the connection is ending.
+  while (true) {
+    const auto it = conn->ready.find(conn->next_flush);
+    if (it == conn->ready.end()) break;
+    if (conn->next_flush <= conn->close_seq) conn->outbox += it->second;
+    conn->ready.erase(it);
+    ++conn->next_flush;
+  }
+}
+
+void Server::flush(Loop& loop, Connection* conn) {
+  if (conn->fd < 0 || conn->dead) return;
+  while (conn->outbox_off < conn->outbox.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbox.data() + conn->outbox_off,
+               conn->outbox.size() - conn->outbox_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn->outbox_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+        ev.data.ptr = conn;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    conn->dead = true;
+    return;
+  }
+  // Fully flushed: reclaim the buffer and disarm EPOLLOUT.
+  conn->outbox.clear();
+  conn->outbox_off = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.ptr = conn;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void Server::maybe_close(Loop& loop, Connection* conn) {
+  if (conn->fd < 0) return;
+  if (conn->dead) {
+    // Transport error: responses have nowhere to go, but completions still
+    // in the pool reference this object — defer until they drain.
+    if (conn->inflight == 0) destroy_connection(loop, conn);
+    return;
+  }
+  if (conn->outbox_off < conn->outbox.size()) return;  // still flushing
+  if (conn->inflight > 0) return;
+  if (conn->next_flush > conn->close_seq) {
+    destroy_connection(loop, conn);  // final response delivered
+    return;
+  }
+  if (conn->ready.empty() &&
+      (conn->peer_closed || draining_.load(std::memory_order_relaxed))) {
+    // Peer went away, or drain reaps idle keep-alive connections.
+    destroy_connection(loop, conn);
+  }
+}
+
+void Server::destroy_connection(Loop& loop, Connection* conn) {
+  observe::Span span("serve", "connection");
+  span.arg("requests", conn->served);
+  loop.conns.erase(conn->fd);
+  ::close(conn->fd);
+  conn->fd = -1;
+  loop.graveyard.push_back(conn);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  ServerMetrics::get().open_connections.set(
+      static_cast<std::int64_t>(open_connections_.load(std::memory_order_relaxed)));
+}
+
+void Server::handle_wake(Loop& loop) {
+  std::uint64_t drained = 0;
+  while (::read(loop.wake_fd, &drained, sizeof(drained)) > 0) {
+  }
+  std::vector<Completion> batch;
+  {
+    const std::lock_guard<std::mutex> lock(loop.mutex);
+    batch.swap(loop.completions);
+  }
+  for (Completion& comp : batch) {
+    Connection* conn = comp.conn;
+    --conn->inflight;
+    if (conn->fd < 0 || conn->dead) {
+      maybe_close(loop, conn);
+      continue;
+    }
+    const bool keep =
+        comp.keep && !draining_.load(std::memory_order_relaxed);
+    enqueue_response(conn, comp.seq, render_result(comp.result, keep));
+    flush(loop, conn);
+    maybe_close(loop, conn);
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    // Reap idle keep-alive connections. Snapshot the fds: maybe_close
+    // mutates the map.
+    std::vector<int> fds;
+    fds.reserve(loop.conns.size());
+    for (const auto& [fd, conn] : loop.conns) fds.push_back(fd);
+    for (const int fd : fds) {
+      const auto it = loop.conns.find(fd);
+      if (it != loop.conns.end()) maybe_close(loop, it->second);
+    }
+  }
+}
+
+// --- compute pool ------------------------------------------------------------
+
+void Server::compute_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] { return pool_stop_ || !pool_queue_.empty(); });
+      if (pool_queue_.empty()) return;  // stopping and drained
+      job = std::move(pool_queue_.front());
+      pool_queue_.pop_front();
+      ++pool_active_;
+    }
+    QueryResult result = service_.execute(job.query);
+    {
+      const std::lock_guard<std::mutex> lock(job.loop->mutex);
+      job.loop->completions.push_back(
+          Completion{job.conn, job.seq, std::move(result), job.keep});
+    }
+    wake(*job.loop);
+    inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
+    ServerMetrics::get().inflight.set(
+        static_cast<std::int64_t>(inflight_jobs_.load(std::memory_order_relaxed)));
+    {
+      const std::lock_guard<std::mutex> lock(pool_mutex_);
+      --pool_active_;
+      if (pool_queue_.empty() && pool_active_ == 0) pool_idle_cv_.notify_all();
+    }
+  }
+}
+
+// --- routing -----------------------------------------------------------------
+
+std::string Server::benchmarks_body() const {
+  // The full request vocabulary, for query authors hitting the 422 on
+  // typos: every enum axis comes straight off the shared EnumNames tables,
+  // so a new engine (e.g. opt-exact) appears here the moment it exists.
+  std::string body = "{\"benchmarks\": [";
+  bool first = true;
+  for (const auto& info : benchmarks::all_graphs()) {
+    if (!first) body += ", ";
+    first = false;
+    body += '"' + info.name + '"';
+  }
+  const auto append_axis = [&body](std::string_view axis, const auto& entries) {
+    body += "], \"";
+    body += axis;
+    body += "\": [";
+    bool axis_first = true;
+    for (const auto& [value, name] : entries) {
+      static_cast<void>(value);
+      if (!axis_first) body += ", ";
+      axis_first = false;
+      body += '"';
+      body += name;
+      body += '"';
+    }
+  };
+  append_axis("engines", EnumNames<driver::Engine>::entries);
+  append_axis("exec_engines", EnumNames<driver::ExecEngine>::entries);
+  append_axis("transforms", EnumNames<driver::Transform>::entries);
+  // Response column vocabulary, straight off the export schema — a new
+  // column (e.g. measured_size) is advertised the moment exports carry it.
+  body += "], \"columns\": [";
+  bool column_first = true;
+  for (const std::string_view column : driver::kCsvColumns) {
+    if (!column_first) body += ", ";
+    column_first = false;
+    body += '"';
+    body += column;
+    body += '"';
+  }
+  body += "], \"formats\": [\"json\", \"csv\"]}\n";
+  return body;
+}
+
+std::string Server::version_body() const {
+  std::string body = "{\"service\": \"csr-serve\", \"journal_payload_version\": \"";
+  body += driver::journal_payload_version();
+  body += "\", \"columns\": [";
+  bool first = true;
+  for (const std::string_view column : driver::kCsvColumns) {
+    if (!first) body += ", ";
+    first = false;
+    body += '"';
+    body += column;
+    body += '"';
+  }
+  body += "], \"formats\": [\"json\", \"csv\"], \"compiler\": \"";
+  body += json_escape(__VERSION__);
+  body += "\", \"cxx_standard\": ";
+  body += std::to_string(__cplusplus);
+  body += ", \"batch\": {\"width\": ";
+  body += std::to_string(batch_width_);
+  body += ", \"coalesce\": ";
+  body += coalesce_ ? "true" : "false";
+  body += "}}\n";
+  return body;
 }
 
 std::string Server::route(const HttpRequest& request) {
   const bool keep = request.keep_alive();
+  const auto method_not_allowed = [&](std::string_view allow) {
+    return render_response(405, "application/json",
+                           error_body_for(405, "method not allowed"), keep,
+                           {"Allow: " + std::string(allow)});
+  };
 
   if (request.target == "/healthz") {
-    if (request.method != "GET") {
-      return render_response(405, "text/plain", "method not allowed\n", keep);
-    }
+    if (request.method != "GET") return method_not_allowed("GET");
     if (draining_.load(std::memory_order_relaxed)) {
-      return render_response(503, "text/plain", "draining\n", keep);
+      return render_response(503, "application/json",
+                             error_body("draining", "server is draining",
+                                        options_.retry_after_seconds),
+                             keep,
+                             {"Retry-After: " +
+                              std::to_string(options_.retry_after_seconds)});
     }
     return render_response(200, "text/plain", "ok\n", keep);
   }
 
   if (request.target == "/metrics") {
-    if (request.method != "GET") {
-      return render_response(405, "text/plain", "method not allowed\n", keep);
-    }
+    if (request.method != "GET") return method_not_allowed("GET");
     return render_response(200, "text/plain; version=0.0.4",
                            observe::MetricsRegistry::global().to_prometheus(),
                            keep);
   }
 
   if (request.target == "/v1/benchmarks") {
-    if (request.method != "GET") {
-      return render_response(405, "text/plain", "method not allowed\n", keep);
-    }
-    // The full request vocabulary, for query authors hitting the 422 on
-    // typos: every enum axis comes straight off the shared EnumNames tables,
-    // so a new engine (e.g. opt-exact) appears here the moment it exists.
-    std::string body = "{\"benchmarks\": [";
-    bool first = true;
-    for (const auto& info : benchmarks::all_graphs()) {
-      if (!first) body += ", ";
-      first = false;
-      body += '"' + info.name + '"';
-    }
-    const auto append_axis = [&body](std::string_view axis, const auto& entries) {
-      body += "], \"";
-      body += axis;
-      body += "\": [";
-      bool axis_first = true;
-      for (const auto& [value, name] : entries) {
-        static_cast<void>(value);
-        if (!axis_first) body += ", ";
-        axis_first = false;
-        body += '"';
-        body += name;
-        body += '"';
-      }
-    };
-    append_axis("engines", EnumNames<driver::Engine>::entries);
-    append_axis("exec_engines", EnumNames<driver::ExecEngine>::entries);
-    append_axis("transforms", EnumNames<driver::Transform>::entries);
-    // Response column vocabulary, straight off the export schema — a new
-    // column (e.g. measured_size) is advertised the moment exports carry it.
-    body += "], \"columns\": [";
-    bool column_first = true;
-    for (const std::string_view column : driver::kCsvColumns) {
-      if (!column_first) body += ", ";
-      column_first = false;
-      body += '"';
-      body += column;
-      body += '"';
-    }
-    body += "], \"formats\": [\"json\", \"csv\"]}\n";
-    return render_response(200, "application/json", body, keep);
+    if (request.method != "GET") return method_not_allowed("GET");
+    return render_response(200, "application/json", benchmarks_body(), keep);
+  }
+
+  if (request.target == "/v1/version") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    return render_response(200, "application/json", version_body(), keep);
   }
 
   if (request.target == "/v1/sweep") {
-    if (request.method != "POST") {
-      return render_response(405, "text/plain", "use POST\n", keep,
-                             {"Allow: POST"});
-    }
+    if (request.method != "POST") return method_not_allowed("POST");
     QueryResult rejection;
     auto query = parse_query(request.body, &rejection);
     if (!query) {
@@ -385,45 +810,31 @@ std::string Server::route(const HttpRequest& request) {
         if (ms > 0) query->deadline_seconds = ms / 1000.0;
       }
     }
-    const QueryResult result = service_.execute(*query);
-    std::vector<std::string> extra;
-    if (result.status == 200) {
-      extra.push_back(std::string("X-Csr-Cache: ") +
-                      (result.cache_hits == result.cells ? "hit"
-                       : result.cache_hits > 0           ? "partial"
-                                                         : "miss"));
-      if (result.coalesced) extra.push_back("X-Csr-Coalesced: 1");
-    } else if (result.status == 503) {
-      extra.push_back("Retry-After: " +
-                      std::to_string(options_.retry_after_seconds));
-    }
-    return render_response(result.status, result.content_type, result.body,
-                           keep, extra);
+    return render_result(service_.execute(*query), keep);
   }
 
-  return render_response(404, "text/plain", "unknown endpoint\n", keep);
+  return render_response(404, "application/json",
+                         error_body_for(404, "unknown endpoint"), keep);
 }
+
+// --- lifecycle ---------------------------------------------------------------
 
 void Server::request_drain() {
   bool expected = false;
   if (!draining_.compare_exchange_strong(expected, true)) return;
   ServerMetrics::get().draining.set(1);
   observe::Span span("serve", "drain");
-
-  // Shed everything queued but unserved; workers holding connections finish
-  // their in-flight requests and close on their next loop iteration.
-  std::deque<int> orphaned;
+  for (auto& loop : loops_) wake(*loop);
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    orphaned.swap(queue_);
+    // Lock before notifying so a waiter between predicate check and wait
+    // cannot miss the wakeup.
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
   }
-  for (const int fd : orphaned) reject_connection(fd);
-  queue_cv_.notify_all();
   drain_cv_.notify_all();
 }
 
 void Server::wait_until_drained() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
+  std::unique_lock<std::mutex> lock(drain_mutex_);
   drain_cv_.wait(lock, [&] {
     return draining_.load(std::memory_order_relaxed) ||
            !running_.load(std::memory_order_relaxed);
@@ -433,14 +844,33 @@ void Server::wait_until_drained() {
 void Server::stop() {
   if (!running_.exchange(false)) return;
   request_drain();
-  queue_cv_.notify_all();
-  drain_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (signal_thread_.joinable()) signal_thread_.join();
-  for (std::thread& worker : workers_) {
+
+  // Quiesce the compute pool first: in-flight sweeps finish and post their
+  // completions while the loops are still alive to flush them.
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    pool_idle_cv_.wait(lock,
+                       [&] { return pool_queue_.empty() && pool_active_ == 0; });
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& worker : compute_threads_) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
+  compute_threads_.clear();
+
+  for (auto& loop : loops_) {
+    loop->stop.store(true, std::memory_order_relaxed);
+    wake(*loop);
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+  }
+  loops_.clear();
+
+  if (signal_thread_.joinable()) signal_thread_.join();
   if (g_signal_fd.load(std::memory_order_relaxed) == signal_pipe_[1]) {
     g_signal_fd.store(-1, std::memory_order_relaxed);
   }
@@ -453,11 +883,15 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (const int fd : queue_) ::close(fd);
-    queue_.clear();
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_stop_ = false;  // allow a future start() on the same object
   }
   ServerMetrics::get().draining.set(0);
+  draining_.store(false, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+  }
+  drain_cv_.notify_all();
 }
 
 }  // namespace csr::serve

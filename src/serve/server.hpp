@@ -1,71 +1,79 @@
 #pragma once
 
 /// \file server.hpp
-/// The network front of the query service: a thread-per-connection HTTP/1.1
-/// server on plain POSIX sockets. Transport policy lives here; everything
-/// about *what* a query means lives in service.hpp. Operational shape
-/// (docs/SERVING.md has the runbook):
+/// The network front of the query service: a non-blocking epoll reactor
+/// speaking HTTP/1.1 with keep-alive and pipelining. Transport policy lives
+/// here; everything about *what* a query means lives in service.hpp.
+/// Operational shape (docs/SERVING.md has the runbook):
 ///
-///   * **Bounded admission.** Accepted connections enter a bounded queue;
-///     when it is full the accept thread answers `503` with a `Retry-After`
-///     header and closes — load is shed at the front door, before a worker
-///     or the sweep engine is touched.
-///   * **Keep-alive + pipelining.** A worker owns a connection for its
-///     lifetime and drains every pipelined request the parser yields,
-///     responding in order.
+///   * **Event loops.** N event threads each run their own epoll instance;
+///     the shared listening socket is registered in every instance with
+///     EPOLLEXCLUSIVE so the kernel wakes exactly one loop per burst of
+///     connections. A connection is pinned for life to the loop that
+///     accepted it — all of its socket state is single-threaded, no lock.
+///     Reads and writes are edge-triggered and drained to EAGAIN.
+///   * **Compute split.** GET endpoints, protocol errors, and /v1/sweep
+///     queries the service can answer inline (response memo, parse
+///     rejection, all-cells-cached — SweepService::try_fast) are served on
+///     the event thread. Only cache-missing sweeps cross into the bounded
+///     compute pool; completions post back to the owning loop through a
+///     per-loop queue + eventfd wake. Socket I/O never blocks on a sweep.
+///   * **Pipelining in order.** Each request gets a sequence number at
+///     parse time; responses — inline or computed, whichever finishes
+///     first — are slotted by sequence and flushed strictly in request
+///     order, as HTTP/1.1 pipelining requires.
+///   * **Bounded admission.** Connections beyond max_connections and sweep
+///     requests beyond max_inflight are shed immediately with a 503
+///     envelope + Retry-After — load is shed at the front door, before the
+///     pool or the sweep engine is touched.
 ///   * **Graceful drain.** request_drain() (wired to SIGTERM/SIGINT through
-///     a self-pipe by install_signal_handlers) stops accepting, answers
-///     queued-but-unserved connections with 503, lets in-flight requests
-///     complete, then closes their connections. /healthz flips to 503 the
+///     a self-pipe by install_signal_handlers) stops admitting, closes idle
+///     keep-alive connections, lets in-flight requests complete and closes
+///     their connections after the final flush (responses rendered during
+///     drain advertise `Connection: close`). /healthz flips to 503 the
 ///     moment draining starts so load balancers stop routing.
+///   * **Cluster mode.** With ServerConfig::reuse_port the listening socket
+///     binds SO_REUSEPORT, so `csr_serve --cluster N` forks N siblings on
+///     one port and the kernel load-balances accepts across processes.
 ///
-/// Endpoints: POST /v1/sweep (the query service), GET /healthz,
-/// GET /metrics (Prometheus exposition of the global MetricsRegistry).
+/// Endpoints: POST /v1/sweep (the query service), GET /v1/benchmarks,
+/// GET /v1/version, GET /healthz, GET /metrics (Prometheus exposition).
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/config.hpp"
 #include "serve/http.hpp"
 #include "serve/service.hpp"
 
 namespace csr::serve {
 
-struct ServerOptions {
-  std::string host = "127.0.0.1";
-  std::uint16_t port = 8080;   ///< 0 = ephemeral; see Server::port()
-  unsigned worker_threads = 8; ///< concurrent connections served
-  std::size_t queue_limit = 64;  ///< accepted-but-unclaimed connections
-  int retry_after_seconds = 1;   ///< advertised on backpressure 503s
-  HttpLimits http_limits;
-  /// Poll granularity for idle reads and the accept loop — bounds how long
-  /// drain can go unnoticed by a blocked worker.
-  int poll_interval_ms = 200;
-};
-
 class Server {
  public:
-  Server(SweepService& service, ServerOptions options);
+  Server(SweepService& service, const ServerConfig& config);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and spawns the accept + worker threads. False (with
+  /// Binds, listens and spawns the event loops + compute pool. False (with
   /// `*error`) when the socket cannot be set up.
   bool start(std::string* error = nullptr);
 
   /// The bound port — the ephemeral one the kernel picked when
-  /// options.port == 0.
+  /// config.port() == 0.
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  /// Begins graceful drain: stop accepting, finish in-flight requests,
-  /// reject everything else. Idempotent, callable from any thread (but not
-  /// from a signal handler — that is what install_signal_handlers is for).
+  /// Begins graceful drain: stop admitting, close idle connections, finish
+  /// in-flight requests, close after their final flush. Idempotent,
+  /// callable from any thread (but not from a signal handler — that is
+  /// what install_signal_handlers is for).
   void request_drain();
 
   [[nodiscard]] bool draining() const {
@@ -95,42 +103,80 @@ class Server {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
-  /// One request routed to a response — exposed for tests that exercise
-  /// routing without a socket.
+  /// One request routed to a response, synchronously — the reference
+  /// implementation the reactor's split paths must agree with, exposed for
+  /// tests that exercise routing without a socket.
   [[nodiscard]] std::string route(const HttpRequest& request);
 
  private:
-  void accept_loop();
-  void worker_loop();
+  struct Connection;
+  struct Loop;
+  struct Completion;
+
+  /// One cache-missing /v1/sweep query headed for the compute pool.
+  struct Job {
+    Loop* loop = nullptr;
+    Connection* conn = nullptr;
+    std::uint64_t seq = 0;
+    Query query;
+    bool keep = false;  ///< the request's keep-alive wish
+  };
+
+  void loop_run(Loop& loop);
+  void accept_ready(Loop& loop);
+  void conn_read(Loop& loop, Connection* conn);
+  void drain_requests(Loop& loop, Connection* conn);
+  void dispatch(Loop& loop, Connection* conn, std::uint64_t seq,
+                HttpRequest request);
+  /// Renders `result` with the transport headers (cache disposition,
+  /// Retry-After) under the final keep-alive decision.
+  [[nodiscard]] std::string render_result(const QueryResult& result,
+                                          bool keep) const;
+  /// Slots a rendered response at `seq` and appends every response whose
+  /// turn has come to the outbox (callers flush afterwards).
+  void enqueue_response(Connection* conn, std::uint64_t seq,
+                        std::string response);
+  void flush(Loop& loop, Connection* conn);
+  void maybe_close(Loop& loop, Connection* conn);
+  void destroy_connection(Loop& loop, Connection* conn);
+  void handle_wake(Loop& loop);
+  void wake(Loop& loop);
+
+  void compute_loop();
   void signal_loop();
-  void handle_connection(int fd);
-  /// Pops the next queued connection; -1 when the server is stopping and
-  /// the queue is empty.
-  int next_connection();
-  void reject_connection(int fd);
+  void reject_connection(int fd, std::string_view code, std::string_view message);
+
+  [[nodiscard]] std::string version_body() const;
+  [[nodiscard]] std::string benchmarks_body() const;
 
   SweepService& service_;
-  ServerOptions options_;
+  ReactorOptions options_;
+  std::size_t batch_width_ = 1;   ///< advertised by /v1/version
+  bool coalesce_ = false;         ///< advertised by /v1/version
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
 
-  // Workers wait on queue_cv_; drain watchers wait on drain_cv_. Separate
-  // condition variables because the accept loop uses notify_one — a shared
-  // cv could hand a new-connection wakeup to a drain watcher, whose
-  // predicate ignores the queue, and strand the connection until the next
-  // notify.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drain_cv_;
-  std::deque<int> queue_;
+  std::vector<std::unique_ptr<Loop>> loops_;
 
-  std::thread accept_thread_;
+  // Compute pool: bounded by max_inflight (checked at dispatch).
+  std::vector<std::thread> compute_threads_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;       ///< workers wait for jobs
+  std::condition_variable pool_idle_cv_;  ///< stop() waits for quiescence
+  std::deque<Job> pool_queue_;
+  std::size_t pool_active_ = 0;
+  bool pool_stop_ = false;
+  std::atomic<std::size_t> inflight_jobs_{0};  ///< queued + executing
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
   std::thread signal_thread_;
-  std::vector<std::thread> workers_;
   int signal_pipe_[2] = {-1, -1};
 
+  std::atomic<std::size_t> open_connections_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};
   std::atomic<std::uint64_t> requests_served_{0};

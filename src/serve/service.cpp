@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "benchmarks/benchmarks.hpp"
+#include "driver/cell_exec.hpp"
 #include "observe/observe.hpp"
+#include "serve/config.hpp"
+#include "serve/errors.hpp"
 #include "serve/json.hpp"
 #include "support/hash.hpp"
 
@@ -22,6 +25,8 @@ struct ServeMetrics {
   observe::Counter& cells;
   observe::Counter& cell_cache_hits;
   observe::Counter& sweeps;
+  observe::Counter& memo_hits;
+  observe::Counter& fast_served;
   observe::Histogram& query_seconds;
   observe::Gauge& cache_entries;
 
@@ -40,7 +45,12 @@ struct ServeMetrics {
           reg.counter("csr_serve_cell_cache_hits_total",
                       "Cells served from the in-memory result cache"),
           reg.counter("csr_serve_sweeps_total",
-                      "Underlying run_sweep invocations (cache-missing work)"),
+                      "Underlying compute invocations (cache-missing work)"),
+          reg.counter("csr_serve_memo_hits_total",
+                      "Queries answered from the rendered-response memo"),
+          reg.counter("csr_serve_fast_served_total",
+                      "Queries served inline on an event thread (memo, "
+                      "rejection, or all-cells-cached)"),
           reg.histogram("csr_serve_query_seconds",
                         observe::latency_seconds_bounds(),
                         "Wall time of one query, cache hits included"),
@@ -54,10 +64,10 @@ struct ServeMetrics {
 QueryResult reject(int status, std::string why) {
   QueryResult r;
   r.status = status;
-  r.content_type = "text/plain";
-  r.error = why;
-  r.body = std::move(why);
-  r.body += '\n';
+  r.content_type = "application/json";
+  r.code = std::string(error_code(status));
+  r.body = error_body(r.code, why);
+  r.error = std::move(why);
   return r;
 }
 
@@ -121,6 +131,19 @@ bool read_enum_array(const JsonValue& value, std::string_view key,
     out.push_back(*parsed);
   }
   return true;
+}
+
+/// Renders `results` into `out` through the shared exporters.
+void render_result(driver::ExportFormat format,
+                   const std::vector<driver::SweepResult>& results,
+                   QueryResult* out) {
+  if (format == driver::ExportFormat::kCsv) {
+    out->content_type = "text/csv";
+    out->body = driver::to_csv(results);
+  } else {
+    out->content_type = "application/json";
+    out->body = driver::to_json(results);
+  }
 }
 
 }  // namespace
@@ -228,6 +251,14 @@ std::optional<Query> parse_query(const std::string& body, QueryResult* rejection
 SweepService::SweepService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity, options_.cache_shards) {
+  if (options_.memo_capacity > 0) {
+    memo_ = std::make_unique<ShardedLruCache>(options_.memo_capacity,
+                                              options_.cache_shards);
+  }
+  if (options_.coalesce && options_.sweep_batch_width > 1) {
+    coalescer_ = std::make_unique<CellCoalescer>(options_.sweep_batch_width,
+                                                 options_.batch_hook);
+  }
   if (!options_.journal_path.empty()) {
     journaled_ = journal_.open(options_.journal_path);
     if (journaled_) {
@@ -242,6 +273,9 @@ SweepService::SweepService(ServiceOptions options)
   }
   ServeMetrics::get().cache_entries.set(static_cast<std::int64_t>(cache_.size()));
 }
+
+SweepService::SweepService(const ServerConfig& config)
+    : SweepService(config.service()) {}
 
 driver::SweepOptions SweepService::sweep_options(const Query& query) const {
   driver::SweepOptions opts;
@@ -261,6 +295,73 @@ QueryResult SweepService::handle(const std::string& body) {
     return rejection;
   }
   return execute(*query);
+}
+
+bool SweepService::try_fast(const std::string& body, Query* query,
+                            QueryResult* out) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  if (memo_ != nullptr) {
+    if (const auto hit = memo_->get(body)) {
+      // Memo values are the rendered body prefixed by one format byte.
+      metrics.queries.increment();
+      metrics.memo_hits.increment();
+      metrics.fast_served.increment();
+      out->status = 200;
+      out->content_type = hit->front() == 'c' ? "text/csv" : "application/json";
+      out->body = hit->substr(1);
+      out->cells = out->cache_hits = 1;  // memo implies a full cache hit
+      return true;
+    }
+  }
+
+  QueryResult rejection;
+  auto parsed = parse_query(body, &rejection);
+  if (!parsed) {
+    metrics.queries.increment();
+    metrics.query_errors.increment();
+    metrics.fast_served.increment();
+    *out = rejection;
+    return true;
+  }
+  *query = std::move(*parsed);
+
+  if (try_cached(*query, out)) {
+    metrics.fast_served.increment();
+    if (memo_ != nullptr && out->status == 200) {
+      std::string value(
+          1, query->format == driver::ExportFormat::kCsv ? 'c' : 'j');
+      value += out->body;
+      memo_->put(body, std::move(value));
+    }
+    return true;
+  }
+  return false;
+}
+
+bool SweepService::try_cached(const Query& query, QueryResult* out) {
+  const std::vector<driver::SweepCell> cells = query.config.cells();
+  if (cells.empty() || cells.size() > options_.max_cells_per_request) {
+    return false;  // execute() owns the rejection (and its metrics)
+  }
+  const driver::SweepOptions sweep_opts = sweep_options(query);
+  std::vector<driver::SweepResult> results(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string key = driver::journal_key(cells[i], sweep_opts);
+    const auto payload = cache_.get(key);
+    if (!payload || !driver::from_journal_payload(*payload, cells[i], results[i])) {
+      return false;
+    }
+    results[i].from_cache = true;
+  }
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.queries.increment();
+  metrics.cells.increment(cells.size());
+  metrics.cell_cache_hits.increment(cells.size());
+  out->status = 200;
+  out->cells = cells.size();
+  out->cache_hits = cells.size();
+  render_result(query.format, results, out);
+  return true;
 }
 
 QueryResult SweepService::execute(const Query& query) {
@@ -360,17 +461,11 @@ QueryResult SweepService::compute(const Query& query,
       }
     }
 
-    std::vector<driver::SweepCell> todo;
-    todo.reserve(missing.size());
-    for (const std::size_t i : missing) todo.push_back(cells[i]);
-
-    driver::SweepConfig config;
-    config.cells(std::move(todo));
-    config.options() = sweep_opts;
+    driver::SweepOptions exec_opts = sweep_opts;
     if (remaining > 0) {
       // The existing retry policy is the propagation point: a native cell's
       // compiler subprocess may not outlive the request that asked for it.
-      driver::RetryPolicy& retry = config.options().retry;
+      driver::RetryPolicy& retry = exec_opts.retry;
       retry.compile_deadline = retry.compile_deadline > 0
                                    ? std::min(retry.compile_deadline, remaining)
                                    : remaining;
@@ -378,11 +473,23 @@ QueryResult SweepService::compute(const Query& query,
 
     sweeps_executed_.fetch_add(1, std::memory_order_relaxed);
     metrics.sweeps.increment();
-    const driver::SweepRun run = driver::run_sweep(config);
 
-    for (std::size_t j = 0; j < missing.size(); ++j) {
-      const std::size_t i = missing[j];
-      results[i] = run.results[j];
+    if (coalescer_ != nullptr && missing.size() <= options_.coalesce_cell_limit) {
+      compute_coalesced(cells, missing, exec_opts, results);
+    } else {
+      std::vector<driver::SweepCell> todo;
+      todo.reserve(missing.size());
+      for (const std::size_t i : missing) todo.push_back(cells[i]);
+      driver::SweepConfig config;
+      config.cells(std::move(todo));
+      config.options() = exec_opts;
+      const driver::SweepRun run = driver::run_sweep(config);
+      for (std::size_t j = 0; j < missing.size(); ++j) {
+        results[missing[j]] = run.results[j];
+      }
+    }
+
+    for (const std::size_t i : missing) {
       const std::string payload = driver::to_journal_payload(results[i]);
       if (journaled_) journal_.append(keys[i], payload);
       cache_.put(keys[i], payload);
@@ -392,14 +499,41 @@ QueryResult SweepService::compute(const Query& query,
 
   // Phase 3: render through the shared exporters — the bytes a direct
   // run_sweep + to_json/to_csv of the same cells would produce.
-  if (query.format == driver::ExportFormat::kCsv) {
-    out.content_type = "text/csv";
-    out.body = driver::to_csv(results);
-  } else {
-    out.content_type = "application/json";
-    out.body = driver::to_json(results);
-  }
+  render_result(query.format, results, &out);
   return out;
+}
+
+void SweepService::compute_coalesced(
+    const std::vector<driver::SweepCell>& cells,
+    const std::vector<std::size_t>& missing,
+    const driver::SweepOptions& options,
+    std::vector<driver::SweepResult>& results) {
+  observe::Span span("serve", "compute_coalesced");
+  span.arg("cells", static_cast<std::uint64_t>(missing.size()));
+
+  // Prepare on this thread; prepare_cell(...) + verify_cell(...) is exactly
+  // evaluate_cell, so results stay byte-identical to the run_sweep path.
+  std::vector<driver::PreparedCell> prepared;
+  prepared.reserve(missing.size());
+  for (const std::size_t i : missing) {
+    prepared.push_back(driver::prepare_cell(cells[i], options));
+  }
+
+  std::vector<driver::PreparedCell*> batchable;
+  batchable.reserve(prepared.size());
+  for (driver::PreparedCell& prep : prepared) {
+    if (driver::prepared_batchable(prep, options)) {
+      batchable.push_back(&prep);
+    } else {
+      driver::verify_cell(prep, options);
+    }
+  }
+  span.arg("batchable", static_cast<std::uint64_t>(batchable.size()));
+  coalescer_->execute(batchable, options);
+
+  for (std::size_t j = 0; j < missing.size(); ++j) {
+    results[missing[j]] = std::move(prepared[j].res);
+  }
 }
 
 }  // namespace csr::serve

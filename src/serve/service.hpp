@@ -3,29 +3,42 @@
 /// \file service.hpp
 /// The query service behind the HTTP endpoints: request body → SweepConfig →
 /// cached / coalesced / deadline-bounded execution → export bytes. This
-/// layer is socket-free (the server in server.hpp is a thin transport over
-/// it), which is what lets the cache, single-flight and deadline semantics
-/// be tested in-process without a port.
+/// layer is socket-free (the reactor in server.hpp is a thin transport over
+/// it), which is what lets the cache, single-flight, coalescing and deadline
+/// semantics be tested in-process without a port.
 ///
 /// The serving pipeline per query (docs/SERVING.md):
 ///
-///   1. **Parse + validate** the JSON body onto driver::SweepConfig. Syntax
+///   1. **Response memo.** A bounded LRU from exact request-body bytes to
+///      rendered 200 bodies of fully-cached queries. Results are
+///      deterministic and content-keyed, so a memoized body can never go
+///      stale — the memo turns a warm repeated query into one hash lookup,
+///      cheap enough for the reactor's event threads to serve inline
+///      (try_fast).
+///   2. **Parse + validate** the JSON body onto driver::SweepConfig. Syntax
 ///      errors are 400; semantically invalid fields (unknown engine names,
-///      non-positive factors, too many cells) are 422.
-///   2. **Cell cache.** Every cell of the request grid is looked up in the
+///      non-positive factors, too many cells) are 422. All rejections carry
+///      the typed error envelope (errors.hpp).
+///   3. **Cell cache.** Every cell of the request grid is looked up in the
 ///      sharded LRU (cache.hpp) under its driver::journal_key — the *same*
 ///      content hash the persistent journal uses, via the one shared helper
 ///      in support/hash.hpp, so online and offline results can never alias
 ///      differently. Hits are journal payloads replayed through
 ///      from_journal_payload, exactly like a warm offline re-run.
-///   3. **Single flight.** Cache-missing work runs under a request-level
+///   4. **Single flight.** Cache-missing work runs under a request-level
 ///      content key; concurrent identical queries share one computation
 ///      (single_flight.hpp).
-///   4. **Deadline.** A request deadline (deadline_ms) bounds the compute:
+///   5. **Cross-request coalescing.** The cache-missing delta, when small
+///      enough, is split into prepare/verify phases; batchable prepared
+///      cells join per-shape buckets shared with *other* in-flight requests
+///      and execute as lanes of one batch kernel (coalesce.hpp). Large
+///      deltas run through the parallel sweep scheduler instead. Either
+///      way the journal keys — and therefore the cache — are identical.
+///   6. **Deadline.** A request deadline (deadline_ms) bounds the compute:
 ///      expired before execution → 504; otherwise the remaining budget is
 ///      propagated into the existing RetryPolicy's compile deadline so a
 ///      native-engine cell cannot out-live its request.
-///   5. **Persist + render.** Executed cells are appended to the journal
+///   7. **Persist + render.** Executed cells are appended to the journal
 ///      (when configured) and inserted into the cache; the full result
 ///      vector — in deterministic grid order — is rendered through the
 ///      shared exporters, so a served body is byte-identical to the offline
@@ -35,6 +48,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,10 +56,13 @@
 #include "driver/config.hpp"
 #include "driver/export.hpp"
 #include "serve/cache.hpp"
+#include "serve/coalesce.hpp"
 #include "serve/single_flight.hpp"
 #include "support/journal.hpp"
 
 namespace csr::serve {
+
+class ServerConfig;  // config.hpp — the fluent builder over these options
 
 struct ServiceOptions {
   /// Persistent journal: warm-starts the cache at boot and absorbs every
@@ -53,6 +70,9 @@ struct ServiceOptions {
   std::string journal_path;
   std::size_t cache_capacity = 1 << 16;  ///< total cached cells
   std::size_t cache_shards = 16;
+  /// Rendered-response memo entries (request body → 200 body of a
+  /// fully-cached query); 0 disables the memo fast path.
+  std::size_t memo_capacity = 8192;
   /// Ceiling on cells() per request — admission control against a single
   /// query that expands to a galaxy-sized grid.
   std::size_t max_cells_per_request = 4096;
@@ -65,6 +85,13 @@ struct ServiceOptions {
   /// Results are byte-identical at any width, so this is pure operator
   /// throughput policy — it never enters journal or cache keys.
   std::size_t sweep_batch_width = 1;
+  /// Cross-request coalescing: batchable prepared cells of distinct
+  /// concurrent queries share batch kernel runs. Takes effect only when
+  /// sweep_batch_width > 1 (width 1 means the operator disabled batching).
+  bool coalesce = true;
+  /// Queries whose cache-missing delta exceeds this bypass the coalescer
+  /// and run through the parallel sweep scheduler.
+  std::size_t coalesce_cell_limit = 64;
   driver::RetryPolicy retry;
   ResourceModel machine = ResourceModel::adders_and_multipliers(2, 2);
 
@@ -72,6 +99,9 @@ struct ServiceOptions {
   /// the sweep. The hammer and drain tests use it to hold a computation
   /// open deterministically. Never set in production.
   std::function<void()> compute_hook;
+  /// Test hook: runs in the coalescer's runner thread before each bucket
+  /// collection (CellCoalescer's batch_hook). Never set in production.
+  std::function<void()> batch_hook;
 };
 
 /// One parsed query.
@@ -82,12 +112,15 @@ struct Query {
 };
 
 /// Outcome of one query execution, transport-agnostic: the server maps
-/// `status` onto the HTTP response line.
+/// `status` onto the HTTP response line. Non-200 bodies are the typed error
+/// envelope (errors.hpp); `code` carries the envelope's machine-readable
+/// slug.
 struct QueryResult {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
-  std::string error;         ///< non-empty iff status != 200
+  std::string code;          ///< envelope error code; empty iff status == 200
+  std::string error;         ///< human message; non-empty iff status != 200
   std::size_t cells = 0;     ///< grid size of the request
   std::size_t cache_hits = 0;  ///< cells served from the LRU
   bool coalesced = false;    ///< result shared from a concurrent identical query
@@ -101,6 +134,8 @@ struct QueryResult {
 class SweepService {
  public:
   explicit SweepService(ServiceOptions options);
+  /// The one construction path the daemon, tests and bench share.
+  explicit SweepService(const ServerConfig& config);
 
   /// Executes one parsed query through cache + single-flight + driver.
   [[nodiscard]] QueryResult execute(const Query& query);
@@ -108,9 +143,18 @@ class SweepService {
   /// Convenience: parse_query + execute.
   [[nodiscard]] QueryResult handle(const std::string& body);
 
+  /// The reactor's inline path: serves the query entirely from the response
+  /// memo, a parse rejection, or an all-cells-cached render — no compute
+  /// pool, no sweep. True = `*out` holds the answer. False = the query is a
+  /// cache miss; `*query` holds the parsed form for the compute pool (so the
+  /// body is parsed once).
+  [[nodiscard]] bool try_fast(const std::string& body, Query* query,
+                              QueryResult* out);
+
   // --- introspection (tests, /healthz, stats) ------------------------------
-  /// Underlying run_sweep invocations so far — the single-flight hammer
-  /// test's "exactly one sweep per unique key" is asserted against this.
+  /// Underlying compute invocations (run_sweep or coalesced execution) so
+  /// far — the single-flight hammer test's "exactly one sweep per unique
+  /// key" is asserted against this.
   [[nodiscard]] std::uint64_t sweeps_executed() const {
     return sweeps_executed_.load(std::memory_order_relaxed);
   }
@@ -119,17 +163,35 @@ class SweepService {
   /// Queries currently blocked on another query's computation.
   [[nodiscard]] std::size_t inflight_waiters() const { return flights_.waiters(); }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  /// The cross-request coalescer; null when disabled (coalesce == false or
+  /// sweep_batch_width <= 1).
+  [[nodiscard]] const CellCoalescer* coalescer() const {
+    return coalescer_.get();
+  }
 
  private:
   /// The driver options a query runs under: the operator's execution policy
   /// plus the caller's `verify` flag — exactly the fields journal_key hashes.
   [[nodiscard]] driver::SweepOptions sweep_options(const Query& query) const;
 
+  /// All cells cached → renders into *out (true); any miss → false.
+  [[nodiscard]] bool try_cached(const Query& query, QueryResult* out);
+
   QueryResult compute(const Query& query, const std::vector<driver::SweepCell>& cells,
                       std::chrono::steady_clock::time_point start);
 
+  /// Executes the cache-missing delta through the cross-request coalescer:
+  /// prepare on this thread, batchable lanes through shared batch kernels,
+  /// the rest through verify_cell.
+  void compute_coalesced(const std::vector<driver::SweepCell>& cells,
+                         const std::vector<std::size_t>& missing,
+                         const driver::SweepOptions& options,
+                         std::vector<driver::SweepResult>& results);
+
   ServiceOptions options_;
   ShardedLruCache cache_;
+  std::unique_ptr<ShardedLruCache> memo_;  ///< null when memo_capacity == 0
+  std::unique_ptr<CellCoalescer> coalescer_;
   SingleFlight<QueryResult> flights_;
   ResultJournal journal_;
   bool journaled_ = false;

@@ -1,0 +1,345 @@
+// Conformance tests for the epoll reactor (src/serve/server.cpp) beyond the
+// basic routing suite: keep-alive and pipelining discipline (in-order
+// responses across compute/inline boundaries, requests arriving in
+// interleaved partial reads, pipelined requests split across epoll event
+// batches), graceful drain of idle keep-alive connections, the typed error
+// envelope on every non-200, and the /v1/version build-info surface.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "driver/cell_exec.hpp"
+#include "serve/config.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace csr::serve {
+namespace {
+
+/// A minimal blocking HTTP/1.1 client for loopback tests.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool request(const std::string& method, const std::string& target,
+               const std::string& body = "",
+               const std::string& extra_headers = "") {
+    return send_raw(wire(method, target, body, extra_headers));
+  }
+
+  static std::string wire(const std::string& method, const std::string& target,
+                          const std::string& body = "",
+                          const std::string& extra_headers = "") {
+    std::string out = method + " " + target + " HTTP/1.1\r\nHost: t\r\n";
+    out += extra_headers;
+    if (!body.empty()) {
+      out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    out += "\r\n" + body;
+    return out;
+  }
+
+  /// Reads one full response. Returns the status code, or -1 on EOF/parse
+  /// trouble. Headers and body land in the accessors.
+  int read_response() {
+    char chunk[64 * 1024];
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    headers_ = buffer_.substr(0, header_end);
+    std::string lower = headers_;
+    for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const std::size_t cl = lower.find("content-length:");
+    if (cl == std::string::npos) return -1;
+    const std::size_t length =
+        std::strtoull(headers_.c_str() + cl + 15, nullptr, 10);
+    const std::size_t total = header_end + 4 + length;
+    while (buffer_.size() < total) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    body_ = buffer_.substr(header_end + 4, length);
+    buffer_.erase(0, total);
+    return std::atoi(headers_.c_str() + 9);
+  }
+
+  [[nodiscard]] const std::string& headers() const { return headers_; }
+  [[nodiscard]] const std::string& body() const { return body_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::string headers_;
+  std::string body_;
+};
+
+constexpr const char* kSmallQuery =
+    R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"]})";
+
+ServerConfig quick_config() {
+  ServerConfig config;
+  config.port(0)  // ephemeral: tests must never collide on a fixed port
+      .event_threads(2)
+      .compute_threads(2)
+      .poll_interval_ms(20);  // keep drain/stop latencies test-sized
+  return config;
+}
+
+/// The envelope contract: every non-200 body is
+/// {"error": {"code": ..., "message": ...}}.
+void expect_envelope(const std::string& body, const std::string& code) {
+  EXPECT_NE(body.find("{\"error\": {\"code\": \"" + code + "\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"message\": \""), std::string::npos) << body;
+}
+
+// --- keep-alive + pipelining -------------------------------------------------
+
+TEST(Reactor, InterleavedPartialReadsAssembleIndependently) {
+  // Two connections pinned to one event loop, each dribbling its request in
+  // fragments — including splits inside the request line and inside the
+  // body. The per-connection parsers must assemble both without cross-talk.
+  ServerConfig config = quick_config();
+  config.event_threads(1);
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient a(server.port());
+  TestClient b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  const std::string wire_a =
+      TestClient::wire("POST", "/v1/sweep", kSmallQuery);
+  const std::string wire_b = TestClient::wire("GET", "/v1/benchmarks");
+
+  // Interleave fragments: A's request line is cut mid-token, B's whole
+  // request lands between A's fragments, then A's body arrives in two
+  // pieces.
+  ASSERT_TRUE(a.send_raw(wire_a.substr(0, 9)));  // "POST /v1/"
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(b.send_raw(wire_b.substr(0, 12)));
+  ASSERT_TRUE(a.send_raw(wire_a.substr(9, 40)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(b.send_raw(wire_b.substr(12)));
+  EXPECT_EQ(b.read_response(), 200);  // B completes while A is still partial
+  EXPECT_NE(b.body().find("IIR Filter"), std::string::npos);
+  ASSERT_TRUE(a.send_raw(wire_a.substr(49)));
+  EXPECT_EQ(a.read_response(), 200);
+  EXPECT_NE(a.headers().find("X-Csr-Cache:"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(Reactor, PipelinedResponsesStayInOrderAcrossComputeBoundary) {
+  // Three pipelined requests where the first crosses into the compute pool
+  // (cache miss, held open by the hook) and the second is answered inline on
+  // the event thread. The inline answer must *not* overtake the computed
+  // one: responses flush strictly in request order. The third request rides
+  // a later epoll batch (sent after a pause) and still sequences last.
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  ServerConfig config = quick_config();
+  config.compute_hook([&] {
+    entered.store(true);
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_raw(TestClient::wire("POST", "/v1/sweep", kSmallQuery) +
+                              TestClient::wire("GET", "/healthz")));
+  for (int i = 0; i < 2000 && !entered.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(entered.load());
+  // Batch boundary: the sweep is mid-compute when the third request arrives.
+  ASSERT_TRUE(client.request("GET", "/v1/version"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release.store(true);
+
+  EXPECT_EQ(client.read_response(), 200);  // the sweep, first in, first out
+  EXPECT_NE(client.headers().find("X-Csr-Cache: miss"), std::string::npos);
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_EQ(client.body(), "ok\n");  // healthz waited its turn
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.body().find("journal_payload_version"), std::string::npos);
+  server.stop();
+}
+
+TEST(Reactor, KeepAliveConnectionServesManyRequests) {
+  ServerConfig config = quick_config();
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(client.request("GET", "/healthz"));
+    ASSERT_EQ(client.read_response(), 200) << "request " << i;
+    EXPECT_NE(client.headers().find("Connection: keep-alive"), std::string::npos);
+  }
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  EXPECT_GE(server.requests_served(), 32u);
+  server.stop();
+}
+
+// --- graceful drain ----------------------------------------------------------
+
+TEST(Reactor, DrainReapsIdleKeepAliveConnections) {
+  ServerConfig config = quick_config();
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // An idle keep-alive connection: one completed request, then parked.
+  TestClient idle(server.port());
+  ASSERT_TRUE(idle.connected());
+  ASSERT_TRUE(idle.request("GET", "/healthz"));
+  ASSERT_EQ(idle.read_response(), 200);
+
+  server.request_drain();
+  server.wait_until_drained();  // must not block: drain already requested
+
+  // The parked connection is closed by the server, not left to time out.
+  EXPECT_EQ(idle.read_response(), -1);
+
+  // New arrivals during drain get an immediate 503 draining envelope.
+  TestClient late(server.port());
+  ASSERT_TRUE(late.connected());
+  EXPECT_EQ(late.read_response(), 503);
+  expect_envelope(late.body(), "draining");
+  EXPECT_NE(late.headers().find("Retry-After:"), std::string::npos);
+
+  server.stop();
+}
+
+// --- error envelope + version surface ----------------------------------------
+
+TEST(Reactor, EveryRejectionCarriesTheTypedEnvelope) {
+  ServerConfig config = quick_config();
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.request("GET", "/no/such/endpoint"));
+  EXPECT_EQ(client.read_response(), 404);
+  EXPECT_NE(client.headers().find("application/json"), std::string::npos);
+  expect_envelope(client.body(), "not_found");
+
+  ASSERT_TRUE(client.request("GET", "/v1/sweep"));
+  EXPECT_EQ(client.read_response(), 405);
+  EXPECT_NE(client.headers().find("Allow: POST"), std::string::npos);
+  expect_envelope(client.body(), "method_not_allowed");
+
+  ASSERT_TRUE(client.request("POST", "/v1/sweep", "{malformed"));
+  EXPECT_EQ(client.read_response(), 400);
+  expect_envelope(client.body(), "bad_request");
+
+  ASSERT_TRUE(client.request("POST", "/v1/sweep",
+                             R"({"benchmarks":["no such graph"]})"));
+  EXPECT_EQ(client.read_response(), 422);
+  expect_envelope(client.body(), "invalid_query");
+
+  server.stop();
+}
+
+TEST(Reactor, HeaderDeadlineExpiresAs504Envelope) {
+  ServerConfig config = quick_config();
+  config.compute_hook(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(30)); });
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.request("POST", "/v1/sweep", kSmallQuery,
+                             "X-Csr-Deadline-Ms: 5\r\n"));
+  EXPECT_EQ(client.read_response(), 504);
+  expect_envelope(client.body(), "deadline_expired");
+  EXPECT_EQ(service.sweeps_executed(), 0u);
+  server.stop();
+}
+
+TEST(Reactor, VersionAdvertisesPayloadVersionColumnsAndBatchPolicy) {
+  ServerConfig config = quick_config();
+  config.batch_width(8).coalesce(true);
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.request("GET", "/v1/version"));
+  EXPECT_EQ(client.read_response(), 200);
+  const std::string& body = client.body();
+  EXPECT_NE(body.find("\"journal_payload_version\": \"" +
+                      std::string(driver::journal_payload_version()) + "\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"columns\""), std::string::npos);
+  EXPECT_NE(body.find("\"measured_size\""), std::string::npos);
+  EXPECT_NE(body.find("\"batch\": {\"width\": 8, \"coalesce\": true}"),
+            std::string::npos)
+      << body;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace csr::serve

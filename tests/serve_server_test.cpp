@@ -1,6 +1,9 @@
 // End-to-end tests for the HTTP server (src/serve/server.hpp) over real
 // loopback sockets: routing, cache headers, byte-identity with the offline
-// export, admission-queue backpressure, and graceful drain via SIGTERM.
+// export, admission control (connection and compute-pool bounds), and
+// graceful drain via SIGTERM. The reactor-specific conformance suite
+// (pipelining discipline, partial reads, envelope shapes) lives in
+// serve_reactor_test.cpp.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +22,7 @@
 
 #include "driver/config.hpp"
 #include "driver/export.hpp"
+#include "serve/config.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -105,18 +109,19 @@ class TestClient {
 constexpr const char* kSmallQuery =
     R"({"benchmarks":["IIR Filter"],"transforms":["retimed_csr"]})";
 
-ServerOptions quick_server_options() {
-  ServerOptions options;
-  options.port = 0;  // ephemeral: tests must never collide on a fixed port
-  options.worker_threads = 4;
-  options.poll_interval_ms = 20;  // keep drain/stop latencies test-sized
-  return options;
+ServerConfig quick_config() {
+  ServerConfig config;
+  config.port(0)  // ephemeral: tests must never collide on a fixed port
+      .event_threads(2)
+      .compute_threads(2)
+      .poll_interval_ms(20);  // keep drain/stop latencies test-sized
+  return config;
 }
 
 TEST(Server, RoutesCoreEndpointsOverLoopback) {
-  ServiceOptions service_options;
-  SweepService service(service_options);
-  Server server(service, quick_server_options());
+  const ServerConfig config = quick_config();
+  SweepService service(config);
+  Server server(service, config);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
   ASSERT_NE(server.port(), 0);
@@ -137,6 +142,10 @@ TEST(Server, RoutesCoreEndpointsOverLoopback) {
   EXPECT_NE(client.body().find("\"columns\""), std::string::npos);
   EXPECT_NE(client.body().find("\"measured_size\""), std::string::npos);
 
+  ASSERT_TRUE(client.request("GET", "/v1/version"));
+  EXPECT_EQ(client.read_response(), 200);
+  EXPECT_NE(client.body().find("\"journal_payload_version\""), std::string::npos);
+
   ASSERT_TRUE(client.request("POST", "/v1/sweep", kSmallQuery));
   EXPECT_EQ(client.read_response(), 200);
   EXPECT_NE(client.headers().find("X-Csr-Cache: miss"), std::string::npos);
@@ -148,10 +157,10 @@ TEST(Server, RoutesCoreEndpointsOverLoopback) {
   EXPECT_EQ(client.body(), cold_body);
 
   // Acceptance: served bytes == offline run_sweep export of the same cells.
-  driver::SweepConfig config;
-  config.grid().benchmarks = {"IIR Filter"};
-  config.grid().transforms = {driver::Transform::kRetimedCsr};
-  const driver::SweepRun run = driver::run_sweep(config);
+  driver::SweepConfig config2;
+  config2.grid().benchmarks = {"IIR Filter"};
+  config2.grid().transforms = {driver::Transform::kRetimedCsr};
+  const driver::SweepRun run = driver::run_sweep(config2);
   EXPECT_EQ(cold_body, driver::to_json(run.results));
 
   ASSERT_TRUE(client.request("GET", "/metrics"));
@@ -168,14 +177,14 @@ TEST(Server, RoutesCoreEndpointsOverLoopback) {
   ASSERT_TRUE(client.request("POST", "/v1/sweep", "{malformed"));
   EXPECT_EQ(client.read_response(), 400);
 
-  EXPECT_GE(server.requests_served(), 8u);
+  EXPECT_GE(server.requests_served(), 9u);
   server.stop();
 }
 
 TEST(Server, ParseErrorAnswersThenCloses) {
-  ServiceOptions service_options;
-  SweepService service(service_options);
-  Server server(service, quick_server_options());
+  const ServerConfig config = quick_config();
+  SweepService service(config);
+  Server server(service, config);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
 
@@ -189,9 +198,9 @@ TEST(Server, ParseErrorAnswersThenCloses) {
 }
 
 TEST(Server, PipelinedRequestsAnswerInOrder) {
-  ServiceOptions service_options;
-  SweepService service(service_options);
-  Server server(service, quick_server_options());
+  const ServerConfig config = quick_config();
+  SweepService service(config);
+  Server server(service, config);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
 
@@ -209,22 +218,19 @@ TEST(Server, PipelinedRequestsAnswerInOrder) {
   server.stop();
 }
 
-TEST(Server, BackpressureShedsWith503RetryAfter) {
-  // One worker, queue of one: a blocked request + one queued connection
-  // leave no room, so the third connection must be shed at the door.
-  ServiceOptions service_options;
+TEST(Server, ComputeBoundShedsRequestsWith503RetryAfter) {
+  // One compute thread and an in-flight ceiling of one: with the pool held
+  // busy, the next sweep request is shed at dispatch with a 503 envelope —
+  // the connection stays open and usable.
   std::atomic<bool> entered{false};
   std::atomic<bool> release{false};
-  service_options.compute_hook = [&] {
+  ServerConfig config = quick_config();
+  config.compute_threads(1).max_inflight(1).retry_after(7).compute_hook([&] {
     entered.store(true);
     while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  };
-  SweepService service(service_options);
-  ServerOptions server_options = quick_server_options();
-  server_options.worker_threads = 1;
-  server_options.queue_limit = 1;
-  server_options.retry_after_seconds = 7;
-  Server server(service, server_options);
+  });
+  SweepService service(config);
+  Server server(service, config);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
 
@@ -234,35 +240,57 @@ TEST(Server, BackpressureShedsWith503RetryAfter) {
   for (int i = 0; i < 2000 && !entered.load(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  ASSERT_TRUE(entered.load()) << "worker never picked up the blocked request";
-
-  TestClient queued(server.port());  // occupies the single queue slot
-  ASSERT_TRUE(queued.connected());
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // let it enqueue
+  ASSERT_TRUE(entered.load()) << "pool never picked up the blocked request";
 
   TestClient shed(server.port());
   ASSERT_TRUE(shed.connected());
-  EXPECT_EQ(shed.read_response(), 503);  // rejected without sending anything
+  ASSERT_TRUE(shed.request("POST", "/v1/sweep", kSmallQuery));
+  EXPECT_EQ(shed.read_response(), 503);
   EXPECT_NE(shed.headers().find("Retry-After: 7"), std::string::npos);
-  EXPECT_GE(server.connections_rejected(), 1u);
+  EXPECT_NE(shed.body().find("\"code\": \"overloaded\""), std::string::npos);
+  // Shedding is per-request: the same connection still serves cheap GETs.
+  ASSERT_TRUE(shed.request("GET", "/healthz"));
+  EXPECT_EQ(shed.read_response(), 200);
 
   release.store(true);
   EXPECT_EQ(busy.read_response(), 200);
   server.stop();
 }
 
+TEST(Server, ConnectionLimitShedsAtTheDoor) {
+  ServerConfig config = quick_config();
+  config.max_connections(1).retry_after(3);
+  SweepService service(config);
+  Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient first(server.port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.request("GET", "/healthz"));
+  ASSERT_EQ(first.read_response(), 200);  // ensures the server accepted it
+
+  TestClient second(server.port());
+  ASSERT_TRUE(second.connected());
+  EXPECT_EQ(second.read_response(), 503);  // rejected without a request
+  EXPECT_NE(second.headers().find("Retry-After: 3"), std::string::npos);
+  EXPECT_NE(second.body().find("\"code\": \"overloaded\""), std::string::npos);
+  EXPECT_GE(server.connections_rejected(), 1u);
+  server.stop();
+}
+
 TEST(Server, SigtermDrainsGracefully) {
   // The drain contract: in-flight requests complete; everything new gets an
   // immediate 503; the daemon's wait_until_drained() wakes up.
-  ServiceOptions service_options;
   std::atomic<bool> entered{false};
   std::atomic<bool> release{false};
-  service_options.compute_hook = [&] {
+  ServerConfig config = quick_config();
+  config.compute_hook([&] {
     entered.store(true);
     while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  };
-  SweepService service(service_options);
-  Server server(service, quick_server_options());
+  });
+  SweepService service(config);
+  Server server(service, config);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
   ASSERT_TRUE(Server::install_signal_handlers(&server));
@@ -302,10 +330,10 @@ TEST(Server, SigtermDrainsGracefully) {
 }
 
 TEST(Server, StopIsIdempotentAndRestartable) {
-  ServiceOptions service_options;
-  SweepService service(service_options);
+  const ServerConfig config = quick_config();
+  SweepService service(config);
   {
-    Server server(service, quick_server_options());
+    Server server(service, config);
     std::string error;
     ASSERT_TRUE(server.start(&error)) << error;
     server.stop();
@@ -313,7 +341,7 @@ TEST(Server, StopIsIdempotentAndRestartable) {
   }
   // A second server over the same service works (destructor released the
   // port; ephemeral ports cannot collide).
-  Server again(service, quick_server_options());
+  Server again(service, quick_config());
   std::string error;
   ASSERT_TRUE(again.start(&error)) << error;
   TestClient client(again.port());

@@ -18,6 +18,7 @@
 #include "driver/config.hpp"
 #include "driver/export.hpp"
 #include "serve/cache.hpp"
+#include "serve/config.hpp"
 #include "serve/service.hpp"
 #include "support/hash.hpp"
 
@@ -265,6 +266,119 @@ TEST(SweepService, DeadlineDoesNotApplyToCachedCells) {
   const QueryResult warm = service.execute(*query);
   EXPECT_EQ(warm.status, 200);
   EXPECT_EQ(warm.cache_hits, warm.cells);
+}
+
+// --- error envelope + fast path ---------------------------------------------
+
+TEST(SweepService, RejectionsCarryTheTypedEnvelope) {
+  ServiceOptions options;
+  SweepService service(options);
+
+  const QueryResult syntax = service.handle("{not json");
+  EXPECT_EQ(syntax.status, 400);
+  EXPECT_EQ(syntax.content_type, "application/json");
+  EXPECT_EQ(syntax.code, "bad_request");
+  EXPECT_NE(syntax.body.find("{\"error\": {\"code\": \"bad_request\""),
+            std::string::npos)
+      << syntax.body;
+
+  const QueryResult semantic = service.handle(R"({"benchmarks":[]})");
+  EXPECT_EQ(semantic.status, 422);
+  EXPECT_EQ(semantic.code, "invalid_query");
+  EXPECT_NE(semantic.body.find("\"code\": \"invalid_query\""), std::string::npos);
+  EXPECT_NE(semantic.body.find("\"message\": \""), std::string::npos);
+}
+
+TEST(SweepService, TryFastServesMemoThenCacheThenRejections) {
+  ServiceOptions options;
+  SweepService service(options);
+  const std::string body = kSmallQuery;
+
+  // Cold: the fast path must decline — the query needs compute.
+  Query query;
+  QueryResult fast;
+  EXPECT_FALSE(service.try_fast(body, &query, &fast));
+  const QueryResult cold = service.execute(query);
+  ASSERT_EQ(cold.status, 200) << cold.error;
+
+  // Warm: all cells cached → served inline, and memoized on the way out.
+  QueryResult warm;
+  ASSERT_TRUE(service.try_fast(body, &query, &warm));
+  EXPECT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.body, cold.body);
+  EXPECT_EQ(warm.cache_hits, warm.cells);
+
+  // Hot: the exact request bytes hit the rendered-response memo.
+  QueryResult hot;
+  ASSERT_TRUE(service.try_fast(body, &query, &hot));
+  EXPECT_EQ(hot.status, 200);
+  EXPECT_EQ(hot.body, cold.body);
+
+  // Rejections are always fast — parse failures never reach the pool.
+  QueryResult rejected;
+  ASSERT_TRUE(service.try_fast("{nope", &query, &rejected));
+  EXPECT_EQ(rejected.status, 400);
+}
+
+TEST(SweepService, MemoDisabledStillServesCachedQueriesFast) {
+  ServiceOptions options;
+  options.memo_capacity = 0;
+  SweepService service(options);
+  ASSERT_EQ(service.handle(kSmallQuery).status, 200);
+  Query query;
+  QueryResult warm;
+  ASSERT_TRUE(service.try_fast(kSmallQuery, &query, &warm));
+  EXPECT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.cache_hits, warm.cells);
+}
+
+// --- the ServerConfig construction path ---------------------------------------
+
+TEST(ServerConfig, FluentBuilderReachesBothOptionStructs) {
+  ServerConfig config;
+  config.host("0.0.0.0")
+      .port(9999)
+      .reuse_port(true)
+      .event_threads(3)
+      .compute_threads(5)
+      .max_inflight(11)
+      .max_connections(77)
+      .retry_after(9)
+      .poll_interval_ms(50)
+      .journal("a.journal")
+      .cache_capacity(1234)
+      .memo_capacity(55)
+      .max_cells_per_request(7)
+      .sweep_threads(2)
+      .batch_width(16)
+      .coalesce(false)
+      .coalesce_cell_limit(33);
+  EXPECT_EQ(config.reactor().host, "0.0.0.0");
+  EXPECT_EQ(config.reactor().port, 9999);
+  EXPECT_TRUE(config.reactor().reuse_port);
+  EXPECT_EQ(config.reactor().event_threads, 3u);
+  EXPECT_EQ(config.reactor().compute_threads, 5u);
+  EXPECT_EQ(config.reactor().max_inflight, 11u);
+  EXPECT_EQ(config.reactor().max_connections, 77u);
+  EXPECT_EQ(config.reactor().retry_after_seconds, 9);
+  EXPECT_EQ(config.reactor().poll_interval_ms, 50);
+  EXPECT_EQ(config.service().journal_path, "a.journal");
+  EXPECT_EQ(config.service().cache_capacity, 1234u);
+  EXPECT_EQ(config.service().memo_capacity, 55u);
+  EXPECT_EQ(config.service().max_cells_per_request, 7u);
+  EXPECT_EQ(config.service().sweep_threads, 2u);
+  EXPECT_EQ(config.service().sweep_batch_width, 16u);
+  EXPECT_FALSE(config.service().coalesce);
+  EXPECT_EQ(config.service().coalesce_cell_limit, 33u);
+}
+
+TEST(ServerConfig, ServiceConstructedFromConfigMatchesServiceOptions) {
+  ServerConfig config;
+  config.max_cells_per_request(3);
+  SweepService from_config(config);
+  const QueryResult result =
+      from_config.handle(R"({"benchmarks":["IIR Filter"]})");
+  EXPECT_EQ(result.status, 422);  // the limit flowed through the builder
 }
 
 // --- single-flight hammer ---------------------------------------------------

@@ -1,35 +1,54 @@
 // csr_serve — the long-running query daemon over the sweep pipeline.
 //
 // Boots a SweepService (warm-starting its cache from the persistent result
-// journal when --journal is given), binds the HTTP server, wires SIGTERM /
+// journal when --journal is given), binds the epoll reactor, wires SIGTERM /
 // SIGINT to graceful drain, and blocks until drained. See docs/SERVING.md
 // for the endpoint contract and a runbook.
 //
 // Usage:
-//   csr_serve [--host H] [--port P] [--journal FILE] [--workers N]
-//             [--queue-limit N] [--cache-capacity N] [--sweep-threads N]
-//             [--batch-width N] [--port-file FILE]
+//   csr_serve [--host H] [--port P] [--journal FILE] [--event-threads N]
+//             [--compute-threads N] [--max-inflight N] [--max-connections N]
+//             [--cache-capacity N] [--sweep-threads N] [--batch-width N]
+//             [--no-coalesce] [--cluster N] [--port-file FILE]
 //   csr_serve --oneshot BODY
 //
 // --port 0 asks the kernel for an ephemeral port; the bound port is printed
 // on stdout (and written to --port-file) so test harnesses can discover it.
+//
+// --cluster N forks N worker processes that share the port via SO_REUSEPORT
+// (the kernel load-balances accepted connections across them) — the
+// single-box rehearsal of multi-node sharding. The parent discovers the
+// port, writes --port-file, forwards SIGTERM/SIGINT to every child and
+// waits for all of them. Each child keeps its own journal
+// (<journal>.<index>) so append streams never interleave; results are
+// byte-identical regardless of which sibling answers.
 //
 // --oneshot takes a /v1/sweep request body, runs it through the plain
 // offline driver::run_sweep (no server, no cache, no single flight) and
 // prints the shared-exporter bytes to stdout. CI's smoke job diffs a served
 // response against this to prove the service's byte-identity guarantee.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "driver/config.hpp"
 #include "driver/export.hpp"
+#include "serve/config.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -38,19 +57,23 @@ namespace {
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --oneshot BODY      run a /v1/sweep body through the offline\n"
-      << "                      run_sweep pipeline, print the export, exit\n"
-      << "  --host H            bind address        (default 127.0.0.1)\n"
-      << "  --port P            bind port, 0=ephemeral (default 8080)\n"
-      << "  --journal FILE      persistent result journal; warm-starts the\n"
-      << "                      cache and absorbs newly executed cells\n"
-      << "  --workers N         connection worker threads (default 8)\n"
-      << "  --queue-limit N     accepted-but-unclaimed connections (default 64)\n"
-      << "  --cache-capacity N  cached cells across all shards (default 65536)\n"
-      << "  --sweep-threads N   threads per sweep, 0=hardware (default 0)\n"
-      << "  --batch-width N     lanes per batched kernel run (default 1);\n"
-      << "                      results are byte-identical at any width\n"
-      << "  --port-file FILE    write the bound port (for scripts)\n";
+      << "  --oneshot BODY       run a /v1/sweep body through the offline\n"
+      << "                       run_sweep pipeline, print the export, exit\n"
+      << "  --host H             bind address        (default 127.0.0.1)\n"
+      << "  --port P             bind port, 0=ephemeral (default 8080)\n"
+      << "  --journal FILE       persistent result journal; warm-starts the\n"
+      << "                       cache and absorbs newly executed cells\n"
+      << "  --event-threads N    epoll event loops, 0=auto (default 0)\n"
+      << "  --compute-threads N  sweep compute pool, 0=hardware (default 0)\n"
+      << "  --max-inflight N     queued+executing sweeps before 503 (default 256)\n"
+      << "  --max-connections N  open connections before 503 (default 4096)\n"
+      << "  --cache-capacity N   cached cells across all shards (default 65536)\n"
+      << "  --sweep-threads N    threads per sweep, 0=hardware (default 0)\n"
+      << "  --batch-width N      lanes per batched kernel run (default 8);\n"
+      << "                       results are byte-identical at any width\n"
+      << "  --no-coalesce        disable cross-request cell batching\n"
+      << "  --cluster N          fork N SO_REUSEPORT worker processes\n"
+      << "  --port-file FILE     write the bound port (for scripts)\n";
 }
 
 bool parse_unsigned(const char* text, std::uint64_t* out) {
@@ -82,12 +105,180 @@ int run_oneshot(const std::string& body) {
   return 0;
 }
 
+/// Runs one server to completion: boot, announce, drain, stop.
+int serve(csr::serve::ServerConfig config, const std::string& port_file,
+          bool announce) {
+  csr::serve::SweepService service(config);
+  if (service.warm_started_cells() > 0) {
+    std::cerr << "csr_serve: warm-started " << service.warm_started_cells()
+              << " cells from " << config.service().journal_path << "\n";
+  }
+
+  csr::serve::Server server(service, config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "csr_serve: " << error << "\n";
+    return 1;
+  }
+  if (!csr::serve::Server::install_signal_handlers(&server)) {
+    std::cerr << "csr_serve: failed to install signal handlers\n";
+    server.stop();
+    return 1;
+  }
+
+  if (announce) {
+    std::cout << "csr_serve: listening on " << config.reactor().host << ":"
+              << server.port() << std::endl;
+    if (!port_file.empty()) {
+      std::ofstream out(port_file, std::ios::trunc);
+      out << server.port() << "\n";
+      if (!out) {
+        std::cerr << "csr_serve: cannot write " << port_file << "\n";
+        server.stop();
+        return 1;
+      }
+    }
+  }
+
+  // Block until SIGTERM/SIGINT triggers drain, then let stop() finish the
+  // in-flight work and join every thread.
+  server.wait_until_drained();
+  server.stop();
+  std::cerr << "csr_serve: drained, served " << server.requests_served()
+            << " requests\n";
+  return 0;
+}
+
+/// Child pids, visible to the parent's forwarding signal handler.
+std::vector<pid_t> g_children;
+extern "C" void forward_signal(int sig) {
+  for (const pid_t pid : g_children) {
+    if (pid > 0) ::kill(pid, sig);
+  }
+}
+
+/// Binds an SO_REUSEPORT socket just long enough to discover which port the
+/// cluster will share, so --port 0 works: every child binds the same
+/// concrete port afterwards. Returns 0 on failure.
+std::uint16_t discover_cluster_port(const std::string& host,
+                                    std::uint16_t requested) {
+  if (requested != 0) return requested;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  const bool ok =
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0;
+  ::close(fd);
+  return ok ? ntohs(addr.sin_port) : 0;
+}
+
+/// Forks `workers` SO_REUSEPORT siblings of one server config and babysits
+/// them: forwards SIGTERM/SIGINT, reaps, reports the worst exit status.
+int serve_cluster(csr::serve::ServerConfig config, unsigned workers,
+                  const std::string& port_file) {
+  config.reuse_port(true);
+  const std::uint16_t port =
+      discover_cluster_port(config.reactor().host, config.reactor().port);
+  if (port == 0) {
+    std::cerr << "csr_serve: cannot allocate a cluster port\n";
+    return 1;
+  }
+  config.port(port);
+
+  const std::string journal = config.service().journal_path;
+  for (unsigned i = 0; i < workers; ++i) {
+    // One journal per child: the append stream stays single-writer, and a
+    // restart warm-starts each child from its own file. Keys are content
+    // hashes, so the files never disagree about a cell.
+    if (!journal.empty()) {
+      config.journal(journal + "." + std::to_string(i));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "csr_serve: fork: " << std::strerror(errno) << "\n";
+      forward_signal(SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      // Children announce nothing; the parent owns stdout and the port file.
+      std::exit(serve(config, "", /*announce=*/false));
+    }
+    g_children.push_back(pid);
+  }
+
+  struct sigaction action{};
+  action.sa_handler = forward_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  // Children bind after warm-starting their journals, so the port is not
+  // accepting yet. Probe until a connect succeeds before announcing or
+  // writing the port file — scripts treat either as "ready to query".
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, config.reactor().host.c_str(), &addr.sin_addr);
+    const bool up =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    ::close(fd);
+    if (up) break;
+    struct timespec delay{0, 50'000'000};  // 50ms
+    ::nanosleep(&delay, nullptr);
+  }
+
+  std::cout << "csr_serve: cluster of " << workers << " listening on "
+            << config.reactor().host << ":" << port << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << port << "\n";
+    if (!out) {
+      std::cerr << "csr_serve: cannot write " << port_file << "\n";
+      forward_signal(SIGTERM);
+      return 1;
+    }
+  }
+
+  int worst = 0;
+  for (std::size_t reaped = 0; reaped < g_children.size();) {
+    int status = 0;
+    const pid_t pid = ::wait(&status);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ++reaped;
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      worst = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      worst = 128 + WTERMSIG(status);
+    }
+  }
+  std::cerr << "csr_serve: cluster drained\n";
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  csr::serve::ServiceOptions service_options;
-  csr::serve::ServerOptions server_options;
+  csr::serve::ServerConfig config;
+  config.batch_width(8);  // serving default: batching + coalescing on
   std::string port_file;
+  unsigned cluster = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,45 +296,65 @@ int main(int argc, char** argv) {
     } else if (arg == "--oneshot") {
       return run_oneshot(value());
     } else if (arg == "--host") {
-      server_options.host = value();
+      config.host(value());
     } else if (arg == "--port") {
       if (!parse_unsigned(value(), &n) || n > 65535) {
         std::cerr << "csr_serve: bad --port\n";
         return 2;
       }
-      server_options.port = static_cast<std::uint16_t>(n);
+      config.port(static_cast<std::uint16_t>(n));
     } else if (arg == "--journal") {
-      service_options.journal_path = value();
-    } else if (arg == "--workers") {
-      if (!parse_unsigned(value(), &n) || n == 0) {
-        std::cerr << "csr_serve: bad --workers\n";
+      config.journal(value());
+    } else if (arg == "--event-threads") {
+      if (!parse_unsigned(value(), &n)) {
+        std::cerr << "csr_serve: bad --event-threads\n";
         return 2;
       }
-      server_options.worker_threads = static_cast<unsigned>(n);
-    } else if (arg == "--queue-limit") {
-      if (!parse_unsigned(value(), &n) || n == 0) {
-        std::cerr << "csr_serve: bad --queue-limit\n";
+      config.event_threads(static_cast<unsigned>(n));
+    } else if (arg == "--compute-threads") {
+      if (!parse_unsigned(value(), &n)) {
+        std::cerr << "csr_serve: bad --compute-threads\n";
         return 2;
       }
-      server_options.queue_limit = n;
+      config.compute_threads(static_cast<unsigned>(n));
+    } else if (arg == "--max-inflight") {
+      if (!parse_unsigned(value(), &n) || n == 0) {
+        std::cerr << "csr_serve: bad --max-inflight\n";
+        return 2;
+      }
+      config.max_inflight(n);
+    } else if (arg == "--max-connections") {
+      if (!parse_unsigned(value(), &n) || n == 0) {
+        std::cerr << "csr_serve: bad --max-connections\n";
+        return 2;
+      }
+      config.max_connections(n);
     } else if (arg == "--cache-capacity") {
       if (!parse_unsigned(value(), &n) || n == 0) {
         std::cerr << "csr_serve: bad --cache-capacity\n";
         return 2;
       }
-      service_options.cache_capacity = n;
+      config.cache_capacity(n);
     } else if (arg == "--sweep-threads") {
       if (!parse_unsigned(value(), &n)) {
         std::cerr << "csr_serve: bad --sweep-threads\n";
         return 2;
       }
-      service_options.sweep_threads = static_cast<unsigned>(n);
+      config.sweep_threads(static_cast<unsigned>(n));
     } else if (arg == "--batch-width") {
       if (!parse_unsigned(value(), &n) || n == 0) {
         std::cerr << "csr_serve: bad --batch-width\n";
         return 2;
       }
-      service_options.sweep_batch_width = n;
+      config.batch_width(n);
+    } else if (arg == "--no-coalesce") {
+      config.coalesce(false);
+    } else if (arg == "--cluster") {
+      if (!parse_unsigned(value(), &n) || n == 0 || n > 64) {
+        std::cerr << "csr_serve: bad --cluster\n";
+        return 2;
+      }
+      cluster = static_cast<unsigned>(n);
     } else if (arg == "--port-file") {
       port_file = value();
     } else {
@@ -153,41 +364,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  csr::serve::SweepService service(service_options);
-  if (service.warm_started_cells() > 0) {
-    std::cerr << "csr_serve: warm-started " << service.warm_started_cells()
-              << " cells from " << service_options.journal_path << "\n";
-  }
-
-  csr::serve::Server server(service, server_options);
-  std::string error;
-  if (!server.start(&error)) {
-    std::cerr << "csr_serve: " << error << "\n";
-    return 1;
-  }
-  if (!csr::serve::Server::install_signal_handlers(&server)) {
-    std::cerr << "csr_serve: failed to install signal handlers\n";
-    server.stop();
-    return 1;
-  }
-
-  std::cout << "csr_serve: listening on " << server_options.host << ":"
-            << server.port() << std::endl;
-  if (!port_file.empty()) {
-    std::ofstream out(port_file, std::ios::trunc);
-    out << server.port() << "\n";
-    if (!out) {
-      std::cerr << "csr_serve: cannot write " << port_file << "\n";
-      server.stop();
-      return 1;
-    }
-  }
-
-  // Block until SIGTERM/SIGINT triggers drain, then let stop() finish the
-  // in-flight work and join every thread.
-  server.wait_until_drained();
-  server.stop();
-  std::cerr << "csr_serve: drained, served " << server.requests_served()
-            << " requests\n";
-  return 0;
+  if (cluster > 1) return serve_cluster(config, cluster, port_file);
+  return serve(config, port_file, /*announce=*/true);
 }
