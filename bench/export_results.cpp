@@ -165,6 +165,9 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> names;
   for (const auto& info : benchmarks::table_benchmarks()) names.push_back(info.name);
+  // The nested (2-D) family rides the same grid; these names sweep the
+  // shapes axis instead of trip_counts (docs/DRIVER.md).
+  for (const auto& info : mdfg::md_benchmarks()) names.push_back(info.name);
 
   driver::SweepConfig config = driver::SweepConfig().benchmarks(names).threads(
       positional.size() > 2
@@ -182,6 +185,7 @@ int main(int argc, char** argv) {
       driver::SweepConfig(config)
           .journal("")
           .trip_counts({10000})
+          .shapes({driver::LoopShape{100, 100}})
           .exec_engines({driver::ExecEngine::kVm, driver::ExecEngine::kNative})
           .transforms({driver::Transform::kOriginal, driver::Transform::kRetimedCsr})
           .factors({}));

@@ -10,10 +10,17 @@
 //   dfg_tool trace <file.dfg> <n> # per-trip execution table of the CSR loop
 //   dfg_tool unfold <file.dfg> <f># print the unfolded graph
 //   dfg_tool tradeoff <file.dfg>  # performance / code-size sweep
+//
+// With --mdfg anywhere on the command line, demo/analyze/dot operate on the
+// 2-D vector-delay format instead (data/*.mdfg, docs/THEORY.md §7):
+//   dfg_tool --mdfg demo            # print a sample .mdfg file
+//   dfg_tool --mdfg analyze <file>  # legality, MD retiming, min_cols, sizes
+//   dfg_tool --mdfg dot <file>      # Graphviz with (row,col) delay labels
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "codegen/original.hpp"
 #include "codesize/tradeoff.hpp"
@@ -24,7 +31,12 @@
 #include "dfg/dot.hpp"
 #include "dfg/io.hpp"
 #include "dfg/iteration_bound.hpp"
+#include "codesize/md_model.hpp"
 #include "loopir/printer.hpp"
+#include "mdfg/dot.hpp"
+#include "mdfg/graph.hpp"
+#include "mdfg/io.hpp"
+#include "retiming/md_retiming.hpp"
 #include "retiming/opt.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -119,6 +131,49 @@ int unfold_graph(const DataFlowGraph& g, int factor) {
   return 0;
 }
 
+constexpr const char* kMdDemo =
+    "# 2-node wavefront: the column edge pipelines, the row edge carries\n"
+    "mdfg demo2d\n"
+    "node A 1\n"
+    "node B 1\n"
+    "edge A B 0 1\n"
+    "edge B A 1 -1\n";
+
+MdDataFlowGraph load_mdfg(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open '" + path + "'");
+  }
+  return read_md_text(in);
+}
+
+int analyze_mdfg(const MdDataFlowGraph& g) {
+  std::cout << "mdfg '" << g.name() << "': " << g.node_count() << " nodes, "
+            << g.edge_count() << " edges\n";
+  const auto problems = g.validate();
+  for (const auto& p : problems) std::cout << "problem: " << p << '\n';
+  if (!problems.empty()) return 1;
+  std::cout << "fully parallel as written: "
+            << (fully_parallel(g) ? "yes" : "no") << '\n';
+  std::cout << "full parallelism achievable by column retiming: "
+            << (full_parallelism_achievable(g) ? "yes" : "no") << '\n';
+  const MdOptimalRetiming opt = md_exact_optimal_retiming(g);
+  std::cout << "minimum inner-loop period by MD retiming: " << opt.period
+            << " (projection factor " << opt.projection << ", min_cols "
+            << opt.min_cols << ")\n";
+  std::cout << "retiming:";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::cout << ' ' << g.node(v).name << ":(" << opt.retiming[v].row << ","
+              << opt.retiming[v].col << ")";
+  }
+  std::cout << '\n';
+  std::cout << "code size: original " << md_original_size(g) << ", retimed "
+            << predicted_md_retimed_size(g, opt.retiming) << ", CSR "
+            << predicted_md_retimed_csr_size(g, opt.retiming) << " ("
+            << md_registers_required(opt.retiming) << " registers)\n";
+  return 0;
+}
+
 int tradeoff(const DataFlowGraph& g) {
   TradeoffOptions options;
   options.max_factor = 4;
@@ -137,7 +192,36 @@ int tradeoff(const DataFlowGraph& g) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string command = argc > 1 ? argv[1] : "";
+  std::vector<std::string> args;
+  bool mdfg_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--mdfg") {
+      mdfg_mode = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  const std::string command = !args.empty() ? args[0] : "";
+  if (mdfg_mode) {
+    try {
+      if (command == "demo") {
+        std::cout << kMdDemo;
+        return 0;
+      }
+      if (command == "analyze" && args.size() > 1) {
+        return analyze_mdfg(load_mdfg(args[1]));
+      }
+      if (command == "dot" && args.size() > 1) {
+        write_dot(std::cout, load_mdfg(args[1]));
+        return 0;
+      }
+    } catch (const Error& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 1;
+    }
+    std::cerr << "usage: dfg_tool --mdfg demo | analyze <file> | dot <file>\n";
+    return 2;
+  }
   try {
     if (command == "demo") {
       std::cout << kDemo;

@@ -26,6 +26,7 @@
 
 #include "benchmarks/benchmarks.hpp"
 #include "driver/config.hpp"
+#include "mdfg/builders.hpp"
 #include "driver/export.hpp"
 #include "driver/export_schema.hpp"
 #include "driver/sweep.hpp"

@@ -1,0 +1,55 @@
+#include "codegen/nested.hpp"
+
+#include "codegen/original.hpp"
+#include "codegen/retimed.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+namespace {
+
+void require_shape(std::int64_t rows, std::int64_t cols) {
+  CSR_REQUIRE(rows >= 1, "nested lowering needs rows >= 1");
+  CSR_REQUIRE(cols >= 1, "nested lowering needs cols >= 1");
+}
+
+Retiming column_retiming(const MdDataFlowGraph& g, const MdRetiming& r,
+                         const DataFlowGraph& lin, std::int64_t cols) {
+  if (!r.pure_column()) {
+    throw InvalidArgument(
+        "row-major lowering supports pure-column retimings only (graph '" +
+        g.name() + "')");
+  }
+  const Retiming col = r.col_retiming();
+  if (!is_legal_retiming(lin, col)) {
+    throw InvalidArgument("cols=" + std::to_string(cols) +
+                          " is below this retiming's min_cols for graph '" +
+                          g.name() + "'");
+  }
+  return col;
+}
+
+}  // namespace
+
+LoopProgram nested_original_program(const MdDataFlowGraph& g, std::int64_t rows,
+                                    std::int64_t cols) {
+  require_shape(rows, cols);
+  return original_program(linearized(g, cols), rows * cols);
+}
+
+LoopProgram nested_retimed_program(const MdDataFlowGraph& g, const MdRetiming& r,
+                                   std::int64_t rows, std::int64_t cols) {
+  require_shape(rows, cols);
+  const DataFlowGraph lin = linearized(g, cols);
+  return retimed_program(lin, column_retiming(g, r, lin, cols), rows * cols);
+}
+
+LoopProgram nested_retimed_csr_program(const MdDataFlowGraph& g, const MdRetiming& r,
+                                       std::int64_t rows, std::int64_t cols) {
+  require_shape(rows, cols);
+  const DataFlowGraph lin = linearized(g, cols);
+  return retimed_csr_program(lin, column_retiming(g, r, lin, cols), rows * cols);
+}
+
+}  // namespace csr

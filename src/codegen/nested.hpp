@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file nested.hpp
+/// Row-major lowering from (retimed) 2-D loop nests to the existing 1-D
+/// LoopIR, so the VM (incl. kSuper), native and batch engines execute the
+/// nested family unchanged.
+///
+/// **Linearization theorem.** Under the repo's abstract statement semantics
+/// (every node writes its own array indexed by iteration, reading uniform
+/// offsets), row-major execution of a rows×cols nest — iteration (r,c) ↦
+/// flat index i = r·cols + c — makes a dependence with distance vector
+/// (d_row, d_col) exactly a 1-D dependence at flat distance
+/// d_row·cols + d_col. The nest is therefore *equal*, statement for
+/// statement, to the 1-D loop over n = rows·cols iterations of the
+/// linearized graph (mdfg/graph.hpp), and the lowering delegates to the
+/// proven 1-D generators:
+///
+///   nested_original(g)      = original_program(linearized(g, cols), rows·cols)
+///   nested_retimed(g, r)    = retimed_program(..., r.col_retiming(), ...)
+///   nested_retimed_csr(...) = retimed_csr_program(...)
+///
+/// A pure-*column* vector retiming r(v) = (0, r_col(v)) is exactly a 1-D
+/// retiming of the linearized graph, and the lowered pipeline runs
+/// *continuously* across row boundaries (one global prologue/epilogue, not
+/// one per row) — which is why the closed forms in codesize/md_model.hpp
+/// are independent of rows and cols. Row components would require skewing
+/// the nest, which the row-major lowering deliberately does not support;
+/// the MD engine only emits column retimings.
+///
+/// Legality needs cols ≥ MdOptimalRetiming::min_cols so every (retimed)
+/// linearized delay is non-negative and row-carried edges stay non-zero;
+/// the generators throw InvalidArgument below that.
+
+#include <cstdint>
+
+#include "loopir/program.hpp"
+#include "mdfg/graph.hpp"
+#include "retiming/md_retiming.hpp"
+
+namespace csr {
+
+/// The untransformed nest: one statement per node, rows·cols iterations.
+/// Requires a legal MDFG and rows, cols ≥ 1.
+[[nodiscard]] LoopProgram nested_original_program(const MdDataFlowGraph& g,
+                                                  std::int64_t rows, std::int64_t cols);
+
+/// The software-pipelined nest in expanded (prologue/epilogue) form.
+/// Requires a legal pure-column retiming and rows·cols > M_r.
+[[nodiscard]] LoopProgram nested_retimed_program(const MdDataFlowGraph& g,
+                                                 const MdRetiming& r, std::int64_t rows,
+                                                 std::int64_t cols);
+
+/// The software-pipelined nest in CSR form (prologue/epilogue removed with
+/// |N_r| conditional registers). Same requirements.
+[[nodiscard]] LoopProgram nested_retimed_csr_program(const MdDataFlowGraph& g,
+                                                     const MdRetiming& r,
+                                                     std::int64_t rows,
+                                                     std::int64_t cols);
+
+}  // namespace csr

@@ -1,0 +1,61 @@
+#include "codesize/md_model.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace csr {
+
+namespace {
+
+/// Normalized column components of a pure-column retiming.
+std::vector<int> normalized_cols(const MdRetiming& r) {
+  CSR_REQUIRE(r.pure_column(), "nested size model requires a pure-column retiming");
+  std::vector<int> cols;
+  cols.reserve(r.node_count());
+  for (const MdDelay& d : r.values()) cols.push_back(d.col);
+  if (!cols.empty()) {
+    const int min = *std::min_element(cols.begin(), cols.end());
+    for (int& c : cols) c -= min;
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::int64_t md_original_size(const MdDataFlowGraph& g) {
+  return static_cast<std::int64_t>(g.node_count());
+}
+
+std::int64_t md_registers_required(const MdRetiming& r) {
+  std::vector<int> cols = normalized_cols(r);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return static_cast<std::int64_t>(cols.size());
+}
+
+std::int64_t md_prologue_statements(const MdRetiming& r) {
+  const std::vector<int> cols = normalized_cols(r);
+  std::int64_t sum = 0;
+  for (const int c : cols) sum += c;
+  return sum;
+}
+
+std::int64_t md_epilogue_statements(const MdRetiming& r) {
+  const std::vector<int> cols = normalized_cols(r);
+  const int depth = cols.empty() ? 0 : *std::max_element(cols.begin(), cols.end());
+  std::int64_t sum = 0;
+  for (const int c : cols) sum += depth - c;
+  return sum;
+}
+
+std::int64_t predicted_md_retimed_size(const MdDataFlowGraph& g, const MdRetiming& r) {
+  return md_original_size(g) + md_prologue_statements(r) + md_epilogue_statements(r);
+}
+
+std::int64_t predicted_md_retimed_csr_size(const MdDataFlowGraph& g,
+                                           const MdRetiming& r) {
+  return md_original_size(g) + 2 * md_registers_required(r);
+}
+
+}  // namespace csr

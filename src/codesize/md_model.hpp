@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file md_model.hpp
+/// Closed-form code-size accounting for the 2-D (nested) family, extending
+/// model.hpp. The row-major lowering (codegen/nested.hpp) runs the nest as
+/// one continuous pipeline over rows·cols flat iterations with a *single*
+/// global prologue/epilogue — not one per row — so the closed forms are the
+/// 1-D formulas evaluated on the column components of the vector retiming,
+/// and notably *independent of rows and cols*:
+///
+///   retimed:      L + Σ_v r_col(v) + Σ_v (M_r − r_col(v))   (M_r = max r_col)
+///   retimed CSR:  L + 2·|N_r|                               (distinct r_col)
+///
+/// Tests assert predicted == generated.code_size() for every nested cell,
+/// and that these formulas coincide with the 1-D predictions on the
+/// linearized graph.
+
+#include <cstdint>
+
+#include "mdfg/graph.hpp"
+#include "retiming/md_retiming.hpp"
+
+namespace csr {
+
+/// L_orig of the nest: one statement per node (the nested original program
+/// is the 1-D original program of the linearized graph).
+[[nodiscard]] std::int64_t md_original_size(const MdDataFlowGraph& g);
+
+/// Conditional registers of the nested CSR form: |N_r|, the number of
+/// distinct column retiming values. Requires a pure-column retiming.
+[[nodiscard]] std::int64_t md_registers_required(const MdRetiming& r);
+
+/// Prologue / epilogue statement copies of the lowered nest (normalized
+/// internally): Σ r_col(v) and Σ (M_r − r_col(v)). Requires pure-column.
+[[nodiscard]] std::int64_t md_prologue_statements(const MdRetiming& r);
+[[nodiscard]] std::int64_t md_epilogue_statements(const MdRetiming& r);
+
+/// Exact size of nested_retimed_program(g, r, rows, cols) for any legal
+/// rows/cols: L + prologue + epilogue.
+[[nodiscard]] std::int64_t predicted_md_retimed_size(const MdDataFlowGraph& g,
+                                                     const MdRetiming& r);
+
+/// Exact size of nested_retimed_csr_program: L + 2·|N_r|.
+[[nodiscard]] std::int64_t predicted_md_retimed_csr_size(const MdDataFlowGraph& g,
+                                                         const MdRetiming& r);
+
+}  // namespace csr

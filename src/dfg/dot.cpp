@@ -3,14 +3,16 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/text.hpp"
+
 namespace csr {
 
 void write_dot(std::ostream& os, const DataFlowGraph& g) {
-  os << "digraph \"" << (g.name().empty() ? "dfg" : g.name()) << "\" {\n";
+  os << "digraph \"" << dot_escape(g.name().empty() ? "dfg" : g.name()) << "\" {\n";
   os << "  rankdir=LR;\n  node [shape=circle];\n";
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const Node& n = g.node(v);
-    os << "  n" << v << " [label=\"" << n.name;
+    os << "  n" << v << " [label=\"" << dot_escape(n.name);
     if (n.time != 1) os << "\\nt=" << n.time;
     os << "\"];\n";
   }

@@ -59,6 +59,12 @@ class SweepConfig {
     grid_.trip_counts = std::move(counts);
     return *this;
   }
+  /// Loop-nest shapes for nested (2-D) benchmarks; such benchmarks sweep
+  /// shapes instead of trip_counts (each shape runs rows·cols iterations).
+  SweepConfig& shapes(std::vector<LoopShape> shapes) {
+    grid_.shapes = std::move(shapes);
+    return *this;
+  }
   SweepConfig& engines(std::vector<Engine> engines) {
     grid_.engines = std::move(engines);
     return *this;

@@ -54,6 +54,12 @@ std::string to_csv(const std::vector<SweepResult>& results,
     } else {
       out << '-';  // no codegen ran for this cell
     }
+    out << ',';
+    if (r.cell.rows > 0) {
+      out << 2 << ',' << r.cell.rows << ',' << r.cell.cols;
+    } else {
+      out << 1 << ",-,-";  // classic 1-D cell: no nest shape
+    }
     out << '\n';
   }
   return out.str();
@@ -86,7 +92,9 @@ std::string to_json(const std::vector<SweepResult>& results,
         << ", \"fallback_reason\": \"" << json_escape(r.fallback_reason)
         << "\", \"evaluated\": " << (r.evaluated ? "true" : "false")
         << ", \"optimality_gap\": " << r.optimality_gap
-        << ", \"measured_size\": " << r.measured_size;
+        << ", \"measured_size\": " << r.measured_size
+        << ", \"loop_dims\": " << (r.cell.rows > 0 ? 2 : 1)
+        << ", \"rows\": " << r.cell.rows << ", \"cols\": " << r.cell.cols;
     if (options.include_timing) {
       out << ", \"exec_seconds\": " << r.exec_seconds
           << ", \"from_cache\": " << (r.from_cache ? "true" : "false")

@@ -18,7 +18,7 @@ namespace csr::driver {
 inline constexpr std::string_view kCsvColumns[] = {
     "benchmark", "transform", "factor",    "n",    "iteration_bound",
     "period",    "depth",     "registers", "size", "verified",
-    "optimality_gap", "measured_size",
+    "optimality_gap", "measured_size", "loop_dims", "rows", "cols",
 };
 
 /// The CSV header line, trailing newline included:
@@ -44,6 +44,7 @@ inline constexpr std::string_view kJsonKeys[] = {
     "depth",         "registers",      "code_size",       "predicted_size",
     "verified",      "discipline_ok",  "exec_statements", "engine_fallback",
     "fallback_reason", "evaluated",    "optimality_gap",  "measured_size",
+    "loop_dims",     "rows",           "cols",
 };
 
 }  // namespace csr::driver

@@ -12,12 +12,14 @@
 
 #include "benchmarks/benchmarks.hpp"
 #include "codegen/batch_emitter.hpp"
+#include "codegen/nested.hpp"
 #include "codegen/original.hpp"
 #include "codegen/retimed.hpp"
 #include "codegen/retimed_unfolded.hpp"
 #include "codegen/statements.hpp"
 #include "codegen/unfolded.hpp"
 #include "codegen/unfolded_retimed.hpp"
+#include "codesize/md_model.hpp"
 #include "codesize/model.hpp"
 #include "dfg/algorithms.hpp"
 #include "dfg/io.hpp"
@@ -25,10 +27,13 @@
 #include "driver/cell_exec.hpp"
 #include "driver/scheduler.hpp"
 #include "loopir/pipeline.hpp"
+#include "mdfg/builders.hpp"
+#include "mdfg/io.hpp"
 #include "native/batch.hpp"
 #include "native/engine.hpp"
 #include "observe/observe.hpp"
 #include "retiming/exact.hpp"
+#include "retiming/md_retiming.hpp"
 #include "retiming/opt.hpp"
 #include "schedule/modulo.hpp"
 #include "schedule/rotation.hpp"
@@ -52,9 +57,42 @@ bool transform_uses_factor(Transform transform) {
   }
 }
 
+bool transform_supports_nested(Transform transform) {
+  switch (transform) {
+    case Transform::kOriginal:
+    case Transform::kRetimed:
+    case Transform::kRetimedCsr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_nested_benchmark(const std::string& name) {
+  return mdfg::find_md_benchmark(name) != nullptr;
+}
+
 std::vector<SweepCell> SweepGrid::cells() const {
   std::vector<SweepCell> out;
   for (const std::string& benchmark : benchmarks) {
+    if (is_nested_benchmark(benchmark)) {
+      // Nested benchmarks sweep the shapes axis (n = rows·cols) over the
+      // nested-supported transforms; the factor axis does not apply.
+      for (const LoopShape& shape : shapes) {
+        for (const Engine engine : engines) {
+          for (const ExecEngine exec : exec_engines) {
+            for (const Transform t : transforms) {
+              if (!transform_supports_nested(t)) continue;
+              SweepCell cell{benchmark, engine, exec, t, 1, shape.rows * shape.cols};
+              cell.rows = shape.rows;
+              cell.cols = shape.cols;
+              out.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+      continue;
+    }
     for (const std::int64_t n : trip_counts) {
       for (const Engine engine : engines) {
         for (const ExecEngine exec : exec_engines) {
@@ -294,10 +332,14 @@ std::string journal_key(const SweepCell& cell, const SweepOptions& options) {
     if (it != texts.end()) {
       dfg_text = it->second;
     } else {
-      try {
-        dfg_text = to_text(make_benchmark(cell.benchmark));
-      } catch (const std::exception&) {
-        dfg_text = "unknown-benchmark";
+      if (const mdfg::MdBenchmarkInfo* md = mdfg::find_md_benchmark(cell.benchmark)) {
+        dfg_text = to_text(md->factory());
+      } else {
+        try {
+          dfg_text = to_text(make_benchmark(cell.benchmark));
+        } catch (const std::exception&) {
+          dfg_text = "unknown-benchmark";
+        }
       }
       texts.emplace(cell.benchmark, dfg_text);
     }
@@ -306,16 +348,24 @@ std::string journal_key(const SweepCell& cell, const SweepOptions& options) {
   // — the on-disk journal and the serve layer's in-memory result cache — so
   // the two can never drift. The field framing below is pinned by
   // tests/serve_service_test.cpp and by every existing journal file.
-  return content_key('c', {std::string(kPayloadVersion),
-                           cell.benchmark,
-                           dfg_text,
-                           std::string(to_string(cell.engine)),
-                           std::string(to_string(cell.exec)),
-                           std::string(to_string(cell.transform)),
-                           std::to_string(cell.factor),
-                           std::to_string(cell.n),
-                           options.verify ? "1" : "0",
-                           options.machine.description()});
+  std::vector<std::string> fields{std::string(kPayloadVersion),
+                                  cell.benchmark,
+                                  dfg_text,
+                                  std::string(to_string(cell.engine)),
+                                  std::string(to_string(cell.exec)),
+                                  std::string(to_string(cell.transform)),
+                                  std::to_string(cell.factor),
+                                  std::to_string(cell.n),
+                                  options.verify ? "1" : "0",
+                                  options.machine.description()};
+  // Nested (2-D) cells append their shape; classic 1-D cells keep the exact
+  // ten-field framing above, so every pre-nested journal key — and the serve
+  // tier's pinned expectations — stay byte-identical.
+  if (cell.rows > 0) {
+    fields.push_back(std::to_string(cell.rows));
+    fields.push_back(std::to_string(cell.cols));
+  }
+  return content_key('c', fields);
 }
 
 std::string to_journal_payload(const SweepResult& r) {
@@ -379,12 +429,115 @@ bool from_journal_payload(const std::string& payload, const SweepCell& cell,
   return true;
 }
 
+namespace {
+
+MdDataFlowGraph make_md_benchmark(const std::string& name) {
+  const mdfg::MdBenchmarkInfo* info = mdfg::find_md_benchmark(name);
+  if (info == nullptr) throw InvalidArgument("unknown nested benchmark '" + name + "'");
+  return info->factory();
+}
+
+/// The 2-D prepare path: vector-delay retiming through the projection
+/// engine, then the row-major lowering onto the existing LoopIR. The
+/// lowered program *is* a 1-D program over the linearized graph, so
+/// prep.graph is that linearized DFG and verification, batching and
+/// coalescing run the unchanged 1-D machinery (verify_cell's expected
+/// state — original_program(prep.graph, n) — equals the nested original
+/// nest by the linearization theorem, codegen/nested.hpp).
+PreparedCell prepare_nested_cell(const SweepCell& cell, const SweepOptions& options) {
+  PreparedCell prep;
+  SweepResult& res = prep.res;
+  res.cell = cell;
+  try {
+    if (cell.rows < 1 || cell.cols < 1) {
+      return infeasible(res, "nested cell needs rows >= 1 and cols >= 1"), prep;
+    }
+    if (cell.n != cell.rows * cell.cols) {
+      return infeasible(res, "nested cell needs n == rows*cols"), prep;
+    }
+    const MdDataFlowGraph g = make_md_benchmark(cell.benchmark);
+    const DataFlowGraph lin = linearized(g, cell.cols);
+    const auto bound = iteration_bound(lin);
+    res.iteration_bound = bound ? bound->to_string() : "-";
+    const std::int64_t n = cell.n;
+
+    LoopProgram program;
+    switch (cell.transform) {
+      case Transform::kOriginal:
+        program = nested_original_program(g, cell.rows, cell.cols);
+        res.period = Rational(cycle_period(lin));
+        res.predicted_size = md_original_size(g);
+        break;
+
+      case Transform::kRetimed:
+      case Transform::kRetimedCsr: {
+        MdOptimalRetiming md;
+        switch (cell.engine) {
+          case Engine::kOptRetiming:
+            md = md_minimum_period_retiming(g);
+            res.optimality_gap = md.period - md_exact_minimum_period(g);
+            break;
+          case Engine::kOptExact:
+            md = md_exact_optimal_retiming(g);
+            res.optimality_gap = 0;  // the exact engine certifies its period
+            break;
+          case Engine::kRotation:
+          case Engine::kModulo:
+            return infeasible(res, "engine not supported for nested (2-D) cells"),
+                   prep;
+        }
+        res.period = Rational(md.period);
+        const Retiming col = md.retiming.col_retiming();
+        res.depth = col.max_value();
+        res.registers = md_registers_required(md.retiming);
+        if (cell.cols < md.min_cols) {
+          return infeasible(res,
+                            "cols < retiming min_cols (" +
+                                std::to_string(md.min_cols) + ")"),
+                 prep;
+        }
+        if (n <= res.depth) return infeasible(res, "trip count <= pipeline depth"), prep;
+        if (cell.transform == Transform::kRetimed) {
+          program = nested_retimed_program(g, md.retiming, cell.rows, cell.cols);
+          res.predicted_size = predicted_md_retimed_size(g, md.retiming);
+        } else {
+          program = nested_retimed_csr_program(g, md.retiming, cell.rows, cell.cols);
+          res.predicted_size = predicted_md_retimed_csr_size(g, md.retiming);
+        }
+        break;
+      }
+
+      default:
+        return infeasible(res, "transform not supported for nested (2-D) cells"),
+               prep;
+    }
+
+    res.code_size = program.code_size();
+    PipelineResult optimized = optimize_pipeline(program);
+    res.measured_size = optimized.program.code_size();
+    prep.program = std::move(optimized.program);
+    prep.graph = lin;
+    prep.arrays = array_names(lin);
+    prep.runnable = true;
+  } catch (const std::exception& e) {
+    res.feasible = false;
+    res.error = e.what();
+  }
+  (void)options;
+  return prep;
+}
+
+}  // namespace
+
 // The two cell phases below are public (driver/cell_exec.hpp) so callers
 // other than the sweep scheduler — notably the serving tier's cross-request
 // coalescer — can group prepared cells by batch shape and verify whole
 // groups with one kernel invocation.
 
 PreparedCell prepare_cell(const SweepCell& cell, const SweepOptions& options) {
+  if (cell.rows > 0 || cell.cols > 0 || is_nested_benchmark(cell.benchmark)) {
+    return prepare_nested_cell(cell, options);
+  }
   PreparedCell prep;
   SweepResult& res = prep.res;
   res.cell = cell;

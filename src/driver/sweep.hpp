@@ -159,14 +159,36 @@ namespace csr::driver {
 /// True for transforms with an unfolding-factor dimension (f > 1 meaningful).
 [[nodiscard]] bool transform_uses_factor(Transform transform);
 
+/// True for the transforms the nested (2-D) lowering supports: original,
+/// retimed and retimed-CSR. Unfolding a nest needs a 2-D unfolding theory
+/// the model doesn't have yet, so factor-full transforms are 1-D only.
+[[nodiscard]] bool transform_supports_nested(Transform transform);
+
+/// True when `name` is a nested benchmark (mdfg::md_benchmarks()); such
+/// cells route through the 2-D prepare path and carry rows/cols.
+[[nodiscard]] bool is_nested_benchmark(const std::string& name);
+
+/// A 2-D iteration-space shape, the nested family's analogue of the
+/// trip-count axis (n = rows·cols).
+struct LoopShape {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  friend bool operator==(const LoopShape&, const LoopShape&) = default;
+};
+
 /// One point of the cross product.
 struct SweepCell {
-  std::string benchmark;  ///< name in benchmarks::all_graphs()
+  std::string benchmark;  ///< name in benchmarks::all_graphs() or mdfg::md_benchmarks()
   Engine engine = Engine::kOptRetiming;
   ExecEngine exec = ExecEngine::kVm;
   Transform transform = Transform::kOriginal;
   int factor = 1;
   std::int64_t n = 101;
+  /// 2-D iteration-space shape for nested benchmarks; (0,0) marks a classic
+  /// 1-D cell. Nested cells always satisfy n == rows·cols.
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
 };
 
 /// Everything measured for a cell. `feasible` is false when the
@@ -291,6 +313,12 @@ struct SweepStats {
 struct SweepGrid {
   std::vector<std::string> benchmarks;
   std::vector<std::int64_t> trip_counts = {101};
+  /// Iteration-space shapes for nested (2-D) benchmarks, which sweep over
+  /// shapes instead of trip_counts (their n is rows·cols) and over the
+  /// nested-supported transforms only. 1-D benchmarks ignore this axis.
+  /// The default inner trip count covers every bundled benchmark's
+  /// min_cols under both MD engines (opt-exact lifts can need cols ≥ 19).
+  std::vector<LoopShape> shapes = {{8, 24}};
   std::vector<Engine> engines = {Engine::kOptRetiming};
   std::vector<ExecEngine> exec_engines = {ExecEngine::kVm};
   std::vector<Transform> transforms = {

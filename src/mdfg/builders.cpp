@@ -1,0 +1,158 @@
+#include "mdfg/builders.hpp"
+
+#include "support/check.hpp"
+
+namespace csr::mdfg {
+
+MdDataFlowGraph conv3x3() {
+  MdDataFlowGraph g("conv3x3");
+  // Row-recursive source: the scan line being filtered depends on the
+  // previous line (e.g. a separable pre-pass), which makes the graph cyclic
+  // without constraining the inner loop.
+  const NodeId src = g.add_node("SRC");
+  g.add_edge(src, src, 1, 0);
+  // Nine taps y(r,c) = Σ w_ij · x(r−i, c−j): src→M_ij with delay (i,j).
+  NodeId m[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      m[i][j] = g.add_node("M" + std::to_string(i) + std::to_string(j));
+      g.add_edge(src, m[i][j], i, j);
+    }
+  }
+  // Balanced 8-adder accumulation tree.
+  const NodeId s1 = g.add_node("S1");
+  g.add_edge(m[0][0], s1, 0, 0);
+  g.add_edge(m[0][1], s1, 0, 0);
+  const NodeId s2 = g.add_node("S2");
+  g.add_edge(m[0][2], s2, 0, 0);
+  g.add_edge(m[1][0], s2, 0, 0);
+  const NodeId s3 = g.add_node("S3");
+  g.add_edge(m[1][1], s3, 0, 0);
+  g.add_edge(m[1][2], s3, 0, 0);
+  const NodeId s4 = g.add_node("S4");
+  g.add_edge(m[2][0], s4, 0, 0);
+  g.add_edge(m[2][1], s4, 0, 0);
+  const NodeId t1 = g.add_node("T1");
+  g.add_edge(s1, t1, 0, 0);
+  g.add_edge(s2, t1, 0, 0);
+  const NodeId t2 = g.add_node("T2");
+  g.add_edge(s3, t2, 0, 0);
+  g.add_edge(s4, t2, 0, 0);
+  const NodeId t3 = g.add_node("T3");
+  g.add_edge(t1, t3, 0, 0);
+  g.add_edge(t2, t3, 0, 0);
+  const NodeId y = g.add_node("Y");
+  g.add_edge(t3, y, 0, 0);
+  g.add_edge(m[2][2], y, 0, 0);
+  CSR_ENSURE(g.node_count() == 18, "conv3x3 must have 18 nodes");
+  CSR_ENSURE(g.is_legal(), "conv3x3 must be legal");
+  return g;
+}
+
+MdDataFlowGraph jacobi5() {
+  MdDataFlowGraph g("jacobi5");
+  // u(t,x) = c1·(u(t−1,x−1) + u(t−1,x)) + c2·(u(t−1,x+1) + u(t−2,x)),
+  // row = sweep t, col = site x. The (1,−1) tap reads the *next* site of
+  // the previous sweep — lexicographically legal because the whole previous
+  // row is finished before row t starts.
+  const NodeId u = g.add_node("U");
+  const NodeId a1 = g.add_node("A1");
+  g.add_edge(u, a1, 1, 1);
+  g.add_edge(u, a1, 1, 0);
+  const NodeId a2 = g.add_node("A2");
+  g.add_edge(u, a2, 1, -1);
+  g.add_edge(u, a2, 2, 0);
+  const NodeId m1 = g.add_node("M1");
+  g.add_edge(a1, m1, 0, 0);
+  const NodeId m2 = g.add_node("M2");
+  g.add_edge(a2, m2, 0, 0);
+  g.add_edge(m1, u, 0, 0);
+  g.add_edge(m2, u, 0, 0);
+  // Smoothed output tap o(t,x) = u(t,x) + u(t,x−1).
+  const NodeId o = g.add_node("O");
+  g.add_edge(u, o, 0, 0);
+  g.add_edge(u, o, 0, 1);
+  CSR_ENSURE(g.node_count() == 6, "jacobi5 must have 6 nodes");
+  CSR_ENSURE(g.is_legal(), "jacobi5 must be legal");
+  return g;
+}
+
+MdDataFlowGraph iir2d() {
+  MdDataFlowGraph g("iir2d");
+  // y(r,c) = (x(r,c) + cx·x(r,c−1))
+  //        + b01·y(r,c−1) + b10·y(r−1,c) + b11·y(r−1,c−1),
+  // with a frame-recursive input x. The y→M01→A1→y cycle carries one
+  // column delay over three unit-time nodes: inner period ≥ 3, full
+  // parallelism impossible.
+  const NodeId x = g.add_node("X");
+  g.add_edge(x, x, 1, 0);
+  const NodeId mx = g.add_node("MX");
+  g.add_edge(x, mx, 0, 1);
+  const NodeId a0 = g.add_node("A0");
+  g.add_edge(x, a0, 0, 0);
+  g.add_edge(mx, a0, 0, 0);
+  const NodeId y = g.add_node("Y");
+  const NodeId m01 = g.add_node("M01");
+  g.add_edge(y, m01, 0, 1);
+  const NodeId m10 = g.add_node("M10");
+  g.add_edge(y, m10, 1, 0);
+  const NodeId m11 = g.add_node("M11");
+  g.add_edge(y, m11, 1, 1);
+  const NodeId a1 = g.add_node("A1");
+  g.add_edge(a0, a1, 0, 0);
+  g.add_edge(m01, a1, 0, 0);
+  const NodeId a2 = g.add_node("A2");
+  g.add_edge(m10, a2, 0, 0);
+  g.add_edge(m11, a2, 0, 0);
+  g.add_edge(a1, y, 0, 0);
+  g.add_edge(a2, y, 0, 0);
+  CSR_ENSURE(g.node_count() == 9, "iir2d must have 9 nodes");
+  CSR_ENSURE(g.is_legal(), "iir2d must be legal");
+  return g;
+}
+
+MdDataFlowGraph tline2d() {
+  MdDataFlowGraph g("tline2d");
+  // Discretized transmission line (row = time step, col = line section).
+  // Forward wave f(r,c) = s(r,c) + α·f(r,c−2): a zero-row cycle with *two*
+  // columns of delay over two edges — retiming moves one delay onto
+  // MF→F and the cycle becomes fully parallel. Backward wave reflects off
+  // the previous time step.
+  const NodeId s = g.add_node("S");
+  g.add_edge(s, s, 1, 0);
+  const NodeId mf = g.add_node("MF");
+  const NodeId f = g.add_node("F");
+  g.add_edge(f, mf, 0, 2);
+  g.add_edge(mf, f, 0, 0);
+  g.add_edge(s, f, 0, 0);
+  const NodeId mb = g.add_node("MB");
+  g.add_edge(f, mb, 1, 0);
+  const NodeId b = g.add_node("B");
+  g.add_edge(mb, b, 0, 0);
+  g.add_edge(b, b, 1, 1);
+  const NodeId v = g.add_node("V");
+  g.add_edge(f, v, 0, 0);
+  g.add_edge(b, v, 0, 1);
+  CSR_ENSURE(g.node_count() == 6, "tline2d must have 6 nodes");
+  CSR_ENSURE(g.is_legal(), "tline2d must be legal");
+  return g;
+}
+
+const std::vector<MdBenchmarkInfo>& md_benchmarks() {
+  static const std::vector<MdBenchmarkInfo> graphs = {
+      {"conv3x3", conv3x3},
+      {"jacobi5", jacobi5},
+      {"iir2d", iir2d},
+      {"tline2d", tline2d},
+  };
+  return graphs;
+}
+
+const MdBenchmarkInfo* find_md_benchmark(std::string_view name) {
+  for (const MdBenchmarkInfo& info : md_benchmarks()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace csr::mdfg

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file builders.hpp
+/// The nested-loop (2-D) benchmark family: multidimensional data-flow
+/// graphs for classic image/stencil/2-D-filter kernels, built from their
+/// textbook signal-flow structure the same way src/benchmarks/ builds the
+/// paper's 1-D DSP filters. Node names follow the same HLS convention the
+/// resource model uses ('M*' multipliers, everything else adders); all
+/// graphs are unit-time.
+///
+/// The family is chosen to cover the interesting legality/parallelism
+/// regimes of multidimensional retiming (retiming/md_retiming.hpp):
+///   * conv3x3  — feed-forward with row-carried input recursion: fully
+///     parallelizable (period 1);
+///   * jacobi5  — all feedback row-carried, including negative column
+///     components (reads from earlier rows): fully parallelizable;
+///   * iir2d    — a genuine inner-loop (0,1) recursion: full parallelism is
+///     provably impossible, the engine certifies the minimum period instead;
+///   * tline2d  — an inner-loop recursion with two columns of slack whose
+///     zero-row cycle *can* be fully parallelized by redistributing the
+///     column delays.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdfg/graph.hpp"
+
+namespace csr::mdfg {
+
+/// 3×3 convolution (image filter) — 18 nodes. A row-recursive source
+/// feeding nine taps src→M_ij with delay (i,j), summed by an 8-adder tree.
+/// Every cycle is row-carried, so retiming reaches period 1.
+[[nodiscard]] MdDataFlowGraph conv3x3();
+
+/// Jacobi / 5-point stencil, time-marching form (row = sweep, col = site) —
+/// 6 nodes. State updates from (1,1),(1,0),(1,−1),(2,0) taps — note the
+/// negative column component, a read from the already-computed previous
+/// row — plus a (0,1) output smoothing tap. Fully parallelizable.
+[[nodiscard]] MdDataFlowGraph jacobi5();
+
+/// First-quadrant 2-D IIR section — 9 nodes. Feedback taps y(r,c−1),
+/// y(r−1,c), y(r−1,c−1) and an FIR input pair. The (0,1) feedback cycle
+/// spans three unit-time nodes with only one column delay, so the minimum
+/// achievable inner period is 3 (vs. cycle period 4 original) and full
+/// parallelism is impossible — the engine proves the bound.
+[[nodiscard]] MdDataFlowGraph iir2d();
+
+/// Transmission-line section (forward/backward travelling waves) — 6
+/// nodes. The forward-wave recursion carries delay (0,2) over a two-edge
+/// cycle, so redistributing one column delay makes every edge lex-positive:
+/// retiming achieves full parallelism on a zero-row cycle.
+[[nodiscard]] MdDataFlowGraph tline2d();
+
+struct MdBenchmarkInfo {
+  std::string name;
+  std::function<MdDataFlowGraph()> factory;
+};
+
+/// The nested benchmark family, in the order above.
+[[nodiscard]] const std::vector<MdBenchmarkInfo>& md_benchmarks();
+
+/// Registry lookup; nullptr for unknown names. The sweep driver uses this
+/// to route nested benchmark names through the 2-D prepare path.
+[[nodiscard]] const MdBenchmarkInfo* find_md_benchmark(std::string_view name);
+
+}  // namespace csr::mdfg

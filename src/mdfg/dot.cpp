@@ -1,0 +1,36 @@
+#include "mdfg/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/text.hpp"
+
+namespace csr {
+
+void write_dot(std::ostream& os, const MdDataFlowGraph& g) {
+  os << "digraph \"" << dot_escape(g.name().empty() ? "mdfg" : g.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const Node& n = g.node(v);
+    os << "  n" << v << " [label=\"" << dot_escape(n.name);
+    if (n.time != 1) os << "\\nt=" << n.time;
+    os << "\"];\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdEdge& edge = g.edge(e);
+    os << "  n" << edge.from << " -> n" << edge.to;
+    if (!(edge.delay == MdDelay{0, 0})) {
+      os << " [label=\"(" << edge.delay.row << ',' << edge.delay.col << ")D\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const MdDataFlowGraph& g) {
+  std::ostringstream os;
+  write_dot(os, g);
+  return os.str();
+}
+
+}  // namespace csr

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file dot.hpp
+/// Graphviz DOT rendering of multidimensional data-flow graphs. Delay
+/// vectors are drawn as "(r,c)D" edge labels; non-unit computation times
+/// are appended to the node label. Labels go through support's dot_escape
+/// so arbitrary node names always produce parseable DOT (shared with the
+/// 1-D exporter in dfg/dot.cpp).
+
+#include <iosfwd>
+#include <string>
+
+#include "mdfg/graph.hpp"
+
+namespace csr {
+
+/// Writes `g` to `os` in DOT syntax.
+void write_dot(std::ostream& os, const MdDataFlowGraph& g);
+
+/// DOT text for `g`.
+[[nodiscard]] std::string to_dot(const MdDataFlowGraph& g);
+
+}  // namespace csr

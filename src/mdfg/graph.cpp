@@ -1,0 +1,137 @@
+#include "mdfg/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dfg/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+NodeId MdDataFlowGraph::add_node(std::string name, int time) {
+  CSR_REQUIRE(!name.empty(), "node name must be non-empty");
+  CSR_REQUIRE(time >= 1, "node computation time must be >= 1");
+  CSR_REQUIRE(!find_node(name).has_value(), "duplicate node name: " + name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), time});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId MdDataFlowGraph::add_edge(NodeId from, NodeId to, MdDelay delay) {
+  CSR_REQUIRE(from < nodes_.size(), "edge source out of range");
+  CSR_REQUIRE(to < nodes_.size(), "edge target out of range");
+  CSR_REQUIRE(lex_nonneg(delay), "edge delay vector must be lexicographically >= (0,0)");
+  CSR_REQUIRE(from != to || lex_positive(delay),
+              "self-loop requires a lexicographically positive delay");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(MdEdge{from, to, delay});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+const Node& MdDataFlowGraph::node(NodeId id) const {
+  CSR_EXPECT(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const MdEdge& MdDataFlowGraph::edge(EdgeId id) const {
+  CSR_EXPECT(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+void MdDataFlowGraph::set_delay(EdgeId e, MdDelay delay) {
+  CSR_EXPECT(e < edges_.size(), "edge id out of range");
+  CSR_REQUIRE(lex_nonneg(delay), "edge delay vector must be lexicographically >= (0,0)");
+  edges_[e].delay = delay;
+}
+
+const std::vector<EdgeId>& MdDataFlowGraph::out_edges(NodeId v) const {
+  CSR_EXPECT(v < nodes_.size(), "node id out of range");
+  return out_[v];
+}
+
+const std::vector<EdgeId>& MdDataFlowGraph::in_edges(NodeId v) const {
+  CSR_EXPECT(v < nodes_.size(), "node id out of range");
+  return in_[v];
+}
+
+std::optional<NodeId> MdDataFlowGraph::find_node(std::string_view name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::int64_t MdDataFlowGraph::total_time() const {
+  return std::accumulate(nodes_.begin(), nodes_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Node& n) { return acc + n.time; });
+}
+
+bool MdDataFlowGraph::unit_time() const {
+  return std::all_of(nodes_.begin(), nodes_.end(),
+                     [](const Node& n) { return n.time == 1; });
+}
+
+std::vector<std::string> MdDataFlowGraph::validate() const {
+  std::vector<std::string> problems;
+  for (const MdEdge& e : edges_) {
+    if (!lex_nonneg(e.delay)) {
+      problems.push_back("lexicographically negative delay on edge " +
+                         nodes_[e.from].name + "->" + nodes_[e.to].name);
+    }
+  }
+  // A cycle of all-(0,0) edges is the only way a cycle's total delay can be
+  // (0,0): lex-non-negative vectors are (≥1, *) or (0, ≥0), so a mixed sum
+  // is lex-positive. Detect it on the 1-D shadow graph whose zero-delay
+  // edges are exactly the (0,0) edges.
+  DataFlowGraph shadow(name_);
+  for (const Node& n : nodes_) shadow.add_node(n.name, n.time);
+  bool shadow_ok = true;
+  for (const MdEdge& e : edges_) {
+    if (!lex_nonneg(e.delay)) {
+      shadow_ok = false;  // can't map a lex-negative vector onto d >= 0
+      continue;
+    }
+    if (e.from == e.to && e.delay == MdDelay{0, 0}) {
+      shadow_ok = false;  // the shadow graph rejects zero-delay self-loops
+      problems.push_back("(0,0)-delay self-loop on node " + nodes_[e.from].name);
+      continue;
+    }
+    shadow.add_edge(e.from, e.to, e.delay == MdDelay{0, 0} ? 0 : 1);
+  }
+  if (shadow_ok && has_zero_delay_cycle(shadow)) {
+    problems.emplace_back("(0,0)-delay cycle (nest is not schedulable)");
+  }
+  return problems;
+}
+
+std::vector<NodeId> MdDataFlowGraph::node_ids() const {
+  std::vector<NodeId> ids(nodes_.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  return ids;
+}
+
+DataFlowGraph linearized(const MdDataFlowGraph& g, std::int64_t cols) {
+  CSR_REQUIRE(cols >= 1, "linearization needs cols >= 1");
+  DataFlowGraph out(g.name());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.add_node(g.node(v).name, g.node(v).time);
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdEdge& edge = g.edge(e);
+    const std::int64_t d = edge.delay.row * cols + edge.delay.col;
+    if (d < 0 || d > INT32_MAX) {
+      throw InvalidArgument("linearized delay out of range on edge " +
+                            g.node(edge.from).name + "->" + g.node(edge.to).name +
+                            " at cols=" + std::to_string(cols));
+    }
+    out.add_edge(edge.from, edge.to, static_cast<int>(d));
+  }
+  return out;
+}
+
+}  // namespace csr

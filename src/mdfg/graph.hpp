@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file graph.hpp
+/// The multidimensional data-flow graph (MDFG) of the vector-delay retiming
+/// literature (Passos–Sha; Elloumi et al., PAPERS.md): G = <V, E, d, t>
+/// where every edge carries a two-component *delay vector*
+/// d(e) = (d_row, d_col). An edge u→v with delay (i, j) means iteration
+/// (r, c) of v consumes the value produced by iteration (r−i, c−j) of u —
+/// the uniform dependence distances of a two-level perfect loop nest
+/// (row = outer loop, col = inner loop).
+///
+/// Legality is *lexicographic*: every delay vector must be ≥ (0,0) in
+/// lexicographic order — d_row ≥ 1 (the dependence is carried by the outer
+/// loop; the column component may then be negative, a read from an earlier,
+/// fully computed row), or d_row = 0 ∧ d_col ≥ 0 (carried by the inner loop
+/// or intra-iteration). Row-major execution respects exactly these
+/// dependences, which is what lets the nested lowering (codegen/nested.hpp)
+/// reuse the 1-D LoopIR unchanged. A cycle of all-(0,0) edges is
+/// unschedulable, same as a zero-delay cycle in the 1-D model.
+///
+/// Like DataFlowGraph this is a plain value type: multidimensional retiming
+/// is a transformation producing new graphs.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace csr {
+
+/// A 2-D delay vector (d_row, d_col) — the dependence distance of an edge.
+struct MdDelay {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const MdDelay&, const MdDelay&) = default;
+};
+
+/// d ≥ (0,0) lexicographically: row ≥ 1, or row = 0 ∧ col ≥ 0.
+[[nodiscard]] constexpr bool lex_nonneg(const MdDelay& d) {
+  return d.row > 0 || (d.row == 0 && d.col >= 0);
+}
+
+/// d > (0,0) lexicographically: row ≥ 1, or row = 0 ∧ col ≥ 1. An edge with
+/// a lex-positive delay imposes no intra-iteration ordering — when *every*
+/// edge is lex-positive the nest is fully parallel (period 1 on unit-time
+/// graphs).
+[[nodiscard]] constexpr bool lex_positive(const MdDelay& d) {
+  return d.row > 0 || (d.row == 0 && d.col > 0);
+}
+
+/// A dependence edge u→v with delay vector d(e).
+struct MdEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  MdDelay delay;
+};
+
+class MdDataFlowGraph {
+ public:
+  MdDataFlowGraph() = default;
+  explicit MdDataFlowGraph(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a node with computation time `time` (≥ 1). Node names must be
+  /// unique and non-empty: they become array names in lowered loop code.
+  NodeId add_node(std::string name, int time = 1);
+
+  /// Adds an edge u→v with a lex-non-negative delay vector. Self-loops
+  /// require a lex-positive delay (a (0,0) self-loop could never be
+  /// scheduled).
+  EdgeId add_edge(NodeId from, NodeId to, MdDelay delay);
+  EdgeId add_edge(NodeId from, NodeId to, int row, int col) {
+    return add_edge(from, to, MdDelay{row, col});
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const MdEdge& edge(EdgeId id) const;
+
+  /// Replaces the delay vector of `e`; used by retiming application.
+  void set_delay(EdgeId e, MdDelay delay);
+
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId v) const;
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId v) const;
+
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
+
+  /// Σ_v t(v).
+  [[nodiscard]] std::int64_t total_time() const;
+
+  /// True when every node has unit computation time.
+  [[nodiscard]] bool unit_time() const;
+
+  /// Structural validation: named problems, empty when the graph is legal.
+  /// A legal MDFG has lex-non-negative delay vectors and no cycle of
+  /// all-(0,0) edges.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  [[nodiscard]] bool is_legal() const { return validate().empty(); }
+
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<MdEdge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+/// The row-major linearization of `g` at inner trip count `cols`: the 1-D
+/// DFG with the same nodes and one edge per MDFG edge carrying delay
+/// d_row·cols + d_col. Iterating that 1-D graph for rows·cols trips is
+/// exactly the row-major execution of the 2-D nest (iteration (r,c) ↦ flat
+/// index r·cols + c), which is what the nested lowering and the sweep
+/// verifier run. Throws InvalidArgument when some linearized delay is
+/// negative — i.e. when `cols` is too small for a row-carried edge's
+/// negative column component.
+[[nodiscard]] DataFlowGraph linearized(const MdDataFlowGraph& g, std::int64_t cols);
+
+}  // namespace csr

@@ -1,0 +1,95 @@
+#include "mdfg/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace csr {
+
+void write_text(std::ostream& os, const MdDataFlowGraph& g) {
+  os << "mdfg " << (g.name().empty() ? "unnamed" : g.name()) << '\n';
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "node " << g.node(v).name << ' ' << g.node(v).time << '\n';
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdEdge& edge = g.edge(e);
+    os << "edge " << g.node(edge.from).name << ' ' << g.node(edge.to).name << ' '
+       << edge.delay.row << ' ' << edge.delay.col << '\n';
+  }
+}
+
+std::string to_text(const MdDataFlowGraph& g) {
+  std::ostringstream os;
+  write_text(os, g);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  throw ParseError(os.str());
+}
+
+int parse_int(const std::string& token, int line) {
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(token, &pos);
+    if (pos != token.size()) parse_fail(line, "trailing characters in integer '" + token + "'");
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    parse_fail(line, "expected integer, got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+MdDataFlowGraph read_md_text(std::istream& is) {
+  MdDataFlowGraph g;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto tokens = split_ws(stripped);
+    const std::string& kind = tokens.front();
+    if (kind == "mdfg") {
+      if (saw_header) parse_fail(line_no, "duplicate 'mdfg' header");
+      if (tokens.size() != 2) parse_fail(line_no, "expected: mdfg <name>");
+      g.set_name(tokens[1]);
+      saw_header = true;
+    } else if (kind == "node") {
+      if (tokens.size() != 3) parse_fail(line_no, "expected: node <name> <time>");
+      g.add_node(tokens[1], parse_int(tokens[2], line_no));
+    } else if (kind == "edge") {
+      if (tokens.size() != 5) {
+        parse_fail(line_no, "expected: edge <from> <to> <d_row> <d_col>");
+      }
+      const auto from = g.find_node(tokens[1]);
+      const auto to = g.find_node(tokens[2]);
+      if (!from) parse_fail(line_no, "unknown node '" + tokens[1] + "'");
+      if (!to) parse_fail(line_no, "unknown node '" + tokens[2] + "'");
+      g.add_edge(*from, *to,
+                 MdDelay{parse_int(tokens[3], line_no), parse_int(tokens[4], line_no)});
+    } else {
+      parse_fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing 'mdfg <name>' header");
+  return g;
+}
+
+MdDataFlowGraph parse_md_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_md_text(is);
+}
+
+}  // namespace csr

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file io.hpp
+/// The textual exchange format for multidimensional data-flow graphs,
+/// mirroring dfg/io.hpp with a vector-delay edge directive:
+///
+///     # comment
+///     mdfg <name>
+///     node <name> <time>
+///     edge <from> <to> <d_row> <d_col>
+///
+/// Nodes must be declared before the edges that use them; d_col may be
+/// negative when d_row ≥ 1 (lexicographic legality). The `mdfg` header
+/// keeps the two formats unambiguous — a .mdfg file can never parse as a
+/// 1-D .dfg file or vice versa.
+
+#include <iosfwd>
+#include <string>
+
+#include "mdfg/graph.hpp"
+
+namespace csr {
+
+/// Serializes `g` in the text format above.
+[[nodiscard]] std::string to_text(const MdDataFlowGraph& g);
+void write_text(std::ostream& os, const MdDataFlowGraph& g);
+
+/// Parses the text format. Throws ParseError with a line number on
+/// malformed input and InvalidArgument for structurally illegal graphs
+/// (through the MdDataFlowGraph builders).
+[[nodiscard]] MdDataFlowGraph parse_md_text(const std::string& text);
+[[nodiscard]] MdDataFlowGraph read_md_text(std::istream& is);
+
+}  // namespace csr

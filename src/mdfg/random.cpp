@@ -1,0 +1,76 @@
+#include "mdfg/random.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace csr::mdfg {
+
+namespace {
+
+/// A delay vector for a row-carried edge: row ≥ 1, col ∈ [−max, max].
+MdDelay row_carried(SplitMix64& rng, int max_delay) {
+  return MdDelay{static_cast<int>(rng.uniform(1, max_delay)),
+                 static_cast<int>(rng.uniform(-max_delay, max_delay))};
+}
+
+/// A lex-non-negative delay for a forward edge.
+MdDelay forward_delay(SplitMix64& rng, const RandomMdfgOptions& options) {
+  if (rng.bernoulli(options.zero_delay_prob)) return MdDelay{0, 0};
+  if (rng.bernoulli(options.row_carried_prob)) {
+    return row_carried(rng, options.max_delay);
+  }
+  return MdDelay{0, static_cast<int>(rng.uniform(1, options.max_delay))};
+}
+
+}  // namespace
+
+MdDataFlowGraph random_mdfg(SplitMix64& rng, const RandomMdfgOptions& options) {
+  CSR_REQUIRE(options.min_nodes >= 2, "random MDFG needs at least 2 nodes");
+  CSR_REQUIRE(options.min_nodes <= options.max_nodes, "min_nodes > max_nodes");
+  CSR_REQUIRE(options.max_delay >= 1, "max_delay must be >= 1");
+  CSR_REQUIRE(options.max_time >= 1, "max_time must be >= 1");
+
+  const std::size_t n = static_cast<std::size_t>(
+      rng.uniform(static_cast<std::int64_t>(options.min_nodes),
+                  static_cast<std::int64_t>(options.max_nodes)));
+  MdDataFlowGraph g("random2d");
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_node("V" + std::to_string(i),
+               static_cast<int>(rng.uniform(1, options.max_time)));
+  }
+
+  bool has_back_edge = false;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (u < v && rng.bernoulli(options.forward_edge_prob)) {
+        g.add_edge(u, v, forward_delay(rng, options));
+      } else if (u > v && rng.bernoulli(options.backward_edge_prob)) {
+        // Backward edges are always row-carried so every cycle has total
+        // row delay ≥ 1 — the full-parallelism guarantee the property
+        // tests rely on.
+        g.add_edge(u, v, row_carried(rng, options.max_delay));
+        has_back_edge = true;
+      }
+    }
+  }
+
+  if (options.ensure_connected) {
+    for (NodeId v = 0; v + 1 < n; ++v) {
+      if (g.out_edges(v).empty() && g.in_edges(v).empty()) {
+        g.add_edge(v, v + 1, forward_delay(rng, options));
+      }
+    }
+  }
+
+  if (options.ensure_cyclic && !has_back_edge) {
+    // Close a row-carried cycle over the first/last nodes.
+    g.add_edge(static_cast<NodeId>(n - 1), 0, row_carried(rng, options.max_delay));
+  }
+
+  CSR_ENSURE(g.is_legal(), "random generator produced an illegal MDFG");
+  return g;
+}
+
+}  // namespace csr::mdfg

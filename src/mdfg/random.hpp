@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file random.hpp
+/// Random legal MDFG generation for property-based tests, mirroring
+/// dfg/random.hpp. Legality is guaranteed by construction: forward edges
+/// (in a random topological order) carry lex-non-negative vectors, while
+/// backward edges always carry row delay ≥ 1 — so every cycle is
+/// row-carried, which also guarantees (retiming/md_retiming.hpp) that full
+/// parallelism is achievable on every generated graph. Row-carried edges
+/// may carry *negative* column components, exercising the lexicographic
+/// corner of the legality checker.
+
+#include "mdfg/graph.hpp"
+#include "support/rng.hpp"
+
+namespace csr::mdfg {
+
+struct RandomMdfgOptions {
+  std::size_t min_nodes = 3;
+  std::size_t max_nodes = 10;
+  /// Probability of each forward pair (u before v) receiving an edge.
+  double forward_edge_prob = 0.3;
+  /// Probability of each backward pair receiving a (row-delayed) edge.
+  double backward_edge_prob = 0.15;
+  /// Maximum magnitude of either delay component.
+  int max_delay = 2;
+  /// Probability that a forward edge carries delay (0,0).
+  double zero_delay_prob = 0.6;
+  /// Probability that a delayed edge is row-carried (vs. column-carried);
+  /// row-carried delays draw their column component from
+  /// [−max_delay, max_delay].
+  double row_carried_prob = 0.5;
+  /// Maximum node computation time (1 = unit-time graphs).
+  int max_time = 1;
+  /// Ensure the result contains at least one (row-carried) cycle.
+  bool ensure_cyclic = true;
+  /// Ensure weak connectivity by chaining consecutive nodes when needed.
+  bool ensure_connected = true;
+};
+
+/// Generates a random legal MDFG. Node names are V0, V1, ...
+[[nodiscard]] MdDataFlowGraph random_mdfg(SplitMix64& rng,
+                                          const RandomMdfgOptions& options = {});
+
+}  // namespace csr::mdfg

@@ -1,0 +1,195 @@
+#include "retiming/md_retiming.hpp"
+
+#include <algorithm>
+
+#include "retiming/constraints.hpp"
+#include "retiming/exact.hpp"
+#include "retiming/opt.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace csr {
+
+const MdDelay& MdRetiming::operator[](NodeId v) const {
+  CSR_EXPECT(v < values_.size(), "retiming index out of range");
+  return values_[v];
+}
+
+void MdRetiming::set(NodeId v, MdDelay value) {
+  CSR_EXPECT(v < values_.size(), "retiming index out of range");
+  values_[v] = value;
+}
+
+bool MdRetiming::pure_column() const {
+  return std::all_of(values_.begin(), values_.end(),
+                     [](const MdDelay& d) { return d.row == 0; });
+}
+
+Retiming MdRetiming::col_retiming() const {
+  CSR_REQUIRE(pure_column(), "col_retiming() requires a pure-column retiming");
+  std::vector<int> cols;
+  cols.reserve(values_.size());
+  for (const MdDelay& d : values_) cols.push_back(d.col);
+  return Retiming(std::move(cols));
+}
+
+MdRetiming MdRetiming::normalized() const {
+  if (values_.empty()) return *this;
+  int min_row = values_.front().row;
+  int min_col = values_.front().col;
+  for (const MdDelay& d : values_) {
+    min_row = std::min(min_row, d.row);
+    min_col = std::min(min_col, d.col);
+  }
+  std::vector<MdDelay> out;
+  out.reserve(values_.size());
+  for (const MdDelay& d : values_) {
+    out.push_back(MdDelay{d.row - min_row, d.col - min_col});
+  }
+  return MdRetiming(std::move(out));
+}
+
+namespace {
+
+MdDelay retimed_delay(const MdEdge& e, const MdRetiming& r) {
+  return MdDelay{e.delay.row + r[e.from].row - r[e.to].row,
+                 e.delay.col + r[e.from].col - r[e.to].col};
+}
+
+/// Smallest integer c with c·row + col ≥ 1 for a row-carried edge.
+std::int64_t min_cols_for(std::int64_t row, std::int64_t col) {
+  const std::int64_t num = 1 - col;
+  // row ≥ 1; C++ division truncates toward zero, so add 1 only for a
+  // positive remainder to get the ceiling.
+  return num / row + (num % row > 0 ? 1 : 0);
+}
+
+/// min_cols over one graph's edges (original or retimed view).
+std::int64_t min_cols_of(const MdDataFlowGraph& g) {
+  std::int64_t cols = 1;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdDelay& d = g.edge(e).delay;
+    if (d.row >= 1) cols = std::max(cols, min_cols_for(d.row, d.col));
+  }
+  return cols;
+}
+
+MdOptimalRetiming lift_projection(const MdDataFlowGraph& g, std::int64_t k,
+                                  std::int64_t period, const Retiming& r_s) {
+  MdOptimalRetiming out;
+  out.period = period;
+  out.projection = k;
+  const Retiming cols = r_s.normalized();
+  std::vector<MdDelay> values;
+  values.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    values.push_back(MdDelay{0, cols[v]});
+  }
+  out.retiming = MdRetiming(std::move(values));
+  CSR_ENSURE(is_legal_md_retiming(g, out.retiming),
+             "projected retiming lifted to an illegal vector retiming");
+  const MdDataFlowGraph retimed = apply_md_retiming(g, out.retiming);
+  out.fully_parallel = fully_parallel(retimed);
+  out.min_cols = std::max(min_cols_of(g), min_cols_of(retimed));
+  return out;
+}
+
+}  // namespace
+
+bool is_legal_md_retiming(const MdDataFlowGraph& g, const MdRetiming& r) {
+  if (r.node_count() != g.node_count()) return false;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!lex_nonneg(retimed_delay(g.edge(e), r))) return false;
+  }
+  return true;
+}
+
+MdDataFlowGraph apply_md_retiming(const MdDataFlowGraph& g, const MdRetiming& r) {
+  if (!is_legal_md_retiming(g, r)) {
+    throw InvalidArgument("illegal multidimensional retiming for graph '" +
+                          g.name() + "'");
+  }
+  MdDataFlowGraph out(g.name());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.add_node(g.node(v).name, g.node(v).time);
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdEdge& edge = g.edge(e);
+    out.add_edge(edge.from, edge.to, retimed_delay(edge, r));
+  }
+  return out;
+}
+
+bool fully_parallel(const MdDataFlowGraph& g) {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!lex_positive(g.edge(e).delay)) return false;
+  }
+  return true;
+}
+
+std::int64_t md_projection_factor(const MdDataFlowGraph& g) {
+  std::int64_t k = 1 + g.total_time();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const int col = g.edge(e).delay.col;
+    if (col < 0) k += -static_cast<std::int64_t>(col);
+  }
+  return k;
+}
+
+DataFlowGraph md_projected_graph(const MdDataFlowGraph& g, std::int64_t k) {
+  const auto problems = g.validate();
+  if (!problems.empty()) {
+    throw InvalidArgument("illegal MDFG '" + g.name() + "': " + problems.front());
+  }
+  DataFlowGraph out(g.name());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.add_node(g.node(v).name, g.node(v).time);
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdEdge& edge = g.edge(e);
+    const std::int64_t d = k * edge.delay.row + edge.delay.col;
+    if (d < 0 || d > INT32_MAX) {
+      throw InvalidArgument("projected delay out of range on edge " +
+                            g.node(edge.from).name + "->" + g.node(edge.to).name);
+    }
+    out.add_edge(edge.from, edge.to, static_cast<int>(d));
+  }
+  return out;
+}
+
+MdOptimalRetiming md_minimum_period_retiming(const MdDataFlowGraph& g) {
+  const std::int64_t k = md_projection_factor(g);
+  const DataFlowGraph projected = md_projected_graph(g, k);
+  const OptimalRetiming opt = minimum_period_retiming(projected);
+  return lift_projection(g, k, opt.period, opt.retiming);
+}
+
+MdOptimalRetiming md_exact_optimal_retiming(const MdDataFlowGraph& g) {
+  const std::int64_t k = md_projection_factor(g);
+  const DataFlowGraph projected = md_projected_graph(g, k);
+  const ExactRetiming exact = exact_optimal_retiming(projected);
+  return lift_projection(g, k, exact.period, exact.retiming);
+}
+
+std::int64_t md_exact_minimum_period(const MdDataFlowGraph& g) {
+  const std::int64_t k = md_projection_factor(g);
+  return exact_minimum_period(md_projected_graph(g, k));
+}
+
+bool full_parallelism_achievable(const MdDataFlowGraph& g) {
+  // Full parallelism asks for a column retiming making every zero-row edge
+  // lex-positive (row-carried edges stay row-carried under column
+  // retiming): r(v) − r(u) ≤ d_col(e) − 1 for every d_row = 0 edge — one
+  // difference-logic system per dimension, solved by the shared
+  // Bellman–Ford core.
+  std::vector<DifferenceConstraint> constraints;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const MdEdge& edge = g.edge(e);
+    if (edge.delay.row != 0) continue;
+    constraints.push_back(DifferenceConstraint{edge.from, edge.to,
+                                               std::int64_t{edge.delay.col} - 1});
+  }
+  return solve_difference_constraints(g.node_count(), constraints).has_value();
+}
+
+}  // namespace csr

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file md_retiming.hpp
+/// Multidimensional (vector-delay) retiming over 2-D data-flow graphs,
+/// after Elloumi et al. (PAPERS.md): r : V → Z² transforms each edge u→v to
+///
+///     d_r(e) = d(e) + r(u) − r(v)        (component-wise)
+///
+/// and is *legal* when every retimed delay vector stays lexicographically
+/// non-negative. Full parallelism — every edge lex-positive, so one nest
+/// iteration has no internal ordering at all — is achievable iff every
+/// cycle with zero total row delay carries at least as many column delays
+/// as edges.
+///
+/// **Engine.** The search reuses the shared 1-D difference-logic machinery
+/// of retiming/opt.hpp per dimension through a *schedule projection*: with
+/// a projection factor k exceeding any cycle's computation time plus the
+/// total negative column weight, the 1-D graph G_s with d_s(e) =
+/// k·d_row(e) + d_col(e) has
+///   * d_s(e) ≥ 0 with d_s(e) = 0 exactly on lex-zero edges, and
+///   * every row-carried cycle's period ratio below 1,
+/// so the minimum period of G_s under 1-D retiming equals the minimum
+/// *inner* initiation interval of the nest (row-carried dependences are
+/// free: the previous row is always complete under row-major order), and a
+/// 1-D retiming r_s lifts to the pure-column vector retiming
+/// r(v) = (0, r_s(v)). Column-only retimings are exactly the ones the
+/// row-major lowering (codegen/nested.hpp) can execute without skewing the
+/// nest, and on the linearized 1-D view (mdfg/graph.hpp) they coincide
+/// with ordinary 1-D retimings — which is why the heuristic (opt.hpp) and
+/// exact (exact.hpp) 1-D engines both apply unchanged.
+
+#include <cstdint>
+#include <vector>
+
+#include "mdfg/graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace csr {
+
+/// A vector retiming r : V → Z². The engine only emits pure-column
+/// retimings (row component 0 everywhere), but the type and the legality
+/// checker handle general vectors.
+class MdRetiming {
+ public:
+  explicit MdRetiming(std::size_t node_count) : values_(node_count) {}
+  explicit MdRetiming(std::vector<MdDelay> values) : values_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t node_count() const { return values_.size(); }
+
+  [[nodiscard]] const MdDelay& operator[](NodeId v) const;
+  void set(NodeId v, MdDelay value);
+
+  /// True when every row component is zero — the retimings the row-major
+  /// lowering supports.
+  [[nodiscard]] bool pure_column() const;
+
+  /// The column components as a 1-D Retiming (requires pure_column()); on
+  /// the linearized graph this *is* the vector retiming.
+  [[nodiscard]] Retiming col_retiming() const;
+
+  /// Subtracts the component-wise minimum so min row = min col = 0 — for
+  /// pure-column retimings this matches 1-D normalization.
+  [[nodiscard]] MdRetiming normalized() const;
+
+  friend bool operator==(const MdRetiming&, const MdRetiming&) = default;
+
+  [[nodiscard]] const std::vector<MdDelay>& values() const { return values_; }
+
+ private:
+  std::vector<MdDelay> values_;
+};
+
+/// True when r is legal for g: every retimed delay vector is
+/// lexicographically ≥ (0,0).
+[[nodiscard]] bool is_legal_md_retiming(const MdDataFlowGraph& g, const MdRetiming& r);
+
+/// Applies r to g, producing the retimed MDFG G_r. Throws InvalidArgument
+/// when r is illegal for g.
+[[nodiscard]] MdDataFlowGraph apply_md_retiming(const MdDataFlowGraph& g,
+                                                const MdRetiming& r);
+
+/// True when every edge of g carries a lex-positive delay — the fully
+/// parallel state (inner period 1 on unit-time graphs).
+[[nodiscard]] bool fully_parallel(const MdDataFlowGraph& g);
+
+/// The projection factor k used to fold delay vectors onto one dimension:
+/// 1 + Σ_v t(v) + Σ_e max(0, −d_col(e)). Any k at least this large yields
+/// the same engine results.
+[[nodiscard]] std::int64_t md_projection_factor(const MdDataFlowGraph& g);
+
+/// The projected 1-D graph G_s with d_s(e) = k·d_row(e) + d_col(e).
+/// Throws InvalidArgument when g is illegal.
+[[nodiscard]] DataFlowGraph md_projected_graph(const MdDataFlowGraph& g,
+                                               std::int64_t k);
+
+/// Result of the multidimensional minimum-period search.
+struct MdOptimalRetiming {
+  /// Minimum inner-loop initiation interval over column retimings (1 =
+  /// fully parallel). Row-carried dependences never constrain it.
+  std::int64_t period = 0;
+  /// Normalized pure-column witness achieving it.
+  MdRetiming retiming{0};
+  /// Projection factor the search used.
+  std::int64_t projection = 0;
+  /// Smallest inner trip count for which the row-major lowering of this
+  /// retiming is legal *and* period-exact: for cols ≥ min_cols every
+  /// retimed linearized delay is ≥ 0 and row-carried edges stay non-zero.
+  std::int64_t min_cols = 1;
+  /// period == 1 — every retimed edge is lex-positive.
+  bool fully_parallel = false;
+};
+
+/// Minimum inner period achievable by vector retiming, with a depth-minimal
+/// pure-column witness (heuristic 1-D OPT on the projection — provably
+/// optimal over column retimings). Throws InvalidArgument for illegal
+/// graphs.
+[[nodiscard]] MdOptimalRetiming md_minimum_period_retiming(const MdDataFlowGraph& g);
+
+/// Same optimum certified by the exact branch-and-bound engine
+/// (retiming/exact.hpp) on the projection.
+[[nodiscard]] MdOptimalRetiming md_exact_optimal_retiming(const MdDataFlowGraph& g);
+
+/// The certified minimum inner period only (for optimality-gap accounting).
+[[nodiscard]] std::int64_t md_exact_minimum_period(const MdDataFlowGraph& g);
+
+/// True when full parallelism (period 1) is achievable for g by vector
+/// retiming — i.e. every zero-row-delay cycle has total column delay ≥ its
+/// edge count. Always true for the random_mdfg generator's output.
+[[nodiscard]] bool full_parallelism_achievable(const MdDataFlowGraph& g);
+
+}  // namespace csr

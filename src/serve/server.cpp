@@ -21,6 +21,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "driver/cell_exec.hpp"
 #include "driver/export_schema.hpp"
+#include "mdfg/builders.hpp"
 #include "observe/observe.hpp"
 #include "serve/errors.hpp"
 
@@ -696,6 +697,15 @@ std::string Server::benchmarks_body() const {
   std::string body = "{\"benchmarks\": [";
   bool first = true;
   for (const auto& info : benchmarks::all_graphs()) {
+    if (!first) body += ", ";
+    first = false;
+    body += '"' + info.name + '"';
+  }
+  // The nested (2-D) family is a separate list: these names take a
+  // "shapes" axis ([rows, cols] pairs) instead of "trip_counts".
+  body += "], \"nested_benchmarks\": [";
+  first = true;
+  for (const auto& info : mdfg::md_benchmarks()) {
     if (!first) body += ", ";
     first = false;
     body += '"' + info.name + '"';

@@ -6,6 +6,7 @@
 
 #include "benchmarks/benchmarks.hpp"
 #include "driver/cell_exec.hpp"
+#include "mdfg/builders.hpp"
 #include "observe/observe.hpp"
 #include "serve/config.hpp"
 #include "serve/errors.hpp"
@@ -183,7 +184,8 @@ std::optional<Query> parse_query(const std::string& body, QueryResult* rejection
     const auto& graphs = benchmarks::all_graphs();
     const bool known = std::any_of(
         graphs.begin(), graphs.end(),
-        [&](const benchmarks::BenchmarkInfo& info) { return info.name == name; });
+        [&](const benchmarks::BenchmarkInfo& info) { return info.name == name; }) ||
+        mdfg::find_md_benchmark(name) != nullptr;
     if (!known) {
       *rejection = reject(422, "unknown benchmark '" + name +
                                    "' (GET /v1/benchmarks lists the vocabulary)");
@@ -193,6 +195,32 @@ std::optional<Query> parse_query(const std::string& body, QueryResult* rejection
 
   if (const JsonValue* v = parsed->get("trip_counts"); v != nullptr) {
     if (!read_int_array(*v, "trip_counts", grid.trip_counts, rejection)) {
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* v = parsed->get("shapes"); v != nullptr) {
+    // Nested (2-D) benchmarks sweep [rows, cols] shapes instead of
+    // trip_counts; 1-D benchmarks in the same query ignore this axis.
+    if (!v->is_array()) {
+      *rejection = reject(422, "shapes must be an array of [rows, cols] pairs");
+      return std::nullopt;
+    }
+    grid.shapes.clear();
+    for (const JsonValue& item : v->as_array()) {
+      std::vector<std::int64_t> pair;
+      if (!item.is_array() || !read_int_array(item, "shapes", pair, rejection) ||
+          pair.size() != 2) {
+        *rejection = reject(422, "shapes must be an array of [rows, cols] pairs");
+        return std::nullopt;
+      }
+      if (pair[0] < 1 || pair[1] < 1) {
+        *rejection = reject(422, "shapes entries need rows >= 1 and cols >= 1");
+        return std::nullopt;
+      }
+      grid.shapes.push_back(driver::LoopShape{pair[0], pair[1]});
+    }
+    if (grid.shapes.empty()) {
+      *rejection = reject(422, "shapes must name at least one [rows, cols] pair");
       return std::nullopt;
     }
   }

@@ -32,4 +32,10 @@ namespace csr {
 /// Right-pad `s` with spaces to `width` (no-op when already wider).
 [[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
 
+/// Escapes `s` for use inside a double-quoted Graphviz DOT string:
+/// backslash and double quote are backslash-escaped, newlines become the
+/// DOT line break "\n". Shared by the dfg/ and mdfg/ DOT exporters so node
+/// names render identically (and always produce parseable DOT) in both.
+[[nodiscard]] std::string dot_escape(std::string_view s);
+
 }  // namespace csr

@@ -8,6 +8,8 @@
 
 #include "benchmarks/benchmarks.hpp"
 #include "dfg/io.hpp"
+#include "mdfg/builders.hpp"
+#include "mdfg/io.hpp"
 
 #ifndef CSR_DATA_DIR
 #define CSR_DATA_DIR "data"
@@ -53,6 +55,39 @@ TEST_P(DataFileTest, FileMatchesFactory) {
     EXPECT_EQ(from_file.edge(e).delay, from_factory.edge(e).delay);
   }
 }
+
+// The shipped data/*.mdfg files must likewise match the nested benchmark
+// factories, through the vector-delay text format.
+class MdDataFileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MdDataFileTest, FileMatchesFactory) {
+  const std::string path = std::string(CSR_DATA_DIR) + "/" + GetParam() + ".mdfg";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing data file " << path;
+  const MdDataFlowGraph from_file = read_md_text(in);
+  const mdfg::MdBenchmarkInfo* info = mdfg::find_md_benchmark(GetParam());
+  ASSERT_NE(info, nullptr);
+  const MdDataFlowGraph from_factory = info->factory();
+
+  EXPECT_EQ(from_file.name(), from_factory.name());
+  ASSERT_EQ(from_file.node_count(), from_factory.node_count());
+  ASSERT_EQ(from_file.edge_count(), from_factory.edge_count());
+  for (NodeId v = 0; v < from_factory.node_count(); ++v) {
+    EXPECT_EQ(from_file.node(v).name, from_factory.node(v).name);
+    EXPECT_EQ(from_file.node(v).time, from_factory.node(v).time);
+  }
+  for (EdgeId e = 0; e < from_factory.edge_count(); ++e) {
+    EXPECT_EQ(from_file.edge(e).from, from_factory.edge(e).from);
+    EXPECT_EQ(from_file.edge(e).to, from_factory.edge(e).to);
+    EXPECT_EQ(from_file.edge(e).delay, from_factory.edge(e).delay);
+  }
+  // Round-trip: re-serializing the parsed file is a fixpoint.
+  EXPECT_EQ(to_text(from_file), to_text(from_factory));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiles, MdDataFileTest,
+                         ::testing::Values("conv3x3", "jacobi5", "iir2d",
+                                           "tline2d"));
 
 INSTANTIATE_TEST_SUITE_P(AllFiles, DataFileTest,
                          ::testing::Values("iir.dfg", "diffeq.dfg", "allpole.dfg",

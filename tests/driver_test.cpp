@@ -146,7 +146,8 @@ TEST(Export, CsvSkipsInfeasibleRowsAndKeepsHeader) {
   EXPECT_EQ(csv, csv_header());
   EXPECT_EQ(csv_header(),
             "benchmark,transform,factor,n,iteration_bound,period,depth,"
-            "registers,size,verified,optimality_gap,measured_size\n");
+            "registers,size,verified,optimality_gap,measured_size,"
+            "loop_dims,rows,cols\n");
   const std::string json = to_json({bad});
   EXPECT_NE(json.find("\"feasible\": false"), std::string::npos);
 }

@@ -120,10 +120,11 @@ TEST(ExactDifferential, GapColumnRoundTripsThroughJournalAndExports) {
   EXPECT_EQ(replayed.optimality_gap, res.optimality_gap);
 
   // Exports carry the column: CSV appends it after `verified`, JSON keys it.
-  // (measured_size now trails the gap — pin the gap cell by its separators.)
+  // (measured_size and the loop_dims/rows/cols shape columns now trail the
+  // gap — pin the gap cell by its separators.)
   const std::string csv = to_csv(run.results);
   EXPECT_NE(csv.find("optimality_gap"), std::string::npos);
-  EXPECT_NE(csv.find(",yes,0," + std::to_string(res.measured_size) + "\n"),
+  EXPECT_NE(csv.find(",yes,0," + std::to_string(res.measured_size) + ",1,-,-\n"),
             std::string::npos);
   const std::string json = to_json(run.results);
   EXPECT_NE(json.find("\"optimality_gap\": 0"), std::string::npos);
@@ -139,7 +140,7 @@ TEST(ExactDifferential, GapColumnRoundTripsThroughJournalAndExports) {
   EXPECT_NE(
       to_csv(original.results)
           .find(",-," + std::to_string(original.results.front().measured_size) +
-                "\n"),
+                ",1,-,-\n"),
       std::string::npos);
   EXPECT_NE(to_json(original.results).find("\"optimality_gap\": -1"),
             std::string::npos);

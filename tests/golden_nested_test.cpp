@@ -1,0 +1,110 @@
+// Golden-file snapshots of the nested (2-D) lowering: for each bundled
+// 2-D benchmark the row-major lowered LoopIR — naive nest, MD-retimed
+// pipeline and CSR form — is compared byte-for-byte against
+// tests/golden/*.ir. The snapshots make the vector-retiming story readable:
+// the retimed dump shows the single global prologue/epilogue spanning row
+// boundaries, the CSR dump the conditional registers that replace it.
+//
+// To update the snapshots after an intentional change, run:
+//
+//     CSR_UPDATE_GOLDEN=1 build/tests/golden_nested_test
+//
+// then review `git diff tests/golden/` before committing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/nested.hpp"
+#include "loopir/printer.hpp"
+#include "mdfg/builders.hpp"
+#include "retiming/md_retiming.hpp"
+
+namespace csr {
+namespace {
+
+struct GoldenCase {
+  const char* file;  ///< file name under tests/golden/
+  const char* benchmark;
+  std::int64_t rows;
+  std::int64_t cols;
+};
+
+// Small shapes keep the dumps reviewable; cols = 24 covers every engine's
+// min_cols so all three forms exist for each benchmark.
+constexpr GoldenCase kCases[] = {
+    {"conv3x3_nested_r3_c24.ir", "conv3x3", 3, 24},
+    {"jacobi5_nested_r3_c24.ir", "jacobi5", 3, 24},
+    {"iir2d_nested_r3_c24.ir", "iir2d", 3, 24},
+    {"tline2d_nested_r3_c24.ir", "tline2d", 3, 24},
+};
+
+std::string render(const GoldenCase& c) {
+  const MdDataFlowGraph g = mdfg::find_md_benchmark(c.benchmark)->factory();
+  const MdOptimalRetiming opt = md_minimum_period_retiming(g);
+
+  std::ostringstream out;
+  out << "== original nest ==\n"
+      << to_source(nested_original_program(g, c.rows, c.cols)) << '\n';
+  out << "== md-retimed (period " << opt.period << ", min_cols " << opt.min_cols
+      << ") ==\n"
+      << to_source(nested_retimed_program(g, opt.retiming, c.rows, c.cols)) << '\n';
+  out << "== md-retimed csr ==\n"
+      << to_source(nested_retimed_csr_program(g, opt.retiming, c.rows, c.cols));
+  return out.str();
+}
+
+std::filesystem::path golden_path(const GoldenCase& c) {
+  return std::filesystem::path(CSR_GOLDEN_DIR) / c.file;
+}
+
+bool update_mode() {
+  const char* flag = std::getenv("CSR_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+std::string golden_case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.file;
+  name.resize(name.size() - 3);  // drop ".ir"
+  return name;
+}
+
+class GoldenNestedTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenNestedTest, MatchesSnapshot) {
+  const GoldenCase& c = GetParam();
+  const std::string actual = render(c);
+  const std::filesystem::path path = golden_path(c);
+
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path << " missing — regenerate with CSR_UPDATE_GOLDEN=1 "
+                  << "build/tests/golden_nested_test";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "lowered IR drifted from " << path
+      << "\nIf the change is intentional: CSR_UPDATE_GOLDEN=1 "
+      << "build/tests/golden_nested_test, then review `git diff tests/golden/`.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Snapshots, GoldenNestedTest, ::testing::ValuesIn(kCases),
+                         golden_case_name);
+
+TEST(GoldenNested, DumpsAreDeterministic) {
+  for (const GoldenCase& c : kCases) {
+    EXPECT_EQ(render(c), render(c)) << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace csr

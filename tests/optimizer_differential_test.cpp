@@ -222,7 +222,7 @@ TEST(OptimizerDifferential, MeasuredSizeRoundTripsThroughJournalAndExports) {
   // Exports: CSV appends the column after optimality_gap, JSON keys it.
   const std::string csv = driver::to_csv(run.results);
   EXPECT_NE(csv.find("measured_size"), std::string::npos);
-  EXPECT_NE(csv.find("," + std::to_string(res.measured_size) + "\n"),
+  EXPECT_NE(csv.find("," + std::to_string(res.measured_size) + ",1,-,-\n"),
             std::string::npos);
   const std::string json = driver::to_json(run.results);
   EXPECT_NE(json.find("\"measured_size\": " + std::to_string(res.measured_size)),
@@ -234,7 +234,7 @@ TEST(OptimizerDifferential, MeasuredSizeRoundTripsThroughJournalAndExports) {
   missing.feasible = true;
   missing.evaluated = true;
   EXPECT_EQ(missing.measured_size, -1);
-  EXPECT_NE(driver::to_csv({missing}).find(",-\n"), std::string::npos);
+  EXPECT_NE(driver::to_csv({missing}).find(",-,1,-,-\n"), std::string::npos);
   EXPECT_NE(driver::to_json({missing}).find("\"measured_size\": -1"),
             std::string::npos);
 }

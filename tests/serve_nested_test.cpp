@@ -1,0 +1,141 @@
+// The nested (2-D) family through the serving tier: query validation for
+// the "shapes" axis, byte-identity of served /v1/sweep bodies with the
+// offline exports for nested benchmarks, and the journal-key contract —
+// nested cells append their shape to the shared content key while classic
+// 1-D cells keep the exact pre-nested framing (existing journals and
+// warm-started caches must keep matching).
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "dfg/io.hpp"
+#include "driver/config.hpp"
+#include "driver/export.hpp"
+#include "mdfg/builders.hpp"
+#include "mdfg/io.hpp"
+#include "serve/service.hpp"
+#include "support/hash.hpp"
+
+namespace csr::serve {
+namespace {
+
+TEST(NestedParseQuery, AcceptsNestedBenchmarksAndShapes) {
+  QueryResult rejection;
+  const auto query = parse_query(
+      R"({"benchmarks":["conv3x3","jacobi5"],"shapes":[[3,24],[5,19]],
+          "transforms":["original","retimed_csr"]})",
+      &rejection);
+  ASSERT_TRUE(query.has_value()) << rejection.error;
+  const driver::SweepGrid& grid = query->config.grid();
+  ASSERT_EQ(grid.shapes.size(), 2u);
+  EXPECT_EQ(grid.shapes[0], (driver::LoopShape{3, 24}));
+  EXPECT_EQ(grid.shapes[1], (driver::LoopShape{5, 19}));
+}
+
+TEST(NestedParseQuery, RejectsMalformedShapes) {
+  const char* bad[] = {
+      R"({"benchmarks":["conv3x3"],"shapes":"nope"})",
+      R"({"benchmarks":["conv3x3"],"shapes":[3,24]})",
+      R"({"benchmarks":["conv3x3"],"shapes":[[3]]})",
+      R"({"benchmarks":["conv3x3"],"shapes":[[3,24,5]]})",
+      R"({"benchmarks":["conv3x3"],"shapes":[[0,24]]})",
+      R"({"benchmarks":["conv3x3"],"shapes":[[3,-1]]})",
+      R"({"benchmarks":["conv3x3"],"shapes":[]})",
+  };
+  for (const char* body : bad) {
+    QueryResult rejection;
+    EXPECT_FALSE(parse_query(body, &rejection).has_value()) << body;
+    EXPECT_EQ(rejection.status, 422) << body;
+  }
+}
+
+TEST(NestedSweepService, ServedBodyIsByteIdenticalToOfflineExport) {
+  ServiceOptions options;
+  SweepService service(options);
+
+  QueryResult rejection;
+  const auto query = parse_query(
+      R"({"benchmarks":["tline2d","iir2d"],"shapes":[[4,16]],
+          "transforms":["original","retimed","retimed_csr"]})",
+      &rejection);
+  ASSERT_TRUE(query.has_value()) << rejection.error;
+
+  const QueryResult cold = service.execute(*query);
+  ASSERT_EQ(cold.status, 200) << cold.error;
+
+  driver::SweepConfig config;
+  config.grid() = query->config.grid();
+  const driver::SweepRun run = driver::run_sweep(config);
+  EXPECT_EQ(cold.body, driver::to_json(run.results));
+
+  // Warm: every nested cell replayed from the LRU, same bytes.
+  const QueryResult warm = service.execute(*query);
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.cache_hits, warm.cells);
+  EXPECT_EQ(warm.body, cold.body);
+
+  // CSV carries the nested columns for the same cells.
+  auto csv_query = *query;
+  csv_query.format = driver::ExportFormat::kCsv;
+  const QueryResult csv = service.execute(csv_query);
+  ASSERT_EQ(csv.status, 200);
+  EXPECT_EQ(csv.body, driver::to_csv(run.results));
+  EXPECT_NE(csv.body.find("loop_dims,rows,cols"), std::string::npos);
+}
+
+TEST(NestedKeyPinning, NestedCellsAppendShapeToTheSharedKey) {
+  driver::SweepCell cell;
+  cell.benchmark = "jacobi5";
+  cell.transform = driver::Transform::kRetimedCsr;
+  cell.rows = 4;
+  cell.cols = 16;
+  cell.n = 64;
+  driver::SweepOptions options;
+
+  const std::string mdfg_text = to_text(mdfg::find_md_benchmark("jacobi5")->factory());
+  const std::string expected =
+      content_key('c', {"sweep-v3", cell.benchmark, mdfg_text,
+                        std::string(to_string(cell.engine)),
+                        std::string(to_string(cell.exec)),
+                        std::string(to_string(cell.transform)),
+                        std::to_string(cell.factor), std::to_string(cell.n),
+                        options.verify ? "1" : "0", options.machine.description(),
+                        std::to_string(cell.rows), std::to_string(cell.cols)});
+  EXPECT_EQ(driver::journal_key(cell, options), expected);
+
+  // Shape is part of the identity: a transposed nest is a different cell.
+  driver::SweepCell transposed = cell;
+  transposed.rows = 16;
+  transposed.cols = 4;
+  EXPECT_NE(driver::journal_key(transposed, options),
+            driver::journal_key(cell, options));
+}
+
+TEST(NestedKeyPinning, ClassicCellsKeepThePreNestedFraming) {
+  // 1-D cells must hash exactly as before the nested axis existed — the
+  // ten-field framing with no shape suffix — so existing journal files and
+  // warm-started caches keep matching byte for byte.
+  driver::SweepCell cell;
+  cell.benchmark = "IIR Filter";
+  cell.transform = driver::Transform::kRetimed;
+  driver::SweepOptions options;
+
+  std::string dfg_text;
+  for (const auto& info : benchmarks::all_graphs()) {
+    if (info.name == cell.benchmark) dfg_text = to_text(info.factory());
+  }
+  ASSERT_FALSE(dfg_text.empty());
+
+  const std::string expected =
+      content_key('c', {"sweep-v3", cell.benchmark, dfg_text,
+                        std::string(to_string(cell.engine)),
+                        std::string(to_string(cell.exec)),
+                        std::string(to_string(cell.transform)),
+                        std::to_string(cell.factor), std::to_string(cell.n),
+                        options.verify ? "1" : "0",
+                        options.machine.description()});
+  EXPECT_EQ(driver::journal_key(cell, options), expected);
+}
+
+}  // namespace
+}  // namespace csr::serve
